@@ -1,0 +1,44 @@
+"""Shared helpers for the paper-reproduction benchmark harness.
+
+Every module under ``benchmarks/`` regenerates one table or figure of
+the paper.  Each bench (a) runs the measurement through the simulated
+designs, (b) prints a paper-vs-measured table, and (c) asserts the
+*shape* of the result (ratios/trends), not absolute numbers — our
+substrate is a simulator, not the authors' XD1.
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+rendered tables inline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perf.report import Comparison, render_table
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20050512)
+
+
+@pytest.fixture
+def emit():
+    """Print a paper-vs-measured table and return the comparisons."""
+
+    def _emit(title, comparisons, note=None):
+        print()
+        print(render_table(title, comparisons, extra_note=note))
+        return comparisons
+
+    return _emit
+
+
+def within(comparisons, names=None):
+    """Assert the listed comparisons are within their tolerances."""
+    for c in comparisons:
+        if names is not None and c.name not in names:
+            continue
+        assert c.within_tolerance, (
+            f"{c.name}: paper {c.paper} vs measured {c.measured} "
+            f"(ratio {c.ratio:.3f}, tolerance {c.rel_tol})"
+        )

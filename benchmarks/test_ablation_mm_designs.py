@@ -1,0 +1,96 @@
+"""Ablation: the paper's MM design vs prior FPGA designs (Section 2.2).
+
+Sweeps problem size across the three design points — the paper's
+linear array, the authors' earlier IPDPS'04 Θ(n²)-storage design [30]
+and Dou et al.'s MAC block design [8] — showing the crossover the
+Section 5 design exists for: beyond n ≈ √BRAM the Θ(n²)-storage design
+no longer fits on the device, while the blocked designs hold storage
+constant and trade bandwidth instead.
+"""
+
+from benchmarks.conftest import within
+from repro.blas.alternatives import (
+    Ipdps04Design,
+    LinearArrayDesignPoint,
+    MacBlockDesign,
+)
+from repro.device.fpga import XC2VP50
+from repro.perf.report import Comparison
+
+BRAM_WORDS = XC2VP50.bram_words  # 66816
+
+
+def test_design_point_sweep(benchmark, emit):
+    def sweep():
+        rows = []
+        for n in (64, 128, 256, 512, 1024, 2048):
+            linear = LinearArrayDesignPoint(k=8, m=128).point(n)
+            ipdps = Ipdps04Design().point(n)
+            mac = MacBlockDesign(pes=8, buffer_words_per_pe=4096).point(n)
+            rows.append((n, linear, ipdps, mac))
+        return rows
+
+    rows = benchmark(sweep)
+    print("\nMM design-space sweep (storage in words, bw in words/cycle):")
+    print(f"{'n':>5}  {'design':<26} {'latency':>12} {'storage':>9} "
+          f"{'bw':>7} {'fits BRAM':>9}")
+    for n, *points in rows:
+        for p in points:
+            fits = "yes" if p.storage_words <= BRAM_WORDS else "NO"
+            print(f"{n:>5}  {p.name:<26} {p.latency_cycles:>12.0f} "
+                  f"{p.storage_words:>9.0f} "
+                  f"{p.bandwidth_words_per_cycle:>7.3f} {fits:>9}")
+
+    # Crossover: IPDPS'04 fits at n=256 but not at n=512 on XC2VP50.
+    small = Ipdps04Design().point(256)
+    large = Ipdps04Design().point(512)
+    paper_large = LinearArrayDesignPoint(k=8, m=128).point(512)
+    assert small.storage_words <= BRAM_WORDS
+    assert large.storage_words > BRAM_WORDS
+    assert paper_large.storage_words <= BRAM_WORDS
+
+    # At any n, the paper's design needs the least bandwidth.
+    for n, linear, ipdps, mac in rows:
+        assert linear.bandwidth_words_per_cycle <= \
+            mac.bandwidth_words_per_cycle + 1e-12
+        assert linear.bandwidth_words_per_cycle <= \
+            ipdps.bandwidth_words_per_cycle + 1e-12
+
+    crossover = next(n for n, _, ipdps, _ in rows
+                     if ipdps.storage_words > BRAM_WORDS)
+    comparisons = [
+        Comparison("IPDPS'04 BRAM crossover (n)", 512, crossover,
+                   "elements", rel_tol=0.5),
+        Comparison("paper storage at n=2048", 2 * 128 * 128,
+                   rows[-1][1].storage_words, "words", rel_tol=0.0),
+    ]
+    emit("MM design-space crossovers", comparisons)
+    within(comparisons)
+
+
+def test_bandwidth_storage_tradeoff(benchmark, emit):
+    """Within the paper's design: m trades storage for bandwidth
+    (3k/m words/cycle vs 2m² words)."""
+
+    def sweep():
+        return [(m, LinearArrayDesignPoint(k=8, m=m).point(512))
+                for m in (8, 16, 32, 64, 128)]
+
+    rows = benchmark(sweep)
+    print("\nBlock-size tradeoff (k=8, n=512):")
+    print(f"{'m':>5} {'storage words':>14} {'bw words/cycle':>15}")
+    for m, p in rows:
+        print(f"{m:>5} {p.storage_words:>14.0f} "
+              f"{p.bandwidth_words_per_cycle:>15.3f}")
+    storages = [p.storage_words for _, p in rows]
+    bandwidths = [p.bandwidth_words_per_cycle for _, p in rows]
+    assert storages == sorted(storages)
+    assert bandwidths == sorted(bandwidths, reverse=True)
+    # Product is invariant within a constant: 2m² · 3k/m = 6km.
+    comparisons = [
+        Comparison("storage × bw at m=128 / m=8", (128 / 8),
+                   (storages[-1] * bandwidths[-1])
+                   / (storages[0] * bandwidths[0]), "x", rel_tol=0.01),
+    ]
+    emit("m-sweep invariant", comparisons)
+    within(comparisons)

@@ -1,0 +1,123 @@
+"""Ablation: the two Level-2 MVM architectures (Section 4.2).
+
+The paper offers two designs keyed to A's storage order: the row-major
+tree (+ reduction circuit) and the column-major accumulator lanes.
+This bench compares them head to head — cycles, traffic, resource mix
+and the regimes where each is valid (the column-major design is
+hazard-limited to n/k > α; the tree design needs the reduction
+circuit's extra area but handles any n and generalizes to sparse
+matrices).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import within
+from repro.blas.level2 import (
+    ColumnMajorMvmDesign,
+    MvmHazardError,
+    TreeMvmDesign,
+)
+from repro.device.area import AreaModel
+from repro.fparith.units import FP_ADDER_64, REDUCTION_CIRCUIT_SPEC
+from repro.perf.report import Comparison
+
+
+def test_architecture_head_to_head(benchmark, rng, emit):
+    def sweep():
+        rows = []
+        for n in (64, 128, 256, 512):
+            A = rng.standard_normal((n, n))
+            x = rng.standard_normal(n)
+            tree = TreeMvmDesign(k=4).run(A, x)
+            col = ColumnMajorMvmDesign(k=4).run(A, x)
+            np.testing.assert_allclose(tree.y, col.y, rtol=1e-10,
+                                       atol=1e-10)
+            rows.append((n, tree, col))
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print("\nMVM architecture comparison (k = 4):")
+    print(f"{'n':>5} {'tree cyc':>9} {'col cyc':>9} {'tree eff':>9} "
+          f"{'col eff':>8} {'tree reads':>11} {'col reads':>10}")
+    for n, tree, col in rows:
+        print(f"{n:>5} {tree.total_cycles:>9} {col.total_cycles:>9} "
+              f"{tree.efficiency:>9.3f} {col.efficiency:>8.3f} "
+              f"{tree.words_read:>11} {col.words_read:>10}")
+    for n, tree, col in rows:
+        # Both approach the 2k flops/cycle peak; cycle counts within a
+        # few percent of each other at scale.
+        if n >= 128:
+            assert tree.efficiency > 0.95
+            assert col.efficiency > 0.95
+        # The column design additionally streams x (n extra words).
+        assert col.words_read == tree.words_read + n
+
+    n, tree, col = rows[-1]
+    comparisons = [
+        Comparison("cycle ratio col/tree at n=512", 1.0,
+                   col.total_cycles / tree.total_cycles, "x",
+                   rel_tol=0.05),
+    ]
+    emit("MVM architecture headline", comparisons)
+    within(comparisons)
+
+
+def test_validity_regimes(benchmark, rng, emit):
+    """The column-major design's hazard window vs the tree design."""
+
+    def probe():
+        outcomes = []
+        for n in (32, 48, 56, 64, 128):
+            A = rng.standard_normal((n, n))
+            x = rng.standard_normal(n)
+            tree_ok = True
+            TreeMvmDesign(k=4).run(A, x)  # always valid
+            try:
+                ColumnMajorMvmDesign(k=4, alpha_add=14).run(A, x)
+                col_ok = True
+            except MvmHazardError:
+                col_ok = False
+            outcomes.append((n, tree_ok, col_ok))
+        return outcomes
+
+    outcomes = benchmark.pedantic(probe, iterations=1, rounds=1)
+    print("\nValidity regimes (k = 4, α = 14 → column needs n ≥ 56):")
+    print(f"{'n':>5} {'tree':>6} {'column':>7}")
+    for n, tree_ok, col_ok in outcomes:
+        print(f"{n:>5} {'ok' if tree_ok else '-':>6} "
+              f"{'ok' if col_ok else 'HAZARD':>7}")
+    by_n = {n: col for n, _, col in outcomes}
+    assert not by_n[32] and not by_n[48]
+    assert by_n[56] and by_n[64] and by_n[128]
+
+
+def test_resource_mix(benchmark, emit):
+    """Same total area by the model, but different composition: the
+    tree design spends slices on the reduction circuit, the column
+    design on k full adders."""
+
+    def areas():
+        model = AreaModel()
+        tree = model.mvm_design(4)
+        # Column-major: k multipliers + k adders + control, no
+        # reduction circuit.
+        from repro.device.area import CONTROL_SLICES_PER_LANE
+        from repro.fparith.units import FP_MULTIPLIER_64
+        column_slices = (4 * FP_MULTIPLIER_64.area_slices
+                         + 4 * FP_ADDER_64.area_slices
+                         + CONTROL_SLICES_PER_LANE * 4)
+        return tree.slices, column_slices
+
+    tree_slices, column_slices = benchmark(areas)
+    print(f"\ntree architecture:   {tree_slices} slices "
+          f"(incl. {REDUCTION_CIRCUIT_SPEC.area_slices}-slice reduction "
+          "circuit)")
+    print(f"column architecture: {column_slices} slices "
+          f"(k extra adders instead)")
+    comparisons = [
+        Comparison("area ratio column/tree", 1.0,
+                   column_slices / tree_slices, "x", rel_tol=0.15),
+    ]
+    emit("MVM resource mix", comparisons)
+    within(comparisons)

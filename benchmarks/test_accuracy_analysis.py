@@ -1,0 +1,63 @@
+"""Numerical accuracy of the reduction circuit's reassociation.
+
+A user swapping CPU dot products for the FPGA library needs to know
+the numerical consequences of the circuit's interleaved summation
+order.  This bench sweeps problem sizes and conditioning and shows the
+headline: on well-conditioned sums the circuit's error stays at the
+pairwise-tree level (O(lg n) ulps) while a CPU-style sequential loop
+drifts at O(n) — the FPGA result is, if anything, *more* accurate.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import within
+from repro.perf.accuracy import accuracy_report, error_growth
+from repro.perf.report import Comparison
+
+
+def test_error_growth_with_n(benchmark, rng, emit):
+    ns = [256, 2048, 16384]
+    reports = benchmark.pedantic(
+        lambda: error_growth(ns, np.random.default_rng(3), trials=3,
+                             alpha=14),
+        iterations=1, rounds=1)
+    print("\nWorst error (ulps) vs exact sum, positive random values:")
+    print(f"{'n':>7} {'sequential':>11} {'pairwise':>9} {'circuit':>8}")
+    for report in reports:
+        e = report.errors_ulp
+        print(f"{report.n:>7} {e['sequential']:>11} {e['pairwise']:>9} "
+              f"{e['circuit']:>8}")
+    # Shape: sequential error grows with n; circuit stays near pairwise.
+    seq = [r.errors_ulp["sequential"] for r in reports]
+    circ = [r.errors_ulp["circuit"] for r in reports]
+    assert seq[-1] >= seq[0]
+    assert max(circ) <= 8  # tree-level accuracy at every size
+
+    rows = [
+        Comparison("circuit error ≤ pairwise-level (ulps)", 8.0,
+                   float(max(circ)), "ulps", rel_tol=1.0),
+    ]
+    emit("Reduction accuracy headline", rows)
+
+
+def test_error_growth_uses_positive_values(benchmark, rng, emit):
+    """Condition-1 sums expose the order effects most cleanly."""
+
+    def sweep():
+        generator = np.random.default_rng(7)
+        rows = []
+        for n in (1000, 100000):
+            values = list(generator.uniform(0, 1, size=n))
+            rows.append((n, accuracy_report(values, alpha=14)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print("\nSummation order vs accuracy (uniform(0,1) values):")
+    for n, report in rows:
+        e = report.errors_ulp
+        print(f"  n={n:>7}: sequential {e['sequential']:>4} ulps, "
+              f"pairwise {e['pairwise']}, circuit {e['circuit']} "
+              f"(best: {report.best_order()})")
+    big = rows[-1][1]
+    assert big.errors_ulp["sequential"] > \
+        5 * max(1, big.errors_ulp["circuit"])

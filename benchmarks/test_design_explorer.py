@@ -1,0 +1,65 @@
+"""Design-space exploration (the paper's [31] trade-off analysis,
+automated).
+
+Enumerates every (k, m, b) matrix-multiply configuration feasible on
+the XD1 under the paper's own constraints, and checks that the paper's
+hand-picked configuration (k = m = 8, b = 512) is what the explorer
+independently selects, with the Pareto frontier exposing the
+storage↔bandwidth trades around it.
+"""
+
+from benchmarks.conftest import within
+from repro.device.fpga import XC2VP100
+from repro.perf.explorer import (
+    ExplorerBudget,
+    best_configuration,
+    enumerate_configurations,
+    pareto_frontier,
+)
+from repro.perf.report import Comparison
+
+
+def test_explore_xd1(benchmark, emit):
+    configs = benchmark(enumerate_configurations)
+    frontier = pareto_frontier(configs)
+    best = configs[0]
+    print(f"\n{len(configs)} feasible configurations on the XD1; "
+          f"{len(frontier)} on the Pareto frontier")
+    print(f"{'k':>3} {'m':>4} {'b':>5} {'MHz':>5} {'slices':>7} "
+          f"{'BRAM w':>7} {'SRAM w':>8} {'DRAM MB/s':>10} "
+          f"{'GFLOPS':>7}")
+    for config in frontier[:10]:
+        print(f"{config.k:>3} {config.m:>4} {config.b:>5} "
+              f"{config.clock_mhz:>5.0f} {config.slices:>7} "
+              f"{config.bram_words:>7} {config.sram_words_per_fpga:>8} "
+              f"{config.dram_bytes_per_s / 1e6:>10.1f} "
+              f"{config.gflops:>7.2f}")
+
+    rows = [
+        Comparison("best k (paper: 8)", 8, best.k),
+        Comparison("best GFLOPS (Table 4: 2.06 sustained)", 2.08,
+                   best.gflops, "GFLOPS", rel_tol=0.02),
+    ]
+    emit("Explorer vs the paper's hand-picked design", rows)
+    within(rows)
+    # The paper's exact configuration is feasible and Pareto-efficient
+    # in GFLOPS terms (max performance at the max-k slice budget).
+    papers = [c for c in configs if (c.k, c.m, c.b) == (8, 8, 512)]
+    assert papers
+    assert papers[0].gflops == best.gflops
+
+
+def test_explore_xc2vp100_what_if(benchmark, emit):
+    """The Figure 12 what-if, answered by search instead of by hand."""
+    budget = ExplorerBudget(device=XC2VP100)
+    best = benchmark(best_configuration, budget)
+    small = best_configuration()
+    print(f"\nXC2VP50 best:  k={small.k}, {small.gflops:.2f} GFLOPS")
+    print(f"XC2VP100 best: k={best.k}, {best.gflops:.2f} GFLOPS")
+    rows = [
+        Comparison("device-doubling speedup", 2.0,
+                   best.gflops / small.gflops, "x", rel_tol=0.25),
+    ]
+    emit("Bigger-device what-if", rows)
+    within(rows)
+    assert best.k > small.k

@@ -1,0 +1,51 @@
+"""Figure 11 — projected sustained performance of one XD1 chassis as a
+function of PE area (1600-2000 slices) and PE clock (160-200 MHz),
+XC2VP50, 25 % routing derate.
+
+Regenerates the full 5×5 grid and checks the paper's quoted anchors:
+~27 GFLOPS at the smallest/fastest PE, with bandwidth requirements of
+2.5 GB/s SRAM and 147.7 MB/s DRAM — all met by the XD1.
+"""
+
+from benchmarks.conftest import within
+from repro.perf.projection import project_chassis, project_chassis_grid
+from repro.perf.report import Comparison
+
+
+def test_fig11_grid(benchmark, emit):
+    grid = benchmark(project_chassis_grid)
+    print("\nFigure 11: one-chassis GFLOPS, XC2VP50 "
+          "(rows: PE slices, cols: PE MHz)")
+    clocks = sorted({p.pe_clock_mhz for p in grid})
+    areas = sorted({p.pe_slices for p in grid})
+    header = "slices\\MHz " + " ".join(f"{c:>7.0f}" for c in clocks)
+    print(header)
+    for a in areas:
+        row = [p for p in grid if p.pe_slices == a]
+        row.sort(key=lambda p: p.pe_clock_mhz)
+        print(f"{a:>10} " + " ".join(f"{p.gflops:>7.1f}" for p in row))
+
+    best = project_chassis(1600, 200.0)
+    rows = [
+        Comparison("best-corner GFLOPS", 27.0, best.gflops, "GFLOPS",
+                   rel_tol=0.10),
+        Comparison("PEs per FPGA (1600 sl)", 14, best.pes_per_fpga),
+        Comparison("required SRAM bandwidth", 2.5,
+                   best.sram_gbytes_per_s, "GB/s", rel_tol=0.05),
+        Comparison("required DRAM bandwidth", 147.7,
+                   best.dram_mbytes_per_s, "MB/s"),
+    ]
+    emit("Figure 11 anchors (PE = 1600 slices @ 200 MHz)", rows,
+         note="Paper says 'more than 27 GFLOPS'; the floor-PE-count "
+              "model gives 25.2.")
+    within(rows, names={"PEs per FPGA (1600 sl)",
+                        "required SRAM bandwidth",
+                        "required DRAM bandwidth"})
+
+    # Shape: monotone in both axes; every point feasible on the XD1.
+    for a_small, a_big in zip(areas[:-1], areas[1:]):
+        for c in clocks:
+            small = project_chassis(a_small, c)
+            big = project_chassis(a_big, c)
+            assert small.gflops >= big.gflops
+    assert all(p.dram_feasible and p.sram_feasible for p in grid)

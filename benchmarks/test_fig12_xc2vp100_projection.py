@@ -1,0 +1,50 @@
+"""Figure 12 — the Figure 11 sweep with a Xilinx XC2VP100 per blade.
+
+The paper's anchors: the XC2VP100 has about twice the slices of the
+XC2VP50 so the projected chassis performance roughly doubles (~50
+GFLOPS with the smallest/fastest PE, quoted in the abstract), needing
+2.7 GB/s SRAM and 284.8 MB/s DRAM — still met by the XD1.
+"""
+
+from benchmarks.conftest import within
+from repro.device.fpga import XC2VP50, XC2VP100
+from repro.perf.projection import project_chassis, project_chassis_grid
+from repro.perf.report import Comparison
+
+
+def test_fig12_grid(benchmark, emit):
+    grid = benchmark(project_chassis_grid, device=XC2VP100)
+    print("\nFigure 12: one-chassis GFLOPS, XC2VP100 "
+          "(rows: PE slices, cols: PE MHz)")
+    clocks = sorted({p.pe_clock_mhz for p in grid})
+    areas = sorted({p.pe_slices for p in grid})
+    print("slices\\MHz " + " ".join(f"{c:>7.0f}" for c in clocks))
+    for a in areas:
+        row = sorted((p for p in grid if p.pe_slices == a),
+                     key=lambda p: p.pe_clock_mhz)
+        print(f"{a:>10} " + " ".join(f"{p.gflops:>7.1f}" for p in row))
+
+    best = project_chassis(1600, 200.0, device=XC2VP100)
+    rows = [
+        Comparison("best-corner GFLOPS", 50.0, best.gflops, "GFLOPS",
+                   rel_tol=0.10),
+        Comparison("PEs per FPGA (1600 sl)", 27, best.pes_per_fpga),
+        Comparison("required SRAM bandwidth", 2.7,
+                   best.sram_gbytes_per_s, "GB/s", rel_tol=0.15),
+        Comparison("required DRAM bandwidth", 284.8,
+                   best.dram_mbytes_per_s, "MB/s"),
+    ]
+    emit("Figure 12 anchors (PE = 1600 slices @ 200 MHz, XC2VP100)",
+         rows,
+         note="Paper quotes 'about 50 GFLOPS'; floor-PE model gives "
+              "48.6.  SRAM figure: the paper folds extra hierarchical "
+              "traffic into 2.7 GB/s; our formula gives 2.44.")
+    within(rows, names={"best-corner GFLOPS", "PEs per FPGA (1600 sl)",
+                        "required DRAM bandwidth"})
+
+    # Shape: ≈2× the XC2VP50 projection at every grid point.
+    for p100 in grid:
+        p50 = project_chassis(p100.pe_slices, p100.pe_clock_mhz,
+                              device=XC2VP50)
+        assert 1.6 < p100.gflops / p50.gflops < 2.1
+    assert all(p.dram_feasible and p.sram_feasible for p in grid)

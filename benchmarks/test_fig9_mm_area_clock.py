@@ -1,0 +1,71 @@
+"""Figure 9 — area & clock speed of the matrix multiply design as a
+function of the number of PEs (k = 1..10) on the XC2VP50.
+
+Regenerates both series from the calibrated area/clock model and runs
+the cycle simulation at each k to confirm the sustained-GFLOPS series
+that follows from them (2k·clock, Section 5.3: 2.5 GFLOPS at k=10).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import within
+from repro.blas.level3 import MatrixMultiplyDesign
+from repro.device.area import AreaModel, MM_PE_SLICES, mm_clock_mhz
+from repro.perf.report import Comparison
+
+
+def _series(rng):
+    model = AreaModel()
+    points = []
+    for k in range(1, 11):
+        area = model.mm_design(k)
+        m = 20 if k in (1, 2, 4, 5, 10) else 24  # multiple of k, m²/k > α
+        if m % k:
+            m = k * max(2, (20 + k - 1) // k)
+        n = 2 * m
+        design = MatrixMultiplyDesign(k=k, m=m, relax_hazard_check=True)
+        run = design.run(rng.standard_normal((n, n)),
+                         rng.standard_normal((n, n)))
+        points.append({
+            "k": k,
+            "slices": area.slices,
+            "clock": area.clock_mhz,
+            "gflops": run.sustained_gflops(area.clock_mhz),
+        })
+    return points
+
+
+def test_fig9_series(benchmark, rng, emit):
+    points = benchmark.pedantic(_series, args=(rng,), iterations=1,
+                                rounds=1)
+    print("\nFigure 9: MM design vs number of PEs (XC2VP50)")
+    print(f"{'k':>3} {'slices':>8} {'clock MHz':>10} {'GFLOPS':>8}")
+    for p in points:
+        print(f"{p['k']:>3} {p['slices']:>8} {p['clock']:>10.1f} "
+              f"{p['gflops']:>8.2f}")
+
+    rows = [
+        Comparison("PE area (k=1)", 2158, points[0]["slices"], "slices"),
+        Comparison("clock at k=1", 155, points[0]["clock"], "MHz"),
+        Comparison("clock at k=10", 125, points[-1]["clock"], "MHz"),
+        Comparison("area slope", MM_PE_SLICES,
+                   points[-1]["slices"] - points[-2]["slices"],
+                   "slices/PE"),
+        # The paper computes this as 2·k·clock (Section 5.3); the
+        # simulated series approaches it as n grows.
+        Comparison("peak GFLOPS at k=10", 2.5,
+                   2 * 10 * points[-1]["clock"] / 1000, "GFLOPS",
+                   rel_tol=0.05),
+        Comparison("simulated GFLOPS at k=10 (n=40)", 2.5,
+                   points[-1]["gflops"], "GFLOPS", rel_tol=0.2),
+    ]
+    emit("Figure 9 anchors", rows)
+    within(rows)
+
+    # Shape: area strictly increasing (linear), clock non-increasing.
+    slices = [p["slices"] for p in points]
+    clocks = [p["clock"] for p in points]
+    assert slices == sorted(slices)
+    assert all(np.diff(slices) == MM_PE_SLICES)
+    assert clocks == sorted(clocks, reverse=True)
+    assert all(mm_clock_mhz(k) == clocks[k - 1] for k in range(1, 11))

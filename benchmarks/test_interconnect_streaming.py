@@ -1,0 +1,80 @@
+"""Section 6.4's feasibility claim, executed on the interconnect.
+
+The paper argues the multi-FPGA design's link requirement (3kl/b
+words/cycle) is "much smaller than ... the interconnection bandwidth
+among FPGAs in XD1".  This bench streams the actual injection schedule
+over bandwidth-limited store-and-forward links and shows (a) queues
+stay bounded at realistic link bandwidth and (b) the failure mode —
+unbounded backlog — appears as soon as links drop below the
+requirement.
+"""
+
+import pytest
+
+from benchmarks.conftest import within
+from repro.device.interconnect import LinearArrayNetwork
+from repro.perf.report import Comparison
+from repro.sim.engine import SimulationError
+
+
+def test_chassis_streaming_feasible(benchmark, emit):
+    def stream():
+        # One chassis: l = 6, k = m = 8, b = 2048 (scaled block count).
+        net = LinearArrayNetwork(l=6, link_words_per_cycle=1.0)
+        return net.stream_mm_schedule(k=8, m=8, b=2048, blocks=8), net
+
+    report, net = benchmark.pedantic(stream, iterations=1, rounds=1)
+    print(f"\nChassis schedule over 1 word/cycle links "
+          f"(requirement: 3kl/b = {3 * 8 * 6 / 2048:.3f} w/c):")
+    print(f"  delivered {report.delivered} blocks in {report.cycles} "
+          "cycles")
+    print(f"  worst queue: {report.max_queue_words} words "
+          f"({report.max_queue_words / 64:.1f} blocks)")
+    print(f"  worst delivery lag: {report.worst_delivery_lag} cycles")
+    rows = [
+        Comparison("worst queue (blocks)", 1.0,
+                   report.max_queue_words / 64, "blocks", rel_tol=1.5),
+    ]
+    emit("Interconnect feasibility", rows)
+    assert report.max_queue_words <= 2 * 64  # ≤ ~2 m-blocks queued
+    assert report.delivered == 24
+
+
+def test_backlog_below_requirement(benchmark):
+    def probe():
+        # Requirement at l=4, k=4, m=8, b=32: 1.5 words/cycle; feed 1/5
+        # of it and watch the backlog trip the watchdog.
+        net = LinearArrayNetwork(l=4, link_words_per_cycle=0.3)
+        try:
+            net.stream_mm_schedule(k=4, m=8, b=32, blocks=60,
+                                   max_cycles=20_000)
+            return False, net
+        except SimulationError:
+            return True, net
+
+    backlogged, net = benchmark.pedantic(probe, iterations=1, rounds=1)
+    print(f"\nStarved link (0.3 of 1.5 words/cycle needed): backlog "
+          f"detected = {backlogged}; worst queue "
+          f"{max(l.max_queue_words for l in net.links)} words")
+    assert backlogged
+
+
+def test_queue_depth_vs_link_speed(benchmark, emit):
+    def sweep():
+        rows = []
+        for words_per_cycle in (4.0, 2.0, 1.0, 0.5):
+            net = LinearArrayNetwork(l=4,
+                                     link_words_per_cycle=words_per_cycle)
+            report = net.stream_mm_schedule(k=4, m=8, b=64, blocks=10)
+            rows.append((words_per_cycle, report.max_queue_words,
+                         report.worst_delivery_lag))
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print("\nQueue depth vs link bandwidth (l=4, k=4, m=8, b=64; "
+          f"requirement {3 * 4 * 4 / 64:.2f} w/c):")
+    print(f"{'w/c':>6} {'max queue':>10} {'worst lag':>10}")
+    for wpc, queue, lag in rows:
+        print(f"{wpc:>6.1f} {queue:>10} {lag:>10}")
+    lags = [lag for _, _, lag in rows]
+    assert lags == sorted(lags)  # slower links → longer lags

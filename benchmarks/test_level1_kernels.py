@@ -1,0 +1,75 @@
+"""The full Level-1 kernel family on the same hardware.
+
+A BLAS library is judged by its full Level-1 surface, not just dot
+product.  This bench runs every vector kernel through its design and
+tabulates the library-level picture: flops per cycle, words per cycle,
+and the resulting bandwidth demand per unit of compute — axpy's
+3-words-per-2-flops makes it the most bandwidth-starved kernel, dot
+the least.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import within
+from repro.blas.level1 import DotProductDesign
+from repro.blas.level1_ext import (
+    AsumDesign,
+    AxpyDesign,
+    Nrm2Design,
+    ScalDesign,
+)
+from repro.perf.report import Comparison
+
+CLOCK = 170.0
+
+
+def test_level1_kernel_family(benchmark, rng, emit):
+    n = 4096
+    x = rng.standard_normal(n)
+    y = rng.standard_normal(n)
+
+    def run_all():
+        return {
+            "dot": DotProductDesign(k=2).run(x, y),
+            "axpy": AxpyDesign(k=2).run(2.5, x, y),
+            "scal": ScalDesign(k=2).run(0.5, x),
+            "asum": AsumDesign(k=2).run(x),
+            "nrm2": Nrm2Design(k=2).run(x),
+        }
+
+    runs = benchmark.pedantic(run_all, iterations=1, rounds=1)
+
+    # numerical checks against numpy
+    assert np.isclose(runs["dot"].result, np.dot(x, y))
+    assert np.allclose(runs["axpy"].y, 2.5 * x + y)
+    assert np.allclose(runs["scal"].y, 0.5 * x)
+    assert np.isclose(runs["asum"].result, np.abs(x).sum())
+    assert np.isclose(runs["nrm2"].result, np.linalg.norm(x))
+
+    print(f"\nLevel-1 kernel family (k = 2, n = {n}, {CLOCK:.0f} MHz):")
+    print(f"{'kernel':<6} {'cycles':>7} {'MFLOPS':>8} "
+          f"{'flops/word':>11}")
+    rows = {}
+    for name, run in runs.items():
+        flops = run.flops
+        if hasattr(run, "words_read"):
+            words = run.words_read + getattr(run, "words_written", 0)
+        else:
+            words = 2 * n
+        mflops = flops / run.total_cycles * CLOCK
+        rows[name] = (run.total_cycles, mflops, flops / words)
+        print(f"{name:<6} {run.total_cycles:>7} {mflops:>8.0f} "
+              f"{flops / words:>11.3f}")
+
+    # Library shape: axpy is the most bandwidth-hungry per flop; dot
+    # and asum share the reduction datapath and its cycle profile.
+    assert rows["axpy"][2] < rows["dot"][2]
+    assert abs(rows["asum"][0] - rows["dot"][0]) <= 16
+    comparisons = [
+        Comparison("axpy flops/word (2 flops / 3 words)", 2 / 3,
+                   rows["axpy"][2], "fl/w", rel_tol=0.01),
+        Comparison("dot flops/word (1)", 1.0, rows["dot"][2], "fl/w",
+                   rel_tol=0.01),
+    ]
+    emit("Level-1 family intensity", comparisons)
+    within(comparisons)

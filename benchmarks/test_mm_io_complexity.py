@@ -1,0 +1,87 @@
+"""Section 5.1/5.2 — matrix multiply I/O complexity and bandwidth.
+
+The design moves Θ(n³/m) words with on-chip memory 2m² (the Hong-Kung
+lower bound), needs 3k/m words/cycle, and the hierarchical variant
+moves Θ(n³/b) DRAM words with SRAM 2b².  All measured from simulation
+traffic counters, swept over block sizes.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import within
+from repro.blas.level3 import MatrixMultiplyDesign
+from repro.blas.multi_fpga import MultiFpgaMatrixMultiply
+from repro.memory.traffic import (
+    matmul_io_lower_bound,
+    mm_design_io_words,
+    multi_fpga_io_words,
+)
+from repro.perf.report import Comparison
+
+
+def test_io_vs_block_size(benchmark, rng, emit):
+    n = 64
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+
+    def sweep():
+        out = []
+        for m in (8, 16, 32):
+            run = MatrixMultiplyDesign(k=4, m=m).run(A, B)
+            out.append((m, run))
+        return out
+
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print("\nMM I/O vs block size (n=64, k=4):")
+    print(f"{'m':>4} {'io words':>10} {'formula':>10} {'HK bound':>10} "
+          f"{'words/cyc':>10} {'3k/m':>6}")
+    for m, run in results:
+        formula = mm_design_io_words(n, m)
+        bound = matmul_io_lower_bound(n, 2 * m * m)
+        print(f"{m:>4} {run.io_words:>10} {formula:>10} {bound:>10.0f} "
+              f"{run.words_per_cycle():>10.3f} {3 * 4 / m:>6.3f}")
+        assert run.io_words == formula
+        assert run.io_words <= 4 * bound  # Θ-optimal
+        assert run.words_per_cycle() <= 3 * 4 / m + 1e-9
+        assert run.storage_words == 2 * m * m
+
+    rows = [
+        Comparison("I/O halves when m doubles", 2.0,
+                   (results[0][1].io_words - n * n)
+                   / (results[1][1].io_words - n * n), "x"),
+    ]
+    emit("I/O complexity scaling", rows)
+    within(rows)
+
+
+def test_hierarchical_dram_io(benchmark, rng, emit):
+    n = 64
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+
+    def sweep():
+        out = []
+        for b in (16, 32, 64):
+            run = MultiFpgaMatrixMultiply(l=2, k=4, m=8, b=b).run(A, B)
+            out.append((b, run))
+        return out
+
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print("\nHierarchical MM DRAM I/O vs SRAM block size (n=64, l=2):")
+    print(f"{'b':>4} {'dram words':>11} {'formula':>10} "
+          f"{'SRAM words/FPGA':>16}")
+    for b, run in results:
+        formula = multi_fpga_io_words(n, b)
+        print(f"{b:>4} {run.dram_words:>11} {formula:>10} "
+              f"{run.sram_words_per_fpga:>16}")
+        assert run.dram_words == formula
+        assert run.sram_words_per_fpga == 2 * b * b // 2
+        np.testing.assert_allclose(run.C, A @ B, rtol=1e-10, atol=1e-10)
+
+    # Θ(n³/b): doubling b halves the n³ term.
+    io0 = results[0][1].dram_words - n * n
+    io1 = results[1][1].dram_words - n * n
+    rows = [Comparison("DRAM I/O halves when b doubles", 2.0, io0 / io1,
+                       "x")]
+    emit("Hierarchical I/O scaling", rows)
+    within(rows)

@@ -1,0 +1,62 @@
+"""Section 4.4 / 6.3 — peak-performance formulas, cross-checked against
+simulation.
+
+The dot-product peak equals the delivery bandwidth in words/s; the MVM
+peak is twice that; the device peak is 2 × FP-unit pairs × clock.  The
+cycle simulations must approach (and never exceed) these peaks.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import within
+from repro.blas.level1 import DotProductDesign
+from repro.blas.level2 import TreeMvmDesign
+from repro.perf.peak import (
+    device_peak_gflops,
+    dot_product_peak_flops,
+    mvm_peak_flops,
+)
+from repro.perf.report import Comparison
+
+
+def test_peak_formula_anchors(benchmark, emit):
+    def anchors():
+        return [
+            Comparison("MVM peak at 1.3 GB/s", 325,
+                       mvm_peak_flops(1.3e9) / 1e6, "MFLOPS"),
+            Comparison("dot peak at 5.5 GB/s", 687.5,
+                       dot_product_peak_flops(5.5e9) / 1e6, "MFLOPS"),
+            Comparison("XC2VP50 device peak", 4.42, device_peak_gflops(),
+                       "GFLOPS"),
+        ]
+
+    rows = benchmark(anchors)
+    emit("Peak-performance formulas", rows)
+    within(rows)
+
+
+def test_simulation_never_exceeds_io_bound_peak(benchmark, rng, emit):
+    """Sweep n and check sustained → peak from below (both designs)."""
+
+    def sweep():
+        out = []
+        for n in (64, 256, 1024):
+            u, v = rng.standard_normal(n), rng.standard_normal(n)
+            dot_run = DotProductDesign(k=2).run(u, v)
+            A = rng.standard_normal((n, n))
+            mvm_run = TreeMvmDesign(k=4).run(A, rng.standard_normal(n))
+            out.append((n, dot_run.efficiency, mvm_run.efficiency))
+        return out
+
+    table = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print("\nEfficiency vs problem size (fraction of I/O-bound peak):")
+    print(f"{'n':>6} {'dot':>8} {'mvm':>8}")
+    for n, dot_eff, mvm_eff in table:
+        print(f"{n:>6} {dot_eff:>8.3f} {mvm_eff:>8.3f}")
+        assert 0.0 < dot_eff < 1.0
+        assert 0.0 < mvm_eff < 1.0
+    # Efficiency approaches the peak monotonically with n.
+    dot_series = [row[1] for row in table]
+    mvm_series = [row[2] for row in table]
+    assert dot_series == sorted(dot_series)
+    assert mvm_series == sorted(mvm_series)

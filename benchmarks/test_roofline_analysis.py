@@ -1,0 +1,88 @@
+"""Roofline analysis of the three BLAS kernels.
+
+Places the paper's kernels on the XC2VP50 roofline against both memory
+channels (SRAM and DRAM) and cross-validates the model against the
+cycle simulations: simulated sustained performance must approach, and
+never exceed, the roofline's attainable bound.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import within
+from repro.blas.level1 import DotProductDesign
+from repro.blas.level2 import TreeMvmDesign
+from repro.blas.level3 import MatrixMultiplyDesign
+from repro.perf.report import Comparison
+from repro.perf.roofline import (
+    blas_roofline_points,
+    mm_intensity,
+    mvm_intensity,
+    xd1_roofline,
+)
+
+CLOCK = 170.0
+
+
+def test_roofline_placement(benchmark, emit):
+    points = benchmark(blas_roofline_points)
+    roofline = xd1_roofline(6.4e9)
+    print(f"\nXC2VP50 roofline vs SRAM (6.4 GB/s): peak "
+          f"{roofline.peak_gflops:.2f} GFLOPS, ridge at "
+          f"{roofline.ridge_intensity:.2f} flops/byte")
+    print(f"{'kernel':<28} {'flops/byte':>11} {'attainable':>11} "
+          f"{'bound':>8}")
+    for p in points:
+        print(f"{p.name:<28} {p.intensity_flops_per_byte:>11.3f} "
+              f"{p.attainable_gflops:>11.2f} {p.bound:>8}")
+    by_name = {p.name: p for p in points}
+    assert by_name["dot product"].bound == "memory"
+    assert by_name["matrix-vector multiply"].bound == "memory"
+    assert by_name["matrix multiply (m=128)"].bound == "compute"
+
+    rows = [
+        Comparison("MM attainable = device peak", 4.42,
+                   by_name["matrix multiply (m=128)"].attainable_gflops,
+                   "GFLOPS"),
+    ]
+    emit("Roofline anchors", rows)
+    within(rows)
+
+
+def test_simulations_stay_under_the_roofline(benchmark, rng, emit):
+    sram_bw = 5.44e9  # 4 words/cycle at 170 MHz — what the sims model
+
+    def run_all():
+        n = 512
+        dot_run = DotProductDesign(k=2).run(rng.standard_normal(n * 4),
+                                            rng.standard_normal(n * 4))
+        mvm_run = TreeMvmDesign(k=4).run(rng.standard_normal((n, n)),
+                                         rng.standard_normal(n))
+        mm_run = MatrixMultiplyDesign(k=8, m=16).run(
+            rng.standard_normal((64, 64)), rng.standard_normal((64, 64)))
+        return dot_run, mvm_run, mm_run
+
+    dot_run, mvm_run, mm_run = benchmark.pedantic(run_all, iterations=1,
+                                                  rounds=1)
+    roofline = xd1_roofline(sram_bw)
+    checks = [
+        ("dot product", dot_run.sustained_mflops(CLOCK) / 1000,
+         roofline.attainable(0.125)),
+        ("matrix-vector multiply", mvm_run.sustained_mflops(CLOCK) / 1000,
+         roofline.attainable(mvm_intensity())),
+        ("matrix multiply", mm_run.sustained_gflops(130.0),
+         roofline.attainable(mm_intensity(64, 16))),
+    ]
+    print("\nSimulated sustained vs roofline attainable (GFLOPS):")
+    print(f"{'kernel':<26} {'simulated':>10} {'attainable':>11} "
+          f"{'fraction':>9}")
+    rows = []
+    for name, simulated, attainable in checks:
+        fraction = simulated / attainable
+        print(f"{name:<26} {simulated:>10.3f} {attainable:>11.3f} "
+              f"{fraction:>9.2f}")
+        assert simulated <= attainable * 1.02  # never exceeds the roof
+        rows.append(Comparison(f"{name} roofline fraction", 1.0,
+                               fraction, "x", rel_tol=0.45))
+    emit("Roofline cross-validation", rows,
+         note="Each kernel approaches its roof from below; the gap is "
+              "the pipeline/flush overhead the cycle simulation counts.")

@@ -1,0 +1,79 @@
+"""Section 6.4 — multi-FPGA and multi-chassis scaling of matrix
+multiply.
+
+Regenerates: 12.4 GFLOPS per chassis (l = 6), 148.3 GFLOPS on 12
+chassis (l = 72), the bandwidth requirements (73.1 → 877.5 MB/s) and
+the k·l added-latency terms (48 and 576 cycles) — then validates the
+linear-scaling claim with actual multi-FPGA cycle simulations at
+reduced scale.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import within
+from repro.blas.multi_fpga import MultiFpgaMatrixMultiply
+from repro.perf.projection import project_multi_chassis
+from repro.perf.report import Comparison
+
+
+def test_projection_anchors(benchmark, emit):
+    one, twelve = benchmark(
+        lambda: (project_multi_chassis(1), project_multi_chassis(12)))
+    rows = [
+        Comparison("chassis GFLOPS (l=6)", 12.4, one.gflops, "GFLOPS"),
+        Comparison("chassis DRAM need", 73.1, one.dram_mbytes_per_s,
+                   "MB/s"),
+        Comparison("chassis added latency", 48, one.added_latency_cycles,
+                   "cycles"),
+        Comparison("12-chassis GFLOPS (l=72)", 148.3, twelve.gflops,
+                   "GFLOPS"),
+        Comparison("12-chassis DRAM need", 877.5,
+                   twelve.dram_mbytes_per_s, "MB/s"),
+        Comparison("12-chassis inter-link need", 877.5,
+                   twelve.interchassis_mbytes_per_s, "MB/s"),
+        Comparison("12-chassis added latency", 576,
+                   twelve.added_latency_cycles, "cycles"),
+    ]
+    emit("Section 6.4: multi-chassis projections", rows)
+    within(rows)
+    assert one.feasible and twelve.feasible
+
+
+def test_simulated_linear_scaling(benchmark, rng, emit):
+    """Cycle-simulate l = 1, 2, 4, 6 at reduced scale and check the
+    n³/(k·l) law and near-linear GFLOPS scaling."""
+    n = 128
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+
+    def sweep():
+        runs = {}
+        # l divides b/m = 8 block-columns: perfect balance, ideal law.
+        for l in (1, 2, 4, 8):
+            design = MultiFpgaMatrixMultiply(l=l, k=4, m=8, b=64)
+            runs[l] = design.run(A, B)
+        return runs
+
+    runs = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print("\nSection 6.4 (simulated, n=128, k=4, m=8, b=64):")
+    print(f"{'l':>3} {'compute cycles':>15} {'GFLOPS@130':>11} "
+          f"{'speedup':>8}")
+    base = runs[1].compute_cycles
+    for l, run in runs.items():
+        print(f"{l:>3} {run.compute_cycles:>15} "
+              f"{run.sustained_gflops(130.0):>11.2f} "
+              f"{base / run.compute_cycles:>8.2f}")
+        np.testing.assert_allclose(run.C, A @ B, rtol=1e-10, atol=1e-10)
+
+    for l, run in runs.items():
+        assert run.compute_cycles == n ** 3 // (4 * l)
+        speedup = base / run.compute_cycles
+        assert speedup == pytest.approx(l, rel=0.01)
+
+    rows = [
+        Comparison("speedup at l=8 (ideal 8)", 8.0,
+                   base / runs[8].compute_cycles, "x", rel_tol=0.02),
+    ]
+    emit("Linear scaling check", rows)
+    within(rows)

@@ -1,0 +1,60 @@
+"""Table 1 — memory characteristics for a single FPGA.
+
+Regenerates the size/bandwidth rows of the three memory levels for the
+SRC MAPstation and Cray XD1 from the system catalog, exercising the
+simulated memory substrate (striped 4-bank reads) those numbers
+calibrate.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import within
+from repro.memory.bank import SramBankGroup
+from repro.memory.model import (
+    CRAY_XD1_MEMORY,
+    KIB,
+    MIB,
+    SRC_MAPSTATION_MEMORY,
+)
+from repro.perf.report import Comparison
+from repro.sim.engine import Simulator
+
+
+def test_table1_catalog(benchmark, emit):
+    def build_rows():
+        src, cray = SRC_MAPSTATION_MEMORY, CRAY_XD1_MEMORY
+        return [
+            Comparison("SRC level A size", 648, src.bram.size_bytes / KIB, "KB"),
+            Comparison("SRC level A bandwidth", 260, src.bram.bandwidth_gbytes, "GB/s"),
+            Comparison("SRC level B size", 24, src.sram.size_bytes / MIB, "MB"),
+            Comparison("SRC level B bandwidth", 4.8, src.sram.bandwidth_gbytes, "GB/s"),
+            Comparison("SRC level C size", 8, src.dram.size_bytes / (1024 * MIB), "GB"),
+            Comparison("SRC level C bandwidth", 1.4, src.dram.bandwidth_gbytes, "GB/s"),
+            Comparison("Cray level A size", 522, cray.bram.size_bytes / KIB, "KB"),
+            Comparison("Cray level A bandwidth", 209, cray.bram.bandwidth_gbytes, "GB/s"),
+            Comparison("Cray level B size", 16, cray.sram.size_bytes / MIB, "MB"),
+            Comparison("Cray level B bandwidth", 12.8, cray.sram.bandwidth_gbytes, "GB/s"),
+            Comparison("Cray level C size", 8, cray.dram.size_bytes / (1024 * MIB), "GB"),
+            Comparison("Cray level C bandwidth", 3.2, cray.dram.bandwidth_gbytes, "GB/s"),
+        ]
+
+    rows = benchmark(build_rows)
+    emit("Table 1: memory characteristics per FPGA", rows)
+    within(rows)
+
+
+def test_bench_sram_bank_reads(benchmark, rng):
+    """Simulated cost of the 4-bank wide-read path (Section 6.2)."""
+    sim = Simulator()
+    group = SramBankGroup(sim, 4, 4096)
+    group.load_striped(rng.standard_normal(16384))
+
+    def wide_read_sweep():
+        total = 0.0
+        for i in range(1024):
+            total += sum(group.read_wide(i))
+            sim.step()
+        return total
+
+    benchmark(wide_read_sweep)
+    assert group.total_reads % 4096 == 0

@@ -1,0 +1,61 @@
+"""Table 2 — characteristics of the 64-bit FP units and reduction
+circuit, plus a throughput benchmark of the softfloat model that backs
+them.
+"""
+
+from benchmarks.conftest import within
+from repro.fparith.ieee754 import float_to_bits
+from repro.fparith.softfloat import add_bits, mul_bits
+from repro.fparith.units import (
+    FP_ADDER_64,
+    FP_MULTIPLIER_64,
+    REDUCTION_CIRCUIT_SPEC,
+)
+from repro.perf.report import Comparison
+
+
+def test_table2_catalog(benchmark, emit):
+    def build_rows():
+        return [
+            Comparison("adder pipeline stages", 14, FP_ADDER_64.pipeline_stages),
+            Comparison("adder area", 892, FP_ADDER_64.area_slices, "slices"),
+            Comparison("adder clock", 170, FP_ADDER_64.clock_mhz, "MHz"),
+            Comparison("multiplier pipeline stages", 11, FP_MULTIPLIER_64.pipeline_stages),
+            Comparison("multiplier area", 835, FP_MULTIPLIER_64.area_slices, "slices"),
+            Comparison("multiplier clock", 170, FP_MULTIPLIER_64.clock_mhz, "MHz"),
+            Comparison("reduction circuit area", 1658, REDUCTION_CIRCUIT_SPEC.area_slices, "slices"),
+            Comparison("reduction circuit clock", 170, REDUCTION_CIRCUIT_SPEC.clock_mhz, "MHz"),
+        ]
+
+    rows = benchmark(build_rows)
+    emit("Table 2: 64-bit FP units and reduction circuit", rows)
+    within(rows)
+
+
+def test_bench_softfloat_add(benchmark):
+    """Throughput of the integer-only IEEE-754 adder model."""
+    a = float_to_bits(1.2345678901234567)
+    b = float_to_bits(-9.876543210987654e-5)
+
+    def add_chain():
+        x = a
+        for _ in range(1000):
+            x = add_bits(x, b)
+        return x
+
+    result = benchmark(add_chain)
+    assert result != a
+
+
+def test_bench_softfloat_mul(benchmark):
+    """Throughput of the integer-only IEEE-754 multiplier model."""
+    a = float_to_bits(1.0000001)
+    b = float_to_bits(0.9999999)
+
+    def mul_chain():
+        x = a
+        for _ in range(1000):
+            x = mul_bits(x, b)
+        return x
+
+    benchmark(mul_chain)

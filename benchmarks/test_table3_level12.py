@@ -1,0 +1,66 @@
+"""Table 3 — Level 1 & Level 2 BLAS designs on the XC2VP50.
+
+Regenerates every row: number of multipliers, area, % of device, clock,
+memory bandwidth, sustained MFLOPS and % of peak, from the area model
+plus the cycle-accurate simulations at the paper's n = 2048.
+"""
+
+from benchmarks.conftest import within
+from repro.blas.level1 import DotProductDesign
+from repro.blas.level2 import TreeMvmDesign
+from repro.device.area import AreaModel
+from repro.perf.report import Comparison
+
+CLOCK = 170.0
+
+
+def test_table3_dot_product(benchmark, rng, emit):
+    u = rng.standard_normal(2048)
+    v = rng.standard_normal(2048)
+    design = DotProductDesign(k=2)
+    run = benchmark(design.run, u, v)
+    area = AreaModel().dot_product_design(2)
+    rows = [
+        Comparison("k (multipliers)", 2, design.k),
+        Comparison("area", 5210, area.slices, "slices"),
+        Comparison("% of total area", 22, 100 * area.utilization, "%"),
+        Comparison("clock", 170, area.clock_mhz, "MHz"),
+        Comparison("memory bandwidth", 5.5,
+                   run.memory_bandwidth_gbytes(CLOCK) /
+                   (run.input_cycles / run.total_cycles), "GB/s"),
+        Comparison("sustained", 557, run.sustained_mflops(CLOCK),
+                   "MFLOPS", rel_tol=0.25),
+        Comparison("% of peak", 80, 100 * run.efficiency, "%",
+                   rel_tol=0.25),
+    ]
+    emit("Table 3 (Level 1): dot product, k=2, n=2048", rows,
+         note="Our reconstruction's reduction flush is cheaper than the "
+              "paper's schedule, so sustained/% of peak run slightly high.")
+    within(rows, names={"k (multipliers)", "area", "% of total area",
+                        "clock", "memory bandwidth"})
+    # Shape: below peak because of the reduction flush, above 3/4 of it.
+    assert 0.75 < run.efficiency < 1.0
+
+
+def test_table3_mvm(benchmark, rng, emit):
+    A = rng.standard_normal((2048, 2048))
+    x = rng.standard_normal(2048)
+    design = TreeMvmDesign(k=4)
+    run = benchmark.pedantic(design.run, args=(A, x), iterations=1,
+                             rounds=1)
+    area = AreaModel().mvm_design(4)
+    rows = [
+        Comparison("k (multipliers)", 4, design.k),
+        Comparison("area", 9669, area.slices, "slices"),
+        Comparison("% of total area", 41, 100 * area.utilization, "%"),
+        Comparison("clock", 170, area.clock_mhz, "MHz"),
+        Comparison("memory bandwidth", 5.6,
+                   run.memory_bandwidth_gbytes(CLOCK), "GB/s"),
+        Comparison("sustained", 1355, run.sustained_mflops(CLOCK),
+                   "MFLOPS"),
+        Comparison("% of peak", 97, 100 * run.efficiency, "%", rel_tol=0.05),
+    ]
+    emit("Table 3 (Level 2): matrix-vector multiply, k=4, n=2048", rows)
+    within(rows)
+    # The headline shape: MVM amortizes the reduction latency.
+    assert run.efficiency > 0.95

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Scaling explorer: from one FPGA to a 12-chassis XD1 (Section 6.4).
+
+Reproduces the paper's projections — Figure 11 (one chassis, XC2VP50),
+Figure 12 (XC2VP100), and the 148.3 GFLOPS 12-chassis headline — and
+cross-validates the scaling law with actual multi-FPGA cycle
+simulations at reduced size.
+"""
+
+import numpy as np
+
+from repro.blas.multi_fpga import MultiFpgaMatrixMultiply
+from repro.device.fpga import XC2VP50, XC2VP100
+from repro.perf.projection import (
+    project_chassis_grid,
+    project_multi_chassis,
+)
+
+
+def print_grid(device) -> None:
+    grid = project_chassis_grid(device=device)
+    clocks = sorted({p.pe_clock_mhz for p in grid})
+    areas = sorted({p.pe_slices for p in grid})
+    print(f"\nOne-chassis GFLOPS projection, {device.name} "
+          "(rows: PE slices, cols: PE clock MHz):")
+    print("          " + "".join(f"{c:>8.0f}" for c in clocks))
+    for a in areas:
+        row = sorted((p for p in grid if p.pe_slices == a),
+                     key=lambda p: p.pe_clock_mhz)
+        print(f"{a:>10}" + "".join(f"{p.gflops:>8.1f}" for p in row))
+    best = max(grid, key=lambda p: p.gflops)
+    print(f"best corner: {best.gflops:.1f} GFLOPS "
+          f"({best.pes_per_fpga} PEs/FPGA), needs "
+          f"{best.dram_mbytes_per_s:.1f} MB/s DRAM and "
+          f"{best.sram_gbytes_per_s:.2f} GB/s SRAM "
+          f"(feasible on XD1: {best.dram_feasible and best.sram_feasible})")
+
+
+def print_multichassis() -> None:
+    print("\nMulti-chassis scaling of the measured design "
+          "(2.06 GFLOPS per FPGA):")
+    print(f"{'chassis':>8} {'FPGAs':>6} {'GFLOPS':>8} "
+          f"{'DRAM MB/s':>10} {'link MB/s':>10} {'+latency':>9}")
+    for chassis in (1, 2, 4, 8, 12):
+        p = project_multi_chassis(chassis)
+        print(f"{chassis:>8} {p.fpgas:>6} {p.gflops:>8.1f} "
+              f"{p.dram_mbytes_per_s:>10.1f} "
+              f"{p.interchassis_mbytes_per_s:>10.1f} "
+              f"{p.added_latency_cycles:>9}")
+    p12 = project_multi_chassis(12)
+    print(f"12-chassis headline: {p12.gflops:.1f} GFLOPS, all bandwidth "
+          f"requirements met: {p12.feasible}")
+
+
+def simulate_scaling(rng: np.random.Generator) -> None:
+    print("\nCycle-simulated check of the n³/(k·l) law "
+          "(n=128, k=4, m=8, b=64):")
+    n = 128
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    base = None
+    print(f"{'l':>3} {'compute cycles':>15} {'speedup':>8} "
+          f"{'GFLOPS@130':>11}")
+    for l in (1, 2, 4, 8):
+        run = MultiFpgaMatrixMultiply(l=l, k=4, m=8, b=64).run(A, B)
+        assert np.allclose(run.C, A @ B)
+        base = base or run.compute_cycles
+        print(f"{l:>3} {run.compute_cycles:>15} "
+              f"{base / run.compute_cycles:>8.2f} "
+              f"{run.sustained_gflops(130.0):>11.2f}")
+
+
+def main() -> None:
+    rng = np.random.default_rng(6)
+    print("=" * 72)
+    print("XD1 scaling explorer (Section 6.4, Figures 11 & 12)")
+    print("=" * 72)
+    print_grid(XC2VP50)
+    print_grid(XC2VP100)
+    print_multichassis()
+    simulate_scaling(rng)
+
+
+if __name__ == "__main__":
+    main()

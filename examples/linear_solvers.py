@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Solving linear systems with the FPGA BLAS library.
+
+The paper's introduction motivates BLAS as the building block of
+linear-system solvers; this example builds two of them on the
+simulated designs:
+
+1. **Conjugate gradient** (with and without Jacobi preconditioning) on
+   a 2-D Poisson system — SpMXV and the inner products run on the
+   FPGA designs, AXPYs on the host.
+2. **Blocked LU with partial pivoting** on a dense system — the O(n³)
+   trailing updates run on the Level-3 PE array, the O(n²) panel work
+   on the host, exactly the control/compute partitioning of Section 1.
+"""
+
+import numpy as np
+
+from repro.solvers import BlockedLu, ConjugateGradientSolver
+from repro.workloads import poisson_2d
+
+
+def cg_demo() -> None:
+    grid = 14
+    matrix = poisson_2d(grid)
+    n = matrix.nrows
+    b = np.ones(n)
+    print(f"--- CG on 2-D Poisson ({grid}x{grid} grid, n = {n}, "
+          f"nnz = {matrix.nnz}) ---")
+    for preconditioner in (None, "jacobi"):
+        solver = ConjugateGradientSolver(tol=1e-10,
+                                         preconditioner=preconditioner)
+        result = solver.solve(matrix, b)
+        residual = np.linalg.norm(matrix.to_dense() @ result.x - b)
+        label = preconditioner or "none"
+        print(f"preconditioner={label:<7} iterations={result.iterations:>4} "
+              f"converged={result.converged} "
+              f"residual={residual:.2e}")
+        spmxv = result.fpga_cycles.get("spmxv", 0)
+        dot = result.fpga_cycles.get("dot", 0)
+        total = result.total_fpga_cycles
+        print(f"  FPGA cycles: {total} "
+              f"(spmxv {100 * spmxv / total:.0f}%, "
+              f"dot {100 * dot / total:.0f}%) "
+              f"= {total / 170e6 * 1e3:.2f} ms at 170 MHz")
+
+
+def lu_demo() -> None:
+    rng = np.random.default_rng(8)
+    n = 96
+    A = rng.standard_normal((n, n)) + n * np.eye(n)
+    b = rng.standard_normal(n)
+    print(f"\n--- Blocked LU on a dense {n}x{n} system "
+          "(block 16, k=4, m=8) ---")
+    lu = BlockedLu(block=16, k=4, m=8)
+    result = lu.factor(A)
+    np.testing.assert_allclose(result.reconstruct(), A[result.pivots],
+                               rtol=1e-9, atol=1e-9)
+    x = lu.solve(A, b)
+    print(f"factorization verified: P·A = L·U to 1e-9")
+    print(f"solve residual: {np.linalg.norm(A @ x - b):.2e}")
+    print(f"flop split: {100 * result.fpga_fraction:.1f}% on the FPGA "
+          f"(trailing updates), "
+          f"{100 * (1 - result.fpga_fraction):.1f}% on the host "
+          "(panels + triangular solves)")
+    print(f"FPGA cycles: {result.fpga_cycles} "
+          f"= {result.fpga_cycles / 130e6 * 1e3:.2f} ms at 130 MHz")
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Linear solvers on the FPGA BLAS library")
+    print("=" * 72)
+    cg_demo()
+    lu_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: the FPGA BLAS library in five minutes.
+
+Runs the three BLAS operations of the paper — dot product (Level 1),
+matrix-vector multiply (Level 2) and dense matrix multiply (Level 3) —
+through their cycle-accurate FPGA designs, checks every result against
+numpy, and prints the per-call performance reports (cycles, wall-clock
+at the design's achievable clock, sustained MFLOPS, bandwidth, area).
+"""
+
+import numpy as np
+
+from repro.blas import dot, gemm, gemv
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    print("=" * 72)
+    print("FPGA BLAS quickstart (Zhuo & Prasanna, SC'05 reproduction)")
+    print("=" * 72)
+
+    # ------------------------------------------------------------------
+    # Level 1: dot product on the tree architecture (k = 2 multipliers,
+    # matched to the XD1's 4-bank SRAM bandwidth).
+    # ------------------------------------------------------------------
+    n = 2048
+    u, v = rng.standard_normal(n), rng.standard_normal(n)
+    result, report = dot(u, v, k=2)
+    assert np.isclose(result, np.dot(u, v))
+    print("\n[Level 1] dot product")
+    print(" ", report.summary())
+
+    # ------------------------------------------------------------------
+    # Level 2: matrix-vector multiply, row-major tree architecture with
+    # the reduction circuit (k = 4).
+    # ------------------------------------------------------------------
+    n = 512
+    A = rng.standard_normal((n, n))
+    x = rng.standard_normal(n)
+    y, report = gemv(A, x, k=4)
+    assert np.allclose(y, A @ x)
+    print("\n[Level 2] matrix-vector multiply (row-major tree)")
+    print(" ", report.summary())
+
+    # The alternative column-major architecture (k accumulator lanes).
+    y2, report2 = gemv(A, x, k=4, architecture="column")
+    assert np.allclose(y2, A @ x)
+    print("\n[Level 2] matrix-vector multiply (column-major lanes)")
+    print(" ", report2.summary())
+
+    # ------------------------------------------------------------------
+    # Level 3: dense matrix multiply on the linear PE array (k = 8 PEs,
+    # the XD1 configuration).
+    # ------------------------------------------------------------------
+    n = 128
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    C, report = gemm(A, B, k=8, m=16)
+    assert np.allclose(C, A @ B)
+    print("\n[Level 3] dense matrix multiply (linear PE array)")
+    print(" ", report.summary())
+
+    print("\nAll results verified against numpy.")
+    print("Key shapes: Level 1/2 are I/O bound (sustained tracks memory")
+    print("bandwidth); Level 3 is compute bound (sustained tracks 2k x")
+    print("clock, with I/O hidden under computation).")
+
+
+if __name__ == "__main__":
+    main()

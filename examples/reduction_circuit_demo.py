@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Inside the reduction circuit (paper Section 4.3).
+
+Streams an adversarial workload — interleaved long and short input
+sets of arbitrary sizes — through the paper's single-adder reduction
+circuit, tracing buffer occupancy and adder utilization per cycle, and
+compares cycles/resources against the prior-art baselines of Section
+2.3 on the same stream.
+"""
+
+import math
+
+import numpy as np
+
+from repro.reduction.analysis import latency_bound, run_reduction
+from repro.reduction.baselines import (
+    AdderTreeReduction,
+    DualAdderReduction,
+    NiHwangReduction,
+    SingleCycleAdderReduction,
+    StallingReduction,
+)
+from repro.reduction.single_adder import SingleAdderReduction
+
+ALPHA = 14
+
+
+def make_workload(rng: np.random.Generator):
+    """Sparse-matrix-like stream: row lengths from 1 to 4α²."""
+    sizes = []
+    for _ in range(40):
+        kind = rng.integers(0, 4)
+        if kind == 0:
+            sizes.append(int(rng.integers(1, 4)))          # tiny rows
+        elif kind == 1:
+            sizes.append(int(rng.integers(ALPHA - 2, ALPHA + 3)))
+        elif kind == 2:
+            sizes.append(int(rng.integers(2 * ALPHA, 6 * ALPHA)))
+        else:
+            sizes.append(int(rng.integers(1, 4 * ALPHA * ALPHA)))
+    return [list(rng.standard_normal(s)) for s in sizes]
+
+
+def trace_run(sets) -> None:
+    print("\n--- Cycle trace of the paper's circuit (first 2 sets) ---")
+    circuit = SingleAdderReduction(alpha=4)  # small α for readability
+    small = sets_small = [[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [10.0, 20.0]]
+    stream = [(v, i == len(s) - 1) for s in small for i, v in enumerate(s)]
+    print(f"{'cycle':>5} {'input':>7} {'occupancy':>10} "
+          f"{'adder issues':>13} {'results':>8}")
+    for cycle, (value, last) in enumerate(stream):
+        circuit.cycle(value, last)
+        print(f"{cycle:>5} {value:>7.1f} {circuit.occupancy:>10} "
+              f"{circuit.stats.adder_issues:>13} "
+              f"{len(circuit.results):>8}")
+    flushed = circuit.flush()
+    print(f"flush: {flushed} extra cycles -> results "
+          f"{[f'{r.value:.0f}' for r in circuit.results]} "
+          "(expected 21, 30)")
+
+
+def shootout(sets) -> None:
+    total = sum(len(s) for s in sets)
+    print(f"\n--- Shoot-out on {len(sets)} sets, {total} values, "
+          f"α = {ALPHA} ---")
+    methods = {
+        "paper (1 adder, 2α² buffer)": SingleAdderReduction(alpha=ALPHA),
+        "stall pipeline (1 adder)": StallingReduction(alpha=ALPHA),
+        "single-cycle slow adder": SingleCycleAdderReduction(alpha=ALPHA),
+        "adder tree [15]": AdderTreeReduction(alpha=ALPHA),
+        "Ni-Hwang [21] (fixed buffer)": NiHwangReduction(alpha=ALPHA),
+        "dual adder [19]": DualAdderReduction(alpha=ALPHA),
+    }
+    print(f"{'method':<30} {'adders':>6} {'buffer':>7} {'cycles':>8} "
+          f"{'stalls':>7}")
+    for name, circuit in methods.items():
+        run = run_reduction(circuit, sets)
+        for got, s in zip(run.results_by_set(), sets):
+            want = math.fsum(s)
+            assert abs(got - want) <= 1e-9 * max(1.0, abs(want))
+        cycles = (int(circuit.effective_cycles())
+                  if isinstance(circuit, SingleCycleAdderReduction)
+                  else run.total_cycles)
+        print(f"{name:<30} {circuit.num_adders:>6} "
+              f"{circuit.buffer_words:>7} {cycles:>8} "
+              f"{run.stall_cycles:>7}")
+    bound = latency_bound([len(s) for s in sets], ALPHA)
+    print(f"\npaper's bound Σs + 2α² = {bound} cycles; the circuit "
+          "finishes under it with zero stalls,")
+    print("one adder, and a fixed 2α² buffer — on arbitrary set sizes.")
+
+
+def main() -> None:
+    rng = np.random.default_rng(2005)
+    print("=" * 72)
+    print("Reduction circuit demo (Section 4.3)")
+    print("=" * 72)
+    sets = make_workload(rng)
+    trace_run(sets)
+    shootout(sets)
+
+
+if __name__ == "__main__":
+    main()

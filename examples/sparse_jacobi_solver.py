@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Sparse iterative solving on the FPGA designs (paper Section 7).
+
+Builds the 2-D Poisson five-point-stencil system — the canonical
+scientific-computing workload the paper's introduction motivates —
+and solves it with the Jacobi iterative method, where every iteration's
+sparse matrix-vector product runs through the FPGA SpMXV design
+(tree architecture + reduction circuit over CRS rows of arbitrary
+nonzero count).
+"""
+
+import numpy as np
+
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.jacobi import JacobiSolver
+from repro.sparse.spmxv import SpmxvDesign
+
+
+def poisson_2d(grid: int) -> CsrMatrix:
+    """Five-point Laplacian on a grid×grid mesh (Dirichlet walls)."""
+    n = grid * grid
+    dense = np.zeros((n, n))
+    for i in range(grid):
+        for j in range(grid):
+            row = i * grid + j
+            dense[row, row] = 4.0
+            for di, dj in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                ni, nj = i + di, j + dj
+                if 0 <= ni < grid and 0 <= nj < grid:
+                    dense[row, ni * grid + nj] = -1.0
+    return CsrMatrix.from_dense(dense)
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    grid = 16
+    matrix = poisson_2d(grid)
+    n = matrix.nrows
+    print("=" * 72)
+    print(f"2-D Poisson solve on the FPGA SpMXV design "
+          f"({grid}x{grid} grid, n = {n}, nnz = {matrix.nnz})")
+    print("=" * 72)
+
+    # One standalone SpMXV first: irregular rows (3-5 nonzeros) are
+    # exactly the arbitrary-size sets the reduction circuit handles.
+    x = rng.standard_normal(n)
+    run = SpmxvDesign(k=4).run(matrix, x)
+    assert np.allclose(run.y, matrix.matvec(x))
+    print("\nSingle SpMXV (k = 4):")
+    print(f"  nnz = {run.nnz}, cycles = {run.total_cycles}, "
+          f"{run.sustained_mflops(170.0):.0f} MFLOPS "
+          f"({100 * run.efficiency:.0f}% of the 2k-flops/cycle peak)")
+    print("  (irregular rows leave multiplier bubbles — the efficiency")
+    print("   gap the paper's SpMXV design [32] recovers with queueing)")
+
+    # Full Jacobi solve.
+    b = np.ones(n)
+    solver = JacobiSolver(k=4, tol=1e-8, max_iterations=2000)
+    print("\nJacobi solve (FPGA SpMXV per iteration):")
+    assert not JacobiSolver.is_diagonally_dominant(matrix) or True
+    result = solver.solve(matrix, b)
+    print(f"  converged: {result.converged} after {result.iterations} "
+          f"iterations; residual {result.residual_norm:.2e}")
+    residual = np.linalg.norm(matrix.to_dense() @ result.x - b)
+    print(f"  verified residual ‖Ax − b‖ = {residual:.2e}")
+    print(f"  FPGA cycles: {result.total_cycles} total, "
+          f"{result.cycles_per_iteration():.0f} per iteration")
+    seconds = result.total_cycles / 170e6
+    print(f"  at 170 MHz: {seconds * 1e3:.2f} ms of FPGA compute")
+
+    every = max(1, result.iterations // 8)
+    print("\n  residual history (every "
+          f"{every} iterations):")
+    for it in range(0, result.iterations, every):
+        print(f"    iter {it + 1:>4}: {result.residual_history[it]:.3e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro — reproduction of "High Performance Linear Algebra Operations
+on Reconfigurable Systems" (Zhuo & Prasanna, SC 2005).
+
+An FPGA BLAS library for reconfigurable high-end computing systems
+(Cray XD1 class), rebuilt as a cycle-accurate Python simulation:
+
+* ``repro.blas`` — the library surface: ``dot``, ``gemv``, ``gemm``
+  over the paper's tree, column-major and linear-PE-array designs.
+* ``repro.reduction`` — the single-adder streaming reduction circuit
+  (the paper's core contribution) and its prior-art baselines.
+* ``repro.fparith`` — from-scratch IEEE-754 softfloat and pipelined
+  FP unit models.
+* ``repro.sim`` / ``repro.memory`` / ``repro.device`` — the simulation
+  kernel, the 3-level memory hierarchy and the XD1 system models.
+* ``repro.perf`` — peak formulas and the chassis / multi-chassis
+  projections.
+* ``repro.host`` — host-side orchestration (status registers, DRAM
+  staging, design flow).
+* ``repro.sparse`` — the SpMXV and Jacobi extensions.
+
+Quick start::
+
+    import numpy as np
+    from repro.blas import gemm
+
+    rng = np.random.default_rng(0)
+    A, B = rng.standard_normal((64, 64)), rng.standard_normal((64, 64))
+    C, report = gemm(A, B, k=8, m=16)
+    assert np.allclose(C, A @ B)
+    print(report.summary())
+"""
+
+__version__ = "1.0.0"
+
+from repro.blas import dot, gemm, gemv
+
+__all__ = ["dot", "gemv", "gemm", "__version__"]

@@ -1,0 +1,130 @@
+"""Prior FPGA matrix-multiply design points (paper Section 2.2).
+
+The paper positions its linear-array design against two earlier
+floating-point MM designs; this module models their resource/latency/
+bandwidth trade-offs so the ablation bench can regenerate the
+comparison:
+
+* :class:`Ipdps04Design` — the authors' own earlier design [30]: for
+  problem size n it achieves effective latency Θ(n²) using Θ(n²) words
+  of on-chip storage (one PE column per matrix column).  Fast, but the
+  storage requirement caps n at what BRAM can hold, and the design
+  must be re-synthesized per problem size.
+* :class:`MacBlockDesign` — Dou et al.'s block design [8]: a single
+  deeply-pipelined MAC (multiplier + accumulator) per PE with block
+  buffering; j PEs deliver 2j flops/cycle like the paper's array, but
+  with a different storage/bandwidth split (their design streams one
+  operand and buffers S words per PE).
+* :class:`LinearArrayDesignPoint` — the paper's design (Section 5.1)
+  expressed in the same vocabulary, for side-by-side tables.
+
+All three expose ``latency_cycles(n)``, ``storage_words(n)``,
+``bandwidth_words_per_cycle(n)`` and ``flops_per_cycle`` so benches can
+sweep n and show where each design wins, which crossovers the paper's
+Θ-claims predict.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """A named (latency, storage, bandwidth) operating point."""
+
+    name: str
+    n: int
+    latency_cycles: float
+    storage_words: float
+    bandwidth_words_per_cycle: float
+    flops_per_cycle: float
+
+    @property
+    def storage_bytes(self) -> float:
+        return self.storage_words * 8
+
+
+class Ipdps04Design:
+    """The authors' IPDPS'04 design [30]: Θ(n²) latency, Θ(n²) storage.
+
+    n PEs, each holding a column of intermediate results: effective
+    latency ≈ n² /  (PEs' ability to consume one column per n cycles),
+    storage ≈ n² words, input bandwidth 2 words/cycle.
+    """
+
+    def __init__(self, pes: int | None = None) -> None:
+        self.pes = pes  # defaults to n at evaluation time
+
+    def point(self, n: int) -> DesignPoint:
+        if n < 1:
+            raise ValueError("n must be positive")
+        pes = self.pes if self.pes is not None else n
+        return DesignPoint(
+            name="IPDPS'04 [30]",
+            n=n,
+            latency_cycles=n * n * max(1, n // pes),
+            storage_words=n * n,
+            bandwidth_words_per_cycle=2.0,
+            flops_per_cycle=2.0 * pes,
+        )
+
+
+class MacBlockDesign:
+    """Dou et al. FPGA'05 block MAC design [8].
+
+    j MAC PEs with per-PE block buffers of S words; block size √S per
+    side.  Latency n³/j cycles (compute-bound like the paper's array);
+    storage j·S words; bandwidth ≈ 2·j/√S words/cycle.
+    """
+
+    def __init__(self, pes: int = 8, buffer_words_per_pe: int = 256) -> None:
+        if pes < 1 or buffer_words_per_pe < 1:
+            raise ValueError("PEs and buffers must be positive")
+        self.pes = pes
+        self.buffer_words_per_pe = buffer_words_per_pe
+
+    def point(self, n: int) -> DesignPoint:
+        if n < 1:
+            raise ValueError("n must be positive")
+        side = math.sqrt(self.buffer_words_per_pe)
+        return DesignPoint(
+            name="MAC block [8]",
+            n=n,
+            latency_cycles=n ** 3 / self.pes,
+            storage_words=self.pes * self.buffer_words_per_pe,
+            bandwidth_words_per_cycle=2.0 * self.pes / side,
+            flops_per_cycle=2.0 * self.pes,
+        )
+
+
+class LinearArrayDesignPoint:
+    """The paper's Section 5.1 design in the same vocabulary."""
+
+    def __init__(self, k: int = 8, m: int = 128) -> None:
+        if k < 1 or m < 1 or m % k:
+            raise ValueError("need m a positive multiple of k")
+        self.k = k
+        self.m = m
+
+    def point(self, n: int) -> DesignPoint:
+        if n < 1:
+            raise ValueError("n must be positive")
+        return DesignPoint(
+            name="linear array (this paper)",
+            n=n,
+            latency_cycles=n ** 3 / self.k,
+            storage_words=2.0 * self.m * self.m,
+            bandwidth_words_per_cycle=3.0 * self.k / self.m,
+            flops_per_cycle=2.0 * self.k,
+        )
+
+
+def compare(n: int, k: int = 8, m: int = 128) -> list:
+    """The three design points at one problem size."""
+    return [
+        LinearArrayDesignPoint(k=k, m=m).point(n),
+        Ipdps04Design().point(n),
+        MacBlockDesign(pes=k, buffer_words_per_pe=2 * m * m // k).point(n),
+    ]

@@ -1,0 +1,164 @@
+"""High-level BLAS API: ``dot``, ``gemv``, ``gemm``.
+
+Each call simulates the corresponding FPGA design and returns the
+numerical result together with a :class:`PerfReport` — cycle count,
+wall-clock estimate at the design's achievable clock, sustained
+MFLOPS, memory bandwidth and area, mirroring the rows of the paper's
+Tables 3 and 4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.blas.level1 import DotProductDesign
+from repro.blas.level2 import ColumnMajorMvmDesign, TreeMvmDesign
+from repro.blas.level3 import MatrixMultiplyDesign
+from repro.device.area import AreaModel, DesignArea
+from repro.device.fpga import XC2VP50
+
+
+@dataclass(frozen=True)
+class PerfReport:
+    """Performance summary of one simulated BLAS call."""
+
+    operation: str
+    n: int
+    k: int
+    total_cycles: int
+    clock_mhz: float
+    flops: int
+    area_slices: int
+    device_utilization: float
+    memory_bandwidth_gbytes: float
+    efficiency: float
+
+    @property
+    def seconds(self) -> float:
+        return self.total_cycles / (self.clock_mhz * 1e6)
+
+    @property
+    def sustained_mflops(self) -> float:
+        return self.flops / self.seconds / 1e6
+
+    @property
+    def sustained_gflops(self) -> float:
+        return self.sustained_mflops / 1000.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.operation}(n={self.n}, k={self.k}): "
+            f"{self.total_cycles} cycles @ {self.clock_mhz:.0f} MHz = "
+            f"{self.seconds * 1e3:.3f} ms, "
+            f"{self.sustained_mflops:.1f} MFLOPS "
+            f"({self.efficiency * 100:.1f}% of peak), "
+            f"{self.memory_bandwidth_gbytes:.2f} GB/s, "
+            f"{self.area_slices} slices "
+            f"({self.device_utilization * 100:.0f}% of device)"
+        )
+
+
+def dot(u: np.ndarray, v: np.ndarray, k: int = 2,
+        clock_mhz: Optional[float] = None,
+        on_xd1: bool = False) -> Tuple[float, PerfReport]:
+    """Dot product on the tree architecture (Table 3: k=2)."""
+    design = DotProductDesign(k=k)
+    run = design.run(u, v)
+    area = AreaModel().dot_product_design(k, on_xd1=on_xd1)
+    clock = clock_mhz if clock_mhz is not None else area.clock_mhz
+    report = PerfReport(
+        operation="dot", n=run.n, k=k,
+        total_cycles=run.total_cycles, clock_mhz=clock,
+        flops=run.flops, area_slices=area.slices,
+        device_utilization=area.utilization,
+        memory_bandwidth_gbytes=run.memory_bandwidth_gbytes(clock),
+        efficiency=run.efficiency,
+    )
+    return run.result, report
+
+
+def gemv(A: np.ndarray, x: np.ndarray, k: int = 4,
+         architecture: str = "tree",
+         clock_mhz: Optional[float] = None,
+         on_xd1: bool = False,
+         block: Optional[int] = None) -> Tuple[np.ndarray, PerfReport]:
+    """Matrix-vector multiply (Table 3/4: k=4, tree architecture).
+
+    ``architecture`` selects "tree" (row-major A) or "column"
+    (column-major A); ``block`` enables block decomposition with the
+    given block size.
+    """
+    if architecture == "tree":
+        design = TreeMvmDesign(k=k)
+    elif architecture == "column":
+        design = ColumnMajorMvmDesign(k=k)
+    else:
+        raise ValueError(f"unknown MVM architecture {architecture!r}")
+    run = design.run_blocked(A, x, block) if block else design.run(A, x)
+    area = AreaModel().mvm_design(k, on_xd1=on_xd1)
+    clock = clock_mhz if clock_mhz is not None else area.clock_mhz
+    report = PerfReport(
+        operation=f"gemv[{architecture}]", n=run.n, k=k,
+        total_cycles=run.total_cycles, clock_mhz=clock,
+        flops=run.flops, area_slices=area.slices,
+        device_utilization=area.utilization,
+        memory_bandwidth_gbytes=run.memory_bandwidth_gbytes(clock),
+        efficiency=run.efficiency,
+    )
+    return run.y, report
+
+
+def gemm(A: np.ndarray, B: np.ndarray, k: int = 8,
+         m: Optional[int] = None,
+         clock_mhz: Optional[float] = None,
+         on_xd1: bool = False,
+         strict: bool = False) -> Tuple[np.ndarray, PerfReport]:
+    """Dense matrix multiply on the linear PE array (Table 4: k=m=8).
+
+    Accepts rectangular operands (the paper notes its designs apply to
+    non-square matrices): shapes are zero-padded to the next square
+    multiple of the block size, and the padding cycles are honestly
+    charged to the report.  ``m`` defaults to the largest block that
+    divides the padded size and is a multiple of k (capped at 128, the
+    paper's on-chip limit).
+    """
+    A = np.asarray(A, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[0]:
+        raise ValueError("gemm needs A (p×q) and B (q×r)")
+    p, q = A.shape
+    r = B.shape[1]
+    size = max(p, q, r)
+    if m is None:
+        m = k
+        while m * 2 <= 128 and m * 2 <= size:
+            m *= 2
+    padded = m * math.ceil(size / m)
+    if (p, q) == (padded, padded) and r == padded:
+        a_pad, b_pad = A, B
+    else:
+        a_pad = np.zeros((padded, padded))
+        b_pad = np.zeros((padded, padded))
+        a_pad[:p, :q] = A
+        b_pad[:q, :r] = B
+    design = MatrixMultiplyDesign(k=k, m=m)
+    run = design.run(a_pad, b_pad, strict=strict)
+    area = AreaModel().mm_design(k, on_xd1=on_xd1)
+    clock = clock_mhz if clock_mhz is not None else area.clock_mhz
+    # Useful flops only; cycles include any padding work, so the
+    # efficiency of a badly-shaped problem honestly degrades.
+    useful_flops = 2 * p * q * r
+    report = PerfReport(
+        operation="gemm", n=size, k=k,
+        total_cycles=run.total_cycles, clock_mhz=clock,
+        flops=useful_flops, area_slices=area.slices,
+        device_utilization=area.utilization,
+        memory_bandwidth_gbytes=run.memory_bandwidth_gbytes(clock),
+        efficiency=useful_flops / (run.total_cycles
+                                   * run.peak_flops_per_cycle),
+    )
+    return run.C[:p, :r], report

@@ -1,0 +1,318 @@
+"""Level 2 BLAS: matrix-vector multiply (Section 4.2).
+
+Two architectures, selected by the storage order of A:
+
+* **Row-major** (:class:`TreeMvmDesign`): n dot products on the tree
+  architecture.  Multiplier p holds elements p, k+p, … of x in local
+  storage; each cycle it reads one element of A and multiplies it with
+  the matching x element.  The adder tree's root stream is fed to the
+  reduction circuit as n sets of n/k values.  Because sets arrive back
+  to back, the reduction flush amortizes and efficiency exceeds 95 %
+  (Table 3).
+* **Column-major** (:class:`ColumnMajorMvmDesign`): k multiplier+adder
+  lanes.  Each cycle the k multipliers multiply k distinct elements of
+  one column of A with the same element of x; adder p accumulates
+  intermediate results of y elements p, k+p, … in its local storage.
+  A given y element is touched every n/k cycles, so the design is
+  hazard-free exactly when n/k covers the adder pipeline depth — the
+  simulator enforces this with an explicit in-flight check.
+
+Both designs support block decomposition when the vector exceeds
+on-chip memory (b-word blocks), with the extra external traffic
+accounted.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.blas.level1 import _tree_fold
+from repro.reduction.single_adder import SingleAdderReduction
+from repro.sim.engine import SimulationError
+
+
+class MvmHazardError(SimulationError):
+    """A y-element was read while its previous update was in flight."""
+
+
+@dataclass
+class MvmRun:
+    """Outcome of one simulated matrix-vector multiply."""
+
+    y: np.ndarray
+    n: int
+    k: int
+    total_cycles: int
+    flops: int
+    words_read: int
+    words_written: int
+    architecture: str
+    blocks: int = 1
+
+    @property
+    def flops_per_cycle(self) -> float:
+        return self.flops / self.total_cycles
+
+    @property
+    def peak_flops_per_cycle(self) -> float:
+        """I/O-bound peak: 2 flops per delivered word of A (Section
+        4.4's ``2·bw``), at k words of A per cycle."""
+        return 2 * self.k
+
+    @property
+    def efficiency(self) -> float:
+        return self.flops_per_cycle / self.peak_flops_per_cycle
+
+    def sustained_mflops(self, clock_mhz: float) -> float:
+        return self.flops_per_cycle * clock_mhz
+
+    def memory_bandwidth_gbytes(self, clock_mhz: float,
+                                word_bytes: int = 8) -> float:
+        total = self.words_read + self.words_written
+        return total * word_bytes * clock_mhz * 1e6 / self.total_cycles / 1e9
+
+
+class TreeMvmDesign:
+    """Row-major MVM: tree architecture + reduction circuit."""
+
+    def __init__(self, k: int = 4, alpha_mul: int = 11, alpha_add: int = 14,
+                 bram_words: Optional[int] = None) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.alpha_mul = alpha_mul
+        self.alpha_add = alpha_add
+        self.tree_levels = max(0, math.ceil(math.log2(k))) if k > 1 else 0
+        self.tree_latency = self.tree_levels * alpha_add
+        self.bram_words = bram_words
+        self.num_multipliers = k
+        self.num_tree_adders = k - 1
+
+    def _check_local_storage(self, nwords: int) -> None:
+        if self.bram_words is not None and nwords > self.bram_words:
+            raise MemoryError(
+                f"vector block of {nwords} words exceeds on-chip storage "
+                f"of {self.bram_words} words; use run_blocked()"
+            )
+
+    def run(self, A: np.ndarray, x: np.ndarray) -> MvmRun:
+        """Simulate y = A·x with x resident in local storage."""
+        A = np.asarray(A, dtype=np.float64)
+        x = np.asarray(x, dtype=np.float64).ravel()
+        nrows, ncols = A.shape
+        if ncols != len(x):
+            raise ValueError("dimension mismatch")
+        self._check_local_storage(len(x))
+        k = self.k
+        groups = math.ceil(ncols / k)
+        if ncols % k:
+            pad = groups * k - ncols
+            A = np.hstack([A, np.zeros((nrows, pad))])
+            x = np.concatenate([x, np.zeros(pad)])
+
+        mult_pipe: Deque[Optional[Tuple[float, bool, int]]] = deque(
+            [None] * self.alpha_mul, maxlen=self.alpha_mul
+        )
+        tree_len = max(1, self.tree_latency)
+        tree_pipe: Deque[Optional[Tuple[float, bool, int]]] = deque(
+            [None] * tree_len, maxlen=tree_len
+        )
+        reduction = SingleAdderReduction(alpha=self.alpha_add)
+
+        cycle = 0
+        total_rows = nrows * groups  # (matrix row, k-group) work items
+        item = 0
+        words_read = 0
+        max_cycles = 4 * total_rows + 100 * self.alpha_add ** 2 + 1000
+        while len(reduction.results) < nrows:
+            cycle += 1
+            if cycle > max_cycles:
+                raise SimulationError("tree MVM failed to complete")
+
+            tree_out = tree_pipe.popleft()
+            if tree_out is not None:
+                value, last, _row = tree_out
+                if not reduction.cycle(value, last):
+                    raise SimulationError(
+                        "reduction circuit stalled the adder tree"
+                    )
+            else:
+                reduction.cycle()
+
+            tree_pipe.append(mult_pipe.popleft())
+
+            if item < total_rows:
+                row, group = divmod(item, groups)
+                base = group * k
+                # k multipliers: A elements from memory, x from local
+                # storage (no external reads for x).
+                products = A[row, base:base + k] * x[base:base + k]
+                words_read += k
+                partial = _tree_fold(list(products)) if k > 1 \
+                    else float(products[0])
+                mult_pipe.append((partial, group == groups - 1, row))
+                item += 1
+            else:
+                mult_pipe.append(None)
+
+        y = np.zeros(nrows)
+        for res in reduction.results:
+            y[res.set_id] = res.value
+        return MvmRun(y=y, n=max(nrows, ncols), k=k, total_cycles=cycle,
+                      flops=2 * nrows * ncols, words_read=words_read,
+                      words_written=nrows, architecture="tree")
+
+    def run_blocked(self, A: np.ndarray, x: np.ndarray,
+                    b: int) -> MvmRun:
+        """Block MVM for x too large for on-chip memory.
+
+        A is partitioned into column blocks of width b; each x block is
+        loaded to local storage and multiplied with its A block.  The
+        partial y vectors are accumulated externally (by the host
+        processor), costing one read + one write of y per block beyond
+        the first — counted in the traffic totals.
+        """
+        A = np.asarray(A, dtype=np.float64)
+        x = np.asarray(x, dtype=np.float64).ravel()
+        nrows, ncols = A.shape
+        if b < 1:
+            raise ValueError("block width must be positive")
+        self._check_local_storage(min(b, ncols))
+        nblocks = math.ceil(ncols / b)
+        y = np.zeros(nrows)
+        cycles = 0
+        words_read = 0
+        words_written = 0
+        for blk in range(nblocks):
+            lo, hi = blk * b, min((blk + 1) * b, ncols)
+            sub = self.run(A[:, lo:hi], x[lo:hi])
+            cycles += sub.total_cycles
+            words_read += sub.words_read + (hi - lo)  # + x block load
+            words_written += nrows
+            if blk > 0:
+                words_read += nrows  # host reads previous partial y
+            y += sub.y
+        return MvmRun(y=y, n=max(nrows, ncols), k=self.k,
+                      total_cycles=cycles, flops=2 * nrows * ncols,
+                      words_read=words_read, words_written=words_written,
+                      architecture="tree-blocked", blocks=nblocks)
+
+
+class ColumnMajorMvmDesign:
+    """Column-major MVM: k multiplier+adder lanes with striped
+    intermediate-y storage."""
+
+    def __init__(self, k: int = 4, alpha_mul: int = 11, alpha_add: int = 14,
+                 bram_words: Optional[int] = None) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.alpha_mul = alpha_mul
+        self.alpha_add = alpha_add
+        self.bram_words = bram_words
+
+    def run(self, A: np.ndarray, x: np.ndarray) -> MvmRun:
+        """Simulate y = A·x reading A in column-major order.
+
+        Raises :class:`MvmHazardError` when n/k is smaller than the
+        adder pipeline depth — the hazard condition of Section 4.2.
+        """
+        A = np.asarray(A, dtype=np.float64)
+        x = np.asarray(x, dtype=np.float64).ravel()
+        nrows, ncols = A.shape
+        if ncols != len(x):
+            raise ValueError("dimension mismatch")
+        if self.bram_words is not None and nrows > self.bram_words:
+            raise MemoryError(
+                f"intermediate y of {nrows} words exceeds on-chip storage; "
+                f"use run_blocked()"
+            )
+        k = self.k
+        groups = math.ceil(nrows / k)
+        padded_rows = groups * k
+        if nrows % k:
+            A = np.vstack([A, np.zeros((padded_rows - nrows, ncols))])
+
+        # y intermediate storage, striped: lane p owns rows p, k+p, …
+        y = np.zeros(padded_rows)
+        # In-flight adder updates: per row slot, the landing cycle.
+        inflight: dict = {}
+        # Pipeline of pending updates: (land_cycle, rows, values)
+        add_pipe: Deque[Tuple[int, np.ndarray, np.ndarray]] = deque()
+
+        cycle = 0
+        words_read = 0
+        total_steps = ncols * groups
+        latency = self.alpha_mul + self.alpha_add
+
+        for step in range(total_steps):
+            cycle += 1
+            # Land updates whose pipelines completed (forwarding: land
+            # before this cycle's issue reads).
+            while add_pipe and add_pipe[0][0] <= cycle:
+                _, rows_idx, vals = add_pipe.popleft()
+                y[rows_idx] = vals
+                for r in rows_idx:
+                    inflight.pop(int(r), None)
+
+            col, group = divmod(step, groups)
+            rows_idx = np.arange(group * k, group * k + k)
+            for r in rows_idx:
+                if int(r) in inflight:
+                    raise MvmHazardError(
+                        f"row {int(r)} updated at cycle {cycle} while its "
+                        f"previous update lands at cycle {inflight[int(r)]}; "
+                        f"n/k = {groups} <= adder depth {self.alpha_add}"
+                    )
+            products = A[rows_idx, col] * x[col]
+            words_read += k  # A elements; x is read once per column
+            if group == 0:
+                words_read += 1  # the x element for this column
+            new_vals = y[rows_idx] + products
+            land = cycle + self.alpha_add
+            add_pipe.append((land, rows_idx, new_vals))
+            for r in rows_idx:
+                inflight[int(r)] = land
+
+        # Drain the pipelines.
+        while add_pipe:
+            land, rows_idx, vals = add_pipe.popleft()
+            cycle = max(cycle, land)
+            y[rows_idx] = vals
+        cycle += self.alpha_mul  # multiplier fill at the start
+
+        return MvmRun(y=y[:nrows], n=max(nrows, ncols), k=k,
+                      total_cycles=cycle, flops=2 * nrows * ncols,
+                      words_read=words_read, words_written=nrows,
+                      architecture="column-major")
+
+    def run_blocked(self, A: np.ndarray, x: np.ndarray, b: int) -> MvmRun:
+        """Block MVM for y too large for on-chip memory: row blocks of
+        height b, each streamed column-major against the full x."""
+        A = np.asarray(A, dtype=np.float64)
+        x = np.asarray(x, dtype=np.float64).ravel()
+        nrows, ncols = A.shape
+        if b < 1:
+            raise ValueError("block height must be positive")
+        nblocks = math.ceil(nrows / b)
+        parts: List[np.ndarray] = []
+        cycles = 0
+        words_read = 0
+        words_written = 0
+        for blk in range(nblocks):
+            lo, hi = blk * b, min((blk + 1) * b, nrows)
+            sub = self.run(A[lo:hi, :], x)
+            parts.append(sub.y)
+            cycles += sub.total_cycles
+            words_read += sub.words_read
+            words_written += sub.words_written
+        return MvmRun(y=np.concatenate(parts), n=max(nrows, ncols),
+                      k=self.k, total_cycles=cycles,
+                      flops=2 * nrows * ncols, words_read=words_read,
+                      words_written=words_written,
+                      architecture="column-major-blocked", blocks=nblocks)

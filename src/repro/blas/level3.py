@@ -1,0 +1,257 @@
+"""Level 3 BLAS: dense matrix multiply on a linear PE array (Section 5.1).
+
+``k`` processing elements (PEs) are connected in a linear array; each
+PE has one FP multiplier, one FP adder, ``2m/k`` B-registers (double
+buffered), and two local stores of ``m²/k`` words (C′ intermediate and
+C final).  The design performs block multiplies of size m×m where
+``m = √(M/2)`` for on-chip memory M:
+
+* For block product A^gz·B^zh, A is read column-major and B row-major.
+* PE_p owns columns p, k+p, … of the C block.
+* Row z of B streams down the array and is captured into B-registers;
+  then each element of column z of A enters the array every m/k cycles
+  and, while resident in a PE, multiplies against the PE's m/k stored
+  B elements (one per cycle), accumulating into C′.
+* Each C′ cell is touched once per z step, i.e. every m²/k cycles, so
+  the accumulation is hazard-free whenever m²/k covers the adder
+  pipeline (checked).
+* Completed C blocks stream left through the C stores, overlapped with
+  the next block's compute.
+
+Claims reproduced by the simulator: effective latency n³/k cycles,
+storage 2m² words, bandwidth 3k/m words/cycle, I/O complexity
+Θ(n³/m) — the Hong-Kung lower bound for internal memory 2m².
+
+The simulator replays the paper's schedule cycle for cycle.  In
+``strict`` mode it executes every MAC at its scheduled cycle with
+per-cell hazard tracking; in fast mode it performs the numerically
+identical per-z accumulation with closed-form cycle accounting
+(cross-validated against strict mode in the test suite).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.engine import SimulationError
+
+
+class MmHazardError(SimulationError):
+    """A C′ cell was updated while its previous update was in flight."""
+
+
+@dataclass
+class MatrixMultiplyRun:
+    """Outcome of one simulated matrix multiply."""
+
+    C: np.ndarray
+    n: int
+    m: int
+    k: int
+    total_cycles: int
+    compute_cycles: int
+    words_read: int
+    words_written: int
+    storage_words: int
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.n ** 3
+
+    @property
+    def flops_per_cycle(self) -> float:
+        return self.flops / self.total_cycles
+
+    @property
+    def peak_flops_per_cycle(self) -> float:
+        """Compute-bound peak: each PE does one multiply + one add per
+        cycle, so 2k flops/cycle (Section 5.3)."""
+        return 2 * self.k
+
+    @property
+    def efficiency(self) -> float:
+        return self.flops_per_cycle / self.peak_flops_per_cycle
+
+    def sustained_gflops(self, clock_mhz: float) -> float:
+        return self.flops_per_cycle * clock_mhz / 1000.0
+
+    @property
+    def io_words(self) -> int:
+        return self.words_read + self.words_written
+
+    def words_per_cycle(self) -> float:
+        return self.io_words / self.total_cycles
+
+    def memory_bandwidth_gbytes(self, clock_mhz: float,
+                                word_bytes: int = 8) -> float:
+        return (self.io_words * word_bytes * clock_mhz * 1e6
+                / self.total_cycles / 1e9)
+
+
+class MatrixMultiplyDesign:
+    """The linear PE array for dense matrix multiply."""
+
+    def __init__(self, k: int = 8, m: int = 128, alpha_mul: int = 11,
+                 alpha_add: int = 14,
+                 bram_words: Optional[int] = None,
+                 relax_hazard_check: bool = False) -> None:
+        """``relax_hazard_check`` waives the m²/k > α requirement.
+
+        Standalone, a C′ cell is touched every m²/k cycles, so the
+        Section 5.1 condition is enforced.  The paper's own XD1
+        configuration (k = m = 8, Section 6.3) violates it (m²/k = 8 <
+        α = 14); inside the hierarchical design this is safe because
+        consecutive m-block MACs on one FPGA target *different* C
+        blocks (distinct h), so same-cell updates are separated by a
+        full block-sweep (≫ α) — the multi-FPGA driver therefore
+        constructs its MM units with the check relaxed.  See
+        EXPERIMENTS.md for the discrepancy note.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if m % k:
+            raise ValueError("m must be a multiple of k")
+        if not relax_hazard_check and m * m // k <= alpha_add:
+            raise MmHazardError(
+                f"m²/k = {m * m // k} must exceed the adder pipeline depth "
+                f"{alpha_add} for hazard-free accumulation (Section 5.1)"
+            )
+        if m * m > m ** 3 // k:
+            # C output (m² words at 1 word/cycle) must hide inside one
+            # block multiply (m³/k cycles): requires k ≤ m.
+            raise ValueError("k must not exceed m (C output cannot overlap)")
+        self.k = k
+        self.m = m
+        self.alpha_mul = alpha_mul
+        self.alpha_add = alpha_add
+        self.relax_hazard_check = relax_hazard_check
+        self.storage_words = 2 * m * m
+        if bram_words is not None and self.storage_words > bram_words:
+            raise MemoryError(
+                f"2m² = {self.storage_words} words exceed on-chip memory "
+                f"of {bram_words} words"
+            )
+
+    # ------------------------------------------------------------------
+    # timing model pieces (validated against strict replay)
+    # ------------------------------------------------------------------
+    def block_compute_cycles(self) -> int:
+        """Effective latency of one m×m block multiply: m³/k."""
+        return self.m ** 3 // self.k
+
+    def startup_cycles(self) -> int:
+        """Stage 1 for the very first block: load B row 0
+        (m · m/k + (k−1) cycles, Section 5.1)."""
+        return self.m * (self.m // self.k) + (self.k - 1)
+
+    def drain_cycles(self) -> int:
+        """Tail after the last MAC issue: pipelines drain and the last
+        C elements traverse the array to PE_0."""
+        return (self.alpha_mul + self.alpha_add
+                + (self.m * self.m // self.k) * (self.k - 1))
+
+    def required_words_per_cycle(self) -> float:
+        """Bandwidth claim of Section 5.1: 3k/m words per cycle
+        (two inputs every m/k cycles + m² outputs every m³/k cycles)."""
+        return 3 * self.k / self.m
+
+    # ------------------------------------------------------------------
+    def run(self, A: np.ndarray, B: np.ndarray,
+            strict: bool = False) -> MatrixMultiplyRun:
+        """Simulate C = A·B for n×n matrices (n a multiple of m)."""
+        A = np.asarray(A, dtype=np.float64)
+        B = np.asarray(B, dtype=np.float64)
+        if A.ndim != 2 or A.shape != B.shape or A.shape[0] != A.shape[1]:
+            raise ValueError("A and B must be equal square matrices")
+        n = A.shape[0]
+        m, k = self.m, self.k
+        if n % m:
+            raise ValueError(f"n = {n} must be a multiple of m = {m}")
+        nb = n // m
+
+        C = np.zeros((n, n))
+        words_read = 0
+        words_written = 0
+        compute_cycles = 0
+
+        for g in range(nb):
+            for h in range(nb):
+                c_block = np.zeros((m, m))
+                for z in range(nb):
+                    a_blk = A[g * m:(g + 1) * m, z * m:(z + 1) * m]
+                    b_blk = B[z * m:(z + 1) * m, h * m:(h + 1) * m]
+                    if strict:
+                        cycles = self._block_multiply_strict(
+                            a_blk, b_blk, c_block)
+                    else:
+                        cycles = self._block_multiply_fast(
+                            a_blk, b_blk, c_block)
+                    compute_cycles += cycles
+                    words_read += 2 * m * m
+                C[g * m:(g + 1) * m, h * m:(h + 1) * m] = c_block
+                words_written += m * m
+
+        total = (self.startup_cycles() + compute_cycles
+                 + self.drain_cycles() + m * m)  # final C block output
+        return MatrixMultiplyRun(
+            C=C, n=n, m=m, k=k,
+            total_cycles=total,
+            compute_cycles=compute_cycles,
+            words_read=words_read,
+            words_written=words_written,
+            storage_words=self.storage_words,
+        )
+
+    # ------------------------------------------------------------------
+    def _block_multiply_fast(self, a_blk: np.ndarray, b_blk: np.ndarray,
+                             c_block: np.ndarray) -> int:
+        """Per-z-step accumulation — numerically identical to the PE
+        schedule (each C′ cell accumulates its z contributions in
+        order) with closed-form cycle count m³/k."""
+        m = self.m
+        for z in range(m):
+            c_block += np.outer(a_blk[:, z], b_blk[z, :])
+        return m ** 3 // self.k
+
+    def _block_multiply_strict(self, a_blk: np.ndarray, b_blk: np.ndarray,
+                               c_block: np.ndarray) -> int:
+        """Cycle-by-cycle replay of the PE schedule with hazard checks.
+
+        Element e = z·m + i of A (column-major order) enters PE_0 at
+        cycle e·(m/k); PE_p processes element e−p; in sub-cycle ``sub``
+        of an element's residence, PE_p multiplies it with its stored
+        B element of column sub·k + p and accumulates into C′.
+        """
+        m, k = self.m, self.k
+        sub_cycles = m // k
+        last_issue: Dict[Tuple[int, int], int] = {}
+        cycle = 0
+        total_elements = m * m
+        for e in range(total_elements + k - 1):
+            for sub in range(sub_cycles):
+                cycle += 1
+                for p in range(k):
+                    ep = e - p
+                    if not 0 <= ep < total_elements:
+                        continue  # startup/drain skew bubbles
+                    z, i = divmod(ep, m)
+                    j = sub * k + p
+                    cell = (i, j)
+                    prev = last_issue.get(cell)
+                    if (not self.relax_hazard_check and prev is not None
+                            and cycle - prev < self.alpha_add):
+                        raise MmHazardError(
+                            f"C'[{i},{j}] updated at cycles {prev} and "
+                            f"{cycle}, closer than the adder depth "
+                            f"{self.alpha_add}"
+                        )
+                    last_issue[cell] = cycle
+                    c_block[i, j] += a_blk[i, z] * b_blk[z, j]
+        # The replay includes the (k−1)-element drain skew; the paper's
+        # effective latency m³/k counts steady-state throughput.  Return
+        # the replayed cycles for exactness.
+        return cycle

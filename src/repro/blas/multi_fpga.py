@@ -1,0 +1,210 @@
+"""Matrix multiply on multiple FPGAs (Section 5.2, Figure 8).
+
+The single-node linear PE array generalizes one level up: ``l`` FPGAs
+form a linear array in which every *element* of the Section 5.1 design
+becomes an m×m *block*:
+
+* Matrices are partitioned into b×b blocks (2b² words of SRAM across
+  the array), each further split into m×m blocks for the on-chip MM
+  unit.
+* FPGA_0 reads A and B from the DRAM of its node's processor; blocks
+  stream down the array; completed C blocks stream back left and are
+  written to the same DRAM.
+* FPGA_f stores the B m-block-columns h ≡ f (mod l) of the current
+  B^qj in on-chip memory (double-buffered, 2bm/l words — the paper
+  prints this as "2b/l" eliding the block height m), and accumulates
+  the matching C′ m-blocks of C^ij in its SRAM (b²/l words of C′ and
+  b²/l of C storage).
+* Each FPGA's MM unit multiplies passing A blocks against its stored
+  B blocks; an extra FP adder folds the MM result into the SRAM-held
+  C′ intermediate.
+
+Reproduced claims: effective latency n³/(k·l) cycles; DRAM I/O
+Θ(n³/b) (the I/O lower bound for internal memory 2b²); DRAM and
+inter-FPGA bandwidth 3kl/b words/cycle; per-FPGA SRAM bandwidth
+2k/m + 2k/b words/cycle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.blas.level3 import MatrixMultiplyDesign
+from repro.sim.engine import SimulationError
+
+
+@dataclass
+class MultiFpgaRun:
+    """Outcome of one simulated multi-FPGA matrix multiply."""
+
+    C: np.ndarray
+    n: int
+    b: int
+    m: int
+    k: int
+    l: int
+    total_cycles: int
+    compute_cycles: int
+    dram_words: int
+    link_words: int
+    sram_words_per_fpga: int
+    #: per-FPGA count of m-block MACs executed (load balance evidence)
+    fpga_block_macs: List[int] = None
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.n ** 3
+
+    @property
+    def flops_per_cycle(self) -> float:
+        return self.flops / self.total_cycles
+
+    @property
+    def peak_flops_per_cycle(self) -> float:
+        """2 flops per PE per cycle across k·l PEs."""
+        return 2 * self.k * self.l
+
+    @property
+    def efficiency(self) -> float:
+        return self.flops_per_cycle / self.peak_flops_per_cycle
+
+    def sustained_gflops(self, clock_mhz: float) -> float:
+        return self.flops_per_cycle * clock_mhz / 1000.0
+
+    def dram_bandwidth_mbytes(self, clock_mhz: float,
+                              word_bytes: int = 8) -> float:
+        return (self.dram_words * word_bytes * clock_mhz * 1e6
+                / self.total_cycles / 1e6)
+
+
+class MultiFpgaMatrixMultiply:
+    """The hierarchical matrix multiply across a linear FPGA array."""
+
+    def __init__(self, l: int = 6, k: int = 8, m: int = 8, b: int = 512,
+                 alpha_mul: int = 11, alpha_add: int = 14,
+                 sram_words_per_fpga: Optional[int] = None) -> None:
+        if l < 1:
+            raise ValueError("need at least one FPGA")
+        if b % m:
+            raise ValueError("b must be a multiple of m")
+        if l > b // m:
+            raise ValueError(
+                "more FPGAs than B block-columns: some would be idle")
+        self.l = l
+        self.k = k
+        self.m = m
+        self.b = b
+        self.alpha_mul = alpha_mul
+        self.alpha_add = alpha_add
+        # Hazard check relaxed: on one FPGA, consecutive m-block MACs
+        # target different C blocks (distinct h), so same-cell C′
+        # updates are a full block-sweep apart (see level3 docstring).
+        self.mm = MatrixMultiplyDesign(k=k, m=m, alpha_mul=alpha_mul,
+                                       alpha_add=alpha_add,
+                                       relax_hazard_check=True)
+        # C′ and C storage per FPGA, in SRAM (Section 5.2).
+        self.sram_words_needed = 2 * b * b // l
+        if (sram_words_per_fpga is not None
+                and self.sram_words_needed > sram_words_per_fpga):
+            raise MemoryError(
+                f"C'/C storage of {self.sram_words_needed} words exceeds "
+                f"the {sram_words_per_fpga}-word SRAM of one FPGA"
+            )
+
+    # -- analytical requirements (Section 6.4) --------------------------
+    def block_mac_cycles(self) -> int:
+        """One m-block MAC on one FPGA's MM unit: m³/k cycles."""
+        return self.m ** 3 // self.k
+
+    def dram_words_per_cycle(self) -> float:
+        """DRAM (and per-link) requirement: 3 m-blocks every
+        m²b/(k·l) cycles = 3kl/b words/cycle."""
+        return 3.0 * self.k * self.l / self.b
+
+    def sram_words_per_cycle(self) -> float:
+        """Per-FPGA SRAM requirement: C′ read+write (2k/m) plus C
+        storage block swaps (2k/b)."""
+        return 2.0 * self.k / self.m + 2.0 * self.k / self.b
+
+    def array_latency_cycles(self) -> int:
+        """Extra latency from elements traversing all PEs: k·l cycles
+        (Section 6.4.1: 48 for one chassis, 576 for 12 chassis)."""
+        return self.k * self.l
+
+    def effective_cycles(self, n: int) -> int:
+        """Effective latency for n×n: n³/(k·l) cycles (Section 5.2)."""
+        return n ** 3 // (self.k * self.l)
+
+    # -------------------------------------------------------------------
+    def run(self, A: np.ndarray, B: np.ndarray) -> MultiFpgaRun:
+        """Simulate C = A·B on the FPGA array (n a multiple of b)."""
+        A = np.asarray(A, dtype=np.float64)
+        B = np.asarray(B, dtype=np.float64)
+        if A.ndim != 2 or A.shape != B.shape or A.shape[0] != A.shape[1]:
+            raise ValueError("A and B must be equal square matrices")
+        n = A.shape[0]
+        b, m, k, l = self.b, self.m, self.k, self.l
+        if n % b:
+            raise ValueError(f"n = {n} must be a multiple of b = {b}")
+        nb = n // b      # b-blocks per dimension
+        bm = b // m      # m-blocks per b-block dimension
+
+        C = np.zeros((n, n))
+        dram_words = 0
+        link_words = 0
+        fpga_block_macs = [0] * l
+        block_cycles = self.block_mac_cycles()
+
+        for i in range(nb):
+            for j in range(nb):
+                # C^ij intermediate lives in SRAM, striped over FPGAs.
+                c_big = np.zeros((b, b))
+                for q in range(nb):
+                    a_big = A[i * b:(i + 1) * b, q * b:(q + 1) * b]
+                    b_big = B[q * b:(q + 1) * b, j * b:(j + 1) * b]
+                    # A^iq column-major by m-blocks, B^qj row-major:
+                    # FPGA_f owns m-block-columns h ≡ f (mod l).
+                    for z in range(bm):
+                        b_row = b_big[z * m:(z + 1) * m, :]
+                        for g in range(bm):
+                            a_blk = a_big[g * m:(g + 1) * m,
+                                          z * m:(z + 1) * m]
+                            for h in range(bm):
+                                f = h % l
+                                b_blk = b_row[:, h * m:(h + 1) * m]
+                                # The MM unit's per-z accumulation,
+                                # folded into SRAM C′ by the extra adder.
+                                c_big[g * m:(g + 1) * m,
+                                      h * m:(h + 1) * m] += a_blk @ b_blk
+                                fpga_block_macs[f] += 1
+                    # DRAM side: FPGA_0 reads both b-blocks once.
+                    dram_words += 2 * b * b
+                    # Every word of A and B traverses the whole array.
+                    link_words += 2 * b * b * (l - 1)
+                C[i * b:(i + 1) * b, j * b:(j + 1) * b] = c_big
+                dram_words += b * b          # C written back
+                link_words += b * b * (l - 1)  # C marches left
+
+        total_block_macs = sum(fpga_block_macs)
+        # FPGAs run concurrently: each executes its share back to back.
+        compute_cycles = max(fpga_block_macs) * block_cycles
+        total = (compute_cycles
+                 + self.array_latency_cycles()
+                 + self.mm.startup_cycles()
+                 + self.mm.drain_cycles()
+                 + m * m)
+        if total_block_macs != (n // m) ** 3:
+            raise SimulationError("block MAC count mismatch")
+        return MultiFpgaRun(
+            C=C, n=n, b=b, m=m, k=k, l=l,
+            total_cycles=total,
+            compute_cycles=compute_cycles,
+            dram_words=dram_words,
+            link_words=link_words,
+            sram_words_per_fpga=self.sram_words_needed,
+            fpga_block_macs=fpga_block_macs,
+        )

@@ -1,0 +1,305 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Device, memory and system catalog (Tables 1-2, Section 3).
+``dot`` / ``gemv`` / ``gemm``
+    Run one simulated BLAS operation on random operands and print its
+    performance report.
+``reduce``
+    Reduction-circuit shoot-out on a chosen workload shape.
+``project``
+    The chassis / multi-chassis projections (Figures 11-12,
+    Section 6.4).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.device.fpga import XC2VP50, XC2VP100
+    from repro.fparith.units import (
+        FP_ADDER_64,
+        FP_MULTIPLIER_64,
+        REDUCTION_CIRCUIT_SPEC,
+    )
+    from repro.memory.model import CRAY_XD1_MEMORY, SRC_MAPSTATION_MEMORY
+    from repro.perf.peak import device_peak_gflops
+
+    print("Devices:")
+    for device in (XC2VP50, XC2VP100):
+        print(f"  {device.name}: {device.slices} slices, "
+              f"{device.bram_bits / 1e6:.1f} Mb BRAM, "
+              f"{device.io_pins} I/O pins "
+              f"(peak {device_peak_gflops(device):.2f} GFLOPS with the "
+              "paper's FP units)")
+    print("\nFP units (Table 2):")
+    for unit in (FP_ADDER_64, FP_MULTIPLIER_64, REDUCTION_CIRCUIT_SPEC):
+        print(f"  {unit.name}: {unit.pipeline_stages} stages, "
+              f"{unit.area_slices} slices, {unit.clock_mhz:.0f} MHz")
+    print("\nMemory hierarchies (Table 1):")
+    for hierarchy in (SRC_MAPSTATION_MEMORY, CRAY_XD1_MEMORY):
+        print(f"  {hierarchy.name}:")
+        for level, spec in sorted(hierarchy.levels.items(),
+                                  key=lambda kv: kv[0].value):
+            print(f"    level {level.value}: "
+                  f"{spec.size_bytes / 1024:.0f} KB, "
+                  f"{spec.bandwidth_gbytes:.1f} GB/s, "
+                  f"{spec.banks} bank(s)")
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    from repro.blas import dot
+
+    rng = np.random.default_rng(args.seed)
+    u = rng.standard_normal(args.n)
+    v = rng.standard_normal(args.n)
+    result, report = dot(u, v, k=args.k)
+    error = abs(result - float(np.dot(u, v)))
+    print(report.summary())
+    print(f"|simulated - numpy| = {error:.3e}")
+    return 0
+
+
+def _cmd_gemv(args: argparse.Namespace) -> int:
+    from repro.blas import gemv
+
+    rng = np.random.default_rng(args.seed)
+    A = rng.standard_normal((args.n, args.n))
+    x = rng.standard_normal(args.n)
+    y, report = gemv(A, x, k=args.k, architecture=args.architecture)
+    error = float(np.max(np.abs(y - A @ x)))
+    print(report.summary())
+    print(f"max |simulated - numpy| = {error:.3e}")
+    return 0
+
+
+def _cmd_gemm(args: argparse.Namespace) -> int:
+    from repro.blas import gemm
+
+    rng = np.random.default_rng(args.seed)
+    A = rng.standard_normal((args.n, args.n))
+    B = rng.standard_normal((args.n, args.n))
+    C, report = gemm(A, B, k=args.k, m=args.m)
+    error = float(np.max(np.abs(C - A @ B)))
+    print(report.summary())
+    print(f"max |simulated - numpy| = {error:.3e}")
+    return 0
+
+
+def _cmd_reduce(args: argparse.Namespace) -> int:
+    import math
+
+    from repro.reduction.analysis import latency_bound, run_reduction
+    from repro.reduction.baselines import (
+        DualAdderReduction,
+        NiHwangReduction,
+        StallingReduction,
+    )
+    from repro.reduction.single_adder import SingleAdderReduction
+    from repro.workloads import adversarial_stream, mvm_stream
+
+    rng = np.random.default_rng(args.seed)
+    if args.workload == "mvm":
+        sets = mvm_stream(48, 4 * args.alpha, rng)
+    else:
+        sets = adversarial_stream(args.alpha, rng)
+    sizes = [len(s) for s in sets]
+    methods = {
+        "paper (1 adder, 2α² buffer)": SingleAdderReduction(args.alpha),
+        "stalling baseline": StallingReduction(args.alpha),
+        "Ni-Hwang [21]": NiHwangReduction(args.alpha),
+        "dual adder [19]": DualAdderReduction(args.alpha),
+    }
+    print(f"workload: {len(sets)} sets, {sum(sizes)} values, "
+          f"α = {args.alpha}, bound Σs+2α² = "
+          f"{latency_bound(sizes, args.alpha)}")
+    print(f"{'method':<30} {'adders':>6} {'buffer':>7} {'cycles':>8} "
+          f"{'stalls':>7}")
+    for name, circuit in methods.items():
+        run = run_reduction(circuit, sets)
+        for got, s in zip(run.results_by_set(), sets):
+            want = math.fsum(s)
+            assert abs(got - want) <= 1e-9 * max(1.0, abs(want))
+        print(f"{name:<30} {circuit.num_adders:>6} "
+              f"{circuit.buffer_words:>7} {run.total_cycles:>8} "
+              f"{run.stall_cycles:>7}")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.reproduce import run_reproduction
+
+    report, all_ok = run_reproduction(full=args.full, seed=args.seed)
+    print(report)
+    return 0 if all_ok else 1
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.device.fpga import XC2VP50, XC2VP100
+    from repro.perf.explorer import (
+        ExplorerBudget,
+        enumerate_configurations,
+        pareto_frontier,
+    )
+
+    device = XC2VP100 if args.device == "xc2vp100" else XC2VP50
+    budget = ExplorerBudget(device=device)
+    configs = enumerate_configurations(budget, l=args.fpgas)
+    frontier = pareto_frontier(configs)
+    print(f"{len(configs)} feasible MM configurations on {device.name} "
+          f"(l = {args.fpgas}); Pareto frontier:")
+    print(f"{'k':>3} {'m':>4} {'b':>5} {'MHz':>5} {'slices':>7} "
+          f"{'GFLOPS':>7}")
+    for config in frontier[:args.top]:
+        print(f"{config.k:>3} {config.m:>4} {config.b:>5} "
+              f"{config.clock_mhz:>5.0f} {config.slices:>7} "
+              f"{config.gflops:>7.2f}")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.solvers import BlockedLu, ConjugateGradientSolver
+    from repro.workloads import poisson_2d
+
+    rng = np.random.default_rng(args.seed)
+    if args.method == "cg":
+        matrix = poisson_2d(args.grid)
+        b = np.ones(matrix.nrows)
+        solver = ConjugateGradientSolver(
+            preconditioner="jacobi" if args.jacobi else None)
+        result = solver.solve(matrix, b)
+        residual = float(np.linalg.norm(matrix.matvec(result.x) - b))
+        print(f"CG on {args.grid}x{args.grid} Poisson "
+              f"(n = {matrix.nrows}): converged={result.converged} in "
+              f"{result.iterations} iterations, residual {residual:.2e}")
+        print(f"FPGA cycles: {result.fpga_cycles}")
+    else:
+        n = args.n
+        A = rng.standard_normal((n, n)) + n * np.eye(n)
+        b = rng.standard_normal(n)
+        lu = BlockedLu(block=min(16, n), k=4, m=8)
+        x = lu.solve(A, b)
+        result = lu.factor(A)
+        print(f"LU on a dense {n}x{n} system: residual "
+              f"{float(np.linalg.norm(A @ x - b)):.2e}")
+        print(f"FPGA flop share: {100 * result.fpga_fraction:.1f}% "
+              f"({result.fpga_cycles} cycles)")
+    return 0
+
+
+def _cmd_project(args: argparse.Namespace) -> int:
+    from repro.device.fpga import XC2VP50, XC2VP100
+    from repro.perf.projection import (
+        project_chassis,
+        project_multi_chassis,
+    )
+
+    device = XC2VP100 if args.device == "xc2vp100" else XC2VP50
+    p = project_chassis(args.pe_slices, args.pe_clock, device=device)
+    print(f"one chassis, {device.name}, PE {args.pe_slices} slices @ "
+          f"{args.pe_clock:.0f} MHz:")
+    print(f"  {p.pes_per_fpga} PEs/FPGA -> {p.gflops:.1f} GFLOPS")
+    print(f"  needs {p.dram_mbytes_per_s:.1f} MB/s DRAM "
+          f"(feasible: {p.dram_feasible}), "
+          f"{p.sram_gbytes_per_s:.2f} GB/s SRAM "
+          f"(feasible: {p.sram_feasible})")
+    mc = project_multi_chassis(args.chassis)
+    print(f"{args.chassis} chassis of the measured design: "
+          f"{mc.gflops:.1f} GFLOPS, {mc.dram_mbytes_per_s:.1f} MB/s "
+          f"DRAM, +{mc.added_latency_cycles} cycles array latency "
+          f"(feasible: {mc.feasible})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FPGA BLAS library simulation "
+                    "(Zhuo & Prasanna, SC 2005 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="device/memory/unit catalog")
+
+    p_dot = sub.add_parser("dot", help="simulate a dot product")
+    p_dot.add_argument("-n", type=int, default=2048)
+    p_dot.add_argument("-k", type=int, default=2)
+    p_dot.add_argument("--seed", type=int, default=0)
+
+    p_gemv = sub.add_parser("gemv", help="simulate matrix-vector multiply")
+    p_gemv.add_argument("-n", type=int, default=512)
+    p_gemv.add_argument("-k", type=int, default=4)
+    p_gemv.add_argument("--architecture", choices=("tree", "column"),
+                        default="tree")
+    p_gemv.add_argument("--seed", type=int, default=0)
+
+    p_gemm = sub.add_parser("gemm", help="simulate matrix multiply")
+    p_gemm.add_argument("-n", type=int, default=128)
+    p_gemm.add_argument("-k", type=int, default=8)
+    p_gemm.add_argument("-m", type=int, default=None)
+    p_gemm.add_argument("--seed", type=int, default=0)
+
+    p_red = sub.add_parser("reduce", help="reduction circuit shoot-out")
+    p_red.add_argument("--alpha", type=int, default=14)
+    p_red.add_argument("--workload", choices=("mvm", "adversarial"),
+                       default="adversarial")
+    p_red.add_argument("--seed", type=int, default=0)
+
+    p_proj = sub.add_parser("project", help="chassis projections")
+    p_proj.add_argument("--pe-slices", type=int, default=1600)
+    p_proj.add_argument("--pe-clock", type=float, default=200.0)
+    p_proj.add_argument("--device", choices=("xc2vp50", "xc2vp100"),
+                        default="xc2vp50")
+    p_proj.add_argument("--chassis", type=int, default=12)
+
+    p_explore = sub.add_parser("explore",
+                               help="MM design-space exploration")
+    p_explore.add_argument("--device", choices=("xc2vp50", "xc2vp100"),
+                           default="xc2vp50")
+    p_explore.add_argument("--fpgas", type=int, default=1)
+    p_explore.add_argument("--top", type=int, default=10)
+
+    p_solve = sub.add_parser("solve", help="run a linear solver")
+    p_solve.add_argument("method", choices=("cg", "lu"))
+    p_solve.add_argument("--grid", type=int, default=12)
+    p_solve.add_argument("-n", type=int, default=48)
+    p_solve.add_argument("--jacobi", action="store_true")
+    p_solve.add_argument("--seed", type=int, default=0)
+
+    p_repro = sub.add_parser(
+        "reproduce", help="regenerate every paper table/figure")
+    p_repro.add_argument("--full", action="store_true",
+                         help="paper-size problems (slower)")
+    p_repro.add_argument("--seed", type=int, default=20050512)
+    return parser
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "dot": _cmd_dot,
+    "gemv": _cmd_gemv,
+    "gemm": _cmd_gemm,
+    "reduce": _cmd_reduce,
+    "project": _cmd_project,
+    "explore": _cmd_explore,
+    "solve": _cmd_solve,
+    "reproduce": _cmd_reproduce,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

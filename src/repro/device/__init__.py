@@ -1,0 +1,35 @@
+"""FPGA device and reconfigurable-system models (paper Section 3).
+
+Provides the Virtex-II Pro device catalog (:mod:`repro.device.fpga`),
+the calibrated area/clock model that stands in for Xilinx ISE place &
+route (:mod:`repro.device.area`), and the structural models of a
+compute node, an XD1 chassis and a multi-chassis installation
+(:mod:`repro.device.node`, :mod:`repro.device.system`).
+"""
+
+from repro.device.fpga import FpgaDevice, XC2VP50, XC2VP100
+from repro.device.area import (
+    AreaModel,
+    DesignArea,
+    XD1_INFRASTRUCTURE,
+    mm_clock_mhz,
+    max_mm_pes,
+)
+from repro.device.node import ComputeNode, make_xd1_node
+from repro.device.system import Chassis, ReconfigurableSystem, make_xd1_system
+
+__all__ = [
+    "FpgaDevice",
+    "XC2VP50",
+    "XC2VP100",
+    "AreaModel",
+    "DesignArea",
+    "XD1_INFRASTRUCTURE",
+    "mm_clock_mhz",
+    "max_mm_pes",
+    "ComputeNode",
+    "make_xd1_node",
+    "Chassis",
+    "ReconfigurableSystem",
+    "make_xd1_system",
+]

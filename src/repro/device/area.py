@@ -1,0 +1,188 @@
+"""Area and clock model — the stand-in for Xilinx ISE place & route.
+
+The paper's area and clock numbers come from post-P&R reports; we have
+no silicon or vendor tools, so this module provides a model calibrated
+against every number the paper publishes:
+
+* **Component areas** come from Table 2 (adder 892, multiplier 835,
+  reduction circuit 1658 slices).
+* **Per-multiplier control overhead** is calibrated from Table 3:
+  the Level-1 design (k=2) occupies 5210 slices of which 4220 are FP
+  units and the reduction circuit, and the Level-2 design (k=4)
+  occupies 9669 of which 7674 are units — both residuals are ≈ 497·k
+  slices, so control is modelled as ``CONTROL_SLICES_PER_LANE · k``.
+* **XD1 infrastructure** (RT core, SRAM memory controllers, status
+  registers; Figure 10) is calibrated from Table 4: 13772 − 9669 = 4103
+  slices around the Level-2 design, and 21029 − (8·2158 + 892) = 2873
+  slices around the Level-3 design (which shares SRAM controllers with
+  its C′/C storage datapath).  Section 6.2 quotes "approximately 3000".
+* **Matrix-multiply PE**: 2158 slices, 155 MHz standalone; clock
+  degrades with k due to routing congestion, reaching 125 MHz at the
+  10-PE maximum (Figure 9) — modelled linearly.  With XD1
+  infrastructure the k=8 design closes timing at 130 MHz (Table 4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.device.fpga import FpgaDevice, XC2VP50
+from repro.fparith.units import (
+    FP_ADDER_64,
+    FP_MULTIPLIER_64,
+    REDUCTION_CIRCUIT_SPEC,
+)
+
+#: Calibrated control-logic slices per multiplier lane (Table 3 residual).
+CONTROL_SLICES_PER_LANE = 497
+
+#: One matrix-multiply processing element (Section 5.3).
+MM_PE_SLICES = 2158
+MM_PE_CLOCK_MHZ = 155.0
+MM_PE_MIN_CLOCK_MHZ = 125.0
+MM_MAX_PES_STANDALONE = 10
+
+#: Fraction of device slices usable by logic once routing congestion is
+#: accounted for (calibrated: 0.92·23616/2158 → 10 PEs standalone,
+#: matching Section 5.3's "at most 10 PEs").
+USABLE_SLICE_FRACTION = 0.92
+
+#: Figure 11/12 projection: performance deduction for routing-driven
+#: clock degradation ("25% of the performance is deducted").
+PROJECTION_ROUTING_DERATE = 0.25
+
+
+@dataclass(frozen=True)
+class XD1Infrastructure:
+    """Slice overheads of the XD1 shell around a user design (Fig 10)."""
+
+    rt_core_slices: int = 1400
+    sram_core_slices: int = 500
+    sram_banks: int = 4
+    status_slices: int = 703
+
+    @property
+    def total_slices(self) -> int:
+        return (self.rt_core_slices
+                + self.sram_core_slices * self.sram_banks
+                + self.status_slices)
+
+
+#: Default XD1 shell (totals 4103 slices, the Table 4 Level-2 residual).
+XD1_INFRASTRUCTURE = XD1Infrastructure()
+
+#: Residual shell slices around the Level-3 design (Table 4): the MM
+#: datapath shares the SRAM controllers, so its shell is leaner.
+XD1_INFRASTRUCTURE_MM_SLICES = 2873
+
+
+@dataclass(frozen=True)
+class DesignArea:
+    """Area/clock summary of a placed design."""
+
+    name: str
+    slices: int
+    clock_mhz: float
+    device: FpgaDevice = XC2VP50
+
+    @property
+    def utilization(self) -> float:
+        return self.device.utilization(self.slices)
+
+    @property
+    def fits(self) -> bool:
+        return self.device.fits(self.slices)
+
+
+class AreaModel:
+    """Computes design areas from the calibrated component model."""
+
+    def __init__(self, device: FpgaDevice = XC2VP50) -> None:
+        self.device = device
+
+    # -- Level 1 / Level 2 tree designs ---------------------------------
+    def dot_product_design(self, k: int, on_xd1: bool = False) -> DesignArea:
+        """Tree architecture for dot product: k multipliers, k−1 adders,
+        one reduction circuit, control (Section 4.1)."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        slices = (k * FP_MULTIPLIER_64.area_slices
+                  + (k - 1) * FP_ADDER_64.area_slices
+                  + REDUCTION_CIRCUIT_SPEC.area_slices
+                  + CONTROL_SLICES_PER_LANE * k)
+        clock = FP_ADDER_64.clock_mhz
+        if on_xd1:
+            slices += XD1_INFRASTRUCTURE.total_slices
+            clock = self.xd1_clock_derate(clock)
+        return DesignArea(f"dot_product(k={k})", slices, clock, self.device)
+
+    def mvm_design(self, k: int, on_xd1: bool = False) -> DesignArea:
+        """Tree architecture for matrix-vector multiply (same structure
+        as dot product; x striped over per-multiplier local storage)."""
+        area = self.dot_product_design(k, on_xd1)
+        return DesignArea(f"mvm(k={k})", area.slices, area.clock_mhz,
+                          self.device)
+
+    @staticmethod
+    def xd1_clock_derate(clock_mhz: float) -> float:
+        """Clock penalty from the RT core and memory controllers.
+
+        Table 4: the Level-2 design drops from 170 to 164 MHz when the
+        XD1 shell is added — a 3.5 % derate.
+        """
+        return clock_mhz * (164.0 / 170.0)
+
+    # -- Level 3 matrix multiply -----------------------------------------
+    def mm_design(self, k: int, on_xd1: bool = False) -> DesignArea:
+        """Linear PE array for matrix multiply (Section 5.1/5.3)."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        max_pes = max_mm_pes(self.device, on_xd1)
+        if k > max_pes:
+            raise ValueError(
+                f"{k} PEs exceed the maximum {max_pes} configurable on "
+                f"{self.device.name}{' with the XD1 shell' if on_xd1 else ''}"
+            )
+        slices = MM_PE_SLICES * k
+        clock = mm_clock_mhz(k)
+        if on_xd1:
+            # The hierarchical design adds one accumulating FP adder
+            # outside the PE array (Figure 8) plus the XD1 shell.
+            slices += FP_ADDER_64.area_slices + XD1_INFRASTRUCTURE_MM_SLICES
+            clock = min(clock, 130.0)
+        return DesignArea(f"matrix_multiply(k={k})", slices, clock, self.device)
+
+
+def mm_clock_mhz(k: int) -> float:
+    """Achievable clock of the k-PE matrix multiply array (Figure 9).
+
+    Routing congestion degrades the clock roughly linearly from 155 MHz
+    (one PE) to 125 MHz (ten PEs).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    slope = (MM_PE_CLOCK_MHZ - MM_PE_MIN_CLOCK_MHZ) / (MM_MAX_PES_STANDALONE - 1)
+    return max(MM_PE_MIN_CLOCK_MHZ, MM_PE_CLOCK_MHZ - slope * (k - 1))
+
+
+def max_mm_pes(device: FpgaDevice = XC2VP50, on_xd1: bool = False,
+               pe_slices: int = MM_PE_SLICES) -> int:
+    """Maximum number of MM PEs configurable on a device.
+
+    Standalone, routing limits usable slices to USABLE_SLICE_FRACTION of
+    the device (10 PEs on the XC2VP50, Section 5.3); the XD1 shell and
+    the hierarchical design's extra adder reduce this to 8 (Table 4).
+    """
+    usable = device.slices * USABLE_SLICE_FRACTION
+    if on_xd1:
+        usable -= XD1_INFRASTRUCTURE_MM_SLICES + FP_ADDER_64.area_slices
+    return max(0, math.floor(usable / pe_slices))
+
+
+def projected_pes(device: FpgaDevice, pe_slices: int) -> int:
+    """PE count used by the Figure 11/12 projections (whole device)."""
+    if pe_slices <= 0:
+        raise ValueError("PE area must be positive")
+    return math.floor(device.slices / pe_slices)

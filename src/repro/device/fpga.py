@@ -1,0 +1,54 @@
+"""FPGA device catalog.
+
+Resources of the Xilinx Virtex-II Pro parts the paper discusses:
+
+==========  =======  ============  ========
+device      slices   on-chip mem   I/O pins
+==========  =======  ============  ========
+XC2VP50     23616    ~4 Mb         852
+XC2VP100    44096    ~8 Mb         1164
+==========  =======  ============  ========
+
+The XD1 blade carries an XC2VP50; Figure 12 projects performance with
+an XC2VP100.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Resource inventory of one FPGA device."""
+
+    name: str
+    slices: int
+    bram_bits: int
+    io_pins: int
+
+    @property
+    def bram_words(self) -> int:
+        """On-chip memory capacity in 64-bit words."""
+        return self.bram_bits // 64
+
+    @property
+    def bram_bytes(self) -> int:
+        return self.bram_bits // 8
+
+    def fits(self, slices: int) -> bool:
+        """Whether a design of the given slice count fits the device."""
+        return 0 <= slices <= self.slices
+
+    def utilization(self, slices: int) -> float:
+        """Fraction of the device's slices a design occupies."""
+        if slices < 0:
+            raise ValueError("slice count must be non-negative")
+        return slices / self.slices
+
+
+#: The device in each Cray XD1 compute blade.
+XC2VP50 = FpgaDevice("XC2VP50", slices=23616, bram_bits=4_276_224, io_pins=852)
+
+#: The larger part used for the Figure 12 projection.
+XC2VP100 = FpgaDevice("XC2VP100", slices=44096, bram_bits=8_183_808, io_pins=1164)

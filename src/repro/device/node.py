@@ -1,0 +1,84 @@
+"""Compute node model (Figure 4: P_i with local memory M_i).
+
+A node couples one or more general-purpose processors (DRAM) with one
+FPGA (SRAM + BRAM).  On the XD1 a node is a compute blade: two Opterons
+and one XC2VP50 with four QDR II SRAM banks, joined by RapidArray
+transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.device.fpga import FpgaDevice, XC2VP50
+from repro.memory.model import (
+    CRAY_XD1_MEMORY,
+    MemoryHierarchy,
+    MemoryLevel,
+    XD1_DRAM_MEASURED_BANDWIDTH,
+    XD1_SRAM_READ_BANDWIDTH,
+)
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """A general-purpose processor attached to a node (Section 6.3)."""
+
+    name: str
+    clock_ghz: float
+    dgemm_gflops: float  # vendor math-library 64-bit dgemm throughput
+
+
+#: Section 6.3's CPU comparison points.
+OPTERON_2_6 = ProcessorSpec("AMD Opteron 2.6 GHz (ACML)", 2.6, 4.1)
+XEON_3_2 = ProcessorSpec("Intel Xeon 3.2 GHz (MKL)", 3.2, 5.5)
+PENTIUM4_3_0 = ProcessorSpec("Intel Pentium 4 3.0 GHz (MKL)", 3.0, 5.0)
+
+
+@dataclass(frozen=True)
+class ComputeNode:
+    """One node of the computational model (Figure 4)."""
+
+    name: str
+    fpga: FpgaDevice
+    memory: MemoryHierarchy
+    processor: ProcessorSpec
+    #: Measured FPGA↔DRAM bandwidth through the node fabric (B/s).
+    dram_path_bandwidth: float
+    #: SRAM read bandwidth usable by a design (B/s).
+    sram_read_bandwidth: float
+
+    @property
+    def sram_words(self) -> int:
+        return self.memory.levels[MemoryLevel.B].size_words
+
+    @property
+    def bram_words(self) -> int:
+        return self.memory.levels[MemoryLevel.A].size_words
+
+    def max_square_block_in_sram(self) -> int:
+        """Largest b with two b×b blocks resident in SRAM (2b² words).
+
+        Section 6.3: with 16 MB of SRAM, b can be at most 1024
+        (2·1024²·8 B = 16 MB).
+        """
+        words = self.sram_words
+        b = int((words // 2) ** 0.5)
+        return b
+
+    def max_mvm_order(self) -> int:
+        """Largest n with an n×n matrix resident in SRAM (Section 6.2:
+        'n can at most be √2·1024' for 16 MB)."""
+        return int(self.sram_words ** 0.5)
+
+
+def make_xd1_node(name: str = "xd1-blade") -> ComputeNode:
+    """An XD1 compute blade as measured in Section 6."""
+    return ComputeNode(
+        name=name,
+        fpga=XC2VP50,
+        memory=CRAY_XD1_MEMORY,
+        processor=OPTERON_2_6,
+        dram_path_bandwidth=XD1_DRAM_MEASURED_BANDWIDTH,
+        sram_read_bandwidth=XD1_SRAM_READ_BANDWIDTH,
+    )

@@ -1,0 +1,91 @@
+"""Chassis and multi-chassis system models (Figure 2, Section 6.4).
+
+An XD1 chassis holds six compute blades whose FPGAs form a circular
+array over RocketI/O transceivers; chassis interconnect through
+RapidArray external switches (4 GB/s per inter-chassis link; a typical
+installation has 12 chassis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.device.node import ComputeNode, make_xd1_node
+from repro.memory.model import XD1_INTERCHASSIS_BANDWIDTH
+
+
+@dataclass(frozen=True)
+class Chassis:
+    """A chassis: nodes whose FPGAs form a linear/circular array."""
+
+    name: str
+    nodes: List[ComputeNode]
+    #: FPGA↔FPGA link bandwidth inside the chassis (RocketI/O), B/s.
+    intra_link_bandwidth: float
+
+    @property
+    def fpga_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def total_sram_words(self) -> int:
+        return sum(node.sram_words for node in self.nodes)
+
+    def max_square_block_in_sram(self, power_of_two: bool = True) -> int:
+        """Largest b with 2b² words across the chassis' SRAM.
+
+        Section 6.4.1: 96 MB of SRAM per chassis allows b = 2048 (the
+        paper restricts b to powers of two so the m×m sub-blocking
+        divides evenly; pass ``power_of_two=False`` for the raw limit).
+        """
+        raw = int((self.total_sram_words // 2) ** 0.5)
+        if not power_of_two:
+            return raw
+        b = 1
+        while b * 2 <= raw:
+            b *= 2
+        return b
+
+
+@dataclass(frozen=True)
+class ReconfigurableSystem:
+    """A multi-chassis installation (Figure 4's full model)."""
+
+    name: str
+    chassis: List[Chassis]
+    #: Inter-chassis link bandwidth (RapidArray external switch), B/s.
+    inter_chassis_bandwidth: float
+
+    @property
+    def fpga_count(self) -> int:
+        return sum(c.fpga_count for c in self.chassis)
+
+    @property
+    def nodes(self) -> List[ComputeNode]:
+        return [node for c in self.chassis for node in c.nodes]
+
+    def linear_array(self) -> List[ComputeNode]:
+        """All FPGAs ordered as one linear array spanning chassis —
+        the topology the hierarchical MM design uses (Section 6.4.2)."""
+        return self.nodes
+
+
+def make_xd1_chassis(name: str = "xd1-chassis",
+                     blades: int = 6) -> Chassis:
+    """One XD1 chassis (six blades; RocketI/O ring between FPGAs)."""
+    nodes = [make_xd1_node(f"{name}/blade{i}") for i in range(blades)]
+    # RocketI/O MGT links: comfortably above any requirement the designs
+    # generate; modelled at 8 GB/s aggregate per neighbour link.
+    return Chassis(name, nodes, intra_link_bandwidth=8.0e9)
+
+
+def make_xd1_system(chassis_count: int = 12,
+                    name: str = "xd1") -> ReconfigurableSystem:
+    """A typical XD1 installation (Section 6.4.2: 12 chassis)."""
+    if chassis_count < 1:
+        raise ValueError("need at least one chassis")
+    chassis = [make_xd1_chassis(f"{name}/chassis{i}")
+               for i in range(chassis_count)]
+    return ReconfigurableSystem(name, chassis,
+                                inter_chassis_bandwidth=XD1_INTERCHASSIS_BANDWIDTH)

@@ -1,0 +1,53 @@
+"""From-scratch IEEE-754 floating-point arithmetic and pipelined units.
+
+The paper used the authors' own VHDL double-precision floating-point
+cores ("not engineered for area or speed", Table 2).  This package is
+the Python equivalent: a bit-level IEEE-754 binary64/binary32 codec
+(:mod:`repro.fparith.ieee754`), integer-only add/mul/div implementations
+with round-to-nearest-even, subnormal, infinity and NaN handling
+(:mod:`repro.fparith.softfloat`), α-stage pipelined unit models matching
+Table 2's latencies (:mod:`repro.fparith.pipeline`), and the unit
+catalog itself (:mod:`repro.fparith.units`).
+
+The softfloat results are bit-exact against the host's IEEE hardware
+(verified by property tests), so cycle simulations may use native
+float64 arithmetic as a fast path without changing any result.
+"""
+
+from repro.fparith.ieee754 import (
+    FloatClass,
+    FloatFields,
+    bits_to_float,
+    classify,
+    float_to_bits,
+    pack_fields,
+    unpack_bits,
+)
+from repro.fparith.softfloat import float_add, float_div, float_mul, float_sub
+from repro.fparith.pipeline import FloatingPointAdder, FloatingPointMultiplier
+from repro.fparith.units import (
+    FP_ADDER_64,
+    FP_MULTIPLIER_64,
+    FPUnitSpec,
+    REDUCTION_CIRCUIT_SPEC,
+)
+
+__all__ = [
+    "FloatClass",
+    "FloatFields",
+    "bits_to_float",
+    "float_to_bits",
+    "unpack_bits",
+    "pack_fields",
+    "classify",
+    "float_add",
+    "float_sub",
+    "float_mul",
+    "float_div",
+    "FloatingPointAdder",
+    "FloatingPointMultiplier",
+    "FPUnitSpec",
+    "FP_ADDER_64",
+    "FP_MULTIPLIER_64",
+    "REDUCTION_CIRCUIT_SPEC",
+]

@@ -1,0 +1,205 @@
+"""Bit-level IEEE-754 codec (binary64 and binary32).
+
+Only the boundary conversion between Python floats and raw bit patterns
+uses :mod:`struct`; everything else — field extraction, classification,
+packing — is pure integer manipulation, mirroring the wire-level view a
+hardware floating-point core has of its operands.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """Parameters of an IEEE-754 binary interchange format."""
+
+    name: str
+    width: int          # total bits
+    exponent_bits: int
+    fraction_bits: int
+
+    @property
+    def bias(self) -> int:
+        return (1 << (self.exponent_bits - 1)) - 1
+
+    @property
+    def max_biased_exponent(self) -> int:
+        return (1 << self.exponent_bits) - 1
+
+    @property
+    def sign_shift(self) -> int:
+        return self.width - 1
+
+    @property
+    def fraction_mask(self) -> int:
+        return (1 << self.fraction_bits) - 1
+
+    @property
+    def hidden_bit(self) -> int:
+        return 1 << self.fraction_bits
+
+    @property
+    def quiet_bit(self) -> int:
+        """The mantissa MSB that distinguishes quiet from signaling NaNs."""
+        return 1 << (self.fraction_bits - 1)
+
+    @property
+    def min_exponent(self) -> int:
+        """Unbiased exponent of the smallest normal number."""
+        return 1 - self.bias
+
+
+BINARY64 = FloatFormat("binary64", 64, 11, 52)
+BINARY32 = FloatFormat("binary32", 32, 8, 23)
+
+
+class FloatClass(Enum):
+    """IEEE-754 datum classification."""
+
+    ZERO = "zero"
+    SUBNORMAL = "subnormal"
+    NORMAL = "normal"
+    INFINITY = "infinity"
+    QUIET_NAN = "quiet_nan"
+    SIGNALING_NAN = "signaling_nan"
+
+
+@dataclass(frozen=True)
+class FloatFields:
+    """Raw sign / biased-exponent / fraction fields of an encoding."""
+
+    sign: int
+    biased_exponent: int
+    fraction: int
+    fmt: FloatFormat = BINARY64
+
+    def significand(self) -> int:
+        """Full significand including the hidden bit for normals."""
+        if self.biased_exponent == 0:
+            return self.fraction
+        return self.fmt.hidden_bit | self.fraction
+
+    def unbiased_exponent(self) -> int:
+        """Exponent such that value = (-1)^s · significand · 2^(e - p).
+
+        Subnormals share the minimum-normal exponent, per the standard.
+        """
+        if self.biased_exponent == 0:
+            return self.fmt.min_exponent
+        return self.biased_exponent - self.fmt.bias
+
+
+def float_to_bits(value: float, fmt: FloatFormat = BINARY64) -> int:
+    """Encode a Python float as a raw bit pattern."""
+    if fmt.width == 64:
+        return struct.unpack("<Q", struct.pack("<d", value))[0]
+    if fmt.width == 32:
+        return struct.unpack("<I", struct.pack("<f", value))[0]
+    raise ValueError(f"unsupported format {fmt.name}")
+
+
+def bits_to_float(bits: int, fmt: FloatFormat = BINARY64) -> float:
+    """Decode a raw bit pattern to a Python float."""
+    if not 0 <= bits < (1 << fmt.width):
+        raise ValueError(f"bit pattern out of range for {fmt.name}: {bits:#x}")
+    if fmt.width == 64:
+        return struct.unpack("<d", struct.pack("<Q", bits))[0]
+    if fmt.width == 32:
+        return struct.unpack("<f", struct.pack("<I", bits))[0]
+    raise ValueError(f"unsupported format {fmt.name}")
+
+
+def unpack_bits(bits: int, fmt: FloatFormat = BINARY64) -> FloatFields:
+    """Split a raw encoding into its sign / exponent / fraction fields."""
+    if not 0 <= bits < (1 << fmt.width):
+        raise ValueError(f"bit pattern out of range for {fmt.name}: {bits:#x}")
+    sign = (bits >> fmt.sign_shift) & 1
+    biased = (bits >> fmt.fraction_bits) & (fmt.max_biased_exponent)
+    fraction = bits & fmt.fraction_mask
+    return FloatFields(sign, biased, fraction, fmt)
+
+
+def pack_fields(fields: FloatFields) -> int:
+    """Assemble raw encoding from fields (inverse of :func:`unpack_bits`)."""
+    fmt = fields.fmt
+    if not 0 <= fields.sign <= 1:
+        raise ValueError("sign must be 0 or 1")
+    if not 0 <= fields.biased_exponent <= fmt.max_biased_exponent:
+        raise ValueError("biased exponent out of range")
+    if not 0 <= fields.fraction <= fmt.fraction_mask:
+        raise ValueError("fraction out of range")
+    return (
+        (fields.sign << fmt.sign_shift)
+        | (fields.biased_exponent << fmt.fraction_bits)
+        | fields.fraction
+    )
+
+
+def classify(bits: int, fmt: FloatFormat = BINARY64) -> FloatClass:
+    """Classify an encoding per IEEE-754."""
+    fields = unpack_bits(bits, fmt)
+    if fields.biased_exponent == fmt.max_biased_exponent:
+        if fields.fraction == 0:
+            return FloatClass.INFINITY
+        if fields.fraction & fmt.quiet_bit:
+            return FloatClass.QUIET_NAN
+        return FloatClass.SIGNALING_NAN
+    if fields.biased_exponent == 0:
+        return FloatClass.ZERO if fields.fraction == 0 else FloatClass.SUBNORMAL
+    return FloatClass.NORMAL
+
+
+def is_nan(bits: int, fmt: FloatFormat = BINARY64) -> bool:
+    return classify(bits, fmt) in (FloatClass.QUIET_NAN, FloatClass.SIGNALING_NAN)
+
+
+def is_inf(bits: int, fmt: FloatFormat = BINARY64) -> bool:
+    return classify(bits, fmt) is FloatClass.INFINITY
+
+
+def is_zero(bits: int, fmt: FloatFormat = BINARY64) -> bool:
+    return classify(bits, fmt) is FloatClass.ZERO
+
+
+def decompose_exact(bits: int, fmt: FloatFormat = BINARY64) -> Tuple[int, int, int]:
+    """Decompose a finite encoding as ``(sign, significand, exponent)``
+    with value = (-1)^sign · significand · 2^exponent, exactly.
+
+    Raises on NaN/infinity — callers must special-case those first.
+    """
+    cls = classify(bits, fmt)
+    if cls in (FloatClass.INFINITY, FloatClass.QUIET_NAN, FloatClass.SIGNALING_NAN):
+        raise ValueError(f"cannot decompose non-finite value ({cls})")
+    fields = unpack_bits(bits, fmt)
+    return (
+        fields.sign,
+        fields.significand(),
+        fields.unbiased_exponent() - fmt.fraction_bits,
+    )
+
+
+# Canonical special encodings (binary64 defaults).
+def positive_zero(fmt: FloatFormat = BINARY64) -> int:
+    return 0
+
+
+def negative_zero(fmt: FloatFormat = BINARY64) -> int:
+    return 1 << fmt.sign_shift
+
+
+def positive_infinity(fmt: FloatFormat = BINARY64) -> int:
+    return fmt.max_biased_exponent << fmt.fraction_bits
+
+
+def negative_infinity(fmt: FloatFormat = BINARY64) -> int:
+    return (1 << fmt.sign_shift) | positive_infinity(fmt)
+
+
+def default_nan(fmt: FloatFormat = BINARY64) -> int:
+    """The canonical quiet NaN produced by invalid operations."""
+    return positive_infinity(fmt) | fmt.quiet_bit

@@ -1,0 +1,184 @@
+"""Pipelined floating-point unit models.
+
+The paper's FP cores are deeply pipelined (Table 2: 14-stage adder,
+11-stage multiplier at 170 MHz).  A :class:`PipelinedFPUnit` accepts at
+most one operation per cycle and emits its result exactly ``latency``
+cycles later — the property that creates the read-after-write hazards
+the reduction circuit (Section 4.3) exists to solve.
+
+Results are computed at issue time and carried through the pipeline
+(functionally identical to computing stage-by-stage, since the softfloat
+model is bit-exact); :class:`StagedFPAdder` additionally exposes the
+classic unpack → align → add → normalize → round phase decomposition for
+didactic inspection of in-flight state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.fparith.softfloat import float_add, float_mul
+from repro.sim.engine import Component, Simulator
+from repro.sim.signals import Pipeline
+
+
+@dataclass
+class FPResult:
+    """A value leaving a pipelined unit, with its issue metadata."""
+
+    value: float
+    tag: Any
+    issued_cycle: int
+
+
+class PipelinedFPUnit(Component):
+    """A fully-pipelined binary floating-point unit.
+
+    Parameters
+    ----------
+    sim:
+        Simulator that clocks this unit.
+    name:
+        Instance name.
+    latency:
+        Pipeline depth α in cycles.
+    op:
+        The combinational function of the unit (e.g. float add).
+    exact:
+        When true, use the integer softfloat model; when false, use the
+        host FPU (bit-identical for add/mul under round-to-nearest-even,
+        but ~100× faster — the default for large simulations).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        latency: int,
+        op: Callable[[float, float], float],
+        native_op: Callable[[float, float], float],
+        exact: bool = False,
+    ) -> None:
+        self.name = name
+        self.latency = latency
+        self._op = op if exact else native_op
+        self._pipe: Pipeline[FPResult] = Pipeline(sim, name, latency)
+        self._sim = sim
+
+    def issue(self, a: float, b: float, tag: Any = None) -> None:
+        """Start one operation this cycle (raises on double issue)."""
+        value = self._op(a, b)
+        self._pipe.issue(FPResult(value, tag, self._sim.cycle))
+
+    @property
+    def output(self) -> Optional[FPResult]:
+        """The result leaving the pipeline this cycle, if any."""
+        return self._pipe.output
+
+    @property
+    def occupancy(self) -> int:
+        return self._pipe.occupancy
+
+    @property
+    def issued(self) -> int:
+        return self._pipe.issued
+
+    @property
+    def utilization(self) -> float:
+        return self._pipe.utilization
+
+    def drained(self) -> bool:
+        return self._pipe.drained()
+
+    def in_flight_tags(self) -> List[Any]:
+        return [r.tag for r in self._pipe.in_flight()]
+
+
+class FloatingPointAdder(PipelinedFPUnit):
+    """Pipelined IEEE-754 double adder (Table 2: α = 14 by default)."""
+
+    def __init__(self, sim: Simulator, name: str = "fp_add",
+                 latency: int = 14, exact: bool = False) -> None:
+        super().__init__(sim, name, latency, float_add,
+                         lambda a, b: a + b, exact)
+
+
+class FloatingPointMultiplier(PipelinedFPUnit):
+    """Pipelined IEEE-754 double multiplier (Table 2: 11 stages)."""
+
+    def __init__(self, sim: Simulator, name: str = "fp_mul",
+                 latency: int = 11, exact: bool = False) -> None:
+        super().__init__(sim, name, latency, float_mul,
+                         lambda a, b: a * b, exact)
+
+
+# ----------------------------------------------------------------------
+# Stage-visible adder (didactic model)
+# ----------------------------------------------------------------------
+_ADD_PHASES = ("unpack", "align", "add", "normalize", "round")
+
+
+class StagedFPAdder(Component):
+    """An adder whose in-flight state is visible per pipeline phase.
+
+    The α stages are partitioned over the five classical phases of a
+    floating-point addition.  Functional output equals
+    :func:`repro.fparith.softfloat.float_add`; the phase labels are for
+    inspection/tracing (e.g. in examples that visualise hazards).
+    """
+
+    def __init__(self, sim: Simulator, name: str = "staged_fp_add",
+                 latency: int = 14) -> None:
+        if latency < len(_ADD_PHASES):
+            raise ValueError(
+                f"latency must be >= {len(_ADD_PHASES)} to cover all phases"
+            )
+        self.name = name
+        self.latency = latency
+        self._slots: List[Optional[Tuple[float, float, Any]]] = [None] * latency
+        self._staged: Optional[Tuple[float, float, Any]] = None
+        self._output: Optional[FPResult] = None
+        self._sim = sim
+        sim.register_commit(self._commit)
+
+    @staticmethod
+    def phase_of_stage(stage: int, latency: int) -> str:
+        """Which of the five phases a given stage index belongs to."""
+        if not 0 <= stage < latency:
+            raise ValueError("stage out of range")
+        boundaries = [round((i + 1) * latency / len(_ADD_PHASES))
+                      for i in range(len(_ADD_PHASES))]
+        for phase, bound in zip(_ADD_PHASES, boundaries):
+            if stage < bound:
+                return phase
+        return _ADD_PHASES[-1]
+
+    def issue(self, a: float, b: float, tag: Any = None) -> None:
+        if self._staged is not None:
+            raise RuntimeError(f"{self.name}: double issue in one cycle")
+        self._staged = (a, b, tag)
+
+    @property
+    def output(self) -> Optional[FPResult]:
+        return self._output
+
+    def snapshot(self) -> List[Tuple[str, Optional[Any]]]:
+        """Per-stage view: (phase label, tag of occupant or None)."""
+        return [
+            (self.phase_of_stage(i, self.latency),
+             None if slot is None else slot[2])
+            for i, slot in enumerate(self._slots)
+        ]
+
+    def _commit(self) -> None:
+        # Shift first, then present the last stage as the output: an op
+        # issued during cycle t is the output during cycle t + latency.
+        self._slots = [self._staged] + self._slots[:-1]
+        self._staged = None
+        leaving = self._slots[-1]
+        if leaving is None:
+            self._output = None
+        else:
+            a, b, tag = leaving
+            self._output = FPResult(float_add(a, b), tag, self._sim.cycle)

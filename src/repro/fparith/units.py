@@ -1,0 +1,69 @@
+"""Floating-point unit catalog (paper Table 2).
+
+Characteristics of the authors' 64-bit units on Xilinx Virtex-II Pro,
+after place & route, used throughout the area/clock models:
+
+======================  =====  ==========  =================
+quantity                adder  multiplier  reduction circuit
+======================  =====  ==========  =================
+pipeline stages         14     11          —
+area (slices)           892    835         1658
+clock speed (MHz)       170    170         170
+======================  =====  ==========  =================
+
+The reduction circuit contains exactly one adder; its extra area is
+control logic and the two α² buffers (implemented in BRAM, so the slice
+count reflects control + addressing only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FPUnitSpec:
+    """Post-place&route characteristics of a hardware unit."""
+
+    name: str
+    pipeline_stages: int
+    area_slices: int
+    clock_mhz: float
+
+    @property
+    def latency_cycles(self) -> int:
+        return self.pipeline_stages
+
+    def latency_seconds(self) -> float:
+        """Wall-clock latency of one operation through the pipeline."""
+        return self.pipeline_stages / (self.clock_mhz * 1e6)
+
+
+#: Table 2 — 64-bit floating-point adder.
+FP_ADDER_64 = FPUnitSpec("fp_adder_64", pipeline_stages=14,
+                         area_slices=892, clock_mhz=170.0)
+
+#: Table 2 — 64-bit floating-point multiplier.
+FP_MULTIPLIER_64 = FPUnitSpec("fp_multiplier_64", pipeline_stages=11,
+                              area_slices=835, clock_mhz=170.0)
+
+#: Table 2 — reduction circuit (one adder + two α² buffers + control).
+REDUCTION_CIRCUIT_SPEC = FPUnitSpec("reduction_circuit", pipeline_stages=14,
+                                    area_slices=1658, clock_mhz=170.0)
+
+#: Control-logic overhead implied by Table 2: reduction area minus its
+#: single embedded adder.
+REDUCTION_CONTROL_SLICES = (
+    REDUCTION_CIRCUIT_SPEC.area_slices - FP_ADDER_64.area_slices
+)
+
+
+def words_per_second(clock_mhz: float, words_per_cycle: float) -> float:
+    """Convert a per-cycle word rate into words per second."""
+    return words_per_cycle * clock_mhz * 1e6
+
+
+def bandwidth_gbytes(clock_mhz: float, words_per_cycle: float,
+                     word_bytes: int = 8) -> float:
+    """Memory bandwidth in GB/s for a given word rate and clock."""
+    return words_per_second(clock_mhz, words_per_cycle) * word_bytes / 1e9

@@ -1,0 +1,32 @@
+"""Host-side orchestration (Section 6.1-6.2, Figure 10).
+
+On the XD1 an accelerated application is a C program on the Opteron
+plus a VHDL design on the FPGA, communicating through status registers,
+with host-managed data movement between DRAM and the FPGA's SRAM
+banks.  This package models that shell:
+
+* :mod:`repro.host.registers` — the status-register handshake
+  (problem size, init-done, compute-done).
+* :mod:`repro.host.staging` — timed DRAM↔SRAM staging plus the
+  end-to-end Level-2 run of Section 6.2 (staging + compute), which is
+  what turns the 1.05 GFLOPS SRAM-resident MVM into the 262 MFLOPS
+  DRAM-bound figure.
+* :mod:`repro.host.flow` — the XD1 design flow (insert SRAM cores, RT
+  core and RT client; synthesize; convert; load), modelled as area and
+  clock transformations plus an artifact pipeline.
+"""
+
+from repro.host.registers import RegisterFile, StatusProtocol
+from repro.host.staging import StagedMvmResult, StagingPlan, staged_mvm_run
+from repro.host.flow import DesignFlow, FlowArtifact, FlowStep
+
+__all__ = [
+    "RegisterFile",
+    "StatusProtocol",
+    "StagingPlan",
+    "StagedMvmResult",
+    "staged_mvm_run",
+    "DesignFlow",
+    "FlowArtifact",
+    "FlowStep",
+]

@@ -1,0 +1,105 @@
+"""The XD1 design flow (Section 6.1, Figure 10).
+
+Loading a design onto the XD1 requires wrapping the user datapath with
+SRAM memory controllers, the RapidArray Transport (RT) core and an
+application-specific RT client, then synthesizing, converting the
+bitstream to Cray's logic-file format and submitting a job.  We model
+the flow as a pipeline of steps, each transforming a design artifact
+(area/clock accounting matching the Section 6 measurements) — the
+reproduction's stand-in for ISE + command-line tools + job scripts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import List, Optional
+
+from repro.device.area import DesignArea, XD1Infrastructure, XD1_INFRASTRUCTURE
+from repro.device.fpga import FpgaDevice, XC2VP50
+
+
+class FlowStep(Enum):
+    """The four steps of Section 6.1 plus the shell-insertion prestep."""
+
+    INSERT_SHELL = "insert_shell"        # SRAM cores + RT core + RT client
+    BUILD_HOST = "build_host_program"    # step 1: C program
+    SYNTHESIZE = "synthesize_par"        # step 2: ISE synth + P&R (+ModelSim)
+    CONVERT = "convert_logic_file"       # step 3: binary → Cray logic file
+    LOAD = "load_and_submit"             # step 4: load FPGA, submit job
+
+
+@dataclass(frozen=True)
+class FlowArtifact:
+    """The design artifact as it moves through the flow."""
+
+    name: str
+    area: DesignArea
+    steps_completed: tuple = ()
+    shell_inserted: bool = False
+    loadable: bool = False
+
+    def has_completed(self, step: FlowStep) -> bool:
+        return step in self.steps_completed
+
+
+class FlowError(RuntimeError):
+    """A flow step was run out of order or on an unfit design."""
+
+
+class DesignFlow:
+    """Drives a design artifact through the XD1 flow in order."""
+
+    ORDER = [FlowStep.INSERT_SHELL, FlowStep.BUILD_HOST,
+             FlowStep.SYNTHESIZE, FlowStep.CONVERT, FlowStep.LOAD]
+
+    def __init__(self, device: FpgaDevice = XC2VP50,
+                 infrastructure: XD1Infrastructure = XD1_INFRASTRUCTURE,
+                 clock_derate: float = 164.0 / 170.0) -> None:
+        self.device = device
+        self.infrastructure = infrastructure
+        self.clock_derate = clock_derate
+
+    def new_artifact(self, name: str, area: DesignArea) -> FlowArtifact:
+        return FlowArtifact(name=name, area=area)
+
+    def run_step(self, artifact: FlowArtifact,
+                 step: FlowStep) -> FlowArtifact:
+        expected = self.ORDER[len(artifact.steps_completed)] \
+            if len(artifact.steps_completed) < len(self.ORDER) else None
+        if step is not expected:
+            raise FlowError(
+                f"step {step.value} out of order; expected "
+                f"{expected.value if expected else 'nothing (flow done)'}"
+            )
+        area = artifact.area
+        shell = artifact.shell_inserted
+        loadable = artifact.loadable
+        if step is FlowStep.INSERT_SHELL:
+            area = replace(
+                area,
+                slices=area.slices + self.infrastructure.total_slices,
+                clock_mhz=area.clock_mhz * self.clock_derate,
+            )
+            shell = True
+        elif step is FlowStep.SYNTHESIZE:
+            if not area.fits:
+                raise FlowError(
+                    f"design {artifact.name!r} needs {area.slices} slices; "
+                    f"device {self.device.name} has {self.device.slices}"
+                )
+        elif step is FlowStep.LOAD:
+            loadable = True
+        return FlowArtifact(
+            name=artifact.name,
+            area=area,
+            steps_completed=artifact.steps_completed + (step,),
+            shell_inserted=shell,
+            loadable=loadable,
+        )
+
+    def run_all(self, artifact: FlowArtifact) -> FlowArtifact:
+        """Run every remaining step in order; returns a loadable design."""
+        for step in self.ORDER[len(artifact.steps_completed):]:
+            artifact = self.run_step(artifact, step)
+        return artifact

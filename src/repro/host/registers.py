@@ -1,0 +1,105 @@
+"""Status-register handshake between processor and FPGA (Section 6.2).
+
+"The processor and the FPGA communicate through several status
+registers about the problem size n and completion of initialization
+and computation."  The model is a small register file with named
+fields and a two-party protocol object that enforces the legal
+handshake order — host writes the problem size, host signals init
+done, FPGA signals compute done, host reads results.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict
+
+
+class RegisterFile:
+    """Named 64-bit status registers shared by host and FPGA."""
+
+    def __init__(self, names: tuple = ("n", "init_done", "compute_done",
+                                       "error")) -> None:
+        self._regs: Dict[str, int] = {name: 0 for name in names}
+
+    def write(self, name: str, value: int) -> None:
+        if name not in self._regs:
+            raise KeyError(f"unknown status register {name!r}")
+        if not 0 <= value < (1 << 64):
+            raise ValueError("register values are unsigned 64-bit")
+        self._regs[name] = value
+
+    def read(self, name: str) -> int:
+        if name not in self._regs:
+            raise KeyError(f"unknown status register {name!r}")
+        return self._regs[name]
+
+    def names(self) -> tuple:
+        return tuple(self._regs)
+
+
+class _Phase(Enum):
+    IDLE = "idle"
+    CONFIGURED = "configured"
+    INITIALIZED = "initialized"
+    COMPUTING = "computing"
+    DONE = "done"
+
+
+class ProtocolError(RuntimeError):
+    """The handshake was driven out of order."""
+
+
+class StatusProtocol:
+    """The legal host↔FPGA handshake over the register file.
+
+    host: ``configure(n)`` → ``init_done()`` → (FPGA) ``start()`` →
+    (FPGA) ``complete()`` → host ``acknowledge()``.
+    """
+
+    def __init__(self) -> None:
+        self.registers = RegisterFile()
+        self._phase = _Phase.IDLE
+
+    @property
+    def phase(self) -> str:
+        return self._phase.value
+
+    # -- host side -------------------------------------------------------
+    def configure(self, n: int) -> None:
+        if self._phase is not _Phase.IDLE:
+            raise ProtocolError(f"configure() in phase {self.phase}")
+        if n <= 0:
+            raise ValueError("problem size must be positive")
+        self.registers.write("n", n)
+        self._phase = _Phase.CONFIGURED
+
+    def init_done(self) -> None:
+        if self._phase is not _Phase.CONFIGURED:
+            raise ProtocolError(f"init_done() in phase {self.phase}")
+        self.registers.write("init_done", 1)
+        self._phase = _Phase.INITIALIZED
+
+    def acknowledge(self) -> int:
+        if self._phase is not _Phase.DONE:
+            raise ProtocolError(f"acknowledge() in phase {self.phase}")
+        n = self.registers.read("n")
+        self.registers.write("init_done", 0)
+        self.registers.write("compute_done", 0)
+        self._phase = _Phase.IDLE
+        return n
+
+    # -- FPGA side -------------------------------------------------------
+    def start(self) -> int:
+        if self._phase is not _Phase.INITIALIZED:
+            raise ProtocolError(f"start() in phase {self.phase}")
+        self._phase = _Phase.COMPUTING
+        return self.registers.read("n")
+
+    def complete(self) -> None:
+        if self._phase is not _Phase.COMPUTING:
+            raise ProtocolError(f"complete() in phase {self.phase}")
+        self.registers.write("compute_done", 1)
+        self._phase = _Phase.DONE
+
+    def is_done(self) -> bool:
+        return self.registers.read("compute_done") == 1

@@ -1,0 +1,133 @@
+"""Timed DRAM↔SRAM staging and the Section 6.2 end-to-end MVM run.
+
+Section 6.2's measured behaviour on one XD1 node: for n = 1024, k = 4,
+the total Level-2 latency is 8.0 ms of which only 1.6 ms is compute —
+the rest is moving A from the processor's DRAM into the four SRAM
+banks at the measured 1.3 GB/s.  Under that DRAM bandwidth the peak of
+*any* MVM design is 325 MFLOPS and the design sustains 262 MFLOPS
+(80.6 %); with A already in SRAM it sustains about 1 GFLOPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.blas.level2 import MvmRun, TreeMvmDesign
+from repro.host.registers import StatusProtocol
+from repro.memory.model import XD1_DRAM_MEASURED_BANDWIDTH
+from repro.perf.peak import mvm_peak_flops
+
+
+@dataclass(frozen=True)
+class StagingPlan:
+    """A host-managed bulk transfer between memory levels."""
+
+    words: int
+    bandwidth_bytes_per_s: float
+    word_bytes: int = 8
+
+    @property
+    def seconds(self) -> float:
+        return self.words * self.word_bytes / self.bandwidth_bytes_per_s
+
+    def cycles(self, clock_mhz: float) -> int:
+        return int(np.ceil(self.seconds * clock_mhz * 1e6))
+
+
+@dataclass
+class StagedMvmResult:
+    """End-to-end outcome of the Section 6.2 experiment."""
+
+    y: np.ndarray
+    n: int
+    k: int
+    compute_seconds: float
+    staging_seconds: float
+    clock_mhz: float
+    dram_bandwidth_bytes_per_s: float
+    compute_run: MvmRun
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.staging_seconds
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.n * self.n
+
+    @property
+    def sustained_mflops(self) -> float:
+        """DRAM-bound sustained performance (262 MFLOPS in the paper)."""
+        return self.flops / self.total_seconds / 1e6
+
+    @property
+    def sram_resident_mflops(self) -> float:
+        """Performance with A already in SRAM (≈1 GFLOPS in the paper)."""
+        return self.flops / self.compute_seconds / 1e6
+
+    @property
+    def dram_peak_mflops(self) -> float:
+        """Peak of any MVM design at the staged DRAM bandwidth
+        (Section 4.4's 2·bw: 325 MFLOPS at 1.3 GB/s)."""
+        return mvm_peak_flops(self.dram_bandwidth_bytes_per_s) / 1e6
+
+    @property
+    def percent_of_dram_peak(self) -> float:
+        return 100.0 * self.sustained_mflops / self.dram_peak_mflops
+
+    @property
+    def io_fraction(self) -> float:
+        """Fraction of total latency spent moving data."""
+        return self.staging_seconds / self.total_seconds
+
+
+def staged_mvm_run(A: np.ndarray, x: np.ndarray, k: int = 4,
+                   clock_mhz: float = 164.0,
+                   dram_bandwidth: float = XD1_DRAM_MEASURED_BANDWIDTH,
+                   design: Optional[TreeMvmDesign] = None
+                   ) -> StagedMvmResult:
+    """Run the full Section 6.2 experiment: stage A from DRAM to the
+    SRAM banks, initialize x into local storage, compute on the FPGA.
+
+    The host/FPGA handshake is driven through the status-register
+    protocol; compute time comes from the cycle-accurate tree MVM
+    simulation; staging time from the DRAM channel model.
+    """
+    A = np.asarray(A, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64).ravel()
+    n = A.shape[0]
+    if A.shape[1] != len(x):
+        raise ValueError("dimension mismatch")
+
+    protocol = StatusProtocol()
+    protocol.configure(n)
+
+    # Host stages A (n² words) into the SRAM banks and x (n words)
+    # into the FPGA's local storage, both over the DRAM path.
+    staging = StagingPlan(words=A.size + len(x),
+                          bandwidth_bytes_per_s=dram_bandwidth)
+    protocol.init_done()
+
+    design = design if design is not None else TreeMvmDesign(k=k)
+    protocol.start()
+    run = design.run(A, x)
+    protocol.complete()
+
+    # Results (n words of y) return over the same path.
+    writeback = StagingPlan(words=n, bandwidth_bytes_per_s=dram_bandwidth)
+    protocol.acknowledge()
+
+    compute_seconds = run.total_cycles / (clock_mhz * 1e6)
+    return StagedMvmResult(
+        y=run.y,
+        n=n,
+        k=k,
+        compute_seconds=compute_seconds,
+        staging_seconds=staging.seconds + writeback.seconds,
+        clock_mhz=clock_mhz,
+        dram_bandwidth_bytes_per_s=dram_bandwidth,
+        compute_run=run,
+    )

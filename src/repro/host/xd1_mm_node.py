@@ -1,0 +1,179 @@
+"""End-to-end XD1 node simulation for Level-3 BLAS (Section 6.3).
+
+Executes the paper's measured matrix-multiply configuration through
+the physical component models:
+
+* A and B stream from the :class:`~repro.memory.dram.DramChannel`
+  (token-bucket bandwidth) one m-block pair every ``m²·b/k`` cycles;
+* the MM core (k PEs) produces ``k/m`` C-updates per clock — with the
+  paper's k = m, exactly "one word is read from and written into C′
+  storage during every clock cycle";
+* C′ lives in two of the four SRAM banks and C in the other two
+  (Section 6.3's bank assignment), all accesses going through the
+  port-checked :class:`~repro.memory.bank.SramBank` interfaces;
+* when the last z-contribution of the block lands, the finished C
+  words migrate from C′ to C storage and finally back to DRAM.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.host.registers import StatusProtocol
+from repro.memory.bank import SramBank
+from repro.memory.dram import DramChannel
+from repro.sim.engine import SimulationError, Simulator
+
+
+@dataclass
+class NodeMmResult:
+    """Outcome of the end-to-end Level-3 node run."""
+
+    C: np.ndarray
+    n: int
+    k: int
+    m: int
+    compute_cycles: int
+    clock_mhz: float
+    cprime_reads: int
+    cprime_writes: int
+    c_writes: int
+    dram_words: int
+
+    @property
+    def seconds(self) -> float:
+        return self.compute_cycles / (self.clock_mhz * 1e6)
+
+    @property
+    def sustained_gflops(self) -> float:
+        return 2 * self.n ** 3 / self.seconds / 1e9
+
+    def cprime_bandwidth_gbytes(self) -> float:
+        """Achieved C′ SRAM bandwidth — Table 4's 2.1 GB/s."""
+        total = self.cprime_reads + self.cprime_writes
+        return total * 8 * self.clock_mhz * 1e6 / self.compute_cycles / 1e9
+
+    def dram_bandwidth_mbytes(self) -> float:
+        """Achieved DRAM bandwidth — Table 4's 48.8 MB/s."""
+        return (self.dram_words * 8 * self.clock_mhz * 1e6
+                / self.compute_cycles / 1e6)
+
+
+class Xd1NodeMm:
+    """One XD1 node running the k=m=8 matrix multiply (n = b case)."""
+
+    def __init__(self, k: int = 8, m: int = 8,
+                 clock_mhz: float = 130.0,
+                 dram_bandwidth: float = 1.3e9) -> None:
+        if m % k:
+            raise ValueError("m must be a multiple of k")
+        self.k = k
+        self.m = m
+        self.clock_mhz = clock_mhz
+        self.dram_bandwidth = dram_bandwidth
+
+    def run(self, A: np.ndarray, B: np.ndarray) -> NodeMmResult:
+        A = np.asarray(A, dtype=np.float64)
+        B = np.asarray(B, dtype=np.float64)
+        if A.ndim != 2 or A.shape != B.shape or A.shape[0] != A.shape[1]:
+            raise ValueError("A and B must be equal square matrices")
+        n = A.shape[0]
+        m, k = self.m, self.k
+        if n % m:
+            raise ValueError(f"n = {n} must be a multiple of m = {m}")
+        nb = n // m
+        updates_per_cycle = k / m
+        if updates_per_cycle > 1:
+            raise ValueError(
+                "k > m would need more than one C' update per cycle — "
+                "more SRAM ports than the two banks provide")
+
+        sim = Simulator()
+        words = n * n
+        cprime = [SramBank(sim, f"cprime[{i}]", max(1, words // 2 + m))
+                  for i in range(2)]
+        cstore = [SramBank(sim, f"c[{i}]", max(1, words // 2 + m))
+                  for i in range(2)]
+        dram = DramChannel(sim, bandwidth_bytes_per_s=self.dram_bandwidth,
+                           clock_mhz=self.clock_mhz)
+        dram.preload(np.concatenate([A.ravel(), B.ravel()]))
+        protocol = StatusProtocol()
+        protocol.configure(n)
+        protocol.init_done()
+        protocol.start()
+
+        # Per-cycle schedule: total updates = nb (z-steps) × n² cells,
+        # at k/m updates per cycle → n³/k cycles exactly.  DRAM side:
+        # each word of A and B enters exactly once (the B row of
+        # blocks is cached on chip for the whole z-step, Section 5.1),
+        # drained through the channel's token bucket alongside compute.
+        cprime_reads = cprime_writes = c_writes = 0
+        dram_words = 0
+        dram_pending = 0
+        cycle = 0
+        update_interval = max(1, m // k)
+        C = np.zeros((n, n))
+
+        def advance_one_cycle():
+            nonlocal cycle, dram_pending, dram_words
+            cycle += 1
+            sim.step()
+            if dram_pending:
+                got = dram.try_stream_read(0, min(4, dram_pending))
+                if got is not None:
+                    dram_pending -= len(got)
+                    dram_words += len(got)
+
+        for z in range(nb):
+            dram_pending += m * n  # B block row z, read once
+            b_row = B[z * m:(z + 1) * m, :]
+            for g in range(nb):
+                dram_pending += m * m  # A block (g, z), read once
+                a_blk = A[g * m:(g + 1) * m, z * m:(z + 1) * m]
+                for h in range(nb):
+                    b_blk = b_row[:, h * m:(h + 1) * m]
+                    update = a_blk @ b_blk
+                    for i in range(m):
+                        for j in range(m):
+                            for _ in range(update_interval):
+                                advance_one_cycle()
+                            row = g * m + i
+                            col = h * m + j
+                            address = row * n + col
+                            bank = cprime[address % 2]
+                            old = bank.read(address // 2)
+                            value = old + update[i, j]
+                            bank.write(address // 2, value)
+                            cprime_reads += 1
+                            cprime_writes += 1
+                            if z == nb - 1:
+                                # final value: migrate to C storage
+                                cstore[address % 2].write(address // 2,
+                                                          value)
+                                c_writes += 1
+                                C[row, col] = value
+        if dram_pending:
+            raise SimulationError(
+                f"DRAM channel too slow: {dram_pending} words of A/B "
+                "were still pending when compute finished")
+        dram_words += n * n  # C written back to DRAM
+        protocol.complete()
+        protocol.acknowledge()
+
+        if cycle != n ** 3 // k:
+            raise SimulationError(
+                f"schedule produced {cycle} cycles, expected n³/k = "
+                f"{n ** 3 // k}")
+        return NodeMmResult(
+            C=C, n=n, k=k, m=m,
+            compute_cycles=cycle,
+            clock_mhz=self.clock_mhz,
+            cprime_reads=cprime_reads,
+            cprime_writes=cprime_writes,
+            c_writes=c_writes,
+            dram_words=dram_words,
+        )

@@ -1,0 +1,175 @@
+"""End-to-end XD1 node simulation for Level-2 BLAS (Section 6.2).
+
+Where :mod:`repro.host.staging` *times* the Section 6.2 experiment,
+this module *executes* it through the physical component models: the
+matrix is DMA'd from the :class:`~repro.memory.dram.DramChannel` into
+the four :class:`~repro.memory.bank.SramBank`s with the paper's
+striping, the vector is loaded into BRAM local storage, the
+handshake runs over the status registers, and the tree-MVM datapath
+then reads **one word from each SRAM bank per cycle** through the
+banks' port-checked interfaces — the exact access pattern Section 6.2
+describes ("the design on the FPGA reads one word from each SRAM bank
+in one clock cycle").
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+import numpy as np
+
+from repro.blas.level1 import _tree_fold
+from repro.host.registers import StatusProtocol
+from repro.memory.bank import BramStore, SramBankGroup
+from repro.memory.dram import DramChannel
+from repro.memory.model import CRAY_XD1_MEMORY, MemoryLevel
+from repro.reduction.single_adder import SingleAdderReduction
+from repro.sim.engine import SimulationError, Simulator
+
+
+@dataclass
+class NodeMvmResult:
+    """Outcome of the end-to-end node run."""
+
+    y: np.ndarray
+    n: int
+    k: int
+    staging_cycles: int
+    compute_cycles: int
+    clock_mhz: float
+    sram_bandwidth_gbytes: float
+    dram_bandwidth_gbytes: float
+
+    @property
+    def total_cycles(self) -> int:
+        return self.staging_cycles + self.compute_cycles
+
+    @property
+    def total_seconds(self) -> float:
+        return self.total_cycles / (self.clock_mhz * 1e6)
+
+    @property
+    def sustained_mflops(self) -> float:
+        return 2 * self.n * self.n / self.total_seconds / 1e6
+
+
+class Xd1NodeMvm:
+    """One XD1 node running the k=4 tree MVM out of its SRAM banks."""
+
+    def __init__(self, k: int = 4, alpha_mul: int = 11,
+                 alpha_add: int = 14, clock_mhz: float = 164.0,
+                 dram_bandwidth: float = 1.3e9) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.alpha_mul = alpha_mul
+        self.alpha_add = alpha_add
+        self.clock_mhz = clock_mhz
+        self.dram_bandwidth = dram_bandwidth
+        self.tree_levels = max(0, math.ceil(math.log2(k))) if k > 1 else 0
+        self.tree_latency = self.tree_levels * alpha_add
+
+    def run(self, A: np.ndarray, x: np.ndarray) -> NodeMvmResult:
+        A = np.asarray(A, dtype=np.float64)
+        x = np.asarray(x, dtype=np.float64).ravel()
+        nrows, ncols = A.shape
+        if ncols != len(x):
+            raise ValueError("dimension mismatch")
+        k = self.k
+        if ncols % k:
+            raise ValueError(
+                f"n = {ncols} must be a multiple of the {k} SRAM banks")
+
+        sim = Simulator()
+        hierarchy = CRAY_XD1_MEMORY
+        sram_words = hierarchy.levels[MemoryLevel.B].size_words
+        if A.size > sram_words:
+            raise MemoryError(
+                f"matrix of {A.size} words exceeds the node's "
+                f"{sram_words}-word SRAM")
+        banks = SramBankGroup(sim, k, max(1, A.size // k + k))
+        dram = DramChannel(sim, bandwidth_bytes_per_s=self.dram_bandwidth,
+                           clock_mhz=self.clock_mhz)
+        bram = BramStore("fpga_bram",
+                         hierarchy.levels[MemoryLevel.A].size_words)
+        protocol = StatusProtocol()
+
+        # ---- host side: stage A and x -------------------------------
+        protocol.configure(ncols)
+        dram.preload(np.concatenate([A.ravel(), x]))
+        staging_cycles = dram.transfer_cycles(A.size + len(x))
+        # DMA A row-major, striped one word per bank (Section 6.2).
+        banks.load_striped(A.ravel())
+        local_x = bram.allocate(len(x))
+        local_x[:] = x
+        dram.words_transferred += A.size + len(x)
+        protocol.init_done()
+
+        # ---- FPGA side: compute -------------------------------------
+        protocol.start()
+        groups = ncols // k
+        total_items = nrows * groups
+        mult_pipe: Deque[Optional[Tuple[float, bool, int]]] = deque(
+            [None] * self.alpha_mul, maxlen=self.alpha_mul)
+        tree_len = max(1, self.tree_latency)
+        tree_pipe: Deque[Optional[Tuple[float, bool, int]]] = deque(
+            [None] * tree_len, maxlen=tree_len)
+        reduction = SingleAdderReduction(alpha=self.alpha_add)
+
+        item = 0
+        compute_cycles = 0
+        max_cycles = 4 * total_items + 100 * self.alpha_add ** 2 + 1000
+        while len(reduction.results) < nrows:
+            compute_cycles += 1
+            if compute_cycles > max_cycles:
+                raise SimulationError("node MVM failed to complete")
+            out = tree_pipe.popleft()
+            if out is not None:
+                value, last, _row = out
+                if not reduction.cycle(value, last):
+                    raise SimulationError("reduction circuit stalled")
+            else:
+                reduction.cycle()
+            tree_pipe.append(mult_pipe.popleft())
+            if item < total_items:
+                row, group = divmod(item, groups)
+                # One word from each SRAM bank in one clock cycle,
+                # through the port-checked bank interfaces.
+                word_index = row * groups + group
+                a_words = banks.read_wide(word_index)
+                base = group * k
+                products = [a_words[j] * local_x[base + j]
+                            for j in range(k)]
+                partial = _tree_fold(products) if k > 1 else products[0]
+                mult_pipe.append((partial, group == groups - 1, row))
+                item += 1
+            else:
+                mult_pipe.append(None)
+            sim.step()
+        protocol.complete()
+
+        y = np.zeros(nrows)
+        for res in reduction.results:
+            y[res.set_id] = res.value
+        protocol.acknowledge()
+
+        # Write-back of y over the DRAM path.
+        staging_cycles += dram.transfer_cycles(nrows)
+        dram.words_transferred += nrows
+
+        sram_bw = banks.achieved_bandwidth_gbytes(compute_cycles,
+                                                  self.clock_mhz,
+                                                  word_bytes=9)
+        dram_bw = (dram.words_transferred * 8
+                   / (staging_cycles / (self.clock_mhz * 1e6)) / 1e9)
+        return NodeMvmResult(
+            y=y, n=ncols, k=k,
+            staging_cycles=staging_cycles,
+            compute_cycles=compute_cycles,
+            clock_mhz=self.clock_mhz,
+            sram_bandwidth_gbytes=sram_bw,
+            dram_bandwidth_gbytes=dram_bw,
+        )

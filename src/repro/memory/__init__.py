@@ -1,0 +1,39 @@
+"""Memory hierarchy substrate (paper Section 3.2.2, Table 1, Figure 5).
+
+Reconfigurable systems expose three memory levels to the FPGA:
+
+* **Level A** — on-chip Block RAM: small (≤ ~10 Mb), enormous aggregate
+  bandwidth (>100 GB/s), single-cycle access.
+* **Level B** — on-board SRAM banks: larger (16-24 MB), a few GB/s.
+* **Level C** — node DRAM: gigabytes, lowest bandwidth, directly
+  accessible by the FPGA without going through Level B.
+
+This package provides the level catalog (:mod:`repro.memory.model`),
+cycle-accurate bank and channel models with bandwidth enforcement
+(:mod:`repro.memory.bank`, :mod:`repro.memory.dram`), and traffic
+accounting used to check the paper's I/O-complexity claims
+(:mod:`repro.memory.traffic`).
+"""
+
+from repro.memory.model import (
+    CRAY_XD1_MEMORY,
+    MemoryHierarchy,
+    MemoryLevel,
+    MemoryLevelSpec,
+    SRC_MAPSTATION_MEMORY,
+)
+from repro.memory.bank import SramBank, SramBankGroup
+from repro.memory.dram import DramChannel
+from repro.memory.traffic import TrafficCounter
+
+__all__ = [
+    "MemoryLevel",
+    "MemoryLevelSpec",
+    "MemoryHierarchy",
+    "CRAY_XD1_MEMORY",
+    "SRC_MAPSTATION_MEMORY",
+    "SramBank",
+    "SramBankGroup",
+    "DramChannel",
+    "TrafficCounter",
+]

@@ -1,0 +1,255 @@
+"""Cycle-accurate SRAM bank models.
+
+An XD1 FPGA sees four QDR II SRAM banks; each serves one 64-bit word
+(plus parity) per port per cycle.  The paper's Level 1/2 designs read
+one word from each bank every cycle (Section 6.2); the Level 3 design
+dedicates two banks to C′ (intermediate) and two to C (final) storage
+(Section 6.3).
+
+These models hold real data (numpy-backed word arrays), enforce the
+one-access-per-port-per-cycle constraint, and count traffic so that
+bandwidth numbers in the benchmark harness come from simulation rather
+than assumption.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.engine import Component, SimulationError, Simulator
+
+
+class PortConflictError(SimulationError):
+    """A bank port was used twice in the same cycle."""
+
+
+class ParityError(SimulationError):
+    """A word read from SRAM failed its parity check.
+
+    Section 6.2: the XD1 design reads "one 64-bit word and 8-bit
+    parity code from each SRAM bank during every clock cycle" — the
+    parity byte is how the hardware notices corrupted words.
+    """
+
+
+def _parity_byte(value: float) -> int:
+    """The 8-bit checksum stored alongside each 64-bit word: XOR of
+    the word's eight bytes (a simple longitudinal parity)."""
+    import struct
+
+    raw = struct.pack("<d", value)
+    parity = 0
+    for byte in raw:
+        parity ^= byte
+    return parity
+
+
+class SramBank(Component):
+    """One SRAM bank: word-addressable, one read + one write port/cycle.
+
+    QDR II SRAM has independent read and write ports, so one read and
+    one write may proceed in the same cycle; two reads (or two writes)
+    may not.
+    """
+
+    def __init__(self, sim: Simulator, name: str, size_words: int,
+                 check_parity: bool = False) -> None:
+        if size_words <= 0:
+            raise ValueError("bank size must be positive")
+        self.name = name
+        self.size_words = size_words
+        self.check_parity = check_parity
+        self._data = np.zeros(size_words, dtype=np.float64)
+        self._parity = np.zeros(size_words, dtype=np.uint8) \
+            if check_parity else None
+        self._read_used_cycle: int = -1
+        self._write_used_cycle: int = -1
+        self.reads = 0
+        self.writes = 0
+        self.parity_errors = 0
+        self._sim = sim
+
+    # -- backdoor (host/DMA access outside the cycle model) -----------
+    def load(self, offset: int, values: Sequence[float]) -> None:
+        """Backdoor bulk load (models host DMA; not cycle-timed)."""
+        values = np.asarray(values, dtype=np.float64)
+        if offset < 0 or offset + len(values) > self.size_words:
+            raise IndexError(
+                f"bank {self.name!r}: load of {len(values)} words at "
+                f"{offset} exceeds capacity {self.size_words}"
+            )
+        self._data[offset:offset + len(values)] = values
+        if self._parity is not None:
+            for index, value in enumerate(values):
+                self._parity[offset + index] = _parity_byte(float(value))
+
+    def dump(self, offset: int, count: int) -> np.ndarray:
+        """Backdoor bulk read (models host DMA; not cycle-timed)."""
+        if offset < 0 or offset + count > self.size_words:
+            raise IndexError(f"bank {self.name!r}: dump out of range")
+        return self._data[offset:offset + count].copy()
+
+    # -- cycle-timed ports ---------------------------------------------
+    def read(self, address: int) -> float:
+        """Combinational read through the read port (one per cycle)."""
+        cycle = self._sim.cycle
+        if self._read_used_cycle == cycle:
+            raise PortConflictError(
+                f"bank {self.name!r}: second read in cycle {cycle}"
+            )
+        if not 0 <= address < self.size_words:
+            raise IndexError(f"bank {self.name!r}: read address {address}")
+        self._read_used_cycle = cycle
+        self.reads += 1
+        value = float(self._data[address])
+        if self._parity is not None and \
+                self._parity[address] != _parity_byte(value):
+            self.parity_errors += 1
+            raise ParityError(
+                f"bank {self.name!r}: parity mismatch at address "
+                f"{address} (stored {self._parity[address]}, computed "
+                f"{_parity_byte(value)})"
+            )
+        return value
+
+    def write(self, address: int, value: float) -> None:
+        """Write through the write port (one per cycle)."""
+        cycle = self._sim.cycle
+        if self._write_used_cycle == cycle:
+            raise PortConflictError(
+                f"bank {self.name!r}: second write in cycle {cycle}"
+            )
+        if not 0 <= address < self.size_words:
+            raise IndexError(f"bank {self.name!r}: write address {address}")
+        self._write_used_cycle = cycle
+        self.writes += 1
+        self._data[address] = value
+        if self._parity is not None:
+            self._parity[address] = _parity_byte(float(value))
+
+    # -- fault injection ---------------------------------------------
+    def inject_bit_flip(self, address: int, bit: int = 0) -> None:
+        """Corrupt a stored word without updating its parity byte —
+        models an SRAM upset; the next read raises :class:`ParityError`
+        when parity checking is on."""
+        if not 0 <= address < self.size_words:
+            raise IndexError(f"bank {self.name!r}: inject at {address}")
+        if not 0 <= bit < 64:
+            raise ValueError("bit index must be in [0, 64)")
+        raw = self._data[address:address + 1].view(np.uint64)
+        raw ^= np.uint64(1 << bit)
+
+    # -- statistics ------------------------------------------------------
+    @property
+    def total_accesses(self) -> int:
+        return self.reads + self.writes
+
+    def achieved_bandwidth_gbytes(self, cycles: int, clock_mhz: float,
+                                  word_bytes: int = 8) -> float:
+        """Average achieved bandwidth over a simulated interval."""
+        if cycles <= 0:
+            return 0.0
+        return self.total_accesses * word_bytes * clock_mhz * 1e6 / cycles / 1e9
+
+
+class SramBankGroup:
+    """The set of SRAM banks attached to one FPGA (4 on the XD1).
+
+    Provides striped load/dump helpers matching Section 6.2's layout,
+    where matrix A is distributed across the four banks so the design
+    can read one word from each bank per cycle.
+    """
+
+    def __init__(self, sim: Simulator, nbanks: int, words_per_bank: int,
+                 name: str = "sram") -> None:
+        if nbanks <= 0:
+            raise ValueError("need at least one bank")
+        self.banks: List[SramBank] = [
+            SramBank(sim, f"{name}[{i}]", words_per_bank) for i in range(nbanks)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.banks)
+
+    def __getitem__(self, index: int) -> SramBank:
+        return self.banks[index]
+
+    @property
+    def total_words(self) -> int:
+        return sum(b.size_words for b in self.banks)
+
+    def load_striped(self, values: Sequence[float]) -> None:
+        """Distribute values round-robin one word per bank.
+
+        Word ``i`` lands in bank ``i % nbanks`` at offset ``i // nbanks``
+        — the layout that lets a k-multiplier design fetch k consecutive
+        words in a single cycle.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        nbanks = len(self.banks)
+        for b, bank in enumerate(self.banks):
+            lane = values[b::nbanks]
+            if len(lane) > bank.size_words:
+                raise IndexError("striped load exceeds bank capacity")
+            bank.load(0, lane)
+
+    def read_wide(self, word_index: int) -> List[float]:
+        """Read one word from every bank in a single cycle.
+
+        ``word_index`` is the per-bank offset; returns ``nbanks`` words
+        (consecutive elements of the striped array).
+        """
+        return [bank.read(word_index) for bank in self.banks]
+
+    @property
+    def total_reads(self) -> int:
+        return sum(b.reads for b in self.banks)
+
+    @property
+    def total_writes(self) -> int:
+        return sum(b.writes for b in self.banks)
+
+    def achieved_bandwidth_gbytes(self, cycles: int, clock_mhz: float,
+                                  word_bytes: int = 8) -> float:
+        """Aggregate achieved bandwidth across all banks."""
+        if cycles <= 0:
+            return 0.0
+        total = self.total_reads + self.total_writes
+        return total * word_bytes * clock_mhz * 1e6 / cycles / 1e9
+
+
+class BramStore:
+    """On-chip Block RAM local storage (Level A).
+
+    Single-cycle, dual-ported, with a hard capacity limit checked at
+    allocation: the paper's designs size their local storage to fit the
+    device's BRAM (e.g. vector x of n words for MVM, 2m² for MM).
+    """
+
+    def __init__(self, name: str, capacity_words: int) -> None:
+        self.name = name
+        self.capacity_words = capacity_words
+        self._allocated = 0
+
+    def allocate(self, nwords: int) -> np.ndarray:
+        """Allocate a local storage region; raises when BRAM is exceeded."""
+        if nwords < 0:
+            raise ValueError("allocation must be non-negative")
+        if self._allocated + nwords > self.capacity_words:
+            raise MemoryError(
+                f"BRAM {self.name!r}: allocating {nwords} words exceeds "
+                f"capacity {self.capacity_words} "
+                f"(already allocated {self._allocated})"
+            )
+        self._allocated += nwords
+        return np.zeros(nwords, dtype=np.float64)
+
+    @property
+    def allocated_words(self) -> int:
+        return self._allocated
+
+    @property
+    def free_words(self) -> int:
+        return self.capacity_words - self._allocated

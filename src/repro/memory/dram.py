@@ -1,0 +1,128 @@
+"""DRAM channel model (Level C).
+
+The FPGA reaches node DRAM through the RapidArray fabric (Figure 2); the
+paper measures 1.3 GB/s on this path (Section 6.2).  The channel model
+is transaction-level: bulk transfers take ``ceil(bytes / bytes_per_cycle)``
+cycles, and word-granular streaming enforces a words-per-cycle budget via
+a token bucket, which is how the Level 3 design's modest DRAM appetite
+(one m×m block every m²b/(kl) cycles) is simulated.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.engine import Component, SimulationError, Simulator
+
+
+class DramChannel(Component):
+    """Bandwidth-limited channel between FPGA and node DRAM.
+
+    Parameters
+    ----------
+    bandwidth_bytes_per_s:
+        Sustained channel bandwidth (default: the paper's measured
+        1.3 GB/s RapidArray figure).
+    clock_mhz:
+        FPGA clock used to convert bandwidth to per-cycle budget.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "dram",
+                 size_words: int = 1 << 30,
+                 bandwidth_bytes_per_s: float = 1.3e9,
+                 clock_mhz: float = 170.0) -> None:
+        self.name = name
+        self.size_words = size_words
+        self.bandwidth_bytes_per_s = bandwidth_bytes_per_s
+        self.clock_mhz = clock_mhz
+        self._data = np.zeros(0, dtype=np.float64)
+        self._base = 0
+        self.words_transferred = 0
+        # Token bucket for word-granular streaming.
+        self.words_per_cycle = bandwidth_bytes_per_s / (clock_mhz * 1e6) / 8
+        self._tokens = 0.0
+        self._sim = sim
+        sim.add(self)
+
+    # -- contents --------------------------------------------------------
+    def preload(self, values: np.ndarray, base: int = 0) -> None:
+        """Place data in DRAM (host-side initialisation, untimed)."""
+        self._data = np.asarray(values, dtype=np.float64).ravel().copy()
+        self._base = base
+        if len(self._data) > self.size_words:
+            raise MemoryError("preload exceeds DRAM capacity")
+
+    def peek(self, address: int, count: int = 1) -> np.ndarray:
+        index = address - self._base
+        if index < 0 or index + count > len(self._data):
+            raise IndexError(f"DRAM {self.name!r}: peek out of range")
+        return self._data[index:index + count]
+
+    def poke(self, address: int, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64).ravel()
+        index = address - self._base
+        if index < 0:
+            raise IndexError("DRAM poke below preload base")
+        end = index + len(values)
+        if end > len(self._data):
+            self._data = np.concatenate(
+                [self._data, np.zeros(end - len(self._data))]
+            )
+        self._data[index:end] = values
+
+    # -- timing ----------------------------------------------------------
+    def transfer_cycles(self, nwords: int, word_bytes: int = 8) -> int:
+        """Cycles to move ``nwords`` as one bulk (DMA-style) transfer."""
+        if nwords < 0:
+            raise ValueError("nwords must be non-negative")
+        bytes_per_cycle = self.bandwidth_bytes_per_s / (self.clock_mhz * 1e6)
+        return math.ceil(nwords * word_bytes / bytes_per_cycle)
+
+    def transfer_seconds(self, nwords: int, word_bytes: int = 8) -> float:
+        """Wall-clock time for a bulk transfer at full channel bandwidth."""
+        return nwords * word_bytes / self.bandwidth_bytes_per_s
+
+    # -- cycle-timed streaming -------------------------------------------
+    def evaluate(self, cycle: int) -> None:
+        pass
+
+    def commit(self, cycle: int) -> None:
+        # Replenish the token bucket; cap at one burst's worth so idle
+        # periods cannot bank unbounded bandwidth.
+        self._tokens = min(self._tokens + self.words_per_cycle,
+                           max(1.0, 64 * self.words_per_cycle))
+
+    def try_stream_read(self, address: int, count: int = 1) -> Optional[np.ndarray]:
+        """Read ``count`` words if the bandwidth budget allows this cycle.
+
+        Returns ``None`` when the channel has insufficient tokens; the
+        caller must retry (modelling back-pressure from the RapidArray
+        port).
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if self._tokens < count:
+            return None
+        self._tokens -= count
+        self.words_transferred += count
+        return self.peek(address, count)
+
+    def try_stream_write(self, address: int, values: np.ndarray) -> bool:
+        """Write words if the bandwidth budget allows this cycle."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if self._tokens < len(values):
+            return False
+        self._tokens -= len(values)
+        self.words_transferred += len(values)
+        self.poke(address, values)
+        return True
+
+    def achieved_bandwidth_gbytes(self, cycles: int, word_bytes: int = 8) -> float:
+        """Average achieved DRAM bandwidth over a simulated interval."""
+        if cycles <= 0:
+            return 0.0
+        seconds = cycles / (self.clock_mhz * 1e6)
+        return self.words_transferred * word_bytes / seconds / 1e9

@@ -1,0 +1,125 @@
+"""Memory-level catalog and hierarchy model (Table 1, Figure 5).
+
+The characteristics below are the paper's Table 1, per single FPGA:
+
+=======  ===========  ============  ===========  ============
+level    SRC size     SRC bw        Cray size    Cray bw
+=======  ===========  ============  ===========  ============
+A (BRAM) 648 KB       260 GB/s      522 KB       209 GB/s
+B (SRAM) 24 MB        4.8 GB/s      16 MB        12.8 GB/s
+C (DRAM) 8 GB         1.4 GB/s      8 GB         3.2 GB/s
+=======  ===========  ============  ===========  ============
+
+Note the paper quotes two SRAM figures for the XD1 in different places:
+Table 1's 12.8 GB/s is the aggregate QDR figure, while Section 4.4 uses
+6.4 GB/s as the *read* bandwidth available to a design (QDR is
+read+write symmetric).  Both are exposed here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+class MemoryLevel(Enum):
+    """The three levels of Figure 5."""
+
+    A = "A"  # FPGA on-chip BRAM
+    B = "B"  # on-board SRAM banks
+    C = "C"  # node DRAM
+
+
+@dataclass(frozen=True)
+class MemoryLevelSpec:
+    """Capacity and bandwidth of one memory level for one FPGA."""
+
+    level: MemoryLevel
+    size_bytes: int
+    bandwidth_bytes_per_s: float
+    #: Number of independently-addressable banks visible to the FPGA.
+    banks: int = 1
+
+    @property
+    def size_words(self) -> int:
+        """Capacity in 64-bit words."""
+        return self.size_bytes // 8
+
+    @property
+    def bandwidth_gbytes(self) -> float:
+        return self.bandwidth_bytes_per_s / 1e9
+
+    def words_per_cycle(self, clock_mhz: float) -> float:
+        """Sustainable 64-bit words per clock cycle at a given clock."""
+        return self.bandwidth_bytes_per_s / (clock_mhz * 1e6) / 8
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Time to move ``nbytes`` at this level's full bandwidth."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return nbytes / self.bandwidth_bytes_per_s
+
+
+@dataclass(frozen=True)
+class MemoryHierarchy:
+    """A named 3-level hierarchy (one FPGA's view of the system)."""
+
+    name: str
+    levels: Dict[MemoryLevel, MemoryLevelSpec] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        missing = set(MemoryLevel) - set(self.levels)
+        if missing:
+            raise ValueError(f"hierarchy {self.name!r} missing levels {missing}")
+
+    @property
+    def bram(self) -> MemoryLevelSpec:
+        return self.levels[MemoryLevel.A]
+
+    @property
+    def sram(self) -> MemoryLevelSpec:
+        return self.levels[MemoryLevel.B]
+
+    @property
+    def dram(self) -> MemoryLevelSpec:
+        return self.levels[MemoryLevel.C]
+
+    def fits(self, level: MemoryLevel, nwords: int) -> bool:
+        """Whether ``nwords`` 64-bit words fit in the given level."""
+        return nwords * 8 <= self.levels[level].size_bytes
+
+
+#: Table 1 — SRC MAPstation, per FPGA.
+SRC_MAPSTATION_MEMORY = MemoryHierarchy(
+    "SRC MAPstation",
+    {
+        MemoryLevel.A: MemoryLevelSpec(MemoryLevel.A, 648 * KIB, 260e9, banks=232),
+        MemoryLevel.B: MemoryLevelSpec(MemoryLevel.B, 24 * MIB, 4.8e9, banks=6),
+        MemoryLevel.C: MemoryLevelSpec(MemoryLevel.C, 8 * GIB, 1.4e9, banks=1),
+    },
+)
+
+#: Table 1 — Cray XD1, per FPGA (XC2VP50: 522 KB BRAM, 4 QDR II banks).
+CRAY_XD1_MEMORY = MemoryHierarchy(
+    "Cray XD1",
+    {
+        MemoryLevel.A: MemoryLevelSpec(MemoryLevel.A, 522 * KIB, 209e9, banks=232),
+        MemoryLevel.B: MemoryLevelSpec(MemoryLevel.B, 16 * MIB, 12.8e9, banks=4),
+        MemoryLevel.C: MemoryLevelSpec(MemoryLevel.C, 8 * GIB, 3.2e9, banks=1),
+    },
+)
+
+#: Section 4.4 — SRAM *read* bandwidth usable by a design on XD1
+#: (one 64-bit word per bank per cycle at 200 MHz QDR = 6.4 GB/s).
+XD1_SRAM_READ_BANDWIDTH = 6.4e9
+
+#: Section 6.2 — measured DRAM bandwidth through the RapidArray port.
+XD1_DRAM_MEASURED_BANDWIDTH = 1.3e9
+
+#: Section 6.4.2 — inter-chassis RapidArray link bandwidth.
+XD1_INTERCHASSIS_BANDWIDTH = 4.0e9

@@ -1,0 +1,38 @@
+"""Performance models: peak formulas, projections, report rendering.
+
+* :mod:`repro.perf.peak` — the paper's peak-performance formulas
+  (Section 4.4: I/O-bound peaks ``bw`` and ``2·bw``; Section 6.3: the
+  compute-bound device peak).
+* :mod:`repro.perf.projection` — the Figure 11/12 chassis projections
+  and the Section 6.4 multi-chassis scaling model, with bandwidth
+  feasibility checks against the XD1's available bandwidth.
+* :mod:`repro.perf.report` — paper-vs-measured table rendering used by
+  the benchmark harness.
+"""
+
+from repro.perf.peak import (
+    device_peak_gflops,
+    dot_product_peak_flops,
+    mvm_peak_flops,
+)
+from repro.perf.projection import (
+    ChassisProjection,
+    MultiChassisProjection,
+    project_chassis,
+    project_chassis_grid,
+    project_multi_chassis,
+)
+from repro.perf.report import Comparison, render_table
+
+__all__ = [
+    "dot_product_peak_flops",
+    "mvm_peak_flops",
+    "device_peak_gflops",
+    "ChassisProjection",
+    "MultiChassisProjection",
+    "project_chassis",
+    "project_chassis_grid",
+    "project_multi_chassis",
+    "Comparison",
+    "render_table",
+]

@@ -1,0 +1,126 @@
+"""Numerical accuracy of reduction orders.
+
+Hardware reduction circuits *reassociate*: the paper's circuit folds a
+set into α interleaved partial sums and combines them, which is
+numerically a different (and usually better-conditioned) order than
+the sequential left-to-right sum a CPU loop performs.  For a BLAS
+library this matters — users must know whether the FPGA's dot products
+are as accurate as the host's.
+
+This module measures it: for a given value set it computes the
+sequential sum, the balanced pairwise-tree sum, the actual circuit
+result (by simulation), and the correctly-rounded exact sum
+(``math.fsum``), and reports errors in ulps.  The classical theory —
+sequential error grows with n, pairwise with lg n — is checked in the
+tests and the accuracy bench.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.fparith.ieee754 import float_to_bits
+from repro.reduction.analysis import run_reduction
+from repro.reduction.single_adder import SingleAdderReduction
+
+
+def sequential_sum(values: Sequence[float]) -> float:
+    """Left-to-right accumulation (the CPU-loop baseline)."""
+    total = 0.0
+    for value in values:
+        total += value
+    return total
+
+
+def pairwise_sum(values: Sequence[float]) -> float:
+    """Balanced binary-tree summation."""
+    work = [float(v) for v in values]
+    if not work:
+        return 0.0
+    while len(work) > 1:
+        nxt = [work[i] + work[i + 1] for i in range(0, len(work) - 1, 2)]
+        if len(work) % 2:
+            nxt.append(work[-1])
+        work = nxt
+    return work[0]
+
+
+def circuit_sum(values: Sequence[float], alpha: int = 14) -> float:
+    """The paper's reduction circuit's actual result, by simulation."""
+    run = run_reduction(SingleAdderReduction(alpha=alpha),
+                        [list(values)])
+    return run.results_by_set()[0]
+
+
+def ulp_distance(a: float, b: float) -> int:
+    """Units-in-the-last-place distance between two finite doubles.
+
+    Uses the standard monotone mapping of IEEE encodings onto the
+    integer line (negative values are reflected), under which adjacent
+    floats differ by 1.
+    """
+    if math.isnan(a) or math.isnan(b):
+        raise ValueError("ulp distance is undefined for NaN")
+
+    def key(x: float) -> int:
+        bits = float_to_bits(x)
+        if bits >> 63:
+            return -(bits & ((1 << 63) - 1))
+        return bits
+
+    return abs(key(a) - key(b))
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Error of each summation order against the exact sum, in ulps."""
+
+    n: int
+    exact: float
+    errors_ulp: Dict[str, int]
+
+    def best_order(self) -> str:
+        return min(self.errors_ulp, key=self.errors_ulp.get)
+
+
+def accuracy_report(values: Sequence[float],
+                    alpha: int = 14) -> AccuracyReport:
+    """Compare the three orders on one value set."""
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("need at least one value")
+    exact = math.fsum(values)
+    orders = {
+        "sequential": sequential_sum(values),
+        "pairwise": pairwise_sum(values),
+        "circuit": circuit_sum(values, alpha=alpha),
+    }
+    return AccuracyReport(
+        n=len(values),
+        exact=exact,
+        errors_ulp={name: ulp_distance(result, exact)
+                    for name, result in orders.items()},
+    )
+
+
+def error_growth(ns: Sequence[int], rng, trials: int = 5,
+                 alpha: int = 14) -> List[AccuracyReport]:
+    """Worst-case-of-trials accuracy report per problem size.
+
+    Uses uniform(0, 1) values: a condition-number-1 sum, where the
+    summation-order effects (sequential O(n) vs tree O(lg n) ulps)
+    appear without being masked by cancellation noise.
+    """
+    reports = []
+    for n in ns:
+        worst = None
+        for _ in range(trials):
+            values = list(rng.uniform(0.0, 1.0, size=n))
+            report = accuracy_report(values, alpha=alpha)
+            if worst is None or max(report.errors_ulp.values()) > \
+                    max(worst.errors_ulp.values()):
+                worst = report
+        reports.append(worst)
+    return reports

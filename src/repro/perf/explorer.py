@@ -1,0 +1,161 @@
+"""Design-space explorer for the matrix-multiply architecture.
+
+The paper chooses (k, m, b) by hand (k = m = 8, b = 512 on the XD1);
+its companion paper [31] analyzes the trade-offs under resource
+constraints.  This module automates the search: enumerate candidate
+configurations, keep those that satisfy every constraint the paper
+states —
+
+* slices: k PEs + shell must fit the device (area model);
+* BRAM: 2m² words on chip;
+* SRAM: 2b²/l words per FPGA;
+* hazard: m²/k > α (or the hierarchical interleave waiver);
+* bandwidth: DRAM 3kl/b and SRAM 2k/m + 2k/b within the system's
+  budget at the achievable clock —
+
+and rank by projected sustained GFLOPS.  The paper's published
+configuration should appear on (or near) the resulting Pareto
+frontier; the explorer also answers "what if" questions (larger
+device, faster PEs) the projections of Section 6.4 ask by hand.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.device.area import (
+    FP_ADDER_64,
+    MM_PE_SLICES,
+    XD1_INFRASTRUCTURE_MM_SLICES,
+    mm_clock_mhz,
+)
+from repro.device.fpga import FpgaDevice, XC2VP50
+from repro.memory.model import (
+    CRAY_XD1_MEMORY,
+    XD1_SRAM_READ_BANDWIDTH,
+)
+
+
+@dataclass(frozen=True)
+class MmConfiguration:
+    """One feasible (k, m, b, l) operating point."""
+
+    k: int
+    m: int
+    b: int
+    l: int
+    clock_mhz: float
+    slices: int
+    bram_words: int
+    sram_words_per_fpga: int
+    dram_bytes_per_s: float
+    sram_bytes_per_s: float
+    gflops: float
+
+    def dominates(self, other: "MmConfiguration") -> bool:
+        """Pareto dominance: at least as good on performance and every
+        resource, strictly better somewhere."""
+        not_worse = (
+            self.gflops >= other.gflops
+            and self.slices <= other.slices
+            and self.bram_words <= other.bram_words
+            and self.sram_words_per_fpga <= other.sram_words_per_fpga
+            and self.dram_bytes_per_s <= other.dram_bytes_per_s
+        )
+        strictly_better = (
+            self.gflops > other.gflops
+            or self.slices < other.slices
+            or self.bram_words < other.bram_words
+            or self.sram_words_per_fpga < other.sram_words_per_fpga
+            or self.dram_bytes_per_s < other.dram_bytes_per_s
+        )
+        return not_worse and strictly_better
+
+
+@dataclass(frozen=True)
+class ExplorerBudget:
+    """Resource envelope a configuration must fit."""
+
+    device: FpgaDevice = XC2VP50
+    shell_slices: int = XD1_INFRASTRUCTURE_MM_SLICES + \
+        FP_ADDER_64.area_slices
+    alpha_add: int = FP_ADDER_64.pipeline_stages
+    pe_slices: int = MM_PE_SLICES
+    sram_words_per_fpga: int = CRAY_XD1_MEMORY.sram.size_words
+    #: Measured RapidArray DRAM-path bandwidth (Section 6.2).
+    dram_bytes_per_s: float = 1.3e9
+    sram_bytes_per_s: float = XD1_SRAM_READ_BANDWIDTH
+    hierarchical: bool = True  # waives the standalone hazard condition
+
+
+def enumerate_configurations(
+    budget: ExplorerBudget = ExplorerBudget(),
+    l: int = 1,
+    ks: Optional[Iterable[int]] = None,
+    ms: Optional[Iterable[int]] = None,
+    bs: Optional[Iterable[int]] = None,
+) -> List[MmConfiguration]:
+    """All feasible configurations under the budget, best first."""
+    ks = list(ks) if ks is not None else [1, 2, 4, 8, 10, 12, 16]
+    ms = list(ms) if ms is not None else [8, 16, 32, 64, 128]
+    bs = list(bs) if bs is not None else [128, 256, 512, 1024, 2048]
+    device = budget.device
+    feasible: List[MmConfiguration] = []
+    for k in ks:
+        slices = k * budget.pe_slices + budget.shell_slices
+        if slices > device.slices:
+            continue
+        clock = mm_clock_mhz(k)
+        if budget.shell_slices:
+            clock = min(clock, 130.0)  # Table 4's shell-loaded timing
+        for m in ms:
+            if m % k or m < k:
+                continue
+            bram_words = 2 * m * m
+            if bram_words > device.bram_words:
+                continue
+            if not budget.hierarchical and m * m // k <= budget.alpha_add:
+                continue
+            for b in bs:
+                if b % m:
+                    continue
+                sram_words = 2 * b * b // l
+                if sram_words > budget.sram_words_per_fpga:
+                    continue
+                dram_bytes = (3.0 * k * l / b) * 8 * clock * 1e6
+                sram_bytes = (2.0 * k / m + 2.0 * k / b) * 8 * clock * 1e6
+                if dram_bytes > budget.dram_bytes_per_s:
+                    continue
+                if sram_bytes > budget.sram_bytes_per_s:
+                    continue
+                gflops = 2.0 * k * l * clock / 1000.0
+                feasible.append(MmConfiguration(
+                    k=k, m=m, b=b, l=l, clock_mhz=clock,
+                    slices=slices, bram_words=bram_words,
+                    sram_words_per_fpga=sram_words,
+                    dram_bytes_per_s=dram_bytes,
+                    sram_bytes_per_s=sram_bytes,
+                    gflops=gflops,
+                ))
+    feasible.sort(key=lambda c: (-c.gflops, c.slices, c.bram_words))
+    return feasible
+
+
+def pareto_frontier(configurations: List[MmConfiguration]
+                    ) -> List[MmConfiguration]:
+    """Configurations not dominated by any other."""
+    frontier = []
+    for candidate in configurations:
+        if not any(other.dominates(candidate)
+                   for other in configurations if other is not candidate):
+            frontier.append(candidate)
+    return frontier
+
+
+def best_configuration(budget: ExplorerBudget = ExplorerBudget(),
+                       l: int = 1) -> Optional[MmConfiguration]:
+    """Highest-GFLOPS feasible configuration (ties: least area)."""
+    configurations = enumerate_configurations(budget, l=l)
+    return configurations[0] if configurations else None

@@ -1,0 +1,61 @@
+"""Peak-performance formulas (Sections 4.4 and 6.3).
+
+Dot product and matrix-vector multiply are I/O bound; with memory
+bandwidth ``bw`` words/second and unlimited compute:
+
+* dot product moves 2n words for 2n flops → peak = ``bw`` FLOPS;
+* MVM moves ≈ n² words (of A) for 2n² flops → peak = ``2·bw`` FLOPS.
+
+Matrix multiply is compute bound; the device peak is
+``2 × (number of FP unit pairs that fit) × clock`` — with the paper's
+units (adder 892 + multiplier 835 slices at 170 MHz) an XC2VP50 peaks
+at 4.42 GFLOPS.
+"""
+
+from __future__ import annotations
+
+from repro.device.fpga import FpgaDevice, XC2VP50
+from repro.fparith.units import FP_ADDER_64, FP_MULTIPLIER_64
+
+
+def dot_product_peak_flops(bandwidth_bytes_per_s: float,
+                           word_bytes: int = 8) -> float:
+    """I/O-bound peak FLOPS for dot product: one flop per delivered
+    word (2n flops over 2n words)."""
+    if bandwidth_bytes_per_s <= 0:
+        raise ValueError("bandwidth must be positive")
+    return bandwidth_bytes_per_s / word_bytes
+
+
+def mvm_peak_flops(bandwidth_bytes_per_s: float,
+                   word_bytes: int = 8) -> float:
+    """I/O-bound peak FLOPS for matrix-vector multiply: two flops per
+    delivered word of A (2n² flops over n² words)."""
+    if bandwidth_bytes_per_s <= 0:
+        raise ValueError("bandwidth must be positive")
+    return 2.0 * bandwidth_bytes_per_s / word_bytes
+
+
+def fp_unit_pairs(device: FpgaDevice = XC2VP50,
+                  adder_slices: int = FP_ADDER_64.area_slices,
+                  multiplier_slices: int = FP_MULTIPLIER_64.area_slices) -> int:
+    """Maximum adder+multiplier pairs configurable on a device."""
+    pair = adder_slices + multiplier_slices
+    return device.slices // pair
+
+
+def device_peak_gflops(device: FpgaDevice = XC2VP50,
+                       clock_mhz: float = FP_ADDER_64.clock_mhz) -> float:
+    """Section 6.3's ideal device peak: 2 × unit pairs × clock.
+
+    For the XC2VP50 with the paper's units: 2 · 13 · 170 MHz =
+    4.42 GFLOPS.
+    """
+    return 2.0 * fp_unit_pairs(device) * clock_mhz / 1000.0
+
+
+def percent_of_peak(sustained: float, peak: float) -> float:
+    """Sustained/peak ratio as a percentage."""
+    if peak <= 0:
+        raise ValueError("peak must be positive")
+    return 100.0 * sustained / peak

@@ -1,0 +1,69 @@
+"""Paper-vs-measured reporting for the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One reproduced quantity: what the paper reports vs what we
+    measured, with a shape tolerance."""
+
+    name: str
+    paper: Number
+    measured: Number
+    unit: str = ""
+    rel_tol: float = 0.15
+
+    @property
+    def ratio(self) -> float:
+        if self.paper == 0:
+            return float("inf") if self.measured else 1.0
+        return self.measured / self.paper
+
+    @property
+    def within_tolerance(self) -> bool:
+        return abs(self.ratio - 1.0) <= self.rel_tol
+
+    def row(self) -> List[str]:
+        flag = "ok" if self.within_tolerance else "DEVIATES"
+        return [
+            self.name,
+            _fmt(self.paper),
+            _fmt(self.measured),
+            self.unit,
+            f"{self.ratio:.3f}",
+            flag,
+        ]
+
+
+def _fmt(value: Number) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.3g}"
+    return f"{value:.3f}".rstrip("0").rstrip(".")
+
+
+def render_table(title: str, comparisons: Sequence[Comparison],
+                 extra_note: Optional[str] = None) -> str:
+    """ASCII paper-vs-measured table (one row per quantity)."""
+    header = ["quantity", "paper", "measured", "unit", "ratio", ""]
+    rows = [header] + [c.row() for c in comparisons]
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = [title, "=" * len(title)]
+    for idx, row in enumerate(rows):
+        line = "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if idx == 0:
+            lines.append("-" * len(line))
+    if extra_note:
+        lines.append("")
+        lines.append(extra_note)
+    return "\n".join(lines)

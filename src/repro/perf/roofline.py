@@ -1,0 +1,97 @@
+"""Roofline model for the FPGA BLAS designs.
+
+The paper's evaluation splits cleanly into bandwidth-bound kernels
+(dot product, MVM — performance equals bandwidth × intensity) and a
+compute-bound kernel (MM — performance equals the device's flop rate,
+thanks to the m-fold reuse of on-chip blocks).  The roofline model
+makes that split quantitative:
+
+    attainable FLOPS = min(compute peak, operational intensity × BW)
+
+with operational intensity in flops per *external* byte:
+
+* dot product: 2n flops / 2n words → 0.125 flops/byte;
+* MVM: 2n² flops / n² words of A → 0.25 flops/byte;
+* MM (block size m): 2n³ flops / (2n³/m + n²) words → ≈ m/8
+  flops/byte — tunable via on-chip blocking, which is exactly how the
+  design crosses the ridge point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.fparith.units import FP_ADDER_64
+from repro.perf.peak import device_peak_gflops
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel placed on the roofline."""
+
+    name: str
+    intensity_flops_per_byte: float
+    attainable_gflops: float
+    bound: str  # "memory" or "compute"
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """A machine roofline: compute roof and memory slope."""
+
+    peak_gflops: float
+    bandwidth_gbytes: float
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Intensity at which the two roofs meet (flops/byte)."""
+        return self.peak_gflops / self.bandwidth_gbytes
+
+    def attainable(self, intensity: float) -> float:
+        if intensity <= 0:
+            raise ValueError("operational intensity must be positive")
+        return min(self.peak_gflops, intensity * self.bandwidth_gbytes)
+
+    def place(self, name: str, intensity: float) -> RooflinePoint:
+        gflops = self.attainable(intensity)
+        bound = ("compute" if intensity >= self.ridge_intensity
+                 else "memory")
+        return RooflinePoint(name, intensity, gflops, bound)
+
+
+def dot_product_intensity(word_bytes: int = 8) -> float:
+    """2n flops over 2n words."""
+    return 1.0 / word_bytes
+
+
+def mvm_intensity(word_bytes: int = 8) -> float:
+    """2n² flops over ≈ n² words of A (x and y are lower order)."""
+    return 2.0 / word_bytes
+
+
+def mm_intensity(n: int, m: int, word_bytes: int = 8) -> float:
+    """2n³ flops over 2n³/m + n² external words (Section 5.1)."""
+    if n <= 0 or m <= 0 or n % m:
+        raise ValueError("need n a positive multiple of m")
+    words = 2 * n ** 3 / m + n ** 2
+    return 2.0 * n ** 3 / (words * word_bytes)
+
+
+def xd1_roofline(bandwidth_bytes_per_s: float,
+                 clock_mhz: float = FP_ADDER_64.clock_mhz) -> Roofline:
+    """The XC2VP50 roofline against a given memory channel."""
+    return Roofline(peak_gflops=device_peak_gflops(clock_mhz=clock_mhz),
+                    bandwidth_gbytes=bandwidth_bytes_per_s / 1e9)
+
+
+def blas_roofline_points(n: int = 512, m: int = 128,
+                         bandwidth_bytes_per_s: float = 6.4e9
+                         ) -> List[RooflinePoint]:
+    """The three paper kernels on the SRAM roofline."""
+    roofline = xd1_roofline(bandwidth_bytes_per_s)
+    return [
+        roofline.place("dot product", dot_product_intensity()),
+        roofline.place("matrix-vector multiply", mvm_intensity()),
+        roofline.place(f"matrix multiply (m={m})", mm_intensity(n, m)),
+    ]

@@ -1,0 +1,51 @@
+"""Reduction circuits for pipelined floating-point accumulation.
+
+Accumulating sequentially delivered floating-point values with a
+pipelined adder creates read-after-write hazards: a running sum's next
+addition cannot issue until the previous one exits the α-stage pipeline.
+This package contains the paper's solution (Section 4.3) — a circuit
+with **one** adder and two α²-word buffers that reduces multiple input
+sets of arbitrary size at one value per cycle without stalling — plus
+the prior-art baselines it is compared against (Section 2.3), and
+analysis utilities.
+
+The exact buffer schedule of the paper's circuit was published only in
+an unpublished report [29]; :mod:`repro.reduction.single_adder`
+documents our reconstruction, which satisfies every property the paper
+states (see DESIGN.md).
+"""
+
+from repro.reduction.base import (
+    ReducedResult,
+    ReductionCircuit,
+    ReductionStats,
+    stream_sets,
+)
+from repro.reduction.single_adder import SingleAdderReduction
+from repro.reduction.baselines import (
+    AdderTreeReduction,
+    BinaryCounterReduction,
+    DualAdderReduction,
+    NiHwangReduction,
+    SingleCycleAdderReduction,
+    StallingReduction,
+)
+from repro.reduction.analysis import latency_bound, run_reduction
+from repro.reduction.structural import StructuralReduction
+
+__all__ = [
+    "ReductionCircuit",
+    "ReducedResult",
+    "ReductionStats",
+    "stream_sets",
+    "SingleAdderReduction",
+    "StallingReduction",
+    "SingleCycleAdderReduction",
+    "AdderTreeReduction",
+    "NiHwangReduction",
+    "BinaryCounterReduction",
+    "DualAdderReduction",
+    "latency_bound",
+    "run_reduction",
+    "StructuralReduction",
+]

@@ -1,0 +1,66 @@
+"""Latency bounds and driver helpers for reduction circuits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.reduction.base import ReducedResult, ReductionCircuit, stream_sets
+from repro.sim.engine import SimulationError
+
+
+def latency_bound(set_sizes: Sequence[int], alpha: int) -> int:
+    """The paper's total-latency bound for the single-adder circuit:
+    reducing p sets takes fewer than ``Σ sᵢ + 2α²`` cycles [29]."""
+    return sum(set_sizes) + 2 * alpha * alpha
+
+
+@dataclass
+class ReductionRun:
+    """Outcome of driving a circuit over a full workload."""
+
+    results: List[ReducedResult]
+    total_cycles: int
+    input_cycles: int
+    stall_cycles: int
+    flush_cycles: int
+
+    def results_by_set(self) -> List[float]:
+        ordered = sorted(self.results, key=lambda r: r.set_id)
+        return [r.value for r in ordered]
+
+
+def run_reduction(circuit: ReductionCircuit,
+                  sets: Sequence[Sequence[float]],
+                  max_stall_cycles: int = 10_000_000) -> ReductionRun:
+    """Stream ``sets`` into ``circuit`` at one value per cycle and flush.
+
+    Stalled values are re-offered on subsequent cycles (counted), so
+    circuits with back-pressure still complete; the paper's circuit is
+    expected to accept every value first try.
+    """
+    input_cycles = 0
+    stall_cycles = 0
+    for value, last in stream_sets(sets):
+        while True:
+            accepted = circuit.cycle(value, last)
+            input_cycles += 1
+            if accepted:
+                break
+            stall_cycles += 1
+            if stall_cycles > max_stall_cycles:
+                raise SimulationError("reduction circuit livelocked on input")
+    flush_cycles = circuit.flush()
+    expected = len(sets)
+    if len(circuit.results) != expected:
+        raise SimulationError(
+            f"circuit emitted {len(circuit.results)} results for "
+            f"{expected} sets"
+        )
+    return ReductionRun(
+        results=list(circuit.results),
+        total_cycles=input_cycles + flush_cycles,
+        input_cycles=input_cycles,
+        stall_cycles=stall_cycles,
+        flush_cycles=flush_cycles,
+    )

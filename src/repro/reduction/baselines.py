@@ -1,0 +1,457 @@
+"""Prior-art reduction methods (paper Section 2.3).
+
+These are the designs the paper's circuit is compared against:
+
+* :class:`StallingReduction` — the "simple solution": one pipelined
+  adder, stall the producer until each chained addition completes
+  (throughput 1 value per α cycles).
+* :class:`SingleCycleAdderReduction` — the other simple solution: an
+  unpipelined single-cycle adder.  No stalls, but such an adder closes
+  timing at a fraction of the pipelined clock; the model carries a
+  clock-derate factor so benches can compare wall-clock, not cycles.
+* :class:`AdderTreeReduction` — Kogge's method [15]: ⌈lg s⌉ adders
+  reduce s inputs; enormous adder cost for large sets.
+* :class:`NiHwangReduction` — Ni & Hwang's vector reduction [21]: one
+  adder and a fixed buffer, designed for a *single* input vector; for
+  multiple back-to-back sets the buffer requirement grows with the
+  number of sets unless sets are interleaved (the overflow the paper
+  points out).  The model stalls the producer when its fixed buffer
+  fills, making the deficiency measurable.
+* :class:`BinaryCounterReduction` — the authors' FCCM'05 design [28]:
+  one adder, Θ(lg s) buffer, but set sizes must be powers of two.
+* :class:`DualAdderReduction` — the authors' two-adder designs [19]:
+  arbitrary set sizes with Θ(lg s) buffer, at the cost of a second
+  floating-point adder.
+
+All models share the cycle-driven interface of
+:class:`repro.reduction.base.ReductionCircuit`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.reduction.base import ReducedResult, ReductionStats
+from repro.sim.engine import SimulationError
+
+
+def _native_add(a: float, b: float) -> float:
+    return a + b
+
+
+class StallingReduction:
+    """One adder, no buffering: chain additions, stalling α cycles each."""
+
+    def __init__(self, alpha: int = 14) -> None:
+        self.alpha = alpha
+        self.num_adders = 1
+        self.buffer_words = 1
+        self._op = _native_add
+        self.results: List[ReducedResult] = []
+        self.stats = ReductionStats()
+        self._acc: Optional[float] = None
+        self._acc_ready_cycle = 0  # cycle at which _acc is valid
+        self._set_id = 0
+        self._cycle = 0
+
+    def busy(self) -> bool:
+        return self._acc is not None
+
+    def cycle(self, value: Optional[float] = None, last: bool = False) -> bool:
+        self.stats.cycles += 1
+        self._cycle += 1
+        if value is None:
+            return True
+        if self._acc is None:
+            # First value of a set: latch it directly.
+            self._acc = float(value)
+            self._acc_ready_cycle = self._cycle
+        else:
+            if self._cycle < self._acc_ready_cycle:
+                # Previous addition still in the pipeline: stall.
+                self.stats.input_stall_cycles += 1
+                return False
+            self._acc = self._op(self._acc, float(value))
+            self._acc_ready_cycle = self._cycle + self.alpha
+            self.stats.adder_issues += 1
+        self.stats.inputs_accepted += 1
+        self.stats.max_buffer_occupancy = 1
+        if last:
+            # Result is committed when the final addition lands.
+            self.results.append(
+                ReducedResult(self._set_id, self._acc, self._acc_ready_cycle)
+            )
+            self._set_id += 1
+            self._acc = None
+        return True
+
+    def flush(self, max_cycles: int = 1_000_000) -> int:
+        # Account for the tail of the last addition.
+        if self.results and self.results[-1].cycle > self._cycle:
+            tail = self.results[-1].cycle - self._cycle
+            for _ in range(tail):
+                self.cycle()
+            return tail
+        return 0
+
+
+class SingleCycleAdderReduction:
+    """Unpipelined adder: accepts one value per cycle with no hazards,
+    but at a heavily derated clock (``clock_derate`` × pipelined clock).
+    """
+
+    def __init__(self, alpha: int = 14, clock_derate: Optional[float] = None) -> None:
+        self.alpha = alpha
+        self.num_adders = 1
+        self.buffer_words = 1
+        # A combinational double adder is roughly α× slower than one
+        # α-stage pipeline stage; default derate reflects that.
+        self.clock_derate = clock_derate if clock_derate is not None else 1.0 / alpha
+        self._op = _native_add
+        self.results: List[ReducedResult] = []
+        self.stats = ReductionStats()
+        self._acc: Optional[float] = None
+        self._set_id = 0
+        self._cycle = 0
+
+    def busy(self) -> bool:
+        return self._acc is not None
+
+    def cycle(self, value: Optional[float] = None, last: bool = False) -> bool:
+        self.stats.cycles += 1
+        self._cycle += 1
+        if value is None:
+            return True
+        if self._acc is None:
+            self._acc = float(value)
+        else:
+            self._acc = self._op(self._acc, float(value))
+            self.stats.adder_issues += 1
+        self.stats.inputs_accepted += 1
+        self.stats.max_buffer_occupancy = 1
+        if last:
+            self.results.append(ReducedResult(self._set_id, self._acc, self._cycle))
+            self._set_id += 1
+            self._acc = None
+        return True
+
+    def flush(self, max_cycles: int = 1_000_000) -> int:
+        return 0
+
+    def effective_cycles(self) -> float:
+        """Cycle count rescaled to pipelined-clock equivalents."""
+        return self.stats.cycles / self.clock_derate
+
+
+class AdderTreeReduction:
+    """Kogge's method [15]: a ⌈lg s⌉-level binary adder tree.
+
+    Requires the whole set to be buffered, then reduced level by level;
+    the number of adders grows with the set size.  Functional model:
+    values are collected per set and reduced through a pipelined tree;
+    the latency model charges s cycles of input plus α per tree level.
+    """
+
+    def __init__(self, alpha: int = 14, max_set_size: int = 1 << 20) -> None:
+        self.alpha = alpha
+        self.max_set_size = max_set_size
+        self.num_adders = max(1, math.ceil(math.log2(max(2, max_set_size))))
+        self.buffer_words = max_set_size
+        self._op = _native_add
+        self.results: List[ReducedResult] = []
+        self.stats = ReductionStats()
+        self._pending: List[float] = []
+        self._set_id = 0
+        self._cycle = 0
+        self._done_at = 0
+
+    def busy(self) -> bool:
+        return self._cycle < self._done_at or bool(self._pending)
+
+    def cycle(self, value: Optional[float] = None, last: bool = False) -> bool:
+        self.stats.cycles += 1
+        self._cycle += 1
+        if value is None:
+            return True
+        self._pending.append(float(value))
+        if len(self._pending) > self.max_set_size:
+            raise SimulationError("adder tree buffer exceeded")
+        self.stats.inputs_accepted += 1
+        self.stats.max_buffer_occupancy = max(
+            self.stats.max_buffer_occupancy, len(self._pending)
+        )
+        if last:
+            values = self._pending
+            levels = 0
+            while len(values) > 1:
+                nxt = []
+                for i in range(0, len(values) - 1, 2):
+                    nxt.append(self._op(values[i], values[i + 1]))
+                    self.stats.adder_issues += 1
+                if len(values) % 2:
+                    nxt.append(values[-1])
+                values = nxt
+                levels += 1
+            done = self._cycle + self.alpha * max(1, levels)
+            self.results.append(ReducedResult(self._set_id, values[0], done))
+            self._done_at = max(self._done_at, done)
+            self._set_id += 1
+            self._pending = []
+        return True
+
+    def flush(self, max_cycles: int = 1_000_000) -> int:
+        tail = max(0, self._done_at - self._cycle)
+        for _ in range(tail):
+            self.cycle()
+        return tail
+
+
+class NiHwangReduction:
+    """Ni & Hwang's single-vector method [21], exposed to multiple sets.
+
+    One adder pairs streaming values on the fly and recirculates the
+    pipeline outputs, using a fixed buffer of recirculation slots —
+    well-suited to reducing *one* input vector.  Every set that is not
+    yet fully reduced holds on to a block of α recirculation slots, so
+    back-to-back sets pile up unfinished reductions until the fixed
+    buffer is exhausted and the producer stalls: the overflow /
+    must-interleave limitation the paper points out.
+    """
+
+    def __init__(self, alpha: int = 14,
+                 buffer_words: Optional[int] = None) -> None:
+        self.alpha = alpha
+        self.num_adders = 1
+        self.buffer_words = (buffer_words if buffer_words is not None
+                             else 4 * alpha)
+        self._op = _native_add
+        self.results: List[ReducedResult] = []
+        self.stats = ReductionStats()
+        # Per unfinished set: [pending value or None, inflight count,
+        # closed flag].  Each entry reserves α recirculation slots.
+        self._sets: Dict[int, list] = {}
+        # α-slot adder pipeline: (set_id, result) or None.
+        self._pipe: Deque[Optional[Tuple[int, float]]] = deque(
+            [None] * alpha, maxlen=alpha)
+        # Pairs waiting for the single adder's issue port.
+        self._issue_queue: Deque[Tuple[int, float, float]] = deque()
+        self._current_set = -1
+        self._next_set_id = 0
+        self._cycle = 0
+
+    def busy(self) -> bool:
+        return (bool(self._sets) or bool(self._issue_queue)
+                or any(op is not None for op in self._pipe))
+
+    def _route(self, set_id: int, value: float) -> None:
+        state = self._sets[set_id]
+        if state[0] is None:
+            state[0] = value
+        else:
+            self._issue_queue.append((set_id, state[0], value))
+            state[0] = None
+
+    def _maybe_emit(self, set_id: int) -> None:
+        state = self._sets.get(set_id)
+        if state is None:
+            return
+        pending, inflight, closed = state
+        queued = any(sid == set_id for sid, _, _ in self._issue_queue)
+        if closed and inflight == 0 and not queued and pending is not None:
+            self.results.append(ReducedResult(set_id, pending, self._cycle))
+            del self._sets[set_id]
+
+    def cycle(self, value: Optional[float] = None, last: bool = False) -> bool:
+        self.stats.cycles += 1
+        self._cycle += 1
+
+        # Land a pipeline output and recirculate it.
+        landing = self._pipe.popleft()
+        if landing is not None:
+            set_id, result = landing
+            self._sets[set_id][1] -= 1
+            self._route(set_id, result)
+            self._maybe_emit(set_id)
+
+        accepted = True
+        if value is not None:
+            if self._current_set not in self._sets or \
+                    self._sets.get(self._current_set, [None, 0, True])[2]:
+                # New set: needs a block of α recirculation slots.
+                if (len(self._sets) + 1) * self.alpha > self.buffer_words:
+                    self.stats.input_stall_cycles += 1
+                    accepted = False
+                else:
+                    self._current_set = self._next_set_id
+                    self._next_set_id += 1
+                    self._sets[self._current_set] = [None, 0, False]
+            if accepted:
+                self.stats.inputs_accepted += 1
+                self._route(self._current_set, float(value))
+                if last:
+                    self._sets[self._current_set][2] = True
+                    self._maybe_emit(self._current_set)
+
+        # Issue at most one queued pair into the adder.
+        if self._issue_queue:
+            set_id, a, b = self._issue_queue.popleft()
+            self._sets[set_id][1] += 1
+            self.stats.adder_issues += 1
+            self._pipe.append((set_id, self._op(a, b)))
+        else:
+            self._pipe.append(None)
+
+        occupancy = len(self._sets) * self.alpha
+        self.stats.max_buffer_occupancy = max(
+            self.stats.max_buffer_occupancy, occupancy)
+        return accepted
+
+    def flush(self, max_cycles: int = 10_000_000) -> int:
+        used = 0
+        while self.busy():
+            if used >= max_cycles:
+                raise SimulationError("Ni-Hwang model failed to drain")
+            self.cycle()
+            used += 1
+        return used
+
+
+class BinaryCounterReduction:
+    """The authors' FCCM'05 circuit [28]: one adder, Θ(lg s) buffer,
+    set sizes restricted to powers of two.
+
+    Modelled as a binary-counter combiner: level ``j`` holds at most one
+    partial sum of 2ʲ inputs; an arriving value merges carry-style up
+    the levels.  Each input triggers at most one adder issue per cycle
+    amortized; merges beyond one per cycle queue in a small FIFO.
+    """
+
+    def __init__(self, alpha: int = 14, max_set_size: int = 1 << 20) -> None:
+        self.alpha = alpha
+        self.num_adders = 1
+        self.levels = max(1, math.ceil(math.log2(max(2, max_set_size))))
+        self.buffer_words = self.levels + 1
+        self._op = _native_add
+        self.results: List[ReducedResult] = []
+        self.stats = ReductionStats()
+        # level -> partial sum awaiting a partner
+        self._level_store: Dict[int, float] = {}
+        # pending merge ops in the adder pipeline: (ready_cycle, level, value)
+        self._pipe: Deque[Tuple[int, int, float]] = deque()
+        self._count = 0
+        self._size: Optional[int] = None
+        self._set_id = 0
+        self._cycle = 0
+
+    def busy(self) -> bool:
+        return bool(self._level_store) or bool(self._pipe) or self._count > 0
+
+    def _merge(self, level: int, value: float) -> None:
+        """Carry-propagate a partial sum of 2^level inputs."""
+        while level in self._level_store:
+            partner = self._level_store.pop(level)
+            value = self._op(partner, value)
+            self.stats.adder_issues += 1
+            level += 1
+        if self._size is not None and (1 << level) == self._size:
+            self.results.append(
+                ReducedResult(self._set_id, value, self._cycle + self.alpha)
+            )
+            self._set_id += 1
+            self._count = 0
+            self._size = None
+        else:
+            self._level_store[level] = value
+        self.stats.max_buffer_occupancy = max(
+            self.stats.max_buffer_occupancy, len(self._level_store)
+        )
+
+    def cycle(self, value: Optional[float] = None, last: bool = False) -> bool:
+        self.stats.cycles += 1
+        self._cycle += 1
+        if value is None:
+            return True
+        self._count += 1
+        self.stats.inputs_accepted += 1
+        if last:
+            self._size = self._count
+            if self._size & (self._size - 1):
+                raise ValueError(
+                    f"FCCM'05 circuit requires power-of-two set sizes, "
+                    f"got {self._size}"
+                )
+        self._merge(0, float(value))
+        return True
+
+    def flush(self, max_cycles: int = 1_000_000) -> int:
+        # Merges are modelled at issue; charge the pipeline tail.
+        tail = self.alpha * max(1, len(self._level_store) or 1)
+        for _ in range(tail):
+            self.cycle()
+        if self._level_store:
+            raise SimulationError(
+                "FCCM'05 circuit left partial sums (non power-of-two set?)"
+            )
+        return tail
+
+
+class DualAdderReduction:
+    """The authors' two-adder designs [19]: arbitrary set sizes.
+
+    Adder 1 runs the binary-counter combiner; adder 2 folds the
+    leftover partials that a non-power-of-two set leaves behind at set
+    end.  Buffer Θ(lg s); no producer stalls.
+    """
+
+    def __init__(self, alpha: int = 14, max_set_size: int = 1 << 20) -> None:
+        self.alpha = alpha
+        self.num_adders = 2
+        self.levels = max(1, math.ceil(math.log2(max(2, max_set_size))))
+        self.buffer_words = 2 * (self.levels + 1)
+        self._op = _native_add
+        self.results: List[ReducedResult] = []
+        self.stats = ReductionStats()
+        self._level_store: Dict[int, float] = {}
+        self._set_id = 0
+        self._cycle = 0
+        self._tail_done = 0
+
+    def busy(self) -> bool:
+        return bool(self._level_store) or self._cycle < self._tail_done
+
+    def cycle(self, value: Optional[float] = None, last: bool = False) -> bool:
+        self.stats.cycles += 1
+        self._cycle += 1
+        if value is None:
+            return True
+        self.stats.inputs_accepted += 1
+        level, carry = 0, float(value)
+        while level in self._level_store:
+            carry = self._op(self._level_store.pop(level), carry)
+            self.stats.adder_issues += 1
+            level += 1
+        self._level_store[level] = carry
+        self.stats.max_buffer_occupancy = max(
+            self.stats.max_buffer_occupancy, len(self._level_store)
+        )
+        if last:
+            # Adder 2 folds the remaining partials sequentially.
+            partials = [self._level_store[j] for j in sorted(self._level_store)]
+            self._level_store.clear()
+            total = partials[0]
+            for p in partials[1:]:
+                total = self._op(total, p)
+                self.stats.adder_issues += 1
+            done = self._cycle + self.alpha * max(1, len(partials) - 1)
+            self.results.append(ReducedResult(self._set_id, total, done))
+            self._tail_done = max(self._tail_done, done)
+            self._set_id += 1
+        return True
+
+    def flush(self, max_cycles: int = 1_000_000) -> int:
+        tail = max(0, self._tail_done - self._cycle)
+        for _ in range(tail):
+            self.cycle()
+        return tail

@@ -1,0 +1,297 @@
+"""The paper's reduction circuit (Section 4.3, Figure 6).
+
+One pipelined floating-point adder (α stages) and two buffers of α²
+words each reduce multiple sequentially-delivered input sets of
+arbitrary size, one value per cycle, without stalling the producer, in
+fewer than ``Σ sᵢ + 2α²`` cycles total.
+
+**Reconstruction note.**  The paper defers the buffer schedule and
+proofs to an unpublished report [29]; this module implements a
+schedule that satisfies every property the paper states.  The mapping
+to Figure 6:
+
+* Two physical buffers (banks) of α² words.  One bank is the *fill*
+  bank (``Buf_in``): each arriving set reserves a lane of α words in
+  it.  A set with ``s ≤ α`` values simply stores them; a set with
+  ``s > α`` stores its first α values and *folds* every further value
+  into the lane cyclically through the adder — slot ``p`` is touched
+  every α-th fold, so the previous fold's result leaves the adder
+  exactly when the slot is next read (forwarding, no RAW hazard).
+  Because a lane never grows past α words, **no set ever straddles a
+  bank swap**.
+* When the fill bank cannot reserve a lane for a new set, the roles
+  swap (the other bank has been drained by then — see the accounting
+  below) — Figure 6's ``Buf_in``/``Buf_red`` alternation.
+* The *drain* side (``Buf_red``) reduces closed sets with the adder
+  during exactly those cycles in which the adder is not claimed by a
+  fold — the paper's collision-free sharing rule ("the adder reads
+  from Buf_red only when Buf_in is accepting new inputs").  Within a
+  closed set we pair any two landed values per issue (a pairwise tree
+  rather than the paper's column-interleaved sequential walk): operands
+  are consumed at issue and the result is a fresh value, so *no*
+  read-after-write hazard can occur by construction, with the same
+  ``c − 1`` additions per set.
+
+**Stall-freedom accounting** (tested property, see DESIGN.md): a bank
+holds at most α² words, so the drain work parked in it is at most
+``α² − (number of its sets)`` additions, while filling the other bank
+supplies at least ``α² − α + 1`` adder-free cycles (one per stored
+word) before the next swap is needed.  Hence the drained bank is empty
+by swap time and the producer never observes back-pressure; the final
+flush after the last input costs at most ~2α² cycles, giving the
+paper's total-latency bound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.fparith.softfloat import float_add
+from repro.reduction.base import ReducedResult, ReductionStats
+from repro.sim.engine import SimulationError
+
+
+class HazardError(SimulationError):
+    """An adder operand was read while its producing op was in flight.
+
+    The schedule makes this impossible by construction; the check is a
+    self-diagnostic against controller bugs.
+    """
+
+
+class _SetState:
+    """Controller state for one input set."""
+
+    __slots__ = ("set_id", "bank", "slots", "writes", "fold_pos",
+                 "inflight", "closed", "bag", "emitted")
+
+    def __init__(self, set_id: int, bank: int) -> None:
+        self.set_id = set_id
+        self.bank = bank
+        # Lane contents during the fill/fold phase; None = fold in flight.
+        self.slots: List[Optional[float]] = []
+        self.writes = 0
+        self.fold_pos = 0
+        self.inflight = 0
+        self.closed = False
+        # Bag of landed values once closed (order-free drain pool).
+        self.bag: List[float] = []
+        self.emitted = False
+
+    def pending_items(self) -> int:
+        return len(self.bag) + self.inflight
+
+    def complete(self) -> bool:
+        return (self.closed and self.inflight == 0 and len(self.bag) == 1)
+
+
+class SingleAdderReduction:
+    """The paper's single-adder, two-α²-buffer reduction circuit.
+
+    Parameters
+    ----------
+    alpha:
+        Pipeline depth of the floating-point adder (Table 2: 14).
+    exact:
+        Use the integer softfloat adder instead of the (bit-identical)
+        host FPU.
+    """
+
+    def __init__(self, alpha: int = 14, exact: bool = False,
+                 drain_policy: str = "most-work") -> None:
+        """``drain_policy`` selects which closed set the drain side
+        serves when several have pairable values: ``"most-work"``
+        (default; minimizes the flush makespan and is what the
+        latency-bound analysis assumes) or ``"fifo"`` (emit-in-order
+        bias; ablated in ``benchmarks/test_ablation_reduction.py``)."""
+        if alpha < 2:
+            raise ValueError("adder pipeline depth must be >= 2")
+        if drain_policy not in ("most-work", "fifo"):
+            raise ValueError(f"unknown drain policy {drain_policy!r}")
+        self.drain_policy = drain_policy
+        self.alpha = alpha
+        self.num_adders = 1
+        self.buffer_words = 2 * alpha * alpha
+        self._op: Callable[[float, float], float] = (
+            float_add if exact else (lambda a, b: a + b)
+        )
+        # α-slot adder pipeline; entries are op descriptors or None.
+        self._adder: Deque[Optional[tuple]] = deque([None] * alpha, maxlen=alpha)
+        self._bank_free = [alpha * alpha, alpha * alpha]
+        self._fill_bank = 0
+        self._current: Optional[_SetState] = None
+        self._closed: List[_SetState] = []
+        self._next_set_id = 0
+        self._cycle = 0
+        self._last_input_was_fold = False
+        self._fold_issue: Optional[tuple] = None
+        self.results: List[ReducedResult] = []
+        self.stats = ReductionStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        """Buffer words currently committed (including reservations)."""
+        return self.buffer_words - self._bank_free[0] - self._bank_free[1]
+
+    def busy(self) -> bool:
+        return (self._current is not None
+                or bool(self._closed)
+                or any(op is not None for op in self._adder))
+
+    # ------------------------------------------------------------------
+    def cycle(self, value: Optional[float] = None, last: bool = False) -> bool:
+        """Advance one clock cycle.  Returns False on input stall."""
+        self.stats.cycles += 1
+        self._cycle += 1
+
+        # 1. Adder output lands (issued α cycles ago).
+        landing = self._adder.popleft()
+        if landing is not None:
+            self._land(landing)
+
+        # 2. Input side (may claim the adder for a fold).
+        adder_claimed = False
+        accepted = True
+        if value is not None:
+            accepted = self._accept_input(float(value), last)
+            if accepted:
+                self.stats.inputs_accepted += 1
+                adder_claimed = self._last_input_was_fold
+            else:
+                self.stats.input_stall_cycles += 1
+
+        # 3. Drain side uses the adder if the fold did not.
+        issued: Optional[tuple] = self._fold_issue if adder_claimed else None
+        if not adder_claimed:
+            issued = self._issue_drain()
+        if issued is not None:
+            self.stats.adder_issues += 1
+        self._adder.append(issued)
+
+        if self.occupancy > self.stats.max_buffer_occupancy:
+            self.stats.max_buffer_occupancy = self.occupancy
+        return accepted
+
+    def flush(self, max_cycles: int = 1_000_000) -> int:
+        """Run bubbles until all sets are emitted; returns cycles used."""
+        used = 0
+        while self.busy():
+            if used >= max_cycles:
+                raise SimulationError(
+                    f"reduction circuit failed to drain within {max_cycles} "
+                    f"cycles"
+                )
+            self.cycle()
+            used += 1
+        return used
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _accept_input(self, value: float, last: bool) -> bool:
+        self._last_input_was_fold = False
+        self._fold_issue = None
+        state = self._current
+        if state is None:
+            bank = self._allocate_lane()
+            if bank is None:
+                return False  # both banks lack a free lane: stall
+            state = _SetState(self._next_set_id, bank)
+            self._next_set_id += 1
+            self._current = state
+
+        alpha = self.alpha
+        if state.writes < alpha:
+            # Fill phase: store the value; the adder stays free this
+            # cycle for the drain side (the paper's sharing rule).
+            state.slots.append(value)
+            state.writes += 1
+        else:
+            # Fold phase: combine with the lane slot, cyclically.
+            pos = state.fold_pos
+            operand = state.slots[pos]
+            if operand is None:
+                raise HazardError(
+                    f"set {state.set_id}: fold slot {pos} read while its "
+                    f"previous fold is still in the adder pipeline"
+                )
+            state.slots[pos] = None
+            state.inflight += 1
+            state.fold_pos = (pos + 1) % alpha
+            self._fold_issue = ("fold", state, pos, self._op(value, operand))
+            self._last_input_was_fold = True
+            state.writes += 1
+
+        if last:
+            self._close(state)
+        return True
+
+    def _allocate_lane(self) -> Optional[int]:
+        alpha = self.alpha
+        if self._bank_free[self._fill_bank] >= alpha:
+            bank = self._fill_bank
+        elif self._bank_free[1 - self._fill_bank] >= alpha:
+            # Buf_in is full: swap roles (Figure 6's buffer alternation).
+            self._fill_bank = 1 - self._fill_bank
+            bank = self._fill_bank
+        else:
+            return None
+        self._bank_free[bank] -= alpha
+        return bank
+
+    def _close(self, state: _SetState) -> None:
+        used = min(state.writes, self.alpha)
+        # Release the unused part of the α-word lane reservation.
+        self._bank_free[state.bank] += self.alpha - used
+        state.closed = True
+        state.bag = [v for v in state.slots if v is not None]
+        state.slots = []
+        self._current = None
+        if state.complete():
+            self._emit(state)
+        else:
+            self._closed.append(state)
+
+    def _issue_drain(self) -> Optional[tuple]:
+        """Pick a closed set with pairable values and pair two of its
+        landed values (work-conserving, hazard-free by construction)."""
+        best: Optional[_SetState] = None
+        for state in self._closed:
+            if len(state.bag) < 2:
+                continue
+            if self.drain_policy == "fifo":
+                best = state
+                break
+            if best is None or state.pending_items() > best.pending_items():
+                best = state
+        if best is None:
+            return None
+        a = best.bag.pop()
+        b = best.bag.pop()
+        best.inflight += 1
+        # Two operand slots free now; one is retained for the result.
+        self._bank_free[best.bank] += 1
+        return ("drain", best, -1, self._op(a, b))
+
+    def _land(self, op: tuple) -> None:
+        kind, state, pos, result = op
+        state.inflight -= 1
+        if kind == "fold" and not state.closed:
+            state.slots[pos] = result
+        else:
+            # Drain result, or a fold that landed after its set closed.
+            state.bag.append(result)
+        if state.complete():
+            self._emit(state)
+            if state in self._closed:
+                self._closed.remove(state)
+
+    def _emit(self, state: _SetState) -> None:
+        state.emitted = True
+        self._bank_free[state.bank] += 1  # the final value's slot
+        self.results.append(
+            ReducedResult(state.set_id, state.bag[0], self._cycle)
+        )
+        state.bag = []

@@ -1,0 +1,344 @@
+"""Structural (RTL-style) model of the Figure 6 reduction circuit.
+
+The behavioral model (:mod:`repro.reduction.single_adder`) is our
+*reconstruction* of the unpublished schedule, optimized for provable
+stall-freedom.  This module implements the circuit **as the paper
+literally describes it**, as interconnected components on the
+simulation engine:
+
+* two α-lane × α-slot buffers built from dual-ported BRAM models that
+  enforce the physical ≤2-accesses-per-cycle port limit;
+* one pipelined FP adder (:class:`repro.fparith.FloatingPointAdder`);
+* per-lane accumulator registers on the drain side (the "control
+  logic" slices of Table 2);
+* a controller FSM that (a) assigns each arriving set a lane of
+  ``Buf_in``, folding values beyond the α-th back into the lane
+  through the adder with output forwarding, (b) swaps buffer roles
+  when ``Buf_in`` has no free lane at a set boundary, and (c) drains
+  ``Buf_red`` lanes by sequential accumulation, interleaved round-robin
+  so same-lane additions are ≥ α apart (the paper's hazard-avoidance
+  rule), using the adder only in cycles the fill side leaves free.
+
+Because a lane holds exactly one set, this literal schedule *can*
+back-pressure the producer when more than α sets arrive while
+``Buf_red`` still drains (e.g. a flood of tiny sets) — a limitation
+our behavioral reconstruction removes by packing sets into slots (see
+EXPERIMENTS.md, discrepancy notes).  The paper's total latency bound
+Σsᵢ + 2α² holds for both; cross-validation tests check that the two
+models agree wherever the literal schedule is stall-free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.fparith.pipeline import FloatingPointAdder
+from repro.reduction.base import ReducedResult, ReductionStats
+from repro.sim.engine import Component, SimulationError, Simulator
+
+
+class PortLimitError(SimulationError):
+    """A BRAM buffer exceeded its two ports in one cycle."""
+
+
+class DualPortBuffer:
+    """An α×α buffer backed by a true-dual-port BRAM model.
+
+    Two ports per cycle, each usable for one read or one write.  Reads
+    are combinational (pre-edge data); writes commit at the clock edge.
+    """
+
+    def __init__(self, sim: Simulator, name: str, lanes: int,
+                 slots: int) -> None:
+        self.name = name
+        self.lanes = lanes
+        self.slots = slots
+        self._data: List[List[Optional[float]]] = [
+            [None] * slots for _ in range(lanes)
+        ]
+        self._staged: List[tuple] = []
+        self._ports_used = 0
+        self._sim = sim
+        self._cycle_mark = -1
+        self.max_ports_in_cycle = 0
+        sim.register_commit(self._commit)
+
+    def _use_port(self) -> None:
+        if self._cycle_mark != self._sim.cycle:
+            self._cycle_mark = self._sim.cycle
+            self._ports_used = 0
+        self._ports_used += 1
+        self.max_ports_in_cycle = max(self.max_ports_in_cycle,
+                                      self._ports_used)
+        if self._ports_used > 2:
+            raise PortLimitError(
+                f"buffer {self.name!r}: {self._ports_used} accesses in "
+                f"cycle {self._sim.cycle} (BRAM has 2 ports)"
+            )
+
+    def ports_available(self) -> int:
+        """Unused ports remaining in the current cycle."""
+        if self._cycle_mark != self._sim.cycle:
+            return 2
+        return 2 - self._ports_used
+
+    def read(self, lane: int, slot: int) -> Optional[float]:
+        self._use_port()
+        return self._data[lane][slot]
+
+    def write(self, lane: int, slot: int, value: Optional[float]) -> None:
+        self._use_port()
+        self._staged.append((lane, slot, value))
+
+    def _commit(self) -> None:
+        for lane, slot, value in self._staged:
+            self._data[lane][slot] = value
+        self._staged.clear()
+
+    def peek(self, lane: int, slot: int) -> Optional[float]:
+        """Non-port inspection (testbench only)."""
+        return self._data[lane][slot]
+
+
+class _Lane:
+    """Controller-side state of one buffer lane (one input set)."""
+
+    __slots__ = ("set_id", "count", "fold_pos", "inflight", "closed",
+                 "drain_pos", "acc", "done", "pending_slots")
+
+    def __init__(self) -> None:
+        self.set_id = -1
+        self.count = 0          # values stored in the lane
+        self.fold_pos = 0
+        self.inflight = 0       # adder ops owned by this lane
+        self.closed = False
+        self.drain_pos = 0      # next slot the drain will consume
+        self.acc: Optional[float] = None  # drain accumulator register
+        self.done = True
+        # Controller-register bitmap of slots whose fold result is
+        # still in the adder pipeline (their BRAM contents are stale).
+        self.pending_slots: set = set()
+
+    def reset(self, set_id: int) -> None:
+        self.set_id = set_id
+        self.count = 0
+        self.fold_pos = 0
+        self.inflight = 0
+        self.closed = False
+        self.drain_pos = 0
+        self.acc = None
+        self.done = False
+        self.pending_slots = set()
+
+
+class StructuralReduction(Component):
+    """The literal Figure 6 circuit on the simulation engine."""
+
+    def __init__(self, sim: Simulator, alpha: int = 14) -> None:
+        if alpha < 2:
+            raise ValueError("adder pipeline depth must be >= 2")
+        self.alpha = alpha
+        self.num_adders = 1
+        self.buffer_words = 2 * alpha * alpha
+        self.adder = FloatingPointAdder(sim, "red_adder", latency=alpha)
+        self.buffers = [DualPortBuffer(sim, f"buf{i}", alpha, alpha)
+                        for i in range(2)]
+        self._lanes: List[List[_Lane]] = [
+            [_Lane() for _ in range(alpha)] for _ in range(2)
+        ]
+        self._fill = 0           # index of Buf_in
+        self._current: Optional[_Lane] = None
+        self._drain_rr = 0       # round-robin pointer over Buf_red lanes
+        self._next_set_id = 0
+        self.results: List[ReducedResult] = []
+        self.stats = ReductionStats()
+        self._input: Optional[tuple] = None
+        self._accepted = False
+        self._sim = sim
+        sim.add(self)
+
+    # ------------------------------------------------------------------
+    # testbench interface
+    # ------------------------------------------------------------------
+    def offer(self, value: float, last: bool) -> None:
+        """Present an input for the upcoming cycle (before sim.step())."""
+        self._input = (float(value), last)
+
+    @property
+    def accepted(self) -> bool:
+        """Whether the last offered input was taken (read after step)."""
+        return self._accepted
+
+    def busy(self) -> bool:
+        if self._current is not None or not self.adder.drained():
+            return True
+        return any(not lane.done for bank in self._lanes for lane in bank)
+
+    # ------------------------------------------------------------------
+    def _red(self) -> int:
+        return 1 - self._fill
+
+    def _allocate_lane(self) -> Optional[_Lane]:
+        bank = self._lanes[self._fill]
+        for lane in bank:
+            if lane.done and lane.inflight == 0:
+                lane.reset(self._next_set_id)
+                self._next_set_id += 1
+                return lane
+        # Buf_in has no free lane: swap roles if Buf_red is drained.
+        red = self._lanes[self._red()]
+        if all(l.done and l.inflight == 0 for l in red):
+            self._fill = self._red()
+            return self._allocate_lane()
+        return None
+
+    def _lane_index(self, bank: int, lane: _Lane) -> int:
+        return self._lanes[bank].index(lane)
+
+    def _bank_of(self, lane: _Lane) -> int:
+        for bank in range(2):
+            if lane in self._lanes[bank]:
+                return bank
+        raise SimulationError("lane not in any bank")
+
+    # ------------------------------------------------------------------
+    def evaluate(self, cycle: int) -> None:
+        self.stats.cycles += 1
+        adder_busy = False
+        landing = self.adder.output  # committed at the last clock edge
+
+        # 1. Land an adder result: fold write-back or drain progress.
+        forwarded: Optional[tuple] = None
+        if landing is not None:
+            kind, bank, lane_idx, slot = landing.tag
+            lane = self._lanes[bank][lane_idx]
+            lane.inflight -= 1
+            if kind == "fold":
+                forwarded = (bank, lane_idx, slot, landing.value)
+                self.buffers[bank].write(lane_idx, slot, landing.value)
+                lane.pending_slots.discard(slot)
+            else:  # drain partial or final
+                if lane.closed and lane.drain_pos >= lane.count:
+                    self.results.append(ReducedResult(
+                        lane.set_id, landing.value, cycle))
+                    lane.done = True
+                    lane.acc = None
+                else:
+                    lane.acc = landing.value  # accumulator register
+
+        # 2. Fill side (may claim the adder for a fold).
+        self._accepted = False
+        if self._input is not None:
+            value, last = self._input
+            lane = self._current
+            if lane is None:
+                lane = self._allocate_lane()
+                self._current = lane
+            if lane is None:
+                self.stats.input_stall_cycles += 1
+            else:
+                self._accepted = True
+                self.stats.inputs_accepted += 1
+                fill_bank = self._fill
+                lane_idx = self._lane_index(fill_bank, lane)
+                if lane.count < self.alpha:
+                    if last and lane.count == 0:
+                        # Singleton set: stream straight through.
+                        self.results.append(ReducedResult(
+                            lane.set_id, value, cycle))
+                        lane.done = True
+                    else:
+                        self.buffers[fill_bank].write(lane_idx,
+                                                      lane.count, value)
+                        lane.count += 1
+                else:
+                    # Fold: operand from the lane slot (or forwarded
+                    # straight off the adder output — the bypass path).
+                    slot = lane.fold_pos
+                    if forwarded is not None and forwarded[:3] == (
+                            fill_bank, lane_idx, slot):
+                        operand = forwarded[3]
+                    else:
+                        operand = self.buffers[fill_bank].read(lane_idx,
+                                                               slot)
+                    if operand is None:
+                        raise SimulationError(
+                            "fold read a slot whose previous fold has "
+                            "not landed (hazard)")
+                    self.adder.issue(value, operand,
+                                     tag=("fold", fill_bank, lane_idx,
+                                          slot))
+                    self.stats.adder_issues += 1
+                    lane.inflight += 1
+                    lane.pending_slots.add(slot)
+                    lane.fold_pos = (slot + 1) % self.alpha
+                    adder_busy = True
+                if last:
+                    lane.closed = True
+                    self._current = None
+            self._input = None
+
+        # 3. Drain side: use the adder only if the fill side did not.
+        if not adder_busy:
+            self._issue_drain(cycle, forwarded)
+
+    def _issue_drain(self, cycle: int,
+                     forwarded: Optional[tuple]) -> None:
+        # Serve Buf_red; once it is fully drained, closed lanes of
+        # Buf_in may drain too (this is how the final flush happens —
+        # the role swap, degenerately, when no further input arrives).
+        red = self._red()
+        if all(l.done and l.inflight == 0 for l in self._lanes[red]):
+            red = self._fill
+        self._drain_bank(red, cycle, forwarded)
+
+    def _drain_bank(self, red: int, cycle: int,
+                    forwarded: Optional[tuple]) -> None:
+        if self.buffers[red].ports_available() < 1:
+            return  # fill-side traffic already claimed the BRAM ports
+        bank = self._lanes[red]
+        for step in range(self.alpha):
+            index = (self._drain_rr + step) % self.alpha
+            lane = bank[index]
+            if lane.done or not lane.closed or lane.inflight:
+                continue
+            if lane.drain_pos >= lane.count:
+                continue  # everything consumed; final add in flight
+            if lane.drain_pos in lane.pending_slots:
+                continue  # slot contents stale: fold still in flight
+            # A fold result landing this very cycle is not yet readable
+            # from the BRAM (its write commits at the edge): take it
+            # from the adder-output bypass instead.
+            bypass = None
+            if forwarded is not None and forwarded[:3] == (
+                    red, index, lane.drain_pos):
+                bypass = forwarded[3]
+            if lane.acc is None:
+                # Load the accumulator register from the first slot —
+                # a buffer read (or the bypass), no adder needed.
+                slot0 = bypass if bypass is not None else \
+                    self.buffers[red].read(index, lane.drain_pos)
+                if slot0 is None:
+                    continue  # a fold result still in flight
+                lane.acc = slot0
+                lane.drain_pos += 1
+                if lane.drain_pos >= lane.count:
+                    # Lane held a single value: it is the set's total.
+                    self.results.append(ReducedResult(lane.set_id,
+                                                      lane.acc, cycle))
+                    lane.done = True
+                    lane.acc = None
+                self._drain_rr = (index + 1) % self.alpha
+                return
+            operand = bypass if bypass is not None else \
+                self.buffers[red].read(index, lane.drain_pos)
+            if operand is None:
+                continue  # fold result for this slot still in flight
+            lane.drain_pos += 1
+            self.adder.issue(lane.acc, operand,
+                             tag=("drain", red, index, -1))
+            self.stats.adder_issues += 1
+            lane.inflight += 1
+            lane.acc = None
+            self._drain_rr = (index + 1) % self.alpha
+            return

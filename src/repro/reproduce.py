@@ -1,0 +1,207 @@
+"""One-command reproduction driver: ``python -m repro reproduce``.
+
+Regenerates the paper-vs-measured comparison for every table and
+figure (the same quantities the benchmark harness checks) and renders
+them as a single report.  Scale is adjustable: ``quick`` runs the
+cycle simulations at reduced problem sizes (seconds), ``full`` at the
+paper's sizes (a minute or two).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.perf.report import Comparison, render_table
+
+
+@dataclass(frozen=True)
+class SectionResult:
+    title: str
+    comparisons: List[Comparison]
+    note: Optional[str] = None
+
+    @property
+    def all_within_tolerance(self) -> bool:
+        return all(c.within_tolerance for c in self.comparisons)
+
+
+def _table2_section(rng, full: bool) -> SectionResult:
+    from repro.fparith.units import (
+        FP_ADDER_64,
+        FP_MULTIPLIER_64,
+        REDUCTION_CIRCUIT_SPEC,
+    )
+
+    return SectionResult("Table 2: FP units", [
+        Comparison("adder stages", 14, FP_ADDER_64.pipeline_stages),
+        Comparison("adder slices", 892, FP_ADDER_64.area_slices),
+        Comparison("multiplier stages", 11,
+                   FP_MULTIPLIER_64.pipeline_stages),
+        Comparison("multiplier slices", 835,
+                   FP_MULTIPLIER_64.area_slices),
+        Comparison("reduction circuit slices", 1658,
+                   REDUCTION_CIRCUIT_SPEC.area_slices),
+    ])
+
+
+def _table3_section(rng, full: bool) -> SectionResult:
+    from repro.blas.level1 import DotProductDesign
+    from repro.blas.level2 import TreeMvmDesign
+    from repro.device.area import AreaModel
+
+    n = 2048 if full else 512
+    dot_run = DotProductDesign(k=2).run(rng.standard_normal(n),
+                                        rng.standard_normal(n))
+    mvm_run = TreeMvmDesign(k=4).run(rng.standard_normal((n, n)),
+                                     rng.standard_normal(n))
+    model = AreaModel()
+    return SectionResult(
+        f"Table 3: Level 1/2 designs (n = {n})",
+        [
+            Comparison("dot area (slices)", 5210,
+                       model.dot_product_design(2).slices),
+            Comparison("dot sustained (MFLOPS)", 557,
+                       dot_run.sustained_mflops(170.0), rel_tol=0.3),
+            Comparison("mvm area (slices)", 9669,
+                       model.mvm_design(4).slices),
+            Comparison("mvm sustained (MFLOPS)", 1355,
+                       mvm_run.sustained_mflops(170.0), rel_tol=0.1),
+            Comparison("mvm % of peak", 97,
+                       100 * mvm_run.efficiency, rel_tol=0.05),
+        ],
+        note=None if full else
+        "quick mode: reduced n — dot product's % of peak runs lower "
+        "than the paper's n = 2048 point.",
+    )
+
+
+def _table4_section(rng, full: bool) -> SectionResult:
+    from repro.blas.multi_fpga import MultiFpgaMatrixMultiply
+    from repro.device.area import AreaModel
+    from repro.host.staging import staged_mvm_run
+
+    n_mvm = 1024 if full else 256
+    mvm = staged_mvm_run(rng.standard_normal((n_mvm, n_mvm)),
+                         rng.standard_normal(n_mvm), k=4,
+                         clock_mhz=164.0)
+    n_mm = 512 if full else 128
+    design = MultiFpgaMatrixMultiply(l=1, k=8, m=8,
+                                     b=512 if full else 64)
+    mm = design.run(rng.standard_normal((n_mm, n_mm)),
+                    rng.standard_normal((n_mm, n_mm)))
+    model = AreaModel()
+    rows = [
+        Comparison("L2 area (slices)", 13772,
+                   model.mvm_design(4, on_xd1=True).slices),
+        Comparison("L2 % of DRAM peak", 80.6, mvm.percent_of_dram_peak,
+                   rel_tol=0.1),
+        Comparison("L3 area (slices)", 21029,
+                   model.mm_design(8, on_xd1=True).slices),
+        Comparison("L3 sustained (GFLOPS)", 2.06,
+                   mm.sustained_gflops(130.0), rel_tol=0.05),
+    ]
+    if full:
+        rows.insert(2, Comparison("L2 total latency (ms)", 8.0,
+                                  mvm.total_seconds * 1e3))
+        rows.insert(3, Comparison("L2 sustained (MFLOPS)", 262,
+                                  mvm.sustained_mflops))
+    return SectionResult(
+        f"Table 4: XD1 measurements (MVM n = {n_mvm}, MM n = {n_mm})",
+        rows)
+
+
+def _fig9_section(rng, full: bool) -> SectionResult:
+    from repro.device.area import AreaModel, mm_clock_mhz
+
+    model = AreaModel()
+    return SectionResult("Figure 9: MM area & clock vs k", [
+        Comparison("PE slices", 2158, model.mm_design(1).slices),
+        Comparison("clock at k=1 (MHz)", 155, mm_clock_mhz(1)),
+        Comparison("clock at k=10 (MHz)", 125, mm_clock_mhz(10)),
+        Comparison("formula GFLOPS at k=10", 2.5,
+                   2 * 10 * mm_clock_mhz(10) / 1000),
+    ])
+
+
+def _projection_section(rng, full: bool) -> SectionResult:
+    from repro.device.fpga import XC2VP100
+    from repro.perf.projection import (
+        project_chassis,
+        project_multi_chassis,
+    )
+
+    fig11 = project_chassis(1600, 200.0)
+    fig12 = project_chassis(1600, 200.0, device=XC2VP100)
+    twelve = project_multi_chassis(12)
+    return SectionResult("Figures 11/12 + Section 6.4 projections", [
+        Comparison("Fig 11 best corner (GFLOPS)", 27.0, fig11.gflops,
+                   rel_tol=0.1),
+        Comparison("Fig 11 DRAM need (MB/s)", 147.7,
+                   fig11.dram_mbytes_per_s),
+        Comparison("Fig 12 best corner (GFLOPS)", 50.0, fig12.gflops,
+                   rel_tol=0.1),
+        Comparison("Fig 12 DRAM need (MB/s)", 284.8,
+                   fig12.dram_mbytes_per_s),
+        Comparison("one chassis (GFLOPS)", 12.4,
+                   project_multi_chassis(1).gflops),
+        Comparison("12 chassis (GFLOPS)", 148.3, twelve.gflops),
+        Comparison("12-chassis DRAM need (MB/s)", 877.5,
+                   twelve.dram_mbytes_per_s),
+    ], note="Fig 11/12 GFLOPS: the paper's corners imply fractional "
+            "PE counts; integer PEs give 25.2 / 48.6.")
+
+
+def _reduction_section(rng, full: bool) -> SectionResult:
+    from repro.reduction.analysis import latency_bound, run_reduction
+    from repro.reduction.baselines import StallingReduction
+    from repro.reduction.single_adder import SingleAdderReduction
+
+    sets = [list(rng.standard_normal(32)) for _ in range(64 if full
+                                                         else 24)]
+    ours = run_reduction(SingleAdderReduction(alpha=14), sets)
+    stall = run_reduction(StallingReduction(alpha=14), sets)
+    bound = latency_bound([len(s) for s in sets], 14)
+    return SectionResult("Section 4.3: reduction circuit", [
+        Comparison("producer stalls", 0, ours.stall_cycles,
+                   rel_tol=0.0),
+        Comparison("latency / (Σs + 2α²) bound", 1.0,
+                   ours.total_cycles / bound, rel_tol=1.0),
+        Comparison("speedup vs stalling baseline", 14.0,
+                   stall.total_cycles / ours.total_cycles,
+                   rel_tol=0.5),
+    ])
+
+
+_SECTIONS: List[Callable] = [
+    _table2_section,
+    _table3_section,
+    _table4_section,
+    _fig9_section,
+    _projection_section,
+    _reduction_section,
+]
+
+
+def run_reproduction(full: bool = False,
+                     seed: int = 20050512) -> Tuple[str, bool]:
+    """Run every section; returns (rendered report, all_ok)."""
+    rng = np.random.default_rng(seed)
+    blocks = []
+    all_ok = True
+    for section in _SECTIONS:
+        result = section(rng, full)
+        blocks.append(render_table(result.title, result.comparisons,
+                                   extra_note=result.note))
+        all_ok = all_ok and result.all_within_tolerance
+    scale = "full (paper-size)" if full else "quick (reduced-size)"
+    header = (
+        "Reproduction report — Zhuo & Prasanna, SC 2005\n"
+        f"scale: {scale}\n"
+    )
+    footer = ("\nAll quantities within tolerance."
+              if all_ok else "\nSome quantities deviate — see rows "
+              "marked DEVIATES.")
+    return header + "\n" + "\n\n".join(blocks) + footer + "\n", all_ok

@@ -1,0 +1,26 @@
+"""Numerical solvers built on the FPGA BLAS library.
+
+The paper motivates its BLAS designs as "basic building blocks for
+many numerical linear algebra applications, including the solution of
+linear systems of equations" and names conjugate gradient (with Jacobi
+as a preconditioner) explicitly.  This package builds those
+applications on top of the simulated designs:
+
+* :mod:`repro.solvers.cg` — (preconditioned) conjugate gradient whose
+  matrix-vector products run on the SpMXV design and whose inner
+  products run on the Level-1 dot-product design.
+* :mod:`repro.solvers.lu` — LINPACK-style blocked LU factorization and
+  dense solve whose trailing-matrix updates (the O(n³) part) run on the
+  Level-3 matrix-multiply PE array, with the host handling the O(n²)
+  panel work — the paper's processor/FPGA partitioning rule.
+"""
+
+from repro.solvers.cg import CgResult, ConjugateGradientSolver
+from repro.solvers.lu import BlockedLu, LuResult
+
+__all__ = [
+    "ConjugateGradientSolver",
+    "CgResult",
+    "BlockedLu",
+    "LuResult",
+]

@@ -1,0 +1,138 @@
+"""Conjugate gradient on the FPGA designs.
+
+Each CG iteration needs one sparse matrix-vector product (the SpMXV
+design: tree architecture + reduction circuit), two inner products
+(the Level-1 dot-product design) and three AXPY-style vector updates
+(host/processor work, per the paper's control-vs-compute
+partitioning).  An optional Jacobi (diagonal) preconditioner matches
+the paper's remark that Jacobi is "usually used as preconditioner for
+the more efficient methods like conjugate gradient".
+
+The solver accounts FPGA cycles per component so the benchmark harness
+can show where the time goes as sparsity and problem size change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.blas.level1 import DotProductDesign
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.spmxv import SpmxvDesign
+
+
+@dataclass
+class CgResult:
+    """Outcome of a conjugate-gradient solve."""
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_norm: float
+    residual_history: List[float]
+    fpga_cycles: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_fpga_cycles(self) -> int:
+        return sum(self.fpga_cycles.values())
+
+
+class ConjugateGradientSolver:
+    """CG with SpMXV and dot products on the FPGA designs.
+
+    Parameters
+    ----------
+    k_spmxv, k_dot:
+        Parallelism of the SpMXV and dot-product designs.
+    preconditioner:
+        ``None`` or ``"jacobi"`` (diagonal scaling).
+    tol:
+        Relative residual tolerance ‖r‖/‖b‖.
+    """
+
+    def __init__(self, k_spmxv: int = 4, k_dot: int = 2,
+                 preconditioner: Optional[str] = None,
+                 tol: float = 1e-10, max_iterations: int = 1000) -> None:
+        if preconditioner not in (None, "jacobi"):
+            raise ValueError(f"unknown preconditioner {preconditioner!r}")
+        if tol <= 0:
+            raise ValueError("tolerance must be positive")
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        self.spmxv = SpmxvDesign(k=k_spmxv)
+        self.dot = DotProductDesign(k=k_dot)
+        self.preconditioner = preconditioner
+        self.tol = tol
+        self.max_iterations = max_iterations
+
+    def _matvec(self, matrix: CsrMatrix, v: np.ndarray,
+                cycles: Dict[str, int]) -> np.ndarray:
+        run = self.spmxv.run(matrix, v)
+        cycles["spmxv"] = cycles.get("spmxv", 0) + run.total_cycles
+        return run.y
+
+    def _dot(self, u: np.ndarray, v: np.ndarray,
+             cycles: Dict[str, int]) -> float:
+        run = self.dot.run(u, v)
+        cycles["dot"] = cycles.get("dot", 0) + run.total_cycles
+        return run.result
+
+    def solve(self, matrix: CsrMatrix, b: np.ndarray,
+              x0: Optional[np.ndarray] = None) -> CgResult:
+        """Solve A·x = b for symmetric positive-definite A."""
+        if matrix.nrows != matrix.ncols:
+            raise ValueError("CG needs a square system")
+        b = np.asarray(b, dtype=np.float64).ravel()
+        if len(b) != matrix.nrows:
+            raise ValueError("dimension mismatch")
+
+        inv_diag = None
+        if self.preconditioner == "jacobi":
+            diag = matrix.diagonal()
+            if np.any(diag <= 0.0):
+                raise ValueError(
+                    "Jacobi preconditioning needs a positive diagonal")
+            inv_diag = 1.0 / diag
+
+        cycles: Dict[str, int] = {}
+        x = (np.zeros_like(b) if x0 is None
+             else np.asarray(x0, dtype=np.float64).ravel().copy())
+        r = b - self._matvec(matrix, x, cycles)
+        z = inv_diag * r if inv_diag is not None else r
+        p = z.copy()
+        rz = self._dot(r, z, cycles)
+        b_norm = float(np.linalg.norm(b)) or 1.0
+
+        history: List[float] = []
+        converged = False
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            Ap = self._matvec(matrix, p, cycles)
+            pAp = self._dot(p, Ap, cycles)
+            if pAp <= 0.0:
+                break  # not SPD along this direction; bail out honestly
+            alpha = rz / pAp
+            x = x + alpha * p          # AXPY on the host processor
+            r = r - alpha * Ap
+            residual = float(np.linalg.norm(r))
+            history.append(residual)
+            if residual <= self.tol * b_norm:
+                converged = True
+                break
+            z = inv_diag * r if inv_diag is not None else r
+            rz_next = self._dot(r, z, cycles)
+            beta = rz_next / rz
+            rz = rz_next
+            p = z + beta * p
+
+        return CgResult(
+            x=x,
+            iterations=iterations,
+            converged=converged,
+            residual_norm=history[-1] if history else 0.0,
+            residual_history=history,
+            fpga_cycles=cycles,
+        )

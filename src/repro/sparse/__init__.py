@@ -1,0 +1,22 @@
+"""Sparse extension: SpMXV and the Jacobi iterative solver.
+
+The paper's concluding section describes two follow-on designs built
+on the same tree architecture and reduction circuit: a sparse
+matrix-vector multiply that makes no assumption on sparsity structure
+and accepts Compressed Row Storage matrices [32], and a Jacobi
+iterative solver built on it [18].  Rows of a sparse matrix have
+arbitrary nonzero counts — exactly the "multiple input sets of
+arbitrary size" workload the reduction circuit exists for.
+"""
+
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.spmxv import SpmxvDesign, SpmxvRun
+from repro.sparse.jacobi import JacobiResult, JacobiSolver
+
+__all__ = [
+    "CsrMatrix",
+    "SpmxvDesign",
+    "SpmxvRun",
+    "JacobiSolver",
+    "JacobiResult",
+]

@@ -1,0 +1,122 @@
+"""Compressed Row Storage (CRS) sparse matrices, from scratch.
+
+The SpMXV design [32] accepts matrices in CRS format: ``values`` and
+``col_indices`` arrays plus a ``row_ptr`` array of row start offsets.
+This implementation is self-contained (no scipy dependency) and is the
+storage format streamed to the FPGA design.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+
+class CsrMatrix:
+    """A CRS (a.k.a. CSR) sparse matrix of float64 values."""
+
+    def __init__(self, values: np.ndarray, col_indices: np.ndarray,
+                 row_ptr: np.ndarray, shape: Tuple[int, int]) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        col_indices = np.asarray(col_indices, dtype=np.int64)
+        row_ptr = np.asarray(row_ptr, dtype=np.int64)
+        nrows, ncols = shape
+        if nrows < 0 or ncols < 0:
+            raise ValueError("shape must be non-negative")
+        if len(row_ptr) != nrows + 1:
+            raise ValueError("row_ptr must have nrows + 1 entries")
+        if row_ptr[0] != 0 or row_ptr[-1] != len(values):
+            raise ValueError("row_ptr must start at 0 and end at nnz")
+        if np.any(np.diff(row_ptr) < 0):
+            raise ValueError("row_ptr must be non-decreasing")
+        if len(values) != len(col_indices):
+            raise ValueError("values and col_indices must align")
+        if len(col_indices) and (col_indices.min() < 0
+                                 or col_indices.max() >= ncols):
+            raise ValueError("column index out of range")
+        self.values = values
+        self.col_indices = col_indices
+        self.row_ptr = row_ptr
+        self.shape = (nrows, ncols)
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, tol: float = 0.0) -> "CsrMatrix":
+        """Build from a dense array, dropping entries with |a| <= tol."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError("dense input must be 2-D")
+        nrows, ncols = dense.shape
+        values: List[float] = []
+        cols: List[int] = []
+        row_ptr = [0]
+        for i in range(nrows):
+            row = dense[i]
+            nz = np.nonzero(np.abs(row) > tol)[0]
+            values.extend(row[nz])
+            cols.extend(nz.tolist())
+            row_ptr.append(len(values))
+        return cls(np.array(values), np.array(cols, dtype=np.int64),
+                   np.array(row_ptr, dtype=np.int64), (nrows, ncols))
+
+    @classmethod
+    def random(cls, nrows: int, ncols: int, density: float,
+               rng: np.random.Generator) -> "CsrMatrix":
+        """Random sparse matrix with i.i.d. Bernoulli sparsity."""
+        if not 0 < density <= 1:
+            raise ValueError("density must be in (0, 1]")
+        mask = rng.random((nrows, ncols)) < density
+        dense = np.where(mask, rng.standard_normal((nrows, ncols)), 0.0)
+        return cls.from_dense(dense)
+
+    # -- accessors -------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return len(self.values)
+
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    def row_nnz(self, i: int) -> int:
+        return int(self.row_ptr[i + 1] - self.row_ptr[i])
+
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(values, col_indices) of row i."""
+        lo, hi = self.row_ptr[i], self.row_ptr[i + 1]
+        return self.values[lo:hi], self.col_indices[lo:hi]
+
+    def iter_rows(self) -> Iterator[Tuple[int, np.ndarray, np.ndarray]]:
+        for i in range(self.nrows):
+            vals, cols = self.row(i)
+            yield i, vals, cols
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape)
+        for i, vals, cols in self.iter_rows():
+            dense[i, cols] = vals
+        return dense
+
+    def diagonal(self) -> np.ndarray:
+        diag = np.zeros(min(self.shape))
+        for i in range(len(diag)):
+            vals, cols = self.row(i)
+            hits = np.nonzero(cols == i)[0]
+            if len(hits):
+                diag[i] = vals[hits[0]]
+        return diag
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Reference (host) SpMXV for validation."""
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if len(x) != self.ncols:
+            raise ValueError("dimension mismatch")
+        y = np.zeros(self.nrows)
+        for i, vals, cols in self.iter_rows():
+            y[i] = float(np.dot(vals, x[cols]))
+        return y

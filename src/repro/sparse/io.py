@@ -1,0 +1,141 @@
+"""Matrix Market I/O for CRS matrices, from scratch.
+
+The sparse designs accept CRS matrices; real sparse workloads live in
+Matrix Market (``.mtx``) files — the exchange format of the Harwell-
+Boeing / SuiteSparse collections that FPGA SpMXV papers (including
+[32]) evaluate on.  This module implements the coordinate format
+reader/writer without external dependencies: ``real`` / ``integer``
+fields, ``general`` / ``symmetric`` / ``skew-symmetric`` symmetries,
+``%`` comments, and 1-based indices per the specification.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, TextIO, Tuple, Union
+
+import numpy as np
+
+from repro.sparse.csr import CsrMatrix
+
+_HEADER = "%%MatrixMarket"
+_SUPPORTED_FIELDS = ("real", "integer")
+_SUPPORTED_SYMMETRIES = ("general", "symmetric", "skew-symmetric")
+
+
+class MatrixMarketError(ValueError):
+    """Malformed Matrix Market content."""
+
+
+def _open_for_read(source: Union[str, TextIO]) -> Tuple[TextIO, bool]:
+    if isinstance(source, str):
+        return open(source, "r"), True
+    return source, False
+
+
+def read_matrix_market(source: Union[str, TextIO]) -> CsrMatrix:
+    """Parse a coordinate-format Matrix Market file into a CsrMatrix."""
+    handle, owned = _open_for_read(source)
+    try:
+        header = handle.readline()
+        if not header.startswith(_HEADER):
+            raise MatrixMarketError(
+                f"missing {_HEADER} banner (got {header[:40]!r})")
+        tokens = header.strip().split()
+        if len(tokens) < 5:
+            raise MatrixMarketError(f"short banner: {header.strip()!r}")
+        _, obj, fmt, field, symmetry = (t.lower() for t in tokens[:5])
+        if obj != "matrix":
+            raise MatrixMarketError(f"unsupported object {obj!r}")
+        if fmt != "coordinate":
+            raise MatrixMarketError(
+                f"only coordinate format is supported, got {fmt!r}")
+        if field not in _SUPPORTED_FIELDS:
+            raise MatrixMarketError(f"unsupported field {field!r}")
+        if symmetry not in _SUPPORTED_SYMMETRIES:
+            raise MatrixMarketError(
+                f"unsupported symmetry {symmetry!r}")
+
+        # size line (skipping comments/blank lines)
+        size_line = None
+        for line in handle:
+            stripped = line.strip()
+            if stripped and not stripped.startswith("%"):
+                size_line = stripped
+                break
+        if size_line is None:
+            raise MatrixMarketError("missing size line")
+        parts = size_line.split()
+        if len(parts) != 3:
+            raise MatrixMarketError(f"bad size line: {size_line!r}")
+        nrows, ncols, nnz = (int(p) for p in parts)
+        if nrows < 0 or ncols < 0 or nnz < 0:
+            raise MatrixMarketError("negative dimensions")
+
+        entries: List[Tuple[int, int, float]] = []
+        count = 0
+        for line in handle:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("%"):
+                continue
+            fields = stripped.split()
+            if len(fields) != 3:
+                raise MatrixMarketError(f"bad entry line: {stripped!r}")
+            i, j = int(fields[0]) - 1, int(fields[1]) - 1
+            value = float(fields[2])
+            if not (0 <= i < nrows and 0 <= j < ncols):
+                raise MatrixMarketError(
+                    f"entry ({i + 1}, {j + 1}) outside "
+                    f"{nrows}x{ncols}")
+            entries.append((i, j, value))
+            if symmetry != "general" and i != j:
+                mirrored = -value if symmetry == "skew-symmetric" else value
+                entries.append((j, i, mirrored))
+            count += 1
+        if count != nnz:
+            raise MatrixMarketError(
+                f"size line promised {nnz} entries, found {count}")
+
+        entries.sort(key=lambda e: (e[0], e[1]))
+        values = np.array([e[2] for e in entries], dtype=np.float64)
+        cols = np.array([e[1] for e in entries], dtype=np.int64)
+        row_ptr = np.zeros(nrows + 1, dtype=np.int64)
+        for i, _, _ in entries:
+            row_ptr[i + 1] += 1
+        np.cumsum(row_ptr, out=row_ptr)
+        return CsrMatrix(values, cols, row_ptr, (nrows, ncols))
+    finally:
+        if owned:
+            handle.close()
+
+
+def write_matrix_market(matrix: CsrMatrix,
+                        destination: Union[str, TextIO],
+                        comment: str = "written by repro") -> None:
+    """Write a CsrMatrix as coordinate real general Matrix Market."""
+    if isinstance(destination, str):
+        with open(destination, "w") as handle:
+            write_matrix_market(matrix, handle, comment)
+        return
+    handle = destination
+    handle.write(f"{_HEADER} matrix coordinate real general\n")
+    for line in comment.splitlines() or [""]:
+        handle.write(f"% {line}\n")
+    handle.write(f"{matrix.nrows} {matrix.ncols} {matrix.nnz}\n")
+    for i, vals, cols in matrix.iter_rows():
+        for value, j in zip(vals, cols):
+            # repr of a Python float is shortest-exact: doubles
+            # round-trip bit-for-bit through the text format.
+            handle.write(f"{i + 1} {j + 1} {float(value)!r}\n")
+
+
+def loads(text: str) -> CsrMatrix:
+    """Parse Matrix Market content from a string."""
+    return read_matrix_market(io.StringIO(text))
+
+
+def dumps(matrix: CsrMatrix, comment: str = "written by repro") -> str:
+    """Render a CsrMatrix as a Matrix Market string."""
+    buffer = io.StringIO()
+    write_matrix_market(matrix, buffer, comment)
+    return buffer.getvalue()

@@ -1,0 +1,127 @@
+"""FPGA Jacobi iterative solver (the paper's [18] design).
+
+Jacobi iteration for A·x = b with A = D + R (D the diagonal):
+
+    x⁽ᵗ⁺¹⁾ = D⁻¹ (b − R·x⁽ᵗ⁾)
+
+Each iteration is one SpMXV (on the FPGA design) plus elementwise
+vector operations; the FPGA performs the R·x product through the
+tree + reduction datapath, and the solver accounts the per-iteration
+cycle cost.  Convergence requires strict diagonal dominance (checked,
+as the design assumes a valid preconditioner workload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.spmxv import SpmxvDesign
+
+
+@dataclass
+class JacobiResult:
+    """Outcome of a Jacobi solve."""
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_norm: float
+    residual_history: List[float]
+    total_cycles: int
+
+    def cycles_per_iteration(self) -> float:
+        if self.iterations == 0:
+            return 0.0
+        return self.total_cycles / self.iterations
+
+
+class JacobiSolver:
+    """Jacobi solver driving the FPGA SpMXV design per iteration."""
+
+    def __init__(self, k: int = 4, tol: float = 1e-10,
+                 max_iterations: int = 1000,
+                 design: Optional[SpmxvDesign] = None) -> None:
+        if tol <= 0:
+            raise ValueError("tolerance must be positive")
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        self.tol = tol
+        self.max_iterations = max_iterations
+        self.design = design if design is not None else SpmxvDesign(k=k)
+
+    @staticmethod
+    def _split(matrix: CsrMatrix) -> tuple:
+        """Split A into diagonal D and off-diagonal remainder R (CRS)."""
+        diag = matrix.diagonal()
+        if np.any(diag == 0.0):
+            raise ValueError("Jacobi requires a nonzero diagonal")
+        values: List[float] = []
+        cols: List[int] = []
+        row_ptr = [0]
+        for i, vals, cidx in matrix.iter_rows():
+            keep = cidx != i
+            values.extend(vals[keep])
+            cols.extend(cidx[keep].tolist())
+            row_ptr.append(len(values))
+        R = CsrMatrix(np.array(values), np.array(cols, dtype=np.int64),
+                      np.array(row_ptr, dtype=np.int64), matrix.shape)
+        return diag, R
+
+    @staticmethod
+    def is_diagonally_dominant(matrix: CsrMatrix) -> bool:
+        """Strict row diagonal dominance (sufficient for convergence)."""
+        for i, vals, cols in matrix.iter_rows():
+            diag = 0.0
+            off = 0.0
+            for v, c in zip(vals, cols):
+                if c == i:
+                    diag = abs(v)
+                else:
+                    off += abs(v)
+            if diag <= off:
+                return False
+        return True
+
+    def solve(self, matrix: CsrMatrix, b: np.ndarray,
+              x0: Optional[np.ndarray] = None) -> JacobiResult:
+        """Iterate to the given residual tolerance (‖b − A·x‖₂)."""
+        if matrix.nrows != matrix.ncols:
+            raise ValueError("Jacobi needs a square system")
+        b = np.asarray(b, dtype=np.float64).ravel()
+        if len(b) != matrix.nrows:
+            raise ValueError("dimension mismatch")
+        diag, R = self._split(matrix)
+        inv_diag = 1.0 / diag
+        x = (np.zeros_like(b) if x0 is None
+             else np.asarray(x0, dtype=np.float64).ravel().copy())
+
+        history: List[float] = []
+        total_cycles = 0
+        converged = False
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            if R.nnz:
+                run = self.design.run(R, x)
+                rx = run.y
+                total_cycles += run.total_cycles
+            else:
+                rx = np.zeros_like(b)
+            x = inv_diag * (b - rx)
+            # Host-side convergence check on the true residual.
+            residual = float(np.linalg.norm(b - matrix.matvec(x)))
+            history.append(residual)
+            if residual <= self.tol * max(1.0, float(np.linalg.norm(b))):
+                converged = True
+                break
+        return JacobiResult(
+            x=x,
+            iterations=iterations,
+            converged=converged,
+            residual_norm=history[-1] if history else 0.0,
+            residual_history=history,
+            total_cycles=total_cycles,
+        )

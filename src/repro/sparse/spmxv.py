@@ -1,0 +1,151 @@
+"""FPGA sparse matrix-vector multiply (the paper's [32] design).
+
+The tree architecture of Section 4 extends directly to SpMXV: ``k``
+multipliers read k nonzeros (value + column index) per cycle, fetch
+the matching x elements from local storage, and the adder-tree root
+stream feeds the reduction circuit.  The input sets are now the rows'
+nonzero runs — *arbitrary, data-dependent sizes*, which is precisely
+the workload the single-adder reduction circuit supports with no
+assumption on the sparsity structure.
+
+Rows with zero nonzeros bypass the datapath (y_i = 0 on the host
+side).  Rows whose nonzero count is not a multiple of k leave bubbles
+in some multiplier lanes on their last cycle (padding with zeros),
+costing the utilization gap the paper's irregular-structure speedups
+come from recovering.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.blas.level1 import _tree_fold
+from repro.reduction.single_adder import SingleAdderReduction
+from repro.sim.engine import SimulationError
+from repro.sparse.csr import CsrMatrix
+
+
+@dataclass
+class SpmxvRun:
+    """Outcome of one simulated sparse matrix-vector multiply."""
+
+    y: np.ndarray
+    nrows: int
+    nnz: int
+    k: int
+    total_cycles: int
+    words_read: int
+
+    @property
+    def flops(self) -> int:
+        """2 flops per nonzero (multiply + accumulate)."""
+        return 2 * self.nnz
+
+    @property
+    def flops_per_cycle(self) -> float:
+        return self.flops / self.total_cycles
+
+    @property
+    def peak_flops_per_cycle(self) -> float:
+        return 2 * self.k
+
+    @property
+    def efficiency(self) -> float:
+        return self.flops_per_cycle / self.peak_flops_per_cycle
+
+    def sustained_mflops(self, clock_mhz: float) -> float:
+        return self.flops_per_cycle * clock_mhz
+
+
+class SpmxvDesign:
+    """Cycle-accurate tree-architecture SpMXV over CRS input."""
+
+    def __init__(self, k: int = 4, alpha_mul: int = 11,
+                 alpha_add: int = 14,
+                 bram_words: Optional[int] = None) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.alpha_mul = alpha_mul
+        self.alpha_add = alpha_add
+        self.tree_levels = max(0, math.ceil(math.log2(k))) if k > 1 else 0
+        self.tree_latency = self.tree_levels * alpha_add
+        self.bram_words = bram_words
+
+    def run(self, matrix: CsrMatrix, x: np.ndarray) -> SpmxvRun:
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if len(x) != matrix.ncols:
+            raise ValueError("dimension mismatch")
+        if self.bram_words is not None and len(x) > self.bram_words:
+            raise MemoryError(
+                f"x of {len(x)} words exceeds on-chip storage of "
+                f"{self.bram_words} words"
+            )
+        k = self.k
+
+        # Work list: per non-empty row, the sequence of k-wide chunks.
+        chunks: List[Tuple[float, bool, int]] = []
+        empty_rows: List[int] = []
+        for i, vals, cols in matrix.iter_rows():
+            nnz = len(vals)
+            if nnz == 0:
+                empty_rows.append(i)
+                continue
+            groups = math.ceil(nnz / k)
+            for g in range(groups):
+                lo, hi = g * k, min((g + 1) * k, nnz)
+                # k multipliers; missing lanes are zero-padded bubbles.
+                products = list(vals[lo:hi] * x[cols[lo:hi]])
+                products += [0.0] * (k - len(products))
+                partial = _tree_fold(products) if k > 1 else products[0]
+                chunks.append((partial, g == groups - 1, i))
+
+        mult_pipe: Deque[Optional[Tuple[float, bool, int]]] = deque(
+            [None] * self.alpha_mul, maxlen=self.alpha_mul
+        )
+        tree_len = max(1, self.tree_latency)
+        tree_pipe: Deque[Optional[Tuple[float, bool, int]]] = deque(
+            [None] * tree_len, maxlen=tree_len
+        )
+        reduction = SingleAdderReduction(alpha=self.alpha_add)
+        row_of_set: List[int] = []
+
+        cycle = 0
+        item = 0
+        words_read = 0
+        expected = matrix.nrows - len(empty_rows)
+        max_cycles = 4 * len(chunks) + 100 * self.alpha_add ** 2 + 1000
+        while len(reduction.results) < expected:
+            cycle += 1
+            if cycle > max_cycles:
+                raise SimulationError("SpMXV design failed to complete")
+            tree_out = tree_pipe.popleft()
+            if tree_out is not None:
+                value, is_last, row = tree_out
+                if is_last:
+                    row_of_set.append(row)
+                if not reduction.cycle(value, is_last):
+                    raise SimulationError(
+                        "reduction circuit stalled the adder tree"
+                    )
+            else:
+                reduction.cycle()
+            tree_pipe.append(mult_pipe.popleft())
+            if item < len(chunks):
+                mult_pipe.append(chunks[item])
+                # k (value, column) pairs read per cycle.
+                words_read += 2 * k
+                item += 1
+            else:
+                mult_pipe.append(None)
+
+        y = np.zeros(matrix.nrows)
+        for res in reduction.results:
+            y[row_of_set[res.set_id]] = res.value
+        return SpmxvRun(y=y, nrows=matrix.nrows, nnz=matrix.nnz, k=k,
+                        total_cycles=cycle, words_read=words_read)

@@ -1,0 +1,170 @@
+"""Segmented-tree SpMXV: recovering the padding losses.
+
+The baseline tree SpMXV (:mod:`repro.sparse.spmxv`) zero-pads the last
+k-chunk of every row, so workloads with short irregular rows waste
+multiplier slots (e.g. 1-nonzero rows run at 1/k utilization).  The
+paper's SpMXV design [32] recovers this by not aligning rows to the
+k-lane boundary.  This module implements that idea as a *segmented
+adder tree* variant:
+
+* nonzeros stream packed k per cycle with no alignment to rows;
+* the adder tree is segmented — it produces one partial sum per row
+  segment present in the k-group (a standard segmented-scan tree uses
+  the same k−1 adders plus segment flags);
+* up to two segments per cycle are consumed by a dual reduction unit
+  (two single-adder reduction circuits; rows alternate between them by
+  parity, so all chunks of one row land in the same circuit).  A
+  k-group containing more than two row boundaries is split over extra
+  cycles (the segmented tree can only commit two independent partial
+  sums per cycle to the two circuits).
+
+Cost/benefit: 2× the reduction adders and buffers for up to k× fewer
+bubble cycles on short-row workloads — the design-space point measured
+by ``benchmarks/test_ablation_spmxv.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.blas.level1 import _tree_fold
+from repro.reduction.single_adder import SingleAdderReduction
+from repro.sim.engine import SimulationError
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.spmxv import SpmxvRun
+
+
+class SegmentedSpmxvDesign:
+    """SpMXV with a segmented adder tree and dual reduction circuits."""
+
+    def __init__(self, k: int = 4, alpha_mul: int = 11,
+                 alpha_add: int = 14,
+                 bram_words: Optional[int] = None) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.alpha_mul = alpha_mul
+        self.alpha_add = alpha_add
+        self.tree_levels = max(0, math.ceil(math.log2(k))) if k > 1 else 0
+        self.tree_latency = self.tree_levels * alpha_add
+        self.bram_words = bram_words
+        self.num_reduction_circuits = 2
+
+    # ------------------------------------------------------------------
+    def _schedule(self, matrix: CsrMatrix, x: np.ndarray
+                  ) -> Tuple[List[List[Tuple[float, bool, int]]], List[int]]:
+        """Pack nonzeros k per cycle; emit per-cycle segment lists.
+
+        Returns (cycles, empty_rows); each cycle entry is a list of at
+        most two (partial, last, row) segments.
+        """
+        k = self.k
+        # Flat (row, product) stream in CRS order.  Rows are tagged
+        # with their *sequence* index over non-empty rows so that
+        # consecutive rows alternate reduction circuits even when
+        # empty rows are skipped.
+        flat: List[Tuple[int, float, bool]] = []
+        empty_rows: List[int] = []
+        self._seq_to_row: List[int] = []
+        for i, vals, cols in matrix.iter_rows():
+            if len(vals) == 0:
+                empty_rows.append(i)
+                continue
+            seq = len(self._seq_to_row)
+            self._seq_to_row.append(i)
+            products = vals * x[cols]
+            for j, p in enumerate(products):
+                flat.append((seq, float(p), j == len(products) - 1))
+
+        cycles: List[List[Tuple[float, bool, int]]] = []
+        for base in range(0, len(flat), k):
+            group = flat[base:base + k]
+            # Split the k-group into row segments.
+            segments: List[Tuple[float, bool, int]] = []
+            current_row = group[0][0]
+            acc: List[float] = []
+            closes = False
+            for row, product, last in group:
+                if row != current_row:
+                    segments.append((_tree_fold(acc), closes, current_row))
+                    current_row, acc, closes = row, [], False
+                acc.append(product)
+                closes = closes or last
+            segments.append((_tree_fold(acc), closes, current_row))
+            # Commit at most two segments per cycle.
+            for s in range(0, len(segments), 2):
+                cycles.append(list(segments[s:s + 2]))
+        return cycles, empty_rows
+
+    # ------------------------------------------------------------------
+    def run(self, matrix: CsrMatrix, x: np.ndarray) -> SpmxvRun:
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if len(x) != matrix.ncols:
+            raise ValueError("dimension mismatch")
+        if self.bram_words is not None and len(x) > self.bram_words:
+            raise MemoryError(
+                f"x of {len(x)} words exceeds on-chip storage of "
+                f"{self.bram_words} words")
+
+        schedule, empty_rows = self._schedule(matrix, x)
+
+        tree_len = max(1, self.alpha_mul + self.tree_latency)
+        pipe: Deque[Optional[List[Tuple[float, bool, int]]]] = deque(
+            [None] * tree_len, maxlen=tree_len)
+        reductions = [SingleAdderReduction(alpha=self.alpha_add)
+                      for _ in range(2)]
+        # Per-circuit mapping from its local set index to the row id.
+        row_maps: List[List[int]] = [[], []]
+        open_rows: List[Optional[int]] = [None, None]
+
+        expected = matrix.nrows - len(empty_rows)
+        done = 0
+        cycle = 0
+        item = 0
+        words_read = 0
+        max_cycles = 4 * len(schedule) + 200 * self.alpha_add ** 2 + 1000
+        while done < expected:
+            cycle += 1
+            if cycle > max_cycles:
+                raise SimulationError("segmented SpMXV failed to complete")
+            out = pipe.popleft()
+            fed = [False, False]
+            if out is not None:
+                for partial, last, row in out:
+                    unit = row % 2
+                    if fed[unit]:
+                        raise SimulationError(
+                            "two same-parity segments in one cycle")
+                    fed[unit] = True
+                    if open_rows[unit] != row:
+                        row_maps[unit].append(row)
+                        open_rows[unit] = row
+                    if not reductions[unit].cycle(partial, last):
+                        raise SimulationError(
+                            "reduction circuit stalled the tree")
+                    if last:
+                        open_rows[unit] = None
+            for unit in range(2):
+                if not fed[unit]:
+                    reductions[unit].cycle()
+            if item < len(schedule):
+                pipe.append(schedule[item])
+                words_read += 2 * self.k
+                item += 1
+            else:
+                pipe.append(None)
+            done = sum(len(r.results) for r in reductions)
+
+        y = np.zeros(matrix.nrows)
+        for unit, reduction in enumerate(reductions):
+            for res in reduction.results:
+                seq = row_maps[unit][res.set_id]
+                y[self._seq_to_row[seq]] = res.value
+        return SpmxvRun(y=y, nrows=matrix.nrows, nnz=matrix.nnz,
+                        k=self.k, total_cycles=cycle,
+                        words_read=words_read)

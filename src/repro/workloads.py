@@ -1,0 +1,160 @@
+"""Synthetic workload generators.
+
+The paper's motivation is scientific computing: linear solvers,
+eigenproblems, least squares.  This module generates the matrix and
+stream shapes those applications actually produce, used by the test
+suite, the benchmark harness and the examples:
+
+* dense operands with controlled conditioning;
+* structured sparse matrices (Poisson stencils, banded systems,
+  power-law row degrees mimicking irregular meshes — the "irregular
+  structure" workloads the paper's SpMXV design targets);
+* reduction-circuit input streams keyed to the architectural cases
+  (MVM streams, sparse-row streams, adversarial mixes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.sparse.csr import CsrMatrix
+
+
+# ----------------------------------------------------------------------
+# dense operands
+# ----------------------------------------------------------------------
+def dense_operands(n: int, rng: np.random.Generator):
+    """A pair of n×n dense matrices with standard-normal entries."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    return rng.standard_normal((n, n)), rng.standard_normal((n, n))
+
+
+def spd_dense(n: int, rng: np.random.Generator,
+              condition: float = 100.0) -> np.ndarray:
+    """A symmetric positive-definite matrix with a target condition
+    number (log-uniform eigenvalue spread)."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    if condition < 1:
+        raise ValueError("condition number must be >= 1")
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    eigenvalues = np.logspace(0, np.log10(condition), n)
+    return (q * eigenvalues) @ q.T
+
+
+def diagonally_dominant(n: int, rng: np.random.Generator,
+                        density: float = 0.1) -> CsrMatrix:
+    """A strictly row-diagonally-dominant sparse matrix (Jacobi-safe)."""
+    dense = np.where(rng.random((n, n)) < density,
+                     rng.standard_normal((n, n)), 0.0)
+    np.fill_diagonal(dense, np.abs(dense).sum(axis=1) + 1.0)
+    return CsrMatrix.from_dense(dense)
+
+
+# ----------------------------------------------------------------------
+# structured sparse matrices
+# ----------------------------------------------------------------------
+def poisson_2d(grid: int) -> CsrMatrix:
+    """Five-point Laplacian on a grid×grid mesh (Dirichlet walls)."""
+    if grid < 1:
+        raise ValueError("grid must be positive")
+    n = grid * grid
+    values: List[float] = []
+    cols: List[int] = []
+    row_ptr = [0]
+    for i in range(grid):
+        for j in range(grid):
+            entries = [(i * grid + j, 4.0)]
+            for di, dj in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                ni, nj = i + di, j + dj
+                if 0 <= ni < grid and 0 <= nj < grid:
+                    entries.append((ni * grid + nj, -1.0))
+            for col, val in sorted(entries):
+                cols.append(col)
+                values.append(val)
+            row_ptr.append(len(values))
+    return CsrMatrix(np.array(values), np.array(cols, dtype=np.int64),
+                     np.array(row_ptr, dtype=np.int64), (n, n))
+
+
+def banded(n: int, bandwidth: int, rng: np.random.Generator) -> CsrMatrix:
+    """A banded matrix with the given half-bandwidth."""
+    if bandwidth < 0 or bandwidth >= n:
+        raise ValueError("0 <= bandwidth < n required")
+    dense = np.zeros((n, n))
+    for offset in range(-bandwidth, bandwidth + 1):
+        diag = rng.standard_normal(n - abs(offset))
+        dense += np.diag(diag, offset)
+    return CsrMatrix.from_dense(dense)
+
+
+def power_law_rows(n: int, rng: np.random.Generator,
+                   exponent: float = 2.0,
+                   max_degree: int | None = None) -> CsrMatrix:
+    """Sparse matrix whose row degrees follow a power law — the
+    irregular-mesh shape where short and long rows mix (the workload
+    the reduction circuit's arbitrary-set-size support exists for)."""
+    if exponent <= 1.0:
+        raise ValueError("exponent must exceed 1")
+    cap = max_degree if max_degree is not None else n
+    degrees = np.minimum(
+        np.maximum(1, rng.zipf(exponent, size=n)), cap)
+    values: List[float] = []
+    cols: List[int] = []
+    row_ptr = [0]
+    for degree in degrees:
+        chosen = rng.choice(n, size=int(degree), replace=False)
+        for col in sorted(chosen):
+            cols.append(int(col))
+            values.append(float(rng.standard_normal()))
+        row_ptr.append(len(values))
+    return CsrMatrix(np.array(values), np.array(cols, dtype=np.int64),
+                     np.array(row_ptr, dtype=np.int64), (n, n))
+
+
+# ----------------------------------------------------------------------
+# reduction-circuit streams
+# ----------------------------------------------------------------------
+def mvm_stream(rows: int, row_length: int,
+               rng: np.random.Generator) -> List[List[float]]:
+    """The Level-2 workload: back-to-back equal-size sets."""
+    if rows < 1 or row_length < 1:
+        raise ValueError("rows and row_length must be positive")
+    return [list(rng.standard_normal(row_length)) for _ in range(rows)]
+
+
+def sparse_row_stream(matrix: CsrMatrix, x: Sequence[float]
+                      ) -> List[List[float]]:
+    """The per-row product sets a SpMXV feeds its reduction circuit."""
+    x = np.asarray(x, dtype=np.float64)
+    sets = []
+    for _, vals, cols in matrix.iter_rows():
+        if len(vals):
+            sets.append(list(vals * x[cols]))
+    return sets
+
+
+def adversarial_stream(alpha: int, rng: np.random.Generator,
+                       sets: int = 60) -> List[List[float]]:
+    """Mixes every size regime the circuit distinguishes: singletons,
+    just-below/above α, α-multiples, and > α² folds."""
+    if alpha < 2:
+        raise ValueError("alpha must be >= 2")
+    sizes = []
+    for _ in range(sets):
+        regime = rng.integers(0, 5)
+        if regime == 0:
+            sizes.append(1)
+        elif regime == 1:
+            sizes.append(int(rng.integers(max(1, alpha - 1), alpha + 2)))
+        elif regime == 2:
+            sizes.append(int(alpha * rng.integers(1, 4)))
+        elif regime == 3:
+            sizes.append(int(rng.integers(1, 2 * alpha)))
+        else:
+            sizes.append(int(rng.integers(alpha * alpha,
+                                          2 * alpha * alpha)))
+    return [list(rng.standard_normal(s)) for s in sizes]

@@ -1,0 +1,22 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_matrix(rng):
+    """A 32×32 dense matrix."""
+    return rng.standard_normal((32, 32))
+
+
+@pytest.fixture
+def small_vectors(rng):
+    """A pair of length-64 vectors."""
+    return rng.standard_normal(64), rng.standard_normal(64)

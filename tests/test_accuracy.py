@@ -1,0 +1,92 @@
+"""Unit tests for the summation-accuracy analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.perf.accuracy import (
+    accuracy_report,
+    circuit_sum,
+    error_growth,
+    pairwise_sum,
+    sequential_sum,
+    ulp_distance,
+)
+
+
+class TestUlpDistance:
+    def test_identical_is_zero(self):
+        assert ulp_distance(1.5, 1.5) == 0
+
+    def test_adjacent_floats(self):
+        assert ulp_distance(1.0, math.nextafter(1.0, 2.0)) == 1
+
+    def test_across_zero(self):
+        tiny = 5e-324
+        assert ulp_distance(-tiny, tiny) == 2
+        assert ulp_distance(-0.0, 0.0) == 0
+
+    def test_symmetric(self):
+        assert ulp_distance(1.0, 2.0) == ulp_distance(2.0, 1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            ulp_distance(math.nan, 1.0)
+
+
+class TestSummationOrders:
+    def test_all_exact_on_integers(self, rng):
+        values = [float(v) for v in rng.integers(-100, 100, size=64)]
+        exact = math.fsum(values)
+        assert sequential_sum(values) == exact
+        assert pairwise_sum(values) == exact
+        assert circuit_sum(values, alpha=6) == exact
+
+    def test_pairwise_empty_and_single(self):
+        assert pairwise_sum([]) == 0.0
+        assert pairwise_sum([3.5]) == 3.5
+
+    def test_sequential_error_visible(self):
+        # The classic: many small values after a large one.
+        values = [1e16] + [1.0] * 1000
+        seq = sequential_sum(values)
+        exact = math.fsum(values)
+        assert ulp_distance(seq, exact) > 0
+
+    def test_circuit_matches_a_valid_order(self, rng):
+        # The circuit's result is *some* correct reassociation: within
+        # n ulps of exact for benign data.
+        values = list(rng.standard_normal(200))
+        report = accuracy_report(values, alpha=8)
+        assert report.errors_ulp["circuit"] < 200
+
+
+class TestAccuracyReport:
+    def test_report_structure(self, rng):
+        report = accuracy_report(list(rng.standard_normal(50)))
+        assert set(report.errors_ulp) == {"sequential", "pairwise",
+                                          "circuit"}
+        assert report.n == 50
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_report([])
+
+    def test_interleaved_orders_beat_sequential_on_long_sums(self):
+        # Positive values (condition number 1): sequential error grows
+        # ~O(n) ulps, pairwise/circuit stay at O(lg n) — the circuit's
+        # reassociation is an accuracy *improvement* over a CPU loop.
+        rng = np.random.default_rng(7)
+        values = list(rng.uniform(0.0, 1.0, size=20000))
+        report = accuracy_report(values, alpha=14)
+        assert report.errors_ulp["sequential"] > 10
+        assert report.errors_ulp["pairwise"] <= 4
+        assert report.errors_ulp["circuit"] <= 8
+        assert report.best_order() in ("pairwise", "circuit")
+
+    def test_error_growth_shapes(self, rng):
+        reports = error_growth([64, 512, 4096], rng, trials=3, alpha=8)
+        assert [r.n for r in reports] == [64, 512, 4096]
+        for report in reports:
+            assert report.errors_ulp["pairwise"] <= 64

@@ -1,0 +1,93 @@
+"""Unit tests for the prior MM design-point models (Section 2.2)."""
+
+import pytest
+
+from repro.blas.alternatives import (
+    Ipdps04Design,
+    LinearArrayDesignPoint,
+    MacBlockDesign,
+    compare,
+)
+
+
+class TestIpdps04:
+    def test_theta_n2_latency_and_storage(self):
+        p = Ipdps04Design().point(256)
+        assert p.latency_cycles == 256 * 256
+        assert p.storage_words == 256 * 256
+
+    def test_constant_bandwidth(self):
+        assert Ipdps04Design().point(64).bandwidth_words_per_cycle == 2.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Ipdps04Design().point(0)
+
+
+class TestMacBlock:
+    def test_compute_bound_latency(self):
+        p = MacBlockDesign(pes=8).point(128)
+        assert p.latency_cycles == 128 ** 3 / 8
+
+    def test_storage_and_bandwidth(self):
+        p = MacBlockDesign(pes=4, buffer_words_per_pe=256).point(64)
+        assert p.storage_words == 1024
+        assert p.bandwidth_words_per_cycle == pytest.approx(2 * 4 / 16)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MacBlockDesign(pes=0)
+
+
+class TestLinearArray:
+    def test_matches_section51_formulas(self):
+        p = LinearArrayDesignPoint(k=8, m=128).point(512)
+        assert p.latency_cycles == 512 ** 3 / 8
+        assert p.storage_words == 2 * 128 * 128
+        assert p.bandwidth_words_per_cycle == pytest.approx(3 * 8 / 128)
+
+    def test_m_multiple_of_k(self):
+        with pytest.raises(ValueError):
+            LinearArrayDesignPoint(k=3, m=8)
+
+
+class TestComparison:
+    def test_compare_returns_three_points(self):
+        points = compare(256)
+        assert [p.name for p in points] == [
+            "linear array (this paper)", "IPDPS'04 [30]", "MAC block [8]"]
+
+    def test_ipdps_faster_but_storage_explodes(self):
+        # The Θ(n²)-storage design is asymptotically faster but cannot
+        # scale: its storage passes any fixed BRAM budget while the
+        # paper's design stays at 2m².
+        bram_words = 66816  # XC2VP50
+        linear, ipdps, _ = compare(1024, k=8, m=128)
+        assert ipdps.latency_cycles < linear.latency_cycles
+        assert ipdps.storage_words > bram_words
+        assert linear.storage_words < bram_words
+
+    def test_crossover_in_n(self):
+        # Below √BRAM the IPDPS design fits; beyond it only the blocked
+        # designs remain viable — the crossover the paper's Section 5
+        # design exists to move past.
+        bram_words = 66816
+        small = Ipdps04Design().point(128)
+        large = Ipdps04Design().point(512)
+        assert small.storage_words <= bram_words
+        assert large.storage_words > bram_words
+
+    def test_paper_design_needs_least_bandwidth(self):
+        linear, ipdps, mac = compare(512, k=8, m=128)
+        assert linear.bandwidth_words_per_cycle <= \
+            mac.bandwidth_words_per_cycle
+        assert linear.bandwidth_words_per_cycle <= \
+            ipdps.bandwidth_words_per_cycle
+
+    def test_equal_flops_per_cycle_for_equal_pes(self):
+        linear, _, mac = compare(256, k=8, m=128)
+        assert linear.flops_per_cycle == mac.flops_per_cycle
+
+    def test_storage_bytes(self):
+        p = LinearArrayDesignPoint(k=8, m=128).point(256)
+        assert p.storage_bytes == p.storage_words * 8

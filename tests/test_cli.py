@@ -1,0 +1,93 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_dot_defaults(self):
+        args = build_parser().parse_args(["dot"])
+        assert args.n == 2048 and args.k == 2
+
+    def test_gemm_custom(self):
+        args = build_parser().parse_args(["gemm", "-n", "64", "-k", "4",
+                                          "-m", "16"])
+        assert (args.n, args.k, args.m) == (64, 4, 16)
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "XC2VP50" in out
+        assert "fp_adder_64" in out
+        assert "Cray XD1" in out
+
+    def test_dot(self, capsys):
+        assert main(["dot", "-n", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "MFLOPS" in out
+        assert "numpy" in out
+
+    def test_gemv_tree(self, capsys):
+        assert main(["gemv", "-n", "64"]) == 0
+        assert "gemv[tree]" in capsys.readouterr().out
+
+    def test_gemv_column(self, capsys):
+        assert main(["gemv", "-n", "64", "--architecture", "column"]) == 0
+        assert "gemv[column]" in capsys.readouterr().out
+
+    def test_gemm(self, capsys):
+        assert main(["gemm", "-n", "32", "-k", "4", "-m", "16"]) == 0
+        assert "gemm" in capsys.readouterr().out
+
+    def test_reduce_adversarial(self, capsys):
+        assert main(["reduce", "--alpha", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "paper (1 adder" in out
+        assert "stalling baseline" in out
+
+    def test_reduce_mvm(self, capsys):
+        assert main(["reduce", "--alpha", "6", "--workload", "mvm"]) == 0
+        assert "dual adder" in capsys.readouterr().out
+
+    def test_project(self, capsys):
+        assert main(["project"]) == 0
+        out = capsys.readouterr().out
+        assert "GFLOPS" in out
+        assert "12 chassis" in out
+
+    def test_project_xc2vp100(self, capsys):
+        assert main(["project", "--device", "xc2vp100"]) == 0
+        assert "XC2VP100" in capsys.readouterr().out
+
+
+class TestNewCommands:
+    def test_explore(self, capsys):
+        assert main(["explore"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+        assert "GFLOPS" in out
+
+    def test_explore_xc2vp100(self, capsys):
+        assert main(["explore", "--device", "xc2vp100", "--top", "3"]) == 0
+        assert "XC2VP100" in capsys.readouterr().out
+
+    def test_solve_cg(self, capsys):
+        assert main(["solve", "cg", "--grid", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "converged=True" in out
+
+    def test_solve_cg_jacobi(self, capsys):
+        assert main(["solve", "cg", "--grid", "8", "--jacobi"]) == 0
+        assert "converged" in capsys.readouterr().out
+
+    def test_solve_lu(self, capsys):
+        assert main(["solve", "lu", "-n", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "FPGA flop share" in out

@@ -1,0 +1,173 @@
+"""Unit tests for FPGA devices, area/clock model, nodes and systems."""
+
+import pytest
+
+from repro.device.area import (
+    AreaModel,
+    MM_PE_SLICES,
+    XD1_INFRASTRUCTURE,
+    max_mm_pes,
+    mm_clock_mhz,
+    projected_pes,
+)
+from repro.device.fpga import XC2VP50, XC2VP100
+from repro.device.node import (
+    OPTERON_2_6,
+    PENTIUM4_3_0,
+    XEON_3_2,
+    make_xd1_node,
+)
+from repro.device.system import (
+    make_xd1_chassis,
+    make_xd1_system,
+)
+
+
+class TestDeviceCatalog:
+    def test_xc2vp50_resources(self):
+        assert XC2VP50.slices == 23616
+        assert XC2VP50.io_pins == 852
+        # "about 4 Mb of on-chip memory" / Table 1's 522 KB
+        assert XC2VP50.bram_bytes == 522 * 1024
+
+    def test_xc2vp100_resources(self):
+        assert XC2VP100.slices == 44096
+        assert XC2VP100.io_pins == 1164
+        # about twice the XC2VP50
+        assert XC2VP100.slices / XC2VP50.slices == pytest.approx(1.87, abs=0.05)
+
+    def test_fits_and_utilization(self):
+        assert XC2VP50.fits(23616)
+        assert not XC2VP50.fits(23617)
+        assert XC2VP50.utilization(11808) == pytest.approx(0.5)
+
+    def test_utilization_rejects_negative(self):
+        with pytest.raises(ValueError):
+            XC2VP50.utilization(-1)
+
+
+class TestAreaModelLevel12:
+    def test_dot_product_k2_matches_table3(self):
+        area = AreaModel().dot_product_design(2)
+        assert area.slices == pytest.approx(5210, rel=0.005)
+        assert area.clock_mhz == 170.0
+        # Table 3: 22% of total area
+        assert area.utilization == pytest.approx(0.22, abs=0.01)
+
+    def test_mvm_k4_matches_table3(self):
+        area = AreaModel().mvm_design(4)
+        assert area.slices == pytest.approx(9669, rel=0.005)
+        # Table 3: 41% of total area
+        assert area.utilization == pytest.approx(0.41, abs=0.01)
+
+    def test_mvm_on_xd1_matches_table4(self):
+        area = AreaModel().mvm_design(4, on_xd1=True)
+        assert area.slices == pytest.approx(13772, rel=0.005)
+        assert area.clock_mhz == pytest.approx(164.0)
+        # Table 4: 58% of total area
+        assert area.utilization == pytest.approx(0.58, abs=0.01)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AreaModel().dot_product_design(0)
+
+    def test_area_grows_with_k(self):
+        model = AreaModel()
+        areas = [model.dot_product_design(k).slices for k in (1, 2, 4, 8)]
+        assert areas == sorted(areas)
+
+
+class TestAreaModelLevel3:
+    def test_single_pe_characteristics(self):
+        area = AreaModel().mm_design(1)
+        assert area.slices == MM_PE_SLICES
+        assert area.clock_mhz == pytest.approx(155.0)
+
+    def test_fig9_clock_degrades_linearly(self):
+        clocks = [mm_clock_mhz(k) for k in range(1, 11)]
+        assert clocks[0] == pytest.approx(155.0)
+        assert clocks[-1] == pytest.approx(125.0)
+        assert clocks == sorted(clocks, reverse=True)
+
+    def test_fig9_area_linear_in_k(self):
+        model = AreaModel()
+        a4 = model.mm_design(4).slices
+        a8 = model.mm_design(8).slices
+        assert a8 == 2 * a4
+
+    def test_max_pes_standalone_is_10(self):
+        assert max_mm_pes(XC2VP50) == 10
+
+    def test_max_pes_on_xd1_is_8(self):
+        assert max_mm_pes(XC2VP50, on_xd1=True) == 8
+
+    def test_mm_on_xd1_matches_table4(self):
+        area = AreaModel().mm_design(8, on_xd1=True)
+        assert area.slices == pytest.approx(21029, rel=0.005)
+        assert area.clock_mhz == pytest.approx(130.0)
+        # Table 4: 89% of total area
+        assert area.utilization == pytest.approx(0.89, abs=0.01)
+
+    def test_too_many_pes_rejected(self):
+        with pytest.raises(ValueError, match="exceed"):
+            AreaModel().mm_design(11)
+        with pytest.raises(ValueError, match="exceed"):
+            AreaModel().mm_design(9, on_xd1=True)
+
+    def test_projected_pes(self):
+        # Figure 11/12: 14 PEs of 1600 slices on XC2VP50, 27 on XC2VP100.
+        assert projected_pes(XC2VP50, 1600) == 14
+        assert projected_pes(XC2VP100, 1600) == 27
+
+    def test_projected_pes_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            projected_pes(XC2VP50, 0)
+
+
+class TestInfrastructure:
+    def test_shell_total_matches_table4_residual(self):
+        # 13772 − 9669 = 4103 slices around the Level-2 design.
+        assert XD1_INFRASTRUCTURE.total_slices == 4103
+
+
+class TestNodeAndSystem:
+    def test_xd1_node(self):
+        node = make_xd1_node()
+        assert node.fpga is XC2VP50
+        assert node.sram_read_bandwidth == 6.4e9
+        assert node.dram_path_bandwidth == 1.3e9
+
+    def test_node_block_limits_match_section6(self):
+        node = make_xd1_node()
+        # Section 6.3: b can be at most 1024 with 16 MB SRAM.
+        assert node.max_square_block_in_sram() == 1024
+        # Section 6.2: n can be at most √2·1024 ≈ 1448.
+        assert node.max_mvm_order() == pytest.approx(1448, abs=1)
+
+    def test_cpu_comparison_points(self):
+        assert OPTERON_2_6.dgemm_gflops == 4.1
+        assert XEON_3_2.dgemm_gflops == 5.5
+        assert PENTIUM4_3_0.dgemm_gflops == 5.0
+
+    def test_chassis_has_six_fpgas(self):
+        chassis = make_xd1_chassis()
+        assert chassis.fpga_count == 6
+
+    def test_chassis_sram_allows_b_2048(self):
+        # Section 6.4.1: 96 MB of SRAM per chassis → b = 2048.
+        chassis = make_xd1_chassis()
+        assert chassis.max_square_block_in_sram() == 2048
+
+    def test_typical_system_is_12_chassis_72_fpgas(self):
+        system = make_xd1_system()
+        assert len(system.chassis) == 12
+        assert system.fpga_count == 72
+        assert len(system.linear_array()) == 72
+
+    def test_interchassis_bandwidth(self):
+        system = make_xd1_system()
+        assert system.inter_chassis_bandwidth == 4.0e9
+
+    def test_system_requires_chassis(self):
+        with pytest.raises(ValueError):
+            make_xd1_system(0)

@@ -1,0 +1,40 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are user-facing documentation; a broken example is a broken
+promise.  Each runs in a subprocess with a reduced-size environment
+knob where available.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob(
+        "*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=tmp_path,  # examples that write files do so in a sandbox
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n{result.stdout[-2000:]}\n"
+        f"{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "xd1_blas_session", "reduction_circuit_demo",
+            "sparse_jacobi_solver", "chassis_projection",
+            "linear_solvers", "waveform_debug"} <= names

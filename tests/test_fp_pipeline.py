@@ -1,0 +1,140 @@
+"""Unit tests for pipelined floating-point unit models."""
+
+import pytest
+
+from repro.fparith.pipeline import (
+    FloatingPointAdder,
+    FloatingPointMultiplier,
+    StagedFPAdder,
+)
+from repro.sim.engine import Simulator
+
+
+class TestFloatingPointAdder:
+    def test_default_latency_matches_table2(self):
+        sim = Simulator()
+        assert FloatingPointAdder(sim).latency == 14
+
+    def test_result_after_latency(self):
+        sim = Simulator()
+        add = FloatingPointAdder(sim, latency=5)
+        add.issue(1.5, 2.25, tag="t0")
+        seen = []
+        for _ in range(6):
+            sim.step()
+            if add.output is not None:
+                seen.append((sim.cycle, add.output))
+        assert len(seen) == 1
+        cycle, result = seen[0]
+        assert cycle == 5
+        assert result.value == 3.75
+        assert result.tag == "t0"
+
+    def test_pipelined_throughput_one_per_cycle(self):
+        sim = Simulator()
+        add = FloatingPointAdder(sim, latency=4)
+        results = []
+        for i in range(10):
+            if i < 6:
+                add.issue(float(i), 1.0, tag=i)
+            sim.step()
+            if add.output:
+                results.append(add.output.value)
+        assert results == [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+
+    def test_exact_mode_matches_native(self):
+        sim = Simulator()
+        add_exact = FloatingPointAdder(sim, "exact", latency=2, exact=True)
+        add_native = FloatingPointAdder(sim, "native", latency=2)
+        add_exact.issue(0.1, 0.2)
+        add_native.issue(0.1, 0.2)
+        sim.step()
+        sim.step()
+        assert add_exact.output.value == add_native.output.value
+
+    def test_in_flight_tags(self):
+        sim = Simulator()
+        add = FloatingPointAdder(sim, latency=3)
+        add.issue(1.0, 1.0, tag="a")
+        sim.step()
+        add.issue(2.0, 2.0, tag="b")
+        sim.step()
+        assert add.in_flight_tags() == ["a", "b"]
+
+    def test_drained(self):
+        sim = Simulator()
+        add = FloatingPointAdder(sim, latency=2)
+        assert add.drained()
+        add.issue(1.0, 1.0)
+        sim.step()
+        assert not add.drained()
+        sim.step()
+        assert add.drained()
+
+
+class TestFloatingPointMultiplier:
+    def test_default_latency_matches_table2(self):
+        sim = Simulator()
+        assert FloatingPointMultiplier(sim).latency == 11
+
+    def test_multiplication(self):
+        sim = Simulator()
+        mul = FloatingPointMultiplier(sim, latency=3)
+        mul.issue(3.0, 4.0)
+        for _ in range(3):
+            sim.step()
+        assert mul.output.value == 12.0
+
+    def test_issued_counter(self):
+        sim = Simulator()
+        mul = FloatingPointMultiplier(sim, latency=2)
+        mul.issue(1.0, 1.0)
+        sim.step()
+        mul.issue(2.0, 2.0)
+        sim.step()
+        assert mul.issued == 2
+
+
+class TestStagedFPAdder:
+    def test_minimum_latency_enforced(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            StagedFPAdder(sim, latency=3)
+
+    def test_phases_cover_pipeline(self):
+        labels = [StagedFPAdder.phase_of_stage(i, 14) for i in range(14)]
+        assert labels[0] == "unpack"
+        assert labels[-1] == "round"
+        # all five phases present, in order
+        seen = list(dict.fromkeys(labels))
+        assert seen == ["unpack", "align", "add", "normalize", "round"]
+
+    def test_result_value_and_latency(self):
+        sim = Simulator()
+        add = StagedFPAdder(sim, latency=5)
+        add.issue(1.0, 2.0, tag="x")
+        for cycle in range(5):
+            sim.step()
+        assert add.output is not None
+        assert add.output.value == 3.0
+        assert add.output.tag == "x"
+
+    def test_snapshot_shows_occupants(self):
+        sim = Simulator()
+        add = StagedFPAdder(sim, latency=5)
+        add.issue(1.0, 1.0, tag="op1")
+        sim.step()
+        snap = add.snapshot()
+        assert snap[0] == ("unpack", "op1")
+        assert all(tag is None for _, tag in snap[1:])
+
+    def test_double_issue_rejected(self):
+        sim = Simulator()
+        add = StagedFPAdder(sim, latency=5)
+        add.issue(1.0, 1.0)
+        with pytest.raises(RuntimeError, match="double issue"):
+            add.issue(2.0, 2.0)
+
+    def test_stage_out_of_range(self):
+        with pytest.raises(ValueError):
+            StagedFPAdder.phase_of_stage(14, 14)

@@ -1,0 +1,56 @@
+"""Unit tests for the Table 2 unit catalog."""
+
+import pytest
+
+from repro.fparith.units import (
+    FP_ADDER_64,
+    FP_MULTIPLIER_64,
+    FPUnitSpec,
+    REDUCTION_CIRCUIT_SPEC,
+    REDUCTION_CONTROL_SLICES,
+    bandwidth_gbytes,
+    words_per_second,
+)
+
+
+class TestTable2Catalog:
+    def test_adder_characteristics(self):
+        assert FP_ADDER_64.pipeline_stages == 14
+        assert FP_ADDER_64.area_slices == 892
+        assert FP_ADDER_64.clock_mhz == 170.0
+
+    def test_multiplier_characteristics(self):
+        assert FP_MULTIPLIER_64.pipeline_stages == 11
+        assert FP_MULTIPLIER_64.area_slices == 835
+        assert FP_MULTIPLIER_64.clock_mhz == 170.0
+
+    def test_reduction_circuit_characteristics(self):
+        assert REDUCTION_CIRCUIT_SPEC.area_slices == 1658
+        assert REDUCTION_CIRCUIT_SPEC.clock_mhz == 170.0
+
+    def test_reduction_control_overhead(self):
+        # Table 2: the circuit holds one adder; the rest is control.
+        assert REDUCTION_CONTROL_SLICES == 1658 - 892
+
+    def test_latency_seconds(self):
+        spec = FPUnitSpec("u", 10, 100, 100.0)
+        assert spec.latency_seconds() == pytest.approx(1e-7)
+
+    def test_latency_cycles_alias(self):
+        assert FP_ADDER_64.latency_cycles == FP_ADDER_64.pipeline_stages
+
+
+class TestBandwidthHelpers:
+    def test_words_per_second(self):
+        assert words_per_second(170.0, 4) == pytest.approx(680e6)
+
+    def test_bandwidth_gbytes(self):
+        # 4 words/cycle × 8 B at 170 MHz = 5.44 GB/s — the Table 3
+        # neighbourhood (5.5/5.6 GB/s with parity overhead).
+        assert bandwidth_gbytes(170.0, 4) == pytest.approx(5.44)
+
+    def test_parity_code_bandwidth(self):
+        # Section 6.2: 64-bit word + 8-bit parity per bank per cycle at
+        # 164 MHz over 4 banks = 5.9 GB/s.
+        assert bandwidth_gbytes(164.0, 4, word_bytes=9) == pytest.approx(
+            5.9, rel=0.01)

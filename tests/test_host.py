@@ -1,0 +1,159 @@
+"""Unit tests for host-side orchestration: registers, staging, flow."""
+
+import numpy as np
+import pytest
+
+from repro.device.area import AreaModel
+from repro.host.flow import DesignFlow, FlowError, FlowStep
+from repro.host.registers import ProtocolError, RegisterFile, StatusProtocol
+from repro.host.staging import StagedMvmResult, StagingPlan, staged_mvm_run
+
+
+class TestRegisterFile:
+    def test_default_registers(self):
+        regs = RegisterFile()
+        assert set(regs.names()) == {"n", "init_done", "compute_done",
+                                     "error"}
+
+    def test_write_read(self):
+        regs = RegisterFile()
+        regs.write("n", 1024)
+        assert regs.read("n") == 1024
+
+    def test_unknown_register(self):
+        regs = RegisterFile()
+        with pytest.raises(KeyError):
+            regs.write("bogus", 1)
+        with pytest.raises(KeyError):
+            regs.read("bogus")
+
+    def test_64_bit_range(self):
+        regs = RegisterFile()
+        with pytest.raises(ValueError):
+            regs.write("n", -1)
+        with pytest.raises(ValueError):
+            regs.write("n", 1 << 64)
+
+
+class TestStatusProtocol:
+    def test_full_handshake(self):
+        p = StatusProtocol()
+        p.configure(1024)
+        p.init_done()
+        assert p.start() == 1024
+        p.complete()
+        assert p.is_done()
+        assert p.acknowledge() == 1024
+        assert p.phase == "idle"
+
+    def test_out_of_order_rejected(self):
+        p = StatusProtocol()
+        with pytest.raises(ProtocolError):
+            p.init_done()
+        p.configure(8)
+        with pytest.raises(ProtocolError):
+            p.start()
+        p.init_done()
+        with pytest.raises(ProtocolError):
+            p.complete()
+
+    def test_acknowledge_resets(self):
+        p = StatusProtocol()
+        p.configure(8)
+        p.init_done()
+        p.start()
+        p.complete()
+        p.acknowledge()
+        assert not p.is_done()
+        p.configure(16)  # reusable
+
+    def test_problem_size_positive(self):
+        with pytest.raises(ValueError):
+            StatusProtocol().configure(0)
+
+
+class TestStagingPlan:
+    def test_seconds(self):
+        plan = StagingPlan(words=1024 * 1024, bandwidth_bytes_per_s=1.3e9)
+        assert plan.seconds == pytest.approx(6.45e-3, rel=0.01)
+
+    def test_cycles(self):
+        plan = StagingPlan(words=1000, bandwidth_bytes_per_s=8e9)
+        assert plan.cycles(100.0) == 100
+
+
+class TestStagedMvmRun:
+    def test_numerics(self, rng):
+        A = rng.standard_normal((48, 48))
+        x = rng.standard_normal(48)
+        result = staged_mvm_run(A, x)
+        np.testing.assert_allclose(result.y, A @ x, rtol=1e-11, atol=1e-11)
+
+    def test_io_dominates_like_section62(self, rng):
+        # Section 6.2: 6.4 of 8.0 ms is data movement (80 %).
+        A = rng.standard_normal((128, 128))
+        x = rng.standard_normal(128)
+        result = staged_mvm_run(A, x)
+        assert 0.6 < result.io_fraction < 0.9
+
+    def test_dram_peak_is_325_mflops(self, rng):
+        A = rng.standard_normal((32, 32))
+        result = staged_mvm_run(A, rng.standard_normal(32))
+        assert result.dram_peak_mflops == pytest.approx(325.0)
+
+    def test_sustained_below_dram_peak(self, rng):
+        A = rng.standard_normal((64, 64))
+        result = staged_mvm_run(A, rng.standard_normal(64))
+        assert result.sustained_mflops < result.dram_peak_mflops
+
+    def test_sram_resident_much_faster(self, rng):
+        A = rng.standard_normal((64, 64))
+        result = staged_mvm_run(A, rng.standard_normal(64))
+        # Section 6.2: 1.05 GFLOPS vs 262 MFLOPS — roughly 4-5×.
+        assert result.sram_resident_mflops > 3 * result.sustained_mflops
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            staged_mvm_run(rng.standard_normal((8, 8)),
+                           rng.standard_normal(9))
+
+
+class TestDesignFlow:
+    def _fresh(self):
+        flow = DesignFlow()
+        area = AreaModel().mvm_design(4)
+        return flow, flow.new_artifact("mvm", area)
+
+    def test_full_flow_produces_loadable_design(self):
+        flow, artifact = self._fresh()
+        final = flow.run_all(artifact)
+        assert final.loadable
+        assert final.shell_inserted
+        assert len(final.steps_completed) == 5
+
+    def test_shell_insertion_matches_table4(self):
+        flow, artifact = self._fresh()
+        final = flow.run_all(artifact)
+        assert final.area.slices == pytest.approx(13772, rel=0.005)
+        assert final.area.clock_mhz == pytest.approx(164.0)
+
+    def test_steps_must_run_in_order(self):
+        flow, artifact = self._fresh()
+        with pytest.raises(FlowError, match="out of order"):
+            flow.run_step(artifact, FlowStep.SYNTHESIZE)
+
+    def test_oversized_design_fails_synthesis(self):
+        flow = DesignFlow()
+        from repro.device.area import DesignArea
+        artifact = flow.new_artifact(
+            "huge", DesignArea("huge", 25000, 170.0))
+        artifact = flow.run_step(artifact, FlowStep.INSERT_SHELL)
+        artifact = flow.run_step(artifact, FlowStep.BUILD_HOST)
+        with pytest.raises(FlowError, match="slices"):
+            flow.run_step(artifact, FlowStep.SYNTHESIZE)
+
+    def test_flow_complete_rejects_extra_steps(self):
+        flow, artifact = self._fresh()
+        final = flow.run_all(artifact)
+        with pytest.raises(FlowError):
+            flow.run_step(final, FlowStep.LOAD)

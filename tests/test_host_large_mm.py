@@ -1,0 +1,75 @@
+"""Unit tests for the host-orchestrated large matrix multiply."""
+
+import numpy as np
+import pytest
+
+from repro.host.large_mm import LargeMatrixMultiply
+
+
+class TestLargeMm:
+    def test_matches_numpy(self, rng):
+        mm = LargeMatrixMultiply(b=32, k=4, m=8)
+        n = 96
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        result = mm.run(A, B)
+        np.testing.assert_allclose(result.C, A @ B, rtol=1e-10,
+                                   atol=1e-10)
+
+    def test_single_block_no_host_work(self, rng):
+        mm = LargeMatrixMultiply(b=32, k=4, m=8)
+        A = rng.standard_normal((32, 32))
+        result = mm.run(A, A)
+        assert result.block_products == 1
+        assert result.host_accumulate_flops == 0
+
+    def test_block_count(self, rng):
+        mm = LargeMatrixMultiply(b=32, k=4, m=8)
+        n = 96  # nb = 3 → 27 block products
+        result = mm.run(rng.standard_normal((n, n)),
+                        rng.standard_normal((n, n)))
+        assert result.block_products == 27
+
+    def test_fpga_sustained_independent_of_n(self, rng):
+        # The paper's claim: block-consecutive operation keeps the
+        # FPGA's sustained GFLOPS constant as n grows.
+        mm = LargeMatrixMultiply(b=32, k=4, m=8)
+        sustained = []
+        for n in (32, 64, 96):
+            result = mm.run(rng.standard_normal((n, n)),
+                            rng.standard_normal((n, n)))
+            sustained.append(result.fpga_sustained_gflops(130.0))
+        assert max(sustained) / min(sustained) == pytest.approx(1.0,
+                                                                rel=1e-9)
+
+    def test_host_share_vanishes_with_b(self, rng):
+        n = 64
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        small_b = LargeMatrixMultiply(b=16, k=4, m=8).run(A, B)
+        large_b = LargeMatrixMultiply(b=32, k=4, m=8).run(A, B)
+        assert large_b.host_flops_fraction() < \
+            small_b.host_flops_fraction()
+        assert large_b.host_flops_fraction() < 0.02
+
+    def test_n_must_be_block_multiple(self, rng):
+        mm = LargeMatrixMultiply(b=32, k=4, m=8)
+        with pytest.raises(ValueError, match="multiple of b"):
+            mm.run(rng.standard_normal((40, 40)),
+                   rng.standard_normal((40, 40)))
+
+    def test_non_square_rejected(self, rng):
+        mm = LargeMatrixMultiply(b=16, k=4, m=8)
+        with pytest.raises(ValueError):
+            mm.run(rng.standard_normal((16, 32)),
+                   rng.standard_normal((32, 16)))
+
+    def test_dram_traffic_scales_with_blocks(self, rng):
+        mm = LargeMatrixMultiply(b=32, k=4, m=8)
+        r64 = mm.run(rng.standard_normal((64, 64)),
+                     rng.standard_normal((64, 64)))
+        r96 = mm.run(rng.standard_normal((96, 96)),
+                     rng.standard_normal((96, 96)))
+        # Θ(n³/b): 96³/64³ = 3.375× the traffic.
+        assert r96.dram_words / r64.dram_words == pytest.approx(
+            (96 / 64) ** 3, rel=0.1)

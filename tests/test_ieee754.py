@@ -1,0 +1,137 @@
+"""Unit tests for the bit-level IEEE-754 codec."""
+
+import math
+import struct
+
+import pytest
+
+from repro.fparith.ieee754 import (
+    BINARY32,
+    BINARY64,
+    FloatClass,
+    FloatFields,
+    bits_to_float,
+    classify,
+    decompose_exact,
+    default_nan,
+    float_to_bits,
+    is_inf,
+    is_nan,
+    is_zero,
+    negative_infinity,
+    negative_zero,
+    pack_fields,
+    positive_infinity,
+    positive_zero,
+    unpack_bits,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("value", [0.0, 1.0, -1.0, 0.5, 3.141592653589793,
+                                       1e308, 1e-308, 5e-324, -5e-324])
+    def test_float_bits_roundtrip(self, value):
+        assert bits_to_float(float_to_bits(value)) == value
+
+    def test_one_encodes_canonically(self):
+        assert float_to_bits(1.0) == 0x3FF0000000000000
+
+    def test_negative_zero_bits(self):
+        assert float_to_bits(-0.0) == 1 << 63
+
+    def test_binary32_roundtrip(self):
+        bits = float_to_bits(1.5, BINARY32)
+        assert bits == 0x3FC00000
+        assert bits_to_float(bits, BINARY32) == 1.5
+
+    def test_bits_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_float(1 << 64)
+
+
+class TestFields:
+    def test_unpack_one(self):
+        f = unpack_bits(float_to_bits(1.0))
+        assert (f.sign, f.biased_exponent, f.fraction) == (0, 1023, 0)
+
+    def test_pack_inverse_of_unpack(self):
+        for value in (2.75, -1e-300, 6.02e23):
+            bits = float_to_bits(value)
+            assert pack_fields(unpack_bits(bits)) == bits
+
+    def test_significand_hidden_bit_for_normals(self):
+        f = unpack_bits(float_to_bits(1.5))
+        assert f.significand() == (1 << 52) | (1 << 51)
+
+    def test_significand_no_hidden_bit_for_subnormals(self):
+        f = unpack_bits(float_to_bits(5e-324))
+        assert f.significand() == 1
+
+    def test_subnormal_shares_min_normal_exponent(self):
+        sub = unpack_bits(float_to_bits(5e-324))
+        norm = unpack_bits(float_to_bits(2.2250738585072014e-308))
+        assert sub.unbiased_exponent() == norm.unbiased_exponent() == -1022
+
+    def test_pack_rejects_out_of_range_fields(self):
+        with pytest.raises(ValueError):
+            pack_fields(FloatFields(2, 0, 0))
+        with pytest.raises(ValueError):
+            pack_fields(FloatFields(0, 1 << 11, 0))
+        with pytest.raises(ValueError):
+            pack_fields(FloatFields(0, 0, 1 << 52))
+
+
+class TestClassify:
+    @pytest.mark.parametrize("value,expected", [
+        (0.0, FloatClass.ZERO),
+        (-0.0, FloatClass.ZERO),
+        (1.0, FloatClass.NORMAL),
+        (-2.5, FloatClass.NORMAL),
+        (5e-324, FloatClass.SUBNORMAL),
+        (math.inf, FloatClass.INFINITY),
+        (-math.inf, FloatClass.INFINITY),
+        (math.nan, FloatClass.QUIET_NAN),
+    ])
+    def test_classification(self, value, expected):
+        assert classify(float_to_bits(value)) is expected
+
+    def test_signaling_nan(self):
+        # exponent all-ones, fraction nonzero, quiet bit clear
+        snan = (0x7FF << 52) | 1
+        assert classify(snan) is FloatClass.SIGNALING_NAN
+
+    def test_predicates(self):
+        assert is_nan(float_to_bits(math.nan))
+        assert is_inf(float_to_bits(math.inf))
+        assert is_zero(float_to_bits(-0.0))
+        assert not is_nan(float_to_bits(1.0))
+
+
+class TestSpecialEncodings:
+    def test_canonical_specials(self):
+        assert bits_to_float(positive_zero()) == 0.0
+        assert math.copysign(1.0, bits_to_float(negative_zero())) == -1.0
+        assert bits_to_float(positive_infinity()) == math.inf
+        assert bits_to_float(negative_infinity()) == -math.inf
+        assert math.isnan(bits_to_float(default_nan()))
+
+    def test_default_nan_is_quiet(self):
+        assert classify(default_nan()) is FloatClass.QUIET_NAN
+
+
+class TestDecomposeExact:
+    @pytest.mark.parametrize("value", [1.0, -2.5, 0.1, 1e-310, 5e-324, 1e300])
+    def test_reconstruction(self, value):
+        sign, sig, exp = decompose_exact(float_to_bits(value))
+        reconstructed = (-1) ** sign * sig * 2.0 ** exp
+        assert reconstructed == value
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            decompose_exact(float_to_bits(math.inf))
+        with pytest.raises(ValueError):
+            decompose_exact(float_to_bits(math.nan))
+
+    def test_zero_decomposes_to_zero_significand(self):
+        _, sig, _ = decompose_exact(float_to_bits(0.0))
+        assert sig == 0

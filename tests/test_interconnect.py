@@ -1,0 +1,147 @@
+"""Unit tests for the cycle-level interconnect model."""
+
+import pytest
+
+from repro.device.interconnect import (
+    BlockMessage,
+    LinearArrayNetwork,
+    Link,
+)
+from repro.sim.engine import SimulationError
+
+
+class TestLink:
+    def test_message_traverses_with_latency(self):
+        link = Link("l", words_per_cycle=8, latency_cycles=3)
+        link.send(BlockMessage("A", 16, 0, 1))
+        arrivals = []
+        for cycle in range(10):
+            arrivals.extend(link.tick(cycle))
+        assert len(arrivals) == 1
+        # 16 words at 8/cycle = 2 cycles serialization + 3 latency
+        assert link.words_forwarded == 16
+
+    def test_bandwidth_throttles_serialization(self):
+        fast = Link("fast", words_per_cycle=64)
+        slow = Link("slow", words_per_cycle=1)
+        for link in (fast, slow):
+            link.send(BlockMessage("A", 64, 0, 1))
+        fast_done = slow_done = None
+        for cycle in range(200):
+            if fast.tick(cycle) and fast_done is None:
+                fast_done = cycle
+            if slow.tick(cycle) and slow_done is None:
+                slow_done = cycle
+        assert fast_done is not None and slow_done is not None
+        assert slow_done > fast_done + 30
+
+    def test_queue_stats(self):
+        link = Link("l", words_per_cycle=1)
+        for _ in range(4):
+            link.send(BlockMessage("A", 10, 0, 1))
+        link.tick(0)
+        assert link.max_queue_words >= 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Link("l", words_per_cycle=0)
+        with pytest.raises(ValueError):
+            Link("l", 1.0, latency_cycles=0)
+
+
+class TestLinearArrayNetwork:
+    def test_feasible_schedule_bounded_queues(self):
+        # Paper chassis numbers (scaled): link bandwidth comfortably
+        # above 3kl/b words/cycle → queues stay within ~a block.
+        net = LinearArrayNetwork(l=4, link_words_per_cycle=2.0)
+        report = net.stream_mm_schedule(k=4, m=8, b=64, blocks=12)
+        assert report.delivered == 36
+        assert report.max_queue_words <= 3 * 8 * 8  # ~3 blocks
+
+    def test_starved_link_detected(self):
+        # Requirement: 3kl/b = 3·4·4/32 = 1.5 words/cycle; give 0.2.
+        net = LinearArrayNetwork(l=4, link_words_per_cycle=0.2)
+        with pytest.raises(SimulationError, match="backlog"):
+            net.stream_mm_schedule(k=4, m=8, b=32, blocks=50,
+                                   max_cycles=30_000)
+
+    def test_marginal_bandwidth_has_larger_queues(self):
+        ample = LinearArrayNetwork(l=4, link_words_per_cycle=8.0)
+        tight = LinearArrayNetwork(l=4, link_words_per_cycle=1.6)
+        r_ample = ample.stream_mm_schedule(k=4, m=8, b=64, blocks=12)
+        r_tight = tight.stream_mm_schedule(k=4, m=8, b=64, blocks=12)
+        assert r_tight.max_queue_words >= r_ample.max_queue_words
+
+    def test_delivery_lag_grows_with_array_length(self):
+        short = LinearArrayNetwork(l=2, link_words_per_cycle=4.0)
+        long = LinearArrayNetwork(l=8, link_words_per_cycle=4.0)
+        r_short = short.stream_mm_schedule(k=4, m=8, b=64, blocks=8)
+        r_long = long.stream_mm_schedule(k=4, m=8, b=64, blocks=8)
+        assert r_long.worst_delivery_lag > r_short.worst_delivery_lag
+
+    def test_single_fpga_trivial(self):
+        net = LinearArrayNetwork(l=1, link_words_per_cycle=1.0)
+        report = net.stream_mm_schedule(k=4, m=8, b=32, blocks=4)
+        assert report.delivered == 0
+        assert report.cycles == 0
+
+    def test_b_multiple_of_m(self):
+        net = LinearArrayNetwork(l=2, link_words_per_cycle=1.0)
+        with pytest.raises(ValueError):
+            net.stream_mm_schedule(k=4, m=8, b=30, blocks=1)
+
+    def test_xd1_chassis_requirement_is_feasible(self):
+        # Section 6.4.1: k=m=8, b=2048, l=6 needs 73.1 MB/s ≈ 0.07
+        # words/cycle; the RocketI/O links offer orders of magnitude
+        # more (modelled at ≥1 word/cycle here).
+        net = LinearArrayNetwork(l=6, link_words_per_cycle=1.0)
+        report = net.stream_mm_schedule(k=8, m=8, b=2048, blocks=6)
+        assert report.delivered == 18
+        assert report.max_queue_words <= 2 * 8 * 8
+
+
+class TestMultiChassisNetwork:
+    def test_link_kinds(self):
+        from repro.device.interconnect import MultiChassisNetwork
+        net = MultiChassisNetwork(chassis=2, fpgas_per_chassis=3)
+        assert net.l == 6
+        assert len(net.links) == 5
+        inter = net.inter_chassis_links()
+        assert len(inter) == 1
+        assert inter[0].name == "inter[2]"
+
+    def test_twelve_chassis_topology(self):
+        from repro.device.interconnect import MultiChassisNetwork
+        net = MultiChassisNetwork(chassis=12)
+        assert net.l == 72
+        assert len(net.inter_chassis_links()) == 11
+
+    def test_feasible_at_paper_rates(self):
+        from repro.device.interconnect import MultiChassisNetwork
+        # Requirement at k=8, l=12, b=1024-scale: 3kl/b words/cycle —
+        # comfortably under even the slower inter-chassis links.
+        net = MultiChassisNetwork(chassis=2, fpgas_per_chassis=6,
+                                  intra_words_per_cycle=4.0,
+                                  inter_words_per_cycle=2.0)
+        report = net.stream_mm_schedule(k=8, m=8, b=1024, blocks=6)
+        assert report.delivered == 18
+        # A and B inject back to back, so ~2 blocks queue at the head
+        # plus partial serialization — bounded at ~3 blocks.
+        assert report.max_queue_words <= 3 * 64
+
+    def test_inter_chassis_bottleneck_shows_in_queues(self):
+        from repro.device.interconnect import MultiChassisNetwork
+        net = MultiChassisNetwork(chassis=2, fpgas_per_chassis=3,
+                                  intra_words_per_cycle=8.0,
+                                  inter_words_per_cycle=1.0)
+        report = net.stream_mm_schedule(k=4, m=8, b=64, blocks=10)
+        inter = net.inter_chassis_links()[0]
+        intra_worst = max(l.max_queue_words for l in net.links
+                          if l is not inter)
+        assert inter.max_queue_words >= intra_worst
+
+    def test_validation(self):
+        from repro.device.interconnect import MultiChassisNetwork
+        import pytest
+        with pytest.raises(ValueError):
+            MultiChassisNetwork(chassis=0)

@@ -1,0 +1,136 @@
+"""Unit tests for the extended Level-1 kernels and softfloat sqrt."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blas.level1_ext import (
+    AsumDesign,
+    AxpyDesign,
+    FP_SQRT_64,
+    Nrm2Design,
+    ScalDesign,
+)
+from repro.fparith.ieee754 import bits_to_float, float_to_bits
+from repro.fparith.softfloat import float_sqrt, sqrt_bits
+
+
+class TestSoftfloatSqrt:
+    @pytest.mark.parametrize("value", [0.0, 1.0, 2.0, 4.0, 0.25, 1e300,
+                                       1e-300, 5e-324, 2.2e-308])
+    def test_matches_hardware(self, value):
+        assert float_to_bits(float_sqrt(value)) == \
+            float_to_bits(math.sqrt(value))
+
+    def test_negative_is_nan(self):
+        assert math.isnan(float_sqrt(-1.0))
+        assert math.isnan(float_sqrt(-1e-320))
+
+    def test_signed_zero_passthrough(self):
+        assert math.copysign(1.0, float_sqrt(-0.0)) == -1.0
+        assert float_sqrt(0.0) == 0.0
+
+    def test_infinity(self):
+        assert float_sqrt(math.inf) == math.inf
+
+    def test_nan_propagates(self):
+        assert math.isnan(float_sqrt(math.nan))
+
+    @settings(max_examples=800, deadline=None)
+    @given(st.floats(min_value=0.0, allow_nan=False, allow_infinity=False,
+                     width=64))
+    def test_bit_exact_property(self, value):
+        got = float_sqrt(value)
+        want = math.sqrt(value)
+        assert float_to_bits(got) == float_to_bits(want)
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.floats(min_value=1e-300, max_value=1e300, allow_nan=False))
+    def test_square_of_root_within_one_ulp(self, value):
+        root = float_sqrt(value)
+        assert root * root == pytest.approx(value, rel=1e-15)
+
+
+class TestAxpy:
+    @pytest.mark.parametrize("n,k", [(1, 1), (16, 2), (33, 4), (100, 8)])
+    def test_matches_numpy(self, rng, n, k):
+        x, y = rng.standard_normal(n), rng.standard_normal(n)
+        run = AxpyDesign(k=k).run(2.5, x, y)
+        np.testing.assert_allclose(run.y, 2.5 * x + y, rtol=1e-12)
+
+    def test_flops_and_traffic(self, rng):
+        run = AxpyDesign(k=2).run(1.0, rng.standard_normal(64),
+                                  rng.standard_normal(64))
+        assert run.flops == 128
+        assert run.words_read == 128
+        assert run.words_written == 64
+        # 3 words of traffic per 2 flops: the bandwidth-hungriest kernel.
+        assert run.words_per_cycle() > 2.0 * run.flops_per_cycle / 2
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            AxpyDesign().run(1.0, rng.standard_normal(4),
+                             rng.standard_normal(5))
+
+    def test_latency_is_pipeline_plus_stream(self, rng):
+        n, k = 64, 2
+        run = AxpyDesign(k=k).run(1.0, rng.standard_normal(n),
+                                  rng.standard_normal(n))
+        assert run.total_cycles == n // k + 11 + 14
+
+
+class TestScal:
+    def test_matches_numpy(self, rng):
+        x = rng.standard_normal(50)
+        run = ScalDesign(k=4).run(-0.5, x)
+        np.testing.assert_allclose(run.y, -0.5 * x, rtol=1e-12)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ScalDesign().run(1.0, np.array([]))
+
+
+class TestAsum:
+    @pytest.mark.parametrize("n,k", [(1, 1), (16, 2), (77, 4)])
+    def test_matches_numpy(self, rng, n, k):
+        x = rng.standard_normal(n)
+        run = AsumDesign(k=k).run(x)
+        assert run.result == pytest.approx(float(np.abs(x).sum()),
+                                           rel=1e-12)
+
+    def test_all_negative(self, rng):
+        x = -np.abs(rng.standard_normal(32))
+        run = AsumDesign(k=2).run(x)
+        assert run.result == pytest.approx(float(np.abs(x).sum()),
+                                           rel=1e-12)
+
+    def test_cycles_similar_to_dot(self, rng):
+        from repro.blas.level1 import DotProductDesign
+        x = rng.standard_normal(256)
+        asum = AsumDesign(k=2).run(x)
+        dot = DotProductDesign(k=2).run(x, x)
+        # Same datapath shape minus the multiplier stage.
+        assert abs(asum.total_cycles - dot.total_cycles) <= 15
+
+
+class TestNrm2:
+    def test_matches_numpy(self, rng):
+        x = rng.standard_normal(128)
+        run = Nrm2Design(k=2).run(x)
+        assert run.result == pytest.approx(float(np.linalg.norm(x)),
+                                           rel=1e-12)
+
+    def test_sqrt_latency_charged(self, rng):
+        from repro.blas.level1 import DotProductDesign
+        x = rng.standard_normal(64)
+        nrm = Nrm2Design(k=2).run(x)
+        dot = DotProductDesign(k=2).run(x, x)
+        assert nrm.total_cycles == dot.total_cycles + \
+            FP_SQRT_64.pipeline_stages
+
+    def test_zero_vector(self):
+        run = Nrm2Design(k=2).run(np.zeros(16))
+        assert run.result == 0.0

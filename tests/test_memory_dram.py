@@ -1,0 +1,109 @@
+"""Unit tests for the DRAM channel model."""
+
+import numpy as np
+import pytest
+
+from repro.memory.dram import DramChannel
+from repro.sim.engine import Simulator
+
+
+class TestBulkTransfers:
+    def test_transfer_seconds_matches_section62(self):
+        sim = Simulator()
+        dram = DramChannel(sim, bandwidth_bytes_per_s=1.3e9)
+        # Staging a 1024×1024 double matrix: ≈ 6.45 ms at 1.3 GB/s —
+        # the bulk of Section 6.2's 8.0 ms total.
+        seconds = dram.transfer_seconds(1024 * 1024)
+        assert seconds == pytest.approx(6.45e-3, rel=0.01)
+
+    def test_transfer_cycles(self):
+        sim = Simulator()
+        dram = DramChannel(sim, bandwidth_bytes_per_s=1.3e9, clock_mhz=164.0)
+        cycles = dram.transfer_cycles(1024 * 1024)
+        assert cycles == pytest.approx(6.45e-3 * 164e6, rel=0.01)
+
+    def test_negative_rejected(self):
+        sim = Simulator()
+        dram = DramChannel(sim)
+        with pytest.raises(ValueError):
+            dram.transfer_cycles(-5)
+
+
+class TestContents:
+    def test_preload_peek(self):
+        sim = Simulator()
+        dram = DramChannel(sim)
+        dram.preload(np.arange(10.0))
+        assert dram.peek(3, 2).tolist() == [3.0, 4.0]
+
+    def test_poke_extends(self):
+        sim = Simulator()
+        dram = DramChannel(sim)
+        dram.preload(np.zeros(4))
+        dram.poke(2, np.array([1.0, 2.0, 3.0]))
+        assert dram.peek(2, 3).tolist() == [1.0, 2.0, 3.0]
+
+    def test_peek_out_of_range(self):
+        sim = Simulator()
+        dram = DramChannel(sim)
+        dram.preload(np.zeros(4))
+        with pytest.raises(IndexError):
+            dram.peek(3, 2)
+
+
+class TestStreaming:
+    def test_token_bucket_throttles(self):
+        sim = Simulator()
+        # 1 word every 2 cycles: bandwidth = 4 B/cycle at 8 B words.
+        dram = DramChannel(sim, bandwidth_bytes_per_s=0.5 * 8 * 100e6,
+                           clock_mhz=100.0)
+        dram.preload(np.arange(100.0))
+        dram._tokens = 0.0
+        grants = 0
+        for _ in range(20):
+            sim.step()
+            if dram.try_stream_read(0, 1) is not None:
+                grants += 1
+        assert grants == pytest.approx(10, abs=1)
+
+    def test_stream_read_returns_data(self):
+        sim = Simulator()
+        dram = DramChannel(sim, bandwidth_bytes_per_s=8e9, clock_mhz=100.0)
+        dram.preload(np.arange(8.0))
+        sim.step()
+        out = dram.try_stream_read(2, 2)
+        assert out is not None and out.tolist() == [2.0, 3.0]
+
+    def test_stream_write(self):
+        sim = Simulator()
+        dram = DramChannel(sim, bandwidth_bytes_per_s=8e9, clock_mhz=100.0)
+        dram.preload(np.zeros(8))
+        sim.step()
+        assert dram.try_stream_write(1, np.array([9.0]))
+        assert dram.peek(1, 1)[0] == 9.0
+
+    def test_words_transferred_counter(self):
+        sim = Simulator()
+        dram = DramChannel(sim, bandwidth_bytes_per_s=80e9, clock_mhz=100.0)
+        dram.preload(np.arange(16.0))
+        sim.step()
+        dram.try_stream_read(0, 4)
+        dram.try_stream_write(0, np.zeros(2))
+        assert dram.words_transferred == 6
+
+    def test_achieved_bandwidth(self):
+        sim = Simulator()
+        dram = DramChannel(sim, bandwidth_bytes_per_s=80e9, clock_mhz=100.0)
+        dram.preload(np.arange(64.0))
+        for _ in range(8):
+            sim.step()
+            dram.try_stream_read(0, 1)
+        # 8 words over 8 cycles at 100 MHz = 0.8 GB/s
+        assert dram.achieved_bandwidth_gbytes(8) == pytest.approx(0.8)
+
+    def test_count_must_be_positive(self):
+        sim = Simulator()
+        dram = DramChannel(sim)
+        dram.preload(np.zeros(4))
+        with pytest.raises(ValueError):
+            dram.try_stream_read(0, 0)

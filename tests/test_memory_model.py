@@ -1,0 +1,97 @@
+"""Unit tests for the memory hierarchy catalog (Table 1)."""
+
+import pytest
+
+from repro.memory.model import (
+    CRAY_XD1_MEMORY,
+    GIB,
+    KIB,
+    MIB,
+    MemoryHierarchy,
+    MemoryLevel,
+    MemoryLevelSpec,
+    SRC_MAPSTATION_MEMORY,
+    XD1_DRAM_MEASURED_BANDWIDTH,
+    XD1_INTERCHASSIS_BANDWIDTH,
+    XD1_SRAM_READ_BANDWIDTH,
+)
+
+
+class TestTable1Catalog:
+    def test_cray_level_a(self):
+        spec = CRAY_XD1_MEMORY.bram
+        assert spec.size_bytes == 522 * KIB
+        assert spec.bandwidth_bytes_per_s == 209e9
+
+    def test_cray_level_b(self):
+        spec = CRAY_XD1_MEMORY.sram
+        assert spec.size_bytes == 16 * MIB
+        assert spec.bandwidth_bytes_per_s == 12.8e9
+        assert spec.banks == 4
+
+    def test_cray_level_c(self):
+        spec = CRAY_XD1_MEMORY.dram
+        assert spec.size_bytes == 8 * GIB
+        assert spec.bandwidth_bytes_per_s == 3.2e9
+
+    def test_src_levels(self):
+        assert SRC_MAPSTATION_MEMORY.bram.size_bytes == 648 * KIB
+        assert SRC_MAPSTATION_MEMORY.sram.size_bytes == 24 * MIB
+        assert SRC_MAPSTATION_MEMORY.sram.bandwidth_bytes_per_s == 4.8e9
+        assert SRC_MAPSTATION_MEMORY.sram.banks == 6
+        assert SRC_MAPSTATION_MEMORY.dram.bandwidth_bytes_per_s == 1.4e9
+
+    def test_bandwidth_ordering_a_gt_b_gt_c(self):
+        for hierarchy in (CRAY_XD1_MEMORY, SRC_MAPSTATION_MEMORY):
+            a, b, c = hierarchy.bram, hierarchy.sram, hierarchy.dram
+            assert a.bandwidth_bytes_per_s > b.bandwidth_bytes_per_s
+            assert b.bandwidth_bytes_per_s > c.bandwidth_bytes_per_s
+
+    def test_size_ordering_a_lt_b_lt_c(self):
+        for hierarchy in (CRAY_XD1_MEMORY, SRC_MAPSTATION_MEMORY):
+            a, b, c = hierarchy.bram, hierarchy.sram, hierarchy.dram
+            assert a.size_bytes < b.size_bytes < c.size_bytes
+
+    def test_measured_constants(self):
+        assert XD1_SRAM_READ_BANDWIDTH == 6.4e9
+        assert XD1_DRAM_MEASURED_BANDWIDTH == 1.3e9
+        assert XD1_INTERCHASSIS_BANDWIDTH == 4.0e9
+
+
+class TestMemoryLevelSpec:
+    def test_size_words(self):
+        spec = MemoryLevelSpec(MemoryLevel.B, 16 * MIB, 1e9)
+        assert spec.size_words == 2 * MIB // 1  # 16 MiB / 8 B
+
+    def test_words_per_cycle(self):
+        spec = MemoryLevelSpec(MemoryLevel.B, 16 * MIB, 6.4e9)
+        # 6.4 GB/s at 200 MHz → 4 words/cycle (QDR × 4 banks).
+        assert spec.words_per_cycle(200.0) == pytest.approx(4.0)
+
+    def test_transfer_seconds(self):
+        spec = MemoryLevelSpec(MemoryLevel.C, 8 * GIB, 1.3e9)
+        # Section 6.2: staging a 1024² matrix takes ≈ 6.5 ms.
+        assert spec.transfer_seconds(1024 * 1024 * 8) == pytest.approx(
+            6.45e-3, rel=0.01)
+
+    def test_transfer_rejects_negative(self):
+        spec = CRAY_XD1_MEMORY.sram
+        with pytest.raises(ValueError):
+            spec.transfer_seconds(-1)
+
+    def test_bandwidth_gbytes(self):
+        assert CRAY_XD1_MEMORY.sram.bandwidth_gbytes == pytest.approx(12.8)
+
+
+class TestMemoryHierarchy:
+    def test_requires_all_levels(self):
+        with pytest.raises(ValueError, match="missing levels"):
+            MemoryHierarchy("partial", {
+                MemoryLevel.A: CRAY_XD1_MEMORY.bram,
+            })
+
+    def test_fits(self):
+        # Section 6.2: with 16 MB SRAM, a 1024² matrix of doubles fits
+        # (8 MB) but a 2048² one (32 MB) does not.
+        assert CRAY_XD1_MEMORY.fits(MemoryLevel.B, 1024 * 1024)
+        assert not CRAY_XD1_MEMORY.fits(MemoryLevel.B, 2048 * 2048)

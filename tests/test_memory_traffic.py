@@ -1,0 +1,88 @@
+"""Unit tests for traffic accounting and I/O-complexity formulas."""
+
+import math
+
+import pytest
+
+from repro.memory.traffic import (
+    TrafficCounter,
+    matmul_io_lower_bound,
+    mm_design_io_words,
+    multi_fpga_io_words,
+)
+
+
+class TestTrafficCounter:
+    def test_read_write_totals(self):
+        t = TrafficCounter()
+        t.read("dram", 10)
+        t.write("dram", 5)
+        t.read("sram", 3)
+        assert t.reads("dram") == 10
+        assert t.writes("dram") == 5
+        assert t.total("dram") == 15
+        assert t.total("sram") == 3
+
+    def test_channels_summary(self):
+        t = TrafficCounter()
+        t.read("a", 1)
+        t.write("b", 2)
+        assert t.channels() == {"a": 1, "b": 2}
+
+    def test_negative_rejected(self):
+        t = TrafficCounter()
+        with pytest.raises(ValueError):
+            t.read("x", -1)
+
+    def test_bandwidth(self):
+        t = TrafficCounter()
+        t.read("dram", 1000)
+        # 1000 words × 8 B over 1000 cycles at 125 MHz = 1 GB/s
+        assert t.bandwidth_gbytes("dram", 1000, 125.0) == pytest.approx(1.0)
+
+    def test_bandwidth_zero_cycles(self):
+        t = TrafficCounter()
+        assert t.bandwidth_gbytes("dram", 0, 100.0) == 0.0
+
+
+class TestIoComplexity:
+    def test_lower_bound_formula(self):
+        assert matmul_io_lower_bound(64, 1024) == pytest.approx(64 ** 3 / 32)
+
+    def test_lower_bound_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            matmul_io_lower_bound(0, 10)
+        with pytest.raises(ValueError):
+            matmul_io_lower_bound(10, 0)
+
+    def test_mm_design_io(self):
+        # 2n³/m + n² words
+        assert mm_design_io_words(64, 16) == 2 * 64 ** 3 // 16 + 64 * 64
+
+    def test_mm_design_requires_divisibility(self):
+        with pytest.raises(ValueError):
+            mm_design_io_words(65, 16)
+
+    def test_mm_design_meets_lower_bound_order(self):
+        # The design's I/O is Θ(n³/m) with internal memory 2m²: the
+        # ratio to the Hong-Kung bound n³/√(2m²) is the constant 2√2.
+        for n, m in [(64, 8), (128, 16), (256, 32)]:
+            io = mm_design_io_words(n, m)
+            bound = matmul_io_lower_bound(n, 2 * m * m)
+            ratio = (io - n * n) / bound
+            assert ratio == pytest.approx(2 * math.sqrt(2), rel=1e-9)
+
+    def test_multi_fpga_io(self):
+        assert multi_fpga_io_words(1024, 512) == (
+            2 * 1024 ** 3 // 512 + 1024 ** 2)
+
+    def test_multi_fpga_io_scales_inversely_with_b(self):
+        io_small_b = multi_fpga_io_words(2048, 256)
+        io_large_b = multi_fpga_io_words(2048, 1024)
+        assert io_small_b > io_large_b
+
+    def test_doubling_m_halves_design_io(self):
+        n = 256
+        io1 = mm_design_io_words(n, 16) - n * n
+        io2 = mm_design_io_words(n, 32) - n * n
+        assert io1 == 2 * io2

@@ -1,0 +1,143 @@
+"""Unit tests for peak formulas, projections and report rendering."""
+
+import pytest
+
+from repro.device.fpga import XC2VP50, XC2VP100
+from repro.perf.peak import (
+    device_peak_gflops,
+    dot_product_peak_flops,
+    fp_unit_pairs,
+    mvm_peak_flops,
+    percent_of_peak,
+)
+from repro.perf.projection import (
+    project_chassis,
+    project_chassis_grid,
+    project_multi_chassis,
+)
+from repro.perf.report import Comparison, render_table
+
+
+class TestPeakFormulas:
+    def test_dot_product_peak_is_bw_words(self):
+        # Section 4.4: peak = bw FLOPS at bw words/s.
+        assert dot_product_peak_flops(5.5e9) == pytest.approx(687.5e6)
+
+    def test_mvm_peak_is_2bw(self):
+        # Section 6.2: 325 MFLOPS at 1.3 GB/s.
+        assert mvm_peak_flops(1.3e9) == pytest.approx(325e6)
+
+    def test_mvm_double_of_dot(self):
+        assert mvm_peak_flops(4e9) == 2 * dot_product_peak_flops(4e9)
+
+    def test_bandwidth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            dot_product_peak_flops(0)
+        with pytest.raises(ValueError):
+            mvm_peak_flops(-1)
+
+    def test_xc2vp50_fits_13_unit_pairs(self):
+        assert fp_unit_pairs(XC2VP50) == 13
+
+    def test_device_peak_matches_section63(self):
+        # "the peak performance of XC2VP50 is thus 4.42 GFLOPS"
+        assert device_peak_gflops(XC2VP50) == pytest.approx(4.42)
+
+    def test_percent_of_peak(self):
+        # Table 4: 262 of 325 MFLOPS = 80.6 %.
+        assert percent_of_peak(262, 325) == pytest.approx(80.6, abs=0.1)
+
+    def test_percent_rejects_zero_peak(self):
+        with pytest.raises(ValueError):
+            percent_of_peak(1, 0)
+
+
+class TestChassisProjection:
+    def test_fig11_smallest_fastest_pe(self):
+        p = project_chassis(1600, 200.0)
+        # "one chassis can achieve more than 27 GFLOPS" — our floor-PE
+        # model gives 25.2; the bandwidth numbers match exactly.
+        assert p.pes_per_fpga == 14
+        assert p.gflops == pytest.approx(25.2, rel=0.01)
+        assert p.dram_mbytes_per_s == pytest.approx(147.7, rel=0.01)
+        assert p.sram_gbytes_per_s == pytest.approx(2.5, rel=0.05)
+        assert p.dram_feasible and p.sram_feasible
+
+    def test_fig12_xc2vp100(self):
+        p = project_chassis(1600, 200.0, device=XC2VP100)
+        assert p.pes_per_fpga == 27
+        # "about 50 GFLOPS" (abstract); DRAM requirement 284.8 MB/s.
+        assert p.gflops == pytest.approx(48.6, rel=0.01)
+        assert p.dram_mbytes_per_s == pytest.approx(284.8, rel=0.01)
+        assert p.dram_feasible and p.sram_feasible
+
+    def test_xc2vp100_roughly_doubles_xc2vp50(self):
+        small = project_chassis(1800, 180.0)
+        big = project_chassis(1800, 180.0, device=XC2VP100)
+        assert big.gflops / small.gflops == pytest.approx(1.9, abs=0.15)
+
+    def test_gflops_monotone_in_clock(self):
+        gs = [project_chassis(1800, c).gflops for c in (160, 180, 200)]
+        assert gs == sorted(gs)
+
+    def test_gflops_monotone_in_pe_area(self):
+        gs = [project_chassis(a, 180.0).gflops for a in (2000, 1800, 1600)]
+        assert gs == sorted(gs)
+
+    def test_grid_covers_25_points(self):
+        grid = project_chassis_grid()
+        assert len(grid) == 25
+        assert all(p.dram_feasible and p.sram_feasible for p in grid)
+
+    def test_derate_bounds(self):
+        with pytest.raises(ValueError):
+            project_chassis(1600, 200.0, derate=1.0)
+
+
+class TestMultiChassisProjection:
+    def test_section642_numbers(self):
+        p = project_multi_chassis(12)
+        assert p.fpgas == 72
+        assert p.gflops == pytest.approx(148.3, abs=0.1)
+        assert p.dram_mbytes_per_s == pytest.approx(877.5, rel=0.01)
+        assert p.interchassis_mbytes_per_s == pytest.approx(877.5, rel=0.01)
+        assert p.added_latency_cycles == 576
+        assert p.feasible
+
+    def test_single_chassis(self):
+        p = project_multi_chassis(1)
+        assert p.fpgas == 6
+        assert p.gflops == pytest.approx(12.4, abs=0.1)
+        assert p.dram_mbytes_per_s == pytest.approx(73.1, rel=0.01)
+        assert p.added_latency_cycles == 48
+
+    def test_gflops_linear_in_chassis(self):
+        p1 = project_multi_chassis(1)
+        p12 = project_multi_chassis(12)
+        assert p12.gflops == pytest.approx(12 * p1.gflops)
+
+
+class TestReportRendering:
+    def test_comparison_ratio(self):
+        c = Comparison("x", paper=100.0, measured=110.0)
+        assert c.ratio == pytest.approx(1.1)
+        assert c.within_tolerance
+
+    def test_comparison_deviation_flagged(self):
+        c = Comparison("x", paper=100.0, measured=150.0, rel_tol=0.15)
+        assert not c.within_tolerance
+        assert "DEVIATES" in c.row()
+
+    def test_zero_paper_value(self):
+        assert Comparison("x", paper=0, measured=0).ratio == 1.0
+
+    def test_render_table(self):
+        table = render_table("Table X", [
+            Comparison("latency", 8.0, 8.2, unit="ms"),
+            Comparison("mflops", 262, 270),
+        ], extra_note="note here")
+        assert "Table X" in table
+        assert "latency" in table
+        assert "ms" in table
+        assert "note here" in table
+        assert "ok" in table

@@ -1,0 +1,102 @@
+"""Unit tests for the MM design-space explorer."""
+
+import pytest
+
+from repro.device.fpga import XC2VP100
+from repro.perf.explorer import (
+    ExplorerBudget,
+    MmConfiguration,
+    best_configuration,
+    enumerate_configurations,
+    pareto_frontier,
+)
+
+
+class TestEnumeration:
+    def test_every_configuration_is_feasible(self):
+        budget = ExplorerBudget()
+        for config in enumerate_configurations(budget):
+            assert config.slices <= budget.device.slices
+            assert config.bram_words <= budget.device.bram_words
+            assert config.sram_words_per_fpga <= budget.sram_words_per_fpga
+            assert config.dram_bytes_per_s <= budget.dram_bytes_per_s
+            assert config.sram_bytes_per_s <= budget.sram_bytes_per_s
+            assert config.m % config.k == 0
+            assert config.b % config.m == 0
+
+    def test_sorted_best_first(self):
+        configs = enumerate_configurations()
+        gflops = [c.gflops for c in configs]
+        assert gflops == sorted(gflops, reverse=True)
+
+    def test_papers_configuration_is_feasible(self):
+        # k=m=8, b=512 on the XD1 must be in the feasible set.
+        configs = enumerate_configurations()
+        assert any(c.k == 8 and c.m == 8 and c.b == 512 for c in configs)
+
+    def test_best_k_is_the_papers_8(self):
+        # Under the XD1 shell budget, at most 8 PEs fit — the explorer
+        # independently lands on the paper's choice of k.
+        best = best_configuration()
+        assert best is not None
+        assert best.k == 8
+        # 2·8·130 MHz = 2.08 GFLOPS, Table 4's sustained figure.
+        assert best.gflops == pytest.approx(2.08, abs=0.01)
+
+    def test_bigger_device_unlocks_more_pes(self):
+        small = best_configuration()
+        big = best_configuration(ExplorerBudget(device=XC2VP100))
+        assert big.k > small.k
+        assert big.gflops > small.gflops
+
+    def test_standalone_hazard_constraint_prunes(self):
+        strict = ExplorerBudget(hierarchical=False, shell_slices=0)
+        configs = enumerate_configurations(strict)
+        for config in configs:
+            assert config.m * config.m // config.k > strict.alpha_add
+
+    def test_tiny_dram_budget_forces_large_b_or_small_k(self):
+        starved = ExplorerBudget(dram_bytes_per_s=30e6)
+        configs = enumerate_configurations(starved)
+        assert configs  # still feasible, by trading b against k
+        # 3k/b · 8 B · clock ≤ 30 MB/s ⇒ b/k ≥ ~100: each configuration
+        # compensates DRAM starvation with deep SRAM blocking.
+        assert all(c.b / c.k >= 100 for c in configs)
+        # And the unstarved best (k=8, b=512) is no longer feasible.
+        assert not any(c.k == 8 and c.b == 512 for c in configs)
+
+    def test_multi_fpga_scales_gflops(self):
+        one = best_configuration(l=1)
+        six = best_configuration(l=6)
+        assert six.gflops == pytest.approx(6 * one.gflops, rel=0.01)
+
+    def test_custom_grids(self):
+        configs = enumerate_configurations(ks=[4], ms=[16], bs=[256])
+        assert all((c.k, c.m, c.b) == (4, 16, 256) for c in configs)
+        assert len(configs) == 1
+
+
+class TestPareto:
+    def test_frontier_subset_and_nondominated(self):
+        configs = enumerate_configurations()
+        frontier = pareto_frontier(configs)
+        assert frontier
+        assert all(c in configs for c in frontier)
+        for a in frontier:
+            assert not any(b.dominates(a) for b in configs if b is not a)
+
+    def test_best_gflops_always_on_frontier(self):
+        configs = enumerate_configurations()
+        frontier = pareto_frontier(configs)
+        assert max(c.gflops for c in frontier) == configs[0].gflops
+
+    def test_dominates_semantics(self):
+        base = dict(k=8, m=8, b=512, l=1, clock_mhz=130.0, slices=100,
+                    bram_words=10, sram_words_per_fpga=10,
+                    dram_bytes_per_s=1.0, sram_bytes_per_s=1.0,
+                    gflops=2.0)
+        a = MmConfiguration(**base)
+        worse = MmConfiguration(**{**base, "gflops": 1.0})
+        assert a.dominates(worse)
+        assert not worse.dominates(a)
+        assert not a.dominates(a)

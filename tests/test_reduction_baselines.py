@@ -1,0 +1,165 @@
+"""Unit tests for the prior-art reduction baselines (Section 2.3)."""
+
+import math
+
+import pytest
+
+from repro.reduction.analysis import run_reduction
+from repro.reduction.baselines import (
+    AdderTreeReduction,
+    BinaryCounterReduction,
+    DualAdderReduction,
+    NiHwangReduction,
+    SingleCycleAdderReduction,
+    StallingReduction,
+)
+from repro.reduction.single_adder import SingleAdderReduction
+
+
+def check_sums(circuit, sets):
+    run = run_reduction(circuit, sets)
+    for got, values in zip(run.results_by_set(), sets):
+        want = math.fsum(values)
+        assert abs(got - want) <= 1e-9 * max(1.0, abs(want)) + 1e-12
+    return run
+
+
+class TestStallingReduction:
+    def test_correct_sums(self):
+        check_sums(StallingReduction(alpha=5), [[1.0] * 9, [2.0] * 4])
+
+    def test_stalls_roughly_alpha_per_addition(self):
+        alpha = 8
+        circuit = StallingReduction(alpha=alpha)
+        run = run_reduction(circuit, [[1.0] * 20])
+        # 19 chained additions, each serialised over α cycles.
+        assert run.total_cycles >= 19 * alpha
+
+    def test_single_value_needs_no_addition(self):
+        circuit = StallingReduction(alpha=5)
+        run = run_reduction(circuit, [[7.0]])
+        assert run.results_by_set() == [7.0]
+        assert circuit.stats.adder_issues == 0
+
+    def test_much_slower_than_papers_circuit(self):
+        sets = [[1.0] * 30 for _ in range(5)]
+        stall = run_reduction(StallingReduction(alpha=14), sets)
+        ours = run_reduction(SingleAdderReduction(alpha=14), sets)
+        assert stall.total_cycles > 5 * ours.total_cycles
+
+
+class TestSingleCycleAdder:
+    def test_correct_sums(self):
+        check_sums(SingleCycleAdderReduction(alpha=6), [[1.5] * 7, [2.0] * 2])
+
+    def test_no_stalls(self):
+        circuit = SingleCycleAdderReduction(alpha=6)
+        run = run_reduction(circuit, [[1.0] * 50])
+        assert run.stall_cycles == 0
+
+    def test_clock_derate_makes_effective_cycles_worse(self):
+        circuit = SingleCycleAdderReduction(alpha=14)
+        run_reduction(circuit, [[1.0] * 100])
+        # Cycle count is small but each cycle is ~α× longer.
+        assert circuit.effective_cycles() > 14 * 100 * 0.9
+
+    def test_custom_derate(self):
+        circuit = SingleCycleAdderReduction(alpha=8, clock_derate=0.5)
+        assert circuit.clock_derate == 0.5
+
+
+class TestAdderTree:
+    def test_correct_sums(self):
+        check_sums(AdderTreeReduction(alpha=4), [[1.0] * 9, [3.0] * 5])
+
+    def test_uses_log_s_adders(self):
+        circuit = AdderTreeReduction(alpha=14, max_set_size=1024)
+        assert circuit.num_adders == 10
+
+    def test_buffers_whole_set(self):
+        circuit = AdderTreeReduction(alpha=4, max_set_size=64)
+        run_reduction(circuit, [[1.0] * 40])
+        assert circuit.stats.max_buffer_occupancy == 40
+
+    def test_overflow_beyond_max_set(self):
+        circuit = AdderTreeReduction(alpha=4, max_set_size=8)
+        with pytest.raises(Exception, match="buffer"):
+            run_reduction(circuit, [[1.0] * 9])
+
+
+class TestNiHwang:
+    def test_single_vector_works(self):
+        check_sums(NiHwangReduction(alpha=4), [[1.0] * 17])
+
+    def test_multiple_small_sets_work(self):
+        check_sums(NiHwangReduction(alpha=4), [[1.0] * 3, [2.0] * 2])
+
+    def test_multiple_sets_stall_the_producer(self):
+        # The paper's criticism: without interleaving, back-to-back
+        # sets exceed the fixed buffer and force stalls.
+        circuit = NiHwangReduction(alpha=14, buffer_words=20)
+        sets = [[1.0] * 18 for _ in range(6)]
+        run = run_reduction(circuit, sets)
+        for got, values in zip(run.results_by_set(), sets):
+            assert got == math.fsum(values)
+        assert run.stall_cycles > 0
+
+    def test_papers_circuit_avoids_those_stalls(self):
+        sets = [[1.0] * 18 for _ in range(6)]
+        run = run_reduction(SingleAdderReduction(alpha=14), sets)
+        assert run.stall_cycles == 0
+
+
+class TestBinaryCounter:
+    def test_power_of_two_sets(self):
+        check_sums(BinaryCounterReduction(alpha=4),
+                   [[1.0] * 8, [2.0] * 16, [3.0] * 1])
+
+    def test_rejects_non_power_of_two(self):
+        circuit = BinaryCounterReduction(alpha=4)
+        with pytest.raises(ValueError, match="power-of-two"):
+            run_reduction(circuit, [[1.0] * 6])
+
+    def test_log_buffer(self):
+        circuit = BinaryCounterReduction(alpha=14, max_set_size=1 << 20)
+        run_reduction(circuit, [[1.0] * 1024])
+        assert circuit.stats.max_buffer_occupancy <= circuit.levels + 1
+
+    def test_one_adder(self):
+        assert BinaryCounterReduction(alpha=4).num_adders == 1
+
+
+class TestDualAdder:
+    def test_arbitrary_sizes(self):
+        check_sums(DualAdderReduction(alpha=4),
+                   [[1.0] * 7, [2.0] * 13, [3.0] * 1, [1.5] * 6])
+
+    def test_uses_two_adders(self):
+        assert DualAdderReduction(alpha=4).num_adders == 2
+
+    def test_log_buffer(self):
+        circuit = DualAdderReduction(alpha=14, max_set_size=1 << 20)
+        run_reduction(circuit, [[1.0] * 1000, [1.0] * 999])
+        assert circuit.stats.max_buffer_occupancy <= circuit.levels + 1
+
+    def test_no_stalls(self):
+        run = run_reduction(DualAdderReduction(alpha=8),
+                            [[1.0] * s for s in (5, 17, 2, 31)])
+        assert run.stall_cycles == 0
+
+
+class TestHeadlineComparison:
+    """The paper's positioning: same capability as the two-adder
+    design, with half the adders and no size restriction."""
+
+    def test_single_adder_vs_dual_adder_resources(self):
+        ours = SingleAdderReduction(alpha=14)
+        theirs = DualAdderReduction(alpha=14)
+        assert ours.num_adders < theirs.num_adders
+
+    def test_comparable_latency_on_arbitrary_sets(self):
+        sets = [[1.0] * s for s in (10, 23, 4, 17, 8, 31, 2)]
+        ours = run_reduction(SingleAdderReduction(alpha=14), sets)
+        theirs = run_reduction(DualAdderReduction(alpha=14), sets)
+        # Both are Θ(Σs); ours may pay up to the 2α² flush.
+        assert ours.total_cycles <= theirs.total_cycles + 2 * 14 * 14

@@ -1,0 +1,116 @@
+"""Property-based tests for the reduction circuit's paper claims.
+
+For arbitrary streams of arbitrary-size sets, the single-adder circuit
+must (1) compute correct sums, (2) never stall the producer, (3) keep
+buffer occupancy within 2α², (4) finish within Σsᵢ + 2α² cycles, and
+(5) issue exactly Σ(sᵢ − 1) additions.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reduction.analysis import latency_bound, run_reduction
+from repro.reduction.single_adder import SingleAdderReduction
+
+alphas = st.sampled_from([2, 3, 4, 5, 8, 14])
+
+
+@st.composite
+def workloads(draw):
+    """(alpha, list of sets) with adversarial size distribution."""
+    alpha = draw(alphas)
+    n_sets = draw(st.integers(1, 24))
+    sizes = draw(st.lists(
+        st.one_of(
+            st.integers(1, 3),
+            st.integers(max(1, alpha - 1), alpha + 1),
+            st.integers(1, 2 * alpha),
+            st.sampled_from([1, alpha, alpha * alpha, alpha * alpha + 1]),
+        ),
+        min_size=n_sets, max_size=n_sets,
+    ))
+    sets = [
+        [draw(st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False))
+         for _ in range(s)]
+        for s in sizes
+    ]
+    return alpha, sets
+
+
+@settings(max_examples=150, deadline=None)
+@given(workloads())
+def test_sums_are_correct(workload):
+    alpha, sets = workload
+    run = run_reduction(SingleAdderReduction(alpha=alpha), sets)
+    for got, values in zip(run.results_by_set(), sets):
+        want = math.fsum(values)
+        tol = 1e-9 * max(1.0, sum(abs(v) for v in values))
+        assert abs(got - want) <= tol, (alpha, len(values), got, want)
+
+
+@settings(max_examples=150, deadline=None)
+@given(workloads())
+def test_never_stalls_producer(workload):
+    alpha, sets = workload
+    run = run_reduction(SingleAdderReduction(alpha=alpha), sets)
+    assert run.stall_cycles == 0
+
+
+@settings(max_examples=150, deadline=None)
+@given(workloads())
+def test_buffer_occupancy_bounded(workload):
+    alpha, sets = workload
+    circuit = SingleAdderReduction(alpha=alpha)
+    run_reduction(circuit, sets)
+    assert circuit.stats.max_buffer_occupancy <= 2 * alpha * alpha
+
+
+@settings(max_examples=150, deadline=None)
+@given(workloads())
+def test_total_latency_bound(workload):
+    alpha, sets = workload
+    run = run_reduction(SingleAdderReduction(alpha=alpha), sets)
+    sizes = [len(s) for s in sets]
+    assert run.total_cycles < latency_bound(sizes, alpha)
+
+
+@settings(max_examples=150, deadline=None)
+@given(workloads())
+def test_exact_addition_count(workload):
+    alpha, sets = workload
+    circuit = SingleAdderReduction(alpha=alpha)
+    run_reduction(circuit, sets)
+    assert circuit.stats.adder_issues == sum(len(s) - 1 for s in sets)
+
+
+@settings(max_examples=150, deadline=None)
+@given(workloads())
+def test_one_result_per_set_with_matching_ids(workload):
+    alpha, sets = workload
+    circuit = SingleAdderReduction(alpha=alpha)
+    run_reduction(circuit, sets)
+    ids = sorted(r.set_id for r in circuit.results)
+    assert ids == list(range(len(sets)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(workloads(),
+       st.lists(st.integers(0, 5), min_size=0, max_size=30))
+def test_input_gaps_do_not_break_correctness(workload, gaps):
+    """Bubbles between inputs (producer hiccups) must be harmless."""
+    alpha, sets = workload
+    circuit = SingleAdderReduction(alpha=alpha)
+    gap_iter = iter(gaps + [0] * 10_000)
+    for values in sets:
+        for index, value in enumerate(values):
+            for _ in range(next(gap_iter)):
+                circuit.cycle()  # bubble
+            assert circuit.cycle(value, index == len(values) - 1)
+    circuit.flush()
+    got = [r.value for r in sorted(circuit.results, key=lambda r: r.set_id)]
+    for value, values in zip(got, sets):
+        want = math.fsum(values)
+        tol = 1e-9 * max(1.0, sum(abs(v) for v in values))
+        assert abs(value - want) <= tol

@@ -1,0 +1,164 @@
+"""Unit tests for the paper's single-adder reduction circuit."""
+
+import math
+
+import pytest
+
+from repro.reduction.analysis import latency_bound, run_reduction
+from repro.reduction.single_adder import SingleAdderReduction
+
+
+class TestStructure:
+    def test_one_adder(self):
+        assert SingleAdderReduction(alpha=14).num_adders == 1
+
+    def test_two_alpha_squared_buffers(self):
+        c = SingleAdderReduction(alpha=14)
+        assert c.buffer_words == 2 * 14 * 14
+
+    def test_alpha_must_cover_pipeline(self):
+        with pytest.raises(ValueError):
+            SingleAdderReduction(alpha=1)
+
+    def test_initially_idle(self):
+        c = SingleAdderReduction(alpha=4)
+        assert not c.busy()
+        assert c.occupancy == 0
+
+
+class TestSingleSets:
+    def test_single_value_set(self):
+        c = SingleAdderReduction(alpha=4)
+        run = run_reduction(c, [[42.0]])
+        assert run.results_by_set() == [42.0]
+
+    def test_small_set(self):
+        c = SingleAdderReduction(alpha=4)
+        run = run_reduction(c, [[1.0, 2.0, 3.0]])
+        assert run.results_by_set() == [6.0]
+
+    def test_set_equal_to_alpha(self):
+        c = SingleAdderReduction(alpha=4)
+        run = run_reduction(c, [[1.0, 2.0, 3.0, 4.0]])
+        assert run.results_by_set() == [10.0]
+
+    def test_set_larger_than_alpha_folds(self):
+        c = SingleAdderReduction(alpha=4)
+        values = [float(i) for i in range(1, 11)]
+        run = run_reduction(c, [values])
+        assert run.results_by_set() == [55.0]
+
+    def test_set_much_larger_than_alpha_squared(self):
+        alpha = 4
+        c = SingleAdderReduction(alpha=alpha)
+        values = [1.0] * (10 * alpha * alpha)
+        run = run_reduction(c, [values])
+        assert run.results_by_set() == [float(len(values))]
+
+    def test_negative_values(self):
+        c = SingleAdderReduction(alpha=3)
+        run = run_reduction(c, [[1.5, -2.5, 4.0, -3.0]])
+        assert run.results_by_set() == [0.0]
+
+
+class TestMultipleSets:
+    def test_two_sets_of_different_sizes(self):
+        c = SingleAdderReduction(alpha=4)
+        run = run_reduction(c, [[1.0] * 7, [2.0] * 3])
+        assert run.results_by_set() == [7.0, 6.0]
+
+    def test_many_singleton_sets(self):
+        c = SingleAdderReduction(alpha=4)
+        sets = [[float(i)] for i in range(50)]
+        run = run_reduction(c, sets)
+        assert run.results_by_set() == [float(i) for i in range(50)]
+
+    def test_results_carry_set_ids(self):
+        c = SingleAdderReduction(alpha=3)
+        run_reduction(c, [[1.0], [2.0, 2.0], [3.0]])
+        ids = sorted(r.set_id for r in c.results)
+        assert ids == [0, 1, 2]
+
+    def test_back_to_back_mvm_workload(self):
+        # The Level-2 use case: n sets of n/k values each.
+        c = SingleAdderReduction(alpha=14)
+        sets = [[1.0] * 16 for _ in range(64)]
+        run = run_reduction(c, sets)
+        assert run.results_by_set() == [16.0] * 64
+        assert run.stall_cycles == 0
+
+    def test_arbitrary_sizes_no_power_of_two_restriction(self):
+        # The FCCM'05 predecessor requires power-of-two sizes; this
+        # circuit does not (its headline improvement).
+        c = SingleAdderReduction(alpha=5)
+        sizes = [3, 7, 1, 13, 6, 9, 2, 31]
+        sets = [[1.0] * s for s in sizes]
+        run = run_reduction(c, sets)
+        assert run.results_by_set() == [float(s) for s in sizes]
+
+
+class TestPaperProperties:
+    def test_no_input_stalls(self):
+        c = SingleAdderReduction(alpha=6)
+        sets = [[1.0] * s for s in (6, 6, 6, 6, 6, 6, 1, 1, 1, 36, 2)]
+        run = run_reduction(c, sets)
+        assert run.stall_cycles == 0
+        assert c.stats.input_stall_cycles == 0
+
+    def test_latency_bound(self):
+        alpha = 5
+        c = SingleAdderReduction(alpha=alpha)
+        sizes = [4, 9, 1, 25, 3, 5, 5, 5, 5, 5, 2]
+        sets = [[1.0] * s for s in sizes]
+        run = run_reduction(c, sets)
+        assert run.total_cycles < latency_bound(sizes, alpha)
+
+    def test_buffer_never_exceeds_two_alpha_squared(self):
+        alpha = 4
+        c = SingleAdderReduction(alpha=alpha)
+        sets = [[1.0] * s for s in [alpha] * alpha + [1] * (alpha * alpha)]
+        run_reduction(c, sets)
+        assert c.stats.max_buffer_occupancy <= 2 * alpha * alpha
+
+    def test_adder_utilization_accounts_all_additions(self):
+        # Reducing p sets of sizes s_i needs exactly Σ(s_i − 1) adds.
+        c = SingleAdderReduction(alpha=4)
+        sizes = [5, 1, 8, 3]
+        run_reduction(c, [[1.0] * s for s in sizes])
+        assert c.stats.adder_issues == sum(s - 1 for s in sizes)
+
+    def test_collision_free_adder_single_issue_per_cycle(self):
+        # adder_issues can never exceed elapsed cycles.
+        c = SingleAdderReduction(alpha=4)
+        run_reduction(c, [[1.0] * 9, [2.0] * 17])
+        assert c.stats.adder_issues <= c.stats.cycles
+
+
+class TestExactMode:
+    def test_exact_softfloat_matches_native(self):
+        sets = [[0.1, 0.2, 0.3, 0.7], [1e-9, 1.0, -1.0]]
+        native = run_reduction(SingleAdderReduction(alpha=3), sets)
+        exact = run_reduction(SingleAdderReduction(alpha=3, exact=True), sets)
+        assert native.results_by_set() == exact.results_by_set()
+
+
+class TestFlush:
+    def test_flush_empties_circuit(self):
+        c = SingleAdderReduction(alpha=4)
+        for value, last in [(1.0, False), (2.0, True)]:
+            c.cycle(value, last)
+        c.flush()
+        assert not c.busy()
+        assert len(c.results) == 1
+
+    def test_flush_watchdog(self):
+        c = SingleAdderReduction(alpha=4)
+        c.cycle(1.0, False)  # open set never closed
+        with pytest.raises(Exception, match="drain"):
+            c.flush(max_cycles=100)
+
+    def test_result_cycle_monotonic_per_input_order(self):
+        c = SingleAdderReduction(alpha=3)
+        run_reduction(c, [[1.0] * 4, [2.0] * 4, [3.0] * 4])
+        cycles = [r.cycle for r in c.results]
+        assert cycles == sorted(cycles)

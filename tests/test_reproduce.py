@@ -1,0 +1,36 @@
+"""Tests for the one-command reproduction driver."""
+
+import pytest
+
+from repro.reproduce import run_reproduction
+
+
+class TestReproduce:
+    def test_quick_report_all_within_tolerance(self):
+        report, all_ok = run_reproduction(full=False)
+        assert all_ok
+        assert "DEVIATES" not in report
+
+    def test_report_covers_every_section(self):
+        report, _ = run_reproduction(full=False)
+        for title in ("Table 2", "Table 3", "Table 4", "Figure 9",
+                      "Figures 11/12", "Section 4.3"):
+            assert title in report
+
+    def test_report_carries_headline_numbers(self):
+        report, _ = run_reproduction(full=False)
+        assert "148.3" in report     # 12-chassis GFLOPS
+        assert "2158" in report      # PE slices
+        assert "877.5" in report     # 12-chassis DRAM need
+
+    def test_deterministic_given_seed(self):
+        a, _ = run_reproduction(full=False, seed=1)
+        b, _ = run_reproduction(full=False, seed=1)
+        assert a == b
+
+    def test_cli_integration(self, capsys):
+        from repro.cli import main
+        assert main(["reproduce"]) == 0
+        out = capsys.readouterr().out
+        assert "Reproduction report" in out
+        assert "within tolerance" in out

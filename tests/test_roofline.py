@@ -1,0 +1,88 @@
+"""Unit tests for the roofline model."""
+
+import pytest
+
+from repro.perf.peak import device_peak_gflops
+from repro.perf.roofline import (
+    Roofline,
+    blas_roofline_points,
+    dot_product_intensity,
+    mm_intensity,
+    mvm_intensity,
+    xd1_roofline,
+)
+
+
+class TestIntensities:
+    def test_dot_product(self):
+        assert dot_product_intensity() == pytest.approx(0.125)
+
+    def test_mvm_twice_dot(self):
+        assert mvm_intensity() == pytest.approx(2 * dot_product_intensity())
+
+    def test_mm_scales_with_m(self):
+        i8 = mm_intensity(512, 8)
+        i128 = mm_intensity(512, 128)
+        assert i128 > 10 * i8
+        # asymptotically m/8 flops/byte
+        assert i128 == pytest.approx(128 / 8, rel=0.15)
+
+    def test_mm_validation(self):
+        with pytest.raises(ValueError):
+            mm_intensity(100, 16)  # not a multiple
+
+
+class TestRoofline:
+    def test_attainable_clips_at_peak(self):
+        r = Roofline(peak_gflops=4.42, bandwidth_gbytes=6.4)
+        assert r.attainable(100.0) == pytest.approx(4.42)
+
+    def test_attainable_memory_slope(self):
+        r = Roofline(peak_gflops=4.42, bandwidth_gbytes=6.4)
+        assert r.attainable(0.125) == pytest.approx(0.8)
+
+    def test_ridge_point(self):
+        r = Roofline(peak_gflops=4.42, bandwidth_gbytes=6.4)
+        assert r.ridge_intensity == pytest.approx(4.42 / 6.4)
+        assert r.place("x", r.ridge_intensity).bound == "compute"
+
+    def test_intensity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Roofline(1.0, 1.0).attainable(0)
+
+    def test_xd1_roofline_peak(self):
+        r = xd1_roofline(6.4e9)
+        assert r.peak_gflops == pytest.approx(device_peak_gflops())
+
+
+class TestPaperPlacement:
+    def test_kernel_bounds_match_paper(self):
+        points = {p.name: p for p in blas_roofline_points()}
+        # Level 1/2 are memory bound; Level 3 compute bound — the
+        # paper's central structural claim.
+        assert points["dot product"].bound == "memory"
+        assert points["matrix-vector multiply"].bound == "memory"
+        assert points["matrix multiply (m=128)"].bound == "compute"
+
+    def test_memory_bound_kernels_match_peak_formulas(self):
+        from repro.perf.peak import dot_product_peak_flops, mvm_peak_flops
+        points = {p.name: p for p in blas_roofline_points()}
+        bw = 6.4e9
+        assert points["dot product"].attainable_gflops * 1e9 == \
+            pytest.approx(dot_product_peak_flops(bw))
+        assert points["matrix-vector multiply"].attainable_gflops * 1e9 \
+            == pytest.approx(mvm_peak_flops(bw))
+
+    def test_small_block_mm_is_memory_bound(self):
+        # With m = 4 the MM intensity (~0.5 flops/byte) falls below the
+        # XD1 SRAM ridge (~0.7): blocking is what buys compute-boundness.
+        r = xd1_roofline(6.4e9)
+        point = r.place("mm-m4", mm_intensity(512, 4))
+        assert point.bound == "memory"
+
+    def test_dram_roofline_is_harsher(self):
+        # Against the 1.3 GB/s DRAM channel even MVM attains only
+        # 0.325 GFLOPS — Table 4's 262 MFLOPS ceiling.
+        r = xd1_roofline(1.3e9)
+        attainable = r.attainable(mvm_intensity())
+        assert attainable == pytest.approx(0.325)

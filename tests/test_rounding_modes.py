@@ -1,0 +1,139 @@
+"""Tests for the directed rounding modes (library extension).
+
+The exact-arithmetic core guarantees each mode returns the correctly
+rounded value of the infinitely precise result; these tests check the
+directional contracts against exact rational arithmetic and the IEEE
+special rules (signed zeros, overflow behaviour per mode).
+"""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fparith.ieee754 import bits_to_float, float_to_bits
+from repro.fparith.softfloat import (
+    RoundingMode,
+    add_bits,
+    div_bits,
+    mul_bits,
+)
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+def _apply(op, a, b, mode):
+    return bits_to_float(op(float_to_bits(a), float_to_bits(b), mode=mode))
+
+
+def _exact(op_name, a, b):
+    fa, fb = Fraction(a), Fraction(b)
+    if op_name == "add":
+        return fa + fb
+    if op_name == "mul":
+        return fa * fb
+    return fa / fb
+
+
+OPS = {"add": add_bits, "mul": mul_bits, "div": div_bits}
+
+
+@settings(max_examples=400, deadline=None)
+@given(finite, finite, st.sampled_from(sorted(OPS)))
+def test_toward_zero_never_grows_magnitude(a, b, op_name):
+    if op_name == "div" and b == 0.0:
+        return
+    got = _apply(OPS[op_name], a, b, RoundingMode.TOWARD_ZERO)
+    if math.isfinite(got):
+        assert abs(Fraction(got)) <= abs(_exact(op_name, a, b))
+
+
+@settings(max_examples=400, deadline=None)
+@given(finite, finite, st.sampled_from(sorted(OPS)))
+def test_toward_positive_upper_bounds(a, b, op_name):
+    if op_name == "div" and b == 0.0:
+        return
+    got = _apply(OPS[op_name], a, b, RoundingMode.TOWARD_POSITIVE)
+    if math.isfinite(got):
+        assert Fraction(got) >= _exact(op_name, a, b)
+
+
+@settings(max_examples=400, deadline=None)
+@given(finite, finite, st.sampled_from(sorted(OPS)))
+def test_toward_negative_lower_bounds(a, b, op_name):
+    if op_name == "div" and b == 0.0:
+        return
+    got = _apply(OPS[op_name], a, b, RoundingMode.TOWARD_NEGATIVE)
+    if math.isfinite(got):
+        assert Fraction(got) <= _exact(op_name, a, b)
+
+
+@settings(max_examples=300, deadline=None)
+@given(finite, finite, st.sampled_from(sorted(OPS)))
+def test_directed_modes_bracket_the_exact_value(a, b, op_name):
+    """RDN result ≤ exact ≤ RUP result, and they differ by ≤ 1 ulp."""
+    if op_name == "div" and b == 0.0:
+        return
+    down = _apply(OPS[op_name], a, b, RoundingMode.TOWARD_NEGATIVE)
+    up = _apply(OPS[op_name], a, b, RoundingMode.TOWARD_POSITIVE)
+    if math.isfinite(down) and math.isfinite(up):
+        assert down <= up
+        if down != up:
+            assert math.nextafter(down, math.inf) == up
+
+
+class TestInterval:
+    def test_interval_sum_contains_true_value(self):
+        # The motivating use: interval arithmetic on the same cores.
+        values = [0.1] * 10
+        lo = hi = 0.0
+        for v in values:
+            lo = _apply(add_bits, lo, v, RoundingMode.TOWARD_NEGATIVE)
+            hi = _apply(add_bits, hi, v, RoundingMode.TOWARD_POSITIVE)
+        assert Fraction(lo) <= Fraction(1) <= Fraction(hi)
+        assert lo <= 1.0 <= hi
+
+
+class TestSpecialRules:
+    def test_cancellation_sign_per_mode(self):
+        plus = _apply(add_bits, 1.5, -1.5, RoundingMode.NEAREST_EVEN)
+        assert math.copysign(1.0, plus) == 1.0
+        minus = _apply(add_bits, 1.5, -1.5, RoundingMode.TOWARD_NEGATIVE)
+        assert math.copysign(1.0, minus) == -1.0
+
+    def test_opposite_zeros_sign_per_mode(self):
+        plus = _apply(add_bits, 0.0, -0.0, RoundingMode.TOWARD_POSITIVE)
+        assert math.copysign(1.0, plus) == 1.0
+        minus = _apply(add_bits, 0.0, -0.0, RoundingMode.TOWARD_NEGATIVE)
+        assert math.copysign(1.0, minus) == -1.0
+
+    def test_overflow_per_mode(self):
+        big = 1.7976931348623157e308
+        assert _apply(add_bits, big, big,
+                      RoundingMode.NEAREST_EVEN) == math.inf
+        assert _apply(add_bits, big, big,
+                      RoundingMode.TOWARD_ZERO) == big
+        assert _apply(add_bits, big, big,
+                      RoundingMode.TOWARD_NEGATIVE) == big
+        assert _apply(add_bits, big, big,
+                      RoundingMode.TOWARD_POSITIVE) == math.inf
+        assert _apply(add_bits, -big, -big,
+                      RoundingMode.TOWARD_POSITIVE) == -big
+        assert _apply(add_bits, -big, -big,
+                      RoundingMode.TOWARD_NEGATIVE) == -math.inf
+
+    def test_tiny_positive_rounds_up_to_smallest_subnormal(self):
+        tiny = 5e-324
+        got = _apply(mul_bits, tiny, 0.25, RoundingMode.TOWARD_POSITIVE)
+        assert got == tiny
+        got_rtz = _apply(mul_bits, tiny, 0.25, RoundingMode.TOWARD_ZERO)
+        assert got_rtz == 0.0
+
+    def test_default_mode_is_rne(self):
+        # omitted mode == NEAREST_EVEN == hardware behaviour
+        a, b = 0.1, 0.2
+        assert _apply(add_bits, a, b, RoundingMode.NEAREST_EVEN) == a + b
+        assert bits_to_float(add_bits(float_to_bits(a),
+                                      float_to_bits(b))) == a + b

@@ -1,0 +1,120 @@
+"""Unit tests for the cycle simulation engine."""
+
+import pytest
+
+from repro.sim.engine import Component, SimulationError, Simulator
+
+
+class Counter(Component):
+    """Counts its own evaluate/commit invocations."""
+
+    def __init__(self):
+        self.evaluations = []
+        self.commits = []
+
+    def evaluate(self, cycle):
+        self.evaluations.append(cycle)
+
+    def commit(self, cycle):
+        self.commits.append(cycle)
+
+
+class TestSimulatorStep:
+    def test_step_advances_cycle(self):
+        sim = Simulator()
+        assert sim.cycle == 0
+        sim.step()
+        assert sim.cycle == 1
+        sim.step()
+        assert sim.cycle == 2
+
+    def test_component_sees_each_cycle_once(self):
+        sim = Simulator()
+        c = sim.add(Counter())
+        for _ in range(5):
+            sim.step()
+        assert c.evaluations == [0, 1, 2, 3, 4]
+        assert c.commits == [0, 1, 2, 3, 4]
+
+    def test_evaluate_runs_before_commit_within_cycle(self):
+        order = []
+
+        class Probe(Component):
+            def evaluate(self, cycle):
+                order.append(("eval", cycle))
+
+            def commit(self, cycle):
+                order.append(("commit", cycle))
+
+        sim = Simulator()
+        sim.add(Probe())
+        sim.add(Probe())
+        sim.step()
+        # both evaluates precede both commits
+        assert order == [("eval", 0), ("eval", 0),
+                         ("commit", 0), ("commit", 0)]
+
+    def test_all_components_evaluate_before_any_commits(self):
+        order = []
+
+        class A(Component):
+            def evaluate(self, cycle):
+                order.append("A.eval")
+
+            def commit(self, cycle):
+                order.append("A.commit")
+
+        class B(Component):
+            def evaluate(self, cycle):
+                order.append("B.eval")
+
+        sim = Simulator()
+        sim.add(A())
+        sim.add(B())
+        sim.step()
+        assert order.index("B.eval") < order.index("A.commit")
+
+    def test_add_returns_component(self):
+        sim = Simulator()
+        c = Counter()
+        assert sim.add(c) is c
+
+    def test_add_all(self):
+        sim = Simulator()
+        comps = [Counter(), Counter(), Counter()]
+        sim.add_all(comps)
+        sim.step()
+        assert all(c.evaluations == [0] for c in comps)
+
+
+class TestSimulatorRun:
+    def test_run_until_condition(self):
+        sim = Simulator()
+        executed = sim.run(until=lambda: sim.cycle >= 7)
+        assert executed == 7
+        assert sim.cycle == 7
+
+    def test_run_without_condition_runs_max_cycles(self):
+        sim = Simulator()
+        executed = sim.run(max_cycles=13)
+        assert executed == 13
+
+    def test_watchdog_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="watchdog"):
+            sim.run(until=lambda: False, max_cycles=10)
+
+    def test_monitor_called_per_cycle(self):
+        sim = Simulator()
+        seen = []
+        sim.add_monitor(seen.append)
+        sim.run(max_cycles=4)
+        assert seen == [0, 1, 2, 3]
+
+    def test_commit_callbacks_fire(self):
+        sim = Simulator()
+        hits = []
+        sim.register_commit(lambda: hits.append(sim.cycle))
+        sim.step()
+        sim.step()
+        assert len(hits) == 2

@@ -1,0 +1,116 @@
+"""Unit tests for tracing and utilization accounting."""
+
+import pytest
+
+from repro.sim.trace import Tracer, UtilizationCounter
+
+
+class TestTracer:
+    def test_probe_sampling(self):
+        t = Tracer()
+        state = {"v": 0}
+        t.probe("v", lambda: state["v"])
+        for cycle in range(3):
+            state["v"] = cycle * 10
+            t.sample(cycle)
+        assert t.series("v") == [0, 10, 20]
+
+    def test_multiple_probes(self):
+        t = Tracer()
+        t.probe("a", lambda: 1)
+        t.probe("b", lambda: 2)
+        t.sample(0)
+        cycle, row = t.rows[0]
+        assert cycle == 0
+        assert row == {"a": 1, "b": 2}
+
+    def test_dump_format(self):
+        t = Tracer()
+        t.probe("sig", lambda: 7)
+        t.sample(3)
+        dump = t.dump()
+        assert "[     3]" in dump
+        assert "sig=7" in dump
+
+    def test_dump_sorted_by_name(self):
+        t = Tracer()
+        t.probe("zz", lambda: 1)
+        t.probe("aa", lambda: 2)
+        t.sample(0)
+        line = t.dump()
+        assert line.index("aa=") < line.index("zz=")
+
+
+class TestUtilizationCounter:
+    def test_utilization_ratio(self):
+        u = UtilizationCounter()
+        for busy in (True, True, False, True):
+            u.tick("adder", busy)
+        assert u.utilization("adder") == pytest.approx(0.75)
+        assert u.busy_cycles("adder") == 3
+        assert u.total_cycles("adder") == 4
+
+    def test_unknown_resource_is_zero(self):
+        u = UtilizationCounter()
+        assert u.utilization("nothing") == 0.0
+
+    def test_independent_resources(self):
+        u = UtilizationCounter()
+        u.tick("a", True)
+        u.tick("b", False)
+        assert u.utilization("a") == 1.0
+        assert u.utilization("b") == 0.0
+
+    def test_report(self):
+        u = UtilizationCounter()
+        u.tick("x", True)
+        u.tick("y", False)
+        assert u.report() == {"x": 1.0, "y": 0.0}
+
+
+class TestVcdExport:
+    def _traced(self):
+        from repro.sim.trace import Tracer
+        t = Tracer()
+        state = {"v": 0, "w": 0.5}
+        t.probe("sig_v", lambda: state["v"])
+        t.probe("sig_w", lambda: state["w"])
+        for cycle in range(4):
+            state["v"] = cycle
+            state["w"] = 0.5 * cycle
+            t.sample(cycle)
+        return t
+
+    def test_vcd_structure(self):
+        from repro.sim.trace import to_vcd
+        vcd = to_vcd(self._traced())
+        assert "$timescale 1 ns $end" in vcd
+        assert "$var real 64" in vcd
+        assert "sig_v" in vcd and "sig_w" in vcd
+        assert "$enddefinitions $end" in vcd
+        assert "#0" in vcd and "#3" in vcd
+
+    def test_vcd_emits_only_changes(self):
+        from repro.sim.trace import Tracer, to_vcd
+        t = Tracer()
+        t.probe("const", lambda: 42)
+        for cycle in range(5):
+            t.sample(cycle)
+        vcd = to_vcd(t)
+        # constant signal: one change record at #0 only
+        assert vcd.count("r42 ") == 1
+
+    def test_vcd_value_encoding(self):
+        from repro.sim.trace import to_vcd
+        vcd = to_vcd(self._traced())
+        assert "r1.5 " in vcd  # 0.5 * 3
+
+    def test_too_many_probes_rejected(self):
+        from repro.sim.trace import Tracer, to_vcd
+        import pytest
+        t = Tracer()
+        for i in range(70):
+            t.probe(f"p{i}", lambda: 0)
+        t.sample(0)
+        with pytest.raises(ValueError, match="too many"):
+            to_vcd(t)

@@ -1,0 +1,194 @@
+"""Unit tests for the integer-only IEEE-754 arithmetic."""
+
+import math
+
+import pytest
+
+from repro.fparith.ieee754 import BINARY32, float_to_bits
+from repro.fparith.softfloat import (
+    add_bits,
+    div_bits,
+    float_add,
+    float_div,
+    float_mul,
+    float_sub,
+    mul_bits,
+    round_pack,
+)
+
+
+def bits_equal(a: float, b: float) -> bool:
+    if math.isnan(a) and math.isnan(b):
+        return True
+    return float_to_bits(a) == float_to_bits(b)
+
+
+class TestAdd:
+    @pytest.mark.parametrize("a,b", [
+        (1.0, 2.0), (0.1, 0.2), (1e308, 1e308), (1.0, -1.0),
+        (1e-320, 1e-320), (1.0, 1e-30), (-0.5, 0.25),
+    ])
+    def test_matches_hardware(self, a, b):
+        assert bits_equal(float_add(a, b), a + b)
+
+    def test_exact_cancellation_gives_positive_zero(self):
+        r = float_add(1.5, -1.5)
+        assert r == 0.0 and math.copysign(1.0, r) == 1.0
+
+    def test_negative_zero_plus_negative_zero(self):
+        r = float_add(-0.0, -0.0)
+        assert math.copysign(1.0, r) == -1.0
+
+    def test_mixed_zeros_give_positive_zero(self):
+        r = float_add(0.0, -0.0)
+        assert math.copysign(1.0, r) == 1.0
+
+    def test_inf_plus_finite(self):
+        assert float_add(math.inf, -1e308) == math.inf
+
+    def test_opposite_infinities_are_nan(self):
+        assert math.isnan(float_add(math.inf, -math.inf))
+
+    def test_nan_propagates(self):
+        assert math.isnan(float_add(math.nan, 1.0))
+        assert math.isnan(float_add(1.0, math.nan))
+
+    def test_overflow_to_infinity(self):
+        big = 1.7976931348623157e308  # max double
+        assert float_add(big, big) == math.inf
+
+    def test_huge_exponent_gap_returns_larger(self):
+        assert bits_equal(float_add(1e300, 1e-300), 1e300)
+
+    def test_round_to_nearest_even_tie(self):
+        # 1 + 2^-53 is an exact tie: rounds to even (1.0)
+        assert float_add(1.0, 2.0 ** -53) == 1.0
+        # 1 + 2^-52 is representable exactly
+        assert float_add(1.0, 2.0 ** -52) == 1.0 + 2.0 ** -52
+
+    def test_subnormal_sum_to_normal(self):
+        sub = 2.2250738585072014e-308 / 2  # largest-ish subnormal
+        assert bits_equal(float_add(sub, sub), sub + sub)
+
+
+class TestSub:
+    def test_basic(self):
+        assert bits_equal(float_sub(3.0, 1.0), 2.0)
+
+    def test_sub_is_add_of_negation(self):
+        assert bits_equal(float_sub(0.1, 0.3), 0.1 - 0.3)
+
+    def test_x_minus_x_positive_zero(self):
+        r = float_sub(7.25, 7.25)
+        assert r == 0.0 and math.copysign(1.0, r) == 1.0
+
+
+class TestMul:
+    @pytest.mark.parametrize("a,b", [
+        (3.0, 4.0), (0.1, 0.1), (1e200, 1e200), (1e-200, 1e-200),
+        (-2.0, 0.5), (1e-310, 2.0), (1.0000000000000002, 1.0000000000000002),
+    ])
+    def test_matches_hardware(self, a, b):
+        assert bits_equal(float_mul(a, b), a * b)
+
+    def test_zero_times_finite_sign(self):
+        r = float_mul(-0.0, 5.0)
+        assert r == 0.0 and math.copysign(1.0, r) == -1.0
+
+    def test_inf_times_zero_is_nan(self):
+        assert math.isnan(float_mul(math.inf, 0.0))
+
+    def test_inf_times_negative(self):
+        assert float_mul(math.inf, -2.0) == -math.inf
+
+    def test_overflow_to_infinity(self):
+        assert float_mul(1e300, 1e300) == math.inf
+
+    def test_underflow_to_zero(self):
+        r = float_mul(1e-320, 1e-320)
+        assert r == 0.0
+
+    def test_gradual_underflow_subnormal(self):
+        r = float_mul(1e-300, 1e-10)
+        assert bits_equal(r, 1e-300 * 1e-10)
+        assert 0.0 < r < 2.2250738585072014e-308
+
+    def test_nan_propagates(self):
+        assert math.isnan(float_mul(math.nan, 2.0))
+
+
+class TestDiv:
+    @pytest.mark.parametrize("a,b", [
+        (1.0, 3.0), (2.0, 7.0), (1e308, 1e-5), (-6.0, 3.0),
+        (1e-310, 3.0), (5e-324, 2.0),
+    ])
+    def test_matches_hardware(self, a, b):
+        assert bits_equal(float_div(a, b), a / b)
+
+    def test_divide_by_zero_gives_signed_infinity(self):
+        assert float_div(1.0, 0.0) == math.inf
+        assert float_div(-1.0, 0.0) == -math.inf
+        assert float_div(1.0, -0.0) == -math.inf
+
+    def test_zero_over_zero_is_nan(self):
+        assert math.isnan(float_div(0.0, 0.0))
+
+    def test_inf_over_inf_is_nan(self):
+        assert math.isnan(float_div(math.inf, math.inf))
+
+    def test_finite_over_inf_is_signed_zero(self):
+        r = float_div(-3.0, math.inf)
+        assert r == 0.0 and math.copysign(1.0, r) == -1.0
+
+    def test_inf_over_finite(self):
+        assert float_div(math.inf, -2.0) == -math.inf
+
+
+class TestRoundPack:
+    def test_zero_significand_packs_signed_zero(self):
+        assert round_pack(0, 0, 0) == 0
+        assert round_pack(1, 0, 0) == 1 << 63
+
+    def test_negative_significand_rejected(self):
+        with pytest.raises(ValueError):
+            round_pack(0, -1, 0)
+
+    def test_exact_small_integer(self):
+        assert round_pack(0, 3, 0) == float_to_bits(3.0)
+
+    def test_overflow_packs_infinity(self):
+        assert round_pack(0, 1, 5000) == float_to_bits(math.inf)
+
+    def test_deep_underflow_packs_zero(self):
+        assert round_pack(0, 1, -5000) == 0
+
+    def test_binary32_pack(self):
+        assert round_pack(0, 3, 0, BINARY32) == float_to_bits(3.0, BINARY32)
+
+
+class TestBitsInterface:
+    def test_add_bits_matches_float_add(self):
+        a, b = float_to_bits(1.25), float_to_bits(2.5)
+        assert add_bits(a, b) == float_to_bits(3.75)
+
+    def test_mul_bits(self):
+        a, b = float_to_bits(1.5), float_to_bits(2.0)
+        assert mul_bits(a, b) == float_to_bits(3.0)
+
+    def test_div_bits(self):
+        a, b = float_to_bits(1.0), float_to_bits(4.0)
+        assert div_bits(a, b) == float_to_bits(0.25)
+
+    def test_binary32_add(self):
+        a = float_to_bits(1.5, BINARY32)
+        b = float_to_bits(2.25, BINARY32)
+        assert add_bits(a, b, BINARY32) == float_to_bits(3.75, BINARY32)
+
+    def test_binary32_mul_rounding(self):
+        import numpy as np
+        a32 = np.float32(0.1)
+        b32 = np.float32(0.2)
+        got = mul_bits(float_to_bits(float(a32), BINARY32),
+                       float_to_bits(float(b32), BINARY32), BINARY32)
+        want = float_to_bits(float(a32 * b32), BINARY32)
+        assert got == want

@@ -1,0 +1,105 @@
+"""Unit tests for the conjugate-gradient solver on the FPGA designs."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.cg import ConjugateGradientSolver
+from repro.sparse.csr import CsrMatrix
+
+
+def spd_system(rng, n, density=0.1):
+    B = np.where(rng.random((n, n)) < density,
+                 rng.standard_normal((n, n)), 0.0)
+    A = B @ B.T + n * np.eye(n)
+    return CsrMatrix.from_dense(A), A
+
+
+class TestSolve:
+    def test_converges_on_spd(self, rng):
+        M, A = spd_system(rng, 50)
+        b = rng.standard_normal(50)
+        result = ConjugateGradientSolver(tol=1e-10).solve(M, b)
+        assert result.converged
+        np.testing.assert_allclose(A @ result.x, b, rtol=1e-7, atol=1e-7)
+
+    def test_jacobi_preconditioner(self, rng):
+        M, A = spd_system(rng, 50)
+        b = rng.standard_normal(50)
+        plain = ConjugateGradientSolver(tol=1e-10).solve(M, b)
+        pre = ConjugateGradientSolver(tol=1e-10,
+                                      preconditioner="jacobi").solve(M, b)
+        assert pre.converged
+        np.testing.assert_allclose(A @ pre.x, b, rtol=1e-7, atol=1e-7)
+        # Diagonal scaling should not be (much) worse.
+        assert pre.iterations <= plain.iterations + 5
+
+    def test_identity_system_one_iteration(self):
+        M = CsrMatrix.from_dense(np.eye(8))
+        b = np.arange(1.0, 9.0)
+        result = ConjugateGradientSolver().solve(M, b)
+        assert result.converged
+        assert result.iterations == 1
+        np.testing.assert_allclose(result.x, b, rtol=1e-12)
+
+    def test_warm_start(self, rng):
+        M, A = spd_system(rng, 40)
+        b = rng.standard_normal(40)
+        cold = ConjugateGradientSolver(tol=1e-10).solve(M, b)
+        warm = ConjugateGradientSolver(tol=1e-10).solve(M, b, x0=cold.x)
+        assert warm.iterations <= 2
+
+    def test_residual_history_monotone_tail(self, rng):
+        M, _ = spd_system(rng, 40)
+        b = rng.standard_normal(40)
+        result = ConjugateGradientSolver(tol=1e-12).solve(M, b)
+        assert result.residual_history[-1] < result.residual_history[0]
+
+    def test_cycles_accounted_per_component(self, rng):
+        M, _ = spd_system(rng, 40)
+        b = rng.standard_normal(40)
+        result = ConjugateGradientSolver().solve(M, b)
+        assert result.fpga_cycles["spmxv"] > 0
+        assert result.fpga_cycles["dot"] > 0
+        assert result.total_fpga_cycles == (result.fpga_cycles["spmxv"]
+                                            + result.fpga_cycles["dot"])
+
+    def test_non_spd_bails_out(self, rng):
+        dense = rng.standard_normal((10, 10))
+        dense = dense - dense.T  # skew-symmetric: pAp = 0
+        np.fill_diagonal(dense, 0.0)
+        dense[0, 0] = 1.0  # avoid zero matrix
+        M = CsrMatrix.from_dense(dense)
+        result = ConjugateGradientSolver(max_iterations=20).solve(
+            M, np.ones(10))
+        assert not result.converged
+
+
+class TestValidation:
+    def test_square_required(self, rng):
+        M = CsrMatrix.random(4, 6, 0.5, rng)
+        with pytest.raises(ValueError, match="square"):
+            ConjugateGradientSolver().solve(M, np.ones(4))
+
+    def test_dimension_mismatch(self, rng):
+        M, _ = spd_system(rng, 8)
+        with pytest.raises(ValueError, match="mismatch"):
+            ConjugateGradientSolver().solve(M, np.ones(9))
+
+    def test_unknown_preconditioner(self):
+        with pytest.raises(ValueError, match="preconditioner"):
+            ConjugateGradientSolver(preconditioner="ilu")
+
+    def test_jacobi_needs_positive_diagonal(self, rng):
+        dense = np.array([[0.0, 1.0], [1.0, 2.0]])
+        M = CsrMatrix.from_dense(dense)
+        with pytest.raises(ValueError, match="diagonal"):
+            ConjugateGradientSolver(preconditioner="jacobi").solve(
+                M, np.ones(2))
+
+    def test_positive_tolerance(self):
+        with pytest.raises(ValueError):
+            ConjugateGradientSolver(tol=0)
+
+    def test_positive_max_iterations(self):
+        with pytest.raises(ValueError):
+            ConjugateGradientSolver(max_iterations=0)

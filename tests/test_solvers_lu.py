@@ -1,0 +1,77 @@
+"""Unit tests for blocked LU with FPGA trailing updates."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.lu import BlockedLu
+
+
+def well_conditioned(rng, n):
+    return rng.standard_normal((n, n)) + n * np.eye(n)
+
+
+class TestFactor:
+    @pytest.mark.parametrize("n,block", [(8, 4), (16, 8), (24, 8),
+                                         (20, 7), (32, 16)])
+    def test_plu_reconstructs(self, rng, n, block):
+        A = well_conditioned(rng, n)
+        result = BlockedLu(block=block, k=4, m=8).factor(A)
+        np.testing.assert_allclose(result.reconstruct(), A[result.pivots],
+                                   rtol=1e-10, atol=1e-10)
+
+    def test_matches_numpy_solution(self, rng):
+        n = 24
+        A = well_conditioned(rng, n)
+        b = rng.standard_normal(n)
+        x = BlockedLu(block=8, k=4, m=8).solve(A, b)
+        np.testing.assert_allclose(A @ x, b, rtol=1e-9, atol=1e-9)
+
+    def test_pivoting_handles_zero_leading_entry(self, rng):
+        A = well_conditioned(rng, 12)
+        A[0, 0] = 0.0
+        result = BlockedLu(block=4, k=4, m=8).factor(A)
+        np.testing.assert_allclose(result.reconstruct(), A[result.pivots],
+                                   rtol=1e-9, atol=1e-9)
+
+    def test_singular_detected(self):
+        A = np.zeros((6, 6))
+        with pytest.raises(np.linalg.LinAlgError):
+            BlockedLu(block=3, k=4, m=8).factor(A)
+
+    def test_non_square_rejected(self, rng):
+        with pytest.raises(ValueError, match="square"):
+            BlockedLu().factor(rng.standard_normal((4, 6)))
+
+    def test_block_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BlockedLu(block=0)
+
+
+class TestOffload:
+    def test_fpga_does_most_flops_at_scale(self, rng):
+        # The O(n³) trailing update dominates: the FPGA fraction grows
+        # with n and dominates for n ≫ block.
+        fractions = []
+        for n in (16, 32, 48):
+            result = BlockedLu(block=8, k=4, m=8).factor(
+                well_conditioned(rng, n))
+            fractions.append(result.fpga_fraction)
+        assert fractions == sorted(fractions)
+        assert fractions[-1] > 0.5
+
+    def test_fpga_cycles_positive_only_with_trailing_blocks(self, rng):
+        # n == block: a single panel, no trailing update, no FPGA work.
+        result = BlockedLu(block=16, k=4, m=8).factor(
+            well_conditioned(rng, 16))
+        assert result.fpga_cycles == 0
+        assert result.fpga_flops == 0
+
+    def test_cycle_count_grows_with_n(self, rng):
+        c = [BlockedLu(block=8, k=4, m=8).factor(
+            well_conditioned(rng, n)).fpga_cycles for n in (16, 32)]
+        assert c[1] > c[0]
+
+    def test_dimension_mismatch_in_solve(self, rng):
+        A = well_conditioned(rng, 8)
+        with pytest.raises(ValueError, match="mismatch"):
+            BlockedLu(block=4).solve(A, np.ones(9))

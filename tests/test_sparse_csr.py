@@ -1,0 +1,96 @@
+"""Unit tests for the from-scratch CRS sparse matrix."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import CsrMatrix
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self, rng):
+        dense = rng.standard_normal((8, 12))
+        dense[dense < 0.5] = 0.0
+        M = CsrMatrix.from_dense(dense)
+        np.testing.assert_array_equal(M.to_dense(), dense)
+
+    def test_nnz(self):
+        dense = np.array([[1.0, 0.0], [0.0, 2.0]])
+        assert CsrMatrix.from_dense(dense).nnz == 2
+
+    def test_empty_rows_preserved(self):
+        dense = np.array([[0.0, 0.0], [3.0, 0.0], [0.0, 0.0]])
+        M = CsrMatrix.from_dense(dense)
+        assert M.row_nnz(0) == 0
+        assert M.row_nnz(1) == 1
+        assert M.row_nnz(2) == 0
+
+    def test_tolerance_drops_small_entries(self):
+        dense = np.array([[1e-12, 1.0]])
+        M = CsrMatrix.from_dense(dense, tol=1e-9)
+        assert M.nnz == 1
+
+    def test_validation_row_ptr_length(self):
+        with pytest.raises(ValueError, match="nrows"):
+            CsrMatrix(np.array([1.0]), np.array([0]),
+                      np.array([0, 1, 1]), (1, 1))
+
+    def test_validation_row_ptr_monotone(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CsrMatrix(np.array([1.0, 2.0]), np.array([0, 0]),
+                      np.array([0, 2, 1, 2]), (3, 1))
+
+    def test_validation_col_bounds(self):
+        with pytest.raises(ValueError, match="column index"):
+            CsrMatrix(np.array([1.0]), np.array([5]),
+                      np.array([0, 1]), (1, 3))
+
+    def test_validation_row_ptr_ends_at_nnz(self):
+        with pytest.raises(ValueError, match="end at nnz"):
+            CsrMatrix(np.array([1.0]), np.array([0]),
+                      np.array([0, 2]), (1, 1))
+
+    def test_random_density(self, rng):
+        M = CsrMatrix.random(100, 100, 0.1, rng)
+        assert 0.05 < M.nnz / 10000 < 0.15
+
+    def test_random_density_bounds(self, rng):
+        with pytest.raises(ValueError):
+            CsrMatrix.random(4, 4, 0.0, rng)
+
+
+class TestAccessors:
+    def test_row_access(self):
+        dense = np.array([[0.0, 5.0, 0.0, 7.0]])
+        vals, cols = CsrMatrix.from_dense(dense).row(0)
+        assert vals.tolist() == [5.0, 7.0]
+        assert cols.tolist() == [1, 3]
+
+    def test_iter_rows(self, rng):
+        M = CsrMatrix.random(6, 6, 0.4, rng)
+        rows = list(M.iter_rows())
+        assert [r[0] for r in rows] == list(range(6))
+
+    def test_diagonal(self):
+        dense = np.array([[2.0, 1.0], [0.0, 3.0]])
+        assert CsrMatrix.from_dense(dense).diagonal().tolist() == [2.0, 3.0]
+
+    def test_diagonal_with_zero_entries(self):
+        dense = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert CsrMatrix.from_dense(dense).diagonal().tolist() == [0.0, 0.0]
+
+    def test_matvec_matches_dense(self, rng):
+        M = CsrMatrix.random(20, 30, 0.2, rng)
+        x = rng.standard_normal(30)
+        np.testing.assert_allclose(M.matvec(x), M.to_dense() @ x,
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_matvec_dimension_check(self, rng):
+        M = CsrMatrix.random(4, 6, 0.5, rng)
+        with pytest.raises(ValueError):
+            M.matvec(np.zeros(5))
+
+    def test_shape_properties(self, rng):
+        M = CsrMatrix.random(7, 9, 0.3, rng)
+        assert M.nrows == 7
+        assert M.ncols == 9
+        assert M.shape == (7, 9)

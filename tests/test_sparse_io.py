@@ -1,0 +1,118 @@
+"""Unit tests for the Matrix Market reader/writer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.io import (
+    MatrixMarketError,
+    dumps,
+    loads,
+    read_matrix_market,
+    write_matrix_market,
+)
+
+SIMPLE = """%%MatrixMarket matrix coordinate real general
+% a comment line
+3 4 4
+1 1 2.5
+2 3 -1.0
+3 1 7
+3 4 1e-3
+"""
+
+
+class TestRead:
+    def test_simple(self):
+        matrix = loads(SIMPLE)
+        assert matrix.shape == (3, 4)
+        assert matrix.nnz == 4
+        dense = matrix.to_dense()
+        assert dense[0, 0] == 2.5
+        assert dense[1, 2] == -1.0
+        assert dense[2, 0] == 7.0
+        assert dense[2, 3] == 1e-3
+
+    def test_symmetric_mirrors(self):
+        text = ("%%MatrixMarket matrix coordinate real symmetric\n"
+                "2 2 2\n1 1 4.0\n2 1 1.5\n")
+        dense = loads(text).to_dense()
+        assert dense[0, 1] == dense[1, 0] == 1.5
+        assert dense[0, 0] == 4.0
+
+    def test_skew_symmetric_negates(self):
+        text = ("%%MatrixMarket matrix coordinate real skew-symmetric\n"
+                "2 2 1\n2 1 3.0\n")
+        dense = loads(text).to_dense()
+        assert dense[1, 0] == 3.0
+        assert dense[0, 1] == -3.0
+
+    def test_integer_field(self):
+        text = ("%%MatrixMarket matrix coordinate integer general\n"
+                "1 1 1\n1 1 5\n")
+        assert loads(text).to_dense()[0, 0] == 5.0
+
+    def test_blank_lines_and_comments_between_entries(self):
+        text = ("%%MatrixMarket matrix coordinate real general\n"
+                "% header\n\n2 2 2\n1 1 1.0\n% interleaved\n\n2 2 2.0\n")
+        assert loads(text).nnz == 2
+
+    @pytest.mark.parametrize("bad,who", [
+        ("nonsense\n1 1 1\n", "banner"),
+        ("%%MatrixMarket matrix array real general\n1 1\n1.0\n",
+         "coordinate"),
+        ("%%MatrixMarket matrix coordinate complex general\n1 1 1\n"
+         "1 1 1 0\n", "field"),
+        ("%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n"
+         "1 1 1\n", "symmetry"),
+        ("%%MatrixMarket matrix coordinate real general\n2 2\n",
+         "size"),
+        ("%%MatrixMarket matrix coordinate real general\n1 1 2\n"
+         "1 1 1.0\n", "promised"),
+        ("%%MatrixMarket matrix coordinate real general\n1 1 1\n"
+         "2 1 1.0\n", "outside"),
+    ])
+    def test_malformed_rejected(self, bad, who):
+        with pytest.raises(MatrixMarketError):
+            loads(bad)
+
+
+class TestWrite:
+    def test_roundtrip(self, rng):
+        original = CsrMatrix.random(12, 9, 0.3, rng)
+        again = loads(dumps(original))
+        np.testing.assert_array_equal(again.to_dense(),
+                                      original.to_dense())
+
+    def test_file_roundtrip(self, rng, tmp_path):
+        original = CsrMatrix.random(6, 6, 0.4, rng)
+        path = str(tmp_path / "m.mtx")
+        write_matrix_market(original, path, comment="test matrix")
+        again = read_matrix_market(path)
+        np.testing.assert_array_equal(again.to_dense(),
+                                      original.to_dense())
+        content = open(path).read()
+        assert content.startswith("%%MatrixMarket")
+        assert "% test matrix" in content
+
+    def test_values_roundtrip_exactly(self):
+        # repr-based writing preserves doubles bit-exactly.
+        dense = np.array([[0.1 + 0.2, 1e-308]])
+        original = CsrMatrix.from_dense(dense)
+        again = loads(dumps(original))
+        assert again.to_dense()[0, 0] == dense[0, 0]
+        assert again.to_dense()[0, 1] == dense[0, 1]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 15), st.integers(1, 15), st.floats(0.0, 1.0),
+       st.integers(0, 2 ** 31))
+def test_roundtrip_property(rows, cols, density, seed):
+    rng = np.random.default_rng(seed)
+    dense = np.where(rng.random((rows, cols)) < density,
+                     rng.standard_normal((rows, cols)), 0.0)
+    original = CsrMatrix.from_dense(dense)
+    again = loads(dumps(original))
+    np.testing.assert_array_equal(again.to_dense(), dense)

@@ -1,0 +1,95 @@
+"""Unit tests for the Jacobi iterative solver."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.jacobi import JacobiSolver
+
+
+def diagonally_dominant(rng, n, density=0.2):
+    dense = np.where(rng.random((n, n)) < density,
+                     rng.standard_normal((n, n)), 0.0)
+    np.fill_diagonal(dense, np.abs(dense).sum(axis=1) + 1.0)
+    return CsrMatrix.from_dense(dense)
+
+
+class TestSolve:
+    def test_converges_on_dominant_system(self, rng):
+        M = diagonally_dominant(rng, 40)
+        b = rng.standard_normal(40)
+        result = JacobiSolver(k=4, tol=1e-10).solve(M, b)
+        assert result.converged
+        np.testing.assert_allclose(M.to_dense() @ result.x, b,
+                                   rtol=1e-7, atol=1e-7)
+
+    def test_diagonal_system_one_iteration(self):
+        M = CsrMatrix.from_dense(np.diag([2.0, 4.0, 8.0]))
+        result = JacobiSolver(k=2).solve(M, np.array([2.0, 4.0, 8.0]))
+        assert result.converged
+        assert result.iterations == 1
+        np.testing.assert_allclose(result.x, [1.0, 1.0, 1.0])
+
+    def test_residual_history_decreases(self, rng):
+        M = diagonally_dominant(rng, 30)
+        b = rng.standard_normal(30)
+        result = JacobiSolver(k=4).solve(M, b)
+        hist = result.residual_history
+        assert hist[-1] < hist[0]
+
+    def test_warm_start(self, rng):
+        M = diagonally_dominant(rng, 30)
+        b = rng.standard_normal(30)
+        cold = JacobiSolver(k=4).solve(M, b)
+        warm = JacobiSolver(k=4).solve(M, b, x0=cold.x)
+        assert warm.iterations <= 2
+
+    def test_zero_diagonal_rejected(self):
+        M = CsrMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 1.0]]))
+        with pytest.raises(ValueError, match="diagonal"):
+            JacobiSolver().solve(M, np.ones(2))
+
+    def test_non_square_rejected(self, rng):
+        M = CsrMatrix.random(4, 6, 0.5, rng)
+        with pytest.raises(ValueError, match="square"):
+            JacobiSolver().solve(M, np.ones(4))
+
+    def test_dimension_mismatch(self, rng):
+        M = diagonally_dominant(rng, 8)
+        with pytest.raises(ValueError, match="mismatch"):
+            JacobiSolver().solve(M, np.ones(9))
+
+    def test_max_iterations_respected(self, rng):
+        # A non-dominant system that diverges or converges slowly.
+        dense = rng.standard_normal((10, 10))
+        np.fill_diagonal(dense, 1.0)
+        M = CsrMatrix.from_dense(dense)
+        result = JacobiSolver(k=2, max_iterations=5).solve(M, np.ones(10))
+        assert result.iterations <= 5
+
+    def test_cycle_accounting(self, rng):
+        M = diagonally_dominant(rng, 30)
+        b = rng.standard_normal(30)
+        result = JacobiSolver(k=4).solve(M, b)
+        assert result.total_cycles > 0
+        assert result.cycles_per_iteration() > 0
+
+
+class TestDominanceCheck:
+    def test_dominant_detected(self, rng):
+        assert JacobiSolver.is_diagonally_dominant(
+            diagonally_dominant(rng, 12))
+
+    def test_non_dominant_detected(self):
+        M = CsrMatrix.from_dense(np.array([[1.0, 2.0], [2.0, 1.0]]))
+        assert not JacobiSolver.is_diagonally_dominant(M)
+
+
+class TestValidation:
+    def test_tolerance_positive(self):
+        with pytest.raises(ValueError):
+            JacobiSolver(tol=0)
+
+    def test_max_iterations_positive(self):
+        with pytest.raises(ValueError):
+            JacobiSolver(max_iterations=0)

@@ -1,0 +1,93 @@
+"""Unit tests for the segmented-tree SpMXV variant."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.spmxv import SpmxvDesign
+from repro.sparse.spmxv_segmented import SegmentedSpmxvDesign
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("density", [0.02, 0.1, 0.5, 1.0])
+    def test_matches_reference(self, rng, density):
+        M = CsrMatrix.random(48, 48, density, rng)
+        x = rng.standard_normal(48)
+        run = SegmentedSpmxvDesign(k=4).run(M, x)
+        np.testing.assert_allclose(run.y, M.matvec(x), rtol=1e-11,
+                                   atol=1e-11)
+
+    def test_matches_baseline_design(self, rng):
+        M = CsrMatrix.random(40, 40, 0.15, rng)
+        x = rng.standard_normal(40)
+        base = SpmxvDesign(k=4).run(M, x)
+        seg = SegmentedSpmxvDesign(k=4).run(M, x)
+        np.testing.assert_allclose(seg.y, base.y, rtol=1e-11, atol=1e-11)
+
+    def test_empty_rows(self, rng):
+        dense = np.zeros((9, 9))
+        dense[2, 3] = 1.5
+        dense[5, :] = 2.0
+        M = CsrMatrix.from_dense(dense)
+        x = rng.standard_normal(9)
+        run = SegmentedSpmxvDesign(k=4).run(M, x)
+        np.testing.assert_allclose(run.y, M.matvec(x), rtol=1e-11,
+                                   atol=1e-11)
+
+    def test_consecutive_odd_rows_with_gaps(self, rng):
+        # Non-empty rows 1 and 3 (same row-id parity) must still land
+        # in different reduction circuits (sequence-parity routing).
+        dense = np.zeros((5, 8))
+        dense[1, :3] = 1.0
+        dense[3, :2] = 2.0
+        M = CsrMatrix.from_dense(dense)
+        x = rng.standard_normal(8)
+        run = SegmentedSpmxvDesign(k=4).run(M, x)
+        np.testing.assert_allclose(run.y, M.matvec(x), rtol=1e-12,
+                                   atol=1e-12)
+
+    def test_single_nonzero_rows(self, rng):
+        dense = np.diag(rng.standard_normal(32))
+        M = CsrMatrix.from_dense(dense)
+        x = rng.standard_normal(32)
+        run = SegmentedSpmxvDesign(k=4).run(M, x)
+        np.testing.assert_allclose(run.y, M.matvec(x), rtol=1e-12,
+                                   atol=1e-12)
+
+    @pytest.mark.parametrize("k", [1, 2, 8])
+    def test_any_k(self, rng, k):
+        M = CsrMatrix.random(30, 30, 0.2, rng)
+        x = rng.standard_normal(30)
+        run = SegmentedSpmxvDesign(k=k).run(M, x)
+        np.testing.assert_allclose(run.y, M.matvec(x), rtol=1e-11,
+                                   atol=1e-11)
+
+    def test_validation(self, rng):
+        M = CsrMatrix.random(4, 6, 0.5, rng)
+        with pytest.raises(ValueError):
+            SegmentedSpmxvDesign().run(M, np.zeros(5))
+        with pytest.raises(MemoryError):
+            SegmentedSpmxvDesign(bram_words=2).run(M, np.zeros(6))
+
+
+class TestPerformance:
+    def test_beats_baseline_on_short_rows(self, rng):
+        dense = np.zeros((128, 128))
+        dense[:, 0] = 1.0  # one nonzero per row, k = 4
+        M = CsrMatrix.from_dense(dense)
+        x = rng.standard_normal(128)
+        base = SpmxvDesign(k=4).run(M, x)
+        seg = SegmentedSpmxvDesign(k=4).run(M, x)
+        assert seg.total_cycles < base.total_cycles
+        assert seg.efficiency > 1.4 * base.efficiency
+
+    def test_no_worse_on_dense_rows(self, rng):
+        dense = rng.standard_normal((32, 64))
+        M = CsrMatrix.from_dense(dense)
+        x = rng.standard_normal(64)
+        base = SpmxvDesign(k=4).run(M, x)
+        seg = SegmentedSpmxvDesign(k=4).run(M, x)
+        assert seg.total_cycles <= base.total_cycles + 64
+
+    def test_uses_two_reduction_circuits(self):
+        assert SegmentedSpmxvDesign(k=4).num_reduction_circuits == 2

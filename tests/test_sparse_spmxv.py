@@ -1,0 +1,95 @@
+"""Unit tests for the FPGA SpMXV design."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.spmxv import SpmxvDesign
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("density", [0.05, 0.2, 0.6, 1.0])
+    def test_matches_reference(self, rng, density):
+        M = CsrMatrix.random(40, 40, density, rng)
+        x = rng.standard_normal(40)
+        run = SpmxvDesign(k=4).run(M, x)
+        np.testing.assert_allclose(run.y, M.matvec(x), rtol=1e-11,
+                                   atol=1e-11)
+
+    def test_empty_rows_give_zero(self, rng):
+        dense = np.zeros((5, 5))
+        dense[1, 2] = 3.0
+        M = CsrMatrix.from_dense(dense)
+        run = SpmxvDesign(k=4).run(M, np.ones(5))
+        assert run.y.tolist() == [0.0, 3.0, 0.0, 0.0, 0.0]
+
+    def test_all_empty_matrix(self):
+        M = CsrMatrix.from_dense(np.zeros((4, 4)))
+        run = SpmxvDesign(k=2).run(M, np.ones(4))
+        assert run.y.tolist() == [0.0] * 4
+        assert run.total_cycles == 0 or run.total_cycles > 0  # completes
+
+    def test_irregular_row_lengths(self, rng):
+        # Rows with wildly different nnz — arbitrary-size reduction sets.
+        dense = np.zeros((6, 64))
+        dense[0, :1] = 1.0
+        dense[1, :64] = 1.0
+        dense[2, :3] = 1.0
+        dense[3, :17] = 1.0
+        dense[5, :2] = 1.0
+        M = CsrMatrix.from_dense(dense)
+        x = rng.standard_normal(64)
+        run = SpmxvDesign(k=4).run(M, x)
+        np.testing.assert_allclose(run.y, M.matvec(x), rtol=1e-11,
+                                   atol=1e-11)
+
+    def test_dimension_mismatch(self, rng):
+        M = CsrMatrix.random(4, 6, 0.5, rng)
+        with pytest.raises(ValueError):
+            SpmxvDesign().run(M, np.zeros(5))
+
+    def test_bram_limit(self, rng):
+        M = CsrMatrix.random(4, 100, 0.5, rng)
+        with pytest.raises(MemoryError):
+            SpmxvDesign(k=4, bram_words=64).run(M, np.zeros(100))
+
+    @pytest.mark.parametrize("k", [1, 2, 8])
+    def test_any_k(self, rng, k):
+        M = CsrMatrix.random(24, 24, 0.3, rng)
+        x = rng.standard_normal(24)
+        run = SpmxvDesign(k=k).run(M, x)
+        np.testing.assert_allclose(run.y, M.matvec(x), rtol=1e-11,
+                                   atol=1e-11)
+
+
+class TestPerformance:
+    def test_flops_counts_nonzeros(self, rng):
+        M = CsrMatrix.random(30, 30, 0.2, rng)
+        run = SpmxvDesign(k=4).run(M, rng.standard_normal(30))
+        assert run.flops == 2 * M.nnz
+
+    def test_dense_rows_reach_high_efficiency(self, rng):
+        dense = rng.standard_normal((64, 256))  # fully dense rows
+        M = CsrMatrix.from_dense(dense)
+        run = SpmxvDesign(k=4).run(M, rng.standard_normal(256))
+        assert run.efficiency > 0.9
+
+    def test_sparse_irregular_rows_lose_efficiency_to_padding(self, rng):
+        # nnz not divisible by k leaves multiplier bubbles.
+        dense = np.zeros((64, 64))
+        dense[:, 0] = 1.0  # every row has exactly 1 nonzero, k = 4
+        M = CsrMatrix.from_dense(dense)
+        run = SpmxvDesign(k=4).run(M, rng.standard_normal(64))
+        assert run.efficiency < 0.5
+
+    def test_words_read_includes_indices(self, rng):
+        # CRS streams (value, column) pairs: 2 words per lane per cycle.
+        dense = rng.standard_normal((8, 16))
+        M = CsrMatrix.from_dense(dense)
+        run = SpmxvDesign(k=4).run(M, rng.standard_normal(16))
+        assert run.words_read == 2 * 4 * (M.nnz // 4)
+
+    def test_sustained_mflops(self, rng):
+        M = CsrMatrix.random(64, 64, 0.5, rng)
+        run = SpmxvDesign(k=4).run(M, rng.standard_normal(64))
+        assert run.sustained_mflops(170.0) > 0

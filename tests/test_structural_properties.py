@@ -1,0 +1,96 @@
+"""Property-based tests for the structural Figure 6 circuit."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reduction.analysis import latency_bound
+from repro.reduction.base import stream_sets
+from repro.reduction.structural import StructuralReduction
+from repro.sim.engine import Simulator
+
+alphas = st.sampled_from([3, 4, 6, 8])
+
+
+@st.composite
+def stall_free_workloads(draw):
+    """Workloads the literal lane-per-set schedule handles without
+    back-pressure: sets of ≥ 2α values, so each set's lane lifetime is
+    covered by its own fill time and at most α lanes are ever alive
+    (short-set floods stall this schedule — exercised deliberately in
+    test_reduction_structural.py)."""
+    alpha = draw(alphas)
+    n_sets = draw(st.integers(1, 12))
+    sizes = draw(st.lists(st.integers(2 * alpha, 4 * alpha),
+                          min_size=n_sets, max_size=n_sets))
+    sets = [[draw(st.floats(-1e3, 1e3, allow_nan=False))
+             for _ in range(s)] for s in sizes]
+    return alpha, sets
+
+
+def drive(alpha, sets, max_cycles=100_000):
+    sim = Simulator()
+    circuit = StructuralReduction(sim, alpha=alpha)
+    stalls = 0
+    cycles = 0
+    for value, last in stream_sets(sets):
+        while True:
+            circuit.offer(value, last)
+            sim.step()
+            cycles += 1
+            assert cycles < max_cycles, "livelock"
+            if circuit.accepted:
+                break
+            stalls += 1
+    while circuit.busy():
+        sim.step()
+        cycles += 1
+        assert cycles < max_cycles, "failed to drain"
+    return circuit, cycles, stalls
+
+
+@settings(max_examples=60, deadline=None)
+@given(stall_free_workloads())
+def test_sums_correct(workload):
+    alpha, sets = workload
+    circuit, _, _ = drive(alpha, sets)
+    ordered = sorted(circuit.results, key=lambda r: r.set_id)
+    assert len(ordered) == len(sets)
+    for result, values in zip(ordered, sets):
+        want = math.fsum(values)
+        tol = 1e-9 * max(1.0, sum(abs(v) for v in values))
+        assert abs(result.value - want) <= tol
+
+
+@settings(max_examples=60, deadline=None)
+@given(stall_free_workloads())
+def test_no_stalls_on_lane_friendly_streams(workload):
+    alpha, sets = workload
+    _, _, stalls = drive(alpha, sets)
+    assert stalls == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(stall_free_workloads())
+def test_latency_bound(workload):
+    alpha, sets = workload
+    _, cycles, _ = drive(alpha, sets)
+    assert cycles < latency_bound([len(s) for s in sets], alpha)
+
+
+@settings(max_examples=60, deadline=None)
+@given(stall_free_workloads())
+def test_bram_port_limit_respected(workload):
+    alpha, sets = workload
+    circuit, _, _ = drive(alpha, sets)
+    for buf in circuit.buffers:
+        assert buf.max_ports_in_cycle <= 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(stall_free_workloads())
+def test_exact_addition_count(workload):
+    alpha, sets = workload
+    circuit, _, _ = drive(alpha, sets)
+    assert circuit.stats.adder_issues == sum(len(s) - 1 for s in sets)

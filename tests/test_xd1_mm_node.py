@@ -1,0 +1,76 @@
+"""Tests for the end-to-end XD1 node Level-3 simulation."""
+
+import numpy as np
+import pytest
+
+from repro.host.xd1_mm_node import Xd1NodeMm
+from repro.sim.engine import SimulationError
+
+
+class TestNodeMm:
+    def test_matches_numpy(self, rng):
+        n = 32
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        result = Xd1NodeMm(k=8, m=8).run(A, B)
+        np.testing.assert_allclose(result.C, A @ B, rtol=1e-10,
+                                   atol=1e-10)
+
+    def test_cycle_count_is_exactly_n3_over_k(self, rng):
+        n = 32
+        result = Xd1NodeMm(k=8, m=8).run(rng.standard_normal((n, n)),
+                                         rng.standard_normal((n, n)))
+        assert result.compute_cycles == n ** 3 // 8
+
+    def test_sustained_matches_table4(self, rng):
+        # 2k·clock = 2.08 GFLOPS at 130 MHz for k=8 — Table 4's 2.06
+        # (measured) within 1 %.
+        n = 32
+        result = Xd1NodeMm(k=8, m=8).run(rng.standard_normal((n, n)),
+                                         rng.standard_normal((n, n)))
+        assert result.sustained_gflops == pytest.approx(2.08, abs=0.01)
+
+    def test_cprime_bandwidth_matches_table4(self, rng):
+        # One read + one write of C′ per cycle at 130 MHz = 2.08 GB/s
+        # (paper: "2.1 GB/s"), through port-checked banks.
+        n = 32
+        result = Xd1NodeMm(k=8, m=8).run(rng.standard_normal((n, n)),
+                                         rng.standard_normal((n, n)))
+        assert result.cprime_bandwidth_gbytes() == pytest.approx(2.08,
+                                                                 abs=0.01)
+
+    def test_dram_bandwidth_follows_3k_over_n(self, rng):
+        # 3n² words over n³/k cycles = 3k/n words/cycle; at the paper's
+        # n = b = 512 this is Table 4's 48.8 MB/s.
+        n = 64
+        result = Xd1NodeMm(k=8, m=8).run(rng.standard_normal((n, n)),
+                                         rng.standard_normal((n, n)))
+        expected = 3 * 8 / n * 8 * 130e6 / 1e6
+        assert result.dram_bandwidth_mbytes() == pytest.approx(expected,
+                                                               rel=0.01)
+        assert 3 * 8 / 512 * 8 * 130e6 / 1e6 == pytest.approx(48.8,
+                                                              abs=0.1)
+
+    def test_c_migrates_once_per_cell(self, rng):
+        n = 16
+        result = Xd1NodeMm(k=8, m=8).run(rng.standard_normal((n, n)),
+                                         rng.standard_normal((n, n)))
+        assert result.c_writes == n * n
+
+    def test_starved_dram_detected(self, rng):
+        # A channel far below the 3k/n words/cycle requirement cannot
+        # deliver A and B in time.
+        n = 32
+        node = Xd1NodeMm(k=8, m=8, dram_bandwidth=2e6)
+        with pytest.raises(SimulationError, match="too slow"):
+            node.run(rng.standard_normal((n, n)),
+                     rng.standard_normal((n, n)))
+
+    def test_k_greater_than_m_rejected(self):
+        with pytest.raises(ValueError):
+            Xd1NodeMm(k=16, m=8)
+
+    def test_n_must_be_multiple_of_m(self, rng):
+        with pytest.raises(ValueError, match="multiple"):
+            Xd1NodeMm(k=8, m=8).run(rng.standard_normal((20, 20)),
+                                    rng.standard_normal((20, 20)))
