@@ -10,7 +10,9 @@
 * :mod:`repro.blas.multi_fpga` — the hierarchical multi-FPGA matrix
   multiply exploiting the full memory hierarchy (Section 5.2).
 * :mod:`repro.blas.api` — the user-facing ``dot`` / ``gemv`` / ``gemm``
-  entry points that pair numerical results with performance reports.
+  / ``spmxv`` entry points that pair numerical results with performance
+  reports, and the non-executing ``plan_*`` predictors the runtime
+  scheduler places jobs with.
 """
 
 from repro.blas.level1 import DotProductDesign, DotProductRun
@@ -21,7 +23,18 @@ from repro.blas.level2 import (
 )
 from repro.blas.level3 import MatrixMultiplyDesign, MatrixMultiplyRun
 from repro.blas.multi_fpga import MultiFpgaMatrixMultiply, MultiFpgaRun
-from repro.blas.api import dot, gemm, gemv, PerfReport
+from repro.blas.api import (
+    ExecutionPlan,
+    PerfReport,
+    dot,
+    gemm,
+    gemv,
+    plan_dot,
+    plan_gemm,
+    plan_gemv,
+    plan_spmxv,
+    spmxv,
+)
 
 __all__ = [
     "DotProductDesign",
@@ -36,5 +49,11 @@ __all__ = [
     "dot",
     "gemv",
     "gemm",
+    "spmxv",
+    "plan_dot",
+    "plan_gemv",
+    "plan_gemm",
+    "plan_spmxv",
+    "ExecutionPlan",
     "PerfReport",
 ]

@@ -1,10 +1,16 @@
-"""High-level BLAS API: ``dot``, ``gemv``, ``gemm``.
+"""High-level BLAS API: ``dot``, ``gemv``, ``gemm``, ``spmxv``.
 
 Each call simulates the corresponding FPGA design and returns the
 numerical result together with a :class:`PerfReport` — cycle count,
 wall-clock estimate at the design's achievable clock, sustained
 MFLOPS, memory bandwidth and area, mirroring the rows of the paper's
 Tables 3 and 4.
+
+The ``plan_*`` companions predict the same quantities *without*
+executing anything: they return an :class:`ExecutionPlan` with the
+predicted cycle count, clock and area of the design a call would
+instantiate.  The runtime scheduler (:mod:`repro.runtime`) uses plans
+to order and place jobs before committing a blade to them.
 """
 
 from __future__ import annotations
@@ -20,6 +26,11 @@ from repro.blas.level2 import ColumnMajorMvmDesign, TreeMvmDesign
 from repro.blas.level3 import MatrixMultiplyDesign
 from repro.device.area import AreaModel, DesignArea
 from repro.device.fpga import XC2VP50
+
+#: Cycles the reduction circuit needs to flush its final set after the
+#: last tree-root value, calibrated against the cycle-accurate designs
+#: at the paper's adder depth (α = 14).
+REDUCTION_FLUSH_CYCLES = 68
 
 
 @dataclass(frozen=True)
@@ -133,11 +144,7 @@ def gemm(A: np.ndarray, B: np.ndarray, k: int = 8,
     p, q = A.shape
     r = B.shape[1]
     size = max(p, q, r)
-    if m is None:
-        m = k
-        while m * 2 <= 128 and m * 2 <= size:
-            m *= 2
-    padded = m * math.ceil(size / m)
+    m, padded = _gemm_geometry(p, q, r, k, m)
     if (p, q) == (padded, padded) and r == padded:
         a_pad, b_pad = A, B
     else:
@@ -162,3 +169,167 @@ def gemm(A: np.ndarray, B: np.ndarray, k: int = 8,
                                    * run.peak_flops_per_cycle),
     )
     return run.C[:p, :r], report
+
+
+def spmxv(matrix, x: np.ndarray, k: int = 4,
+          clock_mhz: Optional[float] = None,
+          on_xd1: bool = False) -> Tuple[np.ndarray, PerfReport]:
+    """Sparse matrix-vector multiply on the tree architecture.
+
+    ``matrix`` is a :class:`repro.sparse.csr.CsrMatrix`; the design is
+    the paper's [32] SpMXV (k multipliers + adder tree + reduction
+    circuit), whose area matches the Level-2 tree design.
+    """
+    from repro.sparse.spmxv import SpmxvDesign
+
+    design = SpmxvDesign(k=k)
+    run = design.run(matrix, x)
+    area = AreaModel().mvm_design(k, on_xd1=on_xd1)
+    clock = clock_mhz if clock_mhz is not None else area.clock_mhz
+    bandwidth = (run.words_read * 8 * clock * 1e6
+                 / run.total_cycles / 1e9)
+    report = PerfReport(
+        operation="spmxv", n=run.nrows, k=k,
+        total_cycles=run.total_cycles, clock_mhz=clock,
+        flops=run.flops, area_slices=area.slices,
+        device_utilization=area.utilization,
+        memory_bandwidth_gbytes=bandwidth,
+        efficiency=run.efficiency,
+    )
+    return run.y, report
+
+
+# ----------------------------------------------------------------------
+# planning: predicted cycles/area without executing (runtime scheduling)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """Predicted cost of one BLAS call, computed without executing it.
+
+    ``predicted_cycles`` is exact for ``gemm`` (the Level-3 timing model
+    is closed-form) and within a few percent for the streaming designs,
+    whose reduction-flush tail is calibrated, not replayed.
+    ``design_key`` identifies the bitstream a blade must hold to run the
+    job — two jobs with equal keys can share one configuration.
+    """
+
+    operation: str
+    n: int
+    k: int
+    m: Optional[int]
+    predicted_cycles: int
+    clock_mhz: float
+    flops: int
+    area: DesignArea
+
+    @property
+    def predicted_seconds(self) -> float:
+        return self.predicted_cycles / (self.clock_mhz * 1e6)
+
+    @property
+    def design_key(self) -> str:
+        if self.operation == "gemm":
+            return f"matrix_multiply(k={self.k},m={self.m})"
+        if self.operation.startswith("gemv"):
+            return f"{self.operation}(k={self.k})"
+        return f"{self.operation}(k={self.k})"
+
+
+def _gemm_geometry(p: int, q: int, r: int, k: int,
+                   m: Optional[int]) -> Tuple[int, int]:
+    """Block size and padded order of a gemm call (shared by the
+    executing and planning paths so they agree exactly)."""
+    size = max(p, q, r)
+    if m is None:
+        m = k
+        while m * 2 <= 128 and m * 2 <= size:
+            m *= 2
+    return m, m * math.ceil(size / m)
+
+
+def plan_dot(n: int, k: int = 2, clock_mhz: Optional[float] = None,
+             on_xd1: bool = False) -> ExecutionPlan:
+    """Predict a :func:`dot` call: ⌈n/k⌉ input rows plus the pipeline
+    fill and the reduction flush."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    design = DotProductDesign(k=k)
+    cycles = (math.ceil(n / k) + design.alpha_mul + design.tree_latency
+              + REDUCTION_FLUSH_CYCLES)
+    area = AreaModel().dot_product_design(k, on_xd1=on_xd1)
+    clock = clock_mhz if clock_mhz is not None else area.clock_mhz
+    return ExecutionPlan(operation="dot", n=n, k=k, m=None,
+                         predicted_cycles=cycles, clock_mhz=clock,
+                         flops=2 * n, area=area)
+
+
+def plan_gemv(nrows: int, ncols: int, k: int = 4,
+              architecture: str = "tree",
+              clock_mhz: Optional[float] = None,
+              on_xd1: bool = False) -> ExecutionPlan:
+    """Predict a :func:`gemv` call on either MVM architecture."""
+    if nrows < 1 or ncols < 1:
+        raise ValueError("matrix dimensions must be positive")
+    if architecture == "tree":
+        design = TreeMvmDesign(k=k)
+        cycles = (nrows * math.ceil(ncols / k) + design.alpha_mul
+                  + design.tree_latency + REDUCTION_FLUSH_CYCLES)
+    elif architecture == "column":
+        design = ColumnMajorMvmDesign(k=k)
+        cycles = (ncols * math.ceil(nrows / k) + design.alpha_mul
+                  + design.alpha_add)
+    else:
+        raise ValueError(f"unknown MVM architecture {architecture!r}")
+    area = AreaModel().mvm_design(k, on_xd1=on_xd1)
+    clock = clock_mhz if clock_mhz is not None else area.clock_mhz
+    return ExecutionPlan(operation=f"gemv[{architecture}]",
+                         n=max(nrows, ncols), k=k, m=None,
+                         predicted_cycles=cycles, clock_mhz=clock,
+                         flops=2 * nrows * ncols, area=area)
+
+
+def plan_gemm(p: int, q: int, r: int, k: int = 8,
+              m: Optional[int] = None,
+              clock_mhz: Optional[float] = None,
+              on_xd1: bool = False) -> ExecutionPlan:
+    """Predict a :func:`gemm` call — exact, from the Level-3 closed-form
+    timing model (startup + nb³·m³/k compute + drain + C output)."""
+    if min(p, q, r) < 1:
+        raise ValueError("matrix dimensions must be positive")
+    m, padded = _gemm_geometry(p, q, r, k, m)
+    design = MatrixMultiplyDesign(k=k, m=m)
+    nb = padded // m
+    cycles = (design.startup_cycles()
+              + nb ** 3 * design.block_compute_cycles()
+              + design.drain_cycles() + m * m)
+    area = AreaModel().mm_design(k, on_xd1=on_xd1)
+    clock = clock_mhz if clock_mhz is not None else area.clock_mhz
+    return ExecutionPlan(operation="gemm", n=max(p, q, r), k=k, m=m,
+                         predicted_cycles=cycles, clock_mhz=clock,
+                         flops=2 * p * q * r, area=area)
+
+
+def plan_spmxv(matrix, k: int = 4, clock_mhz: Optional[float] = None,
+               on_xd1: bool = False) -> ExecutionPlan:
+    """Predict a :func:`spmxv` call from the matrix's row structure
+    (⌈nnz_i/k⌉ chunks per non-empty row plus pipeline fill)."""
+    from repro.sparse.spmxv import SpmxvDesign
+
+    design = SpmxvDesign(k=k)
+    row_nnz = np.diff(matrix.row_ptr)
+    chunks = int(np.sum(np.ceil(row_nnz / k)))
+    cycles = (chunks + design.alpha_mul + design.tree_latency
+              + design.alpha_add)
+    area = AreaModel().mvm_design(k, on_xd1=on_xd1)
+    clock = clock_mhz if clock_mhz is not None else area.clock_mhz
+    return ExecutionPlan(operation="spmxv", n=matrix.nrows, k=k, m=None,
+                         predicted_cycles=cycles, clock_mhz=clock,
+                         flops=2 * matrix.nnz, area=area)
+
+
+def gemm_fixed_overhead_cycles(k: int, m: int) -> int:
+    """Per-pass fixed cycles of the Level-3 design (startup, drain and
+    final C-block output).  When the runtime coalesces same-shape gemm
+    jobs into one pass, every job after the first saves this amount."""
+    design = MatrixMultiplyDesign(k=k, m=m, relax_hazard_check=True)
+    return design.startup_cycles() + design.drain_cycles() + m * m

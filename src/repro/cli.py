@@ -9,6 +9,9 @@ Commands
     performance report.
 ``reduce``
     Reduction-circuit shoot-out on a chosen workload shape.
+``runtime``
+    Replay a synthetic BLAS workload on the concurrent job scheduler
+    and print per-blade utilization and aggregate throughput.
 ``project``
     The chassis / multi-chassis projections (Figures 11-12,
     Section 6.4).
@@ -196,6 +199,35 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_runtime(args: argparse.Namespace) -> int:
+    from repro.runtime import BlasRuntime
+    from repro.workloads import blas_request_mix, gemm_burst
+
+    rng = np.random.default_rng(args.seed)
+    if args.mix == "gemm":
+        stream = gemm_burst(args.jobs, args.gemm_n, rng)
+    else:
+        stream = blas_request_mix(args.jobs, rng,
+                                  arrival_rate=args.arrival_rate)
+    runtime = BlasRuntime(
+        chassis=args.chassis,
+        blades=args.blades,
+        policy=args.policy,
+        queue_capacity=args.queue_capacity,
+        batching=not args.no_batch,
+    )
+    for at, request in stream:
+        runtime.submit(request, at=at)
+    metrics = runtime.run()
+    if args.json:
+        print(metrics.to_json())
+    else:
+        print(f"replayed {args.jobs} jobs ({args.mix} mix) on "
+              f"{args.chassis} chassis x {args.blades} blades")
+        print(metrics.summary())
+    return 0 if metrics.jobs_failed == 0 else 1
+
+
 def _cmd_project(args: argparse.Namespace) -> int:
     from repro.device.fpga import XC2VP50, XC2VP100
     from repro.perf.projection import (
@@ -218,6 +250,14 @@ def _cmd_project(args: argparse.Namespace) -> int:
           f"DRAM, +{mc.added_latency_cycles} cycles array latency "
           f"(feasible: {mc.feasible})")
     return 0
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -275,6 +315,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--jacobi", action="store_true")
     p_solve.add_argument("--seed", type=int, default=0)
 
+    p_rt = sub.add_parser(
+        "runtime", help="replay a BLAS workload on the job scheduler")
+    p_rt.add_argument("--chassis", type=_positive_int, default=1)
+    p_rt.add_argument("--blades", type=_positive_int, default=6)
+    p_rt.add_argument("--jobs", type=int, default=200)
+    p_rt.add_argument("--policy",
+                      choices=("fifo", "sjf", "edf", "area"),
+                      default="area")
+    p_rt.add_argument("--mix", choices=("mixed", "gemm"), default="mixed")
+    p_rt.add_argument("--gemm-n", type=int, default=64,
+                      help="matrix order for --mix gemm")
+    p_rt.add_argument("--arrival-rate", type=float, default=None,
+                      help="requests per virtual second (default: all "
+                           "at t=0)")
+    p_rt.add_argument("--queue-capacity", type=int, default=None)
+    p_rt.add_argument("--no-batch", action="store_true",
+                      help="disable same-shape gemm coalescing")
+    p_rt.add_argument("--json", action="store_true",
+                      help="emit the metrics JSON instead of the table")
+    p_rt.add_argument("--seed", type=int, default=0)
+
     p_repro = sub.add_parser(
         "reproduce", help="regenerate every paper table/figure")
     p_repro.add_argument("--full", action="store_true",
@@ -290,6 +351,7 @@ _COMMANDS = {
     "gemm": _cmd_gemm,
     "reduce": _cmd_reduce,
     "project": _cmd_project,
+    "runtime": _cmd_runtime,
     "explore": _cmd_explore,
     "solve": _cmd_solve,
     "reproduce": _cmd_reproduce,

@@ -81,11 +81,18 @@ def make_xd1_chassis(name: str = "xd1-chassis",
 
 
 def make_xd1_system(chassis_count: int = 12,
-                    name: str = "xd1") -> ReconfigurableSystem:
-    """A typical XD1 installation (Section 6.4.2: 12 chassis)."""
+                    name: str = "xd1",
+                    blades: int = 6) -> ReconfigurableSystem:
+    """A typical XD1 installation (Section 6.4.2: 12 chassis).
+
+    ``blades`` sizes each chassis (six on real hardware; the runtime's
+    scaling studies use one to isolate single-blade throughput).
+    """
     if chassis_count < 1:
         raise ValueError("need at least one chassis")
-    chassis = [make_xd1_chassis(f"{name}/chassis{i}")
+    if blades < 1:
+        raise ValueError("need at least one blade per chassis")
+    chassis = [make_xd1_chassis(f"{name}/chassis{i}", blades=blades)
                for i in range(chassis_count)]
     return ReconfigurableSystem(name, chassis,
                                 inter_chassis_bandwidth=XD1_INTERCHASSIS_BANDWIDTH)

@@ -1,0 +1,358 @@
+"""Virtual-time executor: multiplexes BLAS jobs over simulated blades.
+
+:class:`BlasRuntime` owns a pool of :class:`DeviceSlot` (one per XD1
+blade), a bounded pending queue and a scheduling policy.  ``run()`` is
+a discrete-event loop over *virtual* time: placing a job advances that
+blade's clock by the job's simulated cycle count at the design's
+achievable clock rate — so a six-blade chassis genuinely overlaps six
+jobs even though the underlying simulators execute sequentially on the
+host.
+
+Cost model
+----------
+* **Reconfiguration.** A blade holds the set of designs configured on
+  it while their combined area fits the usable slice budget
+  (:data:`repro.device.area.USABLE_SLICE_FRACTION` of the device).
+  Running a job whose bitstream is not resident charges a full
+  configuration load — :data:`RECONFIG_BITSTREAM_BYTES` over the
+  blade's measured FPGA↔DRAM path — and evicts least-recently-used
+  designs if the new one does not fit beside the residents.
+* **Batching.** Same-shape gemm jobs waiting in the queue are coalesced
+  into the placed job's pass: every follower is charged the compute
+  cycles of its standalone run minus the pass-fixed overhead (array
+  startup, drain and final C-block output), which the pass pays once.
+  Results stay bit-for-bit identical to standalone calls because each
+  job's numerics are still produced by its own ``repro.blas.api`` call.
+* **Backpressure.** Arrivals beyond ``queue_capacity`` pending jobs are
+  rejected (or raise :class:`QueueFullError` with ``strict_queue``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.blas import api
+from repro.device.area import USABLE_SLICE_FRACTION
+from repro.device.node import ComputeNode
+from repro.device.system import (
+    Chassis,
+    ReconfigurableSystem,
+    make_xd1_system,
+)
+from repro.runtime.job import BlasRequest, Job, JobState
+from repro.runtime.metrics import DeviceMetrics, RuntimeMetrics
+from repro.runtime.scheduler import (
+    Placement,
+    SchedulingPolicy,
+    make_policy,
+)
+from repro.sim.engine import SimulationError
+
+#: Full configuration bitstream of the XC2VP50 (~19 Mbit).  Loading it
+#: through the RapidArray fabric is what a kernel switch costs.
+RECONFIG_BITSTREAM_BYTES = 2_377_741
+
+
+class QueueFullError(RuntimeError):
+    """Raised in ``strict_queue`` mode when an arrival overflows the
+    bounded pending queue."""
+
+
+class DeviceSlot:
+    """Runtime state of one blade: its virtual clock and the designs
+    currently configured on its FPGA."""
+
+    def __init__(self, node: ComputeNode, index: int) -> None:
+        self.node = node
+        self.index = index
+        self.name = node.name
+        self.usable_slices = int(node.fpga.slices * USABLE_SLICE_FRACTION)
+        self.free_at = 0.0
+        self.resident: Dict[str, int] = {}
+        self._last_used: Dict[str, int] = {}
+        self._use_clock = 0
+        self.metrics = DeviceMetrics(name=node.name)
+
+    @property
+    def spare_slices(self) -> int:
+        return self.usable_slices - sum(self.resident.values())
+
+    def has_resident(self, key: str) -> bool:
+        return key in self.resident
+
+    def can_ever_hold(self, slices: int) -> bool:
+        return slices <= self.usable_slices
+
+    def configure(self, key: str, slices: int) -> bool:
+        """Make ``key`` resident; returns True when a (re)configuration
+        load was needed, evicting LRU designs as required."""
+        self._use_clock += 1
+        if key in self.resident:
+            self._last_used[key] = self._use_clock
+            return False
+        if not self.can_ever_hold(slices):
+            raise ValueError(
+                f"{key} ({slices} slices) exceeds the usable area of "
+                f"{self.name} ({self.usable_slices} slices)")
+        while self.spare_slices < slices:
+            lru = min(self.resident, key=lambda k: self._last_used[k])
+            del self.resident[lru]
+            del self._last_used[lru]
+        self.resident[key] = slices
+        self._last_used[key] = self._use_clock
+        return True
+
+
+class BlasRuntime:
+    """Concurrent BLAS job scheduler over a simulated XD1 system."""
+
+    def __init__(self,
+                 system: Union[ReconfigurableSystem, Chassis, None] = None,
+                 *,
+                 chassis: int = 1,
+                 blades: int = 6,
+                 policy: Union[str, SchedulingPolicy] = "area",
+                 queue_capacity: Optional[int] = None,
+                 batching: bool = True,
+                 batch_limit: int = 8,
+                 reconfig_seconds: Optional[float] = None,
+                 on_xd1: bool = True,
+                 strict_queue: bool = False) -> None:
+        if system is None:
+            system = make_xd1_system(chassis, blades=blades)
+        self.system = system
+        self.policy = (make_policy(policy) if isinstance(policy, str)
+                       else policy)
+        if queue_capacity is not None and queue_capacity < 1:
+            raise ValueError("queue_capacity must be positive (or None)")
+        self.queue_capacity = queue_capacity
+        self.batching = batching
+        if batch_limit < 1:
+            raise ValueError("batch_limit must be >= 1")
+        self.batch_limit = batch_limit
+        self.on_xd1 = on_xd1
+        self.strict_queue = strict_queue
+        self.devices = [DeviceSlot(node, i)
+                        for i, node in enumerate(system.nodes)]
+        if not self.devices:
+            raise ValueError("the system has no blades")
+        if reconfig_seconds is None:
+            reconfig_seconds = (RECONFIG_BITSTREAM_BYTES
+                                / self.devices[0].node.dram_path_bandwidth)
+        self.reconfig_seconds = reconfig_seconds
+
+        self._jobs: List[Job] = []
+        self._arrivals: List[Job] = []
+        self._pending: List[Job] = []
+        self._now = 0.0
+        self._depth_area = 0.0
+        self._max_depth = 0
+        self._next_batch_id = 0
+        self._ran = False
+
+    # -- submission ------------------------------------------------------
+    def submit(self, request: BlasRequest, at: float = 0.0) -> Job:
+        """Queue a request for execution at virtual time ``at``.
+
+        Returns the tracking :class:`Job`.  Planning happens here: a
+        request whose design cannot be built (or cannot fit any blade in
+        the pool) comes back already FAILED.
+        """
+        if self._ran:
+            raise RuntimeError("runtime already ran; build a new one")
+        if at < 0.0:
+            raise ValueError("arrival time must be non-negative")
+        job = Job(job_id=len(self._jobs), request=request, submitted_at=at)
+        self._jobs.append(job)
+        try:
+            job.plan = self._plan(request)
+        except (ValueError, MemoryError, SimulationError) as exc:
+            job.fail(at, f"planning failed: {exc}")
+            return job
+        if not any(d.can_ever_hold(job.plan.area.slices)
+                   for d in self.devices):
+            job.fail(at, f"design needs {job.plan.area.slices} slices; "
+                         "no blade in the pool is large enough")
+            return job
+        self._arrivals.append(job)
+        return job
+
+    def _plan(self, request: BlasRequest) -> api.ExecutionPlan:
+        op, (a, b) = request.operation, request.operands
+        k = request.k
+        if op == "dot":
+            return api.plan_dot(len(a), k=k, on_xd1=self.on_xd1)
+        if op == "gemv":
+            shape = np.shape(a)
+            return api.plan_gemv(shape[0], shape[1], k=k,
+                                 architecture=request.architecture,
+                                 on_xd1=self.on_xd1)
+        if op == "gemm":
+            p, q = np.shape(a)
+            r = np.shape(b)[1]
+            return api.plan_gemm(p, q, r, k=k, m=request.m,
+                                 on_xd1=self.on_xd1)
+        return api.plan_spmxv(a, k=k, on_xd1=self.on_xd1)
+
+    def _execute(self, request: BlasRequest):
+        op, (a, b) = request.operation, request.operands
+        k = request.k
+        if op == "dot":
+            return api.dot(a, b, k=k, on_xd1=self.on_xd1)
+        if op == "gemv":
+            return api.gemv(a, b, k=k, architecture=request.architecture,
+                            on_xd1=self.on_xd1)
+        if op == "gemm":
+            return api.gemm(a, b, k=k, m=request.m, on_xd1=self.on_xd1)
+        return api.spmxv(a, b, k=k, on_xd1=self.on_xd1)
+
+    # -- event loop ------------------------------------------------------
+    def run(self) -> RuntimeMetrics:
+        """Drain the queue and return the run's metrics."""
+        if self._ran:
+            raise RuntimeError("runtime already ran; build a new one")
+        self._ran = True
+        self._arrivals.sort(key=lambda j: (j.submitted_at, j.job_id))
+        arrivals: Deque[Job] = deque(self._arrivals)
+
+        while arrivals or self._pending:
+            self._ingest_due(arrivals)
+            free = [d for d in self.devices if d.free_at <= self._now]
+            busy = [d for d in self.devices if d.free_at > self._now]
+            placement = None
+            if self._pending and free:
+                placement = self.policy.select(tuple(self._pending),
+                                               free, busy)
+            if placement is not None:
+                self._dispatch(placement)
+                continue
+            next_times = [d.free_at for d in self.devices
+                          if d.free_at > self._now]
+            if arrivals:
+                next_times.append(arrivals[0].submitted_at)
+            future = [t for t in next_times if t > self._now]
+            if future:
+                self._advance(min(future))
+                continue
+            # All devices idle, no future arrivals, yet jobs remain:
+            # nothing can ever place them (transient area conflicts are
+            # impossible once every blade is free).
+            for job in self._pending:
+                job.fail(self._now,
+                         f"unplaceable: no free blade accepted the design "
+                         f"({job.plan.area.slices} slices)")
+            self._pending.clear()
+        return self._build_metrics()
+
+    def _ingest_due(self, arrivals: Deque[Job]) -> None:
+        while arrivals and arrivals[0].submitted_at <= self._now:
+            job = arrivals.popleft()
+            if (self.queue_capacity is not None
+                    and len(self._pending) >= self.queue_capacity):
+                if self.strict_queue:
+                    raise QueueFullError(
+                        f"queue full ({self.queue_capacity} pending) at "
+                        f"t={self._now:.6f}s; job {job.job_id} rejected")
+                job.transition(JobState.REJECTED, self._now)
+                job.error = (f"queue full ({self.queue_capacity} jobs "
+                             "pending)")
+                continue
+            self._pending.append(job)
+        self._max_depth = max(self._max_depth, len(self._pending))
+
+    def _advance(self, to: float) -> None:
+        self._depth_area += len(self._pending) * (to - self._now)
+        self._now = to
+
+    def _collect_batch(self, lead: Job) -> List[Job]:
+        batch = [lead]
+        if self.batching and lead.request.operation == "gemm":
+            key = lead.request.shape_key()
+            followers = sorted(
+                (j for j in self._pending
+                 if j.request.shape_key() == key),
+                key=lambda j: j.job_id)[:self.batch_limit - 1]
+            for job in followers:
+                self._pending.remove(job)
+            batch.extend(followers)
+        return batch
+
+    def _dispatch(self, placement: Placement) -> None:
+        job, device = placement.job, placement.device
+        self._pending.remove(job)
+        batch = self._collect_batch(job)
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
+
+        start = self._now
+        clock = start
+        if device.configure(job.plan.design_key, job.plan.area.slices):
+            clock += self.reconfig_seconds
+            device.metrics.reconfigurations += 1
+            device.metrics.reconfig_seconds += self.reconfig_seconds
+        overhead = 0
+        if len(batch) > 1:
+            overhead = api.gemm_fixed_overhead_cycles(job.plan.k,
+                                                      job.plan.m)
+
+        for i, member in enumerate(batch):
+            member.device = device.name
+            member.batch_id = batch_id
+            member.transition(JobState.PLACED, start)
+            member.transition(JobState.RUNNING, clock)
+            try:
+                result, report = self._execute(member.request)
+            except (ValueError, MemoryError, SimulationError) as exc:
+                member.fail(clock, f"{type(exc).__name__}: {exc}")
+                continue
+            cycles = report.total_cycles - (overhead if i else 0)
+            cycles = max(1, cycles)
+            seconds = cycles / (report.clock_mhz * 1e6)
+            clock += seconds
+            member.charged_cycles = cycles
+            member.charged_seconds = seconds
+            member.result = result
+            member.report = report
+            member.transition(JobState.DONE, clock)
+            device.metrics.jobs_completed += 1
+            device.metrics.busy_seconds += seconds
+            device.metrics.flops += report.flops
+        device.metrics.batches += 1
+        device.free_at = clock
+
+    # -- reporting -------------------------------------------------------
+    def _build_metrics(self) -> RuntimeMetrics:
+        done = [j for j in self._jobs if j.state is JobState.DONE]
+        finish_times = [j.finished_at for j in self._jobs
+                        if j.finished_at is not None]
+        makespan = max(finish_times, default=0.0)
+        for device in self.devices:
+            device.metrics.resident_designs = list(device.resident)
+        return RuntimeMetrics(
+            policy=self.policy.name,
+            device_count=len(self.devices),
+            makespan_seconds=makespan,
+            jobs_submitted=len(self._jobs),
+            jobs_completed=len(done),
+            jobs_failed=sum(1 for j in self._jobs
+                            if j.state is JobState.FAILED),
+            jobs_rejected=sum(1 for j in self._jobs
+                              if j.state is JobState.REJECTED),
+            batches=self._next_batch_id,
+            deadline_misses=sum(1 for j in done if j.missed_deadline),
+            total_flops=sum(j.report.flops for j in done),
+            wait_seconds=[j.waiting_seconds for j in done],
+            latency_seconds=[j.latency_seconds for j in done],
+            max_queue_depth=self._max_depth,
+            mean_queue_depth=(self._depth_area / makespan
+                              if makespan > 0 else 0.0),
+            devices=[d.metrics for d in self.devices],
+        )
+
+    @property
+    def jobs(self) -> Tuple[Job, ...]:
+        """Every job ever submitted, in submission order."""
+        return tuple(self._jobs)

@@ -1,0 +1,153 @@
+"""Job model: one BLAS request moving through the runtime's lifecycle.
+
+A :class:`BlasRequest` is what a client hands the runtime — operation,
+operands and scheduling hints.  The runtime wraps it in a :class:`Job`
+that carries the planned cost (:class:`repro.blas.api.ExecutionPlan`),
+the lifecycle state machine, virtual-time stamps and, once executed,
+the numerical result plus its :class:`repro.blas.api.PerfReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Optional, Tuple
+
+from repro.blas.api import ExecutionPlan, PerfReport
+
+#: Per-operation default lane counts (the paper's Table 3/4 choices).
+DEFAULT_K = {"dot": 2, "gemv": 4, "gemm": 8, "spmxv": 4}
+
+OPERATIONS = tuple(DEFAULT_K)
+
+
+class JobState(Enum):
+    """Lifecycle of a job inside the runtime."""
+
+    QUEUED = "queued"
+    PLACED = "placed"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    REJECTED = "rejected"
+
+
+_VALID_TRANSITIONS = {
+    JobState.QUEUED: {JobState.PLACED, JobState.FAILED, JobState.REJECTED},
+    JobState.PLACED: {JobState.RUNNING, JobState.FAILED},
+    JobState.RUNNING: {JobState.DONE, JobState.FAILED},
+    JobState.DONE: set(),
+    JobState.FAILED: set(),
+    JobState.REJECTED: set(),
+}
+
+
+class InvalidTransitionError(RuntimeError):
+    """A job was moved to a state its current state does not allow."""
+
+
+@dataclass
+class BlasRequest:
+    """One BLAS operation submitted to the runtime.
+
+    ``operands`` holds the call's positional arrays: ``(u, v)`` for
+    dot, ``(A, x)`` for gemv, ``(A, B)`` for gemm, ``(matrix, x)`` for
+    spmxv.  ``k``/``m`` default to the paper's configurations;
+    ``priority`` orders jobs within every policy (higher first);
+    ``deadline`` (virtual seconds) is tracked for miss accounting and
+    drives the earliest-deadline-first policy.
+    """
+
+    operation: str
+    operands: Tuple[Any, ...]
+    k: Optional[int] = None
+    m: Optional[int] = None
+    architecture: str = "tree"
+    priority: int = 0
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.operation not in OPERATIONS:
+            raise ValueError(
+                f"unknown operation {self.operation!r}; "
+                f"expected one of {OPERATIONS}")
+        if len(self.operands) != 2:
+            raise ValueError(f"{self.operation} takes exactly two operands")
+        if self.k is None:
+            self.k = DEFAULT_K[self.operation]
+
+    def shape_key(self) -> Tuple:
+        """Batching identity: jobs with equal keys run the same design
+        on identically-shaped operands and may share one pass."""
+        shapes = tuple(
+            tuple(op.shape) if hasattr(op, "shape") else (len(op),)
+            for op in self.operands)
+        return (self.operation, shapes, self.k, self.m, self.architecture)
+
+
+@dataclass
+class Job:
+    """A request wrapped with runtime state."""
+
+    job_id: int
+    request: BlasRequest
+    plan: Optional[ExecutionPlan] = None
+    state: JobState = JobState.QUEUED
+    submitted_at: float = 0.0
+    placed_at: Optional[float] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    device: Optional[str] = None
+    batch_id: Optional[int] = None
+    #: Cycles actually charged to the blade (batched jobs are charged
+    #: less than their standalone report because fixed overhead is
+    #: amortized over the pass).
+    charged_cycles: Optional[int] = None
+    charged_seconds: Optional[float] = None
+    result: Any = None
+    report: Optional[PerfReport] = None
+    error: Optional[str] = None
+
+    def transition(self, new_state: JobState, now: float) -> None:
+        if new_state not in _VALID_TRANSITIONS[self.state]:
+            raise InvalidTransitionError(
+                f"job {self.job_id}: {self.state.value} -> "
+                f"{new_state.value} is not a legal transition")
+        self.state = new_state
+        if new_state is JobState.PLACED:
+            self.placed_at = now
+        elif new_state is JobState.RUNNING:
+            self.started_at = now
+        elif new_state in (JobState.DONE, JobState.FAILED,
+                           JobState.REJECTED):
+            self.finished_at = now
+
+    def fail(self, now: float, error: str) -> None:
+        self.error = error
+        self.transition(JobState.FAILED, now)
+
+    # -- derived timings -------------------------------------------------
+    @property
+    def waiting_seconds(self) -> Optional[float]:
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    @property
+    def latency_seconds(self) -> Optional[float]:
+        if self.finished_at is None or self.state is not JobState.DONE:
+            return None
+        return self.finished_at - self.submitted_at
+
+    @property
+    def missed_deadline(self) -> bool:
+        return (self.request.deadline is not None
+                and self.finished_at is not None
+                and self.state is JobState.DONE
+                and self.finished_at > self.request.deadline)
+
+    @property
+    def predicted_cycles(self) -> int:
+        if self.plan is None:
+            raise ValueError(f"job {self.job_id} has no plan")
+        return self.plan.predicted_cycles

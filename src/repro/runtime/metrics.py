@@ -1,0 +1,180 @@
+"""Runtime observability: per-device and aggregate metrics.
+
+Everything is computed over *virtual* time (the executor's simulated
+clock), so numbers are deterministic across hosts.  ``to_dict`` /
+``to_json`` export a stable schema (documented in docs/runtime.md) for
+dashboards and regression tests; ``summary`` renders the human report
+the ``repro runtime`` CLI prints.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile (deterministic, numpy-free so
+    the schema does not depend on numpy version behavior)."""
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError("pct must be in [0, 100]")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * pct / 100.0
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass
+class DeviceMetrics:
+    """What one blade did over the run."""
+
+    name: str
+    jobs_completed: int = 0
+    batches: int = 0
+    busy_seconds: float = 0.0
+    reconfig_seconds: float = 0.0
+    reconfigurations: int = 0
+    flops: int = 0
+    resident_designs: List[str] = field(default_factory=list)
+
+    def utilization(self, makespan: float) -> float:
+        """Fraction of the run the blade spent computing (reconfig time
+        counts as overhead, not useful work)."""
+        if makespan <= 0.0:
+            return 0.0
+        return self.busy_seconds / makespan
+
+    def to_dict(self, makespan: float) -> Dict:
+        return {
+            "name": self.name,
+            "jobs_completed": self.jobs_completed,
+            "batches": self.batches,
+            "busy_seconds": self.busy_seconds,
+            "reconfig_seconds": self.reconfig_seconds,
+            "reconfigurations": self.reconfigurations,
+            "flops": self.flops,
+            "utilization": self.utilization(makespan),
+            "resident_designs": list(self.resident_designs),
+        }
+
+
+@dataclass
+class RuntimeMetrics:
+    """Aggregate view of one runtime execution."""
+
+    policy: str
+    device_count: int
+    makespan_seconds: float
+    jobs_submitted: int
+    jobs_completed: int
+    jobs_failed: int
+    jobs_rejected: int
+    batches: int
+    deadline_misses: int
+    total_flops: int
+    wait_seconds: List[float] = field(default_factory=list)
+    latency_seconds: List[float] = field(default_factory=list)
+    max_queue_depth: int = 0
+    mean_queue_depth: float = 0.0
+    devices: List[DeviceMetrics] = field(default_factory=list)
+
+    # -- derived ---------------------------------------------------------
+    @property
+    def sustained_gflops(self) -> float:
+        """Useful flops of completed jobs over the whole run."""
+        if self.makespan_seconds <= 0.0:
+            return 0.0
+        return self.total_flops / self.makespan_seconds / 1e9
+
+    @property
+    def throughput_jobs_per_s(self) -> float:
+        if self.makespan_seconds <= 0.0:
+            return 0.0
+        return self.jobs_completed / self.makespan_seconds
+
+    def wait_percentile(self, pct: float) -> float:
+        return percentile(self.wait_seconds, pct)
+
+    def latency_percentile(self, pct: float) -> float:
+        return percentile(self.latency_seconds, pct)
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.devices:
+            return 0.0
+        return (sum(d.utilization(self.makespan_seconds)
+                    for d in self.devices) / len(self.devices))
+
+    # -- export ----------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "policy": self.policy,
+            "device_count": self.device_count,
+            "makespan_seconds": self.makespan_seconds,
+            "jobs": {
+                "submitted": self.jobs_submitted,
+                "completed": self.jobs_completed,
+                "failed": self.jobs_failed,
+                "rejected": self.jobs_rejected,
+                "batches": self.batches,
+                "deadline_misses": self.deadline_misses,
+            },
+            "latency_seconds": {
+                "p50": self.latency_percentile(50),
+                "p99": self.latency_percentile(99),
+            },
+            "wait_seconds": {
+                "p50": self.wait_percentile(50),
+                "p99": self.wait_percentile(99),
+            },
+            "queue_depth": {
+                "max": self.max_queue_depth,
+                "mean": self.mean_queue_depth,
+            },
+            "total_flops": self.total_flops,
+            "sustained_gflops": self.sustained_gflops,
+            "throughput_jobs_per_s": self.throughput_jobs_per_s,
+            "mean_utilization": self.mean_utilization,
+            "devices": [d.to_dict(self.makespan_seconds)
+                        for d in self.devices],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def summary(self) -> str:
+        """Human report: aggregate line, latency line, per-blade table."""
+        lines = [
+            f"policy={self.policy}  devices={self.device_count}  "
+            f"jobs: {self.jobs_completed} done / {self.jobs_failed} failed "
+            f"/ {self.jobs_rejected} rejected "
+            f"({self.batches} batches, {self.deadline_misses} deadline "
+            "misses)",
+            f"makespan {self.makespan_seconds * 1e3:.3f} ms  "
+            f"aggregate {self.sustained_gflops:.3f} GFLOPS  "
+            f"({self.throughput_jobs_per_s:.0f} jobs/s)",
+            f"latency p50/p99 {self.latency_percentile(50) * 1e3:.3f}/"
+            f"{self.latency_percentile(99) * 1e3:.3f} ms  "
+            f"queue depth max/mean {self.max_queue_depth}/"
+            f"{self.mean_queue_depth:.1f}",
+            f"{'blade':<24} {'jobs':>5} {'util %':>7} {'busy ms':>9} "
+            f"{'reconf':>6} {'reconf ms':>10}",
+        ]
+        for dev in self.devices:
+            lines.append(
+                f"{dev.name:<24} {dev.jobs_completed:>5} "
+                f"{dev.utilization(self.makespan_seconds) * 100:>7.1f} "
+                f"{dev.busy_seconds * 1e3:>9.3f} "
+                f"{dev.reconfigurations:>6} "
+                f"{dev.reconfig_seconds * 1e3:>10.3f}")
+        return "\n".join(lines)

@@ -1,0 +1,155 @@
+"""Placement policies: which queued job runs on which free blade next.
+
+A policy is a pure function of the queue and the free devices — it
+mutates nothing, returning a :class:`Placement` (or ``None`` when no
+queued job fits any free device).  The executor owns all state changes,
+so policies compose with batching, backpressure and the event loop
+without knowing about them.
+
+Every policy is deterministic: ties break on ``job_id`` and then on
+device index, so a replay of the same workload reproduces the same
+schedule bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.runtime.job import Job
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One scheduling decision: run ``job`` on ``device``."""
+
+    job: Job
+    device: "DeviceSlot"  # noqa: F821 — runtime state lives in executor
+
+
+class SchedulingPolicy:
+    """Base class; subclasses define the queue order and device choice."""
+
+    name = "base"
+
+    def order_key(self, job: Job) -> Tuple:
+        """Sort key over the queue (ascending; higher priority first)."""
+        raise NotImplementedError
+
+    def choose_device(self, job: Job,
+                      free: Sequence["DeviceSlot"],
+                      busy: Sequence["DeviceSlot"] = ()
+                      ) -> Optional["DeviceSlot"]:
+        """Pick a free device for ``job``; default: lowest index that
+        can ever hold the design.  ``busy`` is advisory — a policy may
+        decline a feasible free device to wait for a busy one."""
+        for device in sorted(free, key=lambda d: d.index):
+            if device.can_ever_hold(job.plan.area.slices):
+                return device
+        return None
+
+    def select(self, queue: Sequence[Job],
+               free: Sequence["DeviceSlot"],
+               busy: Sequence["DeviceSlot"] = ()) -> Optional[Placement]:
+        """First feasible (job, device) pair in policy order."""
+        if not queue or not free:
+            return None
+        for job in sorted(queue, key=self.order_key):
+            device = self.choose_device(job, free, busy)
+            if device is not None:
+                return Placement(job, device)
+        return None
+
+
+class FifoPolicy(SchedulingPolicy):
+    """Submission order (within priority class)."""
+
+    name = "fifo"
+
+    def order_key(self, job: Job) -> Tuple:
+        return (-job.request.priority, job.job_id)
+
+
+class ShortestJobFirstPolicy(SchedulingPolicy):
+    """Cheapest predicted job first, using the ``plan_*`` cycle
+    predictions — minimizes mean waiting time on bursty queues."""
+
+    name = "sjf"
+
+    def order_key(self, job: Job) -> Tuple:
+        return (-job.request.priority, job.predicted_cycles, job.job_id)
+
+
+class EarliestDeadlinePolicy(SchedulingPolicy):
+    """Earliest deadline first; deadline-free jobs run last."""
+
+    name = "edf"
+
+    def order_key(self, job: Job) -> Tuple:
+        deadline = job.request.deadline
+        return (-job.request.priority,
+                deadline if deadline is not None else float("inf"),
+                job.job_id)
+
+
+class AreaAwarePolicy(SchedulingPolicy):
+    """FIFO ordering with reconfiguration-avoiding device choice.
+
+    Blades keep every configured design resident while the combined
+    area fits (:class:`repro.runtime.executor.DeviceSlot` models the
+    usable slice budget), so placement is a bin-packing problem: prefer
+    a blade that already holds the job's bitstream (zero
+    reconfiguration), then the best-fit blade with spare area (smallest
+    leftover, to keep large holes open for large designs).  When every
+    free blade would need an *eviction* but a busy blade already holds
+    the design, the policy waits for that blade instead — with
+    millisecond-scale bitstream loads against microsecond-scale jobs,
+    affinity beats immediacy.  Eviction (LRU, on the emptiest blade) is
+    the last resort.
+    """
+
+    name = "area"
+
+    def order_key(self, job: Job) -> Tuple:
+        return (-job.request.priority, job.job_id)
+
+    def choose_device(self, job: Job,
+                      free: Sequence["DeviceSlot"],
+                      busy: Sequence["DeviceSlot"] = ()
+                      ) -> Optional["DeviceSlot"]:
+        key = job.plan.design_key
+        slices = job.plan.area.slices
+        candidates = sorted(free, key=lambda d: d.index)
+        resident = [d for d in candidates if d.has_resident(key)]
+        if resident:
+            return resident[0]
+        fitting = [d for d in candidates
+                   if d.spare_slices >= slices]
+        if fitting:
+            return min(fitting, key=lambda d: (d.spare_slices - slices,
+                                               d.index))
+        if any(d.has_resident(key) for d in busy):
+            return None  # wait for the blade that already holds it
+        evictable = [d for d in candidates if d.can_ever_hold(slices)]
+        if evictable:
+            return max(evictable, key=lambda d: (d.spare_slices,
+                                                 -d.index))
+        return None
+
+
+POLICIES: Dict[str, Callable[[], SchedulingPolicy]] = {
+    FifoPolicy.name: FifoPolicy,
+    ShortestJobFirstPolicy.name: ShortestJobFirstPolicy,
+    EarliestDeadlinePolicy.name: EarliestDeadlinePolicy,
+    AreaAwarePolicy.name: AreaAwarePolicy,
+}
+
+
+def make_policy(name: str) -> SchedulingPolicy:
+    """Instantiate a policy by name (see :data:`POLICIES`)."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduling policy {name!r}; "
+            f"expected one of {sorted(POLICIES)}") from None

@@ -137,6 +137,92 @@ def sparse_row_stream(matrix: CsrMatrix, x: Sequence[float]
     return sets
 
 
+# ----------------------------------------------------------------------
+# runtime request streams
+# ----------------------------------------------------------------------
+#: Default operation mix of :func:`blas_request_mix` — a solver-ish
+#: blend: many Level-1/2 calls, a quarter Level-3, some sparse.
+DEFAULT_REQUEST_MIX = {"dot": 0.30, "gemv": 0.30, "gemm": 0.25,
+                       "spmxv": 0.15}
+
+_DOT_SIZES = (256, 512, 1024, 2048, 4096)
+_GEMV_SIZES = (32, 48, 64, 96, 128, 192, 256)
+_GEMM_SIZES = (16, 24, 32, 48, 64, 96, 128)
+_SPMXV_GRIDS = (8, 10, 12, 16, 20)
+
+
+def blas_request_mix(count: int, rng: np.random.Generator,
+                     mix: dict | None = None,
+                     arrival_rate: float | None = None):
+    """A synthetic stream of runtime requests.
+
+    Returns ``[(arrival_time, BlasRequest), ...]`` — ``count`` requests
+    whose operations are drawn from ``mix`` (operation → weight,
+    default :data:`DEFAULT_REQUEST_MIX`) over shape grids typical of
+    the paper's applications.  ``arrival_rate`` (requests per virtual
+    second) spaces arrivals exponentially; ``None`` submits everything
+    at t = 0 (a closed batch).  Priorities are drawn from {0, 1, 2}.
+    """
+    from repro.runtime.job import BlasRequest
+
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    weights = dict(DEFAULT_REQUEST_MIX if mix is None else mix)
+    if not weights or any(w < 0 for w in weights.values()):
+        raise ValueError("mix must map operations to non-negative weights")
+    ops = sorted(weights)
+    probs = np.array([weights[op] for op in ops], dtype=np.float64)
+    if probs.sum() <= 0:
+        raise ValueError("mix weights must not all be zero")
+    probs /= probs.sum()
+
+    requests = []
+    clock = 0.0
+    for _ in range(count):
+        if arrival_rate is not None:
+            clock += float(rng.exponential(1.0 / arrival_rate))
+        op = ops[int(rng.choice(len(ops), p=probs))]
+        priority = int(rng.integers(0, 3))
+        if op == "dot":
+            n = int(rng.choice(_DOT_SIZES))
+            request = BlasRequest("dot", (rng.standard_normal(n),
+                                          rng.standard_normal(n)),
+                                  priority=priority)
+        elif op == "gemv":
+            n = int(rng.choice(_GEMV_SIZES))
+            request = BlasRequest("gemv", (rng.standard_normal((n, n)),
+                                           rng.standard_normal(n)),
+                                  priority=priority)
+        elif op == "gemm":
+            n = int(rng.choice(_GEMM_SIZES))
+            request = BlasRequest("gemm", (rng.standard_normal((n, n)),
+                                           rng.standard_normal((n, n))),
+                                  priority=priority)
+        elif op == "spmxv":
+            grid = int(rng.choice(_SPMXV_GRIDS))
+            matrix = poisson_2d(grid)
+            request = BlasRequest(
+                "spmxv", (matrix, rng.standard_normal(matrix.ncols)),
+                priority=priority)
+        else:
+            raise ValueError(f"unknown operation {op!r} in mix")
+        requests.append((clock, request))
+    return requests
+
+
+def gemm_burst(count: int, n: int, rng: np.random.Generator):
+    """An embarrassingly parallel burst: ``count`` independent gemm
+    requests of one shape, all arriving at t = 0 — the workload the
+    multi-blade scaling claims are measured on."""
+    from repro.runtime.job import BlasRequest
+
+    if count < 1 or n < 1:
+        raise ValueError("count and n must be positive")
+    return [(0.0, BlasRequest("gemm", (rng.standard_normal((n, n)),
+                                       rng.standard_normal((n, n)))))
+            for _ in range(count)]
+
+
 def adversarial_stream(alpha: int, rng: np.random.Generator,
                        sets: int = 60) -> List[List[float]]:
     """Mixes every size regime the circuit distinguishes: singletons,

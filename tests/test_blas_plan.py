@@ -1,0 +1,124 @@
+"""Tests for the non-executing planning path (`repro.blas.api.plan_*`).
+
+The plans drive scheduling, so what matters is (a) gemm predictions
+are *exact* (the Level-3 timing model is closed-form), (b) streaming
+designs predict within a few percent, and (c) plans agree with the
+executing path on design geometry and failure modes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blas import (
+    dot,
+    gemm,
+    gemv,
+    plan_dot,
+    plan_gemm,
+    plan_gemv,
+    plan_spmxv,
+    spmxv,
+)
+from repro.blas.level3 import MmHazardError
+from repro.workloads import poisson_2d
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20050512)
+
+
+class TestPlanDot:
+    @pytest.mark.parametrize("n,k", [(64, 2), (2048, 2), (1000, 4),
+                                     (4096, 8)])
+    def test_prediction_close(self, rng, n, k):
+        plan = plan_dot(n, k=k)
+        _, report = dot(rng.standard_normal(n), rng.standard_normal(n),
+                        k=k)
+        assert plan.predicted_cycles == pytest.approx(
+            report.total_cycles, rel=0.05)
+
+    def test_flops_and_area(self):
+        plan = plan_dot(512, k=2)
+        assert plan.flops == 1024
+        assert plan.area.slices > 0
+        assert plan.predicted_seconds > 0
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            plan_dot(0)
+
+
+class TestPlanGemv:
+    @pytest.mark.parametrize("n,k,arch", [(64, 4, "tree"),
+                                          (512, 4, "tree"),
+                                          (200, 8, "tree"),
+                                          (512, 4, "column")])
+    def test_prediction_close(self, rng, n, k, arch):
+        plan = plan_gemv(n, n, k=k, architecture=arch)
+        _, report = gemv(rng.standard_normal((n, n)),
+                         rng.standard_normal(n), k=k, architecture=arch)
+        assert plan.predicted_cycles == pytest.approx(
+            report.total_cycles, rel=0.05)
+
+    def test_rectangular(self, rng):
+        plan = plan_gemv(96, 32, k=4)
+        _, report = gemv(rng.standard_normal((96, 32)),
+                         rng.standard_normal(32), k=4)
+        assert plan.predicted_cycles == pytest.approx(
+            report.total_cycles, rel=0.05)
+        assert plan.flops == 2 * 96 * 32
+
+    def test_unknown_architecture(self):
+        with pytest.raises(ValueError):
+            plan_gemv(8, 8, architecture="systolic")
+
+
+class TestPlanGemm:
+    @pytest.mark.parametrize("n,k,m", [(32, 4, 16), (64, 8, None),
+                                       (96, 8, None), (48, 4, None)])
+    def test_prediction_exact(self, rng, n, k, m):
+        plan = plan_gemm(n, n, n, k=k, m=m)
+        _, report = gemm(rng.standard_normal((n, n)),
+                         rng.standard_normal((n, n)), k=k, m=m)
+        assert plan.predicted_cycles == report.total_cycles
+
+    def test_rectangular_exact(self, rng):
+        plan = plan_gemm(24, 40, 56, k=4)
+        _, report = gemm(rng.standard_normal((24, 40)),
+                         rng.standard_normal((40, 56)), k=4)
+        assert plan.predicted_cycles == report.total_cycles
+        assert plan.flops == 2 * 24 * 40 * 56
+
+    def test_design_key_distinguishes_block_size(self):
+        small = plan_gemm(16, 16, 16, k=8)
+        large = plan_gemm(128, 128, 128, k=8)
+        assert small.design_key != large.design_key
+
+    def test_same_failures_as_execution(self):
+        # k = m = 8 violates the hazard-free accumulation condition in
+        # both the planning and the executing path.
+        with pytest.raises(MmHazardError):
+            plan_gemm(8, 8, 8, k=8, m=8)
+
+
+class TestPlanSpmxv:
+    def test_prediction_close(self, rng):
+        matrix = poisson_2d(16)
+        x = rng.standard_normal(matrix.ncols)
+        plan = plan_spmxv(matrix, k=4)
+        _, report = spmxv(matrix, x, k=4)
+        assert plan.predicted_cycles == pytest.approx(
+            report.total_cycles, rel=0.10)
+        assert plan.flops == 2 * matrix.nnz
+
+
+class TestSpmxvApi:
+    def test_matches_dense_product(self, rng):
+        matrix = poisson_2d(12)
+        x = rng.standard_normal(matrix.ncols)
+        y, report = spmxv(matrix, x)
+        assert np.allclose(y, matrix.to_dense() @ x)
+        assert report.operation == "spmxv"
+        assert report.total_cycles > 0
+        assert report.sustained_mflops > 0

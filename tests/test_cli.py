@@ -91,3 +91,33 @@ class TestNewCommands:
         assert main(["solve", "lu", "-n", "24"]) == 0
         out = capsys.readouterr().out
         assert "FPGA flop share" in out
+
+
+class TestRuntimeCommand:
+    def test_defaults_parse(self):
+        args = build_parser().parse_args(["runtime"])
+        assert (args.chassis, args.blades, args.jobs) == (1, 6, 200)
+        assert args.policy == "area"
+
+    def test_mixed_replay(self, capsys):
+        assert main(["runtime", "--jobs", "12", "--blades", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "GFLOPS" in out
+        assert "util %" in out
+        assert "blade" in out
+
+    def test_gemm_burst_replay(self, capsys):
+        assert main(["runtime", "--jobs", "6", "--mix", "gemm",
+                     "--gemm-n", "32", "--blades", "3",
+                     "--policy", "sjf"]) == 0
+        out = capsys.readouterr().out
+        assert "policy=sjf" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["runtime", "--jobs", "4", "--blades", "2",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["jobs"]["completed"] == 4
+        assert len(payload["devices"]) == 2

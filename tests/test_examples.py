@@ -5,16 +5,26 @@ promise.  Each runs in a subprocess with a reduced-size environment
 knob where available.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES = sorted(
-    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob(
-        "*.py")
-)
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def _example_env():
+    """Subprocesses need ``src`` on PYTHONPATH: the repo is laid out
+    src-style, so a bare interpreter cannot import ``repro``."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (f"{src}{os.pathsep}{existing}" if existing
+                         else src)
+    return env
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
@@ -25,6 +35,7 @@ def test_example_runs(script, tmp_path):
         text=True,
         timeout=600,
         cwd=tmp_path,  # examples that write files do so in a sandbox
+        env=_example_env(),
     )
     assert result.returncode == 0, (
         f"{script.name} failed:\n{result.stdout[-2000:]}\n"

@@ -1,0 +1,101 @@
+"""Tests for the runtime job model and its lifecycle state machine."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.job import (
+    BlasRequest,
+    InvalidTransitionError,
+    Job,
+    JobState,
+)
+
+
+def _request(n=16):
+    rng = np.random.default_rng(0)
+    return BlasRequest("dot", (rng.standard_normal(n),
+                               rng.standard_normal(n)))
+
+
+class TestBlasRequest:
+    def test_default_k_per_operation(self):
+        rng = np.random.default_rng(0)
+        assert _request().k == 2
+        gemv = BlasRequest("gemv", (rng.standard_normal((4, 4)),
+                                    rng.standard_normal(4)))
+        assert gemv.k == 4
+        gemm = BlasRequest("gemm", (rng.standard_normal((16, 16)),
+                                    rng.standard_normal((16, 16))))
+        assert gemm.k == 8
+
+    def test_explicit_k_kept(self):
+        rng = np.random.default_rng(0)
+        req = BlasRequest("dot", (rng.standard_normal(8),
+                                  rng.standard_normal(8)), k=4)
+        assert req.k == 4
+
+    def test_unknown_operation(self):
+        with pytest.raises(ValueError):
+            BlasRequest("axpy", ((), ()))
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(ValueError):
+            BlasRequest("dot", (np.zeros(4),))
+
+    def test_shape_key_groups_equal_shapes(self):
+        rng = np.random.default_rng(0)
+        a = BlasRequest("gemm", (rng.standard_normal((32, 32)),
+                                 rng.standard_normal((32, 32))))
+        b = BlasRequest("gemm", (rng.standard_normal((32, 32)),
+                                 rng.standard_normal((32, 32))))
+        c = BlasRequest("gemm", (rng.standard_normal((64, 64)),
+                                 rng.standard_normal((64, 64))))
+        assert a.shape_key() == b.shape_key()
+        assert a.shape_key() != c.shape_key()
+
+
+class TestJobLifecycle:
+    def test_happy_path_records_timestamps(self):
+        job = Job(job_id=0, request=_request(), submitted_at=1.0)
+        job.transition(JobState.PLACED, 2.0)
+        job.transition(JobState.RUNNING, 3.0)
+        job.transition(JobState.DONE, 5.0)
+        assert (job.placed_at, job.started_at, job.finished_at) == \
+            (2.0, 3.0, 5.0)
+        assert job.waiting_seconds == 2.0
+        assert job.latency_seconds == 4.0
+
+    def test_illegal_transition_rejected(self):
+        job = Job(job_id=0, request=_request())
+        with pytest.raises(InvalidTransitionError):
+            job.transition(JobState.DONE, 1.0)
+        job.transition(JobState.PLACED, 1.0)
+        with pytest.raises(InvalidTransitionError):
+            job.transition(JobState.QUEUED, 2.0)
+
+    def test_terminal_states_are_final(self):
+        job = Job(job_id=0, request=_request())
+        job.fail(1.0, "boom")
+        assert job.state is JobState.FAILED
+        assert job.error == "boom"
+        with pytest.raises(InvalidTransitionError):
+            job.transition(JobState.PLACED, 2.0)
+
+    def test_deadline_miss_accounting(self):
+        req = _request()
+        req.deadline = 1.0
+        job = Job(job_id=0, request=req)
+        job.transition(JobState.PLACED, 0.0)
+        job.transition(JobState.RUNNING, 0.0)
+        job.transition(JobState.DONE, 2.0)
+        assert job.missed_deadline
+
+    def test_latency_none_for_failed(self):
+        job = Job(job_id=0, request=_request())
+        job.fail(1.0, "nope")
+        assert job.latency_seconds is None
+
+    def test_predicted_cycles_requires_plan(self):
+        job = Job(job_id=0, request=_request())
+        with pytest.raises(ValueError):
+            job.predicted_cycles
