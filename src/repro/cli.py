@@ -11,7 +11,12 @@ Commands
     Reduction-circuit shoot-out on a chosen workload shape.
 ``runtime``
     Replay a synthetic BLAS workload on the concurrent job scheduler
-    and print per-blade utilization and aggregate throughput.
+    and print per-blade utilization and aggregate throughput
+    (``--trace-out`` also records a Chrome trace of the run).
+``trace``
+    Trace a runtime replay: structured spans/instants/counters in
+    virtual time, exported as Chrome trace JSON and/or JSON lines,
+    plus the plan-vs-actual predictor drift report.
 ``project``
     The chassis / multi-chassis projections (Figures 11-12,
     Section 6.4).
@@ -199,7 +204,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_runtime(args: argparse.Namespace) -> int:
+def _submitted_runtime(args: argparse.Namespace, recorder=None):
+    """Build the runtime + workload stream shared by ``runtime`` and
+    ``trace`` and submit every request (not yet run)."""
     from repro.runtime import BlasRuntime
     from repro.workloads import blas_request_mix, gemm_burst
 
@@ -215,9 +222,20 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
         policy=args.policy,
         queue_capacity=args.queue_capacity,
         batching=not args.no_batch,
+        recorder=recorder,
     )
     for at, request in stream:
         runtime.submit(request, at=at)
+    return runtime
+
+
+def _cmd_runtime(args: argparse.Namespace) -> int:
+    recorder = None
+    if args.trace_out:
+        from repro.obs import TraceRecorder
+
+        recorder = TraceRecorder()
+    runtime = _submitted_runtime(args, recorder)
     metrics = runtime.run()
     if args.json:
         print(metrics.to_json())
@@ -225,6 +243,51 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
         print(f"replayed {args.jobs} jobs ({args.mix} mix) on "
               f"{args.chassis} chassis x {args.blades} blades")
         print(metrics.summary())
+    if recorder is not None:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(recorder, args.trace_out)
+        print(f"Chrome trace ({len(recorder)} recorded events) written "
+              f"to {args.trace_out} — open in Perfetto or "
+              f"chrome://tracing")
+    return 0 if metrics.jobs_failed == 0 else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        TraceRecorder,
+        drift_report,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    recorder = TraceRecorder()
+    runtime = _submitted_runtime(args, recorder)
+    metrics = runtime.run()
+    print(f"traced {args.jobs} jobs ({args.mix} mix, policy "
+          f"{args.policy}) on {args.chassis} chassis x {args.blades} "
+          f"blades: {len(recorder.spans)} spans, "
+          f"{len(recorder.instants)} instants, "
+          f"{len(recorder.counters)} counter samples over "
+          f"{metrics.makespan_seconds * 1e3:.3f} ms of virtual time")
+    if args.out:
+        write_chrome_trace(recorder, args.out)
+        print(f"Chrome trace written to {args.out}")
+    if args.jsonl:
+        write_jsonl(recorder, args.jsonl)
+        print(f"JSON-lines event log written to {args.jsonl}")
+    report = drift_report(runtime.jobs)
+    if args.drift_json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print("plan-vs-actual drift (predicted vs executed cycles):")
+        print(report.summary())
+    if args.strict and not report.ok:
+        print(f"drift check FAILED: {len(report.flagged)} job(s) "
+              "exceeded their predictor bound")
+        return 1
     return 0 if metrics.jobs_failed == 0 else 1
 
 
@@ -258,6 +321,28 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(
             f"must be a positive integer, got {value}")
     return value
+
+
+def _add_workload_options(parser: argparse.ArgumentParser,
+                          jobs_default: int = 200) -> None:
+    """Workload/system flags shared by ``runtime`` and ``trace``."""
+    parser.add_argument("--chassis", type=_positive_int, default=1)
+    parser.add_argument("--blades", type=_positive_int, default=6)
+    parser.add_argument("--jobs", type=int, default=jobs_default)
+    parser.add_argument("--policy",
+                        choices=("fifo", "sjf", "edf", "area"),
+                        default="area")
+    parser.add_argument("--mix", choices=("mixed", "gemm"),
+                        default="mixed")
+    parser.add_argument("--gemm-n", type=int, default=64,
+                        help="matrix order for --mix gemm")
+    parser.add_argument("--arrival-rate", type=float, default=None,
+                        help="requests per virtual second (default: "
+                             "all at t=0)")
+    parser.add_argument("--queue-capacity", type=int, default=None)
+    parser.add_argument("--no-batch", action="store_true",
+                        help="disable same-shape gemm coalescing")
+    parser.add_argument("--seed", type=int, default=0)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -317,24 +402,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_rt = sub.add_parser(
         "runtime", help="replay a BLAS workload on the job scheduler")
-    p_rt.add_argument("--chassis", type=_positive_int, default=1)
-    p_rt.add_argument("--blades", type=_positive_int, default=6)
-    p_rt.add_argument("--jobs", type=int, default=200)
-    p_rt.add_argument("--policy",
-                      choices=("fifo", "sjf", "edf", "area"),
-                      default="area")
-    p_rt.add_argument("--mix", choices=("mixed", "gemm"), default="mixed")
-    p_rt.add_argument("--gemm-n", type=int, default=64,
-                      help="matrix order for --mix gemm")
-    p_rt.add_argument("--arrival-rate", type=float, default=None,
-                      help="requests per virtual second (default: all "
-                           "at t=0)")
-    p_rt.add_argument("--queue-capacity", type=int, default=None)
-    p_rt.add_argument("--no-batch", action="store_true",
-                      help="disable same-shape gemm coalescing")
+    _add_workload_options(p_rt)
     p_rt.add_argument("--json", action="store_true",
                       help="emit the metrics JSON instead of the table")
-    p_rt.add_argument("--seed", type=int, default=0)
+    p_rt.add_argument("--trace-out", metavar="PATH", default=None,
+                      help="also record the run and write a Chrome "
+                           "trace-event JSON file (open in Perfetto)")
+
+    p_tr = sub.add_parser(
+        "trace", help="trace a runtime replay: Chrome trace / JSONL "
+                      "export + plan-vs-actual drift report")
+    _add_workload_options(p_tr, jobs_default=60)
+    p_tr.add_argument("--out", metavar="PATH", default=None,
+                      help="write Chrome trace-event JSON here")
+    p_tr.add_argument("--jsonl", metavar="PATH", default=None,
+                      help="write the JSON-lines event log here")
+    p_tr.add_argument("--drift-json", action="store_true",
+                      help="emit the drift report as JSON instead of "
+                           "the table")
+    p_tr.add_argument("--strict", action="store_true",
+                      help="exit 1 when any kernel exceeds its "
+                           "predictor drift bound")
 
     p_repro = sub.add_parser(
         "reproduce", help="regenerate every paper table/figure")
@@ -352,6 +440,7 @@ _COMMANDS = {
     "reduce": _cmd_reduce,
     "project": _cmd_project,
     "runtime": _cmd_runtime,
+    "trace": _cmd_trace,
     "explore": _cmd_explore,
     "solve": _cmd_solve,
     "reproduce": _cmd_reproduce,

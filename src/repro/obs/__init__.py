@@ -1,0 +1,67 @@
+"""Unified observability: structured tracing, time-series, drift.
+
+The paper's headline claims are *timeline* claims — the reduction
+circuit finishes within ``Σ sᵢ + 2α²`` cycles, MVM sustains 97 %
+utilization, the XD1 overlaps compute with RapidArray transfers — so
+this package gives the reproduction a timeline lens between the
+end-of-run aggregates of :mod:`repro.runtime.metrics` and the raw
+per-cycle rows of :mod:`repro.sim.trace`:
+
+* :mod:`repro.obs.recorder` — :class:`TraceRecorder` records spans,
+  instant events and counter time-series in the executor's
+  deterministic virtual time; :class:`NullRecorder` is the zero-cost
+  disabled path.
+* :mod:`repro.obs.export` — Chrome trace-event JSON (open in Perfetto
+  or ``chrome://tracing``) and JSON-lines exporters.
+* :mod:`repro.obs.drift` — plan-vs-actual profiling: compares each
+  job's ``plan_*()`` predicted cycles against the executed cycle
+  count and flags kernels whose predictor drifts past its documented
+  bound (gemm exact; dot/gemv 5 %; spmxv 10 %).
+* :mod:`repro.obs.bridge` — attaches :class:`repro.sim.trace.Tracer`
+  kernel traces as child spans of the runtime job that launched them.
+
+Entry points: ``BlasRuntime(recorder=TraceRecorder())``, the
+``repro trace`` CLI subcommand, and ``repro runtime --trace-out``.
+"""
+
+from repro.obs.bridge import attach_kernel_trace
+from repro.obs.drift import (
+    DEFAULT_THRESHOLDS,
+    DriftEntry,
+    DriftReport,
+    drift_report,
+)
+from repro.obs.export import (
+    chrome_trace_json,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    CounterSample,
+    Instant,
+    NullRecorder,
+    Span,
+    TraceRecorder,
+)
+
+__all__ = [
+    "Span",
+    "Instant",
+    "CounterSample",
+    "TraceRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "to_chrome_trace",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "to_jsonl",
+    "write_jsonl",
+    "DriftEntry",
+    "DriftReport",
+    "drift_report",
+    "DEFAULT_THRESHOLDS",
+    "attach_kernel_trace",
+]

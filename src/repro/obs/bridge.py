@@ -1,0 +1,89 @@
+"""Bridge: attach kernel-level cycle traces under runtime job spans.
+
+:class:`repro.sim.trace.Tracer` records per-cycle probe rows of one
+cycle simulation in *cycle* units; the runtime records job spans in
+*virtual seconds*.  :func:`attach_kernel_trace` converts a tracer's
+rows into the runtime trace's coordinate system — a child span under
+the job's RUNNING span, plus one counter time-series per numeric probe
+— so a Perfetto view of a chassis replay can zoom from "job 17 ran on
+blade 3" all the way down to "the adder tree stalled at cycle 412".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.obs.recorder import TraceRecorder
+
+__all__ = ["attach_kernel_trace"]
+
+
+def _as_float(value: Any) -> Optional[float]:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def attach_kernel_trace(recorder: TraceRecorder, tracer,
+                        *,
+                        job=None,
+                        clock_mhz: Optional[float] = None,
+                        t0: Optional[float] = None,
+                        track: Optional[str] = None,
+                        parent_id: Optional[int] = None,
+                        name: str = "kernel") -> Optional[int]:
+    """Record ``tracer``'s rows as a child span + counters.
+
+    Pass ``job`` (a :class:`repro.runtime.job.Job` that DONE under a
+    tracing runtime) to inherit its RUNNING span as parent, its device
+    as track, its report's clock and its virtual start time — or set
+    ``clock_mhz``/``t0``/``track``/``parent_id`` explicitly for
+    standalone kernel traces.  Cycle ``c`` lands at virtual time
+    ``t0 + c / (clock_mhz·1e6)``.  Non-numeric probe values are
+    skipped (counters are numeric time-series).
+
+    Returns the child span id, or ``None`` when the tracer is empty.
+    """
+    if job is not None:
+        if clock_mhz is None and job.report is not None:
+            clock_mhz = job.report.clock_mhz
+        if t0 is None:
+            t0 = job.started_at
+        if track is None:
+            track = job.device
+        if parent_id is None:
+            parent_id = job.run_span_id
+    if clock_mhz is None or clock_mhz <= 0:
+        raise ValueError("clock_mhz must be positive (pass it or a "
+                         "job with a PerfReport)")
+    if t0 is None:
+        t0 = 0.0
+    if track is None:
+        track = name
+    if not tracer.rows:
+        return None
+
+    period = 1.0 / (clock_mhz * 1e6)
+    first_cycle = tracer.rows[0][0]
+    last_cycle = tracer.rows[-1][0]
+    probes = sorted({probe for _, row in tracer.rows for probe in row})
+    span_id = recorder.span(
+        name, "kernel", track,
+        t0 + first_cycle * period,
+        t0 + (last_cycle + 1) * period,
+        args={"cycles": last_cycle - first_cycle + 1,
+              "clock_mhz": clock_mhz,
+              "probes": probes},
+        parent_id=parent_id if parent_id is not None and parent_id > 0
+        else None)
+    for cycle, row in tracer.rows:
+        ts = t0 + cycle * period
+        for probe in sorted(row):
+            value = _as_float(row[probe])
+            if value is None:
+                continue
+            recorder.counter(f"{name}.{probe}", track, ts, value)
+    return span_id

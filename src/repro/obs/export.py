@@ -1,0 +1,119 @@
+"""Exporters: Chrome trace-event JSON and JSON lines.
+
+``to_chrome_trace`` renders a :class:`repro.obs.recorder.TraceRecorder`
+as the Trace Event Format consumed by Perfetto and ``chrome://tracing``
+(JSON object form, ``{"traceEvents": [...]}``).  Tracks become threads
+of one "repro.runtime" process; spans become complete (``"X"``) events,
+instants ``"i"``, counters ``"C"``, plus ``"M"`` metadata naming the
+process and threads.
+
+All timestamps are virtual seconds converted to the format's
+microseconds.  Event order is (ts, insertion index), so two runs of the
+same seeded workload serialize byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.obs.recorder import TraceRecorder
+
+__all__ = [
+    "to_chrome_trace",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "to_jsonl",
+    "write_jsonl",
+]
+
+#: Single synthetic pid for the whole virtual-time runtime.
+_PID = 1
+
+
+def _track_ids(recorder: TraceRecorder) -> Dict[str, int]:
+    return {track: tid for tid, track in enumerate(recorder.tracks())}
+
+
+def to_chrome_trace(recorder: TraceRecorder) -> Dict[str, Any]:
+    """The trace as a Chrome trace-event JSON object (not yet a
+    string; see :func:`chrome_trace_json`)."""
+    tids = _track_ids(recorder)
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": _PID, "tid": 0,
+        "args": {"name": "repro.runtime"},
+    }]
+    for track, tid in tids.items():
+        events.append({"name": "thread_name", "ph": "M", "pid": _PID,
+                       "tid": tid, "args": {"name": track}})
+
+    timed: List[Dict[str, Any]] = []
+    for span in recorder.spans:
+        args = dict(span.args)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_span_id"] = span.parent_id
+        timed.append({
+            "name": span.name, "cat": span.cat, "ph": "X",
+            "pid": _PID, "tid": tids[span.track],
+            "ts": span.start * 1e6, "dur": span.duration * 1e6,
+            "args": args,
+        })
+    for instant in recorder.instants:
+        timed.append({
+            "name": instant.name, "cat": instant.cat, "ph": "i",
+            "s": "t", "pid": _PID, "tid": tids[instant.track],
+            "ts": instant.ts * 1e6, "args": dict(instant.args),
+        })
+    for sample in recorder.counters:
+        timed.append({
+            "name": sample.name, "ph": "C", "pid": _PID,
+            "tid": tids[sample.track], "ts": sample.ts * 1e6,
+            "args": {"value": sample.value},
+        })
+    timed.sort(key=lambda e: e["ts"])  # stable: insertion order on ties
+    events.extend(timed)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(recorder: TraceRecorder) -> str:
+    """Compact, deterministic serialization of the Chrome trace."""
+    return json.dumps(to_chrome_trace(recorder),
+                      separators=(",", ":")) + "\n"
+
+
+def write_chrome_trace(recorder: TraceRecorder, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(chrome_trace_json(recorder))
+
+
+def to_jsonl(recorder: TraceRecorder) -> str:
+    """The trace as JSON lines: one event object per line, sorted by
+    timestamp (span start) with insertion order breaking ties."""
+    records: List[Dict[str, Any]] = []
+    for span in recorder.spans:
+        records.append({
+            "type": "span", "ts": span.start, "end": span.end,
+            "name": span.name, "cat": span.cat, "track": span.track,
+            "span_id": span.span_id, "parent_id": span.parent_id,
+            "args": span.args,
+        })
+    for instant in recorder.instants:
+        records.append({
+            "type": "instant", "ts": instant.ts, "name": instant.name,
+            "cat": instant.cat, "track": instant.track,
+            "args": instant.args,
+        })
+    for sample in recorder.counters:
+        records.append({
+            "type": "counter", "ts": sample.ts, "name": sample.name,
+            "track": sample.track, "value": sample.value,
+        })
+    records.sort(key=lambda r: r["ts"])  # stable sort keeps tie order
+    return "".join(json.dumps(r, separators=(",", ":")) + "\n"
+                   for r in records)
+
+
+def write_jsonl(recorder: TraceRecorder, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(to_jsonl(recorder))

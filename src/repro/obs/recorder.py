@@ -1,0 +1,189 @@
+"""Event model and recorders for structured runtime tracing.
+
+Three event kinds, all stamped in the executor's *virtual* time (so a
+trace of the same seeded workload is reproducible byte for byte):
+
+* :class:`Span` — a named interval ``[start, end]`` on a *track* (a
+  blade, the scheduler, the pending queue).  Spans may nest via
+  ``parent_id``, which is how kernel-level cycle traces attach under
+  the runtime job that launched them (:mod:`repro.obs.bridge`).
+* :class:`Instant` — a point event (a reconfiguration load, an LRU
+  eviction, a batch forming, a placement decision).
+* :class:`CounterSample` — one sample of a named time-series (queue
+  depth, per-blade busy state).  Sampled on every change, not just
+  aggregated to max/mean.
+
+:class:`TraceRecorder` stores events append-only; exporters
+(:mod:`repro.obs.export`) render them as Chrome trace-event JSON or
+JSON lines.  :class:`NullRecorder` is the disabled fast path: it has
+``enabled = False`` and allocation-free no-op methods, and every
+instrumentation site in the executor guards its event construction
+behind ``recorder.enabled`` — tracing off costs one attribute check
+per site, not a dict per event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "Instant",
+    "CounterSample",
+    "TraceRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+]
+
+
+@dataclass
+class Span:
+    """A named interval on a track; ``parent_id`` nests child spans."""
+
+    span_id: int
+    name: str
+    cat: str
+    track: str
+    start: float
+    end: float
+    args: Dict[str, Any] = field(default_factory=dict)
+    parent_id: Optional[int] = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Instant:
+    """A point event on a track."""
+
+    name: str
+    cat: str
+    track: str
+    ts: float
+    args: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class CounterSample:
+    """One sample of a named time-series."""
+
+    name: str
+    track: str
+    ts: float
+    value: float
+
+
+class TraceRecorder:
+    """Append-only store of spans, instants and counter samples.
+
+    Deterministic by construction: span ids are a simple counter,
+    events keep insertion order, and all timestamps come from the
+    caller (the executor's virtual clock) — nothing reads wall time.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self.instants: List[Instant] = []
+        self.counters: List[CounterSample] = []
+        self._next_span_id = 1
+
+    # -- recording -------------------------------------------------------
+    def span(self, name: str, cat: str, track: str,
+             start: float, end: float,
+             args: Optional[Dict[str, Any]] = None,
+             parent_id: Optional[int] = None) -> int:
+        """Record a completed interval; returns its span id."""
+        if end < start:
+            raise ValueError(
+                f"span {name!r} ends before it starts "
+                f"({end} < {start})")
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        self.spans.append(Span(span_id=span_id, name=name, cat=cat,
+                               track=track, start=start, end=end,
+                               args=dict(args) if args else {},
+                               parent_id=parent_id))
+        return span_id
+
+    def instant(self, name: str, cat: str, track: str, ts: float,
+                args: Optional[Dict[str, Any]] = None) -> None:
+        """Record a point event."""
+        self.instants.append(Instant(name=name, cat=cat, track=track,
+                                     ts=ts,
+                                     args=dict(args) if args else {}))
+
+    def counter(self, name: str, track: str, ts: float,
+                value: float) -> None:
+        """Record one time-series sample."""
+        self.counters.append(CounterSample(name=name, track=track,
+                                           ts=ts, value=float(value)))
+
+    # -- queries ---------------------------------------------------------
+    def tracks(self) -> List[str]:
+        """Every track name, in first-appearance order (spans, then
+        instants, then counters) — the exporter's thread layout."""
+        seen: Dict[str, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.track)
+        for instant in self.instants:
+            seen.setdefault(instant.track)
+        for sample in self.counters:
+            seen.setdefault(sample.track)
+        return list(seen)
+
+    def series(self, name: str) -> List[CounterSample]:
+        """All samples of one counter, in recording order."""
+        samples = [s for s in self.counters if s.name == name]
+        if not samples:
+            available = sorted({s.name for s in self.counters})
+            raise ValueError(
+                f"unknown counter {name!r}; available counters: "
+                f"{available}")
+        return samples
+
+    def find_spans(self, *, cat: Optional[str] = None,
+                   name_prefix: Optional[str] = None) -> List[Span]:
+        """Spans filtered by category and/or name prefix."""
+        found = self.spans
+        if cat is not None:
+            found = [s for s in found if s.cat == cat]
+        if name_prefix is not None:
+            found = [s for s in found if s.name.startswith(name_prefix)]
+        return list(found)
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.instants) + len(self.counters)
+
+
+class NullRecorder:
+    """Disabled-tracing fast path: no storage, no-op methods.
+
+    ``enabled`` is False so instrumentation sites skip building event
+    payloads entirely; the methods exist so un-guarded call sites stay
+    correct anyway.
+    """
+
+    enabled = False
+
+    def span(self, name: str, cat: str, track: str,
+             start: float, end: float,
+             args: Optional[Dict[str, Any]] = None,
+             parent_id: Optional[int] = None) -> int:
+        return -1
+
+    def instant(self, name: str, cat: str, track: str, ts: float,
+                args: Optional[Dict[str, Any]] = None) -> None:
+        return None
+
+    def counter(self, name: str, track: str, ts: float,
+                value: float) -> None:
+        return None
+
+
+#: Shared no-op recorder; the executor's default.
+NULL_RECORDER = NullRecorder()

@@ -17,6 +17,11 @@ a stream of BLAS requests across that pool:
   pass, and bounds the queue for backpressure.
 * :mod:`repro.runtime.metrics` — per-device utilization, queue depth,
   latency percentiles and aggregate sustained GFLOPS, JSON-exportable.
+
+For timeline-level observability (structured spans, instant events and
+counter time-series in virtual time, Chrome-trace export, plan-vs-
+actual drift), pass ``recorder=repro.obs.TraceRecorder()`` to
+:class:`BlasRuntime` — see :mod:`repro.obs` and docs/observability.md.
 """
 
 from repro.runtime.executor import BlasRuntime, DeviceSlot, QueueFullError

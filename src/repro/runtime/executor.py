@@ -25,6 +25,17 @@ Cost model
   job's numerics are still produced by its own ``repro.blas.api`` call.
 * **Backpressure.** Arrivals beyond ``queue_capacity`` pending jobs are
   rejected (or raise :class:`QueueFullError` with ``strict_queue``).
+
+Tracing
+-------
+Pass ``recorder=repro.obs.TraceRecorder()`` to record the run as
+structured events in virtual time: job lifecycle spans, placement /
+affinity-wait / reconfiguration / eviction / batch-formation instants,
+and queue-depth plus per-blade busy counter time-series.  Export with
+:mod:`repro.obs.export` (Chrome trace JSON, JSON lines) and audit the
+``plan_*`` predictors with :mod:`repro.obs.drift`.  The default
+:data:`repro.obs.NULL_RECORDER` keeps every instrumentation site
+behind one ``enabled`` check, so disabled tracing allocates nothing.
 """
 
 from __future__ import annotations
@@ -42,6 +53,7 @@ from repro.device.system import (
     ReconfigurableSystem,
     make_xd1_system,
 )
+from repro.obs.recorder import NULL_RECORDER, NullRecorder, TraceRecorder
 from repro.runtime.job import BlasRequest, Job, JobState
 from repro.runtime.metrics import DeviceMetrics, RuntimeMetrics
 from repro.runtime.scheduler import (
@@ -72,6 +84,9 @@ class DeviceSlot:
         self.usable_slices = int(node.fpga.slices * USABLE_SLICE_FRACTION)
         self.free_at = 0.0
         self.resident: Dict[str, int] = {}
+        #: Designs the most recent :meth:`configure` call evicted (the
+        #: executor turns these into trace eviction events).
+        self.last_evicted: List[str] = []
         self._last_used: Dict[str, int] = {}
         self._use_clock = 0
         self.metrics = DeviceMetrics(name=node.name)
@@ -90,6 +105,7 @@ class DeviceSlot:
         """Make ``key`` resident; returns True when a (re)configuration
         load was needed, evicting LRU designs as required."""
         self._use_clock += 1
+        self.last_evicted = []
         if key in self.resident:
             self._last_used[key] = self._use_clock
             return False
@@ -101,6 +117,7 @@ class DeviceSlot:
             lru = min(self.resident, key=lambda k: self._last_used[k])
             del self.resident[lru]
             del self._last_used[lru]
+            self.last_evicted.append(lru)
         self.resident[key] = slices
         self._last_used[key] = self._use_clock
         return True
@@ -120,7 +137,9 @@ class BlasRuntime:
                  batch_limit: int = 8,
                  reconfig_seconds: Optional[float] = None,
                  on_xd1: bool = True,
-                 strict_queue: bool = False) -> None:
+                 strict_queue: bool = False,
+                 recorder: Union[TraceRecorder, NullRecorder,
+                                 None] = None) -> None:
         if system is None:
             system = make_xd1_system(chassis, blades=blades)
         self.system = system
@@ -135,6 +154,10 @@ class BlasRuntime:
         self.batch_limit = batch_limit
         self.on_xd1 = on_xd1
         self.strict_queue = strict_queue
+        #: Trace sink; the default NULL_RECORDER keeps every
+        #: instrumentation site behind a single ``enabled`` check so
+        #: disabled tracing adds no per-event allocation.
+        self.recorder = NULL_RECORDER if recorder is None else recorder
         self.devices = [DeviceSlot(node, i)
                         for i, node in enumerate(system.nodes)]
         if not self.devices:
@@ -150,6 +173,7 @@ class BlasRuntime:
         self._now = 0.0
         self._depth_area = 0.0
         self._max_depth = 0
+        self._last_depth = 0
         self._next_batch_id = 0
         self._ran = False
 
@@ -215,8 +239,11 @@ class BlasRuntime:
         if self._ran:
             raise RuntimeError("runtime already ran; build a new one")
         self._ran = True
+        rec = self.recorder
         self._arrivals.sort(key=lambda j: (j.submitted_at, j.job_id))
         arrivals: Deque[Job] = deque(self._arrivals)
+        if rec.enabled:
+            rec.counter("queue_depth", "queue", 0.0, 0)
 
         while arrivals or self._pending:
             self._ingest_due(arrivals)
@@ -229,6 +256,15 @@ class BlasRuntime:
             if placement is not None:
                 self._dispatch(placement)
                 continue
+            if rec.enabled and self._pending and free:
+                reason = self.policy.waiting_reason(
+                    tuple(self._pending), free, busy)
+                if reason is not None:
+                    rec.instant("scheduler.wait", "scheduler",
+                                "scheduler", self._now,
+                                {"reason": reason,
+                                 "pending": len(self._pending),
+                                 "free_blades": len(free)})
             next_times = [d.free_at for d in self.devices
                           if d.free_at > self._now]
             if arrivals:
@@ -244,10 +280,29 @@ class BlasRuntime:
                 job.fail(self._now,
                          f"unplaceable: no free blade accepted the design "
                          f"({job.plan.area.slices} slices)")
+                if rec.enabled:
+                    rec.instant("job.unplaceable", "lifecycle",
+                                "scheduler", self._now,
+                                {"job": job.job_id,
+                                 "slices": job.plan.area.slices})
             self._pending.clear()
-        return self._build_metrics()
+            if rec.enabled:
+                self._sample_depth()
+        metrics = self._build_metrics()
+        if rec.enabled:
+            rec.span("runtime.run", "runtime", "runtime",
+                     0.0, metrics.makespan_seconds,
+                     {"policy": self.policy.name,
+                      "blades": len(self.devices),
+                      "jobs_submitted": metrics.jobs_submitted,
+                      "jobs_completed": metrics.jobs_completed,
+                      "jobs_failed": metrics.jobs_failed,
+                      "jobs_rejected": metrics.jobs_rejected,
+                      "batches": metrics.batches})
+        return metrics
 
     def _ingest_due(self, arrivals: Deque[Job]) -> None:
+        rec = self.recorder
         while arrivals and arrivals[0].submitted_at <= self._now:
             job = arrivals.popleft()
             if (self.queue_capacity is not None
@@ -259,9 +314,24 @@ class BlasRuntime:
                 job.transition(JobState.REJECTED, self._now)
                 job.error = (f"queue full ({self.queue_capacity} jobs "
                              "pending)")
+                if rec.enabled:
+                    rec.instant("job.rejected", "lifecycle", "queue",
+                                self._now,
+                                {"job": job.job_id,
+                                 "capacity": self.queue_capacity})
                 continue
             self._pending.append(job)
         self._max_depth = max(self._max_depth, len(self._pending))
+        if rec.enabled:
+            self._sample_depth()
+
+    def _sample_depth(self) -> None:
+        """Emit a queue-depth counter sample when the depth changed."""
+        depth = len(self._pending)
+        if depth != self._last_depth:
+            self._last_depth = depth
+            self.recorder.counter("queue_depth", "queue", self._now,
+                                  depth)
 
     def _advance(self, to: float) -> None:
         self._depth_area += len(self._pending) * (to - self._now)
@@ -282,6 +352,7 @@ class BlasRuntime:
 
     def _dispatch(self, placement: Placement) -> None:
         job, device = placement.job, placement.device
+        rec = self.recorder
         self._pending.remove(job)
         batch = self._collect_batch(job)
         batch_id = self._next_batch_id
@@ -289,7 +360,39 @@ class BlasRuntime:
 
         start = self._now
         clock = start
+        if rec.enabled:
+            self._sample_depth()
+            rec.instant("scheduler.place", "scheduler", "scheduler",
+                        start,
+                        {"job": job.job_id, "device": device.name,
+                         "policy": self.policy.name,
+                         "reason": placement.reason,
+                         "design": job.plan.design_key,
+                         "batch_id": batch_id,
+                         "batch_size": len(batch)})
+            if len(batch) > 1:
+                rec.instant("batch.formed", "batch", "scheduler", start,
+                            {"batch_id": batch_id,
+                             "lead": job.job_id,
+                             "members": [m.job_id for m in batch],
+                             "design": job.plan.design_key})
         if device.configure(job.plan.design_key, job.plan.area.slices):
+            if rec.enabled:
+                for evicted in device.last_evicted:
+                    rec.instant("reconfig.evict", "reconfig",
+                                device.name, start,
+                                {"design": evicted,
+                                 "for": job.plan.design_key})
+                rec.instant("reconfig.load", "reconfig", device.name,
+                            start,
+                            {"design": job.plan.design_key,
+                             "bytes": RECONFIG_BITSTREAM_BYTES,
+                             "seconds": self.reconfig_seconds})
+                rec.span(f"reconfig:{job.plan.design_key}", "reconfig",
+                         device.name, start,
+                         start + self.reconfig_seconds,
+                         {"design": job.plan.design_key,
+                          "evicted": list(device.last_evicted)})
             clock += self.reconfig_seconds
             device.metrics.reconfigurations += 1
             device.metrics.reconfig_seconds += self.reconfig_seconds
@@ -298,15 +401,27 @@ class BlasRuntime:
             overhead = api.gemm_fixed_overhead_cycles(job.plan.k,
                                                       job.plan.m)
 
+        if rec.enabled:
+            rec.counter(f"{device.name}:busy", device.name, start, 1)
         for i, member in enumerate(batch):
             member.device = device.name
             member.batch_id = batch_id
             member.transition(JobState.PLACED, start)
             member.transition(JobState.RUNNING, clock)
+            run_start = clock
+            if rec.enabled:
+                rec.span(f"job{member.job_id}:wait", "queue", "queue",
+                         member.submitted_at, run_start,
+                         {"job": member.job_id,
+                          "operation": member.request.operation})
             try:
                 result, report = self._execute(member.request)
             except (ValueError, MemoryError, SimulationError) as exc:
                 member.fail(clock, f"{type(exc).__name__}: {exc}")
+                if rec.enabled:
+                    rec.instant("job.failed", "lifecycle", device.name,
+                                clock, {"job": member.job_id,
+                                        "error": member.error})
                 continue
             cycles = report.total_cycles - (overhead if i else 0)
             cycles = max(1, cycles)
@@ -317,11 +432,24 @@ class BlasRuntime:
             member.result = result
             member.report = report
             member.transition(JobState.DONE, clock)
+            if rec.enabled:
+                member.run_span_id = rec.span(
+                    f"job{member.job_id}:{member.request.operation}",
+                    "job", device.name, run_start, clock,
+                    {"job": member.job_id,
+                     "operation": member.request.operation,
+                     "batch_id": batch_id,
+                     "predicted_cycles": member.plan.predicted_cycles,
+                     "executed_cycles": report.total_cycles,
+                     "charged_cycles": cycles,
+                     "flops": report.flops})
             device.metrics.jobs_completed += 1
             device.metrics.busy_seconds += seconds
             device.metrics.flops += report.flops
         device.metrics.batches += 1
         device.free_at = clock
+        if rec.enabled:
+            rec.counter(f"{device.name}:busy", device.name, clock, 0)
 
     # -- reporting -------------------------------------------------------
     def _build_metrics(self) -> RuntimeMetrics:

@@ -107,6 +107,10 @@ class Job:
     result: Any = None
     report: Optional[PerfReport] = None
     error: Optional[str] = None
+    #: Trace span id of the RUNNING interval when the runtime recorded
+    #: into a :class:`repro.obs.TraceRecorder`; kernel-level traces
+    #: attach as children of it (:func:`repro.obs.attach_kernel_trace`).
+    run_span_id: Optional[int] = None
 
     def transition(self, new_state: JobState, now: float) -> None:
         if new_state not in _VALID_TRANSITIONS[self.state]:

@@ -21,10 +21,16 @@ from repro.runtime.job import Job
 
 @dataclass(frozen=True)
 class Placement:
-    """One scheduling decision: run ``job`` on ``device``."""
+    """One scheduling decision: run ``job`` on ``device``.
+
+    ``reason`` names why this device won (``"first-feasible"``,
+    ``"resident"``, ``"best-fit"``, ``"evict-lru"``); the executor
+    records it on the trace's placement-decision events.
+    """
 
     job: Job
     device: "DeviceSlot"  # noqa: F821 — runtime state lives in executor
+    reason: str = "first-feasible"
 
 
 class SchedulingPolicy:
@@ -48,6 +54,19 @@ class SchedulingPolicy:
                 return device
         return None
 
+    def explain(self, job: Job, device: "DeviceSlot") -> str:
+        """Why ``choose_device`` picked ``device`` — shown on the
+        trace's placement-decision events."""
+        return "first-feasible"
+
+    def waiting_reason(self, queue: Sequence[Job],
+                       free: Sequence["DeviceSlot"],
+                       busy: Sequence["DeviceSlot"] = ()
+                       ) -> Optional[str]:
+        """Why ``select`` declined every free device (None when the
+        policy has nothing deliberate to say — e.g. nothing fits)."""
+        return None
+
     def select(self, queue: Sequence[Job],
                free: Sequence["DeviceSlot"],
                busy: Sequence["DeviceSlot"] = ()) -> Optional[Placement]:
@@ -57,7 +76,7 @@ class SchedulingPolicy:
         for job in sorted(queue, key=self.order_key):
             device = self.choose_device(job, free, busy)
             if device is not None:
-                return Placement(job, device)
+                return Placement(job, device, self.explain(job, device))
         return None
 
 
@@ -134,6 +153,28 @@ class AreaAwarePolicy(SchedulingPolicy):
         if evictable:
             return max(evictable, key=lambda d: (d.spare_slices,
                                                  -d.index))
+        return None
+
+    def explain(self, job: Job, device: "DeviceSlot") -> str:
+        if device.has_resident(job.plan.design_key):
+            return "resident"
+        if device.spare_slices >= job.plan.area.slices:
+            return "best-fit"
+        return "evict-lru"
+
+    def waiting_reason(self, queue: Sequence[Job],
+                       free: Sequence["DeviceSlot"],
+                       busy: Sequence["DeviceSlot"] = ()
+                       ) -> Optional[str]:
+        """Names the affinity wait: the first queued job whose design
+        is resident on a *busy* blade (rule 3 declines free blades
+        that would need an eviction)."""
+        for job in sorted(queue, key=self.order_key):
+            key = job.plan.design_key
+            holders = [d.name for d in busy if d.has_resident(key)]
+            if holders:
+                return (f"job {job.job_id} waiting for {holders[0]} "
+                        f"(holds {key})")
         return None
 
 

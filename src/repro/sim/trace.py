@@ -31,8 +31,27 @@ class Tracer:
         self.rows.append((cycle, {name: fn() for name, fn in self._probes}))
 
     def series(self, name: str) -> List[Any]:
-        """The sampled values of one probe across all recorded cycles."""
-        return [row[name] for _, row in self.rows]
+        """The sampled values of one probe across all recorded cycles.
+
+        Raises :class:`ValueError` (naming the unknown probe and
+        listing the available ones) when ``name`` was never registered
+        or a recorded row is missing it.
+        """
+        registered = {probe for probe, _ in self._probes}
+        recorded = {probe for _, row in self.rows for probe in row}
+        available = sorted(registered | recorded)
+        if name not in available:
+            raise ValueError(
+                f"unknown probe {name!r}; available probes: "
+                f"{available}")
+        values = []
+        for cycle, row in self.rows:
+            if name not in row:
+                raise ValueError(
+                    f"probe {name!r} missing from the sample at cycle "
+                    f"{cycle}; available probes: {available}")
+            values.append(row[name])
+        return values
 
     def dump(self) -> str:
         """Compact text waveform: one line per cycle."""
@@ -61,6 +80,14 @@ def to_vcd(tracer: "Tracer", module: str = "repro",
     if len(names) > len(_VCD_IDENTIFIERS):
         raise ValueError("too many probes for the simple VCD encoder")
     ids = {name: _VCD_IDENTIFIERS[i] for i, name in enumerate(names)}
+
+    def encode(value: Any) -> str:
+        try:
+            numeric = float(value)
+        except (TypeError, ValueError):
+            numeric = float(abs(hash(repr(value))) % 10 ** 9)
+        return f"r{numeric:.17g}"
+
     lines = [
         "$date reproduction trace $end",
         f"$timescale {timescale} $end",
@@ -70,7 +97,20 @@ def to_vcd(tracer: "Tracer", module: str = "repro",
         lines.append(f"$var real 64 {ids[name]} {name} $end")
     lines.append("$upscope $end")
     lines.append("$enddefinitions $end")
+    # Initial-value section: every signal gets a defined value at #0
+    # (its first sampled value) so viewers like GTKWave never render an
+    # undefined region before a signal's first change.
     previous = {}
+    if tracer.rows:
+        lines.append("#0")
+        lines.append("$dumpvars")
+        for name in names:
+            for _, row in tracer.rows:
+                if name in row:
+                    previous[name] = row[name]
+                    lines.append(f"{encode(row[name])} {ids[name]}")
+                    break
+        lines.append("$end")
     for cycle, row in tracer.rows:
         changes = []
         for name in names:
@@ -80,11 +120,7 @@ def to_vcd(tracer: "Tracer", module: str = "repro",
             if previous.get(name) == value:
                 continue
             previous[name] = value
-            try:
-                numeric = float(value)
-            except (TypeError, ValueError):
-                numeric = float(abs(hash(repr(value))) % 10 ** 9)
-            changes.append(f"r{numeric:.17g} {ids[name]}")
+            changes.append(f"{encode(value)} {ids[name]}")
         if changes:
             lines.append(f"#{cycle}")
             lines.extend(changes)

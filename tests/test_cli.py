@@ -121,3 +121,65 @@ class TestRuntimeCommand:
         payload = json.loads(capsys.readouterr().out)
         assert payload["jobs"]["completed"] == 4
         assert len(payload["devices"]) == 2
+
+    def test_trace_out_writes_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "trace.json"
+        assert main(["runtime", "--jobs", "8", "--blades", "2",
+                     "--trace-out", str(out)]) == 0
+        assert f"written to {out}" in capsys.readouterr().out
+        trace = json.loads(out.read_text())
+        phases = {e["ph"] for e in trace["traceEvents"]}
+        assert {"M", "X", "i", "C"} <= phases
+
+
+class TestTraceCommand:
+    def test_defaults_parse(self):
+        args = build_parser().parse_args(["trace"])
+        assert (args.jobs, args.out, args.jsonl) == (60, None, None)
+        assert not args.strict
+
+    def test_prints_drift_report(self, capsys):
+        assert main(["trace", "--jobs", "10", "--blades", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "plan-vs-actual drift" in out
+        assert "gemm" in out
+        assert "counter samples" in out
+
+    def test_writes_both_exports(self, capsys, tmp_path):
+        import json
+
+        chrome = tmp_path / "trace.json"
+        jsonl = tmp_path / "events.jsonl"
+        assert main(["trace", "--jobs", "8", "--blades", "2",
+                     "--out", str(chrome),
+                     "--jsonl", str(jsonl)]) == 0
+        trace = json.loads(chrome.read_text())
+        assert trace["traceEvents"]
+        lines = jsonl.read_text().strip().split("\n")
+        assert all(json.loads(line)["type"] in
+                   ("span", "instant", "counter") for line in lines)
+
+    def test_trace_outputs_deterministic(self, capsys, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        for path in (first, second):
+            assert main(["trace", "--jobs", "8", "--blades", "2",
+                         "--seed", "3", "--out", str(path)]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_drift_json_output(self, capsys):
+        import json
+
+        assert main(["trace", "--jobs", "6", "--blades", "2",
+                     "--drift-json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["ok"] is True
+        assert "operations" in payload
+
+    def test_strict_mode_passes_on_standard_mix(self):
+        assert main(["trace", "--jobs", "12", "--blades", "2",
+                     "--strict"]) == 0

@@ -1,0 +1,77 @@
+"""Unit tests for bridging sim.trace.Tracer into the runtime trace."""
+
+import numpy as np
+import pytest
+
+from repro.obs import TraceRecorder, attach_kernel_trace
+from repro.runtime import BlasRuntime
+from repro.runtime.job import BlasRequest
+from repro.sim.trace import Tracer
+
+
+def _tracer(cycles=4):
+    tracer = Tracer()
+    state = {"occupancy": 0}
+    tracer.probe("occupancy", lambda: state["occupancy"])
+    tracer.probe("label", lambda: "busy")  # non-numeric → skipped
+    for cycle in range(cycles):
+        state["occupancy"] = cycle % 3
+        tracer.sample(cycle)
+    return tracer
+
+
+class TestAttachKernelTrace:
+    def test_standalone_attachment(self):
+        rec = TraceRecorder()
+        span_id = attach_kernel_trace(rec, _tracer(), clock_mhz=100.0,
+                                      t0=1.0, track="blade0")
+        span = rec.spans[0]
+        assert span.span_id == span_id
+        assert span.cat == "kernel"
+        assert span.start == pytest.approx(1.0)
+        assert span.end == pytest.approx(1.0 + 4 / 100e6)
+        assert span.args["cycles"] == 4
+
+    def test_cycle_to_virtual_time_conversion(self):
+        rec = TraceRecorder()
+        attach_kernel_trace(rec, _tracer(), clock_mhz=200.0, t0=0.5)
+        samples = rec.series("kernel.occupancy")
+        assert len(samples) == 4
+        period = 1.0 / 200e6
+        assert samples[2].ts == pytest.approx(0.5 + 2 * period)
+        assert [s.value for s in samples] == [0.0, 1.0, 2.0, 0.0]
+
+    def test_non_numeric_probes_skipped(self):
+        rec = TraceRecorder()
+        attach_kernel_trace(rec, _tracer(), clock_mhz=100.0)
+        names = {s.name for s in rec.counters}
+        assert names == {"kernel.occupancy"}
+
+    def test_empty_tracer_returns_none(self):
+        rec = TraceRecorder()
+        assert attach_kernel_trace(rec, Tracer(),
+                                   clock_mhz=100.0) is None
+        assert len(rec) == 0
+
+    def test_requires_clock(self):
+        with pytest.raises(ValueError, match="clock_mhz"):
+            attach_kernel_trace(TraceRecorder(), _tracer())
+
+    def test_attaches_under_runtime_job_span(self):
+        rng = np.random.default_rng(3)
+        rec = TraceRecorder()
+        runtime = BlasRuntime(blades=1, recorder=rec)
+        job = runtime.submit(BlasRequest(
+            "dot", (rng.standard_normal(128),
+                    rng.standard_normal(128))))
+        runtime.run()
+        assert job.run_span_id is not None
+        span_id = attach_kernel_trace(rec, _tracer(), job=job)
+        child = next(s for s in rec.spans if s.span_id == span_id)
+        assert child.parent_id == job.run_span_id
+        assert child.track == job.device
+        # child starts where the job's RUNNING span starts
+        parent = next(s for s in rec.spans
+                      if s.span_id == job.run_span_id)
+        assert child.start == pytest.approx(parent.start)
+        assert child.end <= parent.end

@@ -1,0 +1,135 @@
+"""Unit tests for the plan-vs-actual drift report."""
+
+import numpy as np
+import pytest
+
+from repro.obs.drift import (
+    DEFAULT_THRESHOLDS,
+    DriftEntry,
+    base_operation,
+    drift_report,
+)
+from repro.runtime import BlasRuntime
+from repro.runtime.job import BlasRequest
+
+
+def _rng():
+    return np.random.default_rng(7)
+
+
+class TestDriftEntry:
+    def test_exact_prediction(self):
+        entry = DriftEntry(job_id=0, operation="gemm",
+                           predicted_cycles=100, actual_cycles=100,
+                           threshold=0.0)
+        assert entry.rel_error == 0.0
+        assert not entry.flagged
+
+    def test_signed_error_and_flagging(self):
+        entry = DriftEntry(job_id=1, operation="gemv",
+                           predicted_cycles=110, actual_cycles=100,
+                           threshold=0.05)
+        assert entry.rel_error == pytest.approx(-0.10)
+        assert entry.flagged
+
+    def test_within_threshold_not_flagged(self):
+        entry = DriftEntry(job_id=2, operation="dot",
+                           predicted_cycles=104, actual_cycles=100,
+                           threshold=0.05)
+        assert not entry.flagged
+
+    def test_to_dict(self):
+        payload = DriftEntry(job_id=3, operation="spmxv",
+                             predicted_cycles=95, actual_cycles=100,
+                             threshold=0.10).to_dict()
+        assert payload["rel_error"] == pytest.approx(0.05)
+        assert payload["flagged"] is False
+
+
+class TestBaseOperation:
+    def test_strips_architecture_suffix(self):
+        assert base_operation("gemv[tree]") == "gemv"
+        assert base_operation("gemv[column]") == "gemv"
+
+    def test_passthrough(self):
+        assert base_operation("gemm") == "gemm"
+
+
+class TestDriftReport:
+    def _jobs(self, n=24):
+        rng = _rng()
+        runtime = BlasRuntime(blades=2)
+        for _ in range(n // 3):
+            size = int(rng.integers(32, 80))
+            runtime.submit(BlasRequest(
+                "dot", (rng.standard_normal(256),
+                        rng.standard_normal(256))))
+            runtime.submit(BlasRequest(
+                "gemv", (rng.standard_normal((size, size)),
+                         rng.standard_normal(size))))
+            runtime.submit(BlasRequest(
+                "gemm", (rng.standard_normal((24, 24)),
+                         rng.standard_normal((24, 24)))))
+        runtime.run()
+        return runtime.jobs
+
+    def test_gemm_prediction_is_exact(self):
+        report = drift_report(self._jobs())
+        gemm = report.per_operation()["gemm"]
+        assert gemm["max_abs_rel_error"] == 0.0
+        assert gemm["flagged"] == 0
+
+    def test_streaming_kernels_within_documented_bounds(self):
+        report = drift_report(self._jobs())
+        ops = report.per_operation()
+        assert ops["dot"]["max_abs_rel_error"] <= \
+            DEFAULT_THRESHOLDS["dot"]
+        assert ops["gemv"]["max_abs_rel_error"] <= \
+            DEFAULT_THRESHOLDS["gemv"]
+        assert report.ok
+
+    def test_compares_standalone_cycles_not_charged(self):
+        # Batched gemm followers are charged fewer cycles than a
+        # standalone run; drift must still report 0% for them.
+        rng = _rng()
+        runtime = BlasRuntime(blades=1, batching=True)
+        A, B = rng.standard_normal((32, 32)), rng.standard_normal((32, 32))
+        for _ in range(4):
+            runtime.submit(BlasRequest("gemm", (A, B)))
+        runtime.run()
+        follower = runtime.jobs[1]
+        assert follower.charged_cycles < follower.report.total_cycles
+        report = drift_report(runtime.jobs)
+        assert report.per_operation()["gemm"]["max_abs_rel_error"] == 0.0
+
+    def test_failed_jobs_are_skipped(self):
+        runtime = BlasRuntime(blades=1)
+        runtime.submit(BlasRequest("gemm", (np.ones((8, 8)),
+                                            np.ones((8, 8))),
+                                   k=8, m=8))  # m == k hazard → fails
+        ok = runtime.submit(BlasRequest("dot", (np.ones(64),
+                                                np.ones(64))))
+        runtime.run()
+        report = drift_report(runtime.jobs)
+        assert [e.job_id for e in report.entries] == [ok.job_id]
+
+    def test_threshold_override_flags(self):
+        report = drift_report(self._jobs(), thresholds={"gemv": 0.0,
+                                                        "dot": 0.0})
+        # dot is exact on these sizes but small gemv over-predicts.
+        assert any(e.operation == "gemv" for e in report.flagged)
+        assert not report.ok
+
+    def test_summary_and_dict(self):
+        report = drift_report(self._jobs())
+        text = report.summary()
+        assert "gemm" in text and "max |err|" in text
+        payload = report.to_dict()
+        assert payload["ok"] is True
+        assert payload["jobs_compared"] == len(report.entries)
+        assert set(payload["operations"]) == {"dot", "gemv", "gemm"}
+
+    def test_empty_jobs(self):
+        report = drift_report([])
+        assert report.ok
+        assert "no completed jobs" in report.summary()

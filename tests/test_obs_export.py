@@ -1,0 +1,95 @@
+"""Unit tests for the Chrome trace-event and JSONL exporters."""
+
+import json
+
+from repro.obs import (
+    TraceRecorder,
+    chrome_trace_json,
+    to_chrome_trace,
+    to_jsonl,
+)
+
+
+def _recorder():
+    rec = TraceRecorder()
+    rec.counter("queue_depth", "queue", 0.0, 2)
+    rec.span("job0:gemm", "job", "blade0", 1.0, 3.0, {"k": 8})
+    parent = rec.spans[0].span_id
+    rec.span("kernel", "kernel", "blade0", 1.5, 2.5, parent_id=parent)
+    rec.instant("reconfig.load", "reconfig", "blade0", 0.5,
+                {"design": "matrix_multiply(k=8,m=8)"})
+    return rec
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        trace = to_chrome_trace(_recorder())
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        phases = {e["ph"] for e in trace["traceEvents"]}
+        assert phases == {"M", "X", "i", "C"}
+
+    def test_metadata_names_process_and_threads(self):
+        events = to_chrome_trace(_recorder())["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert meta[0]["args"]["name"] == "repro.runtime"
+        thread_names = {e["args"]["name"] for e in meta[1:]}
+        assert thread_names == {"queue", "blade0"}
+
+    def test_span_timestamps_in_microseconds(self):
+        events = to_chrome_trace(_recorder())["traceEvents"]
+        span = next(e for e in events if e["ph"] == "X"
+                    and e["name"] == "job0:gemm")
+        assert span["ts"] == 1e6
+        assert span["dur"] == 2e6
+        assert span["args"]["k"] == 8
+
+    def test_parent_span_id_exported(self):
+        events = to_chrome_trace(_recorder())["traceEvents"]
+        kernel = next(e for e in events if e["name"] == "kernel")
+        job = next(e for e in events if e["name"] == "job0:gemm")
+        assert kernel["args"]["parent_span_id"] == \
+            job["args"]["span_id"]
+
+    def test_counter_event(self):
+        events = to_chrome_trace(_recorder())["traceEvents"]
+        counter = next(e for e in events if e["ph"] == "C")
+        assert counter["name"] == "queue_depth"
+        assert counter["args"] == {"value": 2.0}
+
+    def test_timed_events_sorted_by_ts(self):
+        events = to_chrome_trace(_recorder())["traceEvents"]
+        timed = [e["ts"] for e in events if e["ph"] != "M"]
+        assert timed == sorted(timed)
+
+    def test_json_round_trips(self):
+        payload = chrome_trace_json(_recorder())
+        assert payload.endswith("\n")
+        parsed = json.loads(payload)
+        assert parsed["traceEvents"]
+
+    def test_deterministic_serialization(self):
+        assert chrome_trace_json(_recorder()) == \
+            chrome_trace_json(_recorder())
+
+
+class TestJsonl:
+    def test_one_json_object_per_line(self):
+        lines = to_jsonl(_recorder()).strip().split("\n")
+        records = [json.loads(line) for line in lines]
+        assert len(records) == 4
+        assert {r["type"] for r in records} == \
+            {"span", "instant", "counter"}
+
+    def test_sorted_by_timestamp(self):
+        records = [json.loads(line) for line in
+                   to_jsonl(_recorder()).strip().split("\n")]
+        stamps = [r["ts"] for r in records]
+        assert stamps == sorted(stamps)
+
+    def test_span_record_fields(self):
+        records = [json.loads(line) for line in
+                   to_jsonl(_recorder()).strip().split("\n")]
+        span = next(r for r in records if r["name"] == "job0:gemm")
+        assert span["end"] == 3.0
+        assert span["track"] == "blade0"
+        assert span["args"] == {"k": 8}

@@ -1,0 +1,102 @@
+"""Unit tests for the structured trace recorder and the null path."""
+
+import pytest
+
+from repro.obs import (
+    NULL_RECORDER,
+    NullRecorder,
+    TraceRecorder,
+)
+
+
+class TestTraceRecorder:
+    def test_span_ids_are_sequential(self):
+        rec = TraceRecorder()
+        first = rec.span("a", "cat", "t0", 0.0, 1.0)
+        second = rec.span("b", "cat", "t0", 1.0, 2.0)
+        assert (first, second) == (1, 2)
+
+    def test_span_fields(self):
+        rec = TraceRecorder()
+        sid = rec.span("job0:gemm", "job", "blade0", 1.0, 3.5,
+                       {"k": 8}, parent_id=None)
+        span = rec.spans[0]
+        assert span.span_id == sid
+        assert span.name == "job0:gemm"
+        assert span.cat == "job"
+        assert span.track == "blade0"
+        assert span.duration == pytest.approx(2.5)
+        assert span.args == {"k": 8}
+
+    def test_span_rejects_negative_duration(self):
+        rec = TraceRecorder()
+        with pytest.raises(ValueError, match="ends before"):
+            rec.span("bad", "cat", "t", 2.0, 1.0)
+
+    def test_child_span_keeps_parent(self):
+        rec = TraceRecorder()
+        parent = rec.span("job", "job", "blade0", 0.0, 2.0)
+        rec.span("kernel", "kernel", "blade0", 0.5, 1.5,
+                 parent_id=parent)
+        assert rec.spans[1].parent_id == parent
+
+    def test_args_are_copied(self):
+        rec = TraceRecorder()
+        args = {"n": 1}
+        rec.span("s", "c", "t", 0.0, 1.0, args)
+        rec.instant("i", "c", "t", 0.0, args)
+        args["n"] = 99
+        assert rec.spans[0].args == {"n": 1}
+        assert rec.instants[0].args == {"n": 1}
+
+    def test_counter_series_lookup(self):
+        rec = TraceRecorder()
+        rec.counter("queue_depth", "queue", 0.0, 0)
+        rec.counter("queue_depth", "queue", 1.0, 3)
+        rec.counter("other", "queue", 0.5, 1)
+        values = [s.value for s in rec.series("queue_depth")]
+        assert values == [0.0, 3.0]
+
+    def test_unknown_counter_raises_with_available(self):
+        rec = TraceRecorder()
+        rec.counter("queue_depth", "queue", 0.0, 0)
+        with pytest.raises(ValueError, match="queue_depth"):
+            rec.series("nope")
+
+    def test_tracks_first_appearance_order(self):
+        rec = TraceRecorder()
+        rec.span("a", "c", "blade1", 0.0, 1.0)
+        rec.instant("b", "c", "scheduler", 0.0)
+        rec.counter("q", "queue", 0.0, 1)
+        rec.span("c", "c", "blade1", 1.0, 2.0)
+        assert rec.tracks() == ["blade1", "scheduler", "queue"]
+
+    def test_find_spans_filters(self):
+        rec = TraceRecorder()
+        rec.span("job0:dot", "job", "b", 0.0, 1.0)
+        rec.span("job1:gemm", "job", "b", 1.0, 2.0)
+        rec.span("reconfig:x", "reconfig", "b", 0.0, 0.1)
+        assert len(rec.find_spans(cat="job")) == 2
+        assert len(rec.find_spans(name_prefix="job1")) == 1
+        assert len(rec.find_spans(cat="job", name_prefix="job0")) == 1
+
+    def test_len_counts_all_events(self):
+        rec = TraceRecorder()
+        rec.span("s", "c", "t", 0.0, 1.0)
+        rec.instant("i", "c", "t", 0.0)
+        rec.counter("n", "t", 0.0, 1)
+        assert len(rec) == 3
+
+
+class TestNullRecorder:
+    def test_disabled_flag(self):
+        assert NullRecorder().enabled is False
+        assert NULL_RECORDER.enabled is False
+        assert TraceRecorder().enabled is True
+
+    def test_methods_are_inert(self):
+        rec = NullRecorder()
+        assert rec.span("s", "c", "t", 0.0, 1.0, {"a": 1}) == -1
+        assert rec.instant("i", "c", "t", 0.0) is None
+        assert rec.counter("n", "t", 0.0, 1) is None
+        assert not hasattr(rec, "spans")

@@ -33,6 +33,39 @@ class TestPercentile:
         with pytest.raises(ValueError):
             percentile([1.0], 101)
 
+    def test_pct_zero_is_exact_minimum(self):
+        values = [4.25, -1.5, 2.0, 9.75]
+        assert percentile(values, 0) == -1.5
+        # exactly the element, no interpolation residue
+        assert percentile(values, 0) == min(values)
+
+    def test_pct_hundred_is_exact_maximum(self):
+        values = [4.25, -1.5, 2.0, 9.75]
+        assert percentile(values, 100) == 9.75
+        assert percentile(values, 100) == max(values)
+
+    def test_two_element_interpolation(self):
+        assert percentile([10.0, 20.0], 25) == pytest.approx(12.5)
+        assert percentile([10.0, 20.0], 50) == pytest.approx(15.0)
+        assert percentile([10.0, 20.0], 75) == pytest.approx(17.5)
+        assert percentile([20.0, 10.0], 10) == pytest.approx(11.0)
+
+    def test_two_element_endpoints_exact(self):
+        assert percentile([10.0, 20.0], 0) == 10.0
+        assert percentile([10.0, 20.0], 100) == 20.0
+
+    def test_rejects_below_zero(self):
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            percentile([1.0, 2.0], -0.001)
+
+    def test_rejects_above_hundred(self):
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            percentile([1.0, 2.0], 100.001)
+
+    def test_boundary_values_accepted_on_empty(self):
+        assert percentile([], 0) == 0.0
+        assert percentile([], 100) == 0.0
+
 
 class TestDeviceMetrics:
     def test_utilization(self):

@@ -40,6 +40,38 @@ class TestTracer:
         line = t.dump()
         assert line.index("aa=") < line.index("zz=")
 
+    def test_series_unknown_probe_raises_value_error(self):
+        t = Tracer()
+        t.probe("real_probe", lambda: 1)
+        t.sample(0)
+        with pytest.raises(ValueError) as excinfo:
+            t.series("typo_probe")
+        message = str(excinfo.value)
+        assert "typo_probe" in message
+        assert "real_probe" in message
+
+    def test_series_unknown_probe_without_samples(self):
+        t = Tracer()
+        t.probe("known", lambda: 1)
+        with pytest.raises(ValueError, match="known"):
+            t.series("unknown")
+
+    def test_series_of_registered_probe_without_samples(self):
+        t = Tracer()
+        t.probe("known", lambda: 1)
+        assert t.series("known") == []
+
+    def test_series_row_missing_probe_raises_value_error(self):
+        # A probe registered after sampling started: early rows lack it.
+        t = Tracer()
+        t.probe("early", lambda: 1)
+        t.sample(0)
+        t.probe("late", lambda: 2)
+        t.sample(1)
+        with pytest.raises(ValueError, match="cycle 0"):
+            t.series("late")
+        assert t.series("early") == [1, 1]
+
 
 class TestUtilizationCounter:
     def test_utilization_ratio(self):
@@ -114,3 +146,62 @@ class TestVcdExport:
         t.sample(0)
         with pytest.raises(ValueError, match="too many"):
             to_vcd(t)
+
+    def test_dumpvars_initial_value_section(self):
+        from repro.sim.trace import to_vcd
+        vcd = to_vcd(self._traced())
+        assert "$dumpvars" in vcd
+        body = vcd.split("$enddefinitions $end\n", 1)[1]
+        # the initial-value block opens the dump at timestep #0
+        assert body.startswith("#0\n$dumpvars\n")
+        block = body.split("$end", 1)[0]
+        # both signals get a defined value before their first change
+        records = [line for line in block.splitlines()
+                   if line.startswith("r")]
+        assert len(records) == 2
+
+    def test_dumpvars_covers_late_first_sample(self):
+        from repro.sim.trace import Tracer, to_vcd
+        t = Tracer()
+        t.probe("sig", lambda: 9)
+        t.sample(5)  # first sample well after cycle 0
+        vcd = to_vcd(t)
+        dump_at_zero = vcd.split("#0\n", 1)[1]
+        assert dump_at_zero.startswith("$dumpvars\nr9 ")
+
+    def test_empty_tracer_has_no_dumpvars(self):
+        from repro.sim.trace import Tracer, to_vcd
+        vcd = to_vcd(Tracer())
+        assert "$dumpvars" not in vcd
+        assert "$enddefinitions $end" in vcd
+
+    def test_non_numeric_probe_hash_fallback(self):
+        from repro.sim.trace import Tracer, to_vcd
+        t = Tracer()
+        states = iter(["idle", "busy", "busy", "drain"])
+        t.probe("fsm", lambda: next(states))
+        for cycle in range(4):
+            t.sample(cycle)
+        vcd = to_vcd(t)
+        records = [line for line in vcd.splitlines()
+                   if line.startswith("r")]
+        # dumpvars("idle") + changes to "busy" and "drain"; the
+        # repeated "busy" emits no record
+        assert len(records) == 3
+        for record in records:
+            value = float(record.split()[0][1:])
+            assert value == int(value)  # hash bucket, not a float
+            assert 0 <= value < 10 ** 9
+
+    def test_non_numeric_fallback_consistent_within_dump(self):
+        from repro.sim.trace import Tracer, to_vcd
+        t = Tracer()
+        states = iter(["idle", "busy", "idle"])
+        t.probe("fsm", lambda: next(states))
+        for cycle in range(3):
+            t.sample(cycle)
+        records = [line for line in to_vcd(t).splitlines()
+                   if line.startswith("r")]
+        # "idle" hashes to the same bucket both times it appears
+        assert records[0] == records[2]
+        assert records[0] != records[1]
