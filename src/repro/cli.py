@@ -17,6 +17,12 @@ Commands
     Trace a runtime replay: structured spans/instants/counters in
     virtual time, exported as Chrome trace JSON and/or JSON lines,
     plus the plan-vs-actual predictor drift report.
+``faults``
+    Replay a workload under a seeded fault storm — blade crashes,
+    reconfiguration failures, memory stalls, result corruption — and
+    report how the runtime's retry/quarantine/verification machinery
+    coped (``repro runtime --faults-spec`` injects an explicit plan
+    instead).
 ``project``
     The chassis / multi-chassis projections (Figures 11-12,
     Section 6.4).
@@ -204,9 +210,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _submitted_runtime(args: argparse.Namespace, recorder=None):
-    """Build the runtime + workload stream shared by ``runtime`` and
-    ``trace`` and submit every request (not yet run)."""
+def _submitted_runtime(args: argparse.Namespace, recorder=None,
+                       fault_plan=None):
+    """Build the runtime + workload stream shared by ``runtime``,
+    ``trace`` and ``faults`` and submit every request (not yet run)."""
     from repro.runtime import BlasRuntime
     from repro.workloads import blas_request_mix, gemm_burst
 
@@ -216,6 +223,10 @@ def _submitted_runtime(args: argparse.Namespace, recorder=None):
     else:
         stream = blas_request_mix(args.jobs, rng,
                                   arrival_rate=args.arrival_rate)
+    if fault_plan is None and getattr(args, "faults_spec", None):
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan.from_json_file(args.faults_spec)
     runtime = BlasRuntime(
         chassis=args.chassis,
         blades=args.blades,
@@ -223,10 +234,29 @@ def _submitted_runtime(args: argparse.Namespace, recorder=None):
         queue_capacity=args.queue_capacity,
         batching=not args.no_batch,
         recorder=recorder,
+        fault_plan=fault_plan,
+        max_retries=getattr(args, "max_retries", 3),
+        quarantine_after=getattr(args, "quarantine_after", 3),
+        verify_results=(False if getattr(args, "no_verify", False)
+                        else None),
+        degrade=not getattr(args, "no_degrade", False),
     )
     for at, request in stream:
         runtime.submit(request, at=at)
     return runtime
+
+
+def _workload_exit(metrics) -> int:
+    """Shared exit policy: a replay only succeeds when every accepted
+    job completed — failed or rejected jobs make the command exit 1
+    with the reason on stderr."""
+    if metrics.jobs_failed or metrics.jobs_rejected:
+        print(f"runtime FAILED: {metrics.jobs_failed} job(s) ended "
+              f"FAILED and {metrics.jobs_rejected} were REJECTED "
+              f"(of {metrics.jobs_submitted} submitted)",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_runtime(args: argparse.Namespace) -> int:
@@ -250,7 +280,58 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
         print(f"Chrome trace ({len(recorder)} recorded events) written "
               f"to {args.trace_out} — open in Perfetto or "
               f"chrome://tracing")
-    return 0 if metrics.jobs_failed == 0 else 1
+    return _workload_exit(metrics)
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """Replay a workload under a fault storm (or an explicit spec)."""
+    from repro.faults import FaultKind, FaultPlan
+
+    if args.spec:
+        plan = FaultPlan.from_json_file(args.spec)
+    else:
+        horizon = args.horizon
+        if horizon is None:
+            # Size the storm to the workload: a fault-free dry run
+            # measures the makespan the events should fall inside.
+            dry = _submitted_runtime(args)
+            horizon = dry.run().makespan_seconds
+            if horizon <= 0.0:
+                horizon = 1e-3
+        plan = FaultPlan.storm(
+            args.fault_seed, horizon,
+            crash_rate=args.crash_rate,
+            reconfig_rate=args.reconfig_rate,
+            stall_rate=args.stall_rate,
+            corrupt_rate=args.corrupt_rate,
+            crash_duration=args.crash_duration,
+            stall_multiplier=args.stall_multiplier)
+    recorder = None
+    if args.trace_out:
+        from repro.obs import TraceRecorder
+
+        recorder = TraceRecorder()
+    runtime = _submitted_runtime(args, recorder, fault_plan=plan)
+    metrics = runtime.run()
+    if args.json:
+        print(metrics.to_json())
+    else:
+        counts = ", ".join(
+            f"{plan.count(kind)} {kind.value}" for kind in FaultKind
+            if plan.count(kind))
+        print(f"fault plan: {len(plan)} event(s) "
+              f"({counts or 'none'}), seed {plan.seed}")
+        print(f"replayed {args.jobs} jobs ({args.mix} mix) on "
+              f"{args.chassis} chassis x {args.blades} blades under "
+              "injected faults")
+        print(metrics.summary())
+    if recorder is not None:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(recorder, args.trace_out)
+        print(f"Chrome trace ({len(recorder)} recorded events) written "
+              f"to {args.trace_out}")
+    return _workload_exit(metrics)
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -288,7 +369,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"drift check FAILED: {len(report.flagged)} job(s) "
               "exceeded their predictor bound")
         return 1
-    return 0 if metrics.jobs_failed == 0 else 1
+    return _workload_exit(metrics)
 
 
 def _cmd_project(args: argparse.Namespace) -> int:
@@ -343,6 +424,22 @@ def _add_workload_options(parser: argparse.ArgumentParser,
     parser.add_argument("--no-batch", action="store_true",
                         help="disable same-shape gemm coalescing")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--faults-spec", metavar="PATH", default=None,
+                        help="JSON fault-plan spec to inject during "
+                             "the replay (see docs/faults.md)")
+    parser.add_argument("--max-retries", type=int, default=3,
+                        help="attempts after the first before a faulted "
+                             "job fails permanently")
+    parser.add_argument("--quarantine-after", type=int, default=3,
+                        help="faults on one blade before it is "
+                             "quarantined")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the NumPy residual check on results "
+                             "(default: on when the plan injects "
+                             "corruption)")
+    parser.add_argument("--no-degrade", action="store_true",
+                        help="reject capacity-lost jobs instead of "
+                             "re-planning them at smaller k")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -424,6 +521,38 @@ def build_parser() -> argparse.ArgumentParser:
                       help="exit 1 when any kernel exceeds its "
                            "predictor drift bound")
 
+    p_fl = sub.add_parser(
+        "faults", help="replay a BLAS workload under a seeded fault "
+                       "storm (crashes, stalls, corruption)")
+    _add_workload_options(p_fl, jobs_default=60)
+    p_fl.add_argument("--spec", metavar="PATH", default=None,
+                      help="explicit fault-plan JSON (overrides the "
+                           "storm flags)")
+    p_fl.add_argument("--fault-seed", type=int, default=0,
+                      help="storm seed (also drives retry jitter and "
+                           "bit/word choices)")
+    p_fl.add_argument("--horizon", type=float, default=None,
+                      help="storm window in virtual seconds (default: "
+                           "the makespan of a fault-free dry run)")
+    p_fl.add_argument("--crash-rate", type=float, default=200.0,
+                      help="blade crashes per virtual second")
+    p_fl.add_argument("--reconfig-rate", type=float, default=100.0,
+                      help="transient bitstream-load failures per "
+                           "virtual second")
+    p_fl.add_argument("--stall-rate", type=float, default=100.0,
+                      help="memory/interconnect stalls per virtual "
+                           "second")
+    p_fl.add_argument("--corrupt-rate", type=float, default=100.0,
+                      help="output bit flips per virtual second")
+    p_fl.add_argument("--crash-duration", type=float, default=0.002,
+                      help="blade downtime per crash (virtual seconds)")
+    p_fl.add_argument("--stall-multiplier", type=float, default=4.0,
+                      help="execution-time stretch per stall")
+    p_fl.add_argument("--json", action="store_true",
+                      help="emit the metrics JSON instead of the table")
+    p_fl.add_argument("--trace-out", metavar="PATH", default=None,
+                      help="record the faulted run as Chrome trace JSON")
+
     p_repro = sub.add_parser(
         "reproduce", help="regenerate every paper table/figure")
     p_repro.add_argument("--full", action="store_true",
@@ -441,6 +570,7 @@ _COMMANDS = {
     "project": _cmd_project,
     "runtime": _cmd_runtime,
     "trace": _cmd_trace,
+    "faults": _cmd_faults,
     "explore": _cmd_explore,
     "solve": _cmd_solve,
     "reproduce": _cmd_reproduce,

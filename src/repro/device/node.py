@@ -9,6 +9,7 @@ transport.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 from repro.device.fpga import FpgaDevice, XC2VP50
 from repro.memory.model import (
@@ -70,6 +71,52 @@ class ComputeNode:
         """Largest n with an n×n matrix resident in SRAM (Section 6.2:
         'n can at most be √2·1024' for 16 MB)."""
         return int(self.sram_words ** 0.5)
+
+
+class NodeHealth:
+    """Mutable health state of one compute node.
+
+    The :class:`ComputeNode` spec is frozen (it describes hardware);
+    this companion tracks what *happens* to a blade over a run —
+    crash downtime windows, a cumulative fault count, and quarantine.
+    It is the fault plane's narrow hook into the device layer: the
+    runtime's :class:`repro.runtime.executor.DeviceSlot` owns one and
+    consults it for availability.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.fault_count = 0
+        self.quarantined = False
+        self.quarantined_at: Optional[float] = None
+        #: Crash downtime windows ``(start, end)`` in virtual time.
+        self.downtime: List[Tuple[float, float]] = []
+
+    def record_fault(self, at: float) -> int:
+        """Count one fault against the blade; returns the new total."""
+        self.fault_count += 1
+        return self.fault_count
+
+    def add_downtime(self, start: float, end: float) -> None:
+        if end <= start:
+            raise ValueError("downtime must end after it starts")
+        self.downtime.append((start, end))
+
+    def quarantine(self, at: float) -> None:
+        """Permanently remove the blade from service."""
+        if not self.quarantined:
+            self.quarantined = True
+            self.quarantined_at = at
+
+    def available(self, at: float) -> bool:
+        """Up at ``at``: not quarantined, not inside crash downtime."""
+        if self.quarantined:
+            return False
+        return not any(start <= at < end for start, end in self.downtime)
+
+    @property
+    def downtime_seconds(self) -> float:
+        return sum(end - start for start, end in self.downtime)
 
 
 def make_xd1_node(name: str = "xd1-blade") -> ComputeNode:

@@ -1,0 +1,32 @@
+"""Deterministic fault injection for the BLAS runtime.
+
+The paper targets production reconfigurable systems — Cray XD1 blades
+that can drop out, bitstream loads that can abort, SRAM words that can
+flip — yet a simulator is only trustworthy under failure if failure
+can be *caused* on demand.  This package is that cause:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`FaultEvent`:
+  an immutable, seeded schedule of blade crashes, transient
+  reconfiguration failures, memory/interconnect stalls and
+  output-word bit flips (explicit lists, seeded storms, or JSON specs).
+* :mod:`repro.faults.injector` — :class:`FaultInjector`: consumes the
+  plan exactly once, in deterministic order, through narrow hooks in
+  :mod:`repro.runtime.executor`.
+
+The runtime side — per-job retry with exponential backoff in virtual
+time, blade quarantine after repeated faults, optional result
+verification against the NumPy reference, and graceful degradation
+when capacity is lost — lives in :class:`repro.runtime.BlasRuntime`
+(``fault_plan=``, ``max_retries=``, ``verify_results=``, ...).
+See docs/faults.md.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+
+__all__ = [
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "FaultInjector",
+]

@@ -1,0 +1,154 @@
+"""The injector: hands the executor its scheduled faults, in order.
+
+:class:`FaultInjector` wraps one :class:`repro.faults.plan.FaultPlan`
+and answers the executor's narrow hook points:
+
+* :meth:`take_crashes` — blade-crash events due at or before a time;
+* :meth:`peek_crash` / :meth:`consume` — crash lookahead over a
+  dispatch window (so a batch running across a crash is aborted at the
+  crash instant, not at its scheduled end);
+* :meth:`take_reconfig_failure` — one transient bitstream-load abort;
+* :meth:`take_stalls` — memory/interconnect stalls stretching a run;
+* :meth:`take_corruption` — one output-word bit flip, applied through
+  :func:`repro.memory.bank.flip_float64_bit`.
+
+Every query consumes matching events exactly once and in ``(at,
+schedule index)`` order, and all residual randomness (retry jitter,
+unpinned bit/word choices) comes from a generator seeded by the plan —
+so a replay of the same plan over the same workload is bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.memory.bank import flip_float64_bit
+
+#: xor-folded into the plan seed so the injector's private generator
+#: never tracks the storm generator event for event.
+_JITTER_SEED_SALT = 0x5EED_FA17
+
+
+class FaultInjector:
+    """Deterministic dispenser of one plan's fault events."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = np.random.default_rng(plan.seed ^ _JITTER_SEED_SALT)
+        # Stable order: time, then schedule position on ties.
+        indexed = sorted(enumerate(plan.events),
+                         key=lambda pair: (pair[1].at, pair[0]))
+        self._queues = {kind: [event for _, event in indexed
+                               if event.kind is kind]
+                        for kind in FaultKind}
+        #: Every event actually delivered, in delivery order.
+        self.injected: List[FaultEvent] = []
+
+    # -- generic helpers -------------------------------------------------
+    @staticmethod
+    def _matches(event: FaultEvent, target: str) -> bool:
+        return event.target is None or event.target == target
+
+    def _take_one(self, kind: FaultKind, target: str,
+                  upto: float) -> Optional[FaultEvent]:
+        queue = self._queues[kind]
+        for i, event in enumerate(queue):
+            if event.at > upto:
+                break
+            if self._matches(event, target):
+                del queue[i]
+                self.injected.append(event)
+                return event
+        return None
+
+    def injected_count(self, kind: Optional[FaultKind] = None) -> int:
+        if kind is None:
+            return len(self.injected)
+        return sum(1 for e in self.injected if e.kind is kind)
+
+    # -- blade crashes ---------------------------------------------------
+    def take_crashes(self, target: str, upto: float) -> List[FaultEvent]:
+        """All crash events on ``target`` due at or before ``upto``
+        (idle-blade activation), consumed."""
+        taken = []
+        while True:
+            event = self._take_one(FaultKind.BLADE_CRASH, target, upto)
+            if event is None:
+                return taken
+            taken.append(event)
+
+    def peek_crash(self, target: str, after: float,
+                   before: float) -> Optional[FaultEvent]:
+        """The earliest un-consumed crash on ``target`` strictly inside
+        ``(after, before)`` — dispatch lookahead; does not consume."""
+        for event in self._queues[FaultKind.BLADE_CRASH]:
+            if event.at >= before:
+                return None
+            if event.at > after and self._matches(event, target):
+                return event
+        return None
+
+    def consume(self, event: FaultEvent) -> FaultEvent:
+        """Deliver a previously peeked event."""
+        self._queues[event.kind].remove(event)
+        self.injected.append(event)
+        return event
+
+    # -- reconfiguration -------------------------------------------------
+    def take_reconfig_failure(self, target: str,
+                              at: float) -> Optional[FaultEvent]:
+        """One transient bitstream-load failure due on ``target``."""
+        return self._take_one(FaultKind.RECONFIG_FAIL, target, at)
+
+    # -- memory stalls -----------------------------------------------------
+    def take_stalls(self, target: str,
+                    upto: float) -> List[FaultEvent]:
+        """Every stall event striking a run on ``target`` that ends by
+        ``upto``; the executor multiplies their factors together."""
+        taken = []
+        while True:
+            event = self._take_one(FaultKind.MEM_STALL, target, upto)
+            if event is None:
+                return taken
+            taken.append(event)
+
+    # -- result corruption -------------------------------------------------
+    def take_corruption(self, target: str,
+                        upto: float) -> Optional[FaultEvent]:
+        """One bit-flip event striking a run on ``target``."""
+        return self._take_one(FaultKind.BIT_FLIP, target, upto)
+
+    def corrupt(self, result, event: FaultEvent) -> Tuple[object, int, int]:
+        """Apply ``event``'s bit flip to one word of ``result``.
+
+        Returns ``(corrupted_result, word, bit)``; the input is never
+        mutated.  Unpinned ``word``/``bit`` choices draw from the
+        injector's seeded generator; the default bit range [44, 64)
+        keeps the flip in the high mantissa / exponent / sign bits,
+        where a residual check can see it.
+        """
+        bit = event.bit if event.bit is not None else int(
+            self._rng.integers(44, 64))
+        if np.isscalar(result) or np.ndim(result) == 0:
+            return flip_float64_bit(float(result), bit), 0, bit
+        flat = np.asarray(result, dtype=np.float64).copy()
+        shape = flat.shape
+        flat = flat.reshape(-1)
+        if event.word is not None:
+            if not 0 <= event.word < flat.size:
+                raise ValueError(
+                    f"corruption word {event.word} out of range for a "
+                    f"{flat.size}-word result")
+            word = event.word
+        else:
+            word = int(self._rng.integers(0, flat.size))
+        flat[word] = flip_float64_bit(float(flat[word]), bit)
+        return flat.reshape(shape), word, bit
+
+    # -- retry jitter ------------------------------------------------------
+    def backoff_jitter(self) -> float:
+        """Uniform [0, 1) jitter factor for exponential backoff."""
+        return float(self._rng.random())

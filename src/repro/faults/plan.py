@@ -1,0 +1,222 @@
+"""Fault plans: deterministic schedules of injected failures.
+
+A :class:`FaultPlan` is the *entire* source of adversity in a run —
+an immutable, pre-computed schedule of :class:`FaultEvent` entries in
+virtual time.  The executor consumes it through
+:class:`repro.faults.injector.FaultInjector`; nothing inside the
+runtime rolls dice at execution time, so a seeded storm replayed over
+the same workload produces byte-identical metrics and traces.
+
+Fault kinds (Section 3's failure surfaces of a production XD1):
+
+* ``blade_crash`` — a compute blade drops out at ``at`` for
+  ``duration`` virtual seconds; jobs running on it are aborted and
+  retried elsewhere.
+* ``reconfig_fail`` — a bitstream load aborts partway and must be
+  retried (the attempt still costs a full load time).
+* ``mem_stall`` — an SRAM-bank/interconnect stall stretches one job's
+  execution by ``multiplier``.
+* ``bit_flip`` — one word of a kernel's output is corrupted (an SRAM
+  upset escaping the parity check of
+  :class:`repro.memory.bank.SramBank`); result verification exists to
+  catch exactly this.
+
+Plans come from three places: an explicit event list, a seeded random
+storm (:meth:`FaultPlan.storm`), or a JSON spec file
+(:meth:`FaultPlan.from_spec` — the CLI's ``--faults-spec``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class FaultKind(Enum):
+    """The failure surfaces the plan can exercise."""
+
+    BLADE_CRASH = "blade_crash"
+    RECONFIG_FAIL = "reconfig_fail"
+    MEM_STALL = "mem_stall"
+    BIT_FLIP = "bit_flip"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``target`` names the blade it strikes (``None`` = the first blade
+    the matching hook fires on).  Kind-specific fields: ``duration``
+    (crash downtime), ``multiplier`` (stall stretch factor), ``bit`` /
+    ``word`` (which output bit/word a ``bit_flip`` corrupts; ``None``
+    picks deterministically from the plan seed).
+    """
+
+    kind: FaultKind
+    at: float
+    target: Optional[str] = None
+    duration: float = 0.002
+    multiplier: float = 4.0
+    bit: Optional[int] = None
+    word: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0.0:
+            raise ValueError("fault time must be non-negative")
+        if self.kind is FaultKind.BLADE_CRASH and self.duration <= 0.0:
+            raise ValueError("crash duration must be positive")
+        if self.kind is FaultKind.MEM_STALL and self.multiplier <= 1.0:
+            raise ValueError("stall multiplier must exceed 1")
+        if self.bit is not None and not 0 <= self.bit < 64:
+            raise ValueError("bit index must be in [0, 64)")
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"kind": self.kind.value, "at": self.at}
+        if self.target is not None:
+            payload["target"] = self.target
+        if self.kind is FaultKind.BLADE_CRASH:
+            payload["duration"] = self.duration
+        if self.kind is FaultKind.MEM_STALL:
+            payload["multiplier"] = self.multiplier
+        if self.kind is FaultKind.BIT_FLIP:
+            if self.bit is not None:
+                payload["bit"] = self.bit
+            if self.word is not None:
+                payload["word"] = self.word
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultEvent":
+        try:
+            kind = FaultKind(payload["kind"])
+        except KeyError:
+            raise ValueError("fault event needs a 'kind'") from None
+        except ValueError:
+            raise ValueError(
+                f"unknown fault kind {payload['kind']!r}; expected one "
+                f"of {[k.value for k in FaultKind]}") from None
+        if "at" not in payload:
+            raise ValueError("fault event needs an 'at' time")
+        known = {"kind", "at", "target", "duration", "multiplier",
+                 "bit", "word"}
+        extra = set(payload) - known
+        if extra:
+            raise ValueError(
+                f"unknown fault event field(s) {sorted(extra)}")
+        kwargs = {key: payload[key] for key in known - {"kind"}
+                  if key in payload}
+        return cls(kind=kind, **kwargs)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of faults plus the seed that derives every
+    remaining choice (retry jitter, unspecified bits/words)."""
+
+    events: Tuple[FaultEvent, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+    def count(self, kind: FaultKind) -> int:
+        return sum(1 for e in self.events if e.kind is kind)
+
+    @property
+    def has_corruption(self) -> bool:
+        return self.count(FaultKind.BIT_FLIP) > 0
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def empty(cls) -> "FaultPlan":
+        return cls()
+
+    @classmethod
+    def storm(cls, seed: int, horizon: float, *,
+              targets: Optional[Sequence[str]] = None,
+              crash_rate: float = 0.0,
+              reconfig_rate: float = 0.0,
+              stall_rate: float = 0.0,
+              corrupt_rate: float = 0.0,
+              crash_duration: float = 0.002,
+              stall_multiplier: float = 4.0) -> "FaultPlan":
+        """A seeded random storm: for each kind, a Poisson number of
+        events (``rate`` per virtual second over ``horizon`` seconds)
+        at uniform times, each striking a uniformly chosen target (or
+        any blade when ``targets`` is None).  Same seed, same storm.
+        """
+        if horizon <= 0.0:
+            raise ValueError("storm horizon must be positive")
+        rates = {FaultKind.BLADE_CRASH: crash_rate,
+                 FaultKind.RECONFIG_FAIL: reconfig_rate,
+                 FaultKind.MEM_STALL: stall_rate,
+                 FaultKind.BIT_FLIP: corrupt_rate}
+        if any(rate < 0 for rate in rates.values()):
+            raise ValueError("fault rates must be non-negative")
+        rng = np.random.default_rng(seed)
+        events = []
+        for kind in FaultKind:  # fixed enum order keeps storms stable
+            rate = rates[kind]
+            count = int(rng.poisson(rate * horizon)) if rate > 0 else 0
+            times = np.sort(rng.uniform(0.0, horizon, size=count))
+            for at in times:
+                target = (str(rng.choice(list(targets)))
+                          if targets else None)
+                kwargs: Dict[str, Any] = {}
+                if kind is FaultKind.BLADE_CRASH:
+                    kwargs["duration"] = crash_duration
+                if kind is FaultKind.MEM_STALL:
+                    kwargs["multiplier"] = stall_multiplier
+                events.append(FaultEvent(kind=kind, at=float(at),
+                                         target=target, **kwargs))
+        return cls(events=tuple(events), seed=seed)
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any]) -> "FaultPlan":
+        """Build a plan from a spec dict (the ``--faults-spec`` JSON).
+
+        Two shapes, combinable: an explicit ``"events"`` list of
+        :meth:`FaultEvent.from_dict` payloads, and/or a ``"storm"``
+        object holding :meth:`storm` keyword arguments (``horizon``
+        required; ``seed`` defaults to the top-level ``"seed"``).
+        """
+        if not isinstance(spec, dict):
+            raise ValueError("faults spec must be a JSON object")
+        known = {"seed", "events", "storm"}
+        extra = set(spec) - known
+        if extra:
+            raise ValueError(f"unknown faults-spec field(s) "
+                             f"{sorted(extra)}; expected {sorted(known)}")
+        seed = int(spec.get("seed", 0))
+        events = [FaultEvent.from_dict(e) for e in spec.get("events", [])]
+        storm_spec = spec.get("storm")
+        if storm_spec is not None:
+            storm_spec = dict(storm_spec)
+            if "horizon" not in storm_spec:
+                raise ValueError("faults-spec storm needs a 'horizon'")
+            horizon = float(storm_spec.pop("horizon"))
+            storm_seed = int(storm_spec.pop("seed", seed))
+            storm = cls.storm(storm_seed, horizon, **storm_spec)
+            events.extend(storm.events)
+        return cls(events=tuple(events), seed=seed)
+
+    @classmethod
+    def from_json_file(cls, path: str) -> "FaultPlan":
+        with open(path) as handle:
+            return cls.from_spec(json.load(handle))
+
+    # -- export ----------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed,
+                "events": [event.to_dict() for event in self.events]}

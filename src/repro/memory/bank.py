@@ -34,6 +34,18 @@ class ParityError(SimulationError):
     """
 
 
+def flip_float64_bit(value: float, bit: int) -> float:
+    """Return ``value`` with one bit of its IEEE-754 representation
+    flipped — the word-level upset model shared by
+    :meth:`SramBank.inject_bit_flip` and the runtime's kernel-result
+    corruption faults (:mod:`repro.faults`)."""
+    if not 0 <= bit < 64:
+        raise ValueError("bit index must be in [0, 64)")
+    raw = np.array([value], dtype=np.float64)
+    raw.view(np.uint64)[0] ^= np.uint64(1 << bit)
+    return float(raw[0])
+
+
 def _parity_byte(value: float) -> int:
     """The 8-bit checksum stored alongside each 64-bit word: XOR of
     the word's eight bytes (a simple longitudinal parity)."""
@@ -136,10 +148,8 @@ class SramBank(Component):
         when parity checking is on."""
         if not 0 <= address < self.size_words:
             raise IndexError(f"bank {self.name!r}: inject at {address}")
-        if not 0 <= bit < 64:
-            raise ValueError("bit index must be in [0, 64)")
-        raw = self._data[address:address + 1].view(np.uint64)
-        raw ^= np.uint64(1 << bit)
+        self._data[address] = flip_float64_bit(
+            float(self._data[address]), bit)
 
     # -- statistics ------------------------------------------------------
     @property

@@ -22,10 +22,22 @@ For timeline-level observability (structured spans, instant events and
 counter time-series in virtual time, Chrome-trace export, plan-vs-
 actual drift), pass ``recorder=repro.obs.TraceRecorder()`` to
 :class:`BlasRuntime` — see :mod:`repro.obs` and docs/observability.md.
+
+For fault injection and the resilience machinery it exercises (retry
+with backoff, blade quarantine, result verification, capacity
+degradation), pass ``fault_plan=repro.faults.FaultPlan(...)`` — see
+:mod:`repro.faults` and docs/faults.md.
 """
 
 from repro.runtime.executor import BlasRuntime, DeviceSlot, QueueFullError
-from repro.runtime.job import BlasRequest, Job, JobState
+from repro.runtime.job import (
+    TERMINAL_STATES,
+    BlasRequest,
+    InvalidTransitionError,
+    Job,
+    JobState,
+    RejectReason,
+)
 from repro.runtime.metrics import DeviceMetrics, RuntimeMetrics
 from repro.runtime.scheduler import (
     POLICIES,
@@ -42,6 +54,9 @@ __all__ = [
     "BlasRequest",
     "Job",
     "JobState",
+    "RejectReason",
+    "TERMINAL_STATES",
+    "InvalidTransitionError",
     "BlasRuntime",
     "DeviceSlot",
     "QueueFullError",

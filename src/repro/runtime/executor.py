@@ -26,12 +26,42 @@ Cost model
 * **Backpressure.** Arrivals beyond ``queue_capacity`` pending jobs are
   rejected (or raise :class:`QueueFullError` with ``strict_queue``).
 
+Faults and resilience
+---------------------
+Pass ``fault_plan=repro.faults.FaultPlan(...)`` to subject the run to
+a deterministic schedule of blade crashes, transient bitstream-load
+failures, memory/interconnect stalls and output-word bit flips (see
+:mod:`repro.faults`).  The runtime answers with:
+
+* **Retry with backoff.**  A job aborted by a crash (or failing result
+  verification) re-enters the queue after an exponential backoff in
+  virtual time — ``retry_backoff_seconds · 2^(attempt-1)`` with
+  deterministic jitter from the plan seed — up to ``max_retries``
+  attempts, then fails permanently.
+* **Quarantine.**  A blade accumulating ``quarantine_after`` faults is
+  drained and removed from service; its waiting work re-places through
+  the normal policies.
+* **Verification.**  With ``verify_results`` (default: on exactly when
+  the plan contains bit-flip events), every completing job's result is
+  checked against the NumPy reference; a residual above
+  ``verify_tolerance`` triggers a retry instead of returning the
+  corrupted answer.
+* **Degradation.**  A job whose design no longer fits any in-service
+  blade is re-planned at successively halved ``k`` (smaller, slower
+  design); if nothing fits, it is REJECTED with the typed reason
+  :class:`repro.runtime.job.RejectReason.CAPACITY_LOST`.
+
+With no plan (or an empty one) every fault path is dormant and the
+executor behaves exactly as before.
+
 Tracing
 -------
 Pass ``recorder=repro.obs.TraceRecorder()`` to record the run as
 structured events in virtual time: job lifecycle spans, placement /
 affinity-wait / reconfiguration / eviction / batch-formation instants,
-and queue-depth plus per-blade busy counter time-series.  Export with
+fault-plane instants (``fault.injected``, ``job.retry``,
+``blade.quarantined``, ``job.degraded``), and queue-depth plus
+per-blade busy counter time-series.  Export with
 :mod:`repro.obs.export` (Chrome trace JSON, JSON lines) and audit the
 ``plan_*`` predictors with :mod:`repro.obs.drift`.  The default
 :data:`repro.obs.NULL_RECORDER` keeps every instrumentation site
@@ -47,14 +77,16 @@ import numpy as np
 
 from repro.blas import api
 from repro.device.area import USABLE_SLICE_FRACTION
-from repro.device.node import ComputeNode
+from repro.device.node import ComputeNode, NodeHealth
 from repro.device.system import (
     Chassis,
     ReconfigurableSystem,
     make_xd1_system,
 )
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
 from repro.obs.recorder import NULL_RECORDER, NullRecorder, TraceRecorder
-from repro.runtime.job import BlasRequest, Job, JobState
+from repro.runtime.job import BlasRequest, Job, JobState, RejectReason
 from repro.runtime.metrics import DeviceMetrics, RuntimeMetrics
 from repro.runtime.scheduler import (
     Placement,
@@ -74,8 +106,8 @@ class QueueFullError(RuntimeError):
 
 
 class DeviceSlot:
-    """Runtime state of one blade: its virtual clock and the designs
-    currently configured on its FPGA."""
+    """Runtime state of one blade: its virtual clock, the designs
+    currently configured on its FPGA, and its health."""
 
     def __init__(self, node: ComputeNode, index: int) -> None:
         self.node = node
@@ -90,6 +122,8 @@ class DeviceSlot:
         self._last_used: Dict[str, int] = {}
         self._use_clock = 0
         self.metrics = DeviceMetrics(name=node.name)
+        #: Crash/quarantine state (the fault plane's device hook).
+        self.health = NodeHealth(node.name)
 
     @property
     def spare_slices(self) -> int:
@@ -139,7 +173,14 @@ class BlasRuntime:
                  on_xd1: bool = True,
                  strict_queue: bool = False,
                  recorder: Union[TraceRecorder, NullRecorder,
-                                 None] = None) -> None:
+                                 None] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 max_retries: int = 3,
+                 retry_backoff_seconds: float = 1e-3,
+                 quarantine_after: Optional[int] = 3,
+                 verify_results: Optional[bool] = None,
+                 verify_tolerance: float = 1e-6,
+                 degrade: bool = True) -> None:
         if system is None:
             system = make_xd1_system(chassis, blades=blades)
         self.system = system
@@ -158,6 +199,29 @@ class BlasRuntime:
         #: instrumentation site behind a single ``enabled`` check so
         #: disabled tracing adds no per-event allocation.
         self.recorder = NULL_RECORDER if recorder is None else recorder
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.max_retries = max_retries
+        if retry_backoff_seconds <= 0.0:
+            raise ValueError("retry_backoff_seconds must be positive")
+        self.retry_backoff_seconds = retry_backoff_seconds
+        if quarantine_after is not None and quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1 (or None)")
+        self.quarantine_after = quarantine_after
+        if verify_tolerance <= 0.0:
+            raise ValueError("verify_tolerance must be positive")
+        self.verify_tolerance = verify_tolerance
+        self.degrade = degrade
+        self.fault_plan = fault_plan
+        #: The fault hook; None on a fault-free run so every fault path
+        #: stays dormant and behavior matches the pre-fault executor.
+        self._injector = (FaultInjector(fault_plan)
+                          if fault_plan is not None
+                          and not fault_plan.is_empty else None)
+        if verify_results is None:
+            verify_results = (fault_plan is not None
+                              and fault_plan.has_corruption)
+        self.verify_results = verify_results
         self.devices = [DeviceSlot(node, i)
                         for i, node in enumerate(system.nodes)]
         if not self.devices:
@@ -170,11 +234,13 @@ class BlasRuntime:
         self._jobs: List[Job] = []
         self._arrivals: List[Job] = []
         self._pending: List[Job] = []
+        self._retrying: List[Job] = []
         self._now = 0.0
         self._depth_area = 0.0
         self._max_depth = 0
         self._last_depth = 0
         self._next_batch_id = 0
+        self._verify_failures = 0
         self._ran = False
 
     # -- submission ------------------------------------------------------
@@ -233,6 +299,23 @@ class BlasRuntime:
             return api.gemm(a, b, k=k, m=request.m, on_xd1=self.on_xd1)
         return api.spmxv(a, b, k=k, on_xd1=self.on_xd1)
 
+    def _reference(self, request: BlasRequest):
+        """NumPy ground truth for result verification."""
+        op, (a, b) = request.operation, request.operands
+        if op == "dot":
+            return float(np.dot(a, b))
+        if op in ("gemv", "gemm"):
+            return np.asarray(a) @ np.asarray(b)
+        return a.matvec(np.asarray(b, dtype=np.float64))
+
+    @staticmethod
+    def _residual(result, reference) -> float:
+        """Max absolute error normalized by the reference magnitude."""
+        res = np.atleast_1d(np.asarray(result, dtype=np.float64))
+        ref = np.atleast_1d(np.asarray(reference, dtype=np.float64))
+        scale = float(np.max(np.abs(ref))) if ref.size else 0.0
+        return float(np.max(np.abs(res - ref))) / (scale + 1.0)
+
     # -- event loop ------------------------------------------------------
     def run(self) -> RuntimeMetrics:
         """Drain the queue and return the run's metrics."""
@@ -245,10 +328,15 @@ class BlasRuntime:
         if rec.enabled:
             rec.counter("queue_depth", "queue", 0.0, 0)
 
-        while arrivals or self._pending:
+        while arrivals or self._pending or self._retrying:
+            if self._injector is not None:
+                self._activate_idle_crashes()
+                self._ingest_retries()
             self._ingest_due(arrivals)
-            free = [d for d in self.devices if d.free_at <= self._now]
-            busy = [d for d in self.devices if d.free_at > self._now]
+            free = [d for d in self.devices if d.free_at <= self._now
+                    and not d.health.quarantined]
+            busy = [d for d in self.devices if d.free_at > self._now
+                    and not d.health.quarantined]
             placement = None
             if self._pending and free:
                 placement = self.policy.select(tuple(self._pending),
@@ -269,36 +357,37 @@ class BlasRuntime:
                           if d.free_at > self._now]
             if arrivals:
                 next_times.append(arrivals[0].submitted_at)
+            if self._retrying:
+                next_times.append(self._retrying[0].retry_at)
             future = [t for t in next_times if t > self._now]
             if future:
                 self._advance(min(future))
                 continue
-            # All devices idle, no future arrivals, yet jobs remain:
-            # nothing can ever place them (transient area conflicts are
-            # impossible once every blade is free).
-            for job in self._pending:
-                job.fail(self._now,
-                         f"unplaceable: no free blade accepted the design "
-                         f"({job.plan.area.slices} slices)")
-                if rec.enabled:
-                    rec.instant("job.unplaceable", "lifecycle",
-                                "scheduler", self._now,
-                                {"job": job.job_id,
-                                 "slices": job.plan.area.slices})
-            self._pending.clear()
+            # All in-service devices idle, no future arrivals or
+            # retries, yet jobs remain: nothing can ever place them
+            # (transient area conflicts are impossible once every blade
+            # is free).  When quarantine shrank the pool, first try a
+            # degraded (smaller-k) plan; otherwise reject with a typed
+            # capacity reason.
+            if self._resolve_unplaceable():
+                continue
             if rec.enabled:
                 self._sample_depth()
         metrics = self._build_metrics()
         if rec.enabled:
+            args = {"policy": self.policy.name,
+                    "blades": len(self.devices),
+                    "jobs_submitted": metrics.jobs_submitted,
+                    "jobs_completed": metrics.jobs_completed,
+                    "jobs_failed": metrics.jobs_failed,
+                    "jobs_rejected": metrics.jobs_rejected,
+                    "batches": metrics.batches}
+            if self._injector is not None:
+                args["faults_injected"] = metrics.faults_injected
+                args["retries"] = metrics.retries_total
+                args["blades_quarantined"] = metrics.blades_quarantined
             rec.span("runtime.run", "runtime", "runtime",
-                     0.0, metrics.makespan_seconds,
-                     {"policy": self.policy.name,
-                      "blades": len(self.devices),
-                      "jobs_submitted": metrics.jobs_submitted,
-                      "jobs_completed": metrics.jobs_completed,
-                      "jobs_failed": metrics.jobs_failed,
-                      "jobs_rejected": metrics.jobs_rejected,
-                      "batches": metrics.batches})
+                     0.0, metrics.makespan_seconds, args)
         return metrics
 
     def _ingest_due(self, arrivals: Deque[Job]) -> None:
@@ -311,19 +400,39 @@ class BlasRuntime:
                     raise QueueFullError(
                         f"queue full ({self.queue_capacity} pending) at "
                         f"t={self._now:.6f}s; job {job.job_id} rejected")
-                job.transition(JobState.REJECTED, self._now)
-                job.error = (f"queue full ({self.queue_capacity} jobs "
-                             "pending)")
+                job.reject(self._now, RejectReason.QUEUE_FULL,
+                           f"queue full ({self.queue_capacity} jobs "
+                           "pending)")
                 if rec.enabled:
                     rec.instant("job.rejected", "lifecycle", "queue",
                                 self._now,
                                 {"job": job.job_id,
+                                 "reason": RejectReason.QUEUE_FULL.value,
                                  "capacity": self.queue_capacity})
                 continue
             self._pending.append(job)
         self._max_depth = max(self._max_depth, len(self._pending))
         if rec.enabled:
             self._sample_depth()
+
+    def _ingest_retries(self) -> None:
+        """Move jobs whose backoff has elapsed back into the queue.
+
+        Retries bypass admission control: the job was already accepted
+        once, so backpressure must not convert a transient fault into a
+        rejection.
+        """
+        rec = self.recorder
+        moved = False
+        while self._retrying and self._retrying[0].retry_at <= self._now:
+            job = self._retrying.pop(0)
+            job.transition(JobState.QUEUED, self._now)
+            self._pending.append(job)
+            moved = True
+        if moved:
+            self._max_depth = max(self._max_depth, len(self._pending))
+            if rec.enabled:
+                self._sample_depth()
 
     def _sample_depth(self) -> None:
         """Emit a queue-depth counter sample when the depth changed."""
@@ -337,6 +446,162 @@ class BlasRuntime:
         self._depth_area += len(self._pending) * (to - self._now)
         self._now = to
 
+    # -- fault plane -----------------------------------------------------
+    def _activate_idle_crashes(self) -> None:
+        """Deliver crash events that struck idle blades.
+
+        Crashes inside a dispatched batch are consumed by the dispatch
+        lookahead; anything still pending once virtual time passes it
+        hit a blade with nothing running — it only costs downtime and
+        a health strike.
+        """
+        for device in self.devices:
+            for event in self._injector.take_crashes(device.name,
+                                                     self._now):
+                self._apply_crash(device, event)
+
+    def _apply_crash(self, device: DeviceSlot,
+                     event: FaultEvent) -> None:
+        """Common crash bookkeeping: downtime window, health strike,
+        trace instant, possible quarantine."""
+        end = event.at + event.duration
+        device.health.add_downtime(event.at, end)
+        device.free_at = max(device.free_at, end)
+        if self.recorder.enabled:
+            self.recorder.instant(
+                "fault.injected", "fault", device.name, event.at,
+                {"kind": event.kind.value, "device": device.name,
+                 "duration": event.duration})
+        self._record_device_fault(device, event.at)
+
+    def _record_device_fault(self, device: DeviceSlot,
+                             at: float) -> None:
+        count = device.health.record_fault(at)
+        if (self.quarantine_after is not None
+                and count >= self.quarantine_after
+                and not device.health.quarantined):
+            device.health.quarantine(at)
+            if self.recorder.enabled:
+                self.recorder.instant(
+                    "blade.quarantined", "fault", device.name, at,
+                    {"device": device.name, "faults": count})
+
+    def _schedule_retry(self, job: Job, at: float, reason: str) -> None:
+        """Queue one more attempt after an exponential backoff, or fail
+        the job permanently once its retry budget is spent."""
+        rec = self.recorder
+        attempt = job.retries + 1
+        if attempt > self.max_retries:
+            job.fail(at, f"{reason}; retry budget exhausted "
+                         f"({self.max_retries})")
+            if rec.enabled:
+                rec.instant("job.failed", "lifecycle", "scheduler", at,
+                            {"job": job.job_id, "error": job.error})
+            return
+        job.retries = attempt
+        job.fault_history.append(reason)
+        backoff = self.retry_backoff_seconds * (2 ** (attempt - 1))
+        backoff *= 1.0 + self._injector.backoff_jitter()
+        job.transition(JobState.RETRYING, at)
+        job.retry_at = at + backoff
+        self._retrying.append(job)
+        self._retrying.sort(key=lambda j: (j.retry_at, j.job_id))
+        if rec.enabled:
+            rec.instant("job.retry", "fault", "scheduler", at,
+                        {"job": job.job_id, "attempt": attempt,
+                         "reason": reason, "backoff": backoff,
+                         "retry_at": job.retry_at})
+
+    def _abort_batch(self, device: DeviceSlot, members: List[Job],
+                     crash: FaultEvent) -> None:
+        """A crash cut a dispatched batch short: retry every member
+        that has not completed and take the blade down."""
+        self._injector.consume(crash)
+        if self.recorder.enabled:
+            self.recorder.instant(
+                "fault.injected", "fault", device.name, crash.at,
+                {"kind": crash.kind.value, "device": device.name,
+                 "duration": crash.duration,
+                 "aborted_jobs": [m.job_id for m in members]})
+        for member in members:
+            self._schedule_retry(
+                member, crash.at,
+                f"blade crash on {device.name} at t={crash.at:.6f}s")
+        end = crash.at + crash.duration
+        device.health.add_downtime(crash.at, end)
+        device.free_at = end
+        self._record_device_fault(device, crash.at)
+        if self.recorder.enabled:
+            self.recorder.counter(f"{device.name}:busy", device.name,
+                                  crash.at, 0)
+
+    def _try_degrade(self, job: Job,
+                     alive: List[DeviceSlot]) -> bool:
+        """Re-plan ``job`` at successively halved ``k`` until the
+        design fits an in-service blade.  Mutates the request's ``k``
+        and the job's plan on success."""
+        original_k = job.request.k
+        k = original_k
+        while k > 1:
+            k //= 2
+            job.request.k = k
+            try:
+                plan = self._plan(job.request)
+            except (ValueError, MemoryError, SimulationError):
+                continue
+            if any(d.can_ever_hold(plan.area.slices) for d in alive):
+                job.plan = plan
+                if job.degraded_from_k is None:
+                    job.degraded_from_k = original_k
+                if self.recorder.enabled:
+                    self.recorder.instant(
+                        "job.degraded", "fault", "scheduler", self._now,
+                        {"job": job.job_id, "from_k": original_k,
+                         "to_k": k, "slices": plan.area.slices})
+                return True
+        job.request.k = original_k
+        return False
+
+    def _resolve_unplaceable(self) -> bool:
+        """Handle pending jobs nothing can ever place.  Returns True
+        when degradation re-planned at least one job (the event loop
+        should try again); otherwise every stuck job has been failed or
+        rejected and the queue is empty."""
+        alive = [d for d in self.devices if not d.health.quarantined]
+        rec = self.recorder
+        survivors: List[Job] = []
+        progressed = False
+        for job in self._pending:
+            slices = job.plan.area.slices
+            if any(d.can_ever_hold(slices) for d in alive):
+                job.fail(self._now,
+                         f"unplaceable: no free blade accepted the design "
+                         f"({slices} slices)")
+                if rec.enabled:
+                    rec.instant("job.unplaceable", "lifecycle",
+                                "scheduler", self._now,
+                                {"job": job.job_id, "slices": slices})
+            elif (self.degrade and alive
+                    and self._try_degrade(job, alive)):
+                survivors.append(job)
+                progressed = True
+            else:
+                job.reject(
+                    self._now, RejectReason.CAPACITY_LOST,
+                    f"capacity lost: design needs {slices} slices and "
+                    f"{len(self.devices) - len(alive)} of "
+                    f"{len(self.devices)} blade(s) are quarantined")
+                if rec.enabled:
+                    rec.instant(
+                        "job.rejected", "lifecycle", "scheduler",
+                        self._now,
+                        {"job": job.job_id,
+                         "reason": RejectReason.CAPACITY_LOST.value,
+                         "slices": slices})
+        self._pending = survivors
+        return progressed
+
+    # -- dispatch --------------------------------------------------------
     def _collect_batch(self, lead: Job) -> List[Job]:
         batch = [lead]
         if self.batching and lead.request.operation == "gemm":
@@ -353,6 +618,7 @@ class BlasRuntime:
     def _dispatch(self, placement: Placement) -> None:
         job, device = placement.job, placement.device
         rec = self.recorder
+        injector = self._injector
         self._pending.remove(job)
         batch = self._collect_batch(job)
         batch_id = self._next_batch_id
@@ -376,6 +642,12 @@ class BlasRuntime:
                              "lead": job.job_id,
                              "members": [m.job_id for m in batch],
                              "design": job.plan.design_key})
+        for member in batch:
+            member.device = device.name
+            member.batch_id = batch_id
+            member.transition(JobState.PLACED, start)
+        if injector is not None:
+            clock = self._faulty_reconfig_attempts(device, clock)
         if device.configure(job.plan.design_key, job.plan.area.slices):
             if rec.enabled:
                 for evicted in device.last_evicted:
@@ -389,8 +661,8 @@ class BlasRuntime:
                              "bytes": RECONFIG_BITSTREAM_BYTES,
                              "seconds": self.reconfig_seconds})
                 rec.span(f"reconfig:{job.plan.design_key}", "reconfig",
-                         device.name, start,
-                         start + self.reconfig_seconds,
+                         device.name, clock,
+                         clock + self.reconfig_seconds,
                          {"design": job.plan.design_key,
                           "evicted": list(device.last_evicted)})
             clock += self.reconfig_seconds
@@ -404,16 +676,23 @@ class BlasRuntime:
         if rec.enabled:
             rec.counter(f"{device.name}:busy", device.name, start, 1)
         for i, member in enumerate(batch):
-            member.device = device.name
-            member.batch_id = batch_id
-            member.transition(JobState.PLACED, start)
-            member.transition(JobState.RUNNING, clock)
             run_start = clock
+            if injector is not None:
+                crash = injector.peek_crash(device.name, start, run_start)
+                if crash is not None:
+                    # The blade died before this member (and the rest
+                    # of the batch) got to run.
+                    self._abort_batch(device, batch[i:], crash)
+                    break
+            member.transition(JobState.RUNNING, run_start)
             if rec.enabled:
+                wait_from = (member.retry_at if member.retries
+                             else member.submitted_at)
                 rec.span(f"job{member.job_id}:wait", "queue", "queue",
-                         member.submitted_at, run_start,
+                         wait_from, run_start,
                          {"job": member.job_id,
-                          "operation": member.request.operation})
+                          "operation": member.request.operation,
+                          "attempt": member.retries + 1})
             try:
                 result, report = self._execute(member.request)
             except (ValueError, MemoryError, SimulationError) as exc:
@@ -426,7 +705,22 @@ class BlasRuntime:
             cycles = report.total_cycles - (overhead if i else 0)
             cycles = max(1, cycles)
             seconds = cycles / (report.clock_mhz * 1e6)
-            clock += seconds
+            if injector is not None:
+                seconds = self._apply_stalls(device, member, run_start,
+                                             seconds)
+                end = run_start + seconds
+                crash = injector.peek_crash(device.name, start, end)
+                if crash is not None:
+                    # The blade died under this member mid-run; it and
+                    # every batch member behind it retry elsewhere.
+                    self._abort_batch(device, batch[i:], crash)
+                    break
+                result, retry = self._apply_corruption_and_verify(
+                    device, member, result, end)
+                if retry:
+                    clock = end
+                    continue
+            clock = run_start + seconds
             member.charged_cycles = cycles
             member.charged_seconds = seconds
             member.result = result
@@ -446,10 +740,87 @@ class BlasRuntime:
             device.metrics.jobs_completed += 1
             device.metrics.busy_seconds += seconds
             device.metrics.flops += report.flops
+        else:
+            device.free_at = clock
+            if rec.enabled:
+                rec.counter(f"{device.name}:busy", device.name, clock, 0)
         device.metrics.batches += 1
-        device.free_at = clock
-        if rec.enabled:
-            rec.counter(f"{device.name}:busy", device.name, clock, 0)
+
+    def _faulty_reconfig_attempts(self, device: DeviceSlot,
+                                  clock: float) -> float:
+        """Charge transient bitstream-load failures due on this blade:
+        each aborted attempt costs a full load time, then the real
+        configuration proceeds."""
+        rec = self.recorder
+        while True:
+            event = self._injector.take_reconfig_failure(device.name,
+                                                         clock)
+            if event is None:
+                return clock
+            if rec.enabled:
+                rec.instant(
+                    "fault.injected", "fault", device.name, clock,
+                    {"kind": event.kind.value, "device": device.name,
+                     "seconds_lost": self.reconfig_seconds})
+                rec.span("reconfig:aborted", "fault", device.name,
+                         clock, clock + self.reconfig_seconds,
+                         {"device": device.name})
+            clock += self.reconfig_seconds
+            device.metrics.reconfig_seconds += self.reconfig_seconds
+            self._record_device_fault(device, event.at)
+
+    def _apply_stalls(self, device: DeviceSlot, member: Job,
+                      run_start: float, seconds: float) -> float:
+        """Stretch a run by every memory/interconnect stall striking
+        its window; returns the stretched duration."""
+        rec = self.recorder
+        events = self._injector.take_stalls(device.name,
+                                            run_start + seconds)
+        for event in events:
+            stretched = seconds * event.multiplier
+            if rec.enabled:
+                rec.instant(
+                    "fault.injected", "fault", device.name, event.at,
+                    {"kind": event.kind.value, "device": device.name,
+                     "job": member.job_id,
+                     "multiplier": event.multiplier,
+                     "seconds_added": stretched - seconds})
+            seconds = stretched
+            self._record_device_fault(device, event.at)
+        return seconds
+
+    def _apply_corruption_and_verify(self, device: DeviceSlot,
+                                     member: Job, result, end: float):
+        """Apply a due bit-flip fault to the result, then (when
+        verification is on) check the result against the NumPy
+        reference.  Returns ``(result, retry)``; ``retry`` means the
+        member was sent back for another attempt."""
+        rec = self.recorder
+        event = self._injector.take_corruption(device.name, end)
+        if event is not None:
+            result, word, bit = self._injector.corrupt(result, event)
+            if rec.enabled:
+                rec.instant(
+                    "fault.injected", "fault", device.name, event.at,
+                    {"kind": event.kind.value, "device": device.name,
+                     "job": member.job_id, "word": word, "bit": bit})
+            self._record_device_fault(device, event.at)
+        if self.verify_results:
+            residual = self._residual(result,
+                                      self._reference(member.request))
+            if residual > self.verify_tolerance:
+                self._verify_failures += 1
+                if rec.enabled:
+                    rec.instant(
+                        "job.verify_failed", "fault", device.name, end,
+                        {"job": member.job_id, "residual": residual,
+                         "tolerance": self.verify_tolerance})
+                self._schedule_retry(
+                    member, end,
+                    f"result verification failed on {device.name} "
+                    f"(residual {residual:.3e})")
+                return result, True
+        return result, False
 
     # -- reporting -------------------------------------------------------
     def _build_metrics(self) -> RuntimeMetrics:
@@ -459,6 +830,11 @@ class BlasRuntime:
         makespan = max(finish_times, default=0.0)
         for device in self.devices:
             device.metrics.resident_designs = list(device.resident)
+            device.metrics.faults = device.health.fault_count
+            device.metrics.downtime_seconds = \
+                device.health.downtime_seconds
+            device.metrics.quarantined = device.health.quarantined
+        injector = self._injector
         return RuntimeMetrics(
             policy=self.policy.name,
             device_count=len(self.devices),
@@ -477,6 +853,21 @@ class BlasRuntime:
             max_queue_depth=self._max_depth,
             mean_queue_depth=(self._depth_area / makespan
                               if makespan > 0 else 0.0),
+            faults_injected=(injector.injected_count()
+                             if injector else 0),
+            retries_total=sum(j.retries for j in self._jobs),
+            jobs_retried=sum(1 for j in self._jobs if j.retries),
+            jobs_degraded=sum(1 for j in self._jobs
+                              if j.degraded_from_k is not None),
+            corruptions_injected=(
+                injector.injected_count(FaultKind.BIT_FLIP)
+                if injector else 0),
+            verify_failures=self._verify_failures,
+            blades_quarantined=sum(1 for d in self.devices
+                                   if d.health.quarantined),
+            capacity_rejections=sum(
+                1 for j in self._jobs
+                if j.reject_reason is RejectReason.CAPACITY_LOST),
             devices=[d.metrics for d in self.devices],
         )
 

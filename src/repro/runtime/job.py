@@ -9,9 +9,9 @@ the numerical result plus its :class:`repro.blas.api.PerfReport`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.blas.api import ExecutionPlan, PerfReport
 
@@ -27,6 +27,9 @@ class JobState(Enum):
     QUEUED = "queued"
     PLACED = "placed"
     RUNNING = "running"
+    #: Aborted by a fault (blade crash, detected corruption) and
+    #: waiting out its backoff before re-entering the queue.
+    RETRYING = "retrying"
     DONE = "done"
     FAILED = "failed"
     REJECTED = "rejected"
@@ -34,12 +37,26 @@ class JobState(Enum):
 
 _VALID_TRANSITIONS = {
     JobState.QUEUED: {JobState.PLACED, JobState.FAILED, JobState.REJECTED},
-    JobState.PLACED: {JobState.RUNNING, JobState.FAILED},
-    JobState.RUNNING: {JobState.DONE, JobState.FAILED},
+    JobState.PLACED: {JobState.RUNNING, JobState.FAILED,
+                      JobState.RETRYING},
+    JobState.RUNNING: {JobState.DONE, JobState.FAILED, JobState.RETRYING},
+    JobState.RETRYING: {JobState.QUEUED, JobState.FAILED,
+                        JobState.REJECTED},
     JobState.DONE: set(),
     JobState.FAILED: set(),
     JobState.REJECTED: set(),
 }
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset(
+    state for state, allowed in _VALID_TRANSITIONS.items() if not allowed)
+
+
+class RejectReason(Enum):
+    """Typed reason a job was REJECTED at admission or after a fault."""
+
+    QUEUE_FULL = "queue_full"
+    CAPACITY_LOST = "capacity_lost"
 
 
 class InvalidTransitionError(RuntimeError):
@@ -107,6 +124,16 @@ class Job:
     result: Any = None
     report: Optional[PerfReport] = None
     error: Optional[str] = None
+    #: Typed reason when the job ends REJECTED.
+    reject_reason: Optional[RejectReason] = None
+    #: Completed retry attempts (0 = first execution never faulted).
+    retries: int = 0
+    #: Virtual time the job re-enters the queue after its backoff.
+    retry_at: Optional[float] = None
+    #: Human-readable record of every fault that struck this job.
+    fault_history: List[str] = field(default_factory=list)
+    #: Original ``k`` when capacity loss forced a smaller design.
+    degraded_from_k: Optional[int] = None
     #: Trace span id of the RUNNING interval when the runtime recorded
     #: into a :class:`repro.obs.TraceRecorder`; kernel-level traces
     #: attach as children of it (:func:`repro.obs.attach_kernel_trace`).
@@ -129,6 +156,12 @@ class Job:
     def fail(self, now: float, error: str) -> None:
         self.error = error
         self.transition(JobState.FAILED, now)
+
+    def reject(self, now: float, reason: RejectReason,
+               error: str) -> None:
+        self.reject_reason = reason
+        self.error = error
+        self.transition(JobState.REJECTED, now)
 
     # -- derived timings -------------------------------------------------
     @property

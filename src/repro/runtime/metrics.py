@@ -46,6 +46,13 @@ class DeviceMetrics:
     reconfigurations: int = 0
     flops: int = 0
     resident_designs: List[str] = field(default_factory=list)
+    #: Faults charged to this blade (crashes, failed bitstream loads,
+    #: stalls, corrupted outputs it produced).
+    faults: int = 0
+    #: Virtual seconds the blade spent down after crashes.
+    downtime_seconds: float = 0.0
+    #: True when repeated faults removed the blade from service.
+    quarantined: bool = False
 
     def utilization(self, makespan: float) -> float:
         """Fraction of the run the blade spent computing (reconfig time
@@ -65,6 +72,9 @@ class DeviceMetrics:
             "flops": self.flops,
             "utilization": self.utilization(makespan),
             "resident_designs": list(self.resident_designs),
+            "faults": self.faults,
+            "downtime_seconds": self.downtime_seconds,
+            "quarantined": self.quarantined,
         }
 
 
@@ -86,6 +96,15 @@ class RuntimeMetrics:
     latency_seconds: List[float] = field(default_factory=list)
     max_queue_depth: int = 0
     mean_queue_depth: float = 0.0
+    #: Fault-plane accounting (all zero on a fault-free run).
+    faults_injected: int = 0
+    retries_total: int = 0
+    jobs_retried: int = 0
+    jobs_degraded: int = 0
+    corruptions_injected: int = 0
+    verify_failures: int = 0
+    blades_quarantined: int = 0
+    capacity_rejections: int = 0
     devices: List[DeviceMetrics] = field(default_factory=list)
 
     # -- derived ---------------------------------------------------------
@@ -141,6 +160,16 @@ class RuntimeMetrics:
                 "max": self.max_queue_depth,
                 "mean": self.mean_queue_depth,
             },
+            "faults": {
+                "injected": self.faults_injected,
+                "retries": self.retries_total,
+                "jobs_retried": self.jobs_retried,
+                "jobs_degraded": self.jobs_degraded,
+                "corruptions_injected": self.corruptions_injected,
+                "verify_failures": self.verify_failures,
+                "blades_quarantined": self.blades_quarantined,
+                "capacity_rejections": self.capacity_rejections,
+            },
             "total_flops": self.total_flops,
             "sustained_gflops": self.sustained_gflops,
             "throughput_jobs_per_s": self.throughput_jobs_per_s,
@@ -167,14 +196,31 @@ class RuntimeMetrics:
             f"{self.latency_percentile(99) * 1e3:.3f} ms  "
             f"queue depth max/mean {self.max_queue_depth}/"
             f"{self.mean_queue_depth:.1f}",
-            f"{'blade':<24} {'jobs':>5} {'util %':>7} {'busy ms':>9} "
-            f"{'reconf':>6} {'reconf ms':>10}",
         ]
+        if (self.faults_injected or self.retries_total
+                or self.blades_quarantined or self.capacity_rejections):
+            lines.append(
+                f"faults {self.faults_injected} injected "
+                f"({self.corruptions_injected} corruptions, "
+                f"{self.verify_failures} caught by verification)  "
+                f"retries {self.retries_total} over "
+                f"{self.jobs_retried} job(s)  "
+                f"quarantined {self.blades_quarantined} blade(s)  "
+                f"degraded {self.jobs_degraded}  "
+                f"capacity-rejected {self.capacity_rejections}")
+        lines.append(
+            f"{'blade':<24} {'jobs':>5} {'util %':>7} {'busy ms':>9} "
+            f"{'reconf':>6} {'reconf ms':>10}")
         for dev in self.devices:
+            flag = ""
+            if dev.quarantined:
+                flag = "  QUARANTINED"
+            elif dev.faults:
+                flag = f"  ({dev.faults} fault(s))"
             lines.append(
                 f"{dev.name:<24} {dev.jobs_completed:>5} "
                 f"{dev.utilization(self.makespan_seconds) * 100:>7.1f} "
                 f"{dev.busy_seconds * 1e3:>9.3f} "
                 f"{dev.reconfigurations:>6} "
-                f"{dev.reconfig_seconds * 1e3:>10.3f}")
+                f"{dev.reconfig_seconds * 1e3:>10.3f}{flag}")
         return "\n".join(lines)

@@ -153,7 +153,8 @@ _SPMXV_GRIDS = (8, 10, 12, 16, 20)
 
 def blas_request_mix(count: int, rng: np.random.Generator,
                      mix: dict | None = None,
-                     arrival_rate: float | None = None):
+                     arrival_rate: float | None = None,
+                     sizes: dict | None = None):
     """A synthetic stream of runtime requests.
 
     Returns ``[(arrival_time, BlasRequest), ...]`` — ``count`` requests
@@ -162,6 +163,9 @@ def blas_request_mix(count: int, rng: np.random.Generator,
     the paper's applications.  ``arrival_rate`` (requests per virtual
     second) spaces arrivals exponentially; ``None`` submits everything
     at t = 0 (a closed batch).  Priorities are drawn from {0, 1, 2}.
+    ``sizes`` overrides the per-operation shape grid (operation →
+    sequence of sizes; for spmxv the sizes are Poisson grid widths) —
+    the chaos harness uses small grids to keep fault storms fast.
     """
     from repro.runtime.job import BlasRequest
 
@@ -170,6 +174,19 @@ def blas_request_mix(count: int, rng: np.random.Generator,
     weights = dict(DEFAULT_REQUEST_MIX if mix is None else mix)
     if not weights or any(w < 0 for w in weights.values()):
         raise ValueError("mix must map operations to non-negative weights")
+    size_grid = {"dot": _DOT_SIZES, "gemv": _GEMV_SIZES,
+                 "gemm": _GEMM_SIZES, "spmxv": _SPMXV_GRIDS}
+    if sizes is not None:
+        unknown = set(sizes) - set(size_grid)
+        if unknown:
+            raise ValueError(f"unknown operation(s) in sizes: "
+                             f"{sorted(unknown)}")
+        for op, grid in sizes.items():
+            grid = tuple(int(s) for s in grid)
+            if not grid or any(s < 1 for s in grid):
+                raise ValueError(f"sizes[{op!r}] must be a non-empty "
+                                 "sequence of positive ints")
+            size_grid[op] = grid
     ops = sorted(weights)
     probs = np.array([weights[op] for op in ops], dtype=np.float64)
     if probs.sum() <= 0:
@@ -184,22 +201,22 @@ def blas_request_mix(count: int, rng: np.random.Generator,
         op = ops[int(rng.choice(len(ops), p=probs))]
         priority = int(rng.integers(0, 3))
         if op == "dot":
-            n = int(rng.choice(_DOT_SIZES))
+            n = int(rng.choice(size_grid["dot"]))
             request = BlasRequest("dot", (rng.standard_normal(n),
                                           rng.standard_normal(n)),
                                   priority=priority)
         elif op == "gemv":
-            n = int(rng.choice(_GEMV_SIZES))
+            n = int(rng.choice(size_grid["gemv"]))
             request = BlasRequest("gemv", (rng.standard_normal((n, n)),
                                            rng.standard_normal(n)),
                                   priority=priority)
         elif op == "gemm":
-            n = int(rng.choice(_GEMM_SIZES))
+            n = int(rng.choice(size_grid["gemm"]))
             request = BlasRequest("gemm", (rng.standard_normal((n, n)),
                                            rng.standard_normal((n, n))),
                                   priority=priority)
         elif op == "spmxv":
-            grid = int(rng.choice(_SPMXV_GRIDS))
+            grid = int(rng.choice(size_grid["spmxv"]))
             matrix = poisson_2d(grid)
             request = BlasRequest(
                 "spmxv", (matrix, rng.standard_normal(matrix.ncols)),

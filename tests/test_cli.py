@@ -183,3 +183,96 @@ class TestTraceCommand:
     def test_strict_mode_passes_on_standard_mix(self):
         assert main(["trace", "--jobs", "12", "--blades", "2",
                      "--strict"]) == 0
+
+
+class TestFaultsCommand:
+    def test_defaults_parse(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.jobs == 60
+        assert args.crash_rate == 200.0
+        assert args.spec is None and args.horizon is None
+
+    def test_storm_replay(self, capsys):
+        rc = main(["faults", "--jobs", "20", "--blades", "4",
+                   "--arrival-rate", "3000", "--fault-seed", "11"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fault plan:" in out
+        assert "injected faults" in out
+
+    def test_storm_json_is_deterministic(self, capsys):
+        argv = ["faults", "--jobs", "15", "--blades", "3",
+                "--arrival-rate", "2500", "--fault-seed", "7", "--json"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        second = capsys.readouterr().out
+        assert first == second
+        import json
+
+        payload = json.loads(first)
+        assert "faults" in payload
+        assert payload["faults"]["injected"] >= 0
+
+    def test_explicit_spec(self, capsys, tmp_path):
+        import json
+
+        spec = tmp_path / "faults.json"
+        spec.write_text(json.dumps(
+            {"seed": 3,
+             "events": [{"kind": "mem_stall", "at": 0.0001,
+                         "multiplier": 2.0}]}))
+        rc = main(["faults", "--jobs", "6", "--blades", "2",
+                   "--spec", str(spec), "--json"])
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert rc == 0
+        assert payload["faults"]["injected"] == 1
+
+    def test_trace_out_records_fault_instants(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "trace.json"
+        main(["faults", "--jobs", "20", "--blades", "3",
+              "--arrival-rate", "3000", "--fault-seed", "23",
+              "--crash-rate", "500", "--trace-out", str(out)])
+        capsys.readouterr()
+        trace = json.loads(out.read_text())
+        names = {e.get("name") for e in trace["traceEvents"]}
+        assert "fault.injected" in names
+
+
+class TestFailureExitCodes:
+    def test_runtime_exits_nonzero_on_rejected_jobs(self, capsys):
+        rc = main(["runtime", "--jobs", "10", "--queue-capacity", "1",
+                   "--arrival-rate", "1e9"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "runtime FAILED" in captured.err
+        assert "REJECTED" in captured.err
+
+    def test_runtime_faults_spec_flag(self, capsys, tmp_path):
+        import json
+
+        spec = tmp_path / "faults.json"
+        spec.write_text(json.dumps(
+            {"events": [{"kind": "reconfig_fail", "at": 0.0}]}))
+        rc = main(["runtime", "--jobs", "4", "--blades", "2",
+                   "--faults-spec", str(spec), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["faults"]["injected"] == 1
+
+    def test_faults_exits_nonzero_when_jobs_are_lost(self, capsys):
+        # one blade, instantly quarantined: every job is rejected for
+        # lost capacity and the command must say so and exit 1
+        rc = main(["faults", "--jobs", "3", "--blades", "1",
+                   "--arrival-rate", "1000", "--horizon", "0.001",
+                   "--crash-rate", "5000", "--crash-duration", "0.0001",
+                   "--quarantine-after", "1",
+                   "--reconfig-rate", "0", "--stall-rate", "0",
+                   "--corrupt-rate", "0"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "runtime FAILED" in captured.err
+        assert "QUARANTINED" in captured.out

@@ -1,0 +1,209 @@
+"""Unit tests for fault plans, specs and the deterministic injector."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan
+
+
+def _crash(at, target=None, duration=0.002):
+    return FaultEvent(FaultKind.BLADE_CRASH, at, target=target,
+                      duration=duration)
+
+
+class TestFaultEvent:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(FaultKind.BIT_FLIP, -0.1)
+
+    def test_crash_needs_positive_duration(self):
+        with pytest.raises(ValueError):
+            FaultEvent(FaultKind.BLADE_CRASH, 0.0, duration=0.0)
+
+    def test_stall_multiplier_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            FaultEvent(FaultKind.MEM_STALL, 0.0, multiplier=1.0)
+
+    def test_bit_range_checked(self):
+        with pytest.raises(ValueError):
+            FaultEvent(FaultKind.BIT_FLIP, 0.0, bit=64)
+
+    def test_dict_roundtrip(self):
+        event = FaultEvent(FaultKind.BIT_FLIP, 0.25, target="b0",
+                           bit=52, word=3)
+        assert FaultEvent.from_dict(event.to_dict()) == event
+
+    def test_roundtrip_keeps_kind_specific_fields_only(self):
+        crash = _crash(0.1, duration=0.5)
+        payload = crash.to_dict()
+        assert payload == {"kind": "blade_crash", "at": 0.1,
+                           "duration": 0.5}
+
+    def test_from_dict_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent.from_dict({"kind": "meteor", "at": 0.0})
+
+    def test_from_dict_unknown_field(self):
+        with pytest.raises(ValueError, match="unknown fault event"):
+            FaultEvent.from_dict({"kind": "bit_flip", "at": 0.0,
+                                  "severity": 11})
+
+    def test_from_dict_requires_at(self):
+        with pytest.raises(ValueError, match="'at'"):
+            FaultEvent.from_dict({"kind": "bit_flip"})
+
+
+class TestFaultPlan:
+    def test_empty(self):
+        plan = FaultPlan.empty()
+        assert plan.is_empty
+        assert len(plan) == 0
+        assert not plan.has_corruption
+
+    def test_counts_and_corruption_flag(self):
+        plan = FaultPlan(events=(
+            _crash(0.0), _crash(0.1),
+            FaultEvent(FaultKind.BIT_FLIP, 0.2)))
+        assert plan.count(FaultKind.BLADE_CRASH) == 2
+        assert plan.count(FaultKind.MEM_STALL) == 0
+        assert plan.has_corruption
+
+    def test_storm_is_seed_deterministic(self):
+        kwargs = dict(crash_rate=100.0, stall_rate=50.0,
+                      corrupt_rate=80.0, targets=("a", "b"))
+        one = FaultPlan.storm(7, 0.1, **kwargs)
+        two = FaultPlan.storm(7, 0.1, **kwargs)
+        other = FaultPlan.storm(8, 0.1, **kwargs)
+        assert one.events == two.events
+        assert one.events != other.events
+
+    def test_storm_targets_and_windows(self):
+        plan = FaultPlan.storm(3, 0.05, crash_rate=500.0,
+                               targets=("b0", "b1"))
+        assert not plan.is_empty
+        for event in plan.events:
+            assert event.kind is FaultKind.BLADE_CRASH
+            assert 0.0 <= event.at <= 0.05
+            assert event.target in ("b0", "b1")
+
+    def test_storm_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            FaultPlan.storm(0, 0.0, crash_rate=1.0)
+        with pytest.raises(ValueError):
+            FaultPlan.storm(0, 1.0, crash_rate=-1.0)
+
+    def test_from_spec_events_and_storm(self):
+        spec = {"seed": 9,
+                "events": [{"kind": "mem_stall", "at": 0.01,
+                            "multiplier": 2.0}],
+                "storm": {"horizon": 0.02, "corrupt_rate": 500.0}}
+        plan = FaultPlan.from_spec(spec)
+        assert plan.seed == 9
+        assert plan.count(FaultKind.MEM_STALL) == 1
+        assert plan.count(FaultKind.BIT_FLIP) == len(plan) - 1
+
+    def test_from_spec_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown faults-spec"):
+            FaultPlan.from_spec({"sed": 1})
+
+    def test_from_spec_storm_needs_horizon(self):
+        with pytest.raises(ValueError, match="horizon"):
+            FaultPlan.from_spec({"storm": {"crash_rate": 1.0}})
+
+    def test_from_json_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(
+            {"events": [{"kind": "blade_crash", "at": 0.5}]}))
+        plan = FaultPlan.from_json_file(str(path))
+        assert plan.count(FaultKind.BLADE_CRASH) == 1
+
+    def test_to_dict_roundtrips_through_spec(self):
+        plan = FaultPlan.storm(5, 0.1, crash_rate=200.0,
+                               corrupt_rate=100.0)
+        again = FaultPlan.from_spec(plan.to_dict())
+        assert again.events == plan.events
+
+
+class TestFaultInjector:
+    def test_take_crashes_consumes_due_events_in_order(self):
+        plan = FaultPlan(events=(_crash(0.3, "b0"), _crash(0.1, "b0"),
+                                 _crash(0.2, "b1")))
+        injector = FaultInjector(plan)
+        taken = injector.take_crashes("b0", upto=0.5)
+        assert [e.at for e in taken] == [0.1, 0.3]
+        # b1's crash is untouched, and nothing is handed out twice.
+        assert injector.take_crashes("b0", upto=1.0) == []
+        assert [e.at for e in injector.take_crashes("b1", 1.0)] == [0.2]
+        assert injector.injected_count() == 3
+
+    def test_untargeted_event_matches_any_blade(self):
+        injector = FaultInjector(FaultPlan(events=(_crash(0.1),)))
+        assert injector.take_crashes("whatever", 1.0)
+
+    def test_peek_does_not_consume(self):
+        injector = FaultInjector(FaultPlan(events=(_crash(0.5, "b0"),)))
+        peeked = injector.peek_crash("b0", after=0.0, before=1.0)
+        assert peeked is not None and peeked.at == 0.5
+        assert injector.injected_count() == 0
+        # strictly-inside window semantics
+        assert injector.peek_crash("b0", after=0.5, before=1.0) is None
+        assert injector.peek_crash("b0", after=0.0, before=0.5) is None
+        injector.consume(peeked)
+        assert injector.peek_crash("b0", after=0.0, before=1.0) is None
+        assert injector.injected_count(FaultKind.BLADE_CRASH) == 1
+
+    def test_single_shot_takes(self):
+        plan = FaultPlan(events=(
+            FaultEvent(FaultKind.RECONFIG_FAIL, 0.1, target="b0"),
+            FaultEvent(FaultKind.MEM_STALL, 0.1, target="b0",
+                       multiplier=3.0),
+            FaultEvent(FaultKind.BIT_FLIP, 0.1, target="b0")))
+        injector = FaultInjector(plan)
+        assert injector.take_reconfig_failure("b0", at=0.2) is not None
+        assert injector.take_reconfig_failure("b0", at=0.2) is None
+        assert len(injector.take_stalls("b0", upto=0.2)) == 1
+        assert injector.take_corruption("b0", upto=0.05) is None
+        assert injector.take_corruption("b0", upto=0.2) is not None
+
+    def test_corrupt_scalar_changes_value(self):
+        injector = FaultInjector(FaultPlan(seed=1))
+        event = FaultEvent(FaultKind.BIT_FLIP, 0.0, bit=62)
+        corrupted, word, bit = injector.corrupt(3.5, event)
+        assert (word, bit) == (0, 62)
+        assert corrupted != 3.5
+
+    def test_corrupt_array_flips_exactly_one_word(self):
+        injector = FaultInjector(FaultPlan(seed=1))
+        original = np.arange(1.0, 9.0).reshape(2, 4)
+        event = FaultEvent(FaultKind.BIT_FLIP, 0.0, word=5, bit=50)
+        corrupted, word, bit = injector.corrupt(original, event)
+        assert (word, bit) == (5, 50)
+        assert corrupted.shape == original.shape
+        diff = (corrupted != original).sum()
+        assert diff == 1
+        # the input is never mutated
+        assert np.array_equal(original, np.arange(1.0, 9.0).reshape(2, 4))
+
+    def test_corrupt_word_out_of_range(self):
+        injector = FaultInjector(FaultPlan())
+        event = FaultEvent(FaultKind.BIT_FLIP, 0.0, word=10)
+        with pytest.raises(ValueError, match="out of range"):
+            injector.corrupt(np.zeros(4), event)
+
+    def test_unpinned_choices_are_seed_deterministic(self):
+        event = FaultEvent(FaultKind.BIT_FLIP, 0.0)
+        runs = []
+        for _ in range(2):
+            injector = FaultInjector(FaultPlan(seed=123))
+            _, word, bit = injector.corrupt(np.zeros(16), event)
+            runs.append((word, bit, injector.backoff_jitter()))
+        assert runs[0] == runs[1]
+        assert 44 <= runs[0][1] < 64
+
+    def test_jitter_in_unit_interval(self):
+        injector = FaultInjector(FaultPlan(seed=0))
+        draws = [injector.backoff_jitter() for _ in range(50)]
+        assert all(0.0 <= j < 1.0 for j in draws)
+        assert len(set(draws)) > 1

@@ -8,6 +8,7 @@ buffer occupancy within 2α², (4) finish within Σsᵢ + 2α² cycles, and
 
 import math
 
+import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -93,6 +94,56 @@ def test_one_result_per_set_with_matching_ids(workload):
     run_reduction(circuit, sets)
     ids = sorted(r.set_id for r in circuit.results)
     assert ids == list(range(len(sets)))
+
+
+@settings(max_examples=100, deadline=None)
+@given(workloads())
+def test_matches_numpy_reference(workload):
+    """The circuit's sums agree with ``np.sum`` over every set —
+    the reference the runtime's fault-plane verification also uses."""
+    alpha, sets = workload
+    run = run_reduction(SingleAdderReduction(alpha=alpha), sets)
+    for got, values in zip(run.results_by_set(), sets):
+        want = float(np.sum(np.asarray(values, dtype=np.float64)))
+        tol = 1e-9 * max(1.0, float(np.sum(np.abs(values))))
+        assert abs(got - want) <= tol
+
+
+@settings(max_examples=60, deadline=None)
+@given(workloads(), st.integers(0, 2**32 - 1))
+def test_random_interleaving_matches_reference_and_bound(workload,
+                                                         shuffle_seed):
+    """Sets delivered in a shuffled order with random producer bubbles
+    still reduce to the NumPy reference, and the total cycle count
+    stays under the paper's Σsᵢ + 2α² bound shifted by the idle
+    cycles we inserted."""
+    import random
+
+    alpha, sets = workload
+    rnd = random.Random(shuffle_seed)
+    order = list(range(len(sets)))
+    rnd.shuffle(order)
+    circuit = SingleAdderReduction(alpha=alpha)
+    bubbles = 0
+    for set_id in order:
+        values = sets[set_id]
+        for index, value in enumerate(values):
+            while rnd.random() < 0.25:
+                circuit.cycle()  # producer hiccup
+                bubbles += 1
+            assert circuit.cycle(value, index == len(values) - 1)
+    circuit.flush()
+    # set ids are assigned in arrival order, so result i is sets[order[i]]
+    got = [r.value for r in sorted(circuit.results,
+                                   key=lambda r: r.set_id)]
+    assert len(got) == len(sets)
+    for value, set_id in zip(got, order):
+        values = np.asarray(sets[set_id], dtype=np.float64)
+        want = float(np.sum(values))
+        tol = 1e-9 * max(1.0, float(np.sum(np.abs(values))))
+        assert abs(value - want) <= tol
+    sizes = [len(s) for s in sets]
+    assert circuit.stats.cycles < latency_bound(sizes, alpha) + bubbles
 
 
 @settings(max_examples=60, deadline=None)

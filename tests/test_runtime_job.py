@@ -4,10 +4,12 @@ import numpy as np
 import pytest
 
 from repro.runtime.job import (
+    TERMINAL_STATES,
     BlasRequest,
     InvalidTransitionError,
     Job,
     JobState,
+    RejectReason,
 )
 
 
@@ -99,3 +101,66 @@ class TestJobLifecycle:
         job = Job(job_id=0, request=_request())
         with pytest.raises(ValueError):
             job.predicted_cycles
+
+
+#: The complete legal transition relation, written out by hand so the
+#: exhaustive matrix below tests the implementation against the spec
+#: rather than against itself.
+LEGAL_TRANSITIONS = {
+    (JobState.QUEUED, JobState.PLACED),
+    (JobState.QUEUED, JobState.FAILED),
+    (JobState.QUEUED, JobState.REJECTED),
+    (JobState.PLACED, JobState.RUNNING),
+    (JobState.PLACED, JobState.FAILED),
+    (JobState.PLACED, JobState.RETRYING),
+    (JobState.RUNNING, JobState.DONE),
+    (JobState.RUNNING, JobState.FAILED),
+    (JobState.RUNNING, JobState.RETRYING),
+    (JobState.RETRYING, JobState.QUEUED),
+    (JobState.RETRYING, JobState.FAILED),
+    (JobState.RETRYING, JobState.REJECTED),
+}
+
+
+class TestTransitionMatrix:
+    """Every (state, state) pair either transitions or raises."""
+
+    @pytest.mark.parametrize("dst", list(JobState),
+                             ids=lambda s: s.value)
+    @pytest.mark.parametrize("src", list(JobState),
+                             ids=lambda s: s.value)
+    def test_pair(self, src, dst):
+        job = Job(job_id=0, request=_request())
+        job.state = src
+        if (src, dst) in LEGAL_TRANSITIONS:
+            job.transition(dst, 1.0)
+            assert job.state is dst
+        else:
+            with pytest.raises(InvalidTransitionError):
+                job.transition(dst, 1.0)
+            assert job.state is src
+
+    def test_terminal_states_match_the_relation(self):
+        sources_with_exits = {src for src, _ in LEGAL_TRANSITIONS}
+        assert TERMINAL_STATES == set(JobState) - sources_with_exits
+        assert TERMINAL_STATES == {JobState.DONE, JobState.FAILED,
+                                   JobState.REJECTED}
+
+    def test_retrying_does_not_stamp_finished(self):
+        job = Job(job_id=0, request=_request())
+        job.transition(JobState.PLACED, 1.0)
+        job.transition(JobState.RETRYING, 2.0)
+        assert job.finished_at is None
+        job.transition(JobState.QUEUED, 3.0)
+        job.transition(JobState.PLACED, 3.0)
+        job.transition(JobState.RUNNING, 4.0)
+        job.transition(JobState.DONE, 5.0)
+        assert job.finished_at == 5.0
+
+    def test_reject_records_typed_reason(self):
+        job = Job(job_id=0, request=_request())
+        job.reject(1.0, RejectReason.QUEUE_FULL, "queue full")
+        assert job.state is JobState.REJECTED
+        assert job.reject_reason is RejectReason.QUEUE_FULL
+        assert job.finished_at == 1.0
+        assert job.latency_seconds is None  # only DONE jobs count
