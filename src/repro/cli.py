@@ -294,7 +294,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         if horizon is None:
             # Size the storm to the workload: a fault-free dry run
             # measures the makespan the events should fall inside.
-            dry = _submitted_runtime(args)
+            dry = _submitted_runtime(args, fault_plan=FaultPlan.empty())
             horizon = dry.run().makespan_seconds
             if horizon <= 0.0:
                 horizon = 1e-3
@@ -405,8 +405,12 @@ def _positive_int(text: str) -> int:
 
 
 def _add_workload_options(parser: argparse.ArgumentParser,
-                          jobs_default: int = 200) -> None:
-    """Workload/system flags shared by ``runtime`` and ``trace``."""
+                          jobs_default: int = 200,
+                          faults_spec: bool = True) -> None:
+    """Workload/system flags shared by ``runtime``, ``trace`` and
+    ``faults`` (the latter suppresses ``--faults-spec``: it has its own
+    ``--spec``, and the plan must not leak into its fault-free sizing
+    dry run)."""
     parser.add_argument("--chassis", type=_positive_int, default=1)
     parser.add_argument("--blades", type=_positive_int, default=6)
     parser.add_argument("--jobs", type=int, default=jobs_default)
@@ -424,9 +428,12 @@ def _add_workload_options(parser: argparse.ArgumentParser,
     parser.add_argument("--no-batch", action="store_true",
                         help="disable same-shape gemm coalescing")
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--faults-spec", metavar="PATH", default=None,
-                        help="JSON fault-plan spec to inject during "
-                             "the replay (see docs/faults.md)")
+    if faults_spec:
+        parser.add_argument("--faults-spec", metavar="PATH",
+                            default=None,
+                            help="JSON fault-plan spec to inject "
+                                 "during the replay (see "
+                                 "docs/faults.md)")
     parser.add_argument("--max-retries", type=int, default=3,
                         help="attempts after the first before a faulted "
                              "job fails permanently")
@@ -524,7 +531,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fl = sub.add_parser(
         "faults", help="replay a BLAS workload under a seeded fault "
                        "storm (crashes, stalls, corruption)")
-    _add_workload_options(p_fl, jobs_default=60)
+    _add_workload_options(p_fl, jobs_default=60, faults_spec=False)
     p_fl.add_argument("--spec", metavar="PATH", default=None,
                       help="explicit fault-plan JSON (overrides the "
                            "storm flags)")

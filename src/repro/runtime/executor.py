@@ -42,10 +42,11 @@ failures, memory/interconnect stalls and output-word bit flips (see
   drained and removed from service; its waiting work re-places through
   the normal policies.
 * **Verification.**  With ``verify_results`` (default: on exactly when
-  the plan contains bit-flip events), every completing job's result is
-  checked against the NumPy reference; a residual above
-  ``verify_tolerance`` triggers a retry instead of returning the
-  corrupted answer.
+  the plan contains bit-flip events; can be forced on even without a
+  plan), every completing job's result is checked against the NumPy
+  reference; a residual above ``verify_tolerance`` — or a non-finite
+  one, as produced by a NaN/Inf-corrupted result — triggers a retry
+  instead of returning the corrupted answer.
 * **Degradation.**  A job whose design no longer fits any in-service
   blade is re-planned at successively halved ``k`` (smaller, slower
   design); if nothing fits, it is REJECTED with the typed reason
@@ -331,7 +332,7 @@ class BlasRuntime:
         while arrivals or self._pending or self._retrying:
             if self._injector is not None:
                 self._activate_idle_crashes()
-                self._ingest_retries()
+            self._ingest_retries()
             self._ingest_due(arrivals)
             free = [d for d in self.devices if d.free_at <= self._now
                     and not d.health.quarantined]
@@ -501,7 +502,10 @@ class BlasRuntime:
         job.retries = attempt
         job.fault_history.append(reason)
         backoff = self.retry_backoff_seconds * (2 ** (attempt - 1))
-        backoff *= 1.0 + self._injector.backoff_jitter()
+        if self._injector is not None:
+            # No plan means no seed to draw jitter from: verification
+            # retries on a fault-free run back off deterministically.
+            backoff *= 1.0 + self._injector.backoff_jitter()
         job.transition(JobState.RETRYING, at)
         job.retry_at = at + backoff
         self._retrying.append(job)
@@ -646,7 +650,11 @@ class BlasRuntime:
             member.device = device.name
             member.batch_id = batch_id
             member.transition(JobState.PLACED, start)
-        if injector is not None:
+        if (injector is not None
+                and not device.has_resident(job.plan.design_key)):
+            # A transient load failure only makes sense when a real
+            # bitstream load is about to happen; with the design
+            # already resident the event stays queued for the next one.
             clock = self._faulty_reconfig_attempts(device, clock)
         if device.configure(job.plan.design_key, job.plan.area.slices):
             if rec.enabled:
@@ -715,11 +723,15 @@ class BlasRuntime:
                     # every batch member behind it retry elsewhere.
                     self._abort_batch(device, batch[i:], crash)
                     break
-                result, retry = self._apply_corruption_and_verify(
-                    device, member, result, end)
-                if retry:
-                    clock = end
-                    continue
+                result = self._apply_corruption(device, member, result,
+                                                end)
+            if self.verify_results and self._verify_failed(
+                    device, member, result, run_start + seconds):
+                # The blade still spent the whole attempt producing the
+                # discarded result: charge its time before moving on.
+                clock = run_start + seconds
+                device.metrics.busy_seconds += seconds
+                continue
             clock = run_start + seconds
             member.charged_cycles = cycles
             member.charged_seconds = seconds
@@ -789,12 +801,10 @@ class BlasRuntime:
             self._record_device_fault(device, event.at)
         return seconds
 
-    def _apply_corruption_and_verify(self, device: DeviceSlot,
-                                     member: Job, result, end: float):
-        """Apply a due bit-flip fault to the result, then (when
-        verification is on) check the result against the NumPy
-        reference.  Returns ``(result, retry)``; ``retry`` means the
-        member was sent back for another attempt."""
+    def _apply_corruption(self, device: DeviceSlot, member: Job,
+                          result, end: float):
+        """Apply a due bit-flip fault to the result; returns the
+        (possibly corrupted) result."""
         rec = self.recorder
         event = self._injector.take_corruption(device.name, end)
         if event is not None:
@@ -805,22 +815,33 @@ class BlasRuntime:
                     {"kind": event.kind.value, "device": device.name,
                      "job": member.job_id, "word": word, "bit": bit})
             self._record_device_fault(device, event.at)
-        if self.verify_results:
-            residual = self._residual(result,
-                                      self._reference(member.request))
-            if residual > self.verify_tolerance:
-                self._verify_failures += 1
-                if rec.enabled:
-                    rec.instant(
-                        "job.verify_failed", "fault", device.name, end,
-                        {"job": member.job_id, "residual": residual,
-                         "tolerance": self.verify_tolerance})
-                self._schedule_retry(
-                    member, end,
-                    f"result verification failed on {device.name} "
-                    f"(residual {residual:.3e})")
-                return result, True
-        return result, False
+        return result
+
+    def _verify_failed(self, device: DeviceSlot, member: Job,
+                       result, end: float) -> bool:
+        """Check the result against the NumPy reference; True means it
+        failed and the member was sent back for another attempt.
+
+        A non-finite residual fails too: an exponent-bit flip can turn
+        a result word into NaN/Inf, and ``NaN > tolerance`` is False —
+        comparing only the magnitude would wave corrupted answers
+        through.
+        """
+        rec = self.recorder
+        residual = self._residual(result, self._reference(member.request))
+        if np.isfinite(residual) and residual <= self.verify_tolerance:
+            return False
+        self._verify_failures += 1
+        if rec.enabled:
+            rec.instant(
+                "job.verify_failed", "fault", device.name, end,
+                {"job": member.job_id, "residual": residual,
+                 "tolerance": self.verify_tolerance})
+        self._schedule_retry(
+            member, end,
+            f"result verification failed on {device.name} "
+            f"(residual {residual:.3e})")
+        return True
 
     # -- reporting -------------------------------------------------------
     def _build_metrics(self) -> RuntimeMetrics:

@@ -263,6 +263,19 @@ class TestFailureExitCodes:
         assert rc == 0
         assert payload["faults"]["injected"] == 1
 
+    def test_faults_rejects_the_runtime_faults_spec_flag(self, capsys,
+                                                         tmp_path):
+        # 'repro faults' has its own --spec; accepting --faults-spec
+        # too would corrupt its fault-free horizon-sizing dry run and
+        # then be silently ignored by the real run
+        spec = tmp_path / "faults.json"
+        spec.write_text('{"events": []}')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["faults", "--jobs", "2",
+                  "--faults-spec", str(spec)])
+        assert excinfo.value.code == 2
+        assert "--faults-spec" in capsys.readouterr().err
+
     def test_faults_exits_nonzero_when_jobs_are_lost(self, capsys):
         # one blade, instantly quarantined: every job is rejected for
         # lost capacity and the command must say so and exit 1

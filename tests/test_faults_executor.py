@@ -131,6 +131,31 @@ class TestReconfigFailure:
         # but only one *successful* configuration happened
         assert metrics.devices[0].reconfigurations == 1
 
+    def test_resident_design_defers_the_failure(self):
+        # the failure comes due while the design is already resident:
+        # no bitstream load would happen, so nothing may be consumed or
+        # charged — the event waits for the next real load
+        baseline = BlasRuntime(blades=1)
+        for seed in range(2):
+            baseline.submit(_dot_request(seed=seed))
+        clean = baseline.run()
+        start, end = _job_window(_dot_request())
+        plan = FaultPlan(events=(FaultEvent(
+            FaultKind.RECONFIG_FAIL, (start + end) / 2),))
+        runtime = BlasRuntime(blades=1, fault_plan=plan,
+                              quarantine_after=None)
+        jobs = [runtime.submit(_dot_request(seed=s)) for s in range(2)]
+        metrics = runtime.run()
+        assert all(j.state is JobState.DONE for j in jobs)
+        # job 2 reuses job 1's resident design, so the due failure was
+        # skipped: no extra load time, no fault, no health strike
+        assert metrics.makespan_seconds == pytest.approx(
+            clean.makespan_seconds)
+        assert metrics.faults_injected == 0
+        assert metrics.devices[0].faults == 0
+        assert metrics.devices[0].reconfig_seconds == pytest.approx(
+            runtime.reconfig_seconds)
+
 
 class TestMemStall:
     def test_stall_stretches_the_run(self):
@@ -165,6 +190,64 @@ class TestCorruptionAndVerification:
         assert metrics.corruptions_injected == 1
         A, B = request.operands
         assert np.allclose(job.result, A @ B)
+        # the discarded first attempt still occupied the blade
+        assert metrics.devices[0].busy_seconds == pytest.approx(
+            2 * job.charged_seconds)
+
+    def test_nan_corruption_fails_verification(self):
+        # flipping the top exponent bit (62) of a result in [1, 2)
+        # yields NaN; 'NaN > tolerance' is False, so the residual check
+        # must treat non-finite residuals as failures, not passes
+        u = np.zeros(256)
+        v = np.zeros(256)
+        u[0], v[0] = 1.5, 1.0
+        request = BlasRequest("dot", (u, v))
+        _, end = _job_window(BlasRequest("dot", (u.copy(), v.copy())))
+        plan = FaultPlan(events=(FaultEvent(
+            FaultKind.BIT_FLIP, end / 2, word=0, bit=62),))
+        runtime, job, metrics = _run_one(request, plan,
+                                         quarantine_after=None)
+        assert job.state is JobState.DONE
+        assert job.retries == 1
+        assert metrics.verify_failures == 1
+        assert np.isfinite(job.result)
+        assert job.result == pytest.approx(1.5)
+
+    def test_nan_corruption_escapes_without_verification(self):
+        # sanity check on the scenario above: without the residual
+        # check the NaN really would have been returned as DONE
+        u = np.zeros(256)
+        v = np.zeros(256)
+        u[0], v[0] = 1.5, 1.0
+        request = BlasRequest("dot", (u, v))
+        _, end = _job_window(BlasRequest("dot", (u.copy(), v.copy())))
+        plan = FaultPlan(events=(FaultEvent(
+            FaultKind.BIT_FLIP, end / 2, word=0, bit=62),))
+        runtime, job, metrics = _run_one(request, plan,
+                                         verify_results=False,
+                                         quarantine_after=None)
+        assert job.state is JobState.DONE
+        assert np.isnan(job.result)
+
+    def test_verification_runs_without_a_fault_plan(self):
+        # explicit verify_results=True must check results even with no
+        # injector: an impossible tolerance fails every attempt until
+        # the retry budget is spent
+        runtime = BlasRuntime(blades=1, verify_results=True,
+                              verify_tolerance=1e-30, max_retries=2)
+        job = runtime.submit(_dot_request())
+        metrics = runtime.run()
+        assert job.state is JobState.FAILED
+        assert "verification failed" in job.error
+        assert job.retries == 2
+        assert metrics.verify_failures == 3
+
+    def test_verification_without_a_plan_accepts_clean_results(self):
+        runtime = BlasRuntime(blades=1, verify_results=True)
+        job = runtime.submit(_dot_request())
+        metrics = runtime.run()
+        assert job.state is JobState.DONE
+        assert metrics.verify_failures == 0
 
     def test_unverified_corruption_escapes(self):
         request = _gemm_request()
