@@ -24,13 +24,18 @@ from repro.blas.level2 import (
 from repro.blas.level3 import MatrixMultiplyDesign, MatrixMultiplyRun
 from repro.blas.multi_fpga import MultiFpgaMatrixMultiply, MultiFpgaRun
 from repro.blas.api import (
+    BlasCall,
+    BlasResult,
     ExecutionPlan,
     PerfReport,
     dot,
     gemm,
+    gemm_multi,
     gemv,
+    max_gemm_gang,
     plan_dot,
     plan_gemm,
+    plan_gemm_multi,
     plan_gemv,
     plan_spmxv,
     spmxv,
@@ -49,11 +54,16 @@ __all__ = [
     "dot",
     "gemv",
     "gemm",
+    "gemm_multi",
     "spmxv",
     "plan_dot",
     "plan_gemv",
     "plan_gemm",
+    "plan_gemm_multi",
     "plan_spmxv",
+    "max_gemm_gang",
+    "BlasCall",
+    "BlasResult",
     "ExecutionPlan",
     "PerfReport",
 ]

@@ -1,36 +1,51 @@
 """High-level BLAS API: ``dot``, ``gemv``, ``gemm``, ``spmxv``.
 
-Each call simulates the corresponding FPGA design and returns the
-numerical result together with a :class:`PerfReport` — cycle count,
-wall-clock estimate at the design's achievable clock, sustained
-MFLOPS, memory bandwidth and area, mirroring the rows of the paper's
-Tables 3 and 4.
+Each call simulates the corresponding FPGA design and returns a
+:class:`BlasResult` — the numerical value together with a
+:class:`PerfReport` (cycle count, wall-clock estimate at the design's
+achievable clock, sustained MFLOPS, memory bandwidth and area),
+mirroring the rows of the paper's Tables 3 and 4.  ``BlasResult``
+still unpacks like the historical ``(value, report)`` tuple.
 
-The ``plan_*`` companions predict the same quantities *without*
-executing anything: they return an :class:`ExecutionPlan` with the
-predicted cycle count, clock and area of the design a call would
-instantiate.  The runtime scheduler (:mod:`repro.runtime`) uses plans
-to order and place jobs before committing a blade to them.
+Both the executing calls and the non-executing ``plan_*`` predictors
+are thin wrappers over one :class:`BlasCall` descriptor, so geometry
+and validation cannot drift between the two paths:
+
+* ``BlasCall(...).execute()`` simulates the design and returns a
+  :class:`BlasResult`.
+* ``BlasCall(...).plan()`` predicts the same call as an
+  :class:`ExecutionPlan` — predicted cycles, clock and area — without
+  executing anything.  The runtime scheduler (:mod:`repro.runtime`)
+  uses plans to order and place jobs before committing a blade.
+
+A gemm call with ``blades > 1`` targets the Section 5.2 multi-FPGA
+linear array (:mod:`repro.blas.multi_fpga`): ``l`` co-located FPGAs
+share one pass at effective latency n³/(k·l).  The runtime's gang
+scheduler plans these via :func:`plan_gemm_multi` and executes them
+via :func:`gemm_multi`.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, Iterator, Optional, Tuple
 
 import numpy as np
 
 from repro.blas.level1 import DotProductDesign
 from repro.blas.level2 import ColumnMajorMvmDesign, TreeMvmDesign
 from repro.blas.level3 import MatrixMultiplyDesign
+from repro.blas.multi_fpga import MultiFpgaMatrixMultiply
 from repro.device.area import AreaModel, DesignArea
-from repro.device.fpga import XC2VP50
 
 #: Cycles the reduction circuit needs to flush its final set after the
 #: last tree-root value, calibrated against the cycle-accurate designs
 #: at the paper's adder depth (α = 14).
 REDUCTION_FLUSH_CYCLES = 68
+
+#: Per-operation default lane counts (the paper's Table 3/4 choices).
+DEFAULT_K = {"dot": 2, "gemv": 4, "gemm": 8, "spmxv": 4}
 
 
 @dataclass(frozen=True)
@@ -73,130 +88,26 @@ class PerfReport:
         )
 
 
-def dot(u: np.ndarray, v: np.ndarray, k: int = 2,
-        clock_mhz: Optional[float] = None,
-        on_xd1: bool = False) -> Tuple[float, PerfReport]:
-    """Dot product on the tree architecture (Table 3: k=2)."""
-    design = DotProductDesign(k=k)
-    run = design.run(u, v)
-    area = AreaModel().dot_product_design(k, on_xd1=on_xd1)
-    clock = clock_mhz if clock_mhz is not None else area.clock_mhz
-    report = PerfReport(
-        operation="dot", n=run.n, k=k,
-        total_cycles=run.total_cycles, clock_mhz=clock,
-        flops=run.flops, area_slices=area.slices,
-        device_utilization=area.utilization,
-        memory_bandwidth_gbytes=run.memory_bandwidth_gbytes(clock),
-        efficiency=run.efficiency,
-    )
-    return run.result, report
+@dataclass(frozen=True)
+class BlasResult:
+    """Value + report of one BLAS call.
 
-
-def gemv(A: np.ndarray, x: np.ndarray, k: int = 4,
-         architecture: str = "tree",
-         clock_mhz: Optional[float] = None,
-         on_xd1: bool = False,
-         block: Optional[int] = None) -> Tuple[np.ndarray, PerfReport]:
-    """Matrix-vector multiply (Table 3/4: k=4, tree architecture).
-
-    ``architecture`` selects "tree" (row-major A) or "column"
-    (column-major A); ``block`` enables block decomposition with the
-    given block size.
+    Replaces the historical ``(value, PerfReport)`` return tuple;
+    sequence access (``value, report = result``, ``result[0]``) keeps
+    working so existing call sites need no change.
     """
-    if architecture == "tree":
-        design = TreeMvmDesign(k=k)
-    elif architecture == "column":
-        design = ColumnMajorMvmDesign(k=k)
-    else:
-        raise ValueError(f"unknown MVM architecture {architecture!r}")
-    run = design.run_blocked(A, x, block) if block else design.run(A, x)
-    area = AreaModel().mvm_design(k, on_xd1=on_xd1)
-    clock = clock_mhz if clock_mhz is not None else area.clock_mhz
-    report = PerfReport(
-        operation=f"gemv[{architecture}]", n=run.n, k=k,
-        total_cycles=run.total_cycles, clock_mhz=clock,
-        flops=run.flops, area_slices=area.slices,
-        device_utilization=area.utilization,
-        memory_bandwidth_gbytes=run.memory_bandwidth_gbytes(clock),
-        efficiency=run.efficiency,
-    )
-    return run.y, report
 
+    value: Any
+    report: PerfReport
 
-def gemm(A: np.ndarray, B: np.ndarray, k: int = 8,
-         m: Optional[int] = None,
-         clock_mhz: Optional[float] = None,
-         on_xd1: bool = False,
-         strict: bool = False) -> Tuple[np.ndarray, PerfReport]:
-    """Dense matrix multiply on the linear PE array (Table 4: k=m=8).
+    def __iter__(self) -> Iterator[Any]:
+        return iter((self.value, self.report))
 
-    Accepts rectangular operands (the paper notes its designs apply to
-    non-square matrices): shapes are zero-padded to the next square
-    multiple of the block size, and the padding cycles are honestly
-    charged to the report.  ``m`` defaults to the largest block that
-    divides the padded size and is a multiple of k (capped at 128, the
-    paper's on-chip limit).
-    """
-    A = np.asarray(A, dtype=np.float64)
-    B = np.asarray(B, dtype=np.float64)
-    if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[0]:
-        raise ValueError("gemm needs A (p×q) and B (q×r)")
-    p, q = A.shape
-    r = B.shape[1]
-    size = max(p, q, r)
-    m, padded = _gemm_geometry(p, q, r, k, m)
-    if (p, q) == (padded, padded) and r == padded:
-        a_pad, b_pad = A, B
-    else:
-        a_pad = np.zeros((padded, padded))
-        b_pad = np.zeros((padded, padded))
-        a_pad[:p, :q] = A
-        b_pad[:q, :r] = B
-    design = MatrixMultiplyDesign(k=k, m=m)
-    run = design.run(a_pad, b_pad, strict=strict)
-    area = AreaModel().mm_design(k, on_xd1=on_xd1)
-    clock = clock_mhz if clock_mhz is not None else area.clock_mhz
-    # Useful flops only; cycles include any padding work, so the
-    # efficiency of a badly-shaped problem honestly degrades.
-    useful_flops = 2 * p * q * r
-    report = PerfReport(
-        operation="gemm", n=size, k=k,
-        total_cycles=run.total_cycles, clock_mhz=clock,
-        flops=useful_flops, area_slices=area.slices,
-        device_utilization=area.utilization,
-        memory_bandwidth_gbytes=run.memory_bandwidth_gbytes(clock),
-        efficiency=useful_flops / (run.total_cycles
-                                   * run.peak_flops_per_cycle),
-    )
-    return run.C[:p, :r], report
+    def __getitem__(self, index: int) -> Any:
+        return (self.value, self.report)[index]
 
-
-def spmxv(matrix, x: np.ndarray, k: int = 4,
-          clock_mhz: Optional[float] = None,
-          on_xd1: bool = False) -> Tuple[np.ndarray, PerfReport]:
-    """Sparse matrix-vector multiply on the tree architecture.
-
-    ``matrix`` is a :class:`repro.sparse.csr.CsrMatrix`; the design is
-    the paper's [32] SpMXV (k multipliers + adder tree + reduction
-    circuit), whose area matches the Level-2 tree design.
-    """
-    from repro.sparse.spmxv import SpmxvDesign
-
-    design = SpmxvDesign(k=k)
-    run = design.run(matrix, x)
-    area = AreaModel().mvm_design(k, on_xd1=on_xd1)
-    clock = clock_mhz if clock_mhz is not None else area.clock_mhz
-    bandwidth = (run.words_read * 8 * clock * 1e6
-                 / run.total_cycles / 1e9)
-    report = PerfReport(
-        operation="spmxv", n=run.nrows, k=k,
-        total_cycles=run.total_cycles, clock_mhz=clock,
-        flops=run.flops, area_slices=area.slices,
-        device_utilization=area.utilization,
-        memory_bandwidth_gbytes=bandwidth,
-        efficiency=run.efficiency,
-    )
-    return run.y, report
+    def __len__(self) -> int:
+        return 2
 
 
 # ----------------------------------------------------------------------
@@ -206,11 +117,16 @@ def spmxv(matrix, x: np.ndarray, k: int = 4,
 class ExecutionPlan:
     """Predicted cost of one BLAS call, computed without executing it.
 
-    ``predicted_cycles`` is exact for ``gemm`` (the Level-3 timing model
-    is closed-form) and within a few percent for the streaming designs,
-    whose reduction-flush tail is calibrated, not replayed.
-    ``design_key`` identifies the bitstream a blade must hold to run the
-    job — two jobs with equal keys can share one configuration.
+    ``predicted_cycles`` is exact for ``gemm`` — single-blade and
+    gang alike, both timing models are closed-form — and within a few
+    percent for the streaming designs, whose reduction-flush tail is
+    calibrated, not replayed.  ``design_key`` identifies the bitstream
+    a blade must hold to run the job — two jobs with equal keys can
+    share one configuration.  ``blades_required`` is 1 for every
+    single-device design and ``l`` for a multi-FPGA gemm gang; gang
+    members all load the same per-gang bitstream (the array's PE slice
+    plus its inter-FPGA link logic differs from the standalone MM
+    design, hence the distinct key).
     """
 
     operation: str
@@ -221,6 +137,7 @@ class ExecutionPlan:
     clock_mhz: float
     flops: int
     area: DesignArea
+    blades_required: int = 1
 
     @property
     def predicted_seconds(self) -> float:
@@ -228,10 +145,11 @@ class ExecutionPlan:
 
     @property
     def design_key(self) -> str:
+        if self.blades_required > 1:
+            return (f"multi_fpga_mm(k={self.k},m={self.m},"
+                    f"l={self.blades_required})")
         if self.operation == "gemm":
             return f"matrix_multiply(k={self.k},m={self.m})"
-        if self.operation.startswith("gemv"):
-            return f"{self.operation}(k={self.k})"
         return f"{self.operation}(k={self.k})"
 
 
@@ -247,20 +165,374 @@ def _gemm_geometry(p: int, q: int, r: int, k: int,
     return m, m * math.ceil(size / m)
 
 
+def max_gemm_gang(p: int, q: int, r: int, k: int = 8,
+                  m: Optional[int] = None) -> int:
+    """Widest feasible gang for a gemm of this shape: one FPGA per
+    B m-block-column, so at most ``padded/m`` blades can contribute."""
+    m, padded = _gemm_geometry(p, q, r, k, m)
+    return padded // m
+
+
+@dataclass
+class BlasCall:
+    """One BLAS call, described once for both planning and execution.
+
+    ``operands`` holds the positional arrays of the call — ``(u, v)``
+    for dot, ``(A, x)`` for gemv, ``(A, B)`` for gemm, ``(matrix, x)``
+    for spmxv.  ``shape`` may replace them for plan-only descriptors
+    of the dense operations: ``(n,)`` for dot, ``(nrows, ncols)`` for
+    gemv, ``(p, q, r)`` for gemm.  ``spmxv`` plans from the matrix's
+    row structure, so it always needs the matrix operand (the second
+    operand may be ``None`` when only planning).
+
+    ``blades > 1`` plans/executes a gemm on the ``l``-FPGA linear
+    array of Section 5.2 instead of the single-blade PE array.
+    """
+
+    operation: str
+    operands: Optional[Tuple[Any, Any]] = None
+    shape: Optional[Tuple[int, ...]] = None
+    k: Optional[int] = None
+    m: Optional[int] = None
+    blades: int = 1
+    architecture: str = "tree"
+    block: Optional[int] = None
+    clock_mhz: Optional[float] = None
+    on_xd1: bool = False
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        if self.operation not in DEFAULT_K:
+            raise ValueError(
+                f"unknown operation {self.operation!r}; "
+                f"expected one of {tuple(DEFAULT_K)}")
+        if self.k is None:
+            self.k = DEFAULT_K[self.operation]
+        if self.blades < 1:
+            raise ValueError("blades must be >= 1")
+        if self.blades > 1 and self.operation != "gemm":
+            raise ValueError(
+                "multi-FPGA gangs exist only for gemm "
+                "(Section 5.2 linear array)")
+        if self.operands is None and self.shape is None:
+            raise ValueError(
+                f"{self.operation} needs operands or a shape")
+
+    # -- shared geometry/validation --------------------------------------
+    def _dims(self) -> Tuple[int, ...]:
+        """Problem dimensions, from operands or the declared shape —
+        the single place both paths validate geometry."""
+        op = self.operation
+        if op == "spmxv":
+            matrix = self.operands[0] if self.operands else None
+            if matrix is None:
+                raise ValueError(
+                    "spmxv plans from the matrix's row structure; "
+                    "pass operands=(matrix, x-or-None)")
+            return (matrix.nrows, matrix.ncols)
+        if self.operands is not None:
+            if op == "dot":
+                dims: Tuple[int, ...] = (int(np.shape(
+                    self.operands[0])[0]),)
+            elif op == "gemv":
+                shape = np.shape(self.operands[0])
+                dims = (int(shape[0]), int(shape[1]))
+            else:  # gemm
+                a_shape = np.shape(self.operands[0])
+                b_shape = np.shape(self.operands[1])
+                if (len(a_shape) != 2 or len(b_shape) != 2
+                        or a_shape[1] != b_shape[0]):
+                    raise ValueError("gemm needs A (p×q) and B (q×r)")
+                dims = (int(a_shape[0]), int(a_shape[1]),
+                        int(b_shape[1]))
+        else:
+            expected = {"dot": 1, "gemv": 2, "gemm": 3}[op]
+            if len(self.shape) != expected:
+                raise ValueError(
+                    f"{op} shape needs {expected} dimension(s), got "
+                    f"{self.shape!r}")
+            dims = tuple(int(d) for d in self.shape)
+        if min(dims) < 1:
+            raise ValueError(
+                "n must be positive" if op == "dot"
+                else "matrix dimensions must be positive")
+        return dims
+
+    def _mvm_design(self):
+        if self.architecture == "tree":
+            return TreeMvmDesign(k=self.k)
+        if self.architecture == "column":
+            return ColumnMajorMvmDesign(k=self.k)
+        raise ValueError(
+            f"unknown MVM architecture {self.architecture!r}")
+
+    def _area(self) -> DesignArea:
+        if self.operation == "dot":
+            return AreaModel().dot_product_design(self.k,
+                                                  on_xd1=self.on_xd1)
+        if self.operation == "gemm":
+            return AreaModel().mm_design(self.k, on_xd1=self.on_xd1)
+        return AreaModel().mvm_design(self.k, on_xd1=self.on_xd1)
+
+    def _clock(self, area: DesignArea) -> float:
+        return (self.clock_mhz if self.clock_mhz is not None
+                else area.clock_mhz)
+
+    def _gang_design(self, m: int,
+                     padded: int) -> MultiFpgaMatrixMultiply:
+        """The l-FPGA array for this call's padded geometry (one b×b
+        block spanning the whole problem, so nb = 1)."""
+        return MultiFpgaMatrixMultiply(l=self.blades, k=self.k, m=m,
+                                       b=padded)
+
+    # -- planning --------------------------------------------------------
+    def plan(self) -> ExecutionPlan:
+        """Predict this call without executing it."""
+        op = self.operation
+        dims = self._dims()
+        if op == "dot":
+            design = DotProductDesign(k=self.k)
+            n = dims[0]
+            cycles = (math.ceil(n / self.k) + design.alpha_mul
+                      + design.tree_latency + REDUCTION_FLUSH_CYCLES)
+            flops = 2 * n
+            operation = "dot"
+        elif op == "gemv":
+            design = self._mvm_design()
+            nrows, ncols = dims
+            if self.architecture == "tree":
+                cycles = (nrows * math.ceil(ncols / self.k)
+                          + design.alpha_mul + design.tree_latency
+                          + REDUCTION_FLUSH_CYCLES)
+            else:
+                cycles = (ncols * math.ceil(nrows / self.k)
+                          + design.alpha_mul + design.alpha_add)
+            n = max(nrows, ncols)
+            flops = 2 * nrows * ncols
+            operation = f"gemv[{self.architecture}]"
+        elif op == "gemm":
+            p, q, r = dims
+            m, padded = _gemm_geometry(p, q, r, self.k, self.m)
+            if self.blades > 1:
+                gang = self._gang_design(m, padded)
+                bm = padded // m
+                # FPGA_0 owns the most m-block-columns:
+                # ⌈bm/l⌉ of bm, over bm² (g, z) sweeps.
+                share = bm * bm * math.ceil(bm / self.blades)
+                cycles = (share * gang.block_mac_cycles()
+                          + gang.array_latency_cycles()
+                          + gang.mm.startup_cycles()
+                          + gang.mm.drain_cycles() + m * m)
+            else:
+                design = MatrixMultiplyDesign(k=self.k, m=m)
+                nb = padded // m
+                cycles = (design.startup_cycles()
+                          + nb ** 3 * design.block_compute_cycles()
+                          + design.drain_cycles() + m * m)
+            area = self._area()
+            return ExecutionPlan(
+                operation="gemm", n=max(p, q, r), k=self.k, m=m,
+                predicted_cycles=cycles, clock_mhz=self._clock(area),
+                flops=2 * p * q * r, area=area,
+                blades_required=self.blades)
+        else:  # spmxv
+            from repro.sparse.spmxv import SpmxvDesign
+
+            matrix = self.operands[0]
+            design = SpmxvDesign(k=self.k)
+            row_nnz = np.diff(matrix.row_ptr)
+            chunks = int(np.sum(np.ceil(row_nnz / self.k)))
+            cycles = (chunks + design.alpha_mul + design.tree_latency
+                      + design.alpha_add)
+            n = matrix.nrows
+            flops = 2 * matrix.nnz
+            operation = "spmxv"
+        area = self._area()
+        return ExecutionPlan(operation=operation, n=n, k=self.k,
+                             m=None, predicted_cycles=cycles,
+                             clock_mhz=self._clock(area), flops=flops,
+                             area=area)
+
+    # -- execution -------------------------------------------------------
+    def execute(self) -> BlasResult:
+        """Simulate the design and return value + report."""
+        if self.operands is None:
+            raise ValueError(
+                f"cannot execute a shape-only {self.operation} call")
+        op = self.operation
+        dims = self._dims()
+        if op == "dot":
+            u, v = self.operands
+            design = DotProductDesign(k=self.k)
+            run = design.run(u, v)
+            area = self._area()
+            clock = self._clock(area)
+            report = PerfReport(
+                operation="dot", n=run.n, k=self.k,
+                total_cycles=run.total_cycles, clock_mhz=clock,
+                flops=run.flops, area_slices=area.slices,
+                device_utilization=area.utilization,
+                memory_bandwidth_gbytes=run.memory_bandwidth_gbytes(
+                    clock),
+                efficiency=run.efficiency,
+            )
+            return BlasResult(run.result, report)
+        if op == "gemv":
+            A, x = self.operands
+            design = self._mvm_design()
+            run = (design.run_blocked(A, x, self.block) if self.block
+                   else design.run(A, x))
+            area = self._area()
+            clock = self._clock(area)
+            report = PerfReport(
+                operation=f"gemv[{self.architecture}]", n=run.n,
+                k=self.k, total_cycles=run.total_cycles,
+                clock_mhz=clock, flops=run.flops,
+                area_slices=area.slices,
+                device_utilization=area.utilization,
+                memory_bandwidth_gbytes=run.memory_bandwidth_gbytes(
+                    clock),
+                efficiency=run.efficiency,
+            )
+            return BlasResult(run.y, report)
+        if op == "gemm":
+            return self._execute_gemm(dims)
+        # spmxv
+        from repro.sparse.spmxv import SpmxvDesign
+
+        matrix, x = self.operands
+        design = SpmxvDesign(k=self.k)
+        run = design.run(matrix, x)
+        area = self._area()
+        clock = self._clock(area)
+        report = PerfReport(
+            operation="spmxv", n=run.nrows, k=self.k,
+            total_cycles=run.total_cycles, clock_mhz=clock,
+            flops=run.flops, area_slices=area.slices,
+            device_utilization=area.utilization,
+            memory_bandwidth_gbytes=run.memory_bandwidth_gbytes(clock),
+            efficiency=run.efficiency,
+        )
+        return BlasResult(run.y, report)
+
+    def _execute_gemm(self, dims: Tuple[int, ...]) -> BlasResult:
+        p, q, r = dims
+        A = np.asarray(self.operands[0], dtype=np.float64)
+        B = np.asarray(self.operands[1], dtype=np.float64)
+        size = max(p, q, r)
+        m, padded = _gemm_geometry(p, q, r, self.k, self.m)
+        if (p, q) == (padded, padded) and r == padded:
+            a_pad, b_pad = A, B
+        else:
+            a_pad = np.zeros((padded, padded))
+            b_pad = np.zeros((padded, padded))
+            a_pad[:p, :q] = A
+            b_pad[:q, :r] = B
+        area = self._area()
+        clock = self._clock(area)
+        # Useful flops only; cycles include any padding work, so the
+        # efficiency of a badly-shaped problem honestly degrades.
+        useful_flops = 2 * p * q * r
+        if self.blades > 1:
+            run = self._gang_design(m, padded).run(a_pad, b_pad)
+            bandwidth = run.dram_bandwidth_mbytes(clock) / 1e3
+        else:
+            design = MatrixMultiplyDesign(k=self.k, m=m)
+            run = design.run(a_pad, b_pad, strict=self.strict)
+            bandwidth = run.memory_bandwidth_gbytes(clock)
+        report = PerfReport(
+            operation="gemm", n=size, k=self.k,
+            total_cycles=run.total_cycles, clock_mhz=clock,
+            flops=useful_flops, area_slices=area.slices,
+            device_utilization=area.utilization,
+            memory_bandwidth_gbytes=bandwidth,
+            efficiency=useful_flops / (run.total_cycles
+                                       * run.peak_flops_per_cycle),
+        )
+        return BlasResult(run.C[:p, :r], report)
+
+
+# ----------------------------------------------------------------------
+# executing wrappers
+# ----------------------------------------------------------------------
+def dot(u: np.ndarray, v: np.ndarray, k: int = 2,
+        clock_mhz: Optional[float] = None,
+        on_xd1: bool = False) -> BlasResult:
+    """Dot product on the tree architecture (Table 3: k=2)."""
+    return BlasCall("dot", operands=(u, v), k=k, clock_mhz=clock_mhz,
+                    on_xd1=on_xd1).execute()
+
+
+def gemv(A: np.ndarray, x: np.ndarray, k: int = 4,
+         architecture: str = "tree",
+         clock_mhz: Optional[float] = None,
+         on_xd1: bool = False,
+         block: Optional[int] = None) -> BlasResult:
+    """Matrix-vector multiply (Table 3/4: k=4, tree architecture).
+
+    ``architecture`` selects "tree" (row-major A) or "column"
+    (column-major A); ``block`` enables block decomposition with the
+    given block size.
+    """
+    return BlasCall("gemv", operands=(A, x), k=k,
+                    architecture=architecture, block=block,
+                    clock_mhz=clock_mhz, on_xd1=on_xd1).execute()
+
+
+def gemm(A: np.ndarray, B: np.ndarray, k: int = 8,
+         m: Optional[int] = None,
+         clock_mhz: Optional[float] = None,
+         on_xd1: bool = False,
+         strict: bool = False) -> BlasResult:
+    """Dense matrix multiply on the linear PE array (Table 4: k=m=8).
+
+    Accepts rectangular operands (the paper notes its designs apply to
+    non-square matrices): shapes are zero-padded to the next square
+    multiple of the block size, and the padding cycles are honestly
+    charged to the report.  ``m`` defaults to the largest block that
+    divides the padded size and is a multiple of k (capped at 128, the
+    paper's on-chip limit).
+    """
+    return BlasCall("gemm", operands=(A, B), k=k, m=m,
+                    clock_mhz=clock_mhz, on_xd1=on_xd1,
+                    strict=strict).execute()
+
+
+def gemm_multi(A: np.ndarray, B: np.ndarray, l: int, k: int = 8,
+               m: Optional[int] = None,
+               clock_mhz: Optional[float] = None,
+               on_xd1: bool = False) -> BlasResult:
+    """Dense matrix multiply on the ``l``-FPGA linear array
+    (Section 5.2): the same padded geometry as :func:`gemm`, executed
+    as one b×b pass striped over ``l`` blades at effective latency
+    n³/(k·l).  The report's efficiency is measured against the array's
+    2·k·l flops/cycle peak."""
+    return BlasCall("gemm", operands=(A, B), k=k, m=m, blades=l,
+                    clock_mhz=clock_mhz, on_xd1=on_xd1).execute()
+
+
+def spmxv(matrix, x: np.ndarray, k: int = 4,
+          clock_mhz: Optional[float] = None,
+          on_xd1: bool = False) -> BlasResult:
+    """Sparse matrix-vector multiply on the tree architecture.
+
+    ``matrix`` is a :class:`repro.sparse.csr.CsrMatrix`; the design is
+    the paper's [32] SpMXV (k multipliers + adder tree + reduction
+    circuit), whose area matches the Level-2 tree design.
+    """
+    return BlasCall("spmxv", operands=(matrix, x), k=k,
+                    clock_mhz=clock_mhz, on_xd1=on_xd1).execute()
+
+
+# ----------------------------------------------------------------------
+# planning wrappers
+# ----------------------------------------------------------------------
 def plan_dot(n: int, k: int = 2, clock_mhz: Optional[float] = None,
              on_xd1: bool = False) -> ExecutionPlan:
     """Predict a :func:`dot` call: ⌈n/k⌉ input rows plus the pipeline
     fill and the reduction flush."""
-    if n < 1:
-        raise ValueError("n must be positive")
-    design = DotProductDesign(k=k)
-    cycles = (math.ceil(n / k) + design.alpha_mul + design.tree_latency
-              + REDUCTION_FLUSH_CYCLES)
-    area = AreaModel().dot_product_design(k, on_xd1=on_xd1)
-    clock = clock_mhz if clock_mhz is not None else area.clock_mhz
-    return ExecutionPlan(operation="dot", n=n, k=k, m=None,
-                         predicted_cycles=cycles, clock_mhz=clock,
-                         flops=2 * n, area=area)
+    return BlasCall("dot", shape=(n,), k=k, clock_mhz=clock_mhz,
+                    on_xd1=on_xd1).plan()
 
 
 def plan_gemv(nrows: int, ncols: int, k: int = 4,
@@ -268,24 +540,9 @@ def plan_gemv(nrows: int, ncols: int, k: int = 4,
               clock_mhz: Optional[float] = None,
               on_xd1: bool = False) -> ExecutionPlan:
     """Predict a :func:`gemv` call on either MVM architecture."""
-    if nrows < 1 or ncols < 1:
-        raise ValueError("matrix dimensions must be positive")
-    if architecture == "tree":
-        design = TreeMvmDesign(k=k)
-        cycles = (nrows * math.ceil(ncols / k) + design.alpha_mul
-                  + design.tree_latency + REDUCTION_FLUSH_CYCLES)
-    elif architecture == "column":
-        design = ColumnMajorMvmDesign(k=k)
-        cycles = (ncols * math.ceil(nrows / k) + design.alpha_mul
-                  + design.alpha_add)
-    else:
-        raise ValueError(f"unknown MVM architecture {architecture!r}")
-    area = AreaModel().mvm_design(k, on_xd1=on_xd1)
-    clock = clock_mhz if clock_mhz is not None else area.clock_mhz
-    return ExecutionPlan(operation=f"gemv[{architecture}]",
-                         n=max(nrows, ncols), k=k, m=None,
-                         predicted_cycles=cycles, clock_mhz=clock,
-                         flops=2 * nrows * ncols, area=area)
+    return BlasCall("gemv", shape=(nrows, ncols), k=k,
+                    architecture=architecture, clock_mhz=clock_mhz,
+                    on_xd1=on_xd1).plan()
 
 
 def plan_gemm(p: int, q: int, r: int, k: int = 8,
@@ -294,37 +551,29 @@ def plan_gemm(p: int, q: int, r: int, k: int = 8,
               on_xd1: bool = False) -> ExecutionPlan:
     """Predict a :func:`gemm` call — exact, from the Level-3 closed-form
     timing model (startup + nb³·m³/k compute + drain + C output)."""
-    if min(p, q, r) < 1:
-        raise ValueError("matrix dimensions must be positive")
-    m, padded = _gemm_geometry(p, q, r, k, m)
-    design = MatrixMultiplyDesign(k=k, m=m)
-    nb = padded // m
-    cycles = (design.startup_cycles()
-              + nb ** 3 * design.block_compute_cycles()
-              + design.drain_cycles() + m * m)
-    area = AreaModel().mm_design(k, on_xd1=on_xd1)
-    clock = clock_mhz if clock_mhz is not None else area.clock_mhz
-    return ExecutionPlan(operation="gemm", n=max(p, q, r), k=k, m=m,
-                         predicted_cycles=cycles, clock_mhz=clock,
-                         flops=2 * p * q * r, area=area)
+    return BlasCall("gemm", shape=(p, q, r), k=k, m=m,
+                    clock_mhz=clock_mhz, on_xd1=on_xd1).plan()
+
+
+def plan_gemm_multi(p: int, q: int, r: int, l: int, k: int = 8,
+                    m: Optional[int] = None,
+                    clock_mhz: Optional[float] = None,
+                    on_xd1: bool = False) -> ExecutionPlan:
+    """Predict a :func:`gemm_multi` call — exact, from the Section 5.2
+    closed-form model: FPGA_0's ⌈bm/l⌉·bm² m-block MACs dominate, plus
+    the k·l array traversal, startup, drain and C output.  The plan's
+    ``blades_required`` is ``l`` and its ``design_key`` names the
+    per-gang bitstream."""
+    return BlasCall("gemm", shape=(p, q, r), k=k, m=m, blades=l,
+                    clock_mhz=clock_mhz, on_xd1=on_xd1).plan()
 
 
 def plan_spmxv(matrix, k: int = 4, clock_mhz: Optional[float] = None,
                on_xd1: bool = False) -> ExecutionPlan:
     """Predict a :func:`spmxv` call from the matrix's row structure
     (⌈nnz_i/k⌉ chunks per non-empty row plus pipeline fill)."""
-    from repro.sparse.spmxv import SpmxvDesign
-
-    design = SpmxvDesign(k=k)
-    row_nnz = np.diff(matrix.row_ptr)
-    chunks = int(np.sum(np.ceil(row_nnz / k)))
-    cycles = (chunks + design.alpha_mul + design.tree_latency
-              + design.alpha_add)
-    area = AreaModel().mvm_design(k, on_xd1=on_xd1)
-    clock = clock_mhz if clock_mhz is not None else area.clock_mhz
-    return ExecutionPlan(operation="spmxv", n=matrix.nrows, k=k, m=None,
-                         predicted_cycles=cycles, clock_mhz=clock,
-                         flops=2 * matrix.nnz, area=area)
+    return BlasCall("spmxv", operands=(matrix, None), k=k,
+                    clock_mhz=clock_mhz, on_xd1=on_xd1).plan()
 
 
 def gemm_fixed_overhead_cycles(k: int, m: int) -> int:

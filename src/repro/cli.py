@@ -240,6 +240,7 @@ def _submitted_runtime(args: argparse.Namespace, recorder=None,
         verify_results=(False if getattr(args, "no_verify", False)
                         else None),
         degrade=not getattr(args, "no_degrade", False),
+        max_gang=getattr(args, "max_gang", 1),
     )
     for at, request in stream:
         runtime.submit(request, at=at)
@@ -427,6 +428,9 @@ def _add_workload_options(parser: argparse.ArgumentParser,
     parser.add_argument("--queue-capacity", type=int, default=None)
     parser.add_argument("--no-batch", action="store_true",
                         help="disable same-shape gemm coalescing")
+    parser.add_argument("--max-gang", type=_positive_int, default=1,
+                        help="widest multi-FPGA gang a gemm may plan "
+                             "(blades per job; 1 disables gangs)")
     parser.add_argument("--seed", type=int, default=0)
     if faults_spec:
         parser.add_argument("--faults-spec", metavar="PATH",

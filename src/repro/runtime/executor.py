@@ -25,6 +25,15 @@ Cost model
   job's numerics are still produced by its own ``repro.blas.api`` call.
 * **Backpressure.** Arrivals beyond ``queue_capacity`` pending jobs are
   rejected (or raise :class:`QueueFullError` with ``strict_queue``).
+* **Gangs.** With ``max_gang > 1`` a large gemm plans onto the
+  Section 5.2 multi-FPGA linear array: ``l`` co-located blades are
+  acquired atomically (see :mod:`repro.runtime.scheduler`), *every*
+  member is charged its bitstream load, the pass starts when the
+  slowest member is configured and occupies all members for the
+  n³/(k·l)-model duration, and useful flops split evenly across the
+  members (remainder to the lead, which alone counts the completion).
+  A crash of any member aborts the whole pass and retries the job
+  with its width capped at half (degrading toward ``l=1``).
 
 Faults and resilience
 ---------------------
@@ -108,11 +117,16 @@ class QueueFullError(RuntimeError):
 
 class DeviceSlot:
     """Runtime state of one blade: its virtual clock, the designs
-    currently configured on its FPGA, and its health."""
+    currently configured on its FPGA, and its health.  ``chassis`` is
+    the index of the chassis the blade sits in — gangs only form
+    across blades of one chassis (the linear array streams over
+    intra-chassis RapidArray links)."""
 
-    def __init__(self, node: ComputeNode, index: int) -> None:
+    def __init__(self, node: ComputeNode, index: int,
+                 chassis: int = 0) -> None:
         self.node = node
         self.index = index
+        self.chassis = chassis
         self.name = node.name
         self.usable_slices = int(node.fpga.slices * USABLE_SLICE_FRACTION)
         self.free_at = 0.0
@@ -181,10 +195,14 @@ class BlasRuntime:
                  quarantine_after: Optional[int] = 3,
                  verify_results: Optional[bool] = None,
                  verify_tolerance: float = 1e-6,
-                 degrade: bool = True) -> None:
+                 degrade: bool = True,
+                 max_gang: int = 1) -> None:
         if system is None:
             system = make_xd1_system(chassis, blades=blades)
         self.system = system
+        if max_gang < 1:
+            raise ValueError("max_gang must be >= 1")
+        self.max_gang = max_gang
         self.policy = (make_policy(policy) if isinstance(policy, str)
                        else policy)
         if queue_capacity is not None and queue_capacity < 1:
@@ -223,8 +241,15 @@ class BlasRuntime:
             verify_results = (fault_plan is not None
                               and fault_plan.has_corruption)
         self.verify_results = verify_results
-        self.devices = [DeviceSlot(node, i)
-                        for i, node in enumerate(system.nodes)]
+        chassis_groups = (system.chassis
+                          if isinstance(system, ReconfigurableSystem)
+                          else [system])
+        self.devices = []
+        for chassis_index, group in enumerate(chassis_groups):
+            for node in group.nodes:
+                self.devices.append(
+                    DeviceSlot(node, len(self.devices),
+                               chassis=chassis_index))
         if not self.devices:
             raise ValueError("the system has no blades")
         if reconfig_seconds is None:
@@ -242,6 +267,8 @@ class BlasRuntime:
         self._last_depth = 0
         self._next_batch_id = 0
         self._verify_failures = 0
+        self._gangs_formed = 0
+        self._gangs_degraded = 0
         self._ran = False
 
     # -- submission ------------------------------------------------------
@@ -271,34 +298,48 @@ class BlasRuntime:
         self._arrivals.append(job)
         return job
 
-    def _plan(self, request: BlasRequest) -> api.ExecutionPlan:
-        op, (a, b) = request.operation, request.operands
-        k = request.k
-        if op == "dot":
-            return api.plan_dot(len(a), k=k, on_xd1=self.on_xd1)
-        if op == "gemv":
-            shape = np.shape(a)
-            return api.plan_gemv(shape[0], shape[1], k=k,
-                                 architecture=request.architecture,
-                                 on_xd1=self.on_xd1)
-        if op == "gemm":
-            p, q = np.shape(a)
-            r = np.shape(b)[1]
-            return api.plan_gemm(p, q, r, k=k, m=request.m,
-                                 on_xd1=self.on_xd1)
-        return api.plan_spmxv(a, k=k, on_xd1=self.on_xd1)
-
-    def _execute(self, request: BlasRequest):
-        op, (a, b) = request.operation, request.operands
-        k = request.k
-        if op == "dot":
-            return api.dot(a, b, k=k, on_xd1=self.on_xd1)
-        if op == "gemv":
-            return api.gemv(a, b, k=k, architecture=request.architecture,
+    def _call(self, request: BlasRequest,
+              blades: int = 1) -> api.BlasCall:
+        """The unified descriptor both planning and execution run
+        through — one geometry/validation path for the whole runtime."""
+        return api.BlasCall(request.operation, operands=request.operands,
+                            k=request.k, m=request.m, blades=blades,
+                            architecture=request.architecture,
                             on_xd1=self.on_xd1)
-        if op == "gemm":
-            return api.gemm(a, b, k=k, m=request.m, on_xd1=self.on_xd1)
-        return api.spmxv(a, b, k=k, on_xd1=self.on_xd1)
+
+    def _gang_width_for(self, request: BlasRequest,
+                        cap: Optional[int] = None) -> int:
+        """Gang width to *plan* for: the runtime/request cap, bounded
+        by the shape's feasible width (one blade per B m-block-column)
+        and the largest chassis in the pool."""
+        if cap is None:
+            cap = (request.max_blades if request.max_blades is not None
+                   else self.max_gang)
+        else:
+            cap = min(cap, request.max_blades
+                      if request.max_blades is not None
+                      else self.max_gang)
+        if request.operation != "gemm" or cap <= 1:
+            return 1
+        a, b = request.operands
+        p, q = np.shape(a)
+        r = np.shape(b)[1]
+        feasible = api.max_gemm_gang(p, q, r, k=request.k, m=request.m)
+        chassis_sizes: Dict[int, int] = {}
+        for device in self.devices:
+            chassis_sizes[device.chassis] = \
+                chassis_sizes.get(device.chassis, 0) + 1
+        return max(1, min(cap, feasible, max(chassis_sizes.values())))
+
+    def _plan(self, request: BlasRequest,
+              cap: Optional[int] = None) -> api.ExecutionPlan:
+        return self._call(request,
+                          blades=self._gang_width_for(request,
+                                                      cap)).plan()
+
+    def _execute(self, request: BlasRequest,
+                 blades: int = 1) -> api.BlasResult:
+        return self._call(request, blades=blades).execute()
 
     def _reference(self, request: BlasRequest):
         """NumPy ground truth for result verification."""
@@ -387,6 +428,9 @@ class BlasRuntime:
                 args["faults_injected"] = metrics.faults_injected
                 args["retries"] = metrics.retries_total
                 args["blades_quarantined"] = metrics.blades_quarantined
+            if metrics.gangs_formed:
+                args["gangs_formed"] = metrics.gangs_formed
+                args["gangs_degraded"] = metrics.gangs_degraded
             rec.span("runtime.run", "runtime", "runtime",
                      0.0, metrics.makespan_seconds, args)
         return metrics
@@ -550,7 +594,7 @@ class BlasRuntime:
             k //= 2
             job.request.k = k
             try:
-                plan = self._plan(job.request)
+                plan = self._plan(job.request, cap=job.gang_limit)
             except (ValueError, MemoryError, SimulationError):
                 continue
             if any(d.can_ever_hold(plan.area.slices) for d in alive):
@@ -610,9 +654,13 @@ class BlasRuntime:
         batch = [lead]
         if self.batching and lead.request.operation == "gemm":
             key = lead.request.shape_key()
+            # Gang-planned jobs never join a batch: their pass runs a
+            # different design on a different number of blades, so the
+            # shared-overhead accounting would be wrong for them.
             followers = sorted(
                 (j for j in self._pending
-                 if j.request.shape_key() == key),
+                 if j.request.shape_key() == key
+                 and j.plan.blades_required == 1),
                 key=lambda j: j.job_id)[:self.batch_limit - 1]
             for job in followers:
                 self._pending.remove(job)
@@ -620,6 +668,10 @@ class BlasRuntime:
         return batch
 
     def _dispatch(self, placement: Placement) -> None:
+        if (len(placement.devices) > 1
+                or placement.job.plan.blades_required > 1):
+            self._dispatch_gang(placement)
+            return
         job, device = placement.job, placement.device
         rec = self.recorder
         injector = self._injector
@@ -758,6 +810,247 @@ class BlasRuntime:
                 rec.counter(f"{device.name}:busy", device.name, clock, 0)
         device.metrics.batches += 1
 
+    # -- gang dispatch ---------------------------------------------------
+    def _dispatch_gang(self, placement: Placement) -> None:
+        """Run one gang-planned gemm across ``placement.devices``.
+
+        Every member charges reconfiguration for the per-gang
+        bitstream; the pass starts when the slowest member finishes
+        configuring and charges the multi-FPGA timing model
+        (n³/(k·l) effective latency) as busy time on *every* member.
+        A crash of any member aborts the whole gang and retries it at
+        half the width.  The placed width may differ from the planned
+        one (chassis fallback): the job is re-planned at the actual
+        width first, so plan-vs-actual drift stays exact.
+        """
+        job = placement.job
+        devices = placement.devices
+        rec = self.recorder
+        injector = self._injector
+        self._pending.remove(job)
+        start = self._now
+        width = len(devices)
+        if width != job.plan.blades_required:
+            job.plan = self._call(job.request, blades=width).plan()
+        plan = job.plan
+        key = plan.design_key
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
+        lead = devices[0]
+        lead.metrics.batches += 1
+        if rec.enabled:
+            self._sample_depth()
+            rec.instant("scheduler.place", "scheduler", "scheduler",
+                        start,
+                        {"job": job.job_id, "device": lead.name,
+                         "policy": self.policy.name,
+                         "reason": placement.reason,
+                         "design": key,
+                         "batch_id": batch_id,
+                         "batch_size": 1,
+                         "gang": [d.name for d in devices]})
+        job.device = lead.name
+        job.gang_devices = [d.name for d in devices]
+        job.gang_size = width
+        job.batch_id = batch_id
+        job.transition(JobState.PLACED, start)
+        if width > 1:
+            self._gangs_formed += 1
+            if rec.enabled:
+                rec.instant("gang.formed", "gang", "scheduler", start,
+                            {"job": job.job_id, "blades": width,
+                             "members": [d.name for d in devices],
+                             "design": key})
+        # Configure every member; the array cannot stream until its
+        # slowest member holds the bitstream.
+        run_start = start
+        for device in devices:
+            member_clock = start
+            if injector is not None and not device.has_resident(key):
+                member_clock = self._faulty_reconfig_attempts(
+                    device, member_clock)
+            if device.configure(key, plan.area.slices):
+                if rec.enabled:
+                    for evicted in device.last_evicted:
+                        rec.instant("reconfig.evict", "reconfig",
+                                    device.name, start,
+                                    {"design": evicted, "for": key})
+                    rec.instant("reconfig.load", "reconfig",
+                                device.name, start,
+                                {"design": key,
+                                 "bytes": RECONFIG_BITSTREAM_BYTES,
+                                 "seconds": self.reconfig_seconds})
+                    rec.span(f"reconfig:{key}", "reconfig",
+                             device.name, member_clock,
+                             member_clock + self.reconfig_seconds,
+                             {"design": key,
+                              "evicted": list(device.last_evicted)})
+                member_clock += self.reconfig_seconds
+                device.metrics.reconfigurations += 1
+                device.metrics.reconfig_seconds += self.reconfig_seconds
+            run_start = max(run_start, member_clock)
+        if rec.enabled:
+            for device in devices:
+                rec.counter(f"{device.name}:busy", device.name,
+                            start, 1)
+        if injector is not None:
+            crash, victim = self._earliest_gang_crash(devices, start,
+                                                      run_start)
+            if crash is not None:
+                # A member died while the gang was still configuring.
+                self._abort_gang(job, devices, victim, crash)
+                return
+        job.transition(JobState.RUNNING, run_start)
+        if rec.enabled:
+            wait_from = (job.retry_at if job.retries
+                         else job.submitted_at)
+            rec.span(f"job{job.job_id}:wait", "queue", "queue",
+                     wait_from, run_start,
+                     {"job": job.job_id,
+                      "operation": job.request.operation,
+                      "attempt": job.retries + 1})
+        try:
+            result, report = self._execute(job.request, blades=width)
+        except (ValueError, MemoryError, SimulationError) as exc:
+            job.fail(run_start, f"{type(exc).__name__}: {exc}")
+            if rec.enabled:
+                rec.instant("job.failed", "lifecycle", lead.name,
+                            run_start,
+                            {"job": job.job_id, "error": job.error})
+            for device in devices:
+                device.free_at = run_start
+                if rec.enabled:
+                    rec.counter(f"{device.name}:busy", device.name,
+                                run_start, 0)
+            return
+        cycles = report.total_cycles
+        seconds = cycles / (report.clock_mhz * 1e6)
+        if injector is not None:
+            # A stall on any member stretches the whole pass: the
+            # array is a pipeline, so the slowest link sets the pace.
+            for device in devices:
+                seconds = self._apply_stalls(device, job, run_start,
+                                             seconds)
+            crash, victim = self._earliest_gang_crash(
+                devices, start, run_start + seconds)
+            if crash is not None:
+                self._abort_gang(job, devices, victim, crash)
+                return
+            end = run_start + seconds
+            for device in devices:
+                result = self._apply_corruption(device, job, result,
+                                                end)
+        end = run_start + seconds
+        if self.verify_results and self._verify_failed(lead, job,
+                                                       result, end):
+            # Every member spent the whole attempt producing the
+            # discarded result: charge the gang's time before retrying.
+            for device in devices:
+                device.metrics.busy_seconds += seconds
+                device.free_at = end
+                if rec.enabled:
+                    rec.counter(f"{device.name}:busy", device.name,
+                                end, 0)
+            return
+        job.charged_cycles = cycles
+        job.charged_seconds = seconds
+        job.result = result
+        job.report = report
+        job.transition(JobState.DONE, end)
+        if rec.enabled:
+            job.run_span_id = rec.span(
+                f"job{job.job_id}:{job.request.operation}",
+                "job", lead.name, run_start, end,
+                {"job": job.job_id,
+                 "operation": job.request.operation,
+                 "batch_id": batch_id,
+                 "gang": width,
+                 "predicted_cycles": plan.predicted_cycles,
+                 "executed_cycles": report.total_cycles,
+                 "charged_cycles": cycles,
+                 "flops": report.flops})
+            for member_index, device in enumerate(devices):
+                rec.span(f"job{job.job_id}:gang[{member_index}]",
+                         "gang", device.name, run_start, end,
+                         {"job": job.job_id,
+                          "member": member_index,
+                          "of": width,
+                          "device": device.name},
+                         parent_id=job.run_span_id)
+        # Completion and flops stay consistent with the aggregate
+        # invariants: the job completes once (on the lead) and its
+        # flops split across the members that earned them.
+        flops_share = report.flops // width
+        for member_index, device in enumerate(devices):
+            device.metrics.busy_seconds += seconds
+            device.free_at = end
+            device.metrics.flops += flops_share
+            if member_index == 0:
+                device.metrics.flops += report.flops - flops_share * width
+            if width > 1:
+                device.metrics.gang_jobs += 1
+            if rec.enabled:
+                rec.counter(f"{device.name}:busy", device.name, end, 0)
+        lead.metrics.jobs_completed += 1
+
+    def _earliest_gang_crash(self, devices: Tuple[DeviceSlot, ...],
+                             after: float, before: float):
+        """First crash due on any gang member strictly inside
+        ``(after, before)`` — ties break on member order, so replays
+        are deterministic."""
+        best = None
+        victim = None
+        for device in devices:
+            crash = self._injector.peek_crash(device.name, after,
+                                              before)
+            if crash is not None and (best is None
+                                      or crash.at < best.at):
+                best, victim = crash, device
+        return best, victim
+
+    def _abort_gang(self, job: Job, devices: Tuple[DeviceSlot, ...],
+                    victim: DeviceSlot, crash: FaultEvent) -> None:
+        """A member crash kills the whole pass: the victim takes the
+        downtime and health strike, the survivors free immediately,
+        and the job retries at half the gang width (degrading toward
+        ``l=1`` rather than re-forming the doomed gang)."""
+        self._injector.consume(crash)
+        rec = self.recorder
+        if rec.enabled:
+            rec.instant(
+                "fault.injected", "fault", victim.name, crash.at,
+                {"kind": crash.kind.value, "device": victim.name,
+                 "duration": crash.duration,
+                 "aborted_jobs": [job.job_id],
+                 "gang": [d.name for d in devices]})
+        width = len(devices)
+        if width > 1:
+            job.gang_limit = max(1, width // 2)
+            self._gangs_degraded += 1
+            try:
+                job.plan = self._plan(job.request, cap=job.gang_limit)
+            except (ValueError, MemoryError, SimulationError):
+                pass  # keep the old plan; the retry re-plans again
+            if rec.enabled:
+                rec.instant(
+                    "gang.degraded", "gang", victim.name, crash.at,
+                    {"job": job.job_id, "from_blades": width,
+                     "to_blades": job.plan.blades_required,
+                     "crashed": victim.name})
+        self._schedule_retry(
+            job, crash.at,
+            f"gang member crash on {victim.name} at t={crash.at:.6f}s")
+        end = crash.at + crash.duration
+        victim.health.add_downtime(crash.at, end)
+        victim.free_at = end
+        self._record_device_fault(victim, crash.at)
+        for device in devices:
+            if device is not victim:
+                device.free_at = crash.at
+            if rec.enabled:
+                rec.counter(f"{device.name}:busy", device.name,
+                            crash.at, 0)
+
     def _faulty_reconfig_attempts(self, device: DeviceSlot,
                                   clock: float) -> float:
         """Charge transient bitstream-load failures due on this blade:
@@ -849,6 +1142,10 @@ class BlasRuntime:
         finish_times = [j.finished_at for j in self._jobs
                         if j.finished_at is not None]
         makespan = max(finish_times, default=0.0)
+        blades_per_job: Dict[str, int] = {}
+        for job in done:
+            width = str(job.gang_size or 1)
+            blades_per_job[width] = blades_per_job.get(width, 0) + 1
         for device in self.devices:
             device.metrics.resident_designs = list(device.resident)
             device.metrics.faults = device.health.fault_count
@@ -889,6 +1186,9 @@ class BlasRuntime:
             capacity_rejections=sum(
                 1 for j in self._jobs
                 if j.reject_reason is RejectReason.CAPACITY_LOST),
+            gangs_formed=self._gangs_formed,
+            gangs_degraded=self._gangs_degraded,
+            blades_per_job=blades_per_job,
             devices=[d.metrics for d in self.devices],
         )
 

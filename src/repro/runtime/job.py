@@ -13,10 +13,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, List, Optional, Tuple
 
-from repro.blas.api import ExecutionPlan, PerfReport
-
-#: Per-operation default lane counts (the paper's Table 3/4 choices).
-DEFAULT_K = {"dot": 2, "gemv": 4, "gemm": 8, "spmxv": 4}
+from repro.blas.api import DEFAULT_K, ExecutionPlan, PerfReport
 
 OPERATIONS = tuple(DEFAULT_K)
 
@@ -82,6 +79,10 @@ class BlasRequest:
     architecture: str = "tree"
     priority: int = 0
     deadline: Optional[float] = None
+    #: Per-request gang cap: at most this many blades may form the
+    #: job's multi-FPGA array (``None`` defers to the runtime's
+    #: ``max_gang``; only gemm can gang).
+    max_blades: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.operation not in OPERATIONS:
@@ -92,6 +93,8 @@ class BlasRequest:
             raise ValueError(f"{self.operation} takes exactly two operands")
         if self.k is None:
             self.k = DEFAULT_K[self.operation]
+        if self.max_blades is not None and self.max_blades < 1:
+            raise ValueError("max_blades must be >= 1 (or None)")
 
     def shape_key(self) -> Tuple:
         """Batching identity: jobs with equal keys run the same design
@@ -134,6 +137,15 @@ class Job:
     fault_history: List[str] = field(default_factory=list)
     #: Original ``k`` when capacity loss forced a smaller design.
     degraded_from_k: Optional[int] = None
+    #: Blades the job actually ran on when it formed a gang (the
+    #: lead blade first); ``None`` for single-blade jobs.
+    gang_devices: Optional[List[str]] = None
+    #: Gang width the job actually ran at (1 = no gang formed).
+    gang_size: Optional[int] = None
+    #: Cap imposed after a gang member crashed: the retry re-plans at
+    #: half the failed width (degrading toward l=1) instead of
+    #: re-forming the same doomed gang.
+    gang_limit: Optional[int] = None
     #: Trace span id of the RUNNING interval when the runtime recorded
     #: into a :class:`repro.obs.TraceRecorder`; kernel-level traces
     #: attach as children of it (:func:`repro.obs.attach_kernel_trace`).

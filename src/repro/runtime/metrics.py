@@ -46,6 +46,10 @@ class DeviceMetrics:
     reconfigurations: int = 0
     flops: int = 0
     resident_designs: List[str] = field(default_factory=list)
+    #: Gang passes this blade served as a member of (the lead blade
+    #: counts the completion in ``jobs_completed``; every member —
+    #: lead included — counts the participation here).
+    gang_jobs: int = 0
     #: Faults charged to this blade (crashes, failed bitstream loads,
     #: stalls, corrupted outputs it produced).
     faults: int = 0
@@ -70,6 +74,7 @@ class DeviceMetrics:
             "reconfig_seconds": self.reconfig_seconds,
             "reconfigurations": self.reconfigurations,
             "flops": self.flops,
+            "gang_jobs": self.gang_jobs,
             "utilization": self.utilization(makespan),
             "resident_designs": list(self.resident_designs),
             "faults": self.faults,
@@ -105,6 +110,11 @@ class RuntimeMetrics:
     verify_failures: int = 0
     blades_quarantined: int = 0
     capacity_rejections: int = 0
+    #: Gang accounting (all zero when no job planned a gang).
+    gangs_formed: int = 0
+    gangs_degraded: int = 0
+    #: Completed jobs per actual gang width: {"1": …, "4": …}.
+    blades_per_job: Dict[str, int] = field(default_factory=dict)
     devices: List[DeviceMetrics] = field(default_factory=list)
 
     # -- derived ---------------------------------------------------------
@@ -170,6 +180,11 @@ class RuntimeMetrics:
                 "blades_quarantined": self.blades_quarantined,
                 "capacity_rejections": self.capacity_rejections,
             },
+            "gangs": {
+                "formed": self.gangs_formed,
+                "degraded": self.gangs_degraded,
+                "blades_per_job": dict(self.blades_per_job),
+            },
             "total_flops": self.total_flops,
             "sustained_gflops": self.sustained_gflops,
             "throughput_jobs_per_s": self.throughput_jobs_per_s,
@@ -208,6 +223,15 @@ class RuntimeMetrics:
                 f"quarantined {self.blades_quarantined} blade(s)  "
                 f"degraded {self.jobs_degraded}  "
                 f"capacity-rejected {self.capacity_rejections}")
+        if self.gangs_formed:
+            widths = ", ".join(
+                f"{count}×l={width}" for width, count
+                in sorted(self.blades_per_job.items(),
+                          key=lambda kv: int(kv[0])))
+            lines.append(
+                f"gangs {self.gangs_formed} formed "
+                f"({self.gangs_degraded} degraded by member crashes)  "
+                f"blades/job: {widths}")
         lines.append(
             f"{'blade':<24} {'jobs':>5} {'util %':>7} {'busy ms':>9} "
             f"{'reconf':>6} {'reconf ms':>10}")

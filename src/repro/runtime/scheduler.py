@@ -9,28 +9,77 @@ without knowing about them.
 Every policy is deterministic: ties break on ``job_id`` and then on
 device index, so a replay of the same workload reproduces the same
 schedule bit for bit.
+
+Gang placement
+--------------
+A job whose plan carries ``blades_required > 1`` (a multi-FPGA gemm,
+Section 5.2) needs ``l`` blades acquired *atomically* and co-located
+on one chassis — the linear array streams blocks over intra-chassis
+links.  The shared :meth:`SchedulingPolicy._select_gang` handles this
+for every policy:
+
+* prefer the lowest-indexed chassis whose *free* feasible blades can
+  seat the gang, favouring blades that already hold the gang's
+  bitstream;
+* if no chassis can seat the full width now but some chassis could
+  *ever* (counting its busy blades), the gang **reserves** that anchor
+  chassis's free blades — later jobs in this scheduling round cannot
+  take them, so a stream of small jobs cannot perpetually starve a
+  waiting gang (no-starvation rule);
+* if no chassis will ever have ``l`` in-service feasible blades, the
+  gang falls back to the widest width any chassis can reach (down to
+  ``l=1``) instead of deadlocking.
+
+Reservations are per-round and recomputed from scratch each time the
+executor asks for a placement, so they cannot leak: once the anchor
+chassis's busy blades drain, every blade is free and the gang places.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.runtime.job import Job
 
 
 @dataclass(frozen=True)
 class Placement:
-    """One scheduling decision: run ``job`` on ``device``.
+    """One scheduling decision: run ``job`` on ``devices``.
 
-    ``reason`` names why this device won (``"first-feasible"``,
-    ``"resident"``, ``"best-fit"``, ``"evict-lru"``); the executor
+    ``devices`` holds one blade for ordinary jobs and the whole gang
+    (lead blade first) for multi-FPGA jobs.  ``reason`` names why this
+    choice won (``"first-feasible"``, ``"resident"``, ``"best-fit"``,
+    ``"evict-lru"``, ``"gang"``, ``"gang-fallback"``); the executor
     records it on the trace's placement-decision events.
     """
 
     job: Job
-    device: "DeviceSlot"  # noqa: F821 — runtime state lives in executor
+    devices: Tuple["DeviceSlot", ...]  # noqa: F821 — state in executor
     reason: str = "first-feasible"
+
+    @property
+    def device(self) -> "DeviceSlot":  # noqa: F821
+        """The (lead) blade — single-device call sites read this."""
+        return self.devices[0]
+
+    @property
+    def gang_size(self) -> int:
+        return len(self.devices)
+
+
+def gang_width(job: Job) -> int:
+    """Blades the job's plan wants (1 for every single-device plan)."""
+    width = getattr(job.plan, "blades_required", 1)
+    return width if width and width > 1 else 1
 
 
 class SchedulingPolicy:
@@ -65,19 +114,97 @@ class SchedulingPolicy:
                        ) -> Optional[str]:
         """Why ``select`` declined every free device (None when the
         policy has nothing deliberate to say — e.g. nothing fits)."""
+        for job in sorted(queue, key=self.order_key):
+            width = gang_width(job)
+            if width <= 1:
+                continue
+            members, reserved = self._select_gang(job, free, busy)
+            if members is None and reserved:
+                return (f"job {job.job_id} waiting to gang "
+                        f"{width} blade(s); {len(reserved)} free "
+                        f"blade(s) reserved on its anchor chassis")
         return None
 
     def select(self, queue: Sequence[Job],
                free: Sequence["DeviceSlot"],
                busy: Sequence["DeviceSlot"] = ()) -> Optional[Placement]:
-        """First feasible (job, device) pair in policy order."""
+        """First feasible (job, devices) pair in policy order.
+
+        Gang jobs that cannot assemble yet reserve their anchor
+        chassis's free blades: later jobs in this round only see the
+        remainder, so small jobs cannot starve a waiting gang."""
         if not queue or not free:
             return None
+        reserved: FrozenSet[int] = frozenset()
         for job in sorted(queue, key=self.order_key):
-            device = self.choose_device(job, free, busy)
+            available = [d for d in free if d.index not in reserved]
+            if not available:
+                return None
+            if gang_width(job) > 1:
+                members, reserve = self._select_gang(job, available,
+                                                     busy)
+                if members is not None:
+                    reason = ("gang" if len(members) >= gang_width(job)
+                              else "gang-fallback")
+                    return Placement(job, members, reason)
+                reserved = reserved | reserve
+                continue
+            device = self.choose_device(job, available, busy)
             if device is not None:
-                return Placement(job, device, self.explain(job, device))
+                return Placement(job, (device,),
+                                 self.explain(job, device))
         return None
+
+    def _select_gang(self, job: Job,
+                     free: Sequence["DeviceSlot"],
+                     busy: Sequence["DeviceSlot"] = ()
+                     ) -> Tuple[Optional[Tuple["DeviceSlot", ...]],
+                                FrozenSet[int]]:
+        """Try to seat ``job``'s gang on one chassis.
+
+        Returns ``(members, reserved_indices)``: ``members`` is the
+        gang (already capped at the widest width any chassis can ever
+        reach) or ``None``, in which case ``reserved_indices`` names
+        the anchor chassis's free blades this round must hold back for
+        the gang.  Both empty means no chassis can ever host the job.
+        """
+        key = job.plan.design_key
+        slices = job.plan.area.slices
+        target = gang_width(job)
+        free_by_chassis: Dict[int, List["DeviceSlot"]] = {}
+        in_service: Dict[int, int] = {}
+        for device in free:
+            if device.can_ever_hold(slices):
+                free_by_chassis.setdefault(device.chassis,
+                                           []).append(device)
+                in_service[device.chassis] = \
+                    in_service.get(device.chassis, 0) + 1
+        for device in busy:
+            if device.can_ever_hold(slices):
+                in_service[device.chassis] = \
+                    in_service.get(device.chassis, 0) + 1
+        if not in_service:
+            return None, frozenset()
+        # The widest gang any single chassis can ever seat: falling
+        # back below the requested width beats deadlocking on a width
+        # the machine cannot provide.
+        width = min(target, max(in_service.values()))
+        for chassis in sorted(free_by_chassis):
+            candidates = free_by_chassis[chassis]
+            if len(candidates) < width:
+                continue
+            ranked = sorted(candidates,
+                            key=lambda d: (not d.has_resident(key),
+                                           d.index))
+            members = tuple(sorted(ranked[:width],
+                                   key=lambda d: d.index))
+            return members, frozenset()
+        # No chassis can seat the gang right now; reserve the free
+        # blades of the first chassis that ever could (the anchor).
+        anchor = min(c for c, count in in_service.items()
+                     if count >= width)
+        return None, frozenset(
+            d.index for d in free_by_chassis.get(anchor, []))
 
 
 class FifoPolicy(SchedulingPolicy):
@@ -166,10 +293,15 @@ class AreaAwarePolicy(SchedulingPolicy):
                        free: Sequence["DeviceSlot"],
                        busy: Sequence["DeviceSlot"] = ()
                        ) -> Optional[str]:
-        """Names the affinity wait: the first queued job whose design
-        is resident on a *busy* blade (rule 3 declines free blades
-        that would need an eviction)."""
+        """Names the gang wait (shared rule) or the affinity wait: the
+        first queued job whose design is resident on a *busy* blade
+        (rule 3 declines free blades that would need an eviction)."""
+        reason = super().waiting_reason(queue, free, busy)
+        if reason is not None:
+            return reason
         for job in sorted(queue, key=self.order_key):
+            if gang_width(job) > 1:
+                continue
             key = job.plan.design_key
             holders = [d.name for d in busy if d.has_resident(key)]
             if holders:

@@ -61,6 +61,14 @@ class SpmxvRun:
     def sustained_mflops(self, clock_mhz: float) -> float:
         return self.flops_per_cycle * clock_mhz
 
+    def memory_bandwidth_gbytes(self, clock_mhz: float,
+                                word_bytes: int = 8) -> float:
+        """Sustained input bandwidth at ``clock_mhz`` (values + column
+        indices read as 64-bit words), matching the dense kernels'
+        run objects."""
+        return (self.words_read * word_bytes * clock_mhz * 1e6
+                / self.total_cycles / 1e9)
+
 
 class SpmxvDesign:
     """Cycle-accurate tree-architecture SpMXV over CRS input."""

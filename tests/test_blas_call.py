@@ -1,0 +1,187 @@
+"""Tests for the unified :class:`repro.blas.api.BlasCall` descriptor.
+
+One descriptor drives both the executing and the planning path, so the
+contract under test is *parity*: for every operation and a grid of
+shapes, ``BlasCall(...).plan()`` and ``BlasCall(...).execute()`` must
+agree on flops, area and design geometry, with gemm predictions exact
+(both timing models are closed-form) and streaming predictions within
+the calibrated few percent.  Also covered: the :class:`BlasResult`
+tuple-compatibility shim, the deduplicated ``design_key`` rule, and
+the multi-FPGA planning/execution pair.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blas.api import (
+    BlasCall,
+    BlasResult,
+    PerfReport,
+    gemm,
+    gemm_multi,
+    max_gemm_gang,
+    plan_gemm,
+    plan_gemm_multi,
+    plan_spmxv,
+    spmxv,
+)
+from repro.workloads import poisson_2d
+
+
+def _call(operation, rng, n, **kwargs):
+    """A BlasCall with operands for ``operation`` at problem size n."""
+    if operation == "dot":
+        operands = (rng.standard_normal(n), rng.standard_normal(n))
+    elif operation == "gemv":
+        operands = (rng.standard_normal((n, n)), rng.standard_normal(n))
+    elif operation == "gemm":
+        operands = (rng.standard_normal((n, n)),
+                    rng.standard_normal((n, n)))
+    else:
+        matrix = poisson_2d(max(4, int(np.sqrt(n))))
+        operands = (matrix, rng.standard_normal(matrix.ncols))
+    return BlasCall(operation, operands=operands, **kwargs)
+
+
+class TestPlanExecuteParity:
+    @pytest.mark.parametrize("operation", ["dot", "gemv", "gemm",
+                                           "spmxv"])
+    @pytest.mark.parametrize("n", [16, 64, 200])
+    def test_flops_area_and_key_agree(self, rng, operation, n):
+        call = _call(operation, rng, n)
+        plan = call.plan()
+        result = call.execute()
+        assert plan.flops == result.report.flops
+        assert plan.area.slices == result.report.area_slices
+        assert plan.clock_mhz == result.report.clock_mhz
+        assert plan.k == result.report.k
+
+    @pytest.mark.parametrize("operation,rel", [("dot", 0.05),
+                                               ("gemv", 0.05),
+                                               ("spmxv", 0.10)])
+    @pytest.mark.parametrize("n", [64, 128, 300])
+    def test_streaming_cycles_close(self, rng, operation, n, rel):
+        call = _call(operation, rng, n)
+        assert call.plan().predicted_cycles == pytest.approx(
+            call.execute().report.total_cycles, rel=rel)
+
+    @pytest.mark.parametrize("n,k,m", [(16, 4, 8), (48, 4, None),
+                                       (64, 8, None), (130, 8, None)])
+    def test_gemm_cycles_exact(self, rng, n, k, m):
+        call = _call("gemm", rng, n, k=k, m=m)
+        assert (call.plan().predicted_cycles
+                == call.execute().report.total_cycles)
+
+    def test_shape_only_plan_matches_operand_plan(self, rng):
+        by_shape = BlasCall("gemm", shape=(48, 48, 48)).plan()
+        by_operands = _call("gemm", rng, 48).plan()
+        assert by_shape == by_operands
+
+
+class TestBlasCallValidation:
+    def test_unknown_operation(self):
+        with pytest.raises(ValueError, match="unknown operation"):
+            BlasCall("axpy", shape=(8,))
+
+    def test_needs_operands_or_shape(self):
+        with pytest.raises(ValueError, match="operands or a shape"):
+            BlasCall("dot")
+
+    def test_bad_blades(self):
+        with pytest.raises(ValueError, match="blades"):
+            BlasCall("gemm", shape=(64, 64, 64), blades=0)
+
+    def test_gangs_only_for_gemm(self):
+        with pytest.raises(ValueError, match="only for gemm"):
+            BlasCall("dot", shape=(64,), blades=2)
+
+    def test_wrong_shape_arity(self):
+        with pytest.raises(ValueError, match="dimension"):
+            BlasCall("gemm", shape=(64, 64)).plan()
+
+    def test_spmxv_needs_matrix(self):
+        with pytest.raises(ValueError, match="row structure"):
+            BlasCall("spmxv", shape=(64, 64)).plan()
+
+    def test_cannot_execute_shape_only(self):
+        with pytest.raises(ValueError, match="shape-only"):
+            BlasCall("gemm", shape=(16, 16, 16)).execute()
+
+    def test_mismatched_gemm_operands(self, rng):
+        call = BlasCall("gemm", operands=(rng.standard_normal((4, 5)),
+                                          rng.standard_normal((4, 5))))
+        with pytest.raises(ValueError, match="gemm needs"):
+            call.plan()
+
+
+class TestBlasResult:
+    def _result(self):
+        report = PerfReport("op", 8, 2, 1000, 100.0, 16, 1, 0.0, 0.0,
+                            1.0)
+        return BlasResult(value=42.0, report=report)
+
+    def test_tuple_unpack(self):
+        value, report = self._result()
+        assert value == 42.0
+        assert isinstance(report, PerfReport)
+
+    def test_indexing_and_len(self):
+        result = self._result()
+        assert result[0] == result.value
+        assert result[1] is result.report
+        assert len(result) == 2
+
+    def test_named_access(self, rng):
+        result = gemm(rng.standard_normal((16, 16)),
+                      rng.standard_normal((16, 16)), k=4, m=8)
+        assert isinstance(result, BlasResult)
+        assert result.report.operation == "gemm"
+
+
+class TestDesignKey:
+    def test_single_blade_keys(self, rng):
+        assert (plan_gemm(64, 64, 64, k=8).design_key
+                == "matrix_multiply(k=8,m=64)")
+        matrix = poisson_2d(8)
+        assert plan_spmxv(matrix, k=4).design_key == "spmxv(k=4)"
+
+    def test_gang_key_names_width(self):
+        plan = plan_gemm_multi(256, 256, 256, l=2, k=8)
+        assert plan.blades_required == 2
+        assert plan.design_key == "multi_fpga_mm(k=8,m=128,l=2)"
+        wider = plan_gemm_multi(256, 256, 256, l=2, k=8, m=64)
+        assert wider.design_key != plan.design_key
+
+
+class TestMultiFpgaGemm:
+    @pytest.mark.parametrize("n,l", [(256, 2), (130, 2), (512, 4)])
+    def test_plan_exact_and_numerics(self, rng, n, l):
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        plan = plan_gemm_multi(n, n, n, l=l)
+        result = gemm_multi(A, B, l=l)
+        assert plan.predicted_cycles == result.report.total_cycles
+        assert np.allclose(result.value, A @ B)
+
+    def test_gang_beats_single_blade(self, rng):
+        single = plan_gemm(512, 512, 512)
+        gang = plan_gemm_multi(512, 512, 512, l=4)
+        assert gang.predicted_cycles < single.predicted_cycles / 3
+
+    def test_max_gemm_gang_is_block_count(self):
+        assert max_gemm_gang(1024, 1024, 1024) == 8
+        assert max_gemm_gang(256, 256, 256) == 2
+        assert max_gemm_gang(64, 64, 64) == 1
+
+
+class TestSpmxvBandwidth:
+    def test_report_uses_run_model(self, rng):
+        from repro.sparse.spmxv import SpmxvDesign
+
+        matrix = poisson_2d(12)
+        x = rng.standard_normal(matrix.ncols)
+        result = spmxv(matrix, x)
+        run = SpmxvDesign(k=4).run(matrix, x)
+        assert result.report.memory_bandwidth_gbytes == pytest.approx(
+            run.memory_bandwidth_gbytes(result.report.clock_mhz))
+        assert result.report.memory_bandwidth_gbytes > 0

@@ -122,6 +122,26 @@ class TestRuntimeCommand:
         assert payload["jobs"]["completed"] == 4
         assert len(payload["devices"]) == 2
 
+    def test_max_gang_forms_gangs(self, capsys):
+        import json
+
+        assert main(["runtime", "--jobs", "3", "--mix", "gemm",
+                     "--gemm-n", "512", "--blades", "6",
+                     "--max-gang", "4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["gangs"]["formed"] == 3
+        assert payload["gangs"]["blades_per_job"] == {"4": 3}
+
+    def test_max_gang_default_off(self, capsys):
+        import json
+
+        args = build_parser().parse_args(["runtime"])
+        assert args.max_gang == 1
+        assert main(["runtime", "--jobs", "2", "--mix", "gemm",
+                     "--gemm-n", "512", "--blades", "6", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["gangs"]["formed"] == 0
+
     def test_trace_out_writes_chrome_trace(self, capsys, tmp_path):
         import json
 
