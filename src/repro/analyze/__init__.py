@@ -1,0 +1,74 @@
+"""``repro.analyze`` — static analysis for designs and source.
+
+Two layers share one diagnostics format (:mod:`.diagnostics`):
+
+* the **design-rule checker** (:mod:`.drc`) statically enforces the
+  paper's hardware invariants — reduction-buffer bound, MVM hazard
+  condition, storage/bandwidth/area budgets, gang preconditions — on
+  any :class:`repro.blas.api.BlasCall`, plan, or JSON design spec;
+* the **lint pass** (:mod:`.lint`) enforces the repo's determinism and
+  numerics rules (no wall-clock, no unseeded randomness, isfinite
+  guards on residual comparisons, no mutable defaults, no float
+  equality) over the source tree.
+
+``repro analyze`` runs both; ``BlasCall.plan(check=True)`` runs the
+DRC inline and raises :class:`DesignRuleError` on violations.
+"""
+
+from repro.analyze.catalog import shipped_designs
+from repro.analyze.diagnostics import (
+    EXIT_CRASH,
+    EXIT_OK,
+    EXIT_VIOLATIONS,
+    AnalysisReport,
+    Baseline,
+    Diagnostic,
+    Severity,
+)
+from repro.analyze.drc import (
+    DRC_RULES,
+    DesignRuleError,
+    DesignUnderCheck,
+    check_call,
+    check_design,
+    check_plan,
+    check_specs,
+)
+from repro.analyze.lint import (
+    LINT_RULES,
+    lint_paths,
+    lint_source,
+)
+from repro.analyze.platform import (
+    PLATFORMS,
+    PlatformModel,
+    SRC_PLATFORM,
+    XD1_PLATFORM,
+    get_platform,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "Diagnostic",
+    "Severity",
+    "EXIT_OK",
+    "EXIT_VIOLATIONS",
+    "EXIT_CRASH",
+    "DRC_RULES",
+    "LINT_RULES",
+    "DesignRuleError",
+    "DesignUnderCheck",
+    "check_call",
+    "check_design",
+    "check_plan",
+    "check_specs",
+    "lint_paths",
+    "lint_source",
+    "shipped_designs",
+    "PLATFORMS",
+    "PlatformModel",
+    "XD1_PLATFORM",
+    "SRC_PLATFORM",
+    "get_platform",
+]

@@ -1,0 +1,30 @@
+"""The shipped design catalog ``repro analyze`` checks by default.
+
+These are the configurations the paper actually built (Tables 3-4) and
+the Section 5.2 gang the runtime schedules — the tree the repo ships
+must pass the DRC with zero errors, and CI enforces that.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analyze.drc import DesignUnderCheck
+
+
+def shipped_designs() -> List[DesignUnderCheck]:
+    """The paper's Table 3/4 configurations plus the runtime's gang."""
+    return [
+        # Table 3/4 Level 1: dot product, k = 2 lanes.
+        DesignUnderCheck("dot", n=2048, k=2),
+        # Table 3/4 Level 2: MVM, k = 4, both storage orders.
+        DesignUnderCheck("gemv", n=512, k=4, architecture="tree"),
+        DesignUnderCheck("gemv", n=512, k=4, architecture="column"),
+        # Table 4 Level 3: the k = 8 PE array (library-chosen block).
+        DesignUnderCheck("gemm", n=512, k=8),
+        # SpMXV [32]: k = 4 multipliers + tree + reduction circuit.
+        DesignUnderCheck("spmxv", n=2048, k=4),
+        # Section 5.2 / 6.4.1: the six-blade chassis gang the runtime
+        # gang-schedules (k = m = 8 per member).
+        DesignUnderCheck("gemm", n=512, k=8, m=8, blades=6),
+    ]

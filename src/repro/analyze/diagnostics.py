@@ -1,0 +1,219 @@
+"""Shared diagnostic format of both analysis layers.
+
+The design-rule checker (:mod:`repro.analyze.drc`) and the source lint
+pass (:mod:`repro.analyze.lint`) emit the same :class:`Diagnostic`
+record — severity, rule id, subject, message, paper citation and fix
+hint — so one report, one JSON schema and one baseline mechanism serve
+both.  Reports are deterministic: diagnostics sort on (subject, line,
+rule) and serialize with stable key order, so the same tree always
+produces byte-identical JSON.
+
+Baselines record the *fingerprints* of accepted pre-existing findings.
+A fingerprint hashes the rule, the subject with its line number
+stripped, and the message — so unrelated edits that shift lines do not
+invalidate a baseline, while any new finding (or a changed message)
+escapes it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+#: ``repro analyze`` exit codes — 0/1 distinguish "clean" from
+#: "violations found"; 2 means the analyzer itself crashed (so CI can
+#: tell a red build from a broken tool).
+EXIT_OK = 0
+EXIT_VIOLATIONS = 1
+EXIT_CRASH = 2
+
+_LINE_SUFFIX = re.compile(r":\d+$")
+
+
+class Severity(Enum):
+    """Diagnostic severity, ordered worst-first for sorting."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding from either analysis layer.
+
+    ``subject`` is a design label (``"gemm(n=512,k=8,m=8)"``) for DRC
+    findings and a ``path:line`` location for lint findings.
+    ``citation`` names the paper section/theorem (DRC) or the repo rule
+    (lint) the finding enforces; ``hint`` says how to fix it.
+    """
+
+    rule: str
+    severity: Severity
+    subject: str
+    message: str
+    citation: str = ""
+    hint: str = ""
+    data: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def line(self) -> int:
+        """Line number of a ``path:line`` subject (0 for designs)."""
+        match = _LINE_SUFFIX.search(self.subject)
+        return int(match.group()[1:]) if match else 0
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable id for baselining; line numbers are stripped so a
+        baseline survives unrelated edits that shift code."""
+        stem = _LINE_SUFFIX.sub("", self.subject)
+        text = f"{self.rule}|{stem}|{self.message}"
+        return hashlib.sha1(text.encode()).hexdigest()[:16]
+
+    def sort_key(self) -> Tuple:
+        return (self.subject.split(":")[0], self.line,
+                self.severity.rank, self.rule, self.message)
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "subject": self.subject,
+            "message": self.message,
+        }
+        if self.citation:
+            out["citation"] = self.citation
+        if self.hint:
+            out["hint"] = self.hint
+        if self.data:
+            out["data"] = {k: self.data[k] for k in sorted(self.data)}
+        out["fingerprint"] = self.fingerprint
+        return out
+
+    def render(self) -> str:
+        cite = f" [{self.citation}]" if self.citation else ""
+        return (f"{self.severity.value.upper():<7} {self.rule} "
+                f"{self.subject}: {self.message}{cite}")
+
+
+class AnalysisReport:
+    """An ordered collection of diagnostics from one analysis run."""
+
+    def __init__(self,
+                 diagnostics: Iterable[Diagnostic] = ()) -> None:
+        self.diagnostics: List[Diagnostic] = sorted(
+            diagnostics, key=Diagnostic.sort_key)
+        #: Findings a ``--baseline`` file suppressed (kept countable).
+        self.suppressed: int = 0
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics = sorted(
+            list(self.diagnostics) + list(diagnostics),
+            key=Diagnostic.sort_key)
+
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """True when no *errors* remain (warnings/info allowed)."""
+        return not self.errors
+
+    def filter_rules(self, rules: Iterable[str]) -> "AnalysisReport":
+        """Keep only diagnostics whose rule id is in ``rules``."""
+        wanted = {r.strip().upper() for r in rules if r.strip()}
+        report = AnalysisReport(
+            d for d in self.diagnostics if d.rule.upper() in wanted)
+        report.suppressed = self.suppressed
+        return report
+
+    def apply_baseline(self, baseline: "Baseline") -> "AnalysisReport":
+        """Drop findings the baseline already accepts."""
+        kept = [d for d in self.diagnostics
+                if d.fingerprint not in baseline.fingerprints]
+        report = AnalysisReport(kept)
+        report.suppressed = (self.suppressed
+                             + len(self.diagnostics) - len(kept))
+        return report
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "info": len(self.by_severity(Severity.INFO)),
+            "suppressed": self.suppressed,
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": "repro.analyze/1",
+            "counts": self.counts(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent,
+                          sort_keys=False)
+
+    def summary(self) -> str:
+        lines = [d.render() for d in self.diagnostics]
+        counts = self.counts()
+        lines.append(
+            f"{counts['errors']} error(s), {counts['warnings']} "
+            f"warning(s), {counts['info']} info"
+            + (f", {counts['suppressed']} baselined"
+               if counts["suppressed"] else ""))
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """Accepted pre-existing findings, stored as fingerprints."""
+
+    fingerprints: frozenset
+
+    @classmethod
+    def from_report(cls, report: AnalysisReport) -> "Baseline":
+        return cls(frozenset(d.fingerprint for d in report))
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "Baseline":
+        payload = json.loads(Path(path).read_text())
+        entries = payload.get("fingerprints", payload) \
+            if isinstance(payload, dict) else payload
+        return cls(frozenset(str(f) for f in entries))
+
+    def save(self, path: "str | Path",
+             report: Optional[AnalysisReport] = None) -> None:
+        payload: Dict[str, object] = {
+            "schema": "repro.analyze.baseline/1",
+            "fingerprints": sorted(self.fingerprints),
+        }
+        if report is not None:
+            payload["notes"] = {
+                d.fingerprint: d.render() for d in report
+                if d.fingerprint in self.fingerprints}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,377 @@
+"""Custom AST lint pass: the repo's determinism and numerics rules.
+
+The runtime's headline guarantees — byte-identical replay of any run
+from its seed, virtual time only, NaN-safe verification — hold only as
+long as every module follows a handful of coding rules that slip
+through ordinary review.  This pass encodes them as named checks over
+the Python AST:
+
+=======  ==============================================================
+LINT001  no wall-clock (``time.time``/``datetime.now``/…): the runtime
+         is virtual-time only, wall-clock breaks byte-identical replay
+LINT002  no unseeded randomness: stdlib ``random`` and legacy/global
+         ``numpy.random`` calls, and ``default_rng()`` without a seed
+LINT003  residual/tolerance comparisons must be isfinite-guarded: a
+         NaN residual makes ``residual <= tol`` silently False
+LINT004  no mutable (or call) default arguments
+LINT005  no float equality against non-zero literals (comparison to
+         exactly ``0.0`` is IEEE-exact and allowed, e.g. singular-pivot
+         guards)
+=======  ==============================================================
+
+A finding on a line ending in ``# repro: allow(LINT00x)`` (rule id or
+its short name) is suppressed — use sparingly, with a reason in a
+neighbouring comment.  Files named ``test_*``/``conftest*`` are test
+helpers and exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analyze.diagnostics import (
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+)
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered lint check."""
+
+    rule_id: str
+    name: str
+    title: str
+    citation: str
+
+
+LINT_RULES: Dict[str, LintRule] = {
+    rule.rule_id: rule for rule in (
+        LintRule("LINT001", "wall-clock",
+                 "no wall-clock reads in library code",
+                 "repo rule: virtual time only"),
+        LintRule("LINT002", "unseeded-rng",
+                 "no unseeded or global randomness",
+                 "repo rule: seeded randomness for byte-identical "
+                 "replay"),
+        LintRule("LINT003", "unguarded-residual",
+                 "residual comparisons need an isfinite guard",
+                 "repo rule: NaN-safe comparisons (PR 3 review)"),
+        LintRule("LINT004", "mutable-default",
+                 "no mutable or call default arguments",
+                 "repo rule: shared-state hygiene"),
+        LintRule("LINT005", "float-eq",
+                 "no float equality against non-zero literals",
+                 "repo rule: NaN-safe comparisons"),
+    )
+}
+
+#: name → rule id, for ``--rules`` filters and pragmas.
+LINT_RULE_IDS = {rule.name: rule.rule_id for rule in
+                 LINT_RULES.values()}
+
+_WALL_CLOCK_CALLS = {
+    "time.time", "time.time_ns", "time.perf_counter",
+    "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "datetime.datetime.now",
+    "datetime.datetime.utcnow", "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: numpy.random entry points that are deterministic-safe: the Generator
+#: API itself (constructed elsewhere from an explicit seed).
+_NP_RANDOM_SAFE = {"Generator", "SeedSequence", "PCG64", "Philox",
+                   "BitGenerator"}
+
+#: Call defaults that build immutable values are harmless.
+_IMMUTABLE_DEFAULT_CALLS = {"frozenset", "tuple"}
+
+_ALLOW_PRAGMA = re.compile(
+    r"#\s*repro:\s*allow\(\s*([A-Za-z0-9_,\s-]+?)\s*\)")
+
+
+def _allowed_rules(line: str) -> Set[str]:
+    """Rule ids suppressed by a ``# repro: allow(...)`` pragma."""
+    match = _ALLOW_PRAGMA.search(line)
+    if not match:
+        return set()
+    allowed: Set[str] = set()
+    for token in match.group(1).split(","):
+        token = token.strip()
+        allowed.add(LINT_RULE_IDS.get(token, token.upper()))
+    return allowed
+
+
+class _Linter(ast.NodeVisitor):
+    """Single-file visitor; collects diagnostics for every rule."""
+
+    def __init__(self, path: str, source_lines: Sequence[str]) -> None:
+        self.path = path
+        self.lines = source_lines
+        self.diagnostics: List[Diagnostic] = []
+        #: local alias → imported dotted module/name.
+        self.aliases: Dict[str, str] = {}
+        #: per-function stack of isfinite-guarded identifier sets.
+        self.guarded: List[Set[str]] = [set()]
+
+    # -- plumbing -------------------------------------------------------
+    def _emit(self, rule_id: str, node: ast.AST, message: str,
+              hint: str = "") -> None:
+        lineno = getattr(node, "lineno", 1)
+        line = (self.lines[lineno - 1]
+                if 0 < lineno <= len(self.lines) else "")
+        if rule_id in _allowed_rules(line):
+            return
+        rule = LINT_RULES[rule_id]
+        self.diagnostics.append(Diagnostic(
+            rule=rule_id, severity=Severity.ERROR,
+            subject=f"{self.path}:{lineno}",
+            message=message, citation=rule.citation, hint=hint,
+            data={"check": rule.name}))
+
+    def _qualified(self, node: ast.AST) -> Optional[str]:
+        """Dotted name of an expression, with import aliases resolved
+        at the root (``np.random.seed`` → ``numpy.random.seed``)."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    # -- imports --------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.split(".")[0]] = \
+                alias.name if alias.asname else alias.name.split(".")[0]
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self.aliases[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+        self.generic_visit(node)
+
+    # -- function scope (guards, defaults) ------------------------------
+    def _check_defaults(self, node: "ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda") -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None]
+        name = getattr(node, "name", "<lambda>")
+        for default in defaults:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set,
+                                    ast.ListComp, ast.DictComp,
+                                    ast.SetComp)):
+                self._emit(
+                    "LINT004", default,
+                    f"mutable default argument in {name}(): the value "
+                    f"is shared across every call",
+                    hint="default to None and build the value in the "
+                         "body")
+            elif isinstance(default, ast.Call):
+                qualified = self._qualified(default.func) or "?"
+                if qualified in _IMMUTABLE_DEFAULT_CALLS:
+                    continue
+                self._emit(
+                    "LINT004", default,
+                    f"call {qualified}() in a default of {name}(): "
+                    f"evaluated once at definition time and shared "
+                    f"across calls",
+                    hint="default to None and construct per call")
+
+    def _function_guards(self, node: ast.AST) -> Set[str]:
+        """Identifiers passed to an isfinite/isnan call anywhere in the
+        function body (coarse: a guard anywhere in the function
+        satisfies LINT003 for that name)."""
+        guarded: Set[str] = set()
+        for child in ast.walk(node):
+            if not isinstance(child, ast.Call):
+                continue
+            qualified = self._qualified(child.func) or ""
+            tail = qualified.rsplit(".", 1)[-1]
+            if tail in ("isfinite", "isnan", "isinf"):
+                for arg in child.args:
+                    for sub in ast.walk(arg):
+                        if isinstance(sub, ast.Name):
+                            guarded.add(sub.id)
+        return guarded
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.guarded.append(self.guarded[-1]
+                            | self._function_guards(node))
+        self.generic_visit(node)
+        self.guarded.pop()
+
+    def visit_AsyncFunctionDef(self,
+                               node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.guarded.append(self.guarded[-1]
+                            | self._function_guards(node))
+        self.generic_visit(node)
+        self.guarded.pop()
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # -- calls: wall clock, RNG -----------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        qualified = self._qualified(node.func)
+        if qualified:
+            self._check_wall_clock(node, qualified)
+            self._check_rng(node, qualified)
+        self.generic_visit(node)
+
+    def _check_wall_clock(self, node: ast.Call,
+                          qualified: str) -> None:
+        if qualified in _WALL_CLOCK_CALLS:
+            self._emit(
+                "LINT001", node,
+                f"wall-clock read {qualified}(): library code runs in "
+                f"virtual time only, wall-clock breaks byte-identical "
+                f"replay",
+                hint="thread the executor's virtual clock (or a "
+                     "parameter) instead")
+
+    def _check_rng(self, node: ast.Call, qualified: str) -> None:
+        if qualified.startswith("random."):
+            self._emit(
+                "LINT002", node,
+                f"stdlib {qualified}() draws from the process-global "
+                f"generator: replays stop being byte-identical",
+                hint="take an explicitly seeded numpy Generator as a "
+                     "parameter")
+            return
+        if not qualified.startswith("numpy.random."):
+            return
+        tail = qualified[len("numpy.random."):]
+        if tail.split(".")[0] in _NP_RANDOM_SAFE:
+            return
+        if tail == "default_rng":
+            if not node.args and not node.keywords:
+                self._emit(
+                    "LINT002", node,
+                    "default_rng() without a seed draws OS entropy: "
+                    "replays stop being byte-identical",
+                    hint="pass an explicit seed (or accept rng as a "
+                         "parameter)")
+            return
+        self._emit(
+            "LINT002", node,
+            f"legacy global numpy.random API ({qualified}) is shared "
+            f"mutable state",
+            hint="use an explicitly seeded np.random.default_rng(seed)")
+
+    # -- comparisons: residual guard, float equality --------------------
+    @staticmethod
+    def _residual_names(expr: ast.AST) -> Set[str]:
+        names: Set[str] = set()
+        for sub in ast.walk(expr):
+            if (isinstance(sub, ast.Name)
+                    and "residual" in sub.id.lower()):
+                names.add(sub.id)
+            elif (isinstance(sub, ast.Attribute)
+                    and "residual" in sub.attr.lower()):
+                names.add(sub.attr)
+        return names
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE)):
+                self._check_residual_compare(node, left, right)
+            elif isinstance(op, (ast.Eq, ast.NotEq)):
+                self._check_float_eq(node, left, right)
+        self.generic_visit(node)
+
+    def _check_residual_compare(self, node: ast.Compare,
+                                left: ast.AST, right: ast.AST) -> None:
+        names = self._residual_names(left) | self._residual_names(right)
+        unguarded = names - self.guarded[-1]
+        if unguarded:
+            listed = ", ".join(sorted(unguarded))
+            self._emit(
+                "LINT003", node,
+                f"ordered comparison on {listed} without an isfinite "
+                f"guard: a NaN residual makes every comparison False "
+                f"and slips through",
+                hint="guard with math.isfinite()/np.isfinite() in the "
+                     "same function (treat non-finite as failure)")
+
+    @staticmethod
+    def _float_literal(expr: ast.AST) -> Optional[float]:
+        if isinstance(expr, ast.UnaryOp) and isinstance(expr.op,
+                                                        ast.USub):
+            expr = expr.operand
+        if (isinstance(expr, ast.Constant)
+                and isinstance(expr.value, float)):
+            return expr.value
+        return None
+
+    def _check_float_eq(self, node: ast.Compare, left: ast.AST,
+                        right: ast.AST) -> None:
+        for operand in (left, right):
+            value = self._float_literal(operand)
+            if value is not None and value != 0.0:
+                self._emit(
+                    "LINT005", node,
+                    f"float equality against {value!r}: rounding makes "
+                    f"exact equality meaningless (comparison to 0.0 is "
+                    f"IEEE-exact and allowed)",
+                    hint="compare with math.isclose()/np.isclose() or "
+                         "an explicit tolerance")
+                return
+
+
+def lint_source(source: str, path: str = "<string>",
+                ) -> List[Diagnostic]:
+    """Lint one Python source string; returns its diagnostics."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Diagnostic(
+            rule="LINT000", severity=Severity.ERROR,
+            subject=f"{path}:{exc.lineno or 1}",
+            message=f"syntax error: {exc.msg}",
+            citation="python grammar")]
+    linter = _Linter(path, source.splitlines())
+    linter.visit(tree)
+    return linter.diagnostics
+
+
+def _is_test_helper(path: Path) -> bool:
+    name = path.name
+    return name.startswith("test_") or name.startswith("conftest")
+
+
+def iter_python_files(paths: Iterable["str | Path"],
+                      ) -> Iterable[Tuple[Path, Path]]:
+    """(file, display-root) pairs under the given files/directories,
+    in sorted order, test helpers excluded."""
+    for entry in paths:
+        root = Path(entry)
+        if root.is_dir():
+            for file in sorted(root.rglob("*.py")):
+                if not _is_test_helper(file):
+                    yield file, root
+        elif root.suffix == ".py":
+            yield root, root.parent
+
+
+def lint_paths(paths: Iterable["str | Path"],
+               ) -> AnalysisReport:
+    """Lint every non-test ``*.py`` under the given paths."""
+    diagnostics: List[Diagnostic] = []
+    for file, _root in iter_python_files(paths):
+        diagnostics.extend(
+            lint_source(file.read_text(), path=str(file)))
+    return AnalysisReport(diagnostics)

@@ -1,0 +1,115 @@
+"""Platform models the design-rule checker validates against.
+
+A :class:`PlatformModel` bundles the per-FPGA resource budgets the
+paper's Tables 1 and 2 publish for the two target systems — device
+slices, the three memory levels, the stream bandwidth a design can
+actually sustain — plus the gang topology (blades per chassis) the
+Section 5.2 multi-FPGA array depends on.  The DRC never executes a
+design; it compares a design's analytical requirements against these
+static budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.device.area import USABLE_SLICE_FRACTION
+from repro.device.fpga import FpgaDevice, XC2VP50, XC2VP100
+from repro.memory.model import (
+    CRAY_XD1_MEMORY,
+    SRC_MAPSTATION_MEMORY,
+    XD1_SRAM_READ_BANDWIDTH,
+    MemoryHierarchy,
+)
+
+
+@dataclass(frozen=True)
+class PlatformModel:
+    """Static resource budgets of one reconfigurable system."""
+
+    name: str
+    device: FpgaDevice
+    memory: MemoryHierarchy
+    #: Blades whose FPGAs share one intra-chassis linear array — the
+    #: widest co-located gang the platform can ever seat (Section 5.2).
+    blades_per_chassis: int
+    #: SRAM *read* bandwidth one design can stream from (Section 4.4
+    #: uses 6.4 GB/s on the XD1, not Table 1's aggregate QDR figure).
+    sram_read_bytes_per_s: float
+    #: Measured DRAM-path bandwidth available to FPGA_0 (Section 6.2).
+    dram_bytes_per_s: float
+    #: Whether designs carry the XD1 shell (RT core, SRAM controllers).
+    on_xd1: bool = False
+    #: Platform-imposed user clock ceiling in MHz (the SRC MAP caps
+    #: user logic at 100 MHz; the XD1 imposes none below the design's
+    #: own timing closure).
+    max_clock_mhz: Optional[float] = None
+
+    @property
+    def usable_slices(self) -> int:
+        """Slices a design may occupy once routing is accounted for."""
+        return int(self.device.slices * USABLE_SLICE_FRACTION)
+
+    @property
+    def bram_words(self) -> int:
+        """On-chip storage budget in 64-bit words (Table 1, level A)."""
+        return min(self.device.bram_words, self.memory.bram.size_words)
+
+    @property
+    def sram_words(self) -> int:
+        """Per-FPGA SRAM capacity in words (Table 1, level B)."""
+        return self.memory.sram.size_words
+
+    def sram_words_per_cycle(self, clock_mhz: float) -> float:
+        """Words/cycle the SRAM sustains at a design clock."""
+        return self.sram_read_bytes_per_s / (clock_mhz * 1e6) / 8.0
+
+    def dram_words_per_cycle(self, clock_mhz: float) -> float:
+        """Words/cycle the DRAM path sustains at a design clock."""
+        return self.dram_bytes_per_s / (clock_mhz * 1e6) / 8.0
+
+
+#: Cray XD1: XC2VP50 blades, six per chassis (Section 3, Figure 2);
+#: 6.4 GB/s usable SRAM read bandwidth (Section 4.4) and the measured
+#: 1.3 GB/s RapidArray DRAM path (Section 6.2).
+XD1_PLATFORM = PlatformModel(
+    name="xd1",
+    device=XC2VP50,
+    memory=CRAY_XD1_MEMORY,
+    blades_per_chassis=6,
+    sram_read_bytes_per_s=XD1_SRAM_READ_BANDWIDTH,
+    dram_bytes_per_s=1.3e9,
+    on_xd1=True,
+)
+
+#: SRC MAPstation: two user FPGAs per MAP, modelled with the larger
+#: Virtex-II Pro part; Table 1 bandwidths (4.8 GB/s SRAM, 1.4 GB/s
+#: DRAM through the SNAP interface).
+SRC_PLATFORM = PlatformModel(
+    name="src",
+    device=XC2VP100,
+    memory=SRC_MAPSTATION_MEMORY,
+    blades_per_chassis=2,
+    sram_read_bytes_per_s=SRC_MAPSTATION_MEMORY.sram.bandwidth_bytes_per_s,
+    dram_bytes_per_s=SRC_MAPSTATION_MEMORY.dram.bandwidth_bytes_per_s,
+    on_xd1=False,
+    max_clock_mhz=100.0,
+)
+
+PLATFORMS: Dict[str, PlatformModel] = {
+    XD1_PLATFORM.name: XD1_PLATFORM,
+    SRC_PLATFORM.name: SRC_PLATFORM,
+}
+
+
+def get_platform(platform: "str | PlatformModel") -> PlatformModel:
+    """Resolve a platform by name (``"xd1"`` / ``"src"``)."""
+    if isinstance(platform, PlatformModel):
+        return platform
+    try:
+        return PLATFORMS[platform.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown platform {platform!r}; "
+            f"expected one of {sorted(PLATFORMS)}") from None

@@ -153,16 +153,22 @@ class ExecutionPlan:
         return f"{self.operation}(k={self.k})"
 
 
-def _gemm_geometry(p: int, q: int, r: int, k: int,
-                   m: Optional[int]) -> Tuple[int, int]:
-    """Block size and padded order of a gemm call (shared by the
-    executing and planning paths so they agree exactly)."""
+def gemm_geometry(p: int, q: int, r: int, k: int,
+                  m: Optional[int]) -> Tuple[int, int]:
+    """Block size and padded order of a gemm call — the single source
+    of truth shared by the executing path, the planning path and the
+    design-rule checker (:mod:`repro.analyze.drc`), so geometry cannot
+    drift between them."""
     size = max(p, q, r)
     if m is None:
         m = k
         while m * 2 <= 128 and m * 2 <= size:
             m *= 2
     return m, m * math.ceil(size / m)
+
+
+#: Backwards-compatible alias for the pre-analyze internal name.
+_gemm_geometry = gemm_geometry
 
 
 def max_gemm_gang(p: int, q: int, r: int, k: int = 8,
@@ -285,9 +291,32 @@ class BlasCall:
         return MultiFpgaMatrixMultiply(l=self.blades, k=self.k, m=m,
                                        b=padded)
 
+    # -- static analysis -------------------------------------------------
+    def analyze(self, platform: str = "xd1"):
+        """Run the design-rule checker over this call without
+        executing it; returns an
+        :class:`repro.analyze.AnalysisReport` of every violated
+        hardware invariant (reduction-buffer bound, hazard conditions,
+        storage/bandwidth/area budgets, gang preconditions)."""
+        from repro.analyze import check_call
+
+        return check_call(self, platform)
+
     # -- planning --------------------------------------------------------
-    def plan(self) -> ExecutionPlan:
-        """Predict this call without executing it."""
+    def plan(self, check: bool = False,
+             platform: str = "xd1") -> ExecutionPlan:
+        """Predict this call without executing it.
+
+        With ``check=True`` the design-rule checker runs first and a
+        :class:`repro.analyze.DesignRuleError` is raised when the
+        design violates a hardware invariant — fail fast, before any
+        queueing or simulation."""
+        if check:
+            from repro.analyze import DesignRuleError
+
+            report = self.analyze(platform)
+            if not report.ok:
+                raise DesignRuleError(report)
         op = self.operation
         dims = self._dims()
         if op == "dot":

@@ -31,7 +31,6 @@ identical per-z accumulation with closed-form cycle accounting
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 

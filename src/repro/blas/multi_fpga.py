@@ -27,7 +27,6 @@ inter-FPGA bandwidth 3kl/b words/cycle; per-FPGA SRAM bandwidth
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -53,7 +52,7 @@ class MultiFpgaRun:
     link_words: int
     sram_words_per_fpga: int
     #: per-FPGA count of m-block MACs executed (load balance evidence)
-    fpga_block_macs: List[int] = None
+    fpga_block_macs: Optional[List[int]] = None
 
     @property
     def flops(self) -> int:

@@ -23,6 +23,12 @@ Commands
     report how the runtime's retry/quarantine/verification machinery
     coped (``repro runtime --faults-spec`` injects an explicit plan
     instead).
+``analyze``
+    Static analysis: the design-rule checker over the shipped design
+    catalog (or a ``--spec`` JSON of designs) plus the determinism
+    lint pass over the source tree — no execution, machine-readable
+    diagnostics, distinct exit codes for "violations" (1) vs
+    "analyzer crashed" (2).
 ``project``
     The chassis / multi-chassis projections (Figures 11-12,
     Section 6.4).
@@ -373,6 +379,68 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return _workload_exit(metrics)
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Design-rule check + lint pass; exit 0 clean, 1 on violations,
+    2 when the analyzer itself crashed."""
+    from repro.analyze import EXIT_CRASH
+
+    try:
+        return _run_analyze(args)
+    except Exception as exc:  # noqa: BLE001 — crash vs violation split
+        print(f"analyzer crashed: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return EXIT_CRASH
+
+
+def _run_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analyze import (
+        EXIT_OK,
+        EXIT_VIOLATIONS,
+        AnalysisReport,
+        Baseline,
+        check_design,
+        check_specs,
+        get_platform,
+        lint_paths,
+        shipped_designs,
+    )
+
+    platform = get_platform(args.platform)
+    report = AnalysisReport()
+    if not args.no_drc:
+        if args.spec:
+            with open(args.spec) as handle:
+                specs = json.load(handle)
+            if isinstance(specs, dict):
+                specs = specs.get("designs", [specs])
+            report.extend(check_specs(specs, platform))
+        else:
+            for design in shipped_designs():
+                report.extend(check_design(design, platform))
+    if not args.no_lint:
+        report.extend(lint_paths(args.paths))
+    if args.rules:
+        report = report.filter_rules(args.rules.split(","))
+    if args.write_baseline:
+        baseline = Baseline.from_report(report)
+        baseline.save(args.write_baseline, report)
+        print(f"baseline of {len(baseline.fingerprints)} finding(s) "
+              f"written to {args.write_baseline}")
+        return EXIT_OK
+    if args.baseline:
+        report = report.apply_baseline(Baseline.load(args.baseline))
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.summary())
+    counts = report.counts()
+    if counts["errors"] or (args.strict and counts["warnings"]):
+        return EXIT_VIOLATIONS
+    return EXIT_OK
+
+
 def _cmd_project(args: argparse.Namespace) -> int:
     from repro.device.fpga import XC2VP50, XC2VP100
     from repro.perf.projection import (
@@ -564,6 +632,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_fl.add_argument("--trace-out", metavar="PATH", default=None,
                       help="record the faulted run as Chrome trace JSON")
 
+    p_an = sub.add_parser(
+        "analyze", help="static analysis: design-rule checker + "
+                        "determinism lint (no execution)")
+    p_an.add_argument("paths", nargs="*", default=["src"],
+                      help="files/directories to lint (default: src)")
+    p_an.add_argument("--platform", choices=("xd1", "src"),
+                      default="xd1",
+                      help="platform model the DRC checks against")
+    p_an.add_argument("--spec", metavar="PATH", default=None,
+                      help="JSON design spec(s) to check instead of "
+                           "the shipped design catalog")
+    p_an.add_argument("--rules", metavar="IDS", default=None,
+                      help="comma-separated rule ids to keep "
+                           "(e.g. DRC001,LINT003)")
+    p_an.add_argument("--json", action="store_true",
+                      help="emit the diagnostics report as JSON")
+    p_an.add_argument("--strict", action="store_true",
+                      help="treat warnings as violations (exit 1)")
+    p_an.add_argument("--baseline", metavar="PATH", default=None,
+                      help="suppress findings recorded in this "
+                           "baseline file")
+    p_an.add_argument("--write-baseline", metavar="PATH", default=None,
+                      help="record current findings as the baseline "
+                           "and exit 0")
+    p_an.add_argument("--no-drc", action="store_true",
+                      help="skip the design-rule checks")
+    p_an.add_argument("--no-lint", action="store_true",
+                      help="skip the source lint pass")
+
     p_repro = sub.add_parser(
         "reproduce", help="regenerate every paper table/figure")
     p_repro.add_argument("--full", action="store_true",
@@ -583,6 +680,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "faults": _cmd_faults,
     "explore": _cmd_explore,
+    "analyze": _cmd_analyze,
     "solve": _cmd_solve,
     "reproduce": _cmd_reproduce,
 }

@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.device.fpga import FpgaDevice, XC2VP50
 from repro.fparith.units import (

@@ -14,7 +14,7 @@ backlogs without bound) is demonstrable too.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.sim.engine import SimulationError

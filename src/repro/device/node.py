@@ -8,7 +8,7 @@ transport.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.device.fpga import FpgaDevice, XC2VP50

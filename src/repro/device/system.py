@@ -8,7 +8,7 @@ installation has 12 chassis).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from repro.device.node import ComputeNode, make_xd1_node

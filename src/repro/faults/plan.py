@@ -29,7 +29,7 @@ storm (:meth:`FaultPlan.storm`), or a JSON spec file
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Dict, Optional, Sequence, Tuple
 

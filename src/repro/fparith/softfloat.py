@@ -30,7 +30,6 @@ from repro.fparith.ieee754 import (
     decompose_exact,
     default_nan,
     float_to_bits,
-    unpack_bits,
 )
 
 __all__ = [

@@ -11,9 +11,8 @@ reproduction's stand-in for ISE + command-line tools + job scripts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from enum import Enum
-from typing import List, Optional
 
 from repro.device.area import DesignArea, XD1Infrastructure, XD1_INFRASTRUCTURE
 from repro.device.fpga import FpgaDevice, XC2VP50

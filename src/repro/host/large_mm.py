@@ -16,7 +16,6 @@ work and DRAM traffic honestly.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional
 

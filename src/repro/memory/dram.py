@@ -15,7 +15,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.sim.engine import Component, SimulationError, Simulator
+from repro.sim.engine import Component, Simulator
 
 
 class DramChannel(Component):

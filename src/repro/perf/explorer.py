@@ -21,7 +21,6 @@ device, faster PEs) the projections of Section 6.4 ask by hand.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
@@ -91,13 +90,14 @@ class ExplorerBudget:
 
 
 def enumerate_configurations(
-    budget: ExplorerBudget = ExplorerBudget(),
+    budget: Optional[ExplorerBudget] = None,
     l: int = 1,
     ks: Optional[Iterable[int]] = None,
     ms: Optional[Iterable[int]] = None,
     bs: Optional[Iterable[int]] = None,
 ) -> List[MmConfiguration]:
     """All feasible configurations under the budget, best first."""
+    budget = budget if budget is not None else ExplorerBudget()
     ks = list(ks) if ks is not None else [1, 2, 4, 8, 10, 12, 16]
     ms = list(ms) if ms is not None else [8, 16, 32, 64, 128]
     bs = list(bs) if bs is not None else [128, 256, 512, 1024, 2048]
@@ -154,7 +154,7 @@ def pareto_frontier(configurations: List[MmConfiguration]
     return frontier
 
 
-def best_configuration(budget: ExplorerBudget = ExplorerBudget(),
+def best_configuration(budget: Optional[ExplorerBudget] = None,
                        l: int = 1) -> Optional[MmConfiguration]:
     """Highest-GFLOPS feasible configuration (ties: least area)."""
     configurations = enumerate_configurations(budget, l=l)

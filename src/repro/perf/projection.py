@@ -15,12 +15,11 @@ XD1's available bandwidth, as the paper does.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.device.area import PROJECTION_ROUTING_DERATE, projected_pes
-from repro.device.fpga import FpgaDevice, XC2VP50, XC2VP100
+from repro.device.fpga import FpgaDevice, XC2VP50
 from repro.memory.model import (
     CRAY_XD1_MEMORY,
     XD1_INTERCHASSIS_BANDWIDTH,

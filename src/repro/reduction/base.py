@@ -16,8 +16,8 @@ the sum of its values.  Circuits are driven cycle by cycle:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Protocol, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Protocol, Sequence, Tuple
 
 
 @dataclass(frozen=True)

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.reduction.base import ReducedResult, ReductionStats
 from repro.sim.engine import SimulationError

@@ -42,6 +42,7 @@ from typing import (
     Callable,
     Dict,
     FrozenSet,
+    Iterable,
     List,
     Optional,
     Sequence,
@@ -76,10 +77,35 @@ class Placement:
         return len(self.devices)
 
 
+def plan_gang_width(plan: object) -> int:
+    """Blades a plan wants (1 for every single-device plan).
+
+    Shared with the static design-rule checker
+    (:mod:`repro.analyze.drc`), so the DRC and the scheduler agree on
+    what counts as a gang."""
+    width = getattr(plan, "blades_required", 1)
+    return width if width and width > 1 else 1
+
+
 def gang_width(job: Job) -> int:
     """Blades the job's plan wants (1 for every single-device plan)."""
-    width = getattr(job.plan, "blades_required", 1)
-    return width if width and width > 1 else 1
+    return plan_gang_width(job.plan)
+
+
+def feasible_gang_width(target: int,
+                        chassis_capacities: Iterable[int]) -> int:
+    """Widest co-located gang any single chassis can ever seat, capped
+    at ``target`` — the Section 5.2 co-location precondition.
+
+    ``chassis_capacities`` counts in-service feasible blades per
+    chassis.  Used both by :meth:`SchedulingPolicy._select_gang` (to
+    fall back below the requested width instead of deadlocking) and by
+    the static design-rule checker's gang rule, so the two cannot
+    drift."""
+    capacities = list(chassis_capacities)
+    if not capacities:
+        return 0
+    return min(target, max(capacities))
 
 
 class SchedulingPolicy:
@@ -188,7 +214,7 @@ class SchedulingPolicy:
         # The widest gang any single chassis can ever seat: falling
         # back below the requested width beats deadlocking on a width
         # the machine cannot provide.
-        width = min(target, max(in_service.values()))
+        width = feasible_gang_width(target, in_service.values())
         for chassis in sorted(free_by_chassis):
             candidates = free_by_chassis[chassis]
             if len(candidates) < width:

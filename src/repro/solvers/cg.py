@@ -119,6 +119,8 @@ class ConjugateGradientSolver:
             r = r - alpha * Ap
             residual = float(np.linalg.norm(r))
             history.append(residual)
+            if not np.isfinite(residual):
+                break  # diverged (NaN/Inf): stop as not-converged
             if residual <= self.tol * b_norm:
                 converged = True
                 break

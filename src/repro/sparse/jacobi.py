@@ -111,9 +111,14 @@ class JacobiSolver:
             else:
                 rx = np.zeros_like(b)
             x = inv_diag * (b - rx)
-            # Host-side convergence check on the true residual.
+            # Host-side convergence check on the true residual.  A
+            # non-finite residual means the iteration diverged (or hit
+            # corrupted data): stop as not-converged rather than let
+            # ``NaN <= tol`` silently spin to max_iterations.
             residual = float(np.linalg.norm(b - matrix.matvec(x)))
             history.append(residual)
+            if not np.isfinite(residual):
+                break
             if residual <= self.tol * max(1.0, float(np.linalg.norm(b))):
                 converged = True
                 break

@@ -1,0 +1,144 @@
+"""CLI tests for ``repro analyze``: exit-code contract (0 clean /
+1 violations / 2 analyzer crash), JSON output, rule filters, baseline
+round-trip and strict mode."""
+
+import json
+
+from repro.analyze import EXIT_CRASH, EXIT_OK, EXIT_VIOLATIONS
+from repro.cli import build_parser, main
+
+
+def write_spec(tmp_path, specs, name="spec.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps({"designs": specs}))
+    return str(path)
+
+
+BAD_DOT = {"operation": "dot", "n": 256, "k": 2, "buffer_words": 300}
+WARN_GEMM = {"operation": "gemm", "n": 500, "k": 4, "m": 16}
+CLEAN_GEMM = {"operation": "gemm", "n": 512, "k": 8, "m": 16}
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["analyze"])
+        assert args.paths == ["src"]
+        assert args.platform == "xd1"
+        assert not args.json and not args.strict
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["analyze", "--rules", "DRC001,LINT003", "--json",
+             "--strict", "--platform", "src"])
+        assert args.rules == "DRC001,LINT003"
+        assert args.json and args.strict
+        assert args.platform == "src"
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, capsys):
+        # The shipped catalog + the shipped source: the acceptance
+        # criterion that the tree analyzes with zero errors.
+        assert main(["analyze"]) == EXIT_OK
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_violations_exit_one(self, tmp_path, capsys):
+        spec = write_spec(tmp_path, [BAD_DOT])
+        code = main(["analyze", "--spec", spec, "--no-lint"])
+        assert code == EXIT_VIOLATIONS
+        assert "DRC001" in capsys.readouterr().out
+
+    def test_crash_exits_two(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(["analyze", "--spec", missing,
+                     "--no-lint"]) == EXIT_CRASH
+        assert "analyzer crashed" in capsys.readouterr().err
+
+    def test_malformed_spec_is_a_crash_not_a_violation(
+            self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["analyze", "--spec", str(path),
+                     "--no-lint"]) == EXIT_CRASH
+
+    def test_unknown_spec_field_is_a_crash(self, tmp_path):
+        spec = write_spec(tmp_path, [{"operation": "dot", "n": 8,
+                                      "k": 2, "blokes": 3}])
+        assert main(["analyze", "--spec", spec,
+                     "--no-lint"]) == EXIT_CRASH
+
+    def test_lint_violation_in_paths_exits_one(self, tmp_path,
+                                               capsys):
+        bad = tmp_path / "clocky.py"
+        bad.write_text("import time\nstart = time.time()\n")
+        code = main(["analyze", str(bad), "--no-drc"])
+        assert code == EXIT_VIOLATIONS
+        assert "LINT001" in capsys.readouterr().out
+
+
+class TestStrict:
+    def test_warning_passes_by_default(self, tmp_path):
+        spec = write_spec(tmp_path, [WARN_GEMM])
+        assert main(["analyze", "--spec", spec,
+                     "--no-lint"]) == EXIT_OK
+
+    def test_strict_promotes_warnings(self, tmp_path):
+        spec = write_spec(tmp_path, [WARN_GEMM])
+        assert main(["analyze", "--spec", spec, "--no-lint",
+                     "--strict"]) == EXIT_VIOLATIONS
+
+
+class TestJsonAndFilters:
+    def test_json_output_parses(self, tmp_path, capsys):
+        spec = write_spec(tmp_path, [BAD_DOT, CLEAN_GEMM])
+        main(["analyze", "--spec", spec, "--no-lint", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.analyze/1"
+        assert payload["counts"]["errors"] == 1
+        assert payload["diagnostics"][0]["rule"] == "DRC001"
+
+    def test_rules_filter(self, tmp_path, capsys):
+        spec = write_spec(
+            tmp_path,
+            [BAD_DOT,
+             {"operation": "gemv", "n": 48, "k": 4,
+              "architecture": "column"}])
+        main(["analyze", "--spec", spec, "--no-lint", "--json",
+              "--rules", "DRC002"])
+        payload = json.loads(capsys.readouterr().out)
+        assert [d["rule"] for d in payload["diagnostics"]] == ["DRC002"]
+
+    def test_rules_filter_can_silence_everything(self, tmp_path):
+        spec = write_spec(tmp_path, [BAD_DOT])
+        assert main(["analyze", "--spec", spec, "--no-lint",
+                     "--rules", "DRC999"]) == EXIT_OK
+
+
+class TestBaseline:
+    def test_write_then_apply(self, tmp_path, capsys):
+        spec = write_spec(tmp_path, [BAD_DOT])
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["analyze", "--spec", spec, "--no-lint",
+                     "--write-baseline", baseline]) == EXIT_OK
+        payload = json.loads((tmp_path / "baseline.json").read_text())
+        assert payload["schema"] == "repro.analyze.baseline/1"
+        assert len(payload["fingerprints"]) == 1
+        capsys.readouterr()
+        # The baselined finding no longer fails the build...
+        assert main(["analyze", "--spec", spec, "--no-lint",
+                     "--baseline", baseline]) == EXIT_OK
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_new_finding_escapes_baseline(self, tmp_path):
+        baseline = str(tmp_path / "baseline.json")
+        spec_old = write_spec(tmp_path, [BAD_DOT], "old.json")
+        main(["analyze", "--spec", spec_old, "--no-lint",
+              "--write-baseline", baseline])
+        spec_new = write_spec(
+            tmp_path,
+            [BAD_DOT,
+             {"operation": "gemv", "n": 48, "k": 4,
+              "architecture": "column"}],
+            "new.json")
+        assert main(["analyze", "--spec", spec_new, "--no-lint",
+                     "--baseline", baseline]) == EXIT_VIOLATIONS

@@ -1,0 +1,188 @@
+"""Lint-pass tests: each rule has a firing and a clean fixture, the
+pragma suppresses, and the shipped tree itself gates at zero errors."""
+
+from pathlib import Path
+
+from repro.analyze import LINT_RULES, lint_paths, lint_source
+
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def fired(source):
+    return {d.rule for d in lint_source(source)}
+
+
+class TestWallClock:
+    def test_time_time_fires(self):
+        src = "import time\nstart = time.time()\n"
+        assert fired(src) == {"LINT001"}
+
+    def test_aliased_import_resolves(self):
+        src = "import time as t\nstart = t.perf_counter()\n"
+        assert fired(src) == {"LINT001"}
+
+    def test_from_import_resolves(self):
+        src = "from time import monotonic\nnow = monotonic()\n"
+        assert fired(src) == {"LINT001"}
+
+    def test_datetime_now_fires(self):
+        src = ("import datetime\n"
+               "stamp = datetime.datetime.now()\n")
+        assert fired(src) == {"LINT001"}
+
+    def test_virtual_clock_is_clean(self):
+        src = "def run(clock):\n    return clock.now()\n"
+        assert fired(src) == set()
+
+
+class TestUnseededRng:
+    def test_stdlib_random_fires(self):
+        src = "import random\nx = random.random()\n"
+        assert fired(src) == {"LINT002"}
+
+    def test_legacy_numpy_global_fires(self):
+        src = "import numpy as np\nnp.random.seed(0)\n"
+        assert fired(src) == {"LINT002"}
+
+    def test_unseeded_default_rng_fires(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert fired(src) == {"LINT002"}
+
+    def test_seeded_default_rng_is_clean(self):
+        src = "import numpy as np\nrng = np.random.default_rng(42)\n"
+        assert fired(src) == set()
+
+    def test_generator_api_is_clean(self):
+        src = ("import numpy as np\n"
+               "g = np.random.Generator(np.random.PCG64(7))\n")
+        assert fired(src) == set()
+
+
+class TestResidualGuard:
+    def test_unguarded_compare_fires(self):
+        src = ("def converged(residual, tol):\n"
+               "    return residual <= tol\n")
+        assert fired(src) == {"LINT003"}
+
+    def test_isfinite_guard_in_function_is_clean(self):
+        src = ("import math\n"
+               "def converged(residual, tol):\n"
+               "    if not math.isfinite(residual):\n"
+               "        return False\n"
+               "    return residual <= tol\n")
+        assert fired(src) == set()
+
+    def test_numpy_isfinite_counts(self):
+        src = ("import numpy as np\n"
+               "def converged(residual, tol):\n"
+               "    return np.isfinite(residual) and residual <= tol\n")
+        assert fired(src) == set()
+
+    def test_guard_does_not_leak_across_functions(self):
+        src = ("import math\n"
+               "def a(residual):\n"
+               "    return math.isfinite(residual)\n"
+               "def b(residual, tol):\n"
+               "    return residual < tol\n")
+        assert fired(src) == {"LINT003"}
+
+    def test_non_residual_names_exempt(self):
+        src = "def f(x, tol):\n    return x <= tol\n"
+        assert fired(src) == set()
+
+
+class TestMutableDefault:
+    def test_list_default_fires(self):
+        src = "def f(items=[]):\n    return items\n"
+        assert fired(src) == {"LINT004"}
+
+    def test_dict_default_fires(self):
+        src = "def f(cache={}):\n    return cache\n"
+        assert fired(src) == {"LINT004"}
+
+    def test_call_default_fires(self):
+        src = ("def g():\n    return 1\n"
+               "def f(x=g()):\n    return x\n")
+        assert fired(src) == {"LINT004"}
+
+    def test_immutable_call_default_is_clean(self):
+        src = "def f(keys=frozenset()):\n    return keys\n"
+        assert fired(src) == set()
+
+    def test_none_default_is_clean(self):
+        src = "def f(items=None):\n    return items or []\n"
+        assert fired(src) == set()
+
+
+class TestFloatEq:
+    def test_nonzero_literal_fires(self):
+        src = "def f(x):\n    return x == 0.1\n"
+        assert fired(src) == {"LINT005"}
+
+    def test_negative_literal_fires(self):
+        src = "def f(x):\n    return x != -2.5\n"
+        assert fired(src) == {"LINT005"}
+
+    def test_zero_is_exempt(self):
+        # Comparison to 0.0 is IEEE-exact (singular-pivot guards).
+        src = "def f(x):\n    return x == 0.0\n"
+        assert fired(src) == set()
+
+    def test_int_literal_is_exempt(self):
+        src = "def f(x):\n    return x == 3\n"
+        assert fired(src) == set()
+
+
+class TestPragmaAndPlumbing:
+    def test_allow_pragma_suppresses_by_id(self):
+        src = ("import time\n"
+               "t = time.time()  # repro: allow(LINT001)\n")
+        assert fired(src) == set()
+
+    def test_allow_pragma_suppresses_by_name(self):
+        src = ("import random\n"
+               "x = random.random()  # repro: allow(unseeded-rng)\n")
+        assert fired(src) == set()
+
+    def test_pragma_only_suppresses_named_rule(self):
+        src = ("import time\n"
+               "t = time.time()  # repro: allow(LINT002)\n")
+        assert fired(src) == {"LINT001"}
+
+    def test_syntax_error_becomes_diagnostic(self):
+        [diag] = lint_source("def broken(:\n")
+        assert diag.rule == "LINT000"
+        assert "syntax error" in diag.message
+
+    def test_subjects_carry_path_and_line(self):
+        src = "import time\n\nt = time.time()\n"
+        [diag] = lint_source(src, path="pkg/mod.py")
+        assert diag.subject == "pkg/mod.py:3"
+        assert diag.line == 3
+
+    def test_test_helpers_are_skipped(self, tmp_path):
+        (tmp_path / "test_widget.py").write_text(
+            "import time\nt = time.time()\n")
+        (tmp_path / "conftest.py").write_text(
+            "import random\nx = random.random()\n")
+        (tmp_path / "widget.py").write_text(
+            "import time\nt = time.time()\n")
+        report = lint_paths([tmp_path])
+        assert len(report) == 1
+        assert report.diagnostics[0].subject.endswith("widget.py:2")
+
+    def test_every_rule_documented(self):
+        assert sorted(LINT_RULES) == [f"LINT00{i}"
+                                      for i in range(1, 6)]
+        for rule in LINT_RULES.values():
+            assert rule.citation and rule.title
+
+
+class TestShippedTreeGate:
+    """The acceptance criterion: the repo's own src lints clean."""
+
+    def test_src_has_zero_lint_errors(self):
+        report = lint_paths([REPO_SRC])
+        assert report.ok, report.summary()
+        assert len(report) == 0, report.summary()
