@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Any, Iterator, Optional, Tuple
 
 import numpy as np
@@ -38,11 +39,41 @@ from repro.blas.level2 import ColumnMajorMvmDesign, TreeMvmDesign
 from repro.blas.level3 import MatrixMultiplyDesign
 from repro.blas.multi_fpga import MultiFpgaMatrixMultiply
 from repro.device.area import AreaModel, DesignArea
+from repro.reduction.single_adder import SingleAdderReduction
 
-#: Cycles the reduction circuit needs to flush its final set after the
-#: last tree-root value, calibrated against the cycle-accurate designs
-#: at the paper's adder depth (α = 14).
+#: Saturated reduction-circuit flush tail at the paper's adder depth
+#: (α = 14): the flush cost of any final set of α + 3 or more values.
+#: Short streams flush faster — :func:`reduction_flush_cycles` gives
+#: the exact per-size cost the predictors use.
 REDUCTION_FLUSH_CYCLES = 68
+
+
+@lru_cache(maxsize=None)
+def reduction_flush_cycles(set_size: int, alpha: int = 14) -> int:
+    """Exact cycles the reduction circuit takes to flush its final set
+    after the last tree-root value enters.
+
+    The flush cost depends only on the final set's size: a singleton
+    passes straight through (0 cycles), small sets pay roughly one
+    adder traversal per pairing level, and any set of α + 3 or more
+    values saturates at :data:`REDUCTION_FLUSH_CYCLES`.  Rather than
+    hand-derive the piecewise closed form, this replays the final set
+    through a throwaway :class:`SingleAdderReduction` (≤ α + 3 inputs,
+    so at most ~85 cycles of micro-simulation, cached per size) —
+    the simulator itself is the single source of timing truth, so the
+    predictors cannot drift from it.
+    """
+    if set_size < 1:
+        raise ValueError("set_size must be positive")
+    size = min(set_size, alpha + 3)
+    circuit = SingleAdderReduction(alpha=alpha)
+    for i in range(size):
+        circuit.cycle(1.0, last=(i == size - 1))
+    cycles = 0
+    while not circuit.results:
+        circuit.cycle()
+        cycles += 1
+    return cycles
 
 #: Per-operation default lane counts (the paper's Table 3/4 choices).
 DEFAULT_K = {"dot": 2, "gemv": 4, "gemm": 8, "spmxv": 4}
@@ -117,10 +148,11 @@ class BlasResult:
 class ExecutionPlan:
     """Predicted cost of one BLAS call, computed without executing it.
 
-    ``predicted_cycles`` is exact for ``gemm`` — single-blade and
-    gang alike, both timing models are closed-form — and within a few
-    percent for the streaming designs, whose reduction-flush tail is
-    calibrated, not replayed.  ``design_key`` identifies the bitstream
+    ``predicted_cycles`` is exact for ``gemm`` (single-blade and gang
+    alike, both timing models are closed-form) and for ``dot``/``gemv``
+    (their reduction-flush tail is replayed per final-set size via
+    :func:`reduction_flush_cycles`); ``spmxv`` stays within a few
+    percent.  ``design_key`` identifies the bitstream
     a blade must hold to run the job — two jobs with equal keys can
     share one configuration.  ``blades_required`` is 1 for every
     single-device design and ``l`` for a multi-FPGA gemm gang; gang
@@ -322,17 +354,27 @@ class BlasCall:
         if op == "dot":
             design = DotProductDesign(k=self.k)
             n = dims[0]
-            cycles = (math.ceil(n / self.k) + design.alpha_mul
-                      + design.tree_latency + REDUCTION_FLUSH_CYCLES)
+            rows = math.ceil(n / self.k)
+            # ⌈n/k⌉ tree-root values stream in behind the multiplier
+            # and tree fill; the reduction circuit then flushes one
+            # final set of exactly that many values.  The tree pipe is
+            # one stage deep even at k = 1 (tree_latency 0).
+            cycles = (rows + design.alpha_mul
+                      + max(1, design.tree_latency)
+                      + reduction_flush_cycles(rows, design.alpha_add))
             flops = 2 * n
             operation = "dot"
         elif op == "gemv":
             design = self._mvm_design()
             nrows, ncols = dims
             if self.architecture == "tree":
-                cycles = (nrows * math.ceil(ncols / self.k)
-                          + design.alpha_mul + design.tree_latency
-                          + REDUCTION_FLUSH_CYCLES)
+                sets = math.ceil(ncols / self.k)
+                # nrows back-to-back sets of ⌈ncols/k⌉ tree-root
+                # values; only the last set's flush extends the run.
+                cycles = (nrows * sets + design.alpha_mul
+                          + max(1, design.tree_latency)
+                          + reduction_flush_cycles(sets,
+                                                   design.alpha_add))
             else:
                 cycles = (ncols * math.ceil(nrows / self.k)
                           + design.alpha_mul + design.alpha_add)

@@ -29,6 +29,15 @@ Commands
     lint pass over the source tree — no execution, machine-readable
     diagnostics, distinct exit codes for "violations" (1) vs
     "analyzer crashed" (2).
+``serve``
+    Run the asyncio multi-tenant BLAS service: newline-delimited JSON
+    over TCP, per-tenant admission quotas, weighted fair-share
+    ordering, gemm coalescing, virtual or hybrid (wall-paced) clock.
+``loadgen``
+    Replay a seeded multi-tenant request stream against a running
+    ``repro serve`` and report per-tenant p50/p99 wait/latency plus a
+    fairness verdict (same seed against a virtual-clock server →
+    byte-identical report).
 ``project``
     The chassis / multi-chassis projections (Figures 11-12,
     Section 6.4).
@@ -441,6 +450,121 @@ def _run_analyze(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _parse_tenant_weights(entries) -> dict:
+    """``NAME=WEIGHT`` pairs from repeated ``--tenant`` flags."""
+    weights = {}
+    for entry in entries or ():
+        name, _, raw = entry.partition("=")
+        if not name or not raw:
+            raise argparse.ArgumentTypeError(
+                f"--tenant expects NAME=WEIGHT, got {entry!r}")
+        weights[name] = float(raw)
+    return weights
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        BlasService,
+        ServeConfig,
+        TenantQuota,
+        run_server,
+    )
+
+    fault_plan = None
+    if args.faults_spec:
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan.from_json_file(args.faults_spec)
+    config = ServeConfig(
+        chassis=args.chassis,
+        blades=args.blades,
+        policy=args.policy,
+        queue_capacity=args.queue_capacity,
+        batching=not args.no_batch,
+        max_gang=args.max_gang,
+        coalesce_window=args.coalesce_window,
+        clock_mode=args.clock,
+        time_scale=args.time_scale,
+        fault_plan=fault_plan,
+    )
+    default_quota = TenantQuota(rate=args.quota_rate,
+                                burst=args.quota_burst,
+                                max_pending=args.max_pending)
+    quotas = {
+        name: TenantQuota(rate=args.quota_rate, burst=args.quota_burst,
+                          max_pending=args.max_pending, weight=weight)
+        for name, weight in _parse_tenant_weights(args.tenant).items()}
+    service = BlasService(config, quotas=quotas,
+                          default_quota=default_quota)
+
+    def announce(port: int) -> None:
+        print(f"repro serve listening on {args.host}:{port} "
+              f"({args.clock} clock, {args.chassis} chassis x "
+              f"{args.blades} blades)", flush=True)
+
+    run_server(service, host=args.host, port=args.port, ready=announce)
+    print("repro serve: shutdown requested, exiting")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve.loadgen import (
+        LoadgenConfig,
+        render_report,
+        run_loadgen,
+    )
+
+    tenants = _parse_tenant_weights(args.tenant)
+    config = LoadgenConfig(
+        count=args.count,
+        seed=args.seed,
+        tenants=tuple(sorted(tenants.items())) if tenants else None,
+        arrival_rate=args.arrival_rate,
+        drain_every=args.drain_every,
+        shutdown=args.shutdown,
+    )
+    report = run_loadgen(config, host=args.host, port=args.port)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(render_report(report) + "\n")
+        print(f"report written to {args.out}")
+    if args.json:
+        print(render_report(report))
+    else:
+        metrics = report["server_metrics"]
+        jobs = metrics.get("jobs", {})
+        print(f"replayed {config.count} requests "
+              f"({len(report['config']['tenants'])} tenants, seed "
+              f"{config.seed}) over {metrics.get('epochs', 0)} "
+              f"epoch(s): {jobs.get('completed', 0)} done, "
+              f"{jobs.get('failed', 0)} failed, "
+              f"{jobs.get('rejected', 0)} rejected, "
+              f"{jobs.get('quota_throttles', 0)} quota-throttled")
+        header = (f"{'tenant':<12} {'subm':>6} {'done':>6} {'rej':>5} "
+                  f"{'thr':>5} {'wait p99 ms':>12} {'lat p50 ms':>11} "
+                  f"{'lat p99 ms':>11}")
+        print(header)
+        for name, block in metrics.get("tenants", {}).items():
+            tenant_jobs = block["jobs"]
+            print(f"{name:<12} {tenant_jobs['submitted']:>6} "
+                  f"{tenant_jobs['completed']:>6} "
+                  f"{tenant_jobs['rejected']:>5} "
+                  f"{tenant_jobs['quota_throttles']:>5} "
+                  f"{block['wait_seconds']['p99'] * 1e3:>12.3f} "
+                  f"{block['latency_seconds']['p50'] * 1e3:>11.3f} "
+                  f"{block['latency_seconds']['p99'] * 1e3:>11.3f}")
+        print(f"results digest: "
+              f"{report['client']['results_digest']}")
+    starved = report["fairness"]["starved_tenants"]
+    if starved:
+        print(f"FAIRNESS VIOLATION: starved tenant(s) "
+              f"{', '.join(starved)}", file=sys.stderr)
+    failed = report["client"]["result_states"].get("failed", 0)
+    if args.strict and (starved or failed):
+        return 1
+    return 0
+
+
 def _cmd_project(args: argparse.Namespace) -> int:
     from repro.device.fpga import XC2VP50, XC2VP100
     from repro.perf.projection import (
@@ -661,6 +785,78 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--no-lint", action="store_true",
                       help="skip the source lint pass")
 
+    p_srv = sub.add_parser(
+        "serve", help="run the async multi-tenant BLAS service "
+                      "(JSON-over-TCP front-end to the runtime)")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=7070,
+                       help="TCP port (0 = ephemeral; the bound port "
+                            "is announced on stdout)")
+    p_srv.add_argument("--chassis", type=_positive_int, default=1)
+    p_srv.add_argument("--blades", type=_positive_int, default=6)
+    p_srv.add_argument("--policy",
+                       choices=("fifo", "sjf", "edf", "area"),
+                       default="fifo",
+                       help="executor policy under the fair-share rank "
+                            "(fifo preserves the rank exactly)")
+    p_srv.add_argument("--queue-capacity", type=int, default=None)
+    p_srv.add_argument("--no-batch", action="store_true",
+                       help="disable the executor's same-shape gemm "
+                            "batching")
+    p_srv.add_argument("--max-gang", type=_positive_int, default=1,
+                       help="widest multi-FPGA gang a gemm may plan")
+    p_srv.add_argument("--coalesce-window", type=float, default=5e-5,
+                       help="hold window (virtual s) for same-shape "
+                            "gemm coalescing; 0 disables")
+    p_srv.add_argument("--clock", choices=("virtual", "hybrid"),
+                       default="virtual",
+                       help="virtual = instant epochs (deterministic "
+                            "replay); hybrid = pace wall-clock sleeps")
+    p_srv.add_argument("--time-scale", type=float, default=1.0,
+                       help="hybrid clock speed-up (virtual seconds "
+                            "per wall second)")
+    p_srv.add_argument("--quota-rate", type=float, default=2000.0,
+                       help="admission tokens per virtual second per "
+                            "tenant")
+    p_srv.add_argument("--quota-burst", type=_positive_int, default=256,
+                       help="admission token-bucket capacity")
+    p_srv.add_argument("--max-pending", type=_positive_int,
+                       default=4096,
+                       help="admitted-but-undrained cap per tenant")
+    p_srv.add_argument("--tenant", action="append", metavar="NAME=W",
+                       default=None,
+                       help="pre-register a tenant with a fair-share "
+                            "weight (repeatable); unknown tenants get "
+                            "weight 1")
+    p_srv.add_argument("--faults-spec", metavar="PATH", default=None,
+                       help="JSON fault-plan spec injected into every "
+                            "epoch (see docs/faults.md)")
+
+    p_lg = sub.add_parser(
+        "loadgen", help="replay a seeded multi-tenant request stream "
+                        "against a running repro serve")
+    p_lg.add_argument("--host", default="127.0.0.1")
+    p_lg.add_argument("--port", type=int, default=7070)
+    p_lg.add_argument("--count", type=_positive_int, default=10000)
+    p_lg.add_argument("--seed", type=int, default=0)
+    p_lg.add_argument("--tenant", action="append", metavar="NAME=W",
+                      default=None,
+                      help="tenant traffic share (repeatable; default "
+                           "astro/climate/fusion equally weighted)")
+    p_lg.add_argument("--arrival-rate", type=float, default=1000.0,
+                      help="total requests per virtual second")
+    p_lg.add_argument("--drain-every", type=_positive_int, default=2500,
+                      help="submissions per epoch")
+    p_lg.add_argument("--out", metavar="PATH", default=None,
+                      help="write the canonical JSON report here")
+    p_lg.add_argument("--json", action="store_true",
+                      help="print the full JSON report instead of the "
+                           "summary table")
+    p_lg.add_argument("--shutdown", action="store_true",
+                      help="send shutdown to the server afterwards")
+    p_lg.add_argument("--strict", action="store_true",
+                      help="exit 1 on starved tenants or failed jobs")
+
     p_repro = sub.add_parser(
         "reproduce", help="regenerate every paper table/figure")
     p_repro.add_argument("--full", action="store_true",
@@ -681,6 +877,8 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "explore": _cmd_explore,
     "analyze": _cmd_analyze,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "solve": _cmd_solve,
     "reproduce": _cmd_reproduce,
 }

@@ -29,6 +29,7 @@ degradation), pass ``fault_plan=repro.faults.FaultPlan(...)`` — see
 :mod:`repro.faults` and docs/faults.md.
 """
 
+from repro.runtime.clock import HybridClock, VirtualClock, make_clock
 from repro.runtime.executor import BlasRuntime, DeviceSlot, QueueFullError
 from repro.runtime.job import (
     TERMINAL_STATES,
@@ -38,7 +39,11 @@ from repro.runtime.job import (
     JobState,
     RejectReason,
 )
-from repro.runtime.metrics import DeviceMetrics, RuntimeMetrics
+from repro.runtime.metrics import (
+    DeviceMetrics,
+    RuntimeMetrics,
+    TenantMetrics,
+)
 from repro.runtime.scheduler import (
     POLICIES,
     AreaAwarePolicy,
@@ -62,6 +67,10 @@ __all__ = [
     "QueueFullError",
     "DeviceMetrics",
     "RuntimeMetrics",
+    "TenantMetrics",
+    "VirtualClock",
+    "HybridClock",
+    "make_clock",
     "SchedulingPolicy",
     "Placement",
     "FifoPolicy",

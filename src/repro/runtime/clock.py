@@ -1,0 +1,129 @@
+"""Executor clocks: how virtual time advances.
+
+The event loop of :class:`repro.runtime.executor.BlasRuntime` is a
+discrete-event simulation over *virtual* seconds; every timestamp in
+metrics and traces is virtual.  Historically the executor owned a bare
+float; this module lifts that float into a small clock object so the
+*pacing* of virtual time becomes a policy:
+
+:class:`VirtualClock`
+    The default, and byte-identical to the historical behavior:
+    ``advance(to)`` simply sets ``now``.  A full replay of a workload
+    finishes as fast as the host can simulate it, and same-seed runs
+    are bit-for-bit reproducible.
+
+:class:`HybridClock`
+    Virtual seconds pace wall-clock sleeps: ``advance(to)`` first
+    sleeps ``(to - now) / time_scale`` wall seconds, then sets ``now``.
+    The *results* are identical to a :class:`VirtualClock` run (the
+    schedule is a pure function of the workload); only the host-time
+    pacing differs.  This is what turns the batch executor into
+    something a live service, a soak test or a dashboard can sit on
+    top of: queue-depth counters and blade-busy series now evolve in
+    (scaled) real time.  ``time_scale`` is virtual seconds per wall
+    second — the simulated blades execute microsecond-scale jobs, so a
+    scale well below 1.0 slows the replay down to watchable speed and
+    a large scale keeps soak runs cheap.
+
+Neither clock ever *reads* wall time; the hybrid mode only *spends*
+it.  Timestamps therefore stay deterministic in both modes, which is
+what lets ``repro serve`` promise byte-identical same-seed replays in
+virtual mode while offering a real-time mode with the same code path.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+
+class VirtualClock:
+    """Pure virtual time: ``advance`` jumps instantly.
+
+    This is the executor's historical behavior, now behind an
+    interface.  ``now`` starts at ``start`` (default 0.0) and is only
+    ever moved forward by :meth:`advance`.
+    """
+
+    name = "virtual"
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ValueError("clock start must be non-negative")
+        self.now = start
+
+    def advance(self, to: float) -> None:
+        """Move virtual time forward to ``to`` (never backward)."""
+        if to < self.now:
+            raise ValueError(
+                f"clock cannot run backward: now={self.now:.9f}, "
+                f"advance to {to:.9f}")
+        self.now = to
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(now={self.now:.9f})"
+
+
+class HybridClock(VirtualClock):
+    """Virtual time that paces wall-clock sleeps.
+
+    ``advance(to)`` sleeps ``(to - now) / time_scale`` wall seconds
+    before moving ``now`` — the one place in the runtime where wall
+    time is *spent* (never read, so replays stay deterministic).
+
+    Parameters
+    ----------
+    time_scale:
+        Virtual seconds per wall second.  ``1.0`` replays in real
+        time; ``1e-3`` stretches every virtual millisecond into a wall
+        second (watchable dashboards); large values keep soak tests
+        cheap while still exercising the real-time code path.
+    sleep:
+        The sleep callable (wall seconds).  Tests inject a recorder
+        here; the default is :func:`time.sleep`.
+    min_sleep:
+        Sleeps shorter than this many wall seconds are skipped —
+        sub-millisecond sleeps cost more in syscall overhead than they
+        pace.
+    """
+
+    name = "hybrid"
+
+    def __init__(self, time_scale: float = 1.0,
+                 sleep: Optional[Callable[[float], None]] = None,
+                 min_sleep: float = 1e-4,
+                 start: float = 0.0) -> None:
+        super().__init__(start=start)
+        if time_scale <= 0.0:
+            raise ValueError("time_scale must be positive")
+        if min_sleep < 0.0:
+            raise ValueError("min_sleep must be non-negative")
+        self.time_scale = time_scale
+        self.min_sleep = min_sleep
+        self._sleep = sleep if sleep is not None else time.sleep
+        #: Wall seconds spent sleeping so far (monotone, for reports).
+        self.slept_seconds = 0.0
+
+    def advance(self, to: float) -> None:
+        delta = to - self.now
+        if delta < 0.0:
+            raise ValueError(
+                f"clock cannot run backward: now={self.now:.9f}, "
+                f"advance to {to:.9f}")
+        wall = delta / self.time_scale
+        if wall >= self.min_sleep:
+            self._sleep(wall)
+            self.slept_seconds += wall
+        self.now = to
+
+
+def make_clock(mode: str, time_scale: float = 1.0,
+               sleep: Optional[Callable[[float], None]] = None
+               ) -> VirtualClock:
+    """Clock factory for CLIs: ``"virtual"`` or ``"hybrid"``."""
+    if mode == "virtual":
+        return VirtualClock()
+    if mode == "hybrid":
+        return HybridClock(time_scale=time_scale, sleep=sleep)
+    raise ValueError(
+        f"unknown clock mode {mode!r}; expected 'virtual' or 'hybrid'")

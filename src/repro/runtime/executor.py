@@ -96,8 +96,9 @@ from repro.device.system import (
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
 from repro.obs.recorder import NULL_RECORDER, NullRecorder, TraceRecorder
+from repro.runtime.clock import VirtualClock
 from repro.runtime.job import BlasRequest, Job, JobState, RejectReason
-from repro.runtime.metrics import DeviceMetrics, RuntimeMetrics
+from repro.runtime.metrics import DeviceMetrics, RuntimeMetrics, TenantMetrics
 from repro.runtime.scheduler import (
     Placement,
     SchedulingPolicy,
@@ -196,7 +197,8 @@ class BlasRuntime:
                  verify_results: Optional[bool] = None,
                  verify_tolerance: float = 1e-6,
                  degrade: bool = True,
-                 max_gang: int = 1) -> None:
+                 max_gang: int = 1,
+                 clock: Optional[VirtualClock] = None) -> None:
         if system is None:
             system = make_xd1_system(chassis, blades=blades)
         self.system = system
@@ -257,11 +259,15 @@ class BlasRuntime:
                                 / self.devices[0].node.dram_path_bandwidth)
         self.reconfig_seconds = reconfig_seconds
 
+        #: How virtual time advances (:mod:`repro.runtime.clock`).
+        #: The default :class:`VirtualClock` reproduces the historical
+        #: behavior bit for bit; a ``HybridClock`` paces the same
+        #: schedule against wall time without changing any timestamp.
+        self.clock = clock if clock is not None else VirtualClock()
         self._jobs: List[Job] = []
         self._arrivals: List[Job] = []
         self._pending: List[Job] = []
         self._retrying: List[Job] = []
-        self._now = 0.0
         self._depth_area = 0.0
         self._max_depth = 0
         self._last_depth = 0
@@ -487,9 +493,14 @@ class BlasRuntime:
             self.recorder.counter("queue_depth", "queue", self._now,
                                   depth)
 
+    @property
+    def _now(self) -> float:
+        """Current virtual time — owned by :attr:`clock`."""
+        return self.clock.now
+
     def _advance(self, to: float) -> None:
         self._depth_area += len(self._pending) * (to - self._now)
-        self._now = to
+        self.clock.advance(to)
 
     # -- fault plane -----------------------------------------------------
     def _activate_idle_crashes(self) -> None:
@@ -1153,6 +1164,21 @@ class BlasRuntime:
                 device.health.downtime_seconds
             device.metrics.quarantined = device.health.quarantined
         injector = self._injector
+        tenants: Dict[str, TenantMetrics] = {}
+        for job in self._jobs:
+            name = job.request.tenant
+            if name is None:
+                continue
+            bucket = tenants.setdefault(name, TenantMetrics(name=name))
+            bucket.jobs_submitted += 1
+            if job.state is JobState.DONE:
+                bucket.jobs_completed += 1
+                bucket.wait_seconds.append(job.waiting_seconds)
+                bucket.latency_seconds.append(job.latency_seconds)
+            elif job.state is JobState.FAILED:
+                bucket.jobs_failed += 1
+            elif job.state is JobState.REJECTED:
+                bucket.jobs_rejected += 1
         return RuntimeMetrics(
             policy=self.policy.name,
             device_count=len(self.devices),
@@ -1190,6 +1216,7 @@ class BlasRuntime:
             gangs_degraded=self._gangs_degraded,
             blades_per_job=blades_per_job,
             devices=[d.metrics for d in self.devices],
+            tenants=tenants,
         )
 
     @property

@@ -83,6 +83,10 @@ class BlasRequest:
     #: job's multi-FPGA array (``None`` defers to the runtime's
     #: ``max_gang``; only gemm can gang).
     max_blades: Optional[int] = None
+    #: Owning tenant of a multi-tenant (``repro.serve``) submission;
+    #: ``None`` for direct runtime use.  When set, the run's metrics
+    #: grow a per-tenant accounting block.
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.operation not in OPERATIONS:

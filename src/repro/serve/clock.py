@@ -1,0 +1,25 @@
+"""Clock modes for the serve layer.
+
+The clocks themselves live in :mod:`repro.runtime.clock` (the runtime
+owns virtual time; putting them here would make the runtime depend on
+the service built on top of it).  The serve layer re-exports them
+because the choice of clock is a *service* decision:
+
+* ``virtual`` (:class:`VirtualClock`) — advance is instant; a drain
+  executes the whole epoch as fast as Python runs.  Deterministic and
+  byte-identical to the runtime's historical behaviour; the mode used
+  by tests, CI and same-seed replays.
+* ``hybrid`` (:class:`HybridClock`) — scheduling decisions still
+  happen in virtual time (so plans, ordering and metrics are identical
+  to virtual mode), but each advance also sleeps the corresponding
+  wall-clock interval scaled by ``time_scale``.  This paces a live
+  server like the modeled hardware without ever *reading* wall time,
+  so determinism of results is preserved even when pacing is on.
+
+:func:`make_clock` maps the CLI's ``--clock virtual|hybrid`` straight
+to an instance.
+"""
+
+from repro.runtime.clock import HybridClock, VirtualClock, make_clock
+
+__all__ = ["HybridClock", "VirtualClock", "make_clock"]

@@ -1,0 +1,444 @@
+"""The BLAS service: deterministic core + asyncio TCP front-end.
+
+:class:`BlasService` is a *synchronous, deterministic* state machine:
+``hello``/``submit``/``drain``/``metrics`` messages in, response
+objects out.  All policy lives here — admission quotas
+(:mod:`repro.serve.tenant`), gemm coalescing
+(:mod:`repro.serve.coalescer`), fair-share ordering, epoch execution
+on a fresh :class:`~repro.runtime.executor.BlasRuntime` — so the whole
+service can be driven and replayed in tests without a socket in
+sight.  Same seed, same message stream → byte-identical responses.
+
+:class:`BlasServer` is the thin asyncio wrapper: newline-delimited
+JSON over TCP (:mod:`repro.serve.protocol`), one response line per
+request line, connections multiplexed onto the single service.
+Requests are applied in arrival order on the event loop, so a
+single-connection replay is exactly as deterministic as driving the
+service directly.
+
+Epoch model
+-----------
+Submissions carry *virtual* arrival times and accumulate until a
+``drain``.  Each drain is one epoch: admitted calls are coalesced,
+ranked by weighted deficit round robin (cost = each call's planned
+virtual seconds — the ``plan_*`` predictors make cost known before
+execution), mapped onto the executor's ``priority`` field and replayed
+on a fresh runtime whose clock is either a
+:class:`~repro.runtime.clock.VirtualClock` (instant, byte-identical)
+or a :class:`~repro.runtime.clock.HybridClock` (virtual seconds pace
+wall sleeps — live-service mode).  Operands are synthesized from each
+call's ``seed``, so results and digests replay bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.blas.api import DEFAULT_K
+from repro.faults.plan import FaultPlan
+from repro.runtime.clock import make_clock
+from repro.runtime.executor import BlasRuntime
+from repro.runtime.job import BlasRequest, Job, JobState
+from repro.runtime.metrics import TenantMetrics, percentile
+from repro.serve import protocol
+from repro.serve.coalescer import CoalesceStats, coalesce
+from repro.serve.tenant import (AdmissionController, TenantQuota,
+                                weighted_deficit_order)
+from repro.sim.engine import SimulationError
+from repro.workloads import poisson_2d
+
+#: Stream buffer limit for the TCP layer: a drain response carries one
+#: result object per admitted call on a single line, so the default
+#: 64 KiB readline limit is far too small for 10k-request epochs.
+STREAM_LIMIT = 1 << 24
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Service-level knobs (the runtime's own knobs ride along)."""
+
+    chassis: int = 1
+    blades: int = 6
+    policy: str = "fifo"
+    queue_capacity: Optional[int] = None
+    batching: bool = True
+    max_gang: int = 1
+    #: Hold window (virtual seconds) for same-shape gemm coalescing;
+    #: 0 disables the coalescer.
+    coalesce_window: float = 5e-5
+    clock_mode: str = "virtual"
+    time_scale: float = 1.0
+    fault_plan: Optional[FaultPlan] = None
+
+    def __post_init__(self) -> None:
+        if self.coalesce_window < 0.0:
+            raise ValueError("coalesce_window must be non-negative")
+        if self.clock_mode not in ("virtual", "hybrid"):
+            raise ValueError(
+                "clock_mode must be 'virtual' or 'hybrid'")
+
+
+@dataclass
+class AdmittedCall:
+    """One accepted submission waiting for the next epoch."""
+
+    seq: int
+    client_id: Optional[Any]
+    tenant: str
+    at: float
+    spec: Dict[str, Any]
+
+
+def materialize(spec: Mapping[str, Any],
+                tenant: Optional[str] = None) -> BlasRequest:
+    """Build the executable request a call spec describes.
+
+    Operands are synthesized from ``spec["seed"]`` with a dedicated
+    generator, so the same spec always produces the same numbers —
+    the wire carries shapes and seeds, never matrices.  For ``spmxv``
+    the spec's ``n`` is the Poisson grid width.
+    """
+    operation = spec["operation"]
+    n = spec["n"]
+    k = spec.get("k", DEFAULT_K[operation])
+    rng = np.random.default_rng(spec.get("seed", 0))
+    if operation == "dot":
+        operands: Tuple[Any, Any] = (rng.standard_normal(n),
+                                     rng.standard_normal(n))
+    elif operation == "gemv":
+        operands = (rng.standard_normal((n, n)), rng.standard_normal(n))
+    elif operation == "gemm":
+        operands = (rng.standard_normal((n, n)),
+                    rng.standard_normal((n, n)))
+    else:  # spmxv
+        matrix = poisson_2d(n)
+        operands = (matrix, rng.standard_normal(matrix.ncols))
+    return BlasRequest(
+        operation, operands, k=k, m=spec.get("m"),
+        architecture=spec.get("architecture", "tree"),
+        priority=spec.get("priority", 0),
+        max_blades=spec.get("blades"),
+        tenant=tenant)
+
+
+def result_digest(value: Any) -> str:
+    """Short stable digest of a result's float64 bytes — lets clients
+    compare replays without shipping whole matrices back."""
+    data = np.ascontiguousarray(
+        np.atleast_1d(np.asarray(value, dtype=np.float64)))
+    return hashlib.sha256(data.tobytes()).hexdigest()[:16]
+
+
+class BlasService:
+    """Deterministic multi-tenant service over one simulated chassis."""
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 quotas: Optional[Mapping[str, TenantQuota]] = None,
+                 default_quota: Optional[TenantQuota] = None) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.admission = AdmissionController(
+            quotas, default_quota=default_quota)
+        self._pending: List[AdmittedCall] = []
+        self._seq = 0
+        self._epochs = 0
+        self._makespan_total = 0.0
+        self._coalesce_totals = CoalesceStats()
+        #: Runtime-observed per-tenant metrics merged across epochs
+        #: (admission-side counters merge in at report time).
+        self._tenant_totals: Dict[str, TenantMetrics] = {}
+        self._jobs_completed = 0
+        self._jobs_failed = 0
+        self._jobs_rejected = 0
+        #: Metrics of the most recent epoch's runtime (full dict).
+        self.last_epoch_metrics: Optional[Dict[str, Any]] = None
+
+    # -- message dispatch ------------------------------------------------
+    def handle(self, message: Mapping[str, Any]) -> Dict[str, Any]:
+        """Apply one protocol message; returns its response object."""
+        op = message.get("op")
+        if op == "hello":
+            tenant = message.get("tenant")
+            try:
+                self.admission.register(tenant)
+            except ValueError as exc:
+                return protocol.error(str(exc))
+            return protocol.hello_ok(tenant)
+        if op == "submit":
+            return self.submit(message)
+        if op == "drain":
+            return self.drain()
+        if op == "metrics":
+            return protocol.metrics_reply(self.metrics())
+        if op == "shutdown":
+            return protocol.shutdown_ok()
+        return protocol.error(f"unknown op {op!r}")
+
+    # -- admission -------------------------------------------------------
+    def submit(self, message: Mapping[str, Any]) -> Dict[str, Any]:
+        client_id = message.get("id")
+        tenant = message.get("tenant")
+        if not tenant or not isinstance(tenant, str):
+            return protocol.rejected(
+                client_id, protocol.REJECT_INVALID,
+                "submit needs a tenant (or a prior hello)")
+        at = message.get("at", 0.0)
+        if not isinstance(at, (int, float)) or isinstance(at, bool) \
+                or not np.isfinite(at) or at < 0.0:
+            return protocol.rejected(
+                client_id, protocol.REJECT_INVALID,
+                "at must be a non-negative finite number")
+        try:
+            spec = protocol.validate_call(message.get("call"))
+        except protocol.ProtocolError as exc:
+            state = self.admission.register(tenant)
+            state.submitted += 1
+            state.invalid_rejects += 1
+            return protocol.rejected(client_id,
+                                     protocol.REJECT_INVALID, str(exc))
+        _state, reason = self.admission.admit(tenant, float(at))
+        if reason is not None:
+            detail = ("admission token bucket empty"
+                      if reason == protocol.REJECT_QUOTA
+                      else "per-tenant pending cap reached")
+            return protocol.rejected(client_id, reason, detail)
+        call = AdmittedCall(seq=self._seq, client_id=client_id,
+                            tenant=tenant, at=float(at), spec=spec)
+        self._seq += 1
+        self._pending.append(call)
+        return protocol.accepted(client_id, call.seq)
+
+    # -- epoch execution -------------------------------------------------
+    def drain(self) -> Dict[str, Any]:
+        """Run everything admitted since the last drain as one epoch."""
+        self._epochs += 1
+        calls = self._pending
+        self._pending = []
+        self.admission.release_all()
+        if not calls:
+            self.last_epoch_metrics = None
+            return protocol.drained(self._epochs, 0.0, [])
+        # Arrival order, client priority breaking same-instant ties
+        # within a tenant; the fair-share rank below owns cross-tenant
+        # order.
+        calls.sort(key=lambda c: (c.at, -c.spec.get("priority", 0),
+                                  c.seq))
+        release, stats = coalesce(
+            [(c.at, c.spec) for c in calls],
+            self.config.coalesce_window)
+        self._coalesce_totals.groups += stats.groups
+        self._coalesce_totals.coalesced_requests += \
+            stats.coalesced_requests
+        self._coalesce_totals.max_group = max(
+            self._coalesce_totals.max_group, stats.max_group)
+        requests = [materialize(c.spec, tenant=c.tenant) for c in calls]
+        runtime = BlasRuntime(
+            chassis=self.config.chassis,
+            blades=self.config.blades,
+            policy=self.config.policy,
+            queue_capacity=self.config.queue_capacity,
+            batching=self.config.batching,
+            max_gang=self.config.max_gang,
+            fault_plan=self.config.fault_plan,
+            clock=make_clock(self.config.clock_mode,
+                             self.config.time_scale))
+        costs = []
+        for call, request in zip(calls, requests):
+            try:
+                seconds = runtime._plan(request).predicted_seconds
+            except (ValueError, MemoryError, SimulationError):
+                seconds = 0.0  # submit() will fail the job properly
+            costs.append((call.tenant, seconds))
+        order = weighted_deficit_order(costs, self.admission.weights)
+        # rank 0 serves first; the executor orders by priority
+        # descending, so rank maps to priority = -rank.
+        rank_of = {entry_index: rank
+                   for rank, entry_index in enumerate(order)}
+        epoch_start = min(release)
+        jobs: List[Job] = []
+        for index, (call, request) in enumerate(zip(calls, requests)):
+            request.priority = -rank_of[index]
+            jobs.append(runtime.submit(
+                request, at=release[index] - epoch_start))
+        metrics = runtime.run()
+        self._makespan_total += metrics.makespan_seconds
+        self._jobs_completed += metrics.jobs_completed
+        self._jobs_failed += metrics.jobs_failed
+        self._jobs_rejected += metrics.jobs_rejected
+        for name, epoch_tenant in metrics.tenants.items():
+            total = self._tenant_totals.setdefault(
+                name, TenantMetrics(name=name))
+            total.jobs_submitted += epoch_tenant.jobs_submitted
+            total.jobs_completed += epoch_tenant.jobs_completed
+            total.jobs_failed += epoch_tenant.jobs_failed
+            total.jobs_rejected += epoch_tenant.jobs_rejected
+            total.wait_seconds.extend(epoch_tenant.wait_seconds)
+            total.latency_seconds.extend(epoch_tenant.latency_seconds)
+        self.last_epoch_metrics = metrics.to_dict()
+        results = [self._result_entry(call, job)
+                   for call, job in zip(calls, jobs)]
+        return protocol.drained(self._epochs, metrics.makespan_seconds,
+                                results)
+
+    @staticmethod
+    def _result_entry(call: AdmittedCall, job: Job) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {
+            "id": call.client_id,
+            "seq": call.seq,
+            "tenant": call.tenant,
+            "job": job.job_id,
+            "state": job.state.value,
+        }
+        if job.state is JobState.DONE:
+            entry["latency_seconds"] = job.latency_seconds
+            entry["wait_seconds"] = job.waiting_seconds
+            entry["charged_cycles"] = job.charged_cycles
+            entry["digest"] = result_digest(job.result)
+        else:
+            entry["error"] = job.error
+            if job.reject_reason is not None:
+                entry["reason"] = job.reject_reason.value
+        return entry
+
+    # -- reporting -------------------------------------------------------
+    def metrics(self) -> Dict[str, Any]:
+        """Cumulative service metrics across every epoch so far."""
+        tenants: Dict[str, Dict[str, Any]] = {}
+        all_waits: List[float] = []
+        all_latencies: List[float] = []
+        admitted_total = 0
+        submitted_total = 0
+        throttles_total = 0
+        starved: List[str] = []
+        for name in sorted(self.admission.tenants):
+            state = self.admission.tenants[name]
+            seen = self._tenant_totals.get(name,
+                                           TenantMetrics(name=name))
+            block = seen.to_dict()
+            block["jobs"]["submitted"] = state.submitted
+            block["jobs"]["admitted"] = state.admitted
+            block["jobs"]["rejected"] += (state.pending_rejects
+                                          + state.invalid_rejects)
+            block["jobs"]["quota_throttles"] = state.quota_throttles
+            block["weight"] = state.quota.weight
+            tenants[name] = block
+            all_waits.extend(seen.wait_seconds)
+            all_latencies.extend(seen.latency_seconds)
+            submitted_total += state.submitted
+            admitted_total += state.admitted
+            throttles_total += state.quota_throttles
+            if state.admitted and not seen.jobs_completed:
+                starved.append(name)
+        return {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "epochs": self._epochs,
+            "clock": {"mode": self.config.clock_mode,
+                      "time_scale": self.config.time_scale},
+            "makespan_seconds": self._makespan_total,
+            "jobs": {
+                "submitted": submitted_total,
+                "admitted": admitted_total,
+                "completed": self._jobs_completed,
+                "failed": self._jobs_failed,
+                "rejected": self._jobs_rejected,
+                "quota_throttles": throttles_total,
+                "pending": len(self._pending),
+            },
+            "wait_seconds": {
+                "p50": percentile(all_waits, 50),
+                "p99": percentile(all_waits, 99),
+            },
+            "latency_seconds": {
+                "p50": percentile(all_latencies, 50),
+                "p99": percentile(all_latencies, 99),
+            },
+            "coalescing": self._coalesce_totals.to_dict(),
+            "tenants": tenants,
+            "starved_tenants": starved,
+        }
+
+
+class BlasServer:
+    """Asyncio TCP front-end around one :class:`BlasService`."""
+
+    def __init__(self, service: BlasService,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port,
+            limit=STREAM_LIMIT)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until a client sends ``shutdown`` (or cancellation)."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._shutdown.wait()
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        default_tenant: Optional[str] = None
+        try:
+            while not reader.at_eof():
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    message = protocol.decode(line)
+                except protocol.ProtocolError as exc:
+                    writer.write(protocol.encode(
+                        protocol.error(str(exc))))
+                    await writer.drain()
+                    continue
+                if (message.get("op") == "submit"
+                        and "tenant" not in message
+                        and default_tenant is not None):
+                    message = dict(message)
+                    message["tenant"] = default_tenant
+                response = self.service.handle(message)
+                if (message.get("op") == "hello"
+                        and response.get("ok")):
+                    default_tenant = response["tenant"]
+                writer.write(protocol.encode(response))
+                await writer.drain()
+                if message.get("op") == "shutdown":
+                    self._shutdown.set()
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+def run_server(service: BlasService, host: str = "127.0.0.1",
+               port: int = 0,
+               ready: Optional[Any] = None) -> None:
+    """Blocking entry point: serve until a client sends ``shutdown``.
+
+    ``ready``, when given, is called with the bound port once the
+    socket is listening (the CLI prints it; tests grab it).
+    """
+
+    async def _main() -> None:
+        server = BlasServer(service, host=host, port=port)
+        await server.start()
+        if ready is not None:
+            ready(server.port)
+        await server.serve_until_shutdown()
+
+    asyncio.run(_main())

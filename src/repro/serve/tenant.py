@@ -1,0 +1,211 @@
+"""Multi-tenant admission control and fair-share ordering.
+
+The serve layer sits between untrusted tenants and one shared
+accelerator chassis, so two mechanisms protect it (both in *virtual*
+time, so replays are deterministic):
+
+* **Token buckets** (:class:`TokenBucket`) rate-limit each tenant at
+  admission: a submission either takes a token or is rejected with the
+  typed reason :data:`~repro.serve.protocol.REJECT_QUOTA` — before the
+  executor's bounded queue ever sees it.  A per-tenant pending cap
+  (:data:`~repro.serve.protocol.REJECT_PENDING`) bounds how much
+  admitted-but-undrained work one tenant can park.
+* **Weighted deficit round robin** (:func:`weighted_deficit_order`)
+  orders each epoch's admitted calls across tenants by predicted cost,
+  so a hostile tenant flooding cheap requests cannot starve the
+  others: every round, each tenant's deficit counter grows by its
+  weight share and it releases work only up to that credit.  The
+  resulting global rank maps onto the executor's ``priority`` field
+  (higher first), making fairness a scheduling property the existing
+  policies already enforce.
+
+Admission decisions depend only on each tenant's own ordered
+submission stream — never on cross-tenant interleaving — so the
+accept/reject pattern of a replayed trace is reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.serve.protocol import REJECT_PENDING, REJECT_QUOTA
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Fair-share contract of one tenant.
+
+    ``rate``/``burst`` parameterize the admission token bucket
+    (requests per virtual second, bucket capacity); ``max_pending``
+    caps admitted-but-undrained calls; ``weight`` is the tenant's
+    deficit-round-robin share.
+    """
+
+    rate: float = 2000.0
+    burst: int = 256
+    max_pending: int = 4096
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0.0:
+            raise ValueError("quota rate must be positive")
+        if self.burst < 1:
+            raise ValueError("quota burst must be >= 1")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if self.weight <= 0.0:
+            raise ValueError("weight must be positive")
+
+
+class TokenBucket:
+    """A token bucket over virtual time.
+
+    Starts full.  ``try_take(now)`` refills ``rate`` tokens per virtual
+    second elapsed since the last call (capped at ``burst``), then
+    takes one token if available.  Time never runs backward: an
+    out-of-order timestamp is clamped to the latest seen, so a
+    malformed stream cannot mint extra tokens.
+    """
+
+    def __init__(self, rate: float, burst: int) -> None:
+        if rate <= 0.0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = rate
+        self.burst = burst
+        self.tokens = float(burst)
+        self._last = 0.0
+
+    def try_take(self, now: float) -> bool:
+        if now > self._last:
+            self.tokens = min(float(self.burst),
+                              self.tokens + (now - self._last)
+                              * self.rate)
+            self._last = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass
+class TenantState:
+    """Admission-side bookkeeping for one tenant."""
+
+    name: str
+    quota: TenantQuota
+    bucket: TokenBucket
+    pending: int = 0
+    submitted: int = 0
+    admitted: int = 0
+    #: Typed-reject counters, mirrored into the metrics block.
+    quota_throttles: int = 0
+    pending_rejects: int = 0
+    invalid_rejects: int = 0
+
+
+class AdmissionController:
+    """Per-tenant quota enforcement in front of the executor queue."""
+
+    def __init__(self,
+                 quotas: Optional[Mapping[str, TenantQuota]] = None,
+                 default_quota: Optional[TenantQuota] = None) -> None:
+        self.default_quota = (default_quota if default_quota is not None
+                              else TenantQuota())
+        self.tenants: Dict[str, TenantState] = {}
+        for name, quota in (quotas or {}).items():
+            self.register(name, quota)
+
+    def register(self, name: str,
+                 quota: Optional[TenantQuota] = None) -> TenantState:
+        """Idempotently register a tenant (unknown tenants are
+        registered on first contact with the default quota)."""
+        if not name or not isinstance(name, str):
+            raise ValueError("tenant name must be a non-empty string")
+        state = self.tenants.get(name)
+        if state is None:
+            quota = quota if quota is not None else self.default_quota
+            state = TenantState(
+                name=name, quota=quota,
+                bucket=TokenBucket(quota.rate, quota.burst))
+            self.tenants[name] = state
+        return state
+
+    def admit(self, name: str,
+              at: float) -> Tuple[TenantState, Optional[str]]:
+        """Charge one submission at virtual time ``at``; returns the
+        tenant state and a typed reject reason (``None`` = admitted)."""
+        state = self.register(name)
+        state.submitted += 1
+        if not state.bucket.try_take(at):
+            state.quota_throttles += 1
+            return state, REJECT_QUOTA
+        if state.pending >= state.quota.max_pending:
+            state.pending_rejects += 1
+            return state, REJECT_PENDING
+        state.pending += 1
+        state.admitted += 1
+        return state, None
+
+    def release_all(self) -> None:
+        """An epoch drained: every admitted call left the pending set."""
+        for state in self.tenants.values():
+            state.pending = 0
+
+    @property
+    def weights(self) -> Dict[str, float]:
+        return {name: state.quota.weight
+                for name, state in self.tenants.items()}
+
+
+def weighted_deficit_order(
+        entries: Sequence[Tuple[str, float]],
+        weights: Optional[Mapping[str, float]] = None) -> List[int]:
+    """Weighted deficit round robin over one epoch's admitted calls.
+
+    ``entries`` is the epoch's work in arrival order as
+    ``(tenant, cost)`` pairs (cost = predicted virtual seconds; the
+    executor's plans make this available before running anything).
+    Returns the indices of ``entries`` in service order: per tenant
+    FIFO, across tenants DRR with per-round credit
+    ``weight × max_cost`` — so the most expensive single call always
+    fits one round's credit and no tenant can be starved, while a
+    flood of cheap calls from one tenant drains only that tenant's
+    credit.  Tenants take turns in sorted-name order; the whole
+    ordering is a pure function of its inputs.
+    """
+    if not entries:
+        return []
+    queues: Dict[str, Deque[Tuple[int, float]]] = {}
+    for index, (tenant, cost) in enumerate(entries):
+        if cost < 0.0:
+            raise ValueError("entry cost must be non-negative")
+        queues.setdefault(tenant, deque()).append((index, cost))
+    share = dict(weights) if weights else {}
+    for tenant in queues:
+        if share.get(tenant, 1.0) <= 0.0:
+            raise ValueError(f"weight of {tenant!r} must be positive")
+    quantum = max(cost for _, cost in entries)
+    if quantum <= 0.0:
+        quantum = 1.0
+    names = sorted(queues)
+    deficit = {name: 0.0 for name in names}
+    order: List[int] = []
+    remaining = len(entries)
+    while remaining:
+        for name in names:
+            queue = queues[name]
+            if not queue:
+                # An idle tenant accrues no credit (classic DRR).
+                deficit[name] = 0.0
+                continue
+            deficit[name] += share.get(name, 1.0) * quantum
+            while queue and queue[0][1] <= deficit[name]:
+                index, cost = queue.popleft()
+                deficit[name] -= cost
+                order.append(index)
+                remaining -= 1
+    return order

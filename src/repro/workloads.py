@@ -227,6 +227,80 @@ def blas_request_mix(count: int, rng: np.random.Generator,
     return requests
 
 
+#: Default tenant population of :func:`multi_tenant_mix` — three
+#: equal-share science groups on one shared chassis.
+DEFAULT_TENANTS = {"astro": 1.0, "climate": 1.0, "fusion": 1.0}
+
+
+def multi_tenant_mix(count: int, rng: np.random.Generator,
+                     tenants: dict | None = None,
+                     mix: dict | None = None,
+                     arrival_rate: float | None = None,
+                     sizes: dict | None = None):
+    """A multi-tenant request stream for the ``repro.serve`` front-end.
+
+    Returns ``[(arrival_time, tenant, call_spec), ...]`` — like
+    :func:`blas_request_mix`, but each request is attributed to a
+    tenant drawn from ``tenants`` (name → traffic weight, default
+    :data:`DEFAULT_TENANTS`) and described as a JSON-able *call spec*
+    (the ``repro analyze`` spec schema plus ``seed``/``priority``)
+    instead of a materialized :class:`~repro.runtime.job.BlasRequest`:
+    operands travel as a seed, and the server synthesizes them, so the
+    wire format stays small and replays stay byte-identical.  For
+    ``spmxv`` the spec's ``n`` is the Poisson grid width (the server
+    builds :func:`poisson_2d`; the problem order is n²).
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    shares = dict(DEFAULT_TENANTS if tenants is None else tenants)
+    if not shares or any(w <= 0 for w in shares.values()):
+        raise ValueError(
+            "tenants must map names to positive traffic weights")
+    names = sorted(shares)
+    tenant_probs = np.array([shares[name] for name in names],
+                            dtype=np.float64)
+    tenant_probs /= tenant_probs.sum()
+    weights = dict(DEFAULT_REQUEST_MIX if mix is None else mix)
+    if not weights or any(w < 0 for w in weights.values()):
+        raise ValueError("mix must map operations to non-negative weights")
+    # The serve path coalesces gemm by shape, and m²/k must exceed the
+    # adder depth: the default grids already satisfy both.
+    size_grid = {"dot": _DOT_SIZES, "gemv": _GEMV_SIZES,
+                 "gemm": _GEMM_SIZES, "spmxv": _SPMXV_GRIDS}
+    if sizes is not None:
+        unknown = set(sizes) - set(size_grid)
+        if unknown:
+            raise ValueError(f"unknown operation(s) in sizes: "
+                             f"{sorted(unknown)}")
+        for op, grid in sizes.items():
+            grid = tuple(int(s) for s in grid)
+            if not grid or any(s < 1 for s in grid):
+                raise ValueError(f"sizes[{op!r}] must be a non-empty "
+                                 "sequence of positive ints")
+            size_grid[op] = grid
+    ops = sorted(weights)
+    probs = np.array([weights[op] for op in ops], dtype=np.float64)
+    if probs.sum() <= 0:
+        raise ValueError("mix weights must not all be zero")
+    probs /= probs.sum()
+
+    stream = []
+    clock = 0.0
+    for _ in range(count):
+        if arrival_rate is not None:
+            clock += float(rng.exponential(1.0 / arrival_rate))
+        tenant = names[int(rng.choice(len(names), p=tenant_probs))]
+        op = ops[int(rng.choice(len(ops), p=probs))]
+        spec = {
+            "operation": op,
+            "n": int(rng.choice(size_grid[op])),
+            "seed": int(rng.integers(0, 2**31)),
+            "priority": int(rng.integers(0, 3)),
+        }
+        stream.append((clock, tenant, spec))
+    return stream
+
+
 def gemm_burst(count: int, n: int, rng: np.random.Generator):
     """An embarrassingly parallel burst: ``count`` independent gemm
     requests of one shape, all arriving at t = 0 — the workload the

@@ -309,3 +309,63 @@ class TestFailureExitCodes:
         assert rc == 1
         assert "runtime FAILED" in captured.err
         assert "QUARANTINED" in captured.out
+
+
+class TestServeLoadgen:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.clock == "virtual"
+        assert args.port == 7070
+        assert args.policy == "fifo"
+        assert args.coalesce_window == pytest.approx(5e-5)
+
+    def test_loadgen_parser_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.count == 10000
+        assert args.drain_every == 2500
+        assert args.arrival_rate == pytest.approx(1000.0)
+
+    def test_tenant_weight_flag(self):
+        args = build_parser().parse_args(
+            ["serve", "--tenant", "astro=2", "--tenant", "climate=1"])
+        assert args.tenant == ["astro=2", "climate=1"]
+
+    def test_bad_tenant_weight_rejected(self):
+        import argparse
+
+        from repro.cli import _parse_tenant_weights
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_tenant_weights(["astro"])
+
+    def test_serve_loadgen_round_trip(self, capsys, tmp_path):
+        import socket
+        import threading
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        server = threading.Thread(
+            target=main,
+            args=(["serve", "--port", str(port), "--blades", "2"],),
+            daemon=True)
+        server.start()
+        deadline = 50
+        while deadline:
+            with socket.socket() as ping:
+                try:
+                    ping.connect(("127.0.0.1", port))
+                    break
+                except OSError:
+                    deadline -= 1
+                    threading.Event().wait(0.1)
+        out = tmp_path / "report.json"
+        rc = main(["loadgen", "--port", str(port), "--count", "60",
+                   "--seed", "5", "--drain-every", "30",
+                   "--out", str(out), "--shutdown", "--strict"])
+        server.join(10)
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "replayed 60 requests" in captured.out
+        assert "results digest:" in captured.out
+        assert '"starved_tenants": []' in out.read_text()

@@ -114,10 +114,17 @@ class TestDriftReport:
         assert [e.job_id for e in report.entries] == [ok.job_id]
 
     def test_threshold_override_flags(self):
-        report = drift_report(self._jobs(), thresholds={"gemv": 0.0,
-                                                        "dot": 0.0})
-        # dot is exact on these sizes but small gemv over-predicts.
-        assert any(e.operation == "gemv" for e in report.flagged)
+        # dot/gemv/gemm are exact; spmxv plans don't replay the final
+        # row's flush, so forcing its bar to zero must flag it.
+        from repro.workloads import poisson_2d
+        runtime = BlasRuntime(blades=1)
+        matrix = poisson_2d(8)
+        runtime.submit(BlasRequest(
+            "spmxv", (matrix, _rng().standard_normal(matrix.ncols))))
+        runtime.run()
+        report = drift_report(runtime.jobs,
+                              thresholds={"spmxv": 0.0})
+        assert any(e.operation == "spmxv" for e in report.flagged)
         assert not report.ok
 
     def test_summary_and_dict(self):

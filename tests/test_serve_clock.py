@@ -1,0 +1,128 @@
+"""Clock abstraction tests: the refactor must change *nothing*.
+
+The executor historically owned a bare float for virtual time; it now
+delegates to a clock object.  These tests pin the contract that made
+that refactor safe: a default runtime, a runtime with an explicit
+:class:`VirtualClock` and a runtime with a no-op-sleep
+:class:`HybridClock` all produce byte-identical metrics on the same
+seeded workload — including under faults and multi-FPGA gangs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan
+from repro.runtime import BlasRuntime, HybridClock, VirtualClock, make_clock
+from repro.workloads import blas_request_mix, gemm_burst
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = VirtualClock()
+        assert clock.now == 0.0
+        clock.advance(1.5)
+        assert clock.now == 1.5
+        clock.advance(1.5)  # zero-width advance is fine
+        assert clock.now == 1.5
+
+    def test_never_runs_backward(self):
+        clock = VirtualClock(start=2.0)
+        with pytest.raises(ValueError, match="backward"):
+            clock.advance(1.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(start=-1.0)
+
+
+class TestHybridClock:
+    def test_sleeps_scaled_wall_time(self):
+        slept = []
+        clock = HybridClock(time_scale=10.0, sleep=slept.append,
+                            min_sleep=0.0)
+        clock.advance(0.5)
+        clock.advance(0.7)
+        assert slept == pytest.approx([0.05, 0.02])
+        assert clock.now == 0.7
+        assert clock.slept_seconds == pytest.approx(0.07)
+
+    def test_min_sleep_skips_tiny_advances(self):
+        slept = []
+        clock = HybridClock(sleep=slept.append, min_sleep=1e-3)
+        clock.advance(1e-4)  # below threshold: no sleep, time moves
+        assert slept == []
+        assert clock.now == 1e-4
+        clock.advance(1.0)
+        assert len(slept) == 1
+
+    def test_never_runs_backward(self):
+        clock = HybridClock(sleep=lambda _: None)
+        clock.advance(1.0)
+        with pytest.raises(ValueError, match="backward"):
+            clock.advance(0.5)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            HybridClock(time_scale=0.0)
+        with pytest.raises(ValueError):
+            HybridClock(min_sleep=-1.0)
+
+
+class TestMakeClock:
+    def test_modes(self):
+        assert make_clock("virtual").name == "virtual"
+        hybrid = make_clock("hybrid", time_scale=4.0)
+        assert hybrid.name == "hybrid"
+        assert hybrid.time_scale == 4.0
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown clock mode"):
+            make_clock("wall")
+
+
+def _metrics_json(clock, *, faults=False, gang=False):
+    rng = np.random.default_rng(20050512)
+    if gang:
+        stream = gemm_burst(10, 48, rng)
+    else:
+        stream = blas_request_mix(40, rng, arrival_rate=5000.0)
+    plan = (FaultPlan.storm(7, 0.05, crash_rate=100.0,
+                            corrupt_rate=50.0)
+            if faults else None)
+    runtime = BlasRuntime(chassis=1, blades=4, clock=clock,
+                          fault_plan=plan,
+                          max_gang=3 if gang else 1)
+    for at, request in stream:
+        runtime.submit(request, at=at)
+    return runtime.run().to_json()
+
+
+class TestClockChangesNothing:
+    """The refactor's promise: pacing is policy, results are not."""
+
+    def test_explicit_virtual_clock_is_byte_identical(self):
+        assert _metrics_json(None) == _metrics_json(VirtualClock())
+
+    def test_hybrid_clock_is_byte_identical(self):
+        noop = HybridClock(sleep=lambda _: None, min_sleep=0.0)
+        assert _metrics_json(None) == _metrics_json(noop)
+
+    def test_hybrid_identical_under_faults(self):
+        noop = HybridClock(sleep=lambda _: None, min_sleep=0.0)
+        assert (_metrics_json(None, faults=True)
+                == _metrics_json(noop, faults=True))
+
+    def test_hybrid_identical_with_gangs(self):
+        noop = HybridClock(sleep=lambda _: None, min_sleep=0.0)
+        assert (_metrics_json(None, gang=True)
+                == _metrics_json(noop, gang=True))
+
+    def test_hybrid_runtime_actually_sleeps(self):
+        slept = []
+        clock = HybridClock(time_scale=1.0, sleep=slept.append,
+                            min_sleep=0.0)
+        _metrics_json(clock)
+        assert slept, "a replay with arrivals must advance the clock"
+        assert clock.slept_seconds == pytest.approx(sum(slept))
+        # Total wall budget equals the virtual makespan at scale 1.
+        assert sum(slept) == pytest.approx(clock.now)

@@ -1,0 +1,105 @@
+"""Coalescer tests: grouping, causality and the batching handshake."""
+
+import numpy as np
+
+from repro.runtime import BlasRuntime
+from repro.serve.coalescer import CoalesceStats, coalesce, gemm_shape_key
+from repro.serve.server import materialize
+
+
+def _gemm(n, **extra):
+    spec = {"operation": "gemm", "n": n, "seed": 1}
+    spec.update(extra)
+    return spec
+
+
+class TestCoalesce:
+    def test_same_shape_within_window_released_together(self):
+        entries = [(0.0, _gemm(32)), (1e-5, _gemm(32)),
+                   (2e-5, _gemm(32))]
+        release, stats = coalesce(entries, window=1e-4)
+        assert release == [2e-5] * 3
+        assert stats.groups == 1
+        assert stats.coalesced_requests == 3
+        assert stats.max_group == 3
+
+    def test_release_never_precedes_arrival(self):
+        entries = [(0.0, _gemm(32)), (3e-5, _gemm(32))]
+        release, _ = coalesce(entries, window=1e-4)
+        for (at, _spec), released in zip(entries, release):
+            assert released >= at
+
+    def test_window_boundary(self):
+        entries = [(0.0, _gemm(32)), (1e-4, _gemm(32)),
+                   (2.1e-4, _gemm(32))]
+        release, stats = coalesce(entries, window=1e-4)
+        # Second lands exactly on the boundary (inclusive); third opens
+        # a new group.
+        assert release == [1e-4, 1e-4, 2.1e-4]
+        assert stats.groups == 2
+        assert stats.coalesced_requests == 2
+
+    def test_different_shapes_do_not_mix(self):
+        entries = [(0.0, _gemm(32)), (0.0, _gemm(48)),
+                   (0.0, _gemm(32, k=4))]
+        release, stats = coalesce(entries, window=1e-3)
+        assert release == [0.0, 0.0, 0.0]
+        assert stats.coalesced_requests == 0
+
+    def test_non_gemm_and_gangs_pass_through(self):
+        entries = [(0.0, {"operation": "dot", "n": 64}),
+                   (0.0, _gemm(32, blades=2)),
+                   (0.0, _gemm(32, blades=2))]
+        release, stats = coalesce(entries, window=1e-3)
+        assert release == [0.0, 0.0, 0.0]
+        assert stats.groups == 0
+
+    def test_zero_window_disables(self):
+        entries = [(0.0, _gemm(32)), (0.0, _gemm(32))]
+        release, stats = coalesce(entries, window=0.0)
+        assert release == [0.0, 0.0]
+        assert stats == CoalesceStats()
+
+    def test_shape_key_tracks_n_k_m(self):
+        assert gemm_shape_key(_gemm(32)) == gemm_shape_key(_gemm(32))
+        assert gemm_shape_key(_gemm(32)) != gemm_shape_key(_gemm(48))
+        assert (gemm_shape_key(_gemm(32, m=8))
+                != gemm_shape_key(_gemm(32, m=16)))
+
+
+class TestBatchingHandshake:
+    def test_coalesced_release_forms_one_executor_batch(self):
+        """The whole point: aligned releases let the executor batch."""
+        specs = [_gemm(32, seed=s) for s in (1, 2, 3)]
+        entries = [(i * 2e-5, spec) for i, spec in enumerate(specs)]
+        release, _ = coalesce(entries, window=1e-4)
+
+        def run(times):
+            runtime = BlasRuntime(chassis=1, blades=2)
+            jobs = [runtime.submit(materialize(spec), at=at)
+                    for at, spec in zip(times, specs)]
+            runtime.run()
+            return jobs
+
+        batched = run(release)
+        assert len({j.batch_id for j in batched}) == 1
+        # Staggered arrivals (beyond the dispatch instant) miss the
+        # lead job's pass on an otherwise idle machine.
+        spread = run([i * 2e-3 for i in range(3)])
+        assert len({j.batch_id for j in spread}) == 3
+
+    def test_coalesced_results_match_solo_runs(self):
+        specs = [_gemm(24, seed=s) for s in (4, 5)]
+        runtime = BlasRuntime(chassis=1, blades=1)
+        jobs = [runtime.submit(materialize(spec), at=0.0)
+                for spec in specs]
+        runtime.run()
+        for spec, job in zip(specs, jobs):
+            rng = np.random.default_rng(spec["seed"])
+            a = rng.standard_normal((24, 24))
+            b = rng.standard_normal((24, 24))
+            solo = BlasRuntime(chassis=1, blades=1)
+            solo_job = solo.submit(materialize(spec), at=0.0)
+            solo.run()
+            assert np.array_equal(job.result, solo_job.result)
+            assert np.shape(job.result) == np.shape(a @ b)

@@ -1,0 +1,84 @@
+"""Wire-protocol tests: canonical encoding and schema validation."""
+
+import pytest
+
+from repro.serve import protocol
+
+
+class TestEncoding:
+    def test_canonical_one_line(self):
+        line = protocol.encode({"b": 1, "a": {"z": 2, "y": 3}})
+        assert line == b'{"a":{"y":3,"z":2},"b":1}\n'
+
+    def test_round_trip(self):
+        message = {"op": "submit", "id": 7,
+                   "call": {"operation": "dot", "n": 64}}
+        assert protocol.decode(protocol.encode(message)) == message
+
+    def test_decode_accepts_str_and_bytes(self):
+        assert protocol.decode('{"op":"drain"}') == {"op": "drain"}
+        assert protocol.decode(b'{"op":"drain"}') == {"op": "drain"}
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(protocol.ProtocolError, match="JSON"):
+            protocol.decode(b"not json\n")
+        with pytest.raises(protocol.ProtocolError, match="object"):
+            protocol.decode(b"[1,2,3]\n")
+
+
+class TestValidateCall:
+    def test_minimal_spec(self):
+        spec = protocol.validate_call({"operation": "dot", "n": 64})
+        assert spec == {"operation": "dot", "n": 64}
+
+    def test_full_spec_normalized(self):
+        spec = protocol.validate_call({
+            "operation": "gemm", "n": 32, "k": 8, "m": 16,
+            "blades": 2, "architecture": "tree", "clock_mhz": 140,
+            "seed": 5, "priority": 1})
+        assert spec["clock_mhz"] == 140.0
+        assert spec["blades"] == 2
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(protocol.ProtocolError, match="unknown"):
+            protocol.validate_call(
+                {"operation": "dot", "n": 8, "matrix": [[1]]})
+
+    def test_rejects_unknown_operation(self):
+        with pytest.raises(protocol.ProtocolError, match="operation"):
+            protocol.validate_call({"operation": "axpy", "n": 8})
+
+    @pytest.mark.parametrize("n", [0, -1, 1.5, "64", True, None])
+    def test_rejects_bad_n(self, n):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.validate_call({"operation": "dot", "n": n})
+
+    @pytest.mark.parametrize("field,value", [
+        ("k", 0), ("k", True), ("m", -2), ("blades", 0),
+        ("architecture", "mesh"), ("clock_mhz", 0),
+        ("clock_mhz", True), ("seed", -1), ("seed", 1.5),
+        ("priority", "high"),
+    ])
+    def test_rejects_bad_optionals(self, field, value):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.validate_call(
+                {"operation": "dot", "n": 8, field: value})
+
+    def test_not_an_object(self):
+        with pytest.raises(protocol.ProtocolError, match="object"):
+            protocol.validate_call([1, 2])
+
+
+class TestResponses:
+    def test_reject_reasons_are_distinct(self):
+        reasons = {protocol.REJECT_INVALID, protocol.REJECT_QUOTA,
+                   protocol.REJECT_PENDING}
+        assert len(reasons) == 3
+
+    def test_builders_carry_type_and_ok(self):
+        assert protocol.accepted(1, 2) == {
+            "ok": True, "type": "accepted", "id": 1, "seq": 2}
+        rejected = protocol.rejected(1, protocol.REJECT_QUOTA, "why")
+        assert rejected["ok"] is False
+        assert rejected["reason"] == protocol.REJECT_QUOTA
+        assert protocol.error("boom")["ok"] is False

@@ -1,0 +1,319 @@
+"""Service tests: the sync core end-to-end, then the TCP layer.
+
+The deterministic core (:class:`BlasService`) carries all the
+behaviour, so most coverage drives it directly with message dicts; a
+final class round-trips the same flows over a real asyncio socket.
+"""
+
+import asyncio
+import threading
+
+import numpy as np
+
+from repro.serve import protocol
+from repro.serve.server import (
+    BlasServer,
+    BlasService,
+    ServeConfig,
+    materialize,
+    result_digest,
+    run_server,
+)
+from repro.serve.tenant import TenantQuota
+
+
+def submit(service, tenant, spec, *, at=0.0, client_id=None):
+    return service.handle({"op": "submit", "id": client_id,
+                           "tenant": tenant, "at": at, "call": spec})
+
+
+class TestMaterialize:
+    def test_same_seed_same_operands(self):
+        spec = {"operation": "gemv", "n": 16, "seed": 9}
+        a = materialize(spec)
+        b = materialize(spec)
+        assert np.array_equal(a.operands[0], b.operands[0])
+        assert np.array_equal(a.operands[1], b.operands[1])
+
+    def test_spmxv_n_is_grid_width(self):
+        request = materialize({"operation": "spmxv", "n": 6, "seed": 1})
+        matrix, x = request.operands
+        assert matrix.nrows == 36
+        assert len(x) == 36
+
+    def test_tenant_attribution(self):
+        request = materialize({"operation": "dot", "n": 8, "seed": 0},
+                              tenant="astro")
+        assert request.tenant == "astro"
+
+
+class TestResultDigest:
+    def test_deterministic_and_shape_sensitive(self):
+        value = np.arange(6, dtype=np.float64)
+        assert result_digest(value) == result_digest(value.copy())
+        assert result_digest(value) != result_digest(value[:-1])
+        assert result_digest(1.5) == result_digest(np.array([1.5]))
+
+
+class TestServiceCore:
+    def test_submit_drain_metrics_flow(self):
+        service = BlasService()
+        for i in range(6):
+            response = submit(service, "astro",
+                              {"operation": "dot", "n": 64, "seed": i},
+                              at=i * 1e-3, client_id=i)
+            assert response["type"] == "accepted"
+            assert response["seq"] == i
+        drained = service.handle({"op": "drain"})
+        assert drained["type"] == "drained"
+        assert drained["epoch"] == 1
+        assert len(drained["results"]) == 6
+        assert all(r["state"] == "done" for r in drained["results"])
+        assert all(len(r["digest"]) == 16 for r in drained["results"])
+        metrics = service.handle({"op": "metrics"})["metrics"]
+        assert metrics["jobs"]["completed"] == 6
+        assert metrics["tenants"]["astro"]["jobs"]["completed"] == 6
+        assert metrics["starved_tenants"] == []
+
+    def test_results_keep_submission_order(self):
+        service = BlasService()
+        for i in range(4):
+            submit(service, "t",
+                   {"operation": "dot", "n": 32, "seed": i},
+                   at=0.0, client_id=100 + i)
+        drained = service.handle({"op": "drain"})
+        assert [r["id"] for r in drained["results"]] == [100, 101,
+                                                         102, 103]
+
+    def test_invalid_call_typed_reject(self):
+        service = BlasService()
+        response = submit(service, "astro", {"operation": "dot"})
+        assert response["type"] == "rejected"
+        assert response["reason"] == protocol.REJECT_INVALID
+        metrics = service.handle({"op": "metrics"})["metrics"]
+        assert metrics["tenants"]["astro"]["jobs"]["rejected"] == 1
+
+    def test_missing_tenant_rejected(self):
+        service = BlasService()
+        response = service.handle({
+            "op": "submit", "at": 0.0,
+            "call": {"operation": "dot", "n": 8}})
+        assert response["reason"] == protocol.REJECT_INVALID
+
+    def test_bad_arrival_time_rejected(self):
+        service = BlasService()
+        for at in (-1.0, float("nan"), "soon", True):
+            response = service.handle({
+                "op": "submit", "tenant": "t", "at": at,
+                "call": {"operation": "dot", "n": 8}})
+            assert response["reason"] == protocol.REJECT_INVALID
+
+    def test_quota_exhaustion_typed_reject(self):
+        """Satellite scenario end-to-end: burst spent at t=0 -> every
+        further submit rejected with reason quota_exhausted."""
+        service = BlasService(
+            quotas={"greedy": TenantQuota(rate=1.0, burst=3)})
+        spec = {"operation": "dot", "n": 32, "seed": 0}
+        verdicts = [submit(service, "greedy", spec)["type"]
+                    for _ in range(5)]
+        assert verdicts == ["accepted"] * 3 + ["rejected"] * 2
+        response = submit(service, "greedy", spec)
+        assert response["reason"] == protocol.REJECT_QUOTA
+        metrics = service.handle({"op": "metrics"})["metrics"]
+        tenant_jobs = metrics["tenants"]["greedy"]["jobs"]
+        assert tenant_jobs["quota_throttles"] == 3
+        assert tenant_jobs["admitted"] == 3
+        assert metrics["jobs"]["quota_throttles"] == 3
+
+    def test_pending_cap_typed_reject_and_drain_resets(self):
+        service = BlasService(quotas={
+            "t": TenantQuota(rate=1e6, burst=1000, max_pending=2)})
+        spec = {"operation": "dot", "n": 32, "seed": 0}
+        assert submit(service, "t", spec)["type"] == "accepted"
+        assert submit(service, "t", spec)["type"] == "accepted"
+        response = submit(service, "t", spec)
+        assert response["reason"] == protocol.REJECT_PENDING
+        service.handle({"op": "drain"})
+        assert submit(service, "t", spec,
+                      at=1e-3)["type"] == "accepted"
+
+    def test_empty_drain(self):
+        service = BlasService()
+        drained = service.handle({"op": "drain"})
+        assert drained["results"] == []
+        assert drained["makespan_seconds"] == 0.0
+
+    def test_unplannable_call_fails_job_not_server(self):
+        # gemm n=8 at k=8 violates the m^2/k > alpha hazard rule; the
+        # service must report a failed job, not crash the epoch.
+        service = BlasService()
+        submit(service, "t", {"operation": "gemm", "n": 8, "k": 8,
+                              "seed": 0})
+        submit(service, "t", {"operation": "dot", "n": 64, "seed": 0})
+        drained = service.handle({"op": "drain"})
+        states = sorted(r["state"] for r in drained["results"])
+        assert states == ["done", "failed"]
+
+    def test_hello_binds_and_unknown_op_errors(self):
+        service = BlasService()
+        hello = service.handle({"op": "hello", "tenant": "astro"})
+        assert hello["type"] == "hello"
+        assert service.handle({"op": "nope"})["type"] == "error"
+        assert service.handle({"op": "hello", "tenant": ""})[
+            "type"] == "error"
+
+    def test_multi_epoch_accumulation(self):
+        service = BlasService()
+        spec = {"operation": "dot", "n": 64, "seed": 3}
+        submit(service, "a", spec)
+        service.handle({"op": "drain"})
+        submit(service, "a", spec, at=1e-3)
+        submit(service, "b", spec, at=1e-3)
+        service.handle({"op": "drain"})
+        metrics = service.handle({"op": "metrics"})["metrics"]
+        assert metrics["epochs"] == 2
+        assert metrics["tenants"]["a"]["jobs"]["completed"] == 2
+        assert metrics["tenants"]["b"]["jobs"]["completed"] == 1
+
+    def test_same_seed_metrics_byte_identical(self):
+        def run():
+            service = BlasService()
+            rng = np.random.default_rng(11)
+            for i in range(40):
+                op = ("dot", "gemv", "gemm")[i % 3]
+                n = (64, 16, 32)[i % 3]
+                submit(service, ("a", "b")[i % 2],
+                       {"operation": op, "n": n,
+                        "seed": int(rng.integers(0, 2**31))},
+                       at=i * 1e-4, client_id=i)
+            drained = service.handle({"op": "drain"})
+            metrics = service.handle({"op": "metrics"})
+            return (protocol.encode(drained),
+                    protocol.encode(metrics))
+
+        assert run() == run()
+
+    def test_fair_share_rank_orders_execution(self):
+        """A flood from one tenant must not run entirely before a
+        later-submitting tenant's call on a single blade."""
+        config = ServeConfig(blades=1, coalesce_window=0.0)
+        service = BlasService(config)
+        for i in range(12):
+            submit(service, "hostile",
+                   {"operation": "dot", "n": 64, "seed": i},
+                   client_id=i)
+        submit(service, "victim",
+               {"operation": "gemv", "n": 24, "seed": 99},
+               client_id=99)
+        drained = service.handle({"op": "drain"})
+        victim = next(r for r in drained["results"] if r["id"] == 99)
+        hostile_waits = sorted(
+            r["wait_seconds"] for r in drained["results"]
+            if r["tenant"] == "hostile")
+        # The victim is served ahead of most of the flood.
+        assert victim["wait_seconds"] < hostile_waits[-3]
+
+    def test_gang_option_flows_through(self):
+        config = ServeConfig(blades=4, max_gang=2)
+        service = BlasService(config)
+        submit(service, "t", {"operation": "gemm", "n": 48,
+                              "blades": 2, "seed": 0})
+        drained = service.handle({"op": "drain"})
+        assert drained["results"][0]["state"] == "done"
+        epoch = service.last_epoch_metrics
+        assert epoch["gangs"]["formed"] == 1
+
+    def test_hybrid_clock_same_results_as_virtual(self):
+        def run(mode):
+            config = ServeConfig(clock_mode=mode, time_scale=1e6)
+            service = BlasService(config)
+            for i in range(8):
+                submit(service, "t",
+                       {"operation": "dot", "n": 64, "seed": i},
+                       at=i * 1e-4, client_id=i)
+            return protocol.encode(service.handle({"op": "drain"}))
+
+        assert run("virtual") == run("hybrid")
+
+
+def _start_server(service):
+    box = {}
+    ready = threading.Event()
+
+    def grab(port):
+        box["port"] = port
+        ready.set()
+
+    thread = threading.Thread(target=run_server, args=(service,),
+                              kwargs={"ready": grab}, daemon=True)
+    thread.start()
+    assert ready.wait(10)
+    return thread, box["port"]
+
+
+async def _roundtrip(port, messages):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    responses = []
+    for message in messages:
+        writer.write(protocol.encode(message))
+        await writer.drain()
+        responses.append(protocol.decode(await reader.readline()))
+    writer.close()
+    return responses
+
+
+class TestTcpServer:
+    def test_full_session_over_socket(self):
+        service = BlasService()
+        thread, port = _start_server(service)
+        spec = {"operation": "dot", "n": 64, "seed": 4}
+        responses = asyncio.run(_roundtrip(port, [
+            {"op": "hello", "tenant": "astro"},
+            # hello bound the connection's tenant: none on the submit
+            {"op": "submit", "id": 0, "at": 0.0, "call": spec},
+            {"op": "drain"},
+            {"op": "metrics"},
+            {"op": "bogus"},
+            {"op": "shutdown"},
+        ]))
+        thread.join(10)
+        assert not thread.is_alive()
+        hello, accepted, drained, metrics, bogus, bye = responses
+        assert hello["type"] == "hello"
+        assert accepted["type"] == "accepted"
+        assert drained["results"][0]["tenant"] == "astro"
+        assert drained["results"][0]["state"] == "done"
+        assert metrics["metrics"]["jobs"]["completed"] == 1
+        assert bogus["type"] == "error"
+        assert bye["type"] == "shutdown"
+
+    def test_malformed_line_gets_error_response(self):
+        service = BlasService()
+        thread, port = _start_server(service)
+
+        async def scenario():
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port)
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            first = protocol.decode(await reader.readline())
+            writer.write(protocol.encode({"op": "shutdown"}))
+            await writer.drain()
+            second = protocol.decode(await reader.readline())
+            writer.close()
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        thread.join(10)
+        assert first["type"] == "error"
+        assert second["type"] == "shutdown"
+
+    def test_ephemeral_port_allocation(self):
+        async def scenario():
+            server = BlasServer(BlasService(), port=0)
+            await server.start()
+            assert server.port > 0
+            server._server.close()
+            await server._server.wait_closed()
+
+        asyncio.run(scenario())
