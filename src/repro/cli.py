@@ -38,6 +38,10 @@ Commands
     ``repro serve`` and report per-tenant p50/p99 wait/latency plus a
     fairness verdict (same seed against a virtual-clock server →
     byte-identical report).
+``top``
+    Live telemetry view of a running ``repro serve``: job totals,
+    tenant table, SLO verdict, flight-recorder stats — one shot, or
+    refreshed with ``--watch``; ``--json``/``--prom`` for machines.
 ``project``
     The chassis / multi-chassis projections (Figures 11-12,
     Section 6.4).
@@ -462,6 +466,12 @@ def _parse_tenant_weights(entries) -> dict:
     return weights
 
 
+def _canonical_json(payload) -> str:
+    import json
+
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import (
         BlasService,
@@ -475,6 +485,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro.faults import FaultPlan
 
         fault_plan = FaultPlan.from_json_file(args.faults_spec)
+    slo_spec = None
+    if args.slo_spec:
+        from repro.obs.slo import SloSpec
+
+        slo_spec = SloSpec.from_file(args.slo_spec)
     config = ServeConfig(
         chassis=args.chassis,
         blades=args.blades,
@@ -486,6 +501,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         clock_mode=args.clock,
         time_scale=args.time_scale,
         fault_plan=fault_plan,
+        bounded_metrics=args.bounded_metrics,
+        slo=slo_spec,
+        flight_capacity=args.flight_capacity,
+        flight_head_probability=args.flight_sample,
+        flight_tail_latency=args.flight_tail_latency,
+        flight_seed=args.flight_seed,
     )
     default_quota = TenantQuota(rate=args.quota_rate,
                                 burst=args.quota_burst,
@@ -504,6 +525,134 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     run_server(service, host=args.host, port=args.port, ready=announce)
     print("repro serve: shutdown requested, exiting")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            handle.write(
+                _canonical_json(service.observability_snapshot()) + "\n")
+        print(f"observability snapshot written to {args.metrics_out}")
+    if args.prom_out:
+        from repro.obs.metrics import to_prom_text
+
+        with open(args.prom_out, "w") as handle:
+            handle.write(to_prom_text(service.registry.snapshot()))
+        print(f"exposition text written to {args.prom_out}")
+    if args.trace_out:
+        from repro.obs.export import to_chrome_trace
+
+        with open(args.trace_out, "w") as handle:
+            handle.write(_canonical_json(
+                to_chrome_trace(service.recorder)) + "\n")
+        print(f"service trace written to {args.trace_out}")
+    if service.slo is not None:
+        verdict = service.slo.verdict()
+        if not verdict["ok"]:
+            print(f"SLO BREACH: {', '.join(verdict['breached'])}",
+                  file=sys.stderr)
+            if args.slo_strict:
+                return 1
+    return 0
+
+
+def _fetch_metrics(host: str, port: int) -> dict:
+    """Synchronously ask a running serve for its ``metrics`` payload."""
+    import socket
+
+    from repro.serve import protocol
+
+    with socket.create_connection((host, port), timeout=10.0) as sock:
+        sock.sendall(protocol.encode({"op": "metrics"}))
+        chunks = b""
+        while not chunks.endswith(b"\n"):
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks += chunk
+    response = protocol.decode(chunks)
+    if response.get("type") != "metrics":
+        raise protocol.ProtocolError(
+            f"expected a metrics reply, got {response}")
+    return response["metrics"]
+
+
+def _render_top(metrics: dict) -> str:
+    """One ``repro top`` frame: service, tenants, SLO, flight, trace."""
+    lines = []
+    jobs = metrics.get("jobs", {})
+    lines.append(
+        f"epochs {metrics.get('epochs', 0)}  "
+        f"pending {metrics.get('pending', 0)}  "
+        f"done {jobs.get('completed', 0)}  "
+        f"failed {jobs.get('failed', 0)}  "
+        f"rejected {jobs.get('rejected', 0)}  "
+        f"throttled {jobs.get('quota_throttles', 0)}")
+    wait = metrics.get("wait_seconds", {})
+    latency = metrics.get("latency_seconds", {})
+    mode = "histogram" if metrics.get("bounded") else "exact"
+    lines.append(
+        f"wait p50/p99 {wait.get('p50', 0.0) * 1e3:.3f}/"
+        f"{wait.get('p99', 0.0) * 1e3:.3f} ms  "
+        f"latency p50/p99 {latency.get('p50', 0.0) * 1e3:.3f}/"
+        f"{latency.get('p99', 0.0) * 1e3:.3f} ms  ({mode} quantiles)")
+    tenants = metrics.get("tenants", {})
+    if tenants:
+        lines.append(f"{'tenant':<12} {'subm':>6} {'done':>6} "
+                     f"{'rej':>5} {'thr':>5} {'lat p99 ms':>11}")
+        for name in sorted(tenants):
+            block = tenants[name]
+            tenant_jobs = block["jobs"]
+            lines.append(
+                f"{name:<12} {tenant_jobs['submitted']:>6} "
+                f"{tenant_jobs['completed']:>6} "
+                f"{tenant_jobs['rejected']:>5} "
+                f"{tenant_jobs['quota_throttles']:>5} "
+                f"{block['latency_seconds']['p99'] * 1e3:>11.3f}")
+    verdict = metrics.get("slo")
+    if verdict is None:
+        lines.append("slo: no spec loaded")
+    else:
+        state = "OK" if verdict["ok"] else \
+            f"BREACHED ({', '.join(verdict['breached'])})"
+        burning = [name for name, obj in verdict["objectives"].items()
+                   if obj["breached_now"]]
+        lines.append(f"slo: {state}"
+                     + (f"  burning now: {', '.join(burning)}"
+                        if burning else ""))
+    flight = metrics.get("flight", {})
+    if flight:
+        lines.append(
+            f"flight: seen {flight.get('seen', 0)}  "
+            f"head {flight.get('head_held', 0)}/"
+            f"{flight.get('capacity', 0)}  "
+            f"tail {flight.get('tail_held', 0)}  "
+            f"breach dumps {flight.get('breach_dumps', 0)}")
+    trace = metrics.get("trace", {})
+    if trace:
+        lines.append(f"trace: {trace.get('events', 0)} events "
+                     f"({trace.get('dropped_events', 0)} dropped)")
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.metrics import to_prom_text
+
+    while True:
+        metrics = _fetch_metrics(args.host, args.port)
+        if args.json:
+            print(_canonical_json(metrics))
+        elif args.prom:
+            print(to_prom_text(metrics.get("registry", {"metrics": {}})),
+                  end="")
+        else:
+            print(_render_top(metrics))
+        if not args.watch:
+            break
+        print(flush=True)
+        time.sleep(args.interval)
+    verdict = metrics.get("slo")
+    if args.strict and verdict is not None and not verdict["ok"]:
+        return 1
     return 0
 
 
@@ -831,6 +980,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--faults-spec", metavar="PATH", default=None,
                        help="JSON fault-plan spec injected into every "
                             "epoch (see docs/faults.md)")
+    p_srv.add_argument("--bounded-metrics", action="store_true",
+                       help="histogram-backed quantiles: O(1) "
+                            "telemetry memory per tenant instead of "
+                            "per-request sample lists")
+    p_srv.add_argument("--slo-spec", metavar="PATH", default=None,
+                       help="JSON SLO spec to monitor live (see "
+                            "docs/observability.md)")
+    p_srv.add_argument("--slo-strict", action="store_true",
+                       help="exit 1 if any objective ever breached")
+    p_srv.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write the full observability snapshot "
+                            "(registry + SLO verdict + flight dump) "
+                            "as canonical JSON on shutdown")
+    p_srv.add_argument("--prom-out", metavar="PATH", default=None,
+                       help="write the metrics registry in "
+                            "Prometheus-style exposition text on "
+                            "shutdown")
+    p_srv.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="write the service-level Chrome trace "
+                            "(epoch spans, slo.breach instants) on "
+                            "shutdown")
+    p_srv.add_argument("--flight-capacity", type=_positive_int,
+                       default=256,
+                       help="flight-recorder ring size (head and "
+                            "tail each)")
+    p_srv.add_argument("--flight-sample", type=float, default=0.01,
+                       help="head sampling probability (deterministic "
+                            "hash admission)")
+    p_srv.add_argument("--flight-tail-latency", type=float,
+                       default=None, metavar="SECONDS",
+                       help="always capture requests at least this "
+                            "slow (virtual s)")
+    p_srv.add_argument("--flight-seed", type=int, default=0,
+                       help="head-sampling hash seed")
 
     p_lg = sub.add_parser(
         "loadgen", help="replay a seeded multi-tenant request stream "
@@ -857,6 +1040,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_lg.add_argument("--strict", action="store_true",
                       help="exit 1 on starved tenants or failed jobs")
 
+    p_top = sub.add_parser(
+        "top", help="one-shot (or --watch) live telemetry view of a "
+                    "running repro serve")
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument("--port", type=int, default=7070)
+    p_top.add_argument("--json", action="store_true",
+                       help="print the raw metrics payload as "
+                            "canonical JSON")
+    p_top.add_argument("--prom", action="store_true",
+                       help="print the registry in Prometheus-style "
+                            "exposition text")
+    p_top.add_argument("--watch", action="store_true",
+                       help="refresh every --interval seconds until "
+                            "interrupted or the server goes away")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="--watch refresh period (wall seconds)")
+    p_top.add_argument("--strict", action="store_true",
+                       help="exit 1 if the server's SLO verdict is "
+                            "breached")
+
     p_repro = sub.add_parser(
         "reproduce", help="regenerate every paper table/figure")
     p_repro.add_argument("--full", action="store_true",
@@ -879,6 +1082,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "top": _cmd_top,
     "solve": _cmd_solve,
     "reproduce": _cmd_reproduce,
 }

@@ -19,9 +19,21 @@ per-cycle rows of :mod:`repro.sim.trace`:
   bound (gemm exact; dot/gemv 5 %; spmxv 10 %).
 * :mod:`repro.obs.bridge` — attaches :class:`repro.sim.trace.Tracer`
   kernel traces as child spans of the runtime job that launched them.
+* :mod:`repro.obs.metrics` — streaming O(1) telemetry: counters,
+  gauges, log-bucket histograms with bounded-error quantiles, a
+  :class:`MetricsRegistry` with byte-identical snapshots and a
+  Prometheus-style exposition.
+* :mod:`repro.obs.slo` — declarative SLOs (latency, error/reject
+  ratio, starvation, drift) with multi-window burn-rate evaluation
+  emitting ``slo.breach`` instants and a machine-readable verdict.
+* :mod:`repro.obs.sampling` — :class:`FlightRecorder`: head + tail
+  trace sampling in bounded rings with breach dumps and a
+  slowest-request exemplar.
 
 Entry points: ``BlasRuntime(recorder=TraceRecorder())``, the
-``repro trace`` CLI subcommand, and ``repro runtime --trace-out``.
+``repro trace`` CLI subcommand, ``repro runtime --trace-out``, and
+the serving stack's ``repro serve --metrics-out/--slo-spec`` +
+``repro top`` (docs/observability.md, "Live telemetry").
 """
 
 from repro.obs.bridge import attach_kernel_trace
@@ -38,6 +50,16 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RateWindow,
+    log_boundaries,
+    parse_prom_text,
+    to_prom_text,
+)
 from repro.obs.recorder import (
     NULL_RECORDER,
     CounterSample,
@@ -45,6 +67,13 @@ from repro.obs.recorder import (
     NullRecorder,
     Span,
     TraceRecorder,
+)
+from repro.obs.sampling import FlightRecorder
+from repro.obs.slo import (
+    BurnWindow,
+    SloMonitor,
+    SloObjective,
+    SloSpec,
 )
 
 __all__ = [
@@ -64,4 +93,17 @@ __all__ = [
     "drift_report",
     "DEFAULT_THRESHOLDS",
     "attach_kernel_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RateWindow",
+    "log_boundaries",
+    "to_prom_text",
+    "parse_prom_text",
+    "BurnWindow",
+    "SloObjective",
+    "SloSpec",
+    "SloMonitor",
+    "FlightRecorder",
 ]

@@ -73,7 +73,13 @@ def to_chrome_trace(recorder: TraceRecorder) -> Dict[str, Any]:
         })
     timed.sort(key=lambda e: e["ts"])  # stable: insertion order on ties
     events.extend(timed)
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    payload: Dict[str, Any] = {"traceEvents": events,
+                               "displayTimeUnit": "ms"}
+    # Ring-mode recorders surface truncation; the default unbounded
+    # recorder keeps the PR 2 byte-identical payload.
+    if getattr(recorder, "max_events", None) is not None:
+        payload["droppedEvents"] = recorder.dropped_events
+    return payload
 
 
 def chrome_trace_json(recorder: TraceRecorder) -> str:
@@ -110,6 +116,9 @@ def to_jsonl(recorder: TraceRecorder) -> str:
             "track": sample.track, "value": sample.value,
         })
     records.sort(key=lambda r: r["ts"])  # stable sort keeps tie order
+    if getattr(recorder, "max_events", None) is not None:
+        records.append({"type": "meta",
+                        "dropped_events": recorder.dropped_events})
     return "".join(json.dumps(r, separators=(",", ":")) + "\n"
                    for r in records)
 

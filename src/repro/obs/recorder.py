@@ -13,7 +13,8 @@ trace of the same seeded workload is reproducible byte for byte):
   depth, per-blade busy state).  Sampled on every change, not just
   aggregated to max/mean.
 
-:class:`TraceRecorder` stores events append-only; exporters
+:class:`TraceRecorder` stores events append-only by default, or as a
+bounded ring with a dropped-events counter (``max_events=``); exporters
 (:mod:`repro.obs.export`) render them as Chrome trace-event JSON or
 JSON lines.  :class:`NullRecorder` is the disabled fast path: it has
 ``enabled = False`` and allocation-free no-op methods, and every
@@ -24,8 +25,9 @@ per site, not a dict per event.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Deque, Dict, List, Optional
 
 __all__ = [
     "Span",
@@ -77,20 +79,52 @@ class CounterSample:
 
 
 class TraceRecorder:
-    """Append-only store of spans, instants and counter samples.
+    """Store of spans, instants and counter samples.
 
     Deterministic by construction: span ids are a simple counter,
     events keep insertion order, and all timestamps come from the
     caller (the executor's virtual clock) — nothing reads wall time.
+
+    The default is the append-only unbounded store (exporters are
+    byte-identical run to run).  ``max_events`` turns on *ring mode*
+    for long-lived services: only the newest ``max_events`` events
+    (across all three kinds, global insertion order) are kept, older
+    ones are evicted oldest-first, and ``dropped_events`` counts the
+    evictions — exposed by the exporters so a truncated trace is
+    never mistaken for a complete one.
     """
 
     enabled = True
 
-    def __init__(self) -> None:
-        self.spans: List[Span] = []
-        self.instants: List[Instant] = []
-        self.counters: List[CounterSample] = []
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError("max_events must be >= 1 (or None)")
+        self.max_events = max_events
+        # Ring mode needs O(1) eviction at the left end; the default
+        # keeps plain lists so existing append-only consumers (and
+        # their equality checks) see exactly the PR 2 behavior.
+        store = list if max_events is None else deque
+        self.spans: List[Span] = store()  # type: ignore[assignment]
+        self.instants: List[Instant] = store()  # type: ignore[assignment]
+        self.counters: List[CounterSample] = store()  # type: ignore[assignment]
+        #: Insertion-order kinds ("s"/"i"/"c") driving ring eviction.
+        self._order: Deque[str] = deque()
+        self.dropped_events = 0
         self._next_span_id = 1
+
+    def _admit(self, kind: str) -> None:
+        if self.max_events is None:
+            return
+        self._order.append(kind)
+        if len(self._order) > self.max_events:
+            oldest = self._order.popleft()
+            if oldest == "s":
+                self.spans.popleft()  # type: ignore[attr-defined]
+            elif oldest == "i":
+                self.instants.popleft()  # type: ignore[attr-defined]
+            else:
+                self.counters.popleft()  # type: ignore[attr-defined]
+            self.dropped_events += 1
 
     # -- recording -------------------------------------------------------
     def span(self, name: str, cat: str, track: str,
@@ -108,6 +142,7 @@ class TraceRecorder:
                                track=track, start=start, end=end,
                                args=dict(args) if args else {},
                                parent_id=parent_id))
+        self._admit("s")
         return span_id
 
     def instant(self, name: str, cat: str, track: str, ts: float,
@@ -116,12 +151,14 @@ class TraceRecorder:
         self.instants.append(Instant(name=name, cat=cat, track=track,
                                      ts=ts,
                                      args=dict(args) if args else {}))
+        self._admit("i")
 
     def counter(self, name: str, track: str, ts: float,
                 value: float) -> None:
         """Record one time-series sample."""
         self.counters.append(CounterSample(name=name, track=track,
                                            ts=ts, value=float(value)))
+        self._admit("c")
 
     # -- queries ---------------------------------------------------------
     def tracks(self) -> List[str]:

@@ -1,0 +1,177 @@
+"""Flight recorder: bounded, deterministic trace sampling.
+
+A full :class:`~repro.obs.recorder.TraceRecorder` of a 1M-request
+replay is O(requests) memory; the flight recorder keeps O(capacity)
+instead while retaining exactly the entries worth looking at:
+
+* **Head sampling** — each request is admitted to the head ring with
+  probability ``head_probability``, decided by hashing the request's
+  ordinal with a seeded splitmix64 mix (no RNG object, no global
+  state): the same seed and stream sample the same requests on every
+  replay, and sampling is independent of anything else going on.
+* **Tail sampling** — failed requests, and requests at or above
+  ``tail_latency_seconds``, *always* enter the tail ring; rings evict
+  oldest-first with dropped counts, so the budget holds under a storm
+  of bad requests too.
+* **Slowest exemplar** — a dedicated slot keeps the single slowest
+  request seen, even when both rings have long since evicted its
+  cohort — a 10k replay always surfaces its worst request.
+* **Breach dumps** — :meth:`on_breach` (wired to
+  :class:`~repro.obs.slo.SloMonitor` transitions) snapshots both
+  rings at the moment an SLO started burning, bounded by
+  ``max_breach_dumps``.
+
+Everything is plain dicts in insertion order; :meth:`dump` is
+JSON-stable and byte-identical across same-seed replays.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+__all__ = ["FlightRecorder"]
+
+_MASK = (1 << 64) - 1
+
+
+def _mix64(value: int) -> int:
+    """splitmix64 finalizer: a deterministic 64-bit hash."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK
+    return value ^ (value >> 31)
+
+
+class FlightRecorder:
+    """Bounded sampler of per-request trace entries."""
+
+    def __init__(self, capacity: int = 256,
+                 head_probability: float = 0.01,
+                 tail_latency_seconds: Optional[float] = None,
+                 seed: int = 0,
+                 max_breach_dumps: int = 4) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if not 0.0 <= head_probability <= 1.0:
+            raise ValueError("head_probability must be in [0, 1]")
+        if tail_latency_seconds is not None \
+                and tail_latency_seconds < 0.0:
+            raise ValueError(
+                "tail_latency_seconds must be non-negative")
+        if max_breach_dumps < 0:
+            raise ValueError("max_breach_dumps must be >= 0")
+        self.capacity = capacity
+        self.head_probability = head_probability
+        self.tail_latency_seconds = tail_latency_seconds
+        self.seed = seed
+        self.max_breach_dumps = max_breach_dumps
+        #: Admit iff mix(seed, ordinal) < threshold over the 64-bit
+        #: space — an exact integer comparison, no float rounding.
+        self._head_threshold = int(head_probability * (1 << 64))
+        self._head: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self._tail: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self.seen = 0
+        self.head_sampled = 0
+        self.head_dropped = 0
+        self.tail_sampled = 0
+        self.tail_dropped = 0
+        self._slowest: Optional[Dict[str, Any]] = None
+        self.breach_dumps: List[Dict[str, Any]] = []
+        self.breaches_seen = 0
+
+    # -- recording -------------------------------------------------------
+    def record(self, ts: float, *, tenant: Optional[str] = None,
+               latency_seconds: Optional[float] = None,
+               ok: bool = True, **fields: Any) -> bool:
+        """Offer one request; returns True when any slot retained it."""
+        self.seen += 1
+        entry: Dict[str, Any] = {"seq": self.seen, "ts": ts,
+                                 "ok": ok}
+        if tenant is not None:
+            entry["tenant"] = tenant
+        if latency_seconds is not None:
+            entry["latency_seconds"] = latency_seconds
+        for key in sorted(fields):
+            entry[key] = fields[key]
+        retained = False
+        is_tail = (not ok
+                   or (self.tail_latency_seconds is not None
+                       and latency_seconds is not None
+                       and latency_seconds
+                       >= self.tail_latency_seconds))
+        if is_tail:
+            if len(self._tail) == self.capacity:
+                self.tail_dropped += 1
+            self._tail.append(entry)
+            self.tail_sampled += 1
+            retained = True
+        if _mix64(self.seed ^ self.seen) < self._head_threshold:
+            if len(self._head) == self.capacity:
+                self.head_dropped += 1
+            self._head.append(entry)
+            self.head_sampled += 1
+            retained = True
+        if latency_seconds is not None \
+                and (self._slowest is None
+                     or latency_seconds
+                     > self._slowest.get("latency_seconds", 0.0)):
+            self._slowest = entry
+            retained = True
+        return retained
+
+    def on_breach(self, objective: str, ts: float) -> None:
+        """An SLO started burning: snapshot the rings (bounded)."""
+        self.breaches_seen += 1
+        self.dump_on({"objective": objective, "ts": ts})
+
+    def dump_on(self, breach: Dict[str, Any]) -> None:
+        """Snapshot both rings tagged with ``breach`` — keeps the
+        first ``max_breach_dumps`` breach contexts."""
+        if len(self.breach_dumps) >= self.max_breach_dumps:
+            return
+        self.breach_dumps.append({
+            "breach": dict(breach),
+            "head": [dict(entry) for entry in self._head],
+            "tail": [dict(entry) for entry in self._tail],
+            "slowest": (dict(self._slowest)
+                        if self._slowest is not None else None),
+        })
+
+    # -- inspection ------------------------------------------------------
+    @property
+    def slowest(self) -> Optional[Dict[str, Any]]:
+        return dict(self._slowest) if self._slowest is not None \
+            else None
+
+    def head(self) -> List[Dict[str, Any]]:
+        return [dict(entry) for entry in self._head]
+
+    def tail(self) -> List[Dict[str, Any]]:
+        return [dict(entry) for entry in self._tail]
+
+    def stats(self) -> Dict[str, Any]:
+        """O(1) summary for the live ``metrics`` payload."""
+        return {
+            "capacity": self.capacity,
+            "head_probability": self.head_probability,
+            "seen": self.seen,
+            "head_sampled": self.head_sampled,
+            "head_dropped": self.head_dropped,
+            "head_held": len(self._head),
+            "tail_sampled": self.tail_sampled,
+            "tail_dropped": self.tail_dropped,
+            "tail_held": len(self._tail),
+            "breaches_seen": self.breaches_seen,
+            "breach_dumps": len(self.breach_dumps),
+        }
+
+    def dump(self) -> Dict[str, Any]:
+        """Everything retained, JSON-stable."""
+        return {
+            "stats": self.stats(),
+            "head": self.head(),
+            "tail": self.tail(),
+            "slowest": self.slowest,
+            "breach_dumps": [dict(d) for d in self.breach_dumps],
+        }

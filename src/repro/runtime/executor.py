@@ -198,7 +198,8 @@ class BlasRuntime:
                  verify_tolerance: float = 1e-6,
                  degrade: bool = True,
                  max_gang: int = 1,
-                 clock: Optional[VirtualClock] = None) -> None:
+                 clock: Optional[VirtualClock] = None,
+                 bounded_metrics: bool = False) -> None:
         if system is None:
             system = make_xd1_system(chassis, blades=blades)
         self.system = system
@@ -233,6 +234,10 @@ class BlasRuntime:
             raise ValueError("verify_tolerance must be positive")
         self.verify_tolerance = verify_tolerance
         self.degrade = degrade
+        #: Bounded-metrics mode: the final RuntimeMetrics keeps O(1)
+        #: histograms instead of full wait/latency lists — what the
+        #: serve layer runs epochs with on a soak.
+        self.bounded_metrics = bounded_metrics
         self.fault_plan = fault_plan
         #: The fault hook; None on a fault-free run so every fault path
         #: stays dormant and behavior matches the pre-fault executor.
@@ -1169,17 +1174,19 @@ class BlasRuntime:
             name = job.request.tenant
             if name is None:
                 continue
-            bucket = tenants.setdefault(name, TenantMetrics(name=name))
+            bucket = tenants.setdefault(
+                name, TenantMetrics(name=name,
+                                    bounded=self.bounded_metrics))
             bucket.jobs_submitted += 1
             if job.state is JobState.DONE:
                 bucket.jobs_completed += 1
-                bucket.wait_seconds.append(job.waiting_seconds)
-                bucket.latency_seconds.append(job.latency_seconds)
+                bucket.observe_wait(job.waiting_seconds)
+                bucket.observe_latency(job.latency_seconds)
             elif job.state is JobState.FAILED:
                 bucket.jobs_failed += 1
             elif job.state is JobState.REJECTED:
                 bucket.jobs_rejected += 1
-        return RuntimeMetrics(
+        metrics = RuntimeMetrics(
             policy=self.policy.name,
             device_count=len(self.devices),
             makespan_seconds=makespan,
@@ -1192,8 +1199,7 @@ class BlasRuntime:
             batches=self._next_batch_id,
             deadline_misses=sum(1 for j in done if j.missed_deadline),
             total_flops=sum(j.report.flops for j in done),
-            wait_seconds=[j.waiting_seconds for j in done],
-            latency_seconds=[j.latency_seconds for j in done],
+            bounded=self.bounded_metrics,
             max_queue_depth=self._max_depth,
             mean_queue_depth=(self._depth_area / makespan
                               if makespan > 0 else 0.0),
@@ -1218,6 +1224,10 @@ class BlasRuntime:
             devices=[d.metrics for d in self.devices],
             tenants=tenants,
         )
+        for job in done:
+            metrics.observe_wait(job.waiting_seconds)
+            metrics.observe_latency(job.latency_seconds)
+        return metrics
 
     @property
     def jobs(self) -> Tuple[Job, ...]:

@@ -21,9 +21,22 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+# Re-exported: the repo's single exact percentile implementation lives
+# in repro.runtime.metrics; client-side consumers of loadgen reports
+# import it from here.  Prefer histogram-backed quantiles
+# (repro.obs.metrics.Histogram) for anything long-lived.
+from repro.runtime.metrics import percentile
 from repro.serve import protocol
 from repro.serve.server import STREAM_LIMIT
 from repro.workloads import DEFAULT_TENANTS, multi_tenant_mix
+
+__all__ = [
+    "LoadgenConfig",
+    "build_stream",
+    "run_loadgen",
+    "render_report",
+    "percentile",
+]
 
 #: Submits in flight before the client stops to read responses.
 PIPELINE_CHUNK = 512
@@ -144,6 +157,8 @@ async def _replay(config: LoadgenConfig, host: str,
 
     metrics_response = await ask({"op": "metrics"})
     metrics = metrics_response.get("metrics", {})
+    slo_response = await ask({"op": "slo"})
+    slo_verdict = slo_response.get("slo")
     if config.shutdown:
         await ask({"op": "shutdown"})
     writer.close()
@@ -169,6 +184,7 @@ async def _replay(config: LoadgenConfig, host: str,
         },
         "epochs": epochs,
         "server_metrics": metrics,
+        "slo": slo_verdict,
         "fairness": {
             "starved_tenants": starved,
             "ok": not starved,

@@ -20,7 +20,12 @@ Requests
     Execute everything admitted since the last drain as one epoch and
     return per-request results.
 ``{"op": "metrics"}``
-    Cumulative service metrics (per-tenant block included).
+    Cumulative service metrics (per-tenant block, live metrics
+    registry snapshot, SLO verdict and flight-recorder stats
+    included) — what ``repro top`` renders.
+``{"op": "slo"}``
+    The SLO monitor's machine-readable verdict alone (``null`` when
+    the server was started without ``--slo-spec``).
 ``{"op": "shutdown"}``
     Acknowledge, then stop the server (used by CI and loadgen runs).
 
@@ -159,6 +164,11 @@ def drained(epoch: int, makespan_seconds: float,
 
 def metrics_reply(payload: Mapping[str, Any]) -> Dict[str, Any]:
     return {"ok": True, "type": "metrics", "metrics": dict(payload)}
+
+
+def slo_reply(verdict: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
+    return {"ok": True, "type": "slo",
+            "slo": dict(verdict) if verdict is not None else None}
 
 
 def shutdown_ok() -> Dict[str, Any]:

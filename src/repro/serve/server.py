@@ -41,6 +41,11 @@ import numpy as np
 
 from repro.blas.api import DEFAULT_K
 from repro.faults.plan import FaultPlan
+from repro.obs.drift import base_operation, drift_report
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import TraceRecorder
+from repro.obs.sampling import FlightRecorder
+from repro.obs.slo import SloMonitor, SloSpec
 from repro.runtime.clock import make_clock
 from repro.runtime.executor import BlasRuntime
 from repro.runtime.job import BlasRequest, Job, JobState
@@ -74,6 +79,22 @@ class ServeConfig:
     clock_mode: str = "virtual"
     time_scale: float = 1.0
     fault_plan: Optional[FaultPlan] = None
+    #: O(1) telemetry: run epochs with histogram-backed metrics and
+    #: merge per-tenant totals as histograms instead of lists — the
+    #: soak-run mode (``repro serve --bounded-metrics``).
+    bounded_metrics: bool = False
+    #: Declarative objectives the service is evaluated against after
+    #: every epoch (``repro serve --slo-spec``); None disables the
+    #: monitor.
+    slo: Optional[SloSpec] = None
+    #: Service trace ring size (epoch spans + slo.breach instants);
+    #: the serve trace is always bounded.
+    trace_max_events: int = 4096
+    #: Flight-recorder knobs (see :mod:`repro.obs.sampling`).
+    flight_capacity: int = 256
+    flight_head_probability: float = 0.01
+    flight_tail_latency: Optional[float] = None
+    flight_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.coalesce_window < 0.0:
@@ -156,6 +177,62 @@ class BlasService:
         self._jobs_rejected = 0
         #: Metrics of the most recent epoch's runtime (full dict).
         self.last_epoch_metrics: Optional[Dict[str, Any]] = None
+        #: High-water virtual time across submissions and epochs —
+        #: the service-absolute clock SLO windows evaluate against.
+        self._now = 0.0
+        # -- live telemetry (repro.obs.live) -----------------------------
+        config = self.config
+        self.registry = MetricsRegistry()
+        self.recorder = TraceRecorder(
+            max_events=config.trace_max_events)
+        self.flight = FlightRecorder(
+            capacity=config.flight_capacity,
+            head_probability=config.flight_head_probability,
+            tail_latency_seconds=config.flight_tail_latency,
+            seed=config.flight_seed)
+        self.slo: Optional[SloMonitor] = (
+            SloMonitor(config.slo, recorder=self.recorder,
+                       flight=self.flight)
+            if config.slo is not None else None)
+        registry = self.registry
+        self._c_submitted = registry.counter(
+            "serve.submitted", help="submissions received")
+        self._c_admitted = registry.counter(
+            "serve.admitted", help="submissions admitted")
+        self._c_epochs = registry.counter(
+            "serve.epochs", help="drain epochs executed")
+        self._g_pending = registry.gauge(
+            "serve.pending", help="admitted calls awaiting drain")
+        self._h_wait = registry.histogram(
+            "serve.wait_seconds",
+            help="virtual seconds from release to dispatch")
+        self._h_latency = registry.histogram(
+            "serve.latency_seconds",
+            help="virtual seconds from release to completion")
+        self._c_coalesce_groups = registry.counter(
+            "serve.coalesce.groups", help="coalescing groups formed")
+        self._c_coalesce_requests = registry.counter(
+            "serve.coalesce.requests",
+            help="requests whose release was coalesced")
+        self._c_jobs_completed = registry.counter(
+            "runtime.jobs.completed", help="executor jobs done")
+        self._c_jobs_failed = registry.counter(
+            "runtime.jobs.failed", help="executor jobs failed")
+        self._c_jobs_rejected = registry.counter(
+            "runtime.jobs.rejected", help="executor jobs rejected")
+        self._c_batches = registry.counter(
+            "runtime.batches", help="executor batches dispatched")
+        self._c_reconfigs = registry.counter(
+            "runtime.reconfigurations",
+            help="bitstream loads across all blades")
+        self._c_retries = registry.counter(
+            "runtime.retries", help="fault-plane retries")
+        self._c_faults = registry.counter(
+            "runtime.faults", help="faults injected")
+        self._c_gangs = registry.counter(
+            "runtime.gangs", help="multi-blade gangs formed")
+        self._c_flops = registry.counter(
+            "runtime.flops", help="useful flops of completed jobs")
 
     # -- message dispatch ------------------------------------------------
     def handle(self, message: Mapping[str, Any]) -> Dict[str, Any]:
@@ -174,42 +251,67 @@ class BlasService:
             return self.drain()
         if op == "metrics":
             return protocol.metrics_reply(self.metrics())
+        if op == "slo":
+            return protocol.slo_reply(
+                self.slo.verdict() if self.slo is not None else None)
         if op == "shutdown":
             return protocol.shutdown_ok()
         return protocol.error(f"unknown op {op!r}")
 
     # -- admission -------------------------------------------------------
+    def _reject(self, ts: float, tenant: Optional[str],
+                reason: str) -> None:
+        """Instrument one admission reject (typed counter + SLO)."""
+        self.registry.counter("serve.rejected",
+                              labels={"reason": reason}).inc(1.0,
+                                                            at=ts)
+        if self.slo is not None:
+            self.slo.observe_submit(ts, tenant, rejected=True)
+
     def submit(self, message: Mapping[str, Any]) -> Dict[str, Any]:
         client_id = message.get("id")
         tenant = message.get("tenant")
         if not tenant or not isinstance(tenant, str):
+            self._c_submitted.inc(1.0, at=self._now)
+            self._reject(self._now, None, protocol.REJECT_INVALID)
             return protocol.rejected(
                 client_id, protocol.REJECT_INVALID,
                 "submit needs a tenant (or a prior hello)")
         at = message.get("at", 0.0)
         if not isinstance(at, (int, float)) or isinstance(at, bool) \
                 or not np.isfinite(at) or at < 0.0:
+            self._c_submitted.inc(1.0, at=self._now)
+            self._reject(self._now, tenant, protocol.REJECT_INVALID)
             return protocol.rejected(
                 client_id, protocol.REJECT_INVALID,
                 "at must be a non-negative finite number")
+        at = float(at)
+        self._now = max(self._now, at)
+        self._c_submitted.inc(1.0, at=at)
         try:
             spec = protocol.validate_call(message.get("call"))
         except protocol.ProtocolError as exc:
             state = self.admission.register(tenant)
             state.submitted += 1
             state.invalid_rejects += 1
+            self._reject(at, tenant, protocol.REJECT_INVALID)
             return protocol.rejected(client_id,
                                      protocol.REJECT_INVALID, str(exc))
-        _state, reason = self.admission.admit(tenant, float(at))
+        _state, reason = self.admission.admit(tenant, at)
         if reason is not None:
             detail = ("admission token bucket empty"
                       if reason == protocol.REJECT_QUOTA
                       else "per-tenant pending cap reached")
+            self._reject(at, tenant, reason)
             return protocol.rejected(client_id, reason, detail)
         call = AdmittedCall(seq=self._seq, client_id=client_id,
-                            tenant=tenant, at=float(at), spec=spec)
+                            tenant=tenant, at=at, spec=spec)
         self._seq += 1
         self._pending.append(call)
+        self._c_admitted.inc(1.0, at=at)
+        self._g_pending.set(len(self._pending))
+        if self.slo is not None:
+            self.slo.observe_submit(at, tenant, rejected=False)
         return protocol.accepted(client_id, call.seq)
 
     # -- epoch execution -------------------------------------------------
@@ -219,8 +321,12 @@ class BlasService:
         calls = self._pending
         self._pending = []
         self.admission.release_all()
+        self._c_epochs.inc(1.0, at=self._now)
+        self._g_pending.set(0)
         if not calls:
             self.last_epoch_metrics = None
+            if self.slo is not None:
+                self.slo.evaluate(self._now)
             return protocol.drained(self._epochs, 0.0, [])
         # Arrival order, client priority breaking same-instant ties
         # within a tenant; the fair-share rank below owns cross-tenant
@@ -244,6 +350,7 @@ class BlasService:
             batching=self.config.batching,
             max_gang=self.config.max_gang,
             fault_plan=self.config.fault_plan,
+            bounded_metrics=self.config.bounded_metrics,
             clock=make_clock(self.config.clock_mode,
                              self.config.time_scale))
         costs = []
@@ -271,18 +378,82 @@ class BlasService:
         self._jobs_rejected += metrics.jobs_rejected
         for name, epoch_tenant in metrics.tenants.items():
             total = self._tenant_totals.setdefault(
-                name, TenantMetrics(name=name))
-            total.jobs_submitted += epoch_tenant.jobs_submitted
-            total.jobs_completed += epoch_tenant.jobs_completed
-            total.jobs_failed += epoch_tenant.jobs_failed
-            total.jobs_rejected += epoch_tenant.jobs_rejected
-            total.wait_seconds.extend(epoch_tenant.wait_seconds)
-            total.latency_seconds.extend(epoch_tenant.latency_seconds)
+                name, TenantMetrics(
+                    name=name, bounded=self.config.bounded_metrics))
+            total.merge_from(epoch_tenant)
+        self._observe_epoch(calls, jobs, runtime, metrics, stats,
+                            epoch_start)
         self.last_epoch_metrics = metrics.to_dict()
         results = [self._result_entry(call, job)
                    for call, job in zip(calls, jobs)]
         return protocol.drained(self._epochs, metrics.makespan_seconds,
                                 results)
+
+    def _observe_epoch(self, calls: List[AdmittedCall],
+                       jobs: List[Job], runtime: BlasRuntime,
+                       metrics: Any, stats: CoalesceStats,
+                       epoch_start: float) -> None:
+        """Feed one epoch into the live telemetry plane.
+
+        Each job's service-absolute timestamp is the epoch's virtual
+        start plus the job's virtual finish time, so SLO windows and
+        rate windows see one monotone service clock across epochs."""
+        epoch_end = epoch_start + metrics.makespan_seconds
+        self._now = max(self._now, epoch_end)
+        if self.recorder.enabled:
+            self.recorder.span(
+                "epoch", cat="serve", track="serve",
+                start=epoch_start, end=epoch_end,
+                args={"epoch": self._epochs, "requests": len(calls),
+                      "completed": metrics.jobs_completed,
+                      "failed": metrics.jobs_failed,
+                      "rejected": metrics.jobs_rejected})
+        end = epoch_end
+        self._c_jobs_completed.inc(metrics.jobs_completed, at=end)
+        self._c_jobs_failed.inc(metrics.jobs_failed, at=end)
+        self._c_jobs_rejected.inc(metrics.jobs_rejected, at=end)
+        self._c_batches.inc(metrics.batches, at=end)
+        self._c_reconfigs.inc(
+            sum(d.reconfigurations for d in metrics.devices), at=end)
+        self._c_retries.inc(metrics.retries_total, at=end)
+        self._c_faults.inc(metrics.faults_injected, at=end)
+        self._c_gangs.inc(metrics.gangs_formed, at=end)
+        self._c_flops.inc(metrics.total_flops, at=end)
+        self._c_coalesce_groups.inc(stats.groups, at=end)
+        self._c_coalesce_requests.inc(stats.coalesced_requests,
+                                      at=end)
+        slo = self.slo
+        for call, job in zip(calls, jobs):
+            finished = (job.finished_at if job.finished_at is not None
+                        else metrics.makespan_seconds)
+            ts = epoch_start + finished
+            done = job.state is JobState.DONE
+            rejected = job.state is JobState.REJECTED
+            failed = job.state is JobState.FAILED
+            latency = job.latency_seconds if done else None
+            if done:
+                self._h_wait.observe(job.waiting_seconds)
+                self._h_latency.observe(job.latency_seconds)
+                self.registry.histogram(
+                    "serve.latency_seconds.tenant",
+                    labels={"tenant": call.tenant}).observe(
+                        job.latency_seconds)
+            if slo is not None:
+                slo.observe_result(ts, call.tenant,
+                                   latency_seconds=latency,
+                                   failed=failed, rejected=rejected)
+            self.flight.record(
+                ts, tenant=call.tenant, latency_seconds=latency,
+                ok=done, seq=call.seq, job=job.job_id,
+                state=job.state.value,
+                operation=call.spec["operation"], n=call.spec["n"])
+        if slo is not None:
+            if any(o.kind == "drift" for o in slo.spec.objectives):
+                for entry in drift_report(runtime.jobs).entries:
+                    slo.observe_drift(
+                        epoch_end, base_operation(entry.operation),
+                        entry.rel_error)
+            slo.evaluate(epoch_end)
 
     @staticmethod
     def _result_entry(call: AdmittedCall, job: Job) -> Dict[str, Any]:
@@ -314,10 +485,11 @@ class BlasService:
         submitted_total = 0
         throttles_total = 0
         starved: List[str] = []
+        bounded = self.config.bounded_metrics
         for name in sorted(self.admission.tenants):
             state = self.admission.tenants[name]
-            seen = self._tenant_totals.get(name,
-                                           TenantMetrics(name=name))
+            seen = self._tenant_totals.get(
+                name, TenantMetrics(name=name, bounded=bounded))
             block = seen.to_dict()
             block["jobs"]["submitted"] = state.submitted
             block["jobs"]["admitted"] = state.admitted
@@ -333,11 +505,25 @@ class BlasService:
             throttles_total += state.quota_throttles
             if state.admitted and not seen.jobs_completed:
                 starved.append(name)
+        if bounded:
+            # The per-epoch lists were never kept; the service-level
+            # histograms reconstruct the percentiles within their
+            # documented error bound.
+            wait_block = {"p50": self._h_wait.quantile(0.50),
+                          "p99": self._h_wait.quantile(0.99)}
+            latency_block = {"p50": self._h_latency.quantile(0.50),
+                             "p99": self._h_latency.quantile(0.99)}
+        else:
+            wait_block = {"p50": percentile(all_waits, 50),
+                          "p99": percentile(all_waits, 99)}
+            latency_block = {"p50": percentile(all_latencies, 50),
+                             "p99": percentile(all_latencies, 99)}
         return {
             "protocol": protocol.PROTOCOL_VERSION,
             "epochs": self._epochs,
             "clock": {"mode": self.config.clock_mode,
                       "time_scale": self.config.time_scale},
+            "bounded": bounded,
             "makespan_seconds": self._makespan_total,
             "jobs": {
                 "submitted": submitted_total,
@@ -348,17 +534,30 @@ class BlasService:
                 "quota_throttles": throttles_total,
                 "pending": len(self._pending),
             },
-            "wait_seconds": {
-                "p50": percentile(all_waits, 50),
-                "p99": percentile(all_waits, 99),
-            },
-            "latency_seconds": {
-                "p50": percentile(all_latencies, 50),
-                "p99": percentile(all_latencies, 99),
-            },
+            "wait_seconds": wait_block,
+            "latency_seconds": latency_block,
             "coalescing": self._coalesce_totals.to_dict(),
             "tenants": tenants,
             "starved_tenants": starved,
+            "registry": self.registry.snapshot(),
+            "slo": (self.slo.verdict() if self.slo is not None
+                    else None),
+            "flight": self.flight.stats(),
+            "trace": {"events": len(self.recorder),
+                      "dropped_events": self.recorder.dropped_events},
+        }
+
+    def observability_snapshot(self) -> Dict[str, Any]:
+        """Everything ``--metrics-out`` persists: the registry
+        snapshot, the SLO verdict, the flight-recorder dump and the
+        service metrics — canonical-JSON-stable, byte-identical
+        across same-seed runs."""
+        return {
+            "registry": self.registry.snapshot(),
+            "slo": (self.slo.verdict() if self.slo is not None
+                    else None),
+            "flight": self.flight.dump(),
+            "service": self.metrics(),
         }
 
 

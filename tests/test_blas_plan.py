@@ -109,12 +109,24 @@ class TestPlanGemm:
 
 class TestPlanSpmxv:
     def test_prediction_close(self, rng):
+        # The bound is the drift SLO's spmxv threshold, not a local
+        # constant: the planner cannot cheaply replay the
+        # SingleAdderReduction flush schedule of the final rows (it is
+        # data-dependent), so ~10% drift is irreducible — see
+        # docs/observability.md.  Keeping one source of truth means a
+        # tightened predictor must tighten the SLO spec (and vice
+        # versa) or this test fails.
+        from repro.obs.slo import SloSpec
+
+        spec = SloSpec.drift_spec()
+        bound = next(o.threshold for o in spec.objectives
+                     if o.operation == "spmxv")
         matrix = poisson_2d(16)
         x = rng.standard_normal(matrix.ncols)
         plan = plan_spmxv(matrix, k=4)
         _, report = spmxv(matrix, x, k=4)
         assert plan.predicted_cycles == pytest.approx(
-            report.total_cycles, rel=0.10)
+            report.total_cycles, rel=bound)
         assert plan.flops == 2 * matrix.nnz
 
 

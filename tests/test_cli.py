@@ -369,3 +369,114 @@ class TestServeLoadgen:
         assert "replayed 60 requests" in captured.out
         assert "results digest:" in captured.out
         assert '"starved_tenants": []' in out.read_text()
+
+
+class TestTopAndObservabilityFlags:
+    @staticmethod
+    def _start_serve(argv):
+        import socket
+        import threading
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        box = {}
+
+        def run():
+            box["rc"] = main(["serve", "--port", str(port)] + argv)
+
+        server = threading.Thread(target=run, daemon=True)
+        server.start()
+        deadline = 50
+        while deadline:
+            with socket.socket() as ping:
+                try:
+                    ping.connect(("127.0.0.1", port))
+                    break
+                except OSError:
+                    deadline -= 1
+                    threading.Event().wait(0.1)
+        return server, port, box
+
+    @staticmethod
+    def _shutdown(port):
+        import json
+        import socket
+
+        with socket.create_connection(("127.0.0.1", port)) as sock:
+            sock.sendall(b'{"op":"shutdown"}\n')
+            sock.recv(4096)
+
+    def test_top_parser_defaults(self):
+        args = build_parser().parse_args(["top"])
+        assert args.port == 7070
+        assert args.interval == pytest.approx(2.0)
+        assert not args.watch and not args.json and not args.prom
+
+    def test_serve_observability_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.bounded_metrics is False
+        assert args.slo_spec is None
+        assert args.flight_capacity == 256
+        assert args.flight_sample == pytest.approx(0.01)
+
+    def test_top_views_against_live_serve(self, capsys, tmp_path):
+        import json
+
+        spec = tmp_path / "slo.json"
+        spec.write_text(json.dumps({"objectives": [
+            {"name": "lat-tight", "kind": "latency",
+             "threshold": 1e-9, "quantile": 0.5,
+             "windows": [0.25, 2.0]}]}))
+        server, port, box = self._start_serve(
+            ["--bounded-metrics", "--slo-spec", str(spec),
+             "--metrics-out", str(tmp_path / "obs.json"),
+             "--prom-out", str(tmp_path / "metrics.prom")])
+        rc = main(["loadgen", "--port", str(port), "--count", "40",
+                   "--seed", "5", "--drain-every", "20"])
+        assert rc == 0
+        capsys.readouterr()
+
+        assert main(["top", "--port", str(port)]) == 0
+        table = capsys.readouterr().out
+        assert "slo: BREACHED (lat-tight)" in table
+        assert "flight: seen" in table
+        assert "(histogram quantiles)" in table
+
+        assert main(["top", "--port", str(port), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["slo"]["breached"] == ["lat-tight"]
+
+        assert main(["top", "--port", str(port), "--prom"]) == 0
+        from repro.obs.metrics import parse_prom_text
+        samples = parse_prom_text(capsys.readouterr().out)
+        assert samples["serve_epochs"] >= 1.0
+
+        rc_strict = main(["top", "--port", str(port), "--strict"])
+        assert rc_strict == 1
+        capsys.readouterr()
+
+        self._shutdown(port)
+        server.join(10)
+        assert box["rc"] == 0  # breached, but --slo-strict not set
+        obs = json.loads((tmp_path / "obs.json").read_text())
+        assert set(obs) == {"flight", "registry", "service", "slo"}
+        assert obs["slo"]["ok"] is False
+        parse_prom_text((tmp_path / "metrics.prom").read_text())
+
+    def test_serve_slo_strict_exit_code(self, capsys, tmp_path):
+        import json
+
+        spec = tmp_path / "slo.json"
+        spec.write_text(json.dumps({"objectives": [
+            {"name": "lat-tight", "kind": "latency",
+             "threshold": 1e-9, "quantile": 0.5,
+             "windows": [2.0]}]}))
+        server, port, box = self._start_serve(
+            ["--slo-strict", "--slo-spec", str(spec)])
+        rc = main(["loadgen", "--port", str(port), "--count", "20",
+                   "--seed", "1", "--shutdown"])
+        assert rc == 0
+        server.join(10)
+        capsys.readouterr()
+        assert box["rc"] == 1

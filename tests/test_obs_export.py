@@ -93,3 +93,31 @@ class TestJsonl:
         assert span["end"] == 3.0
         assert span["track"] == "blade0"
         assert span["args"] == {"k": 8}
+
+
+class TestRingModeExports:
+    @staticmethod
+    def _ring_recorder():
+        rec = TraceRecorder(max_events=2)
+        for i in range(5):
+            rec.instant(f"i{i}", "c", "t", float(i))
+        return rec
+
+    def test_default_mode_has_no_dropped_keys(self):
+        assert "droppedEvents" not in to_chrome_trace(_recorder())
+        records = [json.loads(line) for line in
+                   to_jsonl(_recorder()).strip().split("\n")]
+        assert all(r["type"] != "meta" for r in records)
+
+    def test_chrome_trace_reports_drops(self):
+        trace = to_chrome_trace(self._ring_recorder())
+        assert trace["droppedEvents"] == 3
+        names = [e["name"] for e in trace["traceEvents"]
+                 if e["ph"] == "i"]
+        assert names == ["i3", "i4"]
+
+    def test_jsonl_appends_meta_record(self):
+        records = [json.loads(line) for line in
+                   to_jsonl(self._ring_recorder()).strip().split("\n")]
+        assert records[-1] == {"type": "meta", "dropped_events": 3}
+        assert len(records) == 3

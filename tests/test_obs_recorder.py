@@ -100,3 +100,46 @@ class TestNullRecorder:
         assert rec.instant("i", "c", "t", 0.0) is None
         assert rec.counter("n", "t", 0.0, 1) is None
         assert not hasattr(rec, "spans")
+
+
+class TestRingMode:
+    def test_default_is_unbounded(self):
+        rec = TraceRecorder()
+        assert rec.max_events is None
+        for i in range(100):
+            rec.instant("i", "c", "t", float(i))
+        assert len(rec) == 100
+        assert rec.dropped_events == 0
+        assert isinstance(rec.instants, list)
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError, match="max_events"):
+            TraceRecorder(max_events=0)
+
+    def test_evicts_globally_oldest_event(self):
+        rec = TraceRecorder(max_events=3)
+        rec.span("s0", "c", "t", 0.0, 1.0)
+        rec.instant("i0", "c", "t", 1.0)
+        rec.counter("c0", "t", 2.0, 1)
+        rec.instant("i1", "c", "t", 3.0)  # evicts the span
+        assert len(rec) == 3
+        assert rec.dropped_events == 1
+        assert len(rec.spans) == 0
+        assert [i.name for i in rec.instants] == ["i0", "i1"]
+        assert len(rec.counters) == 1
+
+    def test_ring_holds_newest_events(self):
+        rec = TraceRecorder(max_events=10)
+        for i in range(100):
+            rec.instant(f"i{i}", "c", "t", float(i))
+        assert len(rec) == 10
+        assert rec.dropped_events == 90
+        assert [i.name for i in rec.instants] == \
+            [f"i{i}" for i in range(90, 100)]
+
+    def test_span_ids_keep_counting_past_eviction(self):
+        rec = TraceRecorder(max_events=2)
+        ids = [rec.span(f"s{i}", "c", "t", float(i), float(i) + 1.0)
+               for i in range(5)]
+        assert ids == [1, 2, 3, 4, 5]
+        assert [s.span_id for s in rec.spans] == [4, 5]

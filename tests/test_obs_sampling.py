@@ -1,0 +1,154 @@
+"""Unit tests for the bounded deterministic flight recorder."""
+
+import pytest
+
+from repro.obs.sampling import FlightRecorder
+
+
+class TestValidation:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(head_probability=1.5)
+        with pytest.raises(ValueError):
+            FlightRecorder(tail_latency_seconds=-1.0)
+        with pytest.raises(ValueError):
+            FlightRecorder(max_breach_dumps=-1)
+
+
+class TestHeadSampling:
+    def test_deterministic_across_replays(self):
+        def run():
+            flight = FlightRecorder(capacity=64,
+                                    head_probability=0.05, seed=42)
+            for i in range(2000):
+                flight.record(ts=i * 1e-3, tenant="a",
+                              latency_seconds=1e-4, job=i)
+            return flight.dump()
+
+        assert run() == run()
+
+    def test_seed_changes_the_sample(self):
+        def sampled(seed):
+            flight = FlightRecorder(capacity=2000,
+                                    head_probability=0.05, seed=seed)
+            for i in range(2000):
+                flight.record(ts=i * 1e-3)
+            return [e["seq"] for e in flight.head()]
+
+        assert sampled(1) != sampled(2)
+
+    def test_rate_tracks_probability(self):
+        flight = FlightRecorder(capacity=10_000,
+                                head_probability=0.01)
+        for i in range(10_000):
+            flight.record(ts=i * 1e-3)
+        assert 50 <= flight.head_sampled <= 200
+
+    def test_zero_probability_samples_nothing(self):
+        flight = FlightRecorder(head_probability=0.0)
+        for i in range(100):
+            flight.record(ts=i * 1e-3)
+        assert flight.head_sampled == 0
+
+    def test_ring_is_bounded_with_drop_count(self):
+        flight = FlightRecorder(capacity=4, head_probability=1.0)
+        for i in range(10):
+            flight.record(ts=i * 1e-3)
+        assert len(flight.head()) == 4
+        assert flight.head_dropped == 6
+        assert [e["seq"] for e in flight.head()] == [7, 8, 9, 10]
+
+
+class TestTailSampling:
+    def test_failures_always_captured(self):
+        flight = FlightRecorder(capacity=8, head_probability=0.0)
+        flight.record(ts=0.0, ok=False, job=7)
+        assert [e["job"] for e in flight.tail()] == [7]
+
+    def test_latency_threshold_captures(self):
+        flight = FlightRecorder(capacity=8, head_probability=0.0,
+                                tail_latency_seconds=1e-3)
+        flight.record(ts=0.0, latency_seconds=5e-4)
+        flight.record(ts=0.1, latency_seconds=1e-3)
+        flight.record(ts=0.2, latency_seconds=2e-3)
+        assert [e["latency_seconds"] for e in flight.tail()] \
+            == [1e-3, 2e-3]
+
+    def test_tail_ring_bounded_under_storm(self):
+        flight = FlightRecorder(capacity=4, head_probability=0.0)
+        for i in range(100):
+            flight.record(ts=i * 1e-3, ok=False)
+        assert len(flight.tail()) == 4
+        assert flight.tail_dropped == 96
+        assert flight.tail_sampled == 100
+
+
+class TestSlowestExemplar:
+    def test_retains_slowest_of_10k(self):
+        flight = FlightRecorder(capacity=16, head_probability=0.01,
+                                seed=3)
+        slow_seq = 7777  # zero-based position in the stream
+        for i in range(10_000):
+            latency = 5.0 if i == slow_seq else 1e-4 * (1 + i % 7)
+            flight.record(ts=i * 1e-3, tenant="astro",
+                          latency_seconds=latency, job=i)
+        assert flight.slowest is not None
+        assert flight.slowest["job"] == slow_seq
+        assert flight.slowest["latency_seconds"] == 5.0
+
+    def test_ties_keep_first(self):
+        flight = FlightRecorder()
+        flight.record(ts=0.0, latency_seconds=1.0, job=0)
+        flight.record(ts=0.1, latency_seconds=1.0, job=1)
+        assert flight.slowest["job"] == 0
+
+
+class TestBreachDumps:
+    def test_dump_snapshots_rings(self):
+        flight = FlightRecorder(capacity=8, head_probability=0.0)
+        flight.record(ts=0.0, ok=False, latency_seconds=2.0, job=1)
+        flight.on_breach("lat", ts=0.5)
+        dump = flight.breach_dumps[0]
+        assert dump["breach"] == {"objective": "lat", "ts": 0.5}
+        assert [e["job"] for e in dump["tail"]] == [1]
+        assert dump["slowest"]["job"] == 1
+
+    def test_dumps_are_bounded(self):
+        flight = FlightRecorder(max_breach_dumps=2)
+        for i in range(5):
+            flight.on_breach(f"o{i}", ts=float(i))
+        assert flight.breaches_seen == 5
+        assert len(flight.breach_dumps) == 2
+        assert [d["breach"]["objective"]
+                for d in flight.breach_dumps] == ["o0", "o1"]
+
+
+class TestAccessors:
+    def test_stats_shape(self):
+        flight = FlightRecorder()
+        flight.record(ts=0.0, ok=False)
+        stats = flight.stats()
+        assert stats["seen"] == 1
+        assert stats["tail_held"] == 1
+        assert set(stats) == {
+            "capacity", "head_probability", "seen", "head_sampled",
+            "head_dropped", "head_held", "tail_sampled",
+            "tail_dropped", "tail_held", "breaches_seen",
+            "breach_dumps"}
+
+    def test_accessors_return_copies(self):
+        flight = FlightRecorder(head_probability=1.0)
+        flight.record(ts=0.0, latency_seconds=1.0)
+        flight.head()[0]["ts"] = 99.0
+        flight.slowest["ts"] = 99.0
+        assert flight.head()[0]["ts"] == 0.0
+        assert flight.slowest["ts"] == 0.0
+
+    def test_extra_fields_sorted_into_entry(self):
+        flight = FlightRecorder(head_probability=1.0)
+        flight.record(ts=0.0, zeta=1, alpha=2)
+        entry = flight.head()[0]
+        keys = list(entry)
+        assert keys.index("alpha") < keys.index("zeta")

@@ -1,0 +1,271 @@
+"""Unit tests for declarative SLOs and burn-rate evaluation."""
+
+import json
+
+import pytest
+
+from repro.obs import FlightRecorder, TraceRecorder
+from repro.obs.drift import DEFAULT_THRESHOLDS
+from repro.obs.slo import (
+    DEFAULT_WINDOWS,
+    BurnWindow,
+    SloMonitor,
+    SloObjective,
+    SloSpec,
+)
+
+
+def latency_objective(threshold=1e-3, quantile=0.99,
+                      windows=((0.5, 1.0),), name="lat"):
+    return SloObjective(
+        name=name, kind="latency", threshold=threshold,
+        quantile=quantile,
+        windows=tuple(BurnWindow(s, b) for s, b in windows))
+
+
+class TestObjectiveValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            SloObjective(name="x", kind="availability")
+
+    def test_latency_needs_threshold(self):
+        with pytest.raises(ValueError, match="threshold"):
+            SloObjective(name="x", kind="latency")
+
+    def test_ratio_needs_budget(self):
+        with pytest.raises(ValueError, match="budget"):
+            SloObjective(name="x", kind="error_ratio")
+
+    def test_drift_needs_threshold(self):
+        with pytest.raises(ValueError, match="threshold"):
+            SloObjective(name="x", kind="drift")
+
+    def test_budget_range(self):
+        with pytest.raises(ValueError, match="budget"):
+            SloObjective(name="x", kind="error_ratio", budget=1.5)
+
+    def test_effective_budget_defaults(self):
+        lat = latency_objective(quantile=0.99)
+        assert lat.effective_budget == pytest.approx(0.01)
+        drift = SloObjective(name="d", kind="drift", threshold=0.1)
+        assert drift.effective_budget == 0.0
+
+    def test_burn_window_validation(self):
+        with pytest.raises(ValueError):
+            BurnWindow(0.0)
+        with pytest.raises(ValueError):
+            BurnWindow(1.0, burn_rate=0.0)
+
+
+class TestSpecParsing:
+    def test_round_trips_through_dict(self):
+        spec = SloSpec(objectives=(
+            latency_objective(),
+            SloObjective(name="err", kind="error_ratio",
+                         budget=0.05)))
+        again = SloSpec.from_dict(json.loads(
+            json.dumps(spec.to_dict())))
+        assert again.to_dict() == spec.to_dict()
+
+    def test_bare_seconds_windows(self):
+        spec = SloSpec.from_dict({"objectives": [
+            {"name": "lat", "kind": "latency", "threshold": 1e-3,
+             "windows": [0.5, 2.0]}]})
+        assert spec.objectives[0].windows == (
+            BurnWindow(0.5), BurnWindow(2.0))
+
+    def test_default_windows_when_omitted(self):
+        spec = SloSpec.from_dict({"objectives": [
+            {"name": "lat", "kind": "latency", "threshold": 1e-3}]})
+        assert tuple((w.seconds, w.burn_rate)
+                     for w in spec.objectives[0].windows) \
+            == DEFAULT_WINDOWS
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown"):
+            SloSpec.from_dict({"objective": []})
+        with pytest.raises(ValueError, match="unknown"):
+            SloSpec.from_dict({"objectives": [
+                {"name": "x", "kind": "latency", "threshold": 1e-3,
+                 "severity": "page"}]})
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="unique"):
+            SloSpec(objectives=(latency_objective(),
+                                latency_objective()))
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({"objectives": [
+            {"name": "lat", "kind": "latency",
+             "threshold": 1e-3}]}))
+        spec = SloSpec.from_file(str(path))
+        assert spec.objectives[0].name == "lat"
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            SloSpec.from_file(str(bad))
+
+    def test_drift_spec_mirrors_documented_thresholds(self):
+        spec = SloSpec.drift_spec()
+        by_op = {o.operation: o for o in spec.objectives}
+        assert set(by_op) == set(DEFAULT_THRESHOLDS)
+        assert by_op["spmxv"].threshold == \
+            DEFAULT_THRESHOLDS["spmxv"]
+        assert all(o.kind == "drift" for o in spec.objectives)
+
+
+class TestBurnRateEvaluation:
+    def test_latency_trip_and_no_trip_pair(self):
+        # 10% of requests slow against a 1% budget trips; the same
+        # traffic against a 20% budget does not.
+        def run(quantile):
+            monitor = SloMonitor(SloSpec(objectives=(
+                latency_objective(quantile=quantile),)))
+            for i in range(100):
+                slow = i % 10 == 0
+                monitor.observe_result(
+                    ts=i * 1e-3, tenant="astro",
+                    latency_seconds=5e-3 if slow else 1e-4)
+            return monitor.evaluate(0.1)
+
+        assert run(quantile=0.99)["ok"] is False
+        assert run(quantile=0.80)["ok"] is True
+
+    def test_all_windows_must_burn(self):
+        # A short burst burns the fast window but not the slow one:
+        # with both windows configured the objective must hold.
+        objective = latency_objective(
+            windows=((0.1, 1.0), (10.0, 1.0)))
+        monitor = SloMonitor(SloSpec(objectives=(objective,)))
+        for i in range(1000):
+            monitor.observe_result(ts=i * 1e-2, tenant="a",
+                                   latency_seconds=1e-4)
+        # 5 slow requests right at the end: 100% of the 0.1 s window,
+        # but only ~0.5% of the 10 s window (budget is 1%).
+        for i in range(5):
+            monitor.observe_result(ts=10.0 + i * 1e-2, tenant="a",
+                                   latency_seconds=1.0)
+        verdict = monitor.evaluate(10.05)
+        assert verdict["ok"] is True
+        burning = verdict["objectives"]["lat"]["windows_burning"]
+        assert burning == {"0.1s": True, "10s": False}
+
+    def test_error_ratio_trip_and_no_trip_pair(self):
+        def run(failures):
+            monitor = SloMonitor(SloSpec(objectives=(
+                SloObjective(name="err", kind="error_ratio",
+                             budget=0.05,
+                             windows=(BurnWindow(1.0),)),)))
+            for i in range(100):
+                monitor.observe_result(ts=i * 1e-3, tenant="a",
+                                       latency_seconds=1e-4,
+                                       failed=i < failures)
+            return monitor.evaluate(0.1)
+
+        assert run(failures=10)["ok"] is False
+        assert run(failures=2)["ok"] is True
+
+    def test_reject_ratio_counts_submissions(self):
+        monitor = SloMonitor(SloSpec(objectives=(
+            SloObjective(name="rej", kind="reject_ratio",
+                         budget=0.25, windows=(BurnWindow(1.0),)),)))
+        for i in range(10):
+            monitor.observe_submit(ts=i * 1e-3, tenant="a",
+                                   rejected=i < 5)
+        assert monitor.evaluate(0.01)["ok"] is False
+
+    def test_zero_budget_burns_on_any_bad_event(self):
+        monitor = SloMonitor(SloSpec(objectives=(
+            SloObjective(name="drift-spmxv", kind="drift",
+                         threshold=0.10, operation="spmxv",
+                         windows=(BurnWindow(1.0),)),)))
+        monitor.observe_drift(0.0, "spmxv", rel_error=0.08)
+        assert monitor.evaluate(0.0)["ok"] is True
+        monitor.observe_drift(0.01, "spmxv", rel_error=-0.12)
+        assert monitor.evaluate(0.01)["ok"] is False
+
+    def test_drift_objective_filters_operation(self):
+        monitor = SloMonitor(SloSpec(objectives=(
+            SloObjective(name="drift-gemm", kind="drift",
+                         threshold=0.0, operation="gemm",
+                         windows=(BurnWindow(1.0),)),)))
+        monitor.observe_drift(0.0, "spmxv", rel_error=0.5)
+        assert monitor.evaluate(0.0)["ok"] is True
+        monitor.observe_drift(0.0, "gemm", rel_error=0.5)
+        assert monitor.evaluate(0.0)["ok"] is False
+
+    def test_starvation_trips_on_admitted_without_completed(self):
+        monitor = SloMonitor(SloSpec(objectives=(
+            SloObjective(name="starve", kind="starvation",
+                         windows=(BurnWindow(1.0),)),)))
+        monitor.observe_submit(0.0, "astro")
+        monitor.observe_submit(0.0, "fusion")
+        monitor.observe_result(0.01, "astro", latency_seconds=1e-4)
+        verdict = monitor.evaluate(0.01)
+        assert verdict["ok"] is False  # fusion admitted, never done
+        monitor2 = SloMonitor(SloSpec(objectives=(
+            SloObjective(name="starve", kind="starvation",
+                         windows=(BurnWindow(1.0),)),)))
+        monitor2.observe_submit(0.0, "astro")
+        monitor2.observe_result(0.01, "astro", latency_seconds=1e-4)
+        assert monitor2.evaluate(0.01)["ok"] is True
+
+    def test_no_traffic_is_not_a_breach(self):
+        monitor = SloMonitor(SloSpec(objectives=(
+            latency_objective(),)))
+        assert monitor.evaluate(1.0)["ok"] is True
+
+
+class TestTransitions:
+    @staticmethod
+    def _tripping_monitor(recorder=None, flight=None):
+        monitor = SloMonitor(
+            SloSpec(objectives=(latency_objective(),)),
+            recorder=recorder, flight=flight)
+        for i in range(10):
+            monitor.observe_result(ts=i * 1e-3, tenant="a",
+                                   latency_seconds=1.0)
+        return monitor
+
+    def test_breach_emits_instant_once(self):
+        recorder = TraceRecorder()
+        monitor = self._tripping_monitor(recorder=recorder)
+        monitor.evaluate(0.01)
+        monitor.evaluate(0.02)  # sustained breach: no second instant
+        names = [i.name for i in recorder.instants]
+        assert names.count("slo.breach") == 1
+        args = recorder.instants[0].args
+        assert args["objective"] == "lat"
+        assert args["kind"] == "latency"
+
+    def test_recover_emits_instant(self):
+        recorder = TraceRecorder()
+        monitor = self._tripping_monitor(recorder=recorder)
+        monitor.evaluate(0.01)
+        # Let the window roll past all the bad traffic.
+        monitor.evaluate(10.0)
+        names = [i.name for i in recorder.instants]
+        assert names == ["slo.breach", "slo.recover"]
+        # Recovery does not reset the sticky CI verdict.
+        assert monitor.verdict()["ok"] is False
+        assert monitor.verdict()["breached"] == ["lat"]
+
+    def test_breach_triggers_flight_dump(self):
+        flight = FlightRecorder(capacity=8)
+        monitor = self._tripping_monitor(flight=flight)
+        monitor.evaluate(0.01)
+        assert flight.breaches_seen == 1
+        assert len(flight.breach_dumps) == 1
+        assert flight.breach_dumps[0]["breach"]["objective"] == "lat"
+
+    def test_verdict_shape(self):
+        monitor = self._tripping_monitor()
+        verdict = monitor.evaluate(0.01)
+        assert set(verdict) == {"ok", "breached", "evaluated_at",
+                                "objectives"}
+        entry = verdict["objectives"]["lat"]
+        assert entry["breached_now"] is True
+        assert entry["breaches"] == 1
+        assert entry["last_breach_ts"] == pytest.approx(0.01)
+        assert entry["budget"] == pytest.approx(0.01)

@@ -130,3 +130,35 @@ class TestLiveReplay:
         rendered = render_report(report)
         assert rendered.startswith("{")
         assert "starved_tenants" in rendered
+
+
+class TestObservabilityInReport:
+    def test_percentile_is_the_runtime_implementation(self):
+        # Satellite contract: one exact percentile implementation,
+        # re-exported here for report consumers.
+        from repro.runtime.metrics import percentile as canonical
+        from repro.serve.loadgen import percentile as exported
+        assert exported is canonical
+
+    def test_report_carries_slo_verdict(self):
+        from repro.obs.slo import BurnWindow, SloObjective, SloSpec
+        spec = SloSpec(objectives=(
+            SloObjective(name="lat-tight", kind="latency",
+                         threshold=1e-9, quantile=0.5,
+                         windows=(BurnWindow(2.0),)),))
+        thread, port = _serve_in_thread(BlasService(
+            ServeConfig(slo=spec)))
+        config = LoadgenConfig(count=40, seed=2, shutdown=True)
+        report = run_loadgen(config, port=port)
+        thread.join(10)
+        assert report["slo"]["ok"] is False
+        assert report["slo"]["breached"] == ["lat-tight"]
+
+    def test_report_slo_is_null_without_spec(self):
+        thread, port = _serve_in_thread(BlasService())
+        config = LoadgenConfig(count=20, seed=3, shutdown=True)
+        report = run_loadgen(config, port=port)
+        thread.join(10)
+        assert report["slo"] is None
+        assert "registry" in report["server_metrics"]
+        assert "flight" in report["server_metrics"]
