@@ -22,6 +22,8 @@ DRC005   MM accumulation hazard: m²/k > α standalone (Section 5.1)
 DRC006   bandwidth vs platform words/cycle (Sections 4.4, 5.1, 5.2)
 DRC007   area/clock vs Table 2 unit costs and the device (Section 6)
 DRC008   gang width/co-location preconditions (Sections 5.2, 6.4)
+DRC009   fast-forward eligible: ``--sim-mode fast`` would skip a
+         large cycle-stepped simulation (INFO; docs/simulation.md)
 =======  ==========================================================
 
 The gang co-location rule reuses the runtime scheduler's own width
@@ -542,6 +544,42 @@ def _check_gang(ctx: _Context) -> Iterator[Diagnostic]:
             hint=f"request l ≤ {ctx.padded // m} for n = {design.n}, "
                  f"m = {m}",
             l=design.blades, block_columns=ctx.padded // m)
+
+
+#: Stepped-event count above which DRC009 points at the fast path.
+#: Below it, cycle stepping is cheap enough that the note is noise.
+FAST_FORWARD_EVENT_THRESHOLD = 100_000
+
+
+@_rule("DRC009", "fast-forward eligibility",
+       "docs/simulation.md; Section 4 cycle models")
+def _check_fast_forward(ctx: _Context) -> Iterator[Diagnostic]:
+    """Every design here has a proven-equivalent fast path
+    (``--sim-mode fast``); note it when cycle stepping would walk a
+    large number of simulated events.  The single-blade MM is excluded:
+    its cycle model is already analytic, so fast mode buys nothing."""
+    design = ctx.design
+    if design.operation == "dot":
+        events = -(-design.n // design.k)
+    elif design.operation == "gemv":
+        events = design.n * -(-design.n // design.k)
+    elif design.operation == "spmxv":
+        # Worst case one chunk per row; actual nnz is data-dependent.
+        events = design.n
+    elif design.blades > 1:
+        assert ctx.block_m is not None and ctx.padded is not None
+        events = (ctx.padded // ctx.block_m) ** 3
+    else:
+        return
+    if events < FAST_FORWARD_EVENT_THRESHOLD:
+        return
+    yield ctx.diag(
+        "DRC009", Severity.INFO,
+        f"~{events} cycle-stepped events; the design is "
+        f"fast-forward eligible — ``--sim-mode fast`` replays it "
+        f"byte-identically without stepping",
+        hint="see docs/simulation.md for the equivalence guarantees",
+        estimated_events=events)
 
 
 # ----------------------------------------------------------------------

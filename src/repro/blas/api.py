@@ -40,6 +40,7 @@ from repro.blas.level3 import MatrixMultiplyDesign
 from repro.blas.multi_fpga import MultiFpgaMatrixMultiply
 from repro.device.area import AreaModel, DesignArea
 from repro.reduction.single_adder import SingleAdderReduction
+from repro.sim import fast as fastsim
 
 #: Saturated reduction-circuit flush tail at the paper's adder depth
 #: (α = 14): the flush cost of any final set of α + 3 or more values.
@@ -225,6 +226,13 @@ class BlasCall:
 
     ``blades > 1`` plans/executes a gemm on the ``l``-FPGA linear
     array of Section 5.2 instead of the single-blade PE array.
+
+    ``sim_mode`` selects the execution substrate: ``"cycle"``
+    (default) steps the cycle-accurate designs; ``"fast"`` / ``"auto"``
+    use the proven-equivalent fast paths of :mod:`repro.sim.fast`
+    (byte-identical results, identical cycle counts) and fall back to
+    cycle stepping for anything without a proven fast path.  Planning
+    is unaffected — plans never execute either way.
     """
 
     operation: str
@@ -238,12 +246,17 @@ class BlasCall:
     clock_mhz: Optional[float] = None
     on_xd1: bool = False
     strict: bool = False
+    sim_mode: str = "cycle"
 
     def __post_init__(self) -> None:
         if self.operation not in DEFAULT_K:
             raise ValueError(
                 f"unknown operation {self.operation!r}; "
                 f"expected one of {tuple(DEFAULT_K)}")
+        if self.sim_mode not in fastsim.SIM_MODES:
+            raise ValueError(
+                f"unknown sim mode {self.sim_mode!r}; expected one of "
+                f"{fastsim.SIM_MODES}")
         if self.k is None:
             self.k = DEFAULT_K[self.operation]
         if self.blades < 1:
@@ -432,10 +445,13 @@ class BlasCall:
                 f"cannot execute a shape-only {self.operation} call")
         op = self.operation
         dims = self._dims()
+        use_fast = fastsim.resolve_sim_mode(self.sim_mode) == "fast"
         if op == "dot":
             u, v = self.operands
             design = DotProductDesign(k=self.k)
-            run = design.run(u, v)
+            run = fastsim.fast_dot(design, u, v) if use_fast else None
+            if run is None:
+                run = design.run(u, v)
             area = self._area()
             clock = self._clock(area)
             report = PerfReport(
@@ -451,8 +467,11 @@ class BlasCall:
         if op == "gemv":
             A, x = self.operands
             design = self._mvm_design()
-            run = (design.run_blocked(A, x, self.block) if self.block
-                   else design.run(A, x))
+            run = (fastsim.fast_mvm(design, A, x, block=self.block)
+                   if use_fast else None)
+            if run is None:
+                run = (design.run_blocked(A, x, self.block) if self.block
+                       else design.run(A, x))
             area = self._area()
             clock = self._clock(area)
             report = PerfReport(
@@ -473,7 +492,10 @@ class BlasCall:
 
         matrix, x = self.operands
         design = SpmxvDesign(k=self.k)
-        run = design.run(matrix, x)
+        run = (fastsim.fast_spmxv(design, matrix, x) if use_fast
+               else None)
+        if run is None:
+            run = design.run(matrix, x)
         area = self._area()
         clock = self._clock(area)
         report = PerfReport(
@@ -504,10 +526,18 @@ class BlasCall:
         # Useful flops only; cycles include any padding work, so the
         # efficiency of a badly-shaped problem honestly degrades.
         useful_flops = 2 * p * q * r
+        use_fast = fastsim.resolve_sim_mode(self.sim_mode) == "fast"
         if self.blades > 1:
-            run = self._gang_design(m, padded).run(a_pad, b_pad)
+            gang = self._gang_design(m, padded)
+            run = (fastsim.fast_multi_fpga_mm(gang, a_pad, b_pad)
+                   if use_fast else None)
+            if run is None:
+                run = gang.run(a_pad, b_pad)
             bandwidth = run.dram_bandwidth_mbytes(clock) / 1e3
         else:
+            # The single-blade PE array's cycle model is already
+            # analytic (closed-form timing + block matmuls), so fast
+            # mode runs the same path — the "already exact" tier.
             design = MatrixMultiplyDesign(k=self.k, m=m)
             run = design.run(a_pad, b_pad, strict=self.strict)
             bandwidth = run.memory_bandwidth_gbytes(clock)
@@ -528,17 +558,18 @@ class BlasCall:
 # ----------------------------------------------------------------------
 def dot(u: np.ndarray, v: np.ndarray, k: int = 2,
         clock_mhz: Optional[float] = None,
-        on_xd1: bool = False) -> BlasResult:
+        on_xd1: bool = False, sim_mode: str = "cycle") -> BlasResult:
     """Dot product on the tree architecture (Table 3: k=2)."""
     return BlasCall("dot", operands=(u, v), k=k, clock_mhz=clock_mhz,
-                    on_xd1=on_xd1).execute()
+                    on_xd1=on_xd1, sim_mode=sim_mode).execute()
 
 
 def gemv(A: np.ndarray, x: np.ndarray, k: int = 4,
          architecture: str = "tree",
          clock_mhz: Optional[float] = None,
          on_xd1: bool = False,
-         block: Optional[int] = None) -> BlasResult:
+         block: Optional[int] = None,
+         sim_mode: str = "cycle") -> BlasResult:
     """Matrix-vector multiply (Table 3/4: k=4, tree architecture).
 
     ``architecture`` selects "tree" (row-major A) or "column"
@@ -547,14 +578,16 @@ def gemv(A: np.ndarray, x: np.ndarray, k: int = 4,
     """
     return BlasCall("gemv", operands=(A, x), k=k,
                     architecture=architecture, block=block,
-                    clock_mhz=clock_mhz, on_xd1=on_xd1).execute()
+                    clock_mhz=clock_mhz, on_xd1=on_xd1,
+                    sim_mode=sim_mode).execute()
 
 
 def gemm(A: np.ndarray, B: np.ndarray, k: int = 8,
          m: Optional[int] = None,
          clock_mhz: Optional[float] = None,
          on_xd1: bool = False,
-         strict: bool = False) -> BlasResult:
+         strict: bool = False,
+         sim_mode: str = "cycle") -> BlasResult:
     """Dense matrix multiply on the linear PE array (Table 4: k=m=8).
 
     Accepts rectangular operands (the paper notes its designs apply to
@@ -566,25 +599,27 @@ def gemm(A: np.ndarray, B: np.ndarray, k: int = 8,
     """
     return BlasCall("gemm", operands=(A, B), k=k, m=m,
                     clock_mhz=clock_mhz, on_xd1=on_xd1,
-                    strict=strict).execute()
+                    strict=strict, sim_mode=sim_mode).execute()
 
 
 def gemm_multi(A: np.ndarray, B: np.ndarray, l: int, k: int = 8,
                m: Optional[int] = None,
                clock_mhz: Optional[float] = None,
-               on_xd1: bool = False) -> BlasResult:
+               on_xd1: bool = False,
+               sim_mode: str = "cycle") -> BlasResult:
     """Dense matrix multiply on the ``l``-FPGA linear array
     (Section 5.2): the same padded geometry as :func:`gemm`, executed
     as one b×b pass striped over ``l`` blades at effective latency
     n³/(k·l).  The report's efficiency is measured against the array's
     2·k·l flops/cycle peak."""
     return BlasCall("gemm", operands=(A, B), k=k, m=m, blades=l,
-                    clock_mhz=clock_mhz, on_xd1=on_xd1).execute()
+                    clock_mhz=clock_mhz, on_xd1=on_xd1,
+                    sim_mode=sim_mode).execute()
 
 
 def spmxv(matrix, x: np.ndarray, k: int = 4,
           clock_mhz: Optional[float] = None,
-          on_xd1: bool = False) -> BlasResult:
+          on_xd1: bool = False, sim_mode: str = "cycle") -> BlasResult:
     """Sparse matrix-vector multiply on the tree architecture.
 
     ``matrix`` is a :class:`repro.sparse.csr.CsrMatrix`; the design is
@@ -592,7 +627,8 @@ def spmxv(matrix, x: np.ndarray, k: int = 4,
     circuit), whose area matches the Level-2 tree design.
     """
     return BlasCall("spmxv", operands=(matrix, x), k=k,
-                    clock_mhz=clock_mhz, on_xd1=on_xd1).execute()
+                    clock_mhz=clock_mhz, on_xd1=on_xd1,
+                    sim_mode=sim_mode).execute()
 
 
 # ----------------------------------------------------------------------

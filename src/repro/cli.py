@@ -95,7 +95,7 @@ def _cmd_dot(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     u = rng.standard_normal(args.n)
     v = rng.standard_normal(args.n)
-    result, report = dot(u, v, k=args.k)
+    result, report = dot(u, v, k=args.k, sim_mode=args.sim_mode)
     error = abs(result - float(np.dot(u, v)))
     print(report.summary())
     print(f"|simulated - numpy| = {error:.3e}")
@@ -108,7 +108,8 @@ def _cmd_gemv(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     A = rng.standard_normal((args.n, args.n))
     x = rng.standard_normal(args.n)
-    y, report = gemv(A, x, k=args.k, architecture=args.architecture)
+    y, report = gemv(A, x, k=args.k, architecture=args.architecture,
+                     sim_mode=args.sim_mode)
     error = float(np.max(np.abs(y - A @ x)))
     print(report.summary())
     print(f"max |simulated - numpy| = {error:.3e}")
@@ -121,7 +122,7 @@ def _cmd_gemm(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     A = rng.standard_normal((args.n, args.n))
     B = rng.standard_normal((args.n, args.n))
-    C, report = gemm(A, B, k=args.k, m=args.m)
+    C, report = gemm(A, B, k=args.k, m=args.m, sim_mode=args.sim_mode)
     error = float(np.max(np.abs(C - A @ B)))
     print(report.summary())
     print(f"max |simulated - numpy| = {error:.3e}")
@@ -260,6 +261,7 @@ def _submitted_runtime(args: argparse.Namespace, recorder=None,
                         else None),
         degrade=not getattr(args, "no_degrade", False),
         max_gang=getattr(args, "max_gang", 1),
+        sim_mode=getattr(args, "sim_mode", "cycle"),
     )
     for at, request in stream:
         runtime.submit(request, at=at)
@@ -507,6 +509,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         flight_head_probability=args.flight_sample,
         flight_tail_latency=args.flight_tail_latency,
         flight_seed=args.flight_seed,
+        sim_mode=args.sim_mode,
     )
     default_quota = TenantQuota(rate=args.quota_rate,
                                 burst=args.quota_burst,
@@ -773,6 +776,13 @@ def _add_workload_options(parser: argparse.ArgumentParser,
                         help="widest multi-FPGA gang a gemm may plan "
                              "(blades per job; 1 disables gangs)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--sim-mode",
+                        choices=("cycle", "fast", "auto"),
+                        default="cycle",
+                        help="cycle = step every kernel cycle-accurately; "
+                             "fast = analytic fast-forward / vectorized "
+                             "replay (proven byte-identical; see "
+                             "docs/simulation.md)")
     if faults_spec:
         parser.add_argument("--faults-spec", metavar="PATH",
                             default=None,
@@ -804,10 +814,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("info", help="device/memory/unit catalog")
 
+    def _sim_mode_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--sim-mode",
+                       choices=("cycle", "fast", "auto"),
+                       default="cycle",
+                       help="cycle-accurate stepping or the proven "
+                            "fast path (docs/simulation.md)")
+
     p_dot = sub.add_parser("dot", help="simulate a dot product")
     p_dot.add_argument("-n", type=int, default=2048)
     p_dot.add_argument("-k", type=int, default=2)
     p_dot.add_argument("--seed", type=int, default=0)
+    _sim_mode_flag(p_dot)
 
     p_gemv = sub.add_parser("gemv", help="simulate matrix-vector multiply")
     p_gemv.add_argument("-n", type=int, default=512)
@@ -815,12 +833,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_gemv.add_argument("--architecture", choices=("tree", "column"),
                         default="tree")
     p_gemv.add_argument("--seed", type=int, default=0)
+    _sim_mode_flag(p_gemv)
 
     p_gemm = sub.add_parser("gemm", help="simulate matrix multiply")
     p_gemm.add_argument("-n", type=int, default=128)
     p_gemm.add_argument("-k", type=int, default=8)
     p_gemm.add_argument("-m", type=int, default=None)
     p_gemm.add_argument("--seed", type=int, default=0)
+    _sim_mode_flag(p_gemm)
 
     p_red = sub.add_parser("reduce", help="reduction circuit shoot-out")
     p_red.add_argument("--alpha", type=int, default=14)
@@ -1014,6 +1034,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "slow (virtual s)")
     p_srv.add_argument("--flight-seed", type=int, default=0,
                        help="head-sampling hash seed")
+    p_srv.add_argument("--sim-mode",
+                       choices=("cycle", "fast", "auto"),
+                       default="auto",
+                       help="kernel simulation mode for the epoch "
+                            "runtimes (serve defaults to auto: replay "
+                            "determinism holds in every mode)")
 
     p_lg = sub.add_parser(
         "loadgen", help="replay a seeded multi-tenant request stream "

@@ -99,12 +99,19 @@ class SingleAdderReduction:
     """
 
     def __init__(self, alpha: int = 14, exact: bool = False,
-                 drain_policy: str = "most-work") -> None:
+                 drain_policy: str = "most-work",
+                 op: Optional[Callable[[float, float], float]] = None) -> None:
         """``drain_policy`` selects which closed set the drain side
         serves when several have pairable values: ``"most-work"``
         (default; minimizes the flush makespan and is what the
         latency-bound analysis assumes) or ``"fifo"`` (emit-in-order
-        bias; ablated in ``benchmarks/test_ablation_reduction.py``)."""
+        bias; ablated in ``benchmarks/test_ablation_reduction.py``).
+
+        ``op`` overrides the adder combine function.  The controller's
+        decisions are value-independent, so an instrumented ``op``
+        observes the exact association schedule — this is how
+        :mod:`repro.sim.fast` records a reduction program once and
+        replays it vectorized."""
         if alpha < 2:
             raise ValueError("adder pipeline depth must be >= 2")
         if drain_policy not in ("most-work", "fifo"):
@@ -113,9 +120,10 @@ class SingleAdderReduction:
         self.alpha = alpha
         self.num_adders = 1
         self.buffer_words = 2 * alpha * alpha
-        self._op: Callable[[float, float], float] = (
-            float_add if exact else (lambda a, b: a + b)
-        )
+        if op is not None:
+            self._op: Callable[[float, float], float] = op
+        else:
+            self._op = float_add if exact else (lambda a, b: a + b)
         # α-slot adder pipeline; entries are op descriptors or None.
         self._adder: Deque[Optional[tuple]] = deque([None] * alpha, maxlen=alpha)
         self._bank_free = [alpha * alpha, alpha * alpha]

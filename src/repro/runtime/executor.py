@@ -104,6 +104,7 @@ from repro.runtime.scheduler import (
     SchedulingPolicy,
     make_policy,
 )
+from repro.sim import fast as fastsim
 from repro.sim.engine import SimulationError
 
 #: Full configuration bitstream of the XC2VP50 (~19 Mbit).  Loading it
@@ -199,7 +200,8 @@ class BlasRuntime:
                  degrade: bool = True,
                  max_gang: int = 1,
                  clock: Optional[VirtualClock] = None,
-                 bounded_metrics: bool = False) -> None:
+                 bounded_metrics: bool = False,
+                 sim_mode: str = "cycle") -> None:
         if system is None:
             system = make_xd1_system(chassis, blades=blades)
         self.system = system
@@ -238,6 +240,13 @@ class BlasRuntime:
         #: histograms instead of full wait/latency lists — what the
         #: serve layer runs epochs with on a soak.
         self.bounded_metrics = bounded_metrics
+        #: Execution substrate for every BLAS call this runtime makes
+        #: (see :mod:`repro.sim.fast`): "cycle" steps the designs,
+        #: "fast"/"auto" use the proven-equivalent fast paths.  Charged
+        #: cycles, results and metrics are identical either way — the
+        #: differential harness enforces it — so only wall time changes.
+        fastsim.resolve_sim_mode(sim_mode)  # validate early
+        self.sim_mode = sim_mode
         self.fault_plan = fault_plan
         #: The fault hook; None on a fault-free run so every fault path
         #: stays dormant and behavior matches the pre-fault executor.
@@ -316,7 +325,7 @@ class BlasRuntime:
         return api.BlasCall(request.operation, operands=request.operands,
                             k=request.k, m=request.m, blades=blades,
                             architecture=request.architecture,
-                            on_xd1=self.on_xd1)
+                            on_xd1=self.on_xd1, sim_mode=self.sim_mode)
 
     def _gang_width_for(self, request: BlasRequest,
                         cap: Optional[int] = None) -> int:

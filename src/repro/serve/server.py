@@ -55,6 +55,7 @@ from repro.serve.coalescer import CoalesceStats, coalesce
 from repro.serve.tenant import (AdmissionController, TenantQuota,
                                 weighted_deficit_order)
 from repro.sim.engine import SimulationError
+from repro.sim.fast import resolve_sim_mode
 from repro.workloads import poisson_2d
 
 #: Stream buffer limit for the TCP layer: a drain response carries one
@@ -95,6 +96,12 @@ class ServeConfig:
     flight_head_probability: float = 0.01
     flight_tail_latency: Optional[float] = None
     flight_seed: int = 0
+    #: Execution substrate for every epoch runtime (``--sim-mode``).
+    #: Serve defaults to ``auto`` — throughput is this layer's whole
+    #: point and the fast paths are proven byte-identical, so replay
+    #: determinism ("same seed in, byte-identical results out") holds
+    #: in every mode.
+    sim_mode: str = "auto"
 
     def __post_init__(self) -> None:
         if self.coalesce_window < 0.0:
@@ -102,6 +109,7 @@ class ServeConfig:
         if self.clock_mode not in ("virtual", "hybrid"):
             raise ValueError(
                 "clock_mode must be 'virtual' or 'hybrid'")
+        resolve_sim_mode(self.sim_mode)  # validate
 
 
 @dataclass
@@ -351,6 +359,7 @@ class BlasService:
             max_gang=self.config.max_gang,
             fault_plan=self.config.fault_plan,
             bounded_metrics=self.config.bounded_metrics,
+            sim_mode=self.config.sim_mode,
             clock=make_clock(self.config.clock_mode,
                              self.config.time_scale))
         costs = []

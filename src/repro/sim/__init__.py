@@ -10,6 +10,12 @@ for waveform-style observability and occupancy statistics.
 The kernel plays the role ModelSim played for the paper's VHDL designs:
 all architectural claims (hazard freedom, buffer bounds, latency
 formulas) are *executed* on this substrate rather than merely computed.
+
+:mod:`repro.sim.fast` adds the calibrated fast mode (``--sim-mode
+fast``): analytic fast-forward and vectorized recorded schedules that
+are proven byte-identical to this substrate by the differential
+harness.  It is imported on demand (``from repro.sim import fast``)
+rather than here, because it layers on top of the BLAS designs.
 """
 
 from repro.sim.engine import Component, Simulator, SimulationError

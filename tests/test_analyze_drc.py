@@ -33,8 +33,8 @@ def check(platform="xd1", **fields):
 
 
 class TestRuleCatalog:
-    def test_all_eight_rules_registered(self):
-        assert sorted(DRC_RULES) == [f"DRC00{i}" for i in range(1, 9)]
+    def test_all_nine_rules_registered(self):
+        assert sorted(DRC_RULES) == [f"DRC00{i}" for i in range(1, 10)]
 
     def test_every_rule_has_a_citation(self):
         for rule in DRC_RULES.values():
@@ -221,6 +221,40 @@ class TestDrc008Gang:
         report = check(operation="gemm", n=128, k=8, m=32, blades=6)
         [diag] = [d for d in report if d.rule == "DRC008"]
         assert diag.data["block_columns"] == 4
+
+
+class TestDrc009FastForward:
+    """Large cycle-stepped designs get an INFO pointer at the proven
+    fast path; small ones and the already-analytic single-blade MM
+    stay silent."""
+
+    def test_small_dot_is_silent(self):
+        report = check(operation="dot", n=2048, k=2)
+        assert "DRC009" not in rules_fired(report)
+
+    def test_large_dot_fires_info(self):
+        report = check(operation="dot", n=400_000, k=2)
+        [diag] = [d for d in report if d.rule == "DRC009"]
+        assert diag.severity is Severity.INFO
+        assert diag.data["estimated_events"] == 200_000
+        assert "--sim-mode fast" in diag.message
+        assert report.ok  # INFO never fails the check
+
+    def test_large_gemv_fires_info(self):
+        report = check(operation="gemv", n=1024, k=4)
+        [diag] = [d for d in report if d.rule == "DRC009"]
+        assert diag.data["estimated_events"] == 1024 * 256
+
+    def test_single_blade_gemm_never_fires(self):
+        # The PE-array cycle model is already analytic: fast mode
+        # adds nothing, so the note would be noise.
+        report = check(operation="gemm", n=4096, k=8, m=64)
+        assert "DRC009" not in rules_fired(report)
+
+    def test_gang_gemm_fires_on_block_count(self):
+        report = check(operation="gemm", n=1024, k=8, m=8, blades=6)
+        [diag] = [d for d in report if d.rule == "DRC009"]
+        assert diag.data["estimated_events"] == (1024 // 8) ** 3
 
 
 class TestEntryPoints:

@@ -4,6 +4,12 @@ For arbitrary streams of arbitrary-size sets, the single-adder circuit
 must (1) compute correct sums, (2) never stall the producer, (3) keep
 buffer occupancy within 2α², (4) finish within Σsᵢ + 2α² cycles, and
 (5) issue exactly Σ(sᵢ − 1) additions.
+
+The vectorized replay (:class:`repro.sim.fast.FastReduction`) claims
+*byte-identical* behavior — same value bits, same set ids, same
+emission cycles, same flush-tail length — on every workload the cycle
+circuit accepts; the equivalence properties at the bottom are that
+proof.
 """
 
 import math
@@ -14,6 +20,7 @@ from hypothesis import strategies as st
 
 from repro.reduction.analysis import latency_bound, run_reduction
 from repro.reduction.single_adder import SingleAdderReduction
+from repro.sim.fast import FastReduction, back_to_back_pattern
 
 alphas = st.sampled_from([2, 3, 4, 5, 8, 14])
 
@@ -165,3 +172,98 @@ def test_input_gaps_do_not_break_correctness(workload, gaps):
         want = math.fsum(values)
         tol = 1e-9 * max(1.0, sum(abs(v) for v in values))
         assert abs(value - want) <= tol
+
+
+# ----------------------------------------------------------------------
+# vectorized replay equivalence (repro.sim.fast.FastReduction)
+# ----------------------------------------------------------------------
+def _assert_byte_identical(cycle_circuit, fast_circuit,
+                           cycle_flush, fast_flush):
+    """Results and flush tails of the two circuits are bitwise equal."""
+    assert cycle_flush == fast_flush
+    assert len(cycle_circuit.results) == len(fast_circuit.results)
+    for want, got in zip(cycle_circuit.results, fast_circuit.results):
+        assert got.set_id == want.set_id
+        assert got.cycle == want.cycle
+        assert (np.float64(got.value).tobytes()
+                == np.float64(want.value).tobytes()), (
+            want.set_id, want.value, got.value)
+
+
+@settings(max_examples=100, deadline=None)
+@given(workloads())
+def test_fast_reduction_byte_identical_back_to_back(workload):
+    """Back-to-back delivery (the dense kernels' pattern): the
+    vectorized replay is indistinguishable from the cycle circuit."""
+    alpha, sets = workload
+    cycle_circuit = SingleAdderReduction(alpha=alpha)
+    fast_circuit = FastReduction(alpha=alpha)
+    for set_id, values in enumerate(sets):
+        for index, value in enumerate(values):
+            last = index == len(values) - 1
+            assert cycle_circuit.cycle(value, last)
+            assert fast_circuit.cycle(value, last)
+    _assert_byte_identical(cycle_circuit, fast_circuit,
+                           cycle_circuit.flush(), fast_circuit.flush())
+
+
+@settings(max_examples=60, deadline=None)
+@given(workloads(), st.integers(0, 2**32 - 1))
+def test_fast_reduction_byte_identical_random_interleaving(
+        workload, shuffle_seed):
+    """Random set order + random producer bubbles: still bitwise
+    equal, including every emission cycle number."""
+    import random
+
+    alpha, sets = workload
+    rnd = random.Random(shuffle_seed)
+    order = list(range(len(sets)))
+    rnd.shuffle(order)
+    cycle_circuit = SingleAdderReduction(alpha=alpha)
+    fast_circuit = FastReduction(alpha=alpha)
+    for set_id in order:
+        values = sets[set_id]
+        for index, value in enumerate(values):
+            while rnd.random() < 0.25:
+                cycle_circuit.cycle()
+                fast_circuit.cycle()
+            last = index == len(values) - 1
+            assert cycle_circuit.cycle(value, last)
+            assert fast_circuit.cycle(value, last)
+    _assert_byte_identical(cycle_circuit, fast_circuit,
+                           cycle_circuit.flush(), fast_circuit.flush())
+
+
+@settings(max_examples=60, deadline=None)
+@given(workloads())
+def test_fast_reduction_matches_numpy_reference(workload):
+    """Independent of the cycle circuit, the vectorized sums agree
+    with NumPy over every set."""
+    alpha, sets = workload
+    fast_circuit = FastReduction(alpha=alpha)
+    for values in sets:
+        for index, value in enumerate(values):
+            fast_circuit.cycle(value, index == len(values) - 1)
+    fast_circuit.flush()
+    got = [r.value for r in sorted(fast_circuit.results,
+                                   key=lambda r: r.set_id)]
+    assert len(got) == len(sets)
+    for value, values in zip(got, sets):
+        arr = np.asarray(values, dtype=np.float64)
+        want = float(np.sum(arr))
+        tol = 1e-9 * max(1.0, float(np.sum(np.abs(arr))))
+        assert abs(value - want) <= tol
+
+
+@settings(max_examples=40, deadline=None)
+@given(workloads())
+def test_back_to_back_pattern_is_the_dense_arrival(workload):
+    """``back_to_back_pattern(sizes)`` encodes exactly what driving
+    the circuit value-per-cycle produces."""
+    _, sets = workload
+    sizes = [len(s) for s in sets]
+    fast_circuit = FastReduction()
+    for values in sets:
+        for index, value in enumerate(values):
+            fast_circuit.cycle(value, index == len(values) - 1)
+    assert bytes(fast_circuit._pattern) == back_to_back_pattern(sizes)
