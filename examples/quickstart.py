@@ -26,8 +26,9 @@ def main() -> None:
     # ------------------------------------------------------------------
     n = 2048
     u, v = rng.standard_normal(n), rng.standard_normal(n)
-    result, report = dot(u, v, k=2)
-    assert np.isclose(result, np.dot(u, v))
+    outcome = dot(u, v, k=2)
+    assert np.isclose(outcome.value, np.dot(u, v))
+    report = outcome.report
     print("\n[Level 1] dot product")
     print(" ", report.summary())
 
@@ -38,14 +39,16 @@ def main() -> None:
     n = 512
     A = rng.standard_normal((n, n))
     x = rng.standard_normal(n)
-    y, report = gemv(A, x, k=4)
-    assert np.allclose(y, A @ x)
+    outcome = gemv(A, x, k=4)
+    assert np.allclose(outcome.value, A @ x)
+    report = outcome.report
     print("\n[Level 2] matrix-vector multiply (row-major tree)")
     print(" ", report.summary())
 
     # The alternative column-major architecture (k accumulator lanes).
-    y2, report2 = gemv(A, x, k=4, architecture="column")
-    assert np.allclose(y2, A @ x)
+    outcome2 = gemv(A, x, k=4, architecture="column")
+    assert np.allclose(outcome2.value, A @ x)
+    report2 = outcome2.report
     print("\n[Level 2] matrix-vector multiply (column-major lanes)")
     print(" ", report2.summary())
 
@@ -56,8 +59,9 @@ def main() -> None:
     n = 128
     A = rng.standard_normal((n, n))
     B = rng.standard_normal((n, n))
-    C, report = gemm(A, B, k=8, m=16)
-    assert np.allclose(C, A @ B)
+    outcome = gemm(A, B, k=8, m=16)
+    assert np.allclose(outcome.value, A @ B)
+    report = outcome.report
     print("\n[Level 3] dense matrix multiply (linear PE array)")
     print(" ", report.summary())
 

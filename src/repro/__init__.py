@@ -25,9 +25,9 @@ Quick start::
 
     rng = np.random.default_rng(0)
     A, B = rng.standard_normal((64, 64)), rng.standard_normal((64, 64))
-    C, report = gemm(A, B, k=8, m=16)
-    assert np.allclose(C, A @ B)
-    print(report.summary())
+    outcome = gemm(A, B, k=8, m=16)
+    assert np.allclose(outcome.value, A @ B)
+    print(outcome.report.summary())
 """
 
 __version__ = "1.0.0"

@@ -24,6 +24,8 @@ DRC007   area/clock vs Table 2 unit costs and the device (Section 6)
 DRC008   gang width/co-location preconditions (Sections 5.2, 6.4)
 DRC009   fast-forward eligible: ``--sim-mode fast`` would skip a
          large cycle-stepped simulation (INFO; docs/simulation.md)
+DRC010   inter-chassis bandwidth: a chassis-spanning gang's 3kl/b
+         words/cycle must fit the RapidArray links (Section 6.4)
 =======  ==========================================================
 
 The gang co-location rule reuses the runtime scheduler's own width
@@ -513,25 +515,39 @@ def _check_area(ctx: _Context) -> Iterator[Diagnostic]:
 @_rule("DRC008", "gang width and co-location",
        "Sections 5.2, 6.4.1")
 def _check_gang(ctx: _Context) -> Iterator[Diagnostic]:
-    """An l-blade gang must seat co-located on one chassis (the array
-    streams over intra-chassis links) and must not out-number the B
-    m-block-columns it stripes over."""
-    from repro.runtime.scheduler import feasible_gang_width
+    """An l-blade gang seats co-located on one chassis when it fits;
+    a wider gang spans chassis over RapidArray (Section 6.4) and is
+    noted, not rejected — only a gang the whole machine cannot seat,
+    or one out-numbering the B m-block-columns it stripes over, is an
+    error."""
+    from repro.device.interconnect import chassis_span
 
     design, platform = ctx.design, ctx.platform
     if design.blades <= 1 or design.operation != "gemm":
         return
-    seatable = feasible_gang_width(
-        design.blades, [platform.blades_per_chassis])
-    if seatable < design.blades:
+    if design.blades > platform.total_blades:
         yield ctx.diag(
             "DRC008", Severity.ERROR,
-            f"an l = {design.blades} gang cannot co-locate on one "
-            f"{platform.name} chassis of "
-            f"{platform.blades_per_chassis} blades; the scheduler "
-            f"would fall back to l = {seatable}",
-            hint=f"request l ≤ {platform.blades_per_chassis}",
+            f"an l = {design.blades} gang exceeds the "
+            f"{platform.total_blades} blades of the whole "
+            f"{platform.name} machine ({platform.chassis_count} "
+            f"chassis × {platform.blades_per_chassis} blades)",
+            hint=f"request l ≤ {platform.total_blades}",
             l=design.blades,
+            blades_per_chassis=platform.blades_per_chassis,
+            total_blades=platform.total_blades)
+    elif design.blades > platform.blades_per_chassis:
+        span = chassis_span(design.blades, platform.blades_per_chassis)
+        yield ctx.diag(
+            "DRC008", Severity.WARNING,
+            f"an l = {design.blades} gang spans {span} "
+            f"{platform.name} chassis of "
+            f"{platform.blades_per_chassis} blades each; block "
+            f"wavefronts cross {span - 1} RapidArray boundaries "
+            f"(DRC010 checks the inter-chassis bandwidth)",
+            hint=f"request l ≤ {platform.blades_per_chassis} to stay "
+                 "on one chassis",
+            l=design.blades, chassis=span,
             blades_per_chassis=platform.blades_per_chassis)
     m = design.m if design.m is not None else ctx.block_m
     assert m is not None and ctx.padded is not None
@@ -580,6 +596,38 @@ def _check_fast_forward(ctx: _Context) -> Iterator[Diagnostic]:
         f"byte-identically without stepping",
         hint="see docs/simulation.md for the equivalence guarantees",
         estimated_events=events)
+
+
+@_rule("DRC010", "inter-chassis bandwidth",
+       "Section 6.4")
+def _check_inter_chassis(ctx: _Context) -> Iterator[Diagnostic]:
+    """A gang spanning chassis streams its block wavefronts over the
+    RapidArray fabric; the paper observes the inter-chassis demand
+    equals the DRAM demand — 3kl/b words/cycle — and that must fit
+    what one RapidArray link sustains."""
+    from repro.device.interconnect import (
+        INTER_CHASSIS_WORDS_PER_CYCLE,
+        chassis_span,
+    )
+
+    design, platform = ctx.design, ctx.platform
+    if design.operation != "gemm" or design.blades <= 1:
+        return
+    if chassis_span(design.blades, platform.blades_per_chassis) <= 1:
+        return
+    assert ctx.padded is not None
+    b = ctx.padded
+    required = 3.0 * design.k * design.blades / b
+    available = INTER_CHASSIS_WORDS_PER_CYCLE
+    if required > available:
+        yield ctx.diag(
+            "DRC010", Severity.ERROR,
+            f"inter-chassis demand 3kl/b = {required:.3f} words/cycle "
+            f"exceeds the {available:.1f} one RapidArray link "
+            f"sustains (l = {design.blades}, b = {b})",
+            hint="grow the SRAM block b or narrow the gang to one "
+                 "chassis",
+            required=round(required, 6), available=available)
 
 
 # ----------------------------------------------------------------------

@@ -34,6 +34,9 @@ class PlatformModel:
     #: Blades whose FPGAs share one intra-chassis linear array — the
     #: widest co-located gang the platform can ever seat (Section 5.2).
     blades_per_chassis: int
+    #: Chassis in the full machine; a gang wider than one chassis
+    #: spans RapidArray inter-chassis links (Section 6.4).
+    chassis_count: int
     #: SRAM *read* bandwidth one design can stream from (Section 4.4
     #: uses 6.4 GB/s on the XD1, not Table 1's aggregate QDR figure).
     sram_read_bytes_per_s: float
@@ -45,6 +48,11 @@ class PlatformModel:
     #: user logic at 100 MHz; the XD1 imposes none below the design's
     #: own timing closure).
     max_clock_mhz: Optional[float] = None
+
+    @property
+    def total_blades(self) -> int:
+        """Blades across the whole machine (every chassis)."""
+        return self.chassis_count * self.blades_per_chassis
 
     @property
     def usable_slices(self) -> int:
@@ -78,6 +86,7 @@ XD1_PLATFORM = PlatformModel(
     device=XC2VP50,
     memory=CRAY_XD1_MEMORY,
     blades_per_chassis=6,
+    chassis_count=12,
     sram_read_bytes_per_s=XD1_SRAM_READ_BANDWIDTH,
     dram_bytes_per_s=1.3e9,
     on_xd1=True,
@@ -91,6 +100,7 @@ SRC_PLATFORM = PlatformModel(
     device=XC2VP100,
     memory=SRC_MAPSTATION_MEMORY,
     blades_per_chassis=2,
+    chassis_count=1,
     sram_read_bytes_per_s=SRC_MAPSTATION_MEMORY.sram.bandwidth_bytes_per_s,
     dram_bytes_per_s=SRC_MAPSTATION_MEMORY.dram.bandwidth_bytes_per_s,
     on_xd1=False,

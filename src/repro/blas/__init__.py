@@ -26,6 +26,7 @@ from repro.blas.multi_fpga import MultiFpgaMatrixMultiply, MultiFpgaRun
 from repro.blas.api import (
     BlasCall,
     BlasResult,
+    CallOptions,
     ExecutionPlan,
     PerfReport,
     dot,
@@ -39,6 +40,12 @@ from repro.blas.api import (
     plan_gemv,
     plan_spmxv,
     spmxv,
+)
+from repro.blas.program import (
+    BlasProgram,
+    ProgramPlan,
+    ProgramRun,
+    Ref,
 )
 
 __all__ = [
@@ -64,6 +71,11 @@ __all__ = [
     "max_gemm_gang",
     "BlasCall",
     "BlasResult",
+    "BlasProgram",
+    "CallOptions",
     "ExecutionPlan",
     "PerfReport",
+    "ProgramPlan",
+    "ProgramRun",
+    "Ref",
 ]

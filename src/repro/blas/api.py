@@ -28,6 +28,7 @@ via :func:`gemm_multi`.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Any, Iterator, Optional, Tuple
@@ -81,6 +82,33 @@ DEFAULT_K = {"dot": 2, "gemv": 4, "gemm": 8, "spmxv": 4}
 
 
 @dataclass(frozen=True)
+class CallOptions:
+    """Cross-kernel execution options, bundled once.
+
+    Every executing wrapper (``dot``/``gemv``/``gemm``/``gemm_multi``/
+    ``spmxv``) used to thread ``clock_mhz``/``on_xd1``/``sim_mode``/…
+    through its own signature; :class:`BlasCall` consumes this bundle
+    instead, so adding the next shared option is one change here, not
+    six signature edits.  The wrappers keep their historical keyword
+    arguments and fold them into a ``CallOptions`` — or accept a
+    ready-made bundle via ``options=``.
+
+    ``fpgas_per_chassis`` declares the chassis width a gang is seated
+    on: when a gemm gang spans more blades than one chassis holds, the
+    plan and execute paths both charge the RapidArray boundary
+    crossings (:func:`repro.device.interconnect.
+    inter_chassis_transfer_cycles`).  ``None`` (the default) means
+    single-chassis seating — the historical cycle counts.
+    """
+
+    clock_mhz: Optional[float] = None
+    on_xd1: bool = False
+    sim_mode: str = "cycle"
+    strict: bool = False
+    fpgas_per_chassis: Optional[int] = None
+
+
+@dataclass(frozen=True)
 class PerfReport:
     """Performance summary of one simulated BLAS call."""
 
@@ -124,18 +152,28 @@ class PerfReport:
 class BlasResult:
     """Value + report of one BLAS call.
 
-    Replaces the historical ``(value, PerfReport)`` return tuple;
-    sequence access (``value, report = result``, ``result[0]``) keeps
-    working so existing call sites need no change.
+    Replaces the historical ``(value, PerfReport)`` return tuple.
+    Sequence access (``value, report = result``, ``result[0]``) still
+    works but is deprecated — use ``result.value`` / ``result.report``.
+    Each deprecated call site warns once (Python's warning registry
+    deduplicates per source line under the default filter).
     """
 
     value: Any
     report: PerfReport
 
     def __iter__(self) -> Iterator[Any]:
+        warnings.warn(
+            "unpacking BlasResult as a (value, report) tuple is "
+            "deprecated; use .value and .report",
+            DeprecationWarning, stacklevel=2)
         return iter((self.value, self.report))
 
     def __getitem__(self, index: int) -> Any:
+        warnings.warn(
+            "indexing BlasResult is deprecated; use .value and "
+            ".report",
+            DeprecationWarning, stacklevel=2)
         return (self.value, self.report)[index]
 
     def __len__(self) -> int:
@@ -171,6 +209,11 @@ class ExecutionPlan:
     flops: int
     area: DesignArea
     blades_required: int = 1
+    #: RapidArray boundary-crossing cycles already included in
+    #: ``predicted_cycles`` when the gang spans chassis; 0 otherwise.
+    #: Itemized so the runtime metrics can report the inter-chassis
+    #: transfer term separately.
+    inter_chassis_cycles: int = 0
 
     @property
     def predicted_seconds(self) -> float:
@@ -225,7 +268,14 @@ class BlasCall:
     operand may be ``None`` when only planning).
 
     ``blades > 1`` plans/executes a gemm on the ``l``-FPGA linear
-    array of Section 5.2 instead of the single-blade PE array.
+    array of Section 5.2 instead of the single-blade PE array.  With
+    ``fpgas_per_chassis`` set and ``blades`` exceeding it, the array
+    spans chassis and both paths charge the same RapidArray
+    boundary-crossing term, keeping plan == execute exact.
+
+    ``options`` accepts a :class:`CallOptions` bundle; it overrides
+    the corresponding individual fields and is consumed at
+    construction (the call stores the flattened fields).
 
     ``sim_mode`` selects the execution substrate: ``"cycle"``
     (default) steps the cycle-accurate designs; ``"fast"`` / ``"auto"``
@@ -247,8 +297,18 @@ class BlasCall:
     on_xd1: bool = False
     strict: bool = False
     sim_mode: str = "cycle"
+    fpgas_per_chassis: Optional[int] = None
+    options: Optional[CallOptions] = None
 
     def __post_init__(self) -> None:
+        if self.options is not None:
+            opts = self.options
+            self.clock_mhz = opts.clock_mhz
+            self.on_xd1 = opts.on_xd1
+            self.sim_mode = opts.sim_mode
+            self.strict = opts.strict
+            self.fpgas_per_chassis = opts.fpgas_per_chassis
+            self.options = None
         if self.operation not in DEFAULT_K:
             raise ValueError(
                 f"unknown operation {self.operation!r}; "
@@ -265,6 +325,9 @@ class BlasCall:
             raise ValueError(
                 "multi-FPGA gangs exist only for gemm "
                 "(Section 5.2 linear array)")
+        if (self.fpgas_per_chassis is not None
+                and self.fpgas_per_chassis < 1):
+            raise ValueError("fpgas_per_chassis must be >= 1")
         if self.operands is None and self.shape is None:
             raise ValueError(
                 f"{self.operation} needs operands or a shape")
@@ -336,6 +399,17 @@ class BlasCall:
         return MultiFpgaMatrixMultiply(l=self.blades, k=self.k, m=m,
                                        b=padded)
 
+    def _inter_chassis_cycles(self, m: int, padded: int) -> int:
+        """RapidArray boundary-crossing cycles of a chassis-spanning
+        gang — the one closed form both plan and execute charge."""
+        if self.blades <= 1 or self.fpgas_per_chassis is None:
+            return 0
+        from repro.device.interconnect import \
+            inter_chassis_transfer_cycles
+
+        return inter_chassis_transfer_cycles(
+            self.blades, self.fpgas_per_chassis, m, padded, self.k)
+
     # -- static analysis -------------------------------------------------
     def analyze(self, platform: str = "xd1"):
         """Run the design-rule checker over this call without
@@ -403,10 +477,20 @@ class BlasCall:
                 # FPGA_0 owns the most m-block-columns:
                 # ⌈bm/l⌉ of bm, over bm² (g, z) sweeps.
                 share = bm * bm * math.ceil(bm / self.blades)
+                crossing = self._inter_chassis_cycles(m, padded)
                 cycles = (share * gang.block_mac_cycles()
                           + gang.array_latency_cycles()
                           + gang.mm.startup_cycles()
-                          + gang.mm.drain_cycles() + m * m)
+                          + gang.mm.drain_cycles() + m * m
+                          + crossing)
+                area = self._area()
+                return ExecutionPlan(
+                    operation="gemm", n=max(p, q, r), k=self.k, m=m,
+                    predicted_cycles=cycles,
+                    clock_mhz=self._clock(area),
+                    flops=2 * p * q * r, area=area,
+                    blades_required=self.blades,
+                    inter_chassis_cycles=crossing)
             else:
                 design = MatrixMultiplyDesign(k=self.k, m=m)
                 nb = padded // m
@@ -527,6 +611,7 @@ class BlasCall:
         # efficiency of a badly-shaped problem honestly degrades.
         useful_flops = 2 * p * q * r
         use_fast = fastsim.resolve_sim_mode(self.sim_mode) == "fast"
+        crossing = 0
         if self.blades > 1:
             gang = self._gang_design(m, padded)
             run = (fastsim.fast_multi_fpga_mm(gang, a_pad, b_pad)
@@ -534,6 +619,7 @@ class BlasCall:
             if run is None:
                 run = gang.run(a_pad, b_pad)
             bandwidth = run.dram_bandwidth_mbytes(clock) / 1e3
+            crossing = self._inter_chassis_cycles(m, padded)
         else:
             # The single-blade PE array's cycle model is already
             # analytic (closed-form timing + block matmuls), so fast
@@ -541,13 +627,14 @@ class BlasCall:
             design = MatrixMultiplyDesign(k=self.k, m=m)
             run = design.run(a_pad, b_pad, strict=self.strict)
             bandwidth = run.memory_bandwidth_gbytes(clock)
+        total_cycles = run.total_cycles + crossing
         report = PerfReport(
             operation="gemm", n=size, k=self.k,
-            total_cycles=run.total_cycles, clock_mhz=clock,
+            total_cycles=total_cycles, clock_mhz=clock,
             flops=useful_flops, area_slices=area.slices,
             device_utilization=area.utilization,
             memory_bandwidth_gbytes=bandwidth,
-            efficiency=useful_flops / (run.total_cycles
+            efficiency=useful_flops / (total_cycles
                                        * run.peak_flops_per_cycle),
         )
         return BlasResult(run.C[:p, :r], report)
@@ -556,12 +643,27 @@ class BlasCall:
 # ----------------------------------------------------------------------
 # executing wrappers
 # ----------------------------------------------------------------------
+def _options(options: Optional[CallOptions],
+             clock_mhz: Optional[float], on_xd1: bool,
+             sim_mode: str, strict: bool = False,
+             fpgas_per_chassis: Optional[int] = None) -> CallOptions:
+    """Fold a wrapper's historical keyword arguments into one
+    :class:`CallOptions`; an explicit ``options=`` bundle wins."""
+    if options is not None:
+        return options
+    return CallOptions(clock_mhz=clock_mhz, on_xd1=on_xd1,
+                       sim_mode=sim_mode, strict=strict,
+                       fpgas_per_chassis=fpgas_per_chassis)
+
+
 def dot(u: np.ndarray, v: np.ndarray, k: int = 2,
         clock_mhz: Optional[float] = None,
-        on_xd1: bool = False, sim_mode: str = "cycle") -> BlasResult:
+        on_xd1: bool = False, sim_mode: str = "cycle",
+        options: Optional[CallOptions] = None) -> BlasResult:
     """Dot product on the tree architecture (Table 3: k=2)."""
-    return BlasCall("dot", operands=(u, v), k=k, clock_mhz=clock_mhz,
-                    on_xd1=on_xd1, sim_mode=sim_mode).execute()
+    return BlasCall("dot", operands=(u, v), k=k,
+                    options=_options(options, clock_mhz, on_xd1,
+                                     sim_mode)).execute()
 
 
 def gemv(A: np.ndarray, x: np.ndarray, k: int = 4,
@@ -569,7 +671,8 @@ def gemv(A: np.ndarray, x: np.ndarray, k: int = 4,
          clock_mhz: Optional[float] = None,
          on_xd1: bool = False,
          block: Optional[int] = None,
-         sim_mode: str = "cycle") -> BlasResult:
+         sim_mode: str = "cycle",
+         options: Optional[CallOptions] = None) -> BlasResult:
     """Matrix-vector multiply (Table 3/4: k=4, tree architecture).
 
     ``architecture`` selects "tree" (row-major A) or "column"
@@ -578,8 +681,8 @@ def gemv(A: np.ndarray, x: np.ndarray, k: int = 4,
     """
     return BlasCall("gemv", operands=(A, x), k=k,
                     architecture=architecture, block=block,
-                    clock_mhz=clock_mhz, on_xd1=on_xd1,
-                    sim_mode=sim_mode).execute()
+                    options=_options(options, clock_mhz, on_xd1,
+                                     sim_mode)).execute()
 
 
 def gemm(A: np.ndarray, B: np.ndarray, k: int = 8,
@@ -587,7 +690,8 @@ def gemm(A: np.ndarray, B: np.ndarray, k: int = 8,
          clock_mhz: Optional[float] = None,
          on_xd1: bool = False,
          strict: bool = False,
-         sim_mode: str = "cycle") -> BlasResult:
+         sim_mode: str = "cycle",
+         options: Optional[CallOptions] = None) -> BlasResult:
     """Dense matrix multiply on the linear PE array (Table 4: k=m=8).
 
     Accepts rectangular operands (the paper notes its designs apply to
@@ -598,28 +702,33 @@ def gemm(A: np.ndarray, B: np.ndarray, k: int = 8,
     paper's on-chip limit).
     """
     return BlasCall("gemm", operands=(A, B), k=k, m=m,
-                    clock_mhz=clock_mhz, on_xd1=on_xd1,
-                    strict=strict, sim_mode=sim_mode).execute()
+                    options=_options(options, clock_mhz, on_xd1,
+                                     sim_mode, strict)).execute()
 
 
 def gemm_multi(A: np.ndarray, B: np.ndarray, l: int, k: int = 8,
                m: Optional[int] = None,
                clock_mhz: Optional[float] = None,
                on_xd1: bool = False,
-               sim_mode: str = "cycle") -> BlasResult:
+               sim_mode: str = "cycle",
+               fpgas_per_chassis: Optional[int] = None,
+               options: Optional[CallOptions] = None) -> BlasResult:
     """Dense matrix multiply on the ``l``-FPGA linear array
     (Section 5.2): the same padded geometry as :func:`gemm`, executed
     as one b×b pass striped over ``l`` blades at effective latency
     n³/(k·l).  The report's efficiency is measured against the array's
-    2·k·l flops/cycle peak."""
+    2·k·l flops/cycle peak.  With ``fpgas_per_chassis`` the array may
+    span chassis; the RapidArray boundary crossings are charged."""
     return BlasCall("gemm", operands=(A, B), k=k, m=m, blades=l,
-                    clock_mhz=clock_mhz, on_xd1=on_xd1,
-                    sim_mode=sim_mode).execute()
+                    options=_options(
+                        options, clock_mhz, on_xd1, sim_mode,
+                        fpgas_per_chassis=fpgas_per_chassis)).execute()
 
 
 def spmxv(matrix, x: np.ndarray, k: int = 4,
           clock_mhz: Optional[float] = None,
-          on_xd1: bool = False, sim_mode: str = "cycle") -> BlasResult:
+          on_xd1: bool = False, sim_mode: str = "cycle",
+          options: Optional[CallOptions] = None) -> BlasResult:
     """Sparse matrix-vector multiply on the tree architecture.
 
     ``matrix`` is a :class:`repro.sparse.csr.CsrMatrix`; the design is
@@ -627,8 +736,8 @@ def spmxv(matrix, x: np.ndarray, k: int = 4,
     circuit), whose area matches the Level-2 tree design.
     """
     return BlasCall("spmxv", operands=(matrix, x), k=k,
-                    clock_mhz=clock_mhz, on_xd1=on_xd1,
-                    sim_mode=sim_mode).execute()
+                    options=_options(options, clock_mhz, on_xd1,
+                                     sim_mode)).execute()
 
 
 # ----------------------------------------------------------------------
@@ -665,14 +774,19 @@ def plan_gemm(p: int, q: int, r: int, k: int = 8,
 def plan_gemm_multi(p: int, q: int, r: int, l: int, k: int = 8,
                     m: Optional[int] = None,
                     clock_mhz: Optional[float] = None,
-                    on_xd1: bool = False) -> ExecutionPlan:
+                    on_xd1: bool = False,
+                    fpgas_per_chassis: Optional[int] = None
+                    ) -> ExecutionPlan:
     """Predict a :func:`gemm_multi` call — exact, from the Section 5.2
     closed-form model: FPGA_0's ⌈bm/l⌉·bm² m-block MACs dominate, plus
-    the k·l array traversal, startup, drain and C output.  The plan's
+    the k·l array traversal, startup, drain and C output (and, when
+    ``l`` exceeds ``fpgas_per_chassis``, the RapidArray boundary
+    crossings, itemized as ``inter_chassis_cycles``).  The plan's
     ``blades_required`` is ``l`` and its ``design_key`` names the
     per-gang bitstream."""
     return BlasCall("gemm", shape=(p, q, r), k=k, m=m, blades=l,
-                    clock_mhz=clock_mhz, on_xd1=on_xd1).plan()
+                    clock_mhz=clock_mhz, on_xd1=on_xd1,
+                    fpgas_per_chassis=fpgas_per_chassis).plan()
 
 
 def plan_spmxv(matrix, k: int = 4, clock_mhz: Optional[float] = None,

@@ -95,9 +95,9 @@ def _cmd_dot(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     u = rng.standard_normal(args.n)
     v = rng.standard_normal(args.n)
-    result, report = dot(u, v, k=args.k, sim_mode=args.sim_mode)
-    error = abs(result - float(np.dot(u, v)))
-    print(report.summary())
+    outcome = dot(u, v, k=args.k, sim_mode=args.sim_mode)
+    error = abs(outcome.value - float(np.dot(u, v)))
+    print(outcome.report.summary())
     print(f"|simulated - numpy| = {error:.3e}")
     return 0
 
@@ -108,10 +108,10 @@ def _cmd_gemv(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     A = rng.standard_normal((args.n, args.n))
     x = rng.standard_normal(args.n)
-    y, report = gemv(A, x, k=args.k, architecture=args.architecture,
-                     sim_mode=args.sim_mode)
-    error = float(np.max(np.abs(y - A @ x)))
-    print(report.summary())
+    outcome = gemv(A, x, k=args.k, architecture=args.architecture,
+                   sim_mode=args.sim_mode)
+    error = float(np.max(np.abs(outcome.value - A @ x)))
+    print(outcome.report.summary())
     print(f"max |simulated - numpy| = {error:.3e}")
     return 0
 
@@ -122,9 +122,9 @@ def _cmd_gemm(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     A = rng.standard_normal((args.n, args.n))
     B = rng.standard_normal((args.n, args.n))
-    C, report = gemm(A, B, k=args.k, m=args.m, sim_mode=args.sim_mode)
-    error = float(np.max(np.abs(C - A @ B)))
-    print(report.summary())
+    outcome = gemm(A, B, k=args.k, m=args.m, sim_mode=args.sim_mode)
+    error = float(np.max(np.abs(outcome.value - A @ B)))
+    print(outcome.report.summary())
     print(f"max |simulated - numpy| = {error:.3e}")
     return 0
 
@@ -235,11 +235,17 @@ def _submitted_runtime(args: argparse.Namespace, recorder=None,
     """Build the runtime + workload stream shared by ``runtime``,
     ``trace`` and ``faults`` and submit every request (not yet run)."""
     from repro.runtime import BlasRuntime
-    from repro.workloads import blas_request_mix, gemm_burst
+    from repro.workloads import (
+        blas_request_mix,
+        cg_program_stream,
+        gemm_burst,
+    )
 
     rng = np.random.default_rng(args.seed)
     if args.mix == "gemm":
-        stream = gemm_burst(args.jobs, args.gemm_n, rng)
+        stream = gemm_burst(args.jobs, args.gemm_n, rng, m=args.gemm_m)
+    elif args.mix == "cg":
+        stream = cg_program_stream(args.jobs, args.cg_grid, rng)
     else:
         stream = blas_request_mix(args.jobs, rng,
                                   arrival_rate=args.arrival_rate)
@@ -299,9 +305,12 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
         from repro.obs import write_chrome_trace
 
         write_chrome_trace(recorder, args.trace_out)
+        # With --json, stdout is the metrics document; the notice
+        # must not corrupt it for piped consumers.
         print(f"Chrome trace ({len(recorder)} recorded events) written "
               f"to {args.trace_out} — open in Perfetto or "
-              f"chrome://tracing")
+              f"chrome://tracing",
+              file=sys.stderr if args.json else sys.stdout)
     return _workload_exit(metrics)
 
 
@@ -309,8 +318,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     """Replay a workload under a fault storm (or an explicit spec)."""
     from repro.faults import FaultKind, FaultPlan
 
-    if args.spec:
-        plan = FaultPlan.from_json_file(args.spec)
+    if args.faults_spec:
+        plan = FaultPlan.from_json_file(args.faults_spec)
     else:
         horizon = args.horizon
         if horizon is None:
@@ -352,7 +361,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
         write_chrome_trace(recorder, args.trace_out)
         print(f"Chrome trace ({len(recorder)} recorded events) written "
-              f"to {args.trace_out}")
+              f"to {args.trace_out}",
+              file=sys.stderr if args.json else sys.stdout)
     return _workload_exit(metrics)
 
 
@@ -753,19 +763,27 @@ def _add_workload_options(parser: argparse.ArgumentParser,
                           jobs_default: int = 200,
                           faults_spec: bool = True) -> None:
     """Workload/system flags shared by ``runtime``, ``trace`` and
-    ``faults`` (the latter suppresses ``--faults-spec``: it has its own
-    ``--spec``, and the plan must not leak into its fault-free sizing
-    dry run)."""
+    ``faults`` (the latter registers ``--faults-spec`` itself so it can
+    keep the legacy ``--spec`` alias, and loads the plan explicitly —
+    it must not leak into the fault-free sizing dry run)."""
     parser.add_argument("--chassis", type=_positive_int, default=1)
     parser.add_argument("--blades", type=_positive_int, default=6)
     parser.add_argument("--jobs", type=int, default=jobs_default)
     parser.add_argument("--policy",
                         choices=("fifo", "sjf", "edf", "area"),
                         default="area")
-    parser.add_argument("--mix", choices=("mixed", "gemm"),
+    parser.add_argument("--mix", choices=("mixed", "gemm", "cg"),
                         default="mixed")
     parser.add_argument("--gemm-n", type=int, default=64,
                         help="matrix order for --mix gemm")
+    parser.add_argument("--gemm-m", type=int, default=None,
+                        help="block size for --mix gemm (smaller m "
+                             "raises the b/m gang ceiling; the "
+                             "12-chassis partitioned runs use 32)")
+    parser.add_argument("--cg-grid", type=_positive_int, default=16,
+                        help="Poisson grid width for --mix cg (each "
+                             "job is one CG descent step as a "
+                             "streaming BlasProgram)")
     parser.add_argument("--arrival-rate", type=float, default=None,
                         help="requests per virtual second (default: "
                              "all at t=0)")
@@ -897,9 +915,15 @@ def build_parser() -> argparse.ArgumentParser:
         "faults", help="replay a BLAS workload under a seeded fault "
                        "storm (crashes, stalls, corruption)")
     _add_workload_options(p_fl, jobs_default=60, faults_spec=False)
-    p_fl.add_argument("--spec", metavar="PATH", default=None,
+    p_fl.add_argument("--faults-spec", dest="faults_spec",
+                      metavar="PATH", default=None,
                       help="explicit fault-plan JSON (overrides the "
-                           "storm flags)")
+                           "storm flags); same flag name as "
+                           "repro runtime/trace/serve")
+    # Back-compat alias from when the faults command had its own
+    # spelling; hidden from --help.
+    p_fl.add_argument("--spec", dest="faults_spec",
+                      help=argparse.SUPPRESS)
     p_fl.add_argument("--fault-seed", type=int, default=0,
                       help="storm seed (also drives retry jitter and "
                            "bit/word choices)")

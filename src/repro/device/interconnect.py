@@ -13,11 +13,62 @@ backlogs without bound) is demonstrable too.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.sim.engine import SimulationError
+
+#: Default per-hop bandwidths (words/cycle) of the two link classes:
+#: RocketI/O inside a chassis and the 4 GB/s RapidArray fabric between
+#: chassis (Section 6.4.2).  Shared by :class:`MultiChassisNetwork`,
+#: the gang plan/execute paths and the DRC bandwidth rule so the three
+#: cannot disagree about what a link can carry.
+INTRA_CHASSIS_WORDS_PER_CYCLE = 4.0
+INTER_CHASSIS_WORDS_PER_CYCLE = 2.0
+
+
+def chassis_span(blades: int, fpgas_per_chassis: int) -> int:
+    """How many chassis a gang of ``blades`` co-scheduled FPGAs
+    occupies when packed densely (the scheduler seats gangs on
+    consecutive blades)."""
+    if blades < 1 or fpgas_per_chassis < 1:
+        raise ValueError("blades and fpgas_per_chassis must be >= 1")
+    return math.ceil(blades / fpgas_per_chassis)
+
+
+def inter_chassis_transfer_cycles(
+        blades: int, fpgas_per_chassis: int, m: int, b: int, k: int,
+        inter_words_per_cycle: float = INTER_CHASSIS_WORDS_PER_CYCLE
+) -> int:
+    """Extra cycles a chassis-spanning gang pays at its RapidArray
+    boundaries, closed form.
+
+    The paper's sustained-rate claim (Section 6.4.2) — inter-chassis
+    bandwidth required equals DRAM bandwidth, 3kl/b words/cycle, and
+    the 4 GB/s RapidArray link meets it — means the steady-state
+    stream does not slow down (DRC010 checks the rate).  What *does*
+    add latency is the store-and-forward of the first A/B wavefront
+    out to the far chassis and the last C wavefront back: one m×m
+    block must fully cross each boundary link before the next hop can
+    start, at the inter-chassis rate.
+
+    Both :meth:`repro.blas.api.BlasCall.plan` and its execute path
+    charge exactly this term, so plan == execute stays exact for
+    multi-chassis gangs by construction.  Single-chassis gangs (span
+    1) pay nothing and keep their historical cycle counts.
+    """
+    if b % m:
+        raise ValueError("b must be a multiple of m")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    boundaries = chassis_span(blades, fpgas_per_chassis) - 1
+    if boundaries <= 0:
+        return 0
+    block_crossing = math.ceil(m * m / inter_words_per_cycle)
+    # A/B wavefront outbound + C wavefront homebound.
+    return 2 * boundaries * block_crossing
 
 
 @dataclass
@@ -86,12 +137,19 @@ class StreamingReport:
     max_queue_words: int
     per_link_max_queue: Dict[str, int]
     worst_delivery_lag: int
+    #: Words per m×m block (m²); 0 for a degenerate single-FPGA run.
+    block_words: int = 0
 
     @property
     def bounded(self) -> bool:
-        """Queues stayed within a couple of blocks — the feasibility
-        criterion (unbounded growth means the link is too slow)."""
-        return True  # computed by the driver; kept for clarity
+        """Queues stayed within a few blocks — the feasibility
+        criterion (unbounded growth means the link is too slow).  A
+        link whose bandwidth meets the 3kl/b requirement never holds
+        more than a handful of blocks; a starved link's backlog grows
+        with every injection round instead."""
+        if self.block_words == 0:
+            return True
+        return self.max_queue_words <= 4 * self.block_words
 
 
 class MultiChassisNetwork:
@@ -222,4 +280,5 @@ class LinearArrayNetwork:
             per_link_max_queue={l.name: l.max_queue_words
                                 for l in self.links},
             worst_delivery_lag=max(lags) if lags else 0,
+            block_words=words,
         )

@@ -34,6 +34,21 @@ Cost model
   members (remainder to the lead, which alone counts the completion).
   A crash of any member aborts the whole pass and retries the job
   with its width capped at half (degrading toward ``l=1``).
+* **Multi-chassis gangs.** A width no single chassis can reach seats
+  across chassis (Section 6.4's full 12-chassis/72-blade XD1): the
+  plan and the executed report both include the RapidArray
+  boundary-crossing cycles
+  (:func:`repro.device.interconnect.inter_chassis_transfer_cycles`),
+  itemized per job in the trace spans and summed in the metrics'
+  gang block — plan-vs-actual drift stays exact.
+* **Programs.** A ``"program"`` request carries a whole
+  :class:`repro.blas.program.BlasProgram` (streamed kernel DAG); the
+  runtime plans, places and charges it as one unit, with streamed
+  edges riding the intra-chassis fabric instead of DRAM.
+* **Work stealing.** Requests with a ``home_chassis`` affinity place
+  there while blades are free; a chassis whose queue drained steals
+  them otherwise (placement reason ``"work-steal"``, counted in the
+  metrics).
 
 Faults and resilience
 ---------------------
@@ -289,6 +304,17 @@ class BlasRuntime:
         self._verify_failures = 0
         self._gangs_formed = 0
         self._gangs_degraded = 0
+        self._gangs_multichassis = 0
+        self._work_steals = 0
+        self._inter_chassis_cycles = 0
+        chassis_sizes: Dict[int, int] = {}
+        for device in self.devices:
+            chassis_sizes[device.chassis] = \
+                chassis_sizes.get(device.chassis, 0) + 1
+        #: Blades of the largest chassis: a gang wider than this spans
+        #: chassis and is charged the RapidArray boundary crossings.
+        self._fpgas_per_chassis = max(chassis_sizes.values())
+        self._total_blades = len(self.devices)
         self._ran = False
 
     # -- submission ------------------------------------------------------
@@ -321,17 +347,23 @@ class BlasRuntime:
     def _call(self, request: BlasRequest,
               blades: int = 1) -> api.BlasCall:
         """The unified descriptor both planning and execution run
-        through — one geometry/validation path for the whole runtime."""
+        through — one geometry/validation path for the whole runtime.
+        A gang call always knows the chassis width, so a width that
+        spans chassis prices its RapidArray boundary crossings into
+        both the plan and the executed report."""
         return api.BlasCall(request.operation, operands=request.operands,
                             k=request.k, m=request.m, blades=blades,
                             architecture=request.architecture,
-                            on_xd1=self.on_xd1, sim_mode=self.sim_mode)
+                            on_xd1=self.on_xd1, sim_mode=self.sim_mode,
+                            fpgas_per_chassis=(self._fpgas_per_chassis
+                                               if blades > 1 else None))
 
     def _gang_width_for(self, request: BlasRequest,
                         cap: Optional[int] = None) -> int:
         """Gang width to *plan* for: the runtime/request cap, bounded
         by the shape's feasible width (one blade per B m-block-column)
-        and the largest chassis in the pool."""
+        and the whole pool — a width beyond one chassis seats across
+        chassis over the RapidArray fabric."""
         if cap is None:
             cap = (request.max_blades if request.max_blades is not None
                    else self.max_gang)
@@ -345,24 +377,42 @@ class BlasRuntime:
         p, q = np.shape(a)
         r = np.shape(b)[1]
         feasible = api.max_gemm_gang(p, q, r, k=request.k, m=request.m)
-        chassis_sizes: Dict[int, int] = {}
-        for device in self.devices:
-            chassis_sizes[device.chassis] = \
-                chassis_sizes.get(device.chassis, 0) + 1
-        return max(1, min(cap, feasible, max(chassis_sizes.values())))
+        return max(1, min(cap, feasible, self._total_blades))
 
     def _plan(self, request: BlasRequest,
               cap: Optional[int] = None) -> api.ExecutionPlan:
+        if request.operation == "program":
+            return self._program_plan(request.operands[0])
         return self._call(request,
                           blades=self._gang_width_for(request,
                                                       cap)).plan()
 
+    def _program_plan(self, program) -> api.ExecutionPlan:
+        """Schedulable summary of a whole program pass: the exact
+        per-node predictions plus edge charges, with the largest
+        kernel's area (every node's bitstream must fit the blade)."""
+        pplan = program.plan()
+        node_plans = list(pplan.node_plans.values())
+        area = max((p.area for p in node_plans),
+                   key=lambda a: a.slices)
+        return api.ExecutionPlan(
+            operation=f"program[{program.name}]",
+            n=max(p.n for p in node_plans),
+            k=max(p.k for p in node_plans), m=None,
+            predicted_cycles=pplan.predicted_cycles,
+            clock_mhz=pplan.clock_mhz, flops=pplan.flops, area=area)
+
     def _execute(self, request: BlasRequest,
                  blades: int = 1) -> api.BlasResult:
+        if request.operation == "program":
+            run = request.operands[0].execute(sim_mode=self.sim_mode)
+            return api.BlasResult(run.value, run.report)
         return self._call(request, blades=blades).execute()
 
     def _reference(self, request: BlasRequest):
         """NumPy ground truth for result verification."""
+        if request.operation == "program":
+            return request.operands[0].reference()
         op, (a, b) = request.operation, request.operands
         if op == "dot":
             return float(np.dot(a, b))
@@ -451,6 +501,12 @@ class BlasRuntime:
             if metrics.gangs_formed:
                 args["gangs_formed"] = metrics.gangs_formed
                 args["gangs_degraded"] = metrics.gangs_degraded
+            if metrics.gangs_multichassis:
+                args["gangs_multichassis"] = metrics.gangs_multichassis
+                args["inter_chassis_cycles"] = \
+                    metrics.inter_chassis_cycles
+            if metrics.work_steals:
+                args["work_steals"] = metrics.work_steals
             rec.span("runtime.run", "runtime", "runtime",
                      0.0, metrics.makespan_seconds, args)
         return metrics
@@ -706,6 +762,15 @@ class BlasRuntime:
         self._next_batch_id += 1
 
         start = self._now
+        if placement.reason == "work-steal":
+            self._work_steals += 1
+            if rec.enabled:
+                rec.instant("work.stolen", "scheduler", device.name,
+                            start,
+                            {"job": job.job_id,
+                             "home_chassis": job.request.home_chassis,
+                             "stolen_by_chassis": device.chassis,
+                             "device": device.name})
         clock = start
         if rec.enabled:
             self._sample_depth()
@@ -779,7 +844,8 @@ class BlasRuntime:
                           "operation": member.request.operation,
                           "attempt": member.retries + 1})
             try:
-                result, report = self._execute(member.request)
+                outcome = self._execute(member.request)
+                result, report = outcome.value, outcome.report
             except (ValueError, MemoryError, SimulationError) as exc:
                 member.fail(clock, f"{type(exc).__name__}: {exc}")
                 if rec.enabled:
@@ -879,13 +945,19 @@ class BlasRuntime:
         job.gang_size = width
         job.batch_id = batch_id
         job.transition(JobState.PLACED, start)
+        chassis_span = len({d.chassis for d in devices})
         if width > 1:
             self._gangs_formed += 1
+            if chassis_span > 1:
+                self._gangs_multichassis += 1
             if rec.enabled:
                 rec.instant("gang.formed", "gang", "scheduler", start,
                             {"job": job.job_id, "blades": width,
                              "members": [d.name for d in devices],
-                             "design": key})
+                             "design": key,
+                             "chassis": chassis_span,
+                             "inter_chassis_cycles":
+                                 plan.inter_chassis_cycles})
         # Configure every member; the array cannot stream until its
         # slowest member holds the bitstream.
         run_start = start
@@ -935,7 +1007,8 @@ class BlasRuntime:
                       "operation": job.request.operation,
                       "attempt": job.retries + 1})
         try:
-            result, report = self._execute(job.request, blades=width)
+            outcome = self._execute(job.request, blades=width)
+            result, report = outcome.value, outcome.report
         except (ValueError, MemoryError, SimulationError) as exc:
             job.fail(run_start, f"{type(exc).__name__}: {exc}")
             if rec.enabled:
@@ -982,6 +1055,7 @@ class BlasRuntime:
         job.result = result
         job.report = report
         job.transition(JobState.DONE, end)
+        self._inter_chassis_cycles += plan.inter_chassis_cycles
         if rec.enabled:
             job.run_span_id = rec.span(
                 f"job{job.job_id}:{job.request.operation}",
@@ -990,9 +1064,11 @@ class BlasRuntime:
                  "operation": job.request.operation,
                  "batch_id": batch_id,
                  "gang": width,
+                 "chassis": chassis_span,
                  "predicted_cycles": plan.predicted_cycles,
                  "executed_cycles": report.total_cycles,
                  "charged_cycles": cycles,
+                 "inter_chassis_cycles": plan.inter_chassis_cycles,
                  "flops": report.flops})
             for member_index, device in enumerate(devices):
                 rec.span(f"job{job.job_id}:gang[{member_index}]",
@@ -1229,6 +1305,9 @@ class BlasRuntime:
                 if j.reject_reason is RejectReason.CAPACITY_LOST),
             gangs_formed=self._gangs_formed,
             gangs_degraded=self._gangs_degraded,
+            gangs_multichassis=self._gangs_multichassis,
+            inter_chassis_cycles=self._inter_chassis_cycles,
+            work_steals=self._work_steals,
             blades_per_job=blades_per_job,
             devices=[d.metrics for d in self.devices],
             tenants=tenants,

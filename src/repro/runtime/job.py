@@ -15,7 +15,10 @@ from typing import Any, List, Optional, Tuple
 
 from repro.blas.api import DEFAULT_K, ExecutionPlan, PerfReport
 
-OPERATIONS = tuple(DEFAULT_K)
+#: ``"program"`` submits a whole :class:`repro.blas.program.
+#: BlasProgram` (streamed kernel DAG) as one schedulable unit; its
+#: operands are ``(program, None)``.
+OPERATIONS = tuple(DEFAULT_K) + ("program",)
 
 
 class JobState(Enum):
@@ -87,6 +90,12 @@ class BlasRequest:
     #: ``None`` for direct runtime use.  When set, the run's metrics
     #: grow a per-tenant accounting block.
     tenant: Optional[str] = None
+    #: Preferred chassis (affinity hint).  A job with a home chassis
+    #: waits for a blade there while any is free; when the home
+    #: chassis is saturated and another chassis's queue has drained,
+    #: that chassis's free blade steals the job (placement reason
+    #: ``"work-steal"``, counted in the run metrics).
+    home_chassis: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.operation not in OPERATIONS:
@@ -96,13 +105,19 @@ class BlasRequest:
         if len(self.operands) != 2:
             raise ValueError(f"{self.operation} takes exactly two operands")
         if self.k is None:
-            self.k = DEFAULT_K[self.operation]
+            # Programs carry per-node k's; the request-level k is only
+            # a label for them.
+            self.k = DEFAULT_K.get(self.operation, 1)
         if self.max_blades is not None and self.max_blades < 1:
             raise ValueError("max_blades must be >= 1 (or None)")
 
     def shape_key(self) -> Tuple:
         """Batching identity: jobs with equal keys run the same design
-        on identically-shaped operands and may share one pass."""
+        on identically-shaped operands and may share one pass.
+        Programs key on their graph structure — two programs never
+        batch (each is its own pass by definition)."""
+        if self.operation == "program":
+            return ("program", id(self.operands[0]))
         shapes = tuple(
             tuple(op.shape) if hasattr(op, "shape") else (len(op),)
             for op in self.operands)

@@ -233,6 +233,14 @@ class RuntimeMetrics:
     #: Gang accounting (all zero when no job planned a gang).
     gangs_formed: int = 0
     gangs_degraded: int = 0
+    #: Gangs whose members spanned more than one chassis.
+    gangs_multichassis: int = 0
+    #: Cycles charged to RapidArray inter-chassis crossings by
+    #: chassis-spanning gangs (itemized so the bandwidth term the
+    #: paper's Section 6.4 analysis predicts is visible per run).
+    inter_chassis_cycles: int = 0
+    #: Jobs a drained chassis stole from a saturated home chassis.
+    work_steals: int = 0
     #: Completed jobs per actual gang width: {"1": …, "4": …}.
     blades_per_job: Dict[str, int] = field(default_factory=dict)
     devices: List[DeviceMetrics] = field(default_factory=list)
@@ -329,8 +337,11 @@ class RuntimeMetrics:
             "gangs": {
                 "formed": self.gangs_formed,
                 "degraded": self.gangs_degraded,
+                "multichassis": self.gangs_multichassis,
+                "inter_chassis_cycles": self.inter_chassis_cycles,
                 "blades_per_job": dict(self.blades_per_job),
             },
+            "work_steals": self.work_steals,
             "total_flops": self.total_flops,
             "sustained_gflops": self.sustained_gflops,
             "throughput_jobs_per_s": self.throughput_jobs_per_s,
@@ -377,10 +388,18 @@ class RuntimeMetrics:
                 f"{count}×l={width}" for width, count
                 in sorted(self.blades_per_job.items(),
                           key=lambda kv: int(kv[0])))
-            lines.append(
+            gang_line = (
                 f"gangs {self.gangs_formed} formed "
                 f"({self.gangs_degraded} degraded by member crashes)  "
                 f"blades/job: {widths}")
+            if self.gangs_multichassis:
+                gang_line += (
+                    f"  multichassis {self.gangs_multichassis} "
+                    f"({self.inter_chassis_cycles} inter-chassis "
+                    "cycles)")
+            lines.append(gang_line)
+        if self.work_steals:
+            lines.append(f"work steals {self.work_steals}")
         if self.tenants:
             lines.append(
                 f"{'tenant':<16} {'subm':>5} {'done':>5} {'rej':>4} "

@@ -21,18 +21,33 @@ for every policy:
 * prefer the lowest-indexed chassis whose *free* feasible blades can
   seat the gang, favouring blades that already hold the gang's
   bitstream;
+* when the requested width exceeds what *any* single chassis holds,
+  the gang may span chassis (Section 6.4's full-machine XD1): the
+  linear array is seated across consecutive chassis over the
+  RapidArray fabric, and the plan/execute paths charge the
+  inter-chassis boundary crossings
+  (:func:`repro.device.interconnect.inter_chassis_transfer_cycles`);
 * if no chassis can seat the full width now but some chassis could
   *ever* (counting its busy blades), the gang **reserves** that anchor
   chassis's free blades — later jobs in this scheduling round cannot
   take them, so a stream of small jobs cannot perpetually starve a
   waiting gang (no-starvation rule);
-* if no chassis will ever have ``l`` in-service feasible blades, the
-  gang falls back to the widest width any chassis can reach (down to
-  ``l=1``) instead of deadlocking.
+* if no chassis will ever have ``l`` in-service feasible blades and a
+  chassis-spanning seat is not available either, the gang falls back
+  to the widest width any chassis can reach (down to ``l=1``) instead
+  of deadlocking.
 
 Reservations are per-round and recomputed from scratch each time the
 executor asks for a placement, so they cannot leak: once the anchor
 chassis's busy blades drain, every blade is free and the gang places.
+
+Work stealing
+-------------
+A request may carry a ``home_chassis`` affinity.  While its home
+chassis has free blades the job only places there; when the home
+chassis is saturated and another chassis's queue has drained (free
+blades with nothing local to run), the drained chassis *steals* the
+job — placement reason ``"work-steal"``, counted in the run metrics.
 """
 
 from __future__ import annotations
@@ -59,8 +74,9 @@ class Placement:
     ``devices`` holds one blade for ordinary jobs and the whole gang
     (lead blade first) for multi-FPGA jobs.  ``reason`` names why this
     choice won (``"first-feasible"``, ``"resident"``, ``"best-fit"``,
-    ``"evict-lru"``, ``"gang"``, ``"gang-fallback"``); the executor
-    records it on the trace's placement-decision events.
+    ``"evict-lru"``, ``"gang"``, ``"gang-fallback"``,
+    ``"gang-multichassis"``, ``"work-steal"``); the executor records
+    it on the trace's placement-decision events.
     """
 
     job: Job
@@ -170,10 +186,29 @@ class SchedulingPolicy:
                 members, reserve = self._select_gang(job, available,
                                                      busy)
                 if members is not None:
-                    reason = ("gang" if len(members) >= gang_width(job)
-                              else "gang-fallback")
+                    if len({d.chassis for d in members}) > 1:
+                        reason = "gang-multichassis"
+                    elif len(members) >= gang_width(job):
+                        reason = "gang"
+                    else:
+                        reason = "gang-fallback"
                     return Placement(job, members, reason)
                 reserved = reserved | reserve
+                continue
+            home = job.request.home_chassis
+            if home is not None:
+                local = [d for d in available if d.chassis == home]
+                if local:
+                    device = self.choose_device(job, local, busy)
+                    if device is not None:
+                        return Placement(job, (device,),
+                                         self.explain(job, device))
+                    continue
+                # Home chassis saturated: a drained chassis's free
+                # blade steals the job.
+                device = self.choose_device(job, available, busy)
+                if device is not None:
+                    return Placement(job, (device,), "work-steal")
                 continue
             device = self.choose_device(job, available, busy)
             if device is not None:
@@ -215,6 +250,17 @@ class SchedulingPolicy:
         # back below the requested width beats deadlocking on a width
         # the machine cannot provide.
         width = feasible_gang_width(target, in_service.values())
+        # A width no single chassis will ever reach may still seat
+        # across chassis (Section 6.4): take consecutive free blades
+        # machine-wide, paying the RapidArray boundary crossings the
+        # plan already priced in.
+        if target > max(in_service.values()):
+            span = [d for d in sorted(free,
+                                      key=lambda d: (d.chassis,
+                                                     d.index))
+                    if d.can_ever_hold(slices)]
+            if len(span) >= target:
+                return tuple(span[:target]), frozenset()
         for chassis in sorted(free_by_chassis):
             candidates = free_by_chassis[chassis]
             if len(candidates) < width:

@@ -46,8 +46,13 @@ from typing import Any, Dict, Mapping, Optional
 
 PROTOCOL_VERSION = 1
 
-#: Operations the service accepts (the paper's BLAS kernels).
-OPERATIONS = ("dot", "gemv", "gemm", "spmxv")
+#: Operations the service accepts: the paper's BLAS kernels plus
+#: ``"cg"``, one conjugate-gradient descent step submitted as a
+#: streaming :class:`repro.blas.program.BlasProgram` (spmxv → dot
+#: with the matvec result streamed on-chassis).  For ``cg`` the
+#: spec's ``n`` is the Poisson grid width and ``k`` the SpMXV
+#: parallelism; ``m``/``blades``/``architecture`` do not apply.
+OPERATIONS = ("dot", "gemv", "gemm", "spmxv", "cg")
 
 #: The ``repro analyze`` design-spec schema fields...
 _ANALYZE_FIELDS = ("operation", "n", "k", "architecture", "m",
@@ -104,6 +109,12 @@ def validate_call(spec: Any) -> Dict[str, Any]:
     if not isinstance(n, int) or isinstance(n, bool) or n < 1:
         raise ProtocolError("n must be a positive integer")
     out["n"] = n
+    if operation == "cg":
+        kernel_only = {"m", "blades", "architecture"} & set(spec)
+        if kernel_only:
+            raise ProtocolError(
+                f"field(s) {sorted(kernel_only)} do not apply to a "
+                "cg program submission")
     for field in ("k", "m", "blades"):
         value = spec.get(field)
         if value is None:

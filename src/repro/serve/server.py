@@ -130,12 +130,25 @@ def materialize(spec: Mapping[str, Any],
     Operands are synthesized from ``spec["seed"]`` with a dedicated
     generator, so the same spec always produces the same numbers —
     the wire carries shapes and seeds, never matrices.  For ``spmxv``
-    the spec's ``n`` is the Poisson grid width.
+    and ``cg`` the spec's ``n`` is the Poisson grid width; ``cg``
+    builds one conjugate-gradient descent step as a streaming
+    :class:`repro.blas.program.BlasProgram` and submits it as a
+    ``"program"`` request.
     """
     operation = spec["operation"]
     n = spec["n"]
-    k = spec.get("k", DEFAULT_K[operation])
+    k = spec.get("k", DEFAULT_K.get(operation, DEFAULT_K["spmxv"]))
     rng = np.random.default_rng(spec.get("seed", 0))
+    if operation == "cg":
+        from repro.solvers.cg import cg_iteration_program
+
+        matrix = poisson_2d(n)
+        program = cg_iteration_program(
+            matrix, k_spmxv=k, k_dot=DEFAULT_K["dot"])
+        program.feed(p=rng.standard_normal(matrix.ncols))
+        return BlasRequest(
+            "program", (program, None), k=k,
+            priority=spec.get("priority", 0), tenant=tenant)
     if operation == "dot":
         operands: Tuple[Any, Any] = (rng.standard_normal(n),
                                      rng.standard_normal(n))

@@ -69,15 +69,14 @@ def compare_runs(cycle_run: Any, fast_run: Any) -> List[str]:
     return mismatches
 
 
-def compare_api_results(cycle: Tuple[Any, Any],
-                        fast: Tuple[Any, Any]) -> List[str]:
-    """Diff two ``(value, PerfReport)`` pairs from the blas API."""
-    mismatches = compare_values("value", cycle[0], fast[0])
-    for field in dataclasses.fields(cycle[1]):
+def compare_api_results(cycle: Any, fast: Any) -> List[str]:
+    """Diff two :class:`repro.blas.api.BlasResult` outcomes."""
+    mismatches = compare_values("value", cycle.value, fast.value)
+    for field in dataclasses.fields(cycle.report):
         mismatches.extend(compare_values(
             f"report.{field.name}",
-            getattr(cycle[1], field.name),
-            getattr(fast[1], field.name)))
+            getattr(cycle.report, field.name),
+            getattr(fast.report, field.name)))
     return mismatches
 
 

@@ -9,17 +9,39 @@ vector operations; the FPGA performs the R·x product through the
 tree + reduction datapath, and the solver accounts the per-iteration
 cycle cost.  Convergence requires strict diagonal dominance (checked,
 as the design assumes a valid preconditioner workload).
+
+The iteration runs as a :class:`repro.blas.program.BlasProgram` —
+one SpMXV kernel node feeding the D⁻¹·(b − R·x) update as a host
+node — built once by :func:`jacobi_iteration_program` and re-fed
+each round, the same graph shape ``repro.workloads`` streams through
+the runtime.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.blas.program import BlasProgram, Ref
 from repro.sparse.csr import CsrMatrix
 from repro.sparse.spmxv import SpmxvDesign
+
+
+def jacobi_iteration_program(
+        remainder: CsrMatrix, update: Callable[[np.ndarray], np.ndarray],
+        k: int = 4, name: str = "jacobi-iteration") -> BlasProgram:
+    """One Jacobi sweep as a program: ``Rx = R·x`` on the SpMXV
+    design, then the host update ``x' = update(Rx)`` (normally
+    ``D⁻¹·(b − Rx)``).  Rebind ``x`` between sweeps with
+    ``program.feed(x=...)``."""
+    program = BlasProgram(name=name)
+    program.add_input("x")
+    program.add_kernel("Rx", "spmxv",
+                       (remainder, Ref("x", streamed=False)), k=k)
+    program.add_host("x_next", update, (Ref("Rx"),))
+    return program
 
 
 @dataclass
@@ -99,18 +121,21 @@ class JacobiSolver:
         x = (np.zeros_like(b) if x0 is None
              else np.asarray(x0, dtype=np.float64).ravel().copy())
 
+        sweep = None
+        if R.nnz:
+            sweep = jacobi_iteration_program(
+                R, lambda rx: inv_diag * (b - rx), k=self.design.k)
         history: List[float] = []
         total_cycles = 0
         converged = False
         iterations = 0
         for iterations in range(1, self.max_iterations + 1):
-            if R.nnz:
-                run = self.design.run(R, x)
-                rx = run.y
-                total_cycles += run.total_cycles
+            if sweep is not None:
+                run = sweep.feed(x=x).execute()
+                x = run.values["x_next"]
+                total_cycles += run.node_reports["Rx"].total_cycles
             else:
-                rx = np.zeros_like(b)
-            x = inv_diag * (b - rx)
+                x = inv_diag * (b - np.zeros_like(b))
             # Host-side convergence check on the true residual.  A
             # non-finite residual means the iteration diverged (or hit
             # corrupted data): stop as not-converged rather than let

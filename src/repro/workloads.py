@@ -301,17 +301,47 @@ def multi_tenant_mix(count: int, rng: np.random.Generator,
     return stream
 
 
-def gemm_burst(count: int, n: int, rng: np.random.Generator):
+def gemm_burst(count: int, n: int, rng: np.random.Generator,
+               m: int | None = None,
+               max_blades: int | None = None):
     """An embarrassingly parallel burst: ``count`` independent gemm
     requests of one shape, all arriving at t = 0 — the workload the
-    multi-blade scaling claims are measured on."""
+    multi-blade scaling claims are measured on.  ``m`` pins the block
+    size (a smaller m raises the b/m gang ceiling — the 12-chassis
+    partitioned runs use m = 32 so one gemm can span all 72 blades);
+    ``max_blades`` caps each request's gang."""
     from repro.runtime.job import BlasRequest
 
     if count < 1 or n < 1:
         raise ValueError("count and n must be positive")
     return [(0.0, BlasRequest("gemm", (rng.standard_normal((n, n)),
-                                       rng.standard_normal((n, n)))))
+                                       rng.standard_normal((n, n))),
+                              m=m, max_blades=max_blades))
             for _ in range(count)]
+
+
+def cg_program_stream(count: int, grid: int, rng: np.random.Generator,
+                      k_spmxv: int = 4, k_dot: int = 2):
+    """``count`` conjugate-gradient descent steps, each one streaming
+    :class:`repro.blas.program.BlasProgram` (spmxv → dot with the
+    matvec result streamed on-chassis) over the :func:`poisson_2d`
+    system of the given grid width, submitted as ``"program"``
+    requests at t = 0.  Programs never batch — every step is its own
+    pass — so this is the runtime's end-to-end solver workload."""
+    from repro.runtime.job import BlasRequest
+    from repro.solvers.cg import cg_iteration_program
+
+    if count < 1 or grid < 1:
+        raise ValueError("count and grid must be positive")
+    matrix = poisson_2d(grid)
+    requests = []
+    for _ in range(count):
+        program = cg_iteration_program(
+            matrix, k_spmxv=k_spmxv, k_dot=k_dot)
+        program.feed(p=rng.standard_normal(matrix.ncols))
+        requests.append(
+            (0.0, BlasRequest("program", (program, None), k=k_spmxv)))
+    return requests
 
 
 def adversarial_stream(alpha: int, rng: np.random.Generator,

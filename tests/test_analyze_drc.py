@@ -33,8 +33,9 @@ def check(platform="xd1", **fields):
 
 
 class TestRuleCatalog:
-    def test_all_nine_rules_registered(self):
-        assert sorted(DRC_RULES) == [f"DRC00{i}" for i in range(1, 10)]
+    def test_all_ten_rules_registered(self):
+        assert sorted(DRC_RULES) == ([f"DRC00{i}" for i in range(1, 10)]
+                                     + ["DRC010"])
 
     def test_every_rule_has_a_citation(self):
         for rule in DRC_RULES.values():
@@ -209,18 +210,47 @@ class TestDrc008Gang:
         report = check(operation="gemm", n=512, k=8, m=8, blades=6)
         assert "DRC008" not in rules_fired(report)
 
-    def test_gang_wider_than_chassis(self):
-        # 8 > the XD1's 6 blades/chassis: cannot co-locate.
+    def test_gang_wider_than_chassis_spans(self):
+        # 8 > the XD1's 6 blades/chassis: spans two chassis over
+        # RapidArray — a warning, no longer an error.
         report = check(operation="gemm", n=512, k=8, m=8, blades=8)
         [diag] = [d for d in report if d.rule == "DRC008"]
-        assert diag.severity is Severity.ERROR
+        assert diag.severity is Severity.WARNING
         assert diag.data["blades_per_chassis"] == 6
+        assert diag.data["chassis"] == 2
+
+    def test_gang_wider_than_machine(self):
+        # 80 > the XD1's 12 × 6 = 72 blades: nowhere to seat it.
+        report = check(operation="gemm", n=2048, k=8, m=8, blades=80)
+        diags = [d for d in report if d.rule == "DRC008"
+                 and d.severity is Severity.ERROR]
+        assert diags and diags[0].data["total_blades"] == 72
 
     def test_gang_wider_than_block_columns(self):
         # b/m = 4 block-columns cannot feed l = 6 FPGAs.
         report = check(operation="gemm", n=128, k=8, m=32, blades=6)
         [diag] = [d for d in report if d.rule == "DRC008"]
         assert diag.data["block_columns"] == 4
+
+
+class TestDrc010InterChassis:
+    def test_single_chassis_gang_is_silent(self):
+        report = check(operation="gemm", n=512, k=8, m=8, blades=6)
+        assert "DRC010" not in rules_fired(report)
+
+    def test_paper_configuration_passes(self):
+        # 12 chassis, b = 2048: 3·8·72/2048 = 0.84 words/cycle fits
+        # the 2.0 the RapidArray link sustains (Section 6.4).
+        report = check(operation="gemm", n=2048, k=8, m=8, blades=72)
+        assert "DRC010" not in rules_fired(report,
+                                           severity=Severity.ERROR)
+
+    def test_small_b_overdrives_the_link(self):
+        # 3·8·12/128 = 2.25 > 2.0 words/cycle.
+        report = check(operation="gemm", n=128, k=8, m=8, blades=12)
+        diags = [d for d in report if d.rule == "DRC010"]
+        assert diags and diags[0].severity is Severity.ERROR
+        assert diags[0].data["required"] == pytest.approx(2.25)
 
 
 class TestDrc009FastForward:

@@ -9,20 +9,20 @@ from repro.blas.api import PerfReport, dot, gemm, gemv
 class TestDot:
     def test_result_and_report(self, rng):
         u, v = rng.standard_normal(128), rng.standard_normal(128)
-        result, report = dot(u, v)
-        assert result == pytest.approx(float(np.dot(u, v)), rel=1e-12)
-        assert report.operation == "dot"
-        assert report.k == 2
-        assert report.clock_mhz == 170.0
+        outcome = dot(u, v)
+        assert outcome.value == pytest.approx(float(np.dot(u, v)), rel=1e-12)
+        assert outcome.report.operation == "dot"
+        assert outcome.report.k == 2
+        assert outcome.report.clock_mhz == 170.0
 
     def test_default_area_matches_table3(self, rng):
-        _, report = dot(rng.standard_normal(64), rng.standard_normal(64))
+        report = dot(rng.standard_normal(64), rng.standard_normal(64)).report
         assert report.area_slices == pytest.approx(5210, rel=0.005)
 
     def test_custom_clock(self, rng):
         u, v = rng.standard_normal(64), rng.standard_normal(64)
-        _, r170 = dot(u, v, clock_mhz=170.0)
-        _, r85 = dot(u, v, clock_mhz=85.0)
+        r170 = dot(u, v, clock_mhz=170.0).report
+        r85 = dot(u, v, clock_mhz=85.0).report
         assert r85.seconds == pytest.approx(2 * r170.seconds)
         assert r85.sustained_mflops == pytest.approx(
             r170.sustained_mflops / 2)
@@ -32,16 +32,18 @@ class TestGemv:
     def test_tree_architecture(self, rng):
         A = rng.standard_normal((64, 64))
         x = rng.standard_normal(64)
-        y, report = gemv(A, x)
-        np.testing.assert_allclose(y, A @ x, rtol=1e-12, atol=1e-12)
-        assert report.operation == "gemv[tree]"
+        outcome = gemv(A, x)
+        np.testing.assert_allclose(outcome.value, A @ x, rtol=1e-12,
+                                   atol=1e-12)
+        assert outcome.report.operation == "gemv[tree]"
 
     def test_column_architecture(self, rng):
         A = rng.standard_normal((64, 64))
         x = rng.standard_normal(64)
-        y, report = gemv(A, x, architecture="column")
-        np.testing.assert_allclose(y, A @ x, rtol=1e-12, atol=1e-12)
-        assert report.operation == "gemv[column]"
+        outcome = gemv(A, x, architecture="column")
+        np.testing.assert_allclose(outcome.value, A @ x, rtol=1e-12,
+                                   atol=1e-12)
+        assert outcome.report.operation == "gemv[column]"
 
     def test_unknown_architecture(self, rng):
         with pytest.raises(ValueError, match="architecture"):
@@ -51,14 +53,14 @@ class TestGemv:
     def test_blocked(self, rng):
         A = rng.standard_normal((32, 96))
         x = rng.standard_normal(96)
-        y, report = gemv(A, x, block=32)
+        y = gemv(A, x, block=32).value
         np.testing.assert_allclose(y, A @ x, rtol=1e-11, atol=1e-11)
 
     def test_xd1_report_derates_clock(self, rng):
         A = rng.standard_normal((32, 32))
         x = rng.standard_normal(32)
-        _, plain = gemv(A, x)
-        _, xd1 = gemv(A, x, on_xd1=True)
+        plain = gemv(A, x).report
+        xd1 = gemv(A, x, on_xd1=True).report
         assert xd1.clock_mhz < plain.clock_mhz
         assert xd1.area_slices > plain.area_slices
 
@@ -67,28 +69,29 @@ class TestGemm:
     def test_result_and_report(self, rng):
         A = rng.standard_normal((32, 32))
         B = rng.standard_normal((32, 32))
-        C, report = gemm(A, B, k=4, m=16)
-        np.testing.assert_allclose(C, A @ B, rtol=1e-11, atol=1e-11)
-        assert report.operation == "gemm"
-        assert report.flops == 2 * 32 ** 3
+        outcome = gemm(A, B, k=4, m=16)
+        np.testing.assert_allclose(outcome.value, A @ B, rtol=1e-11,
+                                   atol=1e-11)
+        assert outcome.report.operation == "gemm"
+        assert outcome.report.flops == 2 * 32 ** 3
 
     def test_auto_block_size(self, rng):
         A = rng.standard_normal((64, 64))
         B = rng.standard_normal((64, 64))
-        C, report = gemm(A, B, k=8)  # m inferred
+        C = gemm(A, B, k=8).value  # m inferred
         np.testing.assert_allclose(C, A @ B, rtol=1e-11, atol=1e-11)
 
     def test_strict_mode(self, rng):
         A = rng.standard_normal((16, 16))
         B = rng.standard_normal((16, 16))
-        C_fast, _ = gemm(A, B, k=4, m=16)
-        C_strict, _ = gemm(A, B, k=4, m=16, strict=True)
+        C_fast = gemm(A, B, k=4, m=16).value
+        C_strict = gemm(A, B, k=4, m=16, strict=True).value
         assert np.array_equal(C_fast, C_strict)
 
     def test_clock_uses_fig9_model(self, rng):
         A = rng.standard_normal((16, 16))
-        _, r1 = gemm(A, A, k=2, m=16)
-        _, r2 = gemm(A, A, k=8, m=16)
+        r1 = gemm(A, A, k=2, m=16).report
+        r2 = gemm(A, A, k=8, m=16).report
         assert r2.clock_mhz < r1.clock_mhz  # routing degradation
 
 
@@ -101,7 +104,7 @@ class TestPerfReport:
         assert report.seconds == pytest.approx(1.0)
 
     def test_summary_contains_key_fields(self, rng):
-        _, report = dot(rng.standard_normal(64), rng.standard_normal(64))
+        report = dot(rng.standard_normal(64), rng.standard_normal(64)).report
         text = report.summary()
         assert "MFLOPS" in text
         assert "slices" in text
@@ -118,15 +121,16 @@ class TestRectangularGemm:
     def test_rectangular_shapes(self, rng):
         A = rng.standard_normal((24, 40))
         B = rng.standard_normal((40, 12))
-        C, report = gemm(A, B, k=4, m=8)
-        assert C.shape == (24, 12)
-        np.testing.assert_allclose(C, A @ B, rtol=1e-10, atol=1e-10)
-        assert report.flops == 2 * 24 * 40 * 12
+        outcome = gemm(A, B, k=4, m=8)
+        assert outcome.value.shape == (24, 12)
+        np.testing.assert_allclose(outcome.value, A @ B, rtol=1e-10,
+                                   atol=1e-10)
+        assert outcome.report.flops == 2 * 24 * 40 * 12
 
     def test_non_multiple_of_block(self, rng):
         A = rng.standard_normal((30, 30))
         B = rng.standard_normal((30, 30))
-        C, report = gemm(A, B, k=4, m=8)
+        C = gemm(A, B, k=4, m=8).value
         np.testing.assert_allclose(C, A @ B, rtol=1e-10, atol=1e-10)
 
     def test_incompatible_shapes_rejected(self, rng):
@@ -137,14 +141,14 @@ class TestRectangularGemm:
         # 33×33 pads to 40 (m=8): useful flops over padded cycles.
         A33 = rng.standard_normal((33, 33))
         B33 = rng.standard_normal((33, 33))
-        _, padded = gemm(A33, B33, k=4, m=8)
+        padded = gemm(A33, B33, k=4, m=8).report
         A32 = rng.standard_normal((32, 32))
         B32 = rng.standard_normal((32, 32))
-        _, exact = gemm(A32, B32, k=4, m=8)
+        exact = gemm(A32, B32, k=4, m=8).report
         assert padded.efficiency < exact.efficiency
 
     def test_tall_skinny(self, rng):
         A = rng.standard_normal((64, 8))
         B = rng.standard_normal((8, 64))
-        C, _ = gemm(A, B, k=4, m=8)
+        C = gemm(A, B, k=4, m=8).value
         np.testing.assert_allclose(C, A @ B, rtol=1e-10, atol=1e-10)

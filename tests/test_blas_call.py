@@ -10,13 +10,17 @@ tuple-compatibility shim, the deduplicated ``design_key`` rule, and
 the multi-FPGA planning/execution pair.
 """
 
+import warnings
+
 import numpy as np
 import pytest
 
 from repro.blas.api import (
     BlasCall,
     BlasResult,
+    CallOptions,
     PerfReport,
+    dot,
     gemm,
     gemm_multi,
     max_gemm_gang,
@@ -120,22 +124,48 @@ class TestBlasResult:
                             1.0)
         return BlasResult(value=42.0, report=report)
 
-    def test_tuple_unpack(self):
-        value, report = self._result()
+    def test_tuple_unpack_still_works_but_warns(self):
+        with pytest.warns(DeprecationWarning, match="unpacking"):
+            value, report = self._result()
         assert value == 42.0
         assert isinstance(report, PerfReport)
 
-    def test_indexing_and_len(self):
+    def test_indexing_still_works_but_warns(self):
         result = self._result()
-        assert result[0] == result.value
-        assert result[1] is result.report
+        with pytest.warns(DeprecationWarning, match="indexing"):
+            assert result[0] == result.value
+        with pytest.warns(DeprecationWarning, match="indexing"):
+            assert result[1] is result.report
         assert len(result) == 2
 
-    def test_named_access(self, rng):
-        result = gemm(rng.standard_normal((16, 16)),
-                      rng.standard_normal((16, 16)), k=4, m=8)
-        assert isinstance(result, BlasResult)
-        assert result.report.operation == "gemm"
+    def test_named_access_does_not_warn(self, rng):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = gemm(rng.standard_normal((16, 16)),
+                          rng.standard_normal((16, 16)), k=4, m=8)
+            assert isinstance(result, BlasResult)
+            assert result.report.operation == "gemm"
+            assert result.value.shape == (16, 16)
+
+    def test_warns_once_per_call_site_pattern(self):
+        # Python's default warning registry dedups on (message,
+        # category, module, lineno): a loop over one deprecated call
+        # site surfaces exactly one warning, so migrating a large
+        # caller is not drowned in repeats.
+        result = self._result()
+
+        def unpack_site():
+            value, _ = result  # single deprecated source line
+            return value
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.resetwarnings()
+            warnings.simplefilter("default", DeprecationWarning)
+            for _ in range(5):
+                unpack_site()
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
 
 
 class TestDesignKey:
@@ -172,6 +202,46 @@ class TestMultiFpgaGemm:
         assert max_gemm_gang(1024, 1024, 1024) == 8
         assert max_gemm_gang(256, 256, 256) == 2
         assert max_gemm_gang(64, 64, 64) == 1
+
+
+class TestCallOptions:
+    """One shared options bundle replaces per-kernel kwarg plumbing."""
+
+    def test_bundle_equivalent_to_legacy_kwargs(self, rng):
+        u, v = rng.standard_normal(128), rng.standard_normal(128)
+        legacy = dot(u, v, clock_mhz=85.0, on_xd1=False).report
+        bundled = dot(u, v,
+                      options=CallOptions(clock_mhz=85.0)).report
+        assert legacy == bundled
+
+    def test_explicit_bundle_wins_over_kwargs(self, rng):
+        u, v = rng.standard_normal(64), rng.standard_normal(64)
+        report = dot(u, v, clock_mhz=170.0,
+                     options=CallOptions(clock_mhz=85.0)).report
+        assert report.clock_mhz == 85.0
+
+    def test_same_bundle_reused_across_kernels(self, rng):
+        options = CallOptions(on_xd1=True, sim_mode="fast")
+        A = rng.standard_normal((32, 32))
+        x = rng.standard_normal(32)
+        from repro.blas.api import gemv
+        for outcome in (dot(x, x, options=options),
+                        gemv(A, x, options=options),
+                        gemm(A, A, k=4, m=16, options=options)):
+            assert outcome.report.clock_mhz < 170.0  # XD1 derate
+
+    def test_defaults_match_blas_call_defaults(self):
+        assert CallOptions() == CallOptions(
+            clock_mhz=None, on_xd1=False, sim_mode="cycle",
+            strict=False, fpgas_per_chassis=None)
+
+    def test_fpgas_per_chassis_charges_crossings(self, rng):
+        A = rng.standard_normal((256, 256))
+        B = rng.standard_normal((256, 256))
+        seated = gemm_multi(A, B, l=2, k=8, m=128,
+                            fpgas_per_chassis=1).report
+        single = gemm_multi(A, B, l=2, k=8, m=128).report
+        assert seated.total_cycles > single.total_cycles
 
 
 class TestSpmxvBandwidth:

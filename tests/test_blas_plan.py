@@ -38,8 +38,8 @@ class TestPlanDot:
                                      (4096, 8)])
     def test_prediction_exact(self, rng, n, k):
         plan = plan_dot(n, k=k)
-        _, report = dot(rng.standard_normal(n), rng.standard_normal(n),
-                        k=k)
+        report = dot(rng.standard_normal(n), rng.standard_normal(n),
+                     k=k).report
         assert plan.predicted_cycles == report.total_cycles
 
     def test_flops_and_area(self):
@@ -63,14 +63,15 @@ class TestPlanGemv:
                                           (512, 4, "column")])
     def test_prediction_exact(self, rng, n, k, arch):
         plan = plan_gemv(n, n, k=k, architecture=arch)
-        _, report = gemv(rng.standard_normal((n, n)),
-                         rng.standard_normal(n), k=k, architecture=arch)
+        report = gemv(rng.standard_normal((n, n)),
+                      rng.standard_normal(n), k=k,
+                      architecture=arch).report
         assert plan.predicted_cycles == report.total_cycles
 
     def test_rectangular(self, rng):
         plan = plan_gemv(96, 32, k=4)
-        _, report = gemv(rng.standard_normal((96, 32)),
-                         rng.standard_normal(32), k=4)
+        report = gemv(rng.standard_normal((96, 32)),
+                      rng.standard_normal(32), k=4).report
         assert plan.predicted_cycles == report.total_cycles
         assert plan.flops == 2 * 96 * 32
 
@@ -84,14 +85,14 @@ class TestPlanGemm:
                                        (96, 8, None), (48, 4, None)])
     def test_prediction_exact(self, rng, n, k, m):
         plan = plan_gemm(n, n, n, k=k, m=m)
-        _, report = gemm(rng.standard_normal((n, n)),
-                         rng.standard_normal((n, n)), k=k, m=m)
+        report = gemm(rng.standard_normal((n, n)),
+                      rng.standard_normal((n, n)), k=k, m=m).report
         assert plan.predicted_cycles == report.total_cycles
 
     def test_rectangular_exact(self, rng):
         plan = plan_gemm(24, 40, 56, k=4)
-        _, report = gemm(rng.standard_normal((24, 40)),
-                         rng.standard_normal((40, 56)), k=4)
+        report = gemm(rng.standard_normal((24, 40)),
+                      rng.standard_normal((40, 56)), k=4).report
         assert plan.predicted_cycles == report.total_cycles
         assert plan.flops == 2 * 24 * 40 * 56
 
@@ -124,7 +125,7 @@ class TestPlanSpmxv:
         matrix = poisson_2d(16)
         x = rng.standard_normal(matrix.ncols)
         plan = plan_spmxv(matrix, k=4)
-        _, report = spmxv(matrix, x, k=4)
+        report = spmxv(matrix, x, k=4).report
         assert plan.predicted_cycles == pytest.approx(
             report.total_cycles, rel=bound)
         assert plan.flops == 2 * matrix.nnz
@@ -134,8 +135,9 @@ class TestSpmxvApi:
     def test_matches_dense_product(self, rng):
         matrix = poisson_2d(12)
         x = rng.standard_normal(matrix.ncols)
-        y, report = spmxv(matrix, x)
-        assert np.allclose(y, matrix.to_dense() @ x)
+        outcome = spmxv(matrix, x)
+        assert np.allclose(outcome.value, matrix.to_dense() @ x)
+        report = outcome.report
         assert report.operation == "spmxv"
         assert report.total_cycles > 0
         assert report.sustained_mflops > 0

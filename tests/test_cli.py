@@ -122,6 +122,28 @@ class TestRuntimeCommand:
         assert payload["jobs"]["completed"] == 4
         assert len(payload["devices"]) == 2
 
+    def test_cg_program_mix(self, capsys):
+        import json
+
+        assert main(["runtime", "--jobs", "3", "--mix", "cg",
+                     "--cg-grid", "8", "--blades", "2",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["jobs"]["completed"] == 3
+        assert payload["jobs"]["failed"] == 0
+
+    def test_multichassis_gang_replay(self, capsys):
+        import json
+
+        assert main(["runtime", "--jobs", "1", "--mix", "gemm",
+                     "--gemm-n", "512", "--gemm-m", "32",
+                     "--chassis", "12", "--blades", "6",
+                     "--max-gang", "16", "--sim-mode", "fast",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["gangs"]["multichassis"] == 1
+        assert payload["gangs"]["inter_chassis_cycles"] > 0
+
     def test_max_gang_forms_gangs(self, capsys):
         import json
 
@@ -210,7 +232,30 @@ class TestFaultsCommand:
         args = build_parser().parse_args(["faults"])
         assert args.jobs == 60
         assert args.crash_rate == 200.0
-        assert args.spec is None and args.horizon is None
+        assert args.faults_spec is None and args.horizon is None
+
+    def test_faults_spec_flag_is_canonical(self, tmp_path):
+        spec = tmp_path / "faults.json"
+        spec.write_text('{"events": []}')
+        args = build_parser().parse_args(
+            ["faults", "--faults-spec", str(spec)])
+        assert args.faults_spec == str(spec)
+
+    def test_spec_remains_a_hidden_alias(self, tmp_path):
+        # Pre-unification scripts used 'repro faults --spec PATH'; the
+        # alias maps onto the same destination as --faults-spec.
+        spec = tmp_path / "faults.json"
+        spec.write_text('{"events": []}')
+        args = build_parser().parse_args(
+            ["faults", "--spec", str(spec)])
+        assert args.faults_spec == str(spec)
+
+    def test_spec_alias_is_hidden_from_help(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "--help"])
+        out = capsys.readouterr().out
+        assert "--faults-spec" in out
+        assert "--spec " not in out and "--spec=" not in out
 
     def test_storm_replay(self, capsys):
         rc = main(["faults", "--jobs", "20", "--blades", "4",
@@ -283,18 +328,17 @@ class TestFailureExitCodes:
         assert rc == 0
         assert payload["faults"]["injected"] == 1
 
-    def test_faults_rejects_the_runtime_faults_spec_flag(self, capsys,
+    def test_faults_accepts_the_unified_faults_spec_flag(self, capsys,
                                                          tmp_path):
-        # 'repro faults' has its own --spec; accepting --faults-spec
-        # too would corrupt its fault-free horizon-sizing dry run and
-        # then be silently ignored by the real run
+        # --faults-spec is the one canonical explicit-plan flag across
+        # 'repro faults', 'repro runtime', 'repro trace' and
+        # 'repro serve'; an empty plan replays fault-free.
         spec = tmp_path / "faults.json"
         spec.write_text('{"events": []}')
-        with pytest.raises(SystemExit) as excinfo:
-            main(["faults", "--jobs", "2",
-                  "--faults-spec", str(spec)])
-        assert excinfo.value.code == 2
-        assert "--faults-spec" in capsys.readouterr().err
+        assert main(["faults", "--jobs", "2",
+                     "--faults-spec", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "fault plan:" in out
 
     def test_faults_exits_nonzero_when_jobs_are_lost(self, capsys):
         # one blade, instantly quarantined: every job is rejected for

@@ -145,3 +145,91 @@ class TestMultiChassisNetwork:
         import pytest
         with pytest.raises(ValueError):
             MultiChassisNetwork(chassis=0)
+
+    def test_report_bounded_at_paper_rates(self):
+        from repro.device.interconnect import MultiChassisNetwork
+        net = MultiChassisNetwork(chassis=2, fpgas_per_chassis=6)
+        report = net.stream_mm_schedule(k=8, m=8, b=1024, blocks=6)
+        assert report.block_words == 64
+        assert report.bounded
+
+    def test_report_unbounded_when_links_starved(self):
+        from repro.device.interconnect import MultiChassisNetwork
+        from repro.sim.engine import SimulationError
+        # 3kl/b = 3·4·6/32 = 2.25 words/cycle required; give the
+        # inter-chassis hop a tenth of that.  The schedule either
+        # aborts on backlog or reports unbounded queues.
+        net = MultiChassisNetwork(chassis=2, fpgas_per_chassis=3,
+                                  intra_words_per_cycle=8.0,
+                                  inter_words_per_cycle=0.2)
+        try:
+            report = net.stream_mm_schedule(k=4, m=8, b=32, blocks=40,
+                                            max_cycles=40_000)
+        except SimulationError:
+            return
+        assert not report.bounded
+
+    def test_degenerate_report_is_bounded(self):
+        from repro.device.interconnect import StreamingReport
+        empty = StreamingReport(cycles=0, delivered=0,
+                                max_queue_words=0, per_link_max_queue={},
+                                worst_delivery_lag=0, block_words=0)
+        assert empty.bounded
+
+    def test_inter_link_queueing_itemized_per_link(self):
+        from repro.device.interconnect import MultiChassisNetwork
+        net = MultiChassisNetwork(chassis=3, fpgas_per_chassis=2,
+                                  intra_words_per_cycle=8.0,
+                                  inter_words_per_cycle=1.0)
+        report = net.stream_mm_schedule(k=4, m=8, b=64, blocks=8)
+        inter_names = {link.name for link in net.inter_chassis_links()}
+        assert inter_names <= set(report.per_link_max_queue)
+        # Every boundary link carried traffic and recorded a queue.
+        assert all(report.per_link_max_queue[name] > 0
+                   for name in inter_names)
+
+    def test_pinned_twelve_chassis_b2048_schedule(self):
+        from repro.device.interconnect import MultiChassisNetwork
+        # The paper's full-machine configuration: 12 chassis, 72
+        # FPGAs, k=m=8, b=2048.  Injection interval is
+        # m²·b/(k·l) = 64·2048/576 = 227 cycles; the run is pinned so
+        # a timing regression in the two-level fabric is caught
+        # exactly, not approximately.
+        net = MultiChassisNetwork(chassis=12)
+        assert net.l == 72
+        report = net.stream_mm_schedule(k=8, m=8, b=2048, blocks=3)
+        assert report.delivered == 9
+        assert report.block_words == 64
+        assert report.bounded
+        assert report.cycles == 1876
+        assert report.worst_delivery_lag == 1421
+        assert report.max_queue_words == 124
+
+
+class TestChassisHelpers:
+    def test_chassis_span(self):
+        from repro.device.interconnect import chassis_span
+        assert chassis_span(6, 6) == 1
+        assert chassis_span(7, 6) == 2
+        assert chassis_span(72, 6) == 12
+        with pytest.raises(ValueError):
+            chassis_span(0, 6)
+
+    def test_transfer_cycles_closed_form(self):
+        from repro.device.interconnect import (
+            inter_chassis_transfer_cycles,
+        )
+        import math
+        # span 12 → 11 boundaries; each charges 2·ceil(m²/rate) for
+        # the first-in and last-out block wavefronts.
+        m, rate = 32, 2.0
+        expected = 2 * 11 * math.ceil(m * m / rate)
+        assert inter_chassis_transfer_cycles(
+            72, 6, m=m, b=4096, k=8) == expected
+
+    def test_single_chassis_pays_nothing(self):
+        from repro.device.interconnect import (
+            inter_chassis_transfer_cycles,
+        )
+        assert inter_chassis_transfer_cycles(6, 6, m=32, b=512,
+                                             k=8) == 0

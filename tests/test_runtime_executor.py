@@ -36,10 +36,10 @@ class TestNumericalFidelity:
         runtime.run()
         assert all(j.state is JobState.DONE for j in jobs)
 
-        assert jobs[0].result == api.dot(u, v)[0]
-        assert np.array_equal(jobs[1].result, api.gemv(A, x)[0])
-        assert np.array_equal(jobs[2].result, api.gemm(G, H)[0])
-        assert np.array_equal(jobs[3].result, api.spmxv(S, sx)[0])
+        assert jobs[0].result == api.dot(u, v).value
+        assert np.array_equal(jobs[1].result, api.gemv(A, x).value)
+        assert np.array_equal(jobs[2].result, api.gemm(G, H).value)
+        assert np.array_equal(jobs[3].result, api.spmxv(S, sx).value)
 
     def test_batched_gemm_matches_direct_call(self, rng):
         # Batching amortizes timing overhead; it must never change the
@@ -51,7 +51,7 @@ class TestNumericalFidelity:
                 for ops in operands]
         runtime.run()
         for job, (a, b) in zip(jobs, operands):
-            assert np.array_equal(job.result, api.gemm(a, b)[0])
+            assert np.array_equal(job.result, api.gemm(a, b).value)
 
     def test_mixed_workload_all_complete(self):
         rng = np.random.default_rng(3)

@@ -64,6 +64,19 @@ class TestValidateCall:
             protocol.validate_call(
                 {"operation": "dot", "n": 8, field: value})
 
+    def test_cg_program_spec_accepted(self):
+        spec = protocol.validate_call(
+            {"operation": "cg", "n": 8, "k": 4, "seed": 3})
+        assert spec == {"operation": "cg", "n": 8, "k": 4, "seed": 3}
+
+    @pytest.mark.parametrize("field,value", [("m", 8), ("blades", 2),
+                                             ("architecture", "tree")])
+    def test_cg_rejects_kernel_only_fields(self, field, value):
+        with pytest.raises(protocol.ProtocolError,
+                           match="do not apply"):
+            protocol.validate_call(
+                {"operation": "cg", "n": 8, field: value})
+
     def test_not_an_object(self):
         with pytest.raises(protocol.ProtocolError, match="object"):
             protocol.validate_call([1, 2])

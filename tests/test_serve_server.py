@@ -49,6 +49,22 @@ class TestMaterialize:
                               tenant="astro")
         assert request.tenant == "astro"
 
+    def test_cg_materializes_a_program(self):
+        request = materialize({"operation": "cg", "n": 6, "seed": 4},
+                              tenant="solver")
+        assert request.operation == "program"
+        program = request.operands[0]
+        assert program.nodes[0].value is not None
+        assert len(program.nodes[0].value) == 36
+        assert [n.name for n in program.nodes] == ["p", "Ap", "pAp"]
+
+    def test_cg_same_seed_same_descent_vector(self):
+        spec = {"operation": "cg", "n": 6, "seed": 4}
+        a = materialize(spec).operands[0]
+        b = materialize(spec).operands[0]
+        np.testing.assert_array_equal(a.nodes[0].value,
+                                      b.nodes[0].value)
+
 
 class TestResultDigest:
     def test_deterministic_and_shape_sensitive(self):
@@ -77,6 +93,27 @@ class TestServiceCore:
         assert metrics["jobs"]["completed"] == 6
         assert metrics["tenants"]["astro"]["jobs"]["completed"] == 6
         assert metrics["starved_tenants"] == []
+
+    def test_cg_program_drains_end_to_end(self):
+        service = BlasService()
+        for i in range(3):
+            response = submit(
+                service, "solver",
+                {"operation": "cg", "n": 6, "k": 4, "seed": i},
+                at=i * 1e-3, client_id=i)
+            assert response["type"] == "accepted"
+        drained = service.handle({"op": "drain"})
+        assert all(r["state"] == "done" for r in drained["results"])
+        # Same seeds replay byte-identically: digests are the
+        # fingerprint the smoke job compares across runs.
+        replay = BlasService()
+        for i in range(3):
+            submit(replay, "solver",
+                   {"operation": "cg", "n": 6, "k": 4, "seed": i},
+                   at=i * 1e-3, client_id=i)
+        redrained = replay.handle({"op": "drain"})
+        assert ([r["digest"] for r in drained["results"]]
+                == [r["digest"] for r in redrained["results"]])
 
     def test_results_keep_submission_order(self):
         service = BlasService()

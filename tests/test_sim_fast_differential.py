@@ -91,8 +91,8 @@ class TestExactPlanCycles:
         plan = call.plan()
         reports = {}
         for mode in ("cycle", "fast"):
-            _, reports[mode] = dataclasses.replace(
-                call, sim_mode=mode).execute()
+            reports[mode] = dataclasses.replace(
+                call, sim_mode=mode).execute().report
         assert (plan.predicted_cycles
                 == reports["cycle"].total_cycles
                 == reports["fast"].total_cycles)

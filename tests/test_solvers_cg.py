@@ -63,6 +63,27 @@ class TestSolve:
         assert result.total_fpga_cycles == (result.fpga_cycles["spmxv"]
                                             + result.fpga_cycles["dot"])
 
+    def test_streamed_edges_accounted_separately(self, rng):
+        # The descent step runs as a BlasProgram whose Ap -> pAp edge
+        # streams on-chassis; those cycles are itemized next to (not
+        # inside) the per-kernel totals, which stay pinned above.
+        M, _ = spd_system(rng, 40)
+        b = rng.standard_normal(40)
+        result = ConjugateGradientSolver().solve(M, b)
+        assert result.streamed_edge_cycles > 0
+        assert result.streamed_edge_cycles < result.total_fpga_cycles
+
+    def test_iteration_program_matches_kernel_calls(self, rng):
+        from repro.solvers.cg import cg_iteration_program
+        M, A = spd_system(rng, 30)
+        p = rng.standard_normal(30)
+        run = cg_iteration_program(M).feed(p=p).execute()
+        np.testing.assert_allclose(run.values["Ap"], A @ p,
+                                   rtol=1e-9, atol=1e-9)
+        assert run.values["pAp"] == pytest.approx(
+            float(p @ (A @ p)), rel=1e-9)
+        assert run.streamed_edge_cycles > 0
+
     def test_non_spd_bails_out(self, rng):
         dense = rng.standard_normal((10, 10))
         dense = dense - dense.T  # skew-symmetric: pAp = 0
