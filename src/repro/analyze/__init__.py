@@ -1,21 +1,27 @@
-"""``repro.analyze`` — static analysis for designs and source.
+"""``repro.analyze`` — static analysis for designs, programs, source.
 
-Two layers share one diagnostics format (:mod:`.diagnostics`):
+Three layers share one diagnostics format (:mod:`.diagnostics`):
 
 * the **design-rule checker** (:mod:`.drc`) statically enforces the
   paper's hardware invariants — reduction-buffer bound, MVM hazard
   condition, storage/bandwidth/area budgets, gang preconditions — on
   any :class:`repro.blas.api.BlasCall`, plan, or JSON design spec;
+* the **program verifier** (:mod:`.program`) checks whole streaming
+  :class:`repro.blas.program.BlasProgram` DAGs — shape inference
+  along edges, streamed-link bandwidth, illegal edge classes, feed()
+  re-entry safety, per-node DRC delegation — before anything runs;
 * the **lint pass** (:mod:`.lint`) enforces the repo's determinism and
   numerics rules (no wall-clock, no unseeded randomness, isfinite
   guards on residual comparisons, no mutable defaults, no float
-  equality) over the source tree.
+  equality) over the source tree, including the interprocedural
+  taint (LINT006) and await-epoch (LINT007) rules.
 
-``repro analyze`` runs both; ``BlasCall.plan(check=True)`` runs the
-DRC inline and raises :class:`DesignRuleError` on violations.
+``repro analyze`` runs all three; ``BlasCall.plan(check=True)`` and
+``BlasProgram.plan(check=True)`` run the matching layer inline and
+raise :class:`DesignRuleError` on violations.
 """
 
-from repro.analyze.catalog import shipped_designs
+from repro.analyze.catalog import shipped_designs, shipped_programs
 from repro.analyze.diagnostics import (
     EXIT_CRASH,
     EXIT_OK,
@@ -39,6 +45,13 @@ from repro.analyze.lint import (
     lint_paths,
     lint_source,
 )
+from repro.analyze.program import (
+    PRG_RULES,
+    ProgramUnderCheck,
+    check_program,
+    check_program_spec,
+    check_program_specs,
+)
 from repro.analyze.platform import (
     PLATFORMS,
     PlatformModel,
@@ -56,16 +69,22 @@ __all__ = [
     "EXIT_VIOLATIONS",
     "EXIT_CRASH",
     "DRC_RULES",
+    "PRG_RULES",
     "LINT_RULES",
     "DesignRuleError",
     "DesignUnderCheck",
+    "ProgramUnderCheck",
     "check_call",
     "check_design",
     "check_plan",
+    "check_program",
+    "check_program_spec",
+    "check_program_specs",
     "check_specs",
     "lint_paths",
     "lint_source",
     "shipped_designs",
+    "shipped_programs",
     "PLATFORMS",
     "PlatformModel",
     "XD1_PLATFORM",

@@ -2,7 +2,9 @@
 
 These are the configurations the paper actually built (Tables 3-4) and
 the Section 5.2 gang the runtime schedules — the tree the repo ships
-must pass the DRC with zero errors, and CI enforces that.
+must pass the DRC with zero errors, and CI enforces that.  The solver
+programs (:func:`shipped_programs`) extend the same guarantee to the
+streaming graphs the runtime and serve layer actually admit.
 """
 
 from __future__ import annotations
@@ -10,6 +12,11 @@ from __future__ import annotations
 from typing import List
 
 from repro.analyze.drc import DesignUnderCheck
+from repro.analyze.program import ProgramUnderCheck
+
+#: Problem order the shipped solver programs are verified at — the
+#: 32×32 Poisson grid (order 1024) the quickstart and serve smoke use.
+SHIPPED_PROGRAM_ORDER = 1024
 
 
 def shipped_designs() -> List[DesignUnderCheck]:
@@ -27,4 +34,20 @@ def shipped_designs() -> List[DesignUnderCheck]:
         # Section 5.2 / 6.4.1: the six-blade chassis gang the runtime
         # gang-schedules (k = m = 8 per member).
         DesignUnderCheck("gemm", n=512, k=8, m=8, blades=6),
+    ]
+
+
+def shipped_programs() -> List[ProgramUnderCheck]:
+    """The solver program graphs the repo ships (CG descent step,
+    Jacobi sweep), normalized from their JSON spec builders at the
+    quickstart order.  ``repro analyze`` verifies these by default and
+    CI gates them at zero findings."""
+    from repro.solvers.cg import cg_iteration_spec
+    from repro.sparse.jacobi import jacobi_iteration_spec
+
+    return [
+        ProgramUnderCheck.from_spec(
+            cg_iteration_spec(SHIPPED_PROGRAM_ORDER)),
+        ProgramUnderCheck.from_spec(
+            jacobi_iteration_spec(SHIPPED_PROGRAM_ORDER)),
     ]

@@ -17,6 +17,14 @@ LINT004  no mutable (or call) default arguments
 LINT005  no float equality against non-zero literals (comparison to
          exactly ``0.0`` is IEEE-exact and allowed, e.g. singular-pivot
          guards)
+LINT006  interprocedural determinism taint: a wall-clock or unseeded
+         RNG source (the LINT001/LINT002 sources) reached through a
+         *callee* of a function that produces a ``*Result``/``*Report``
+         value — the per-function rules only see direct calls
+LINT007  ``repro.serve`` async handlers must not cache tenant/
+         coalescer/admission state across an ``await`` without
+         re-validating the epoch: the event loop may interleave a
+         drain that advances it
 =======  ==============================================================
 
 A finding on a line ending in ``# repro: allow(LINT00x)`` (rule id or
@@ -68,6 +76,14 @@ LINT_RULES: Dict[str, LintRule] = {
         LintRule("LINT005", "float-eq",
                  "no float equality against non-zero literals",
                  "repo rule: NaN-safe comparisons"),
+        LintRule("LINT006", "taint",
+                 "no nondeterminism reaching results through callees",
+                 "repo rule: seeded randomness and virtual time for "
+                 "byte-identical replay (interprocedural)"),
+        LintRule("LINT007", "stale-epoch",
+                 "serve handlers re-validate epoch after awaiting",
+                 "repo rule: serve epoch consistency (drains may "
+                 "interleave at any await)"),
     )
 }
 
@@ -332,6 +348,241 @@ class _Linter(ast.NodeVisitor):
                 return
 
 
+#: Rules whose pragma also clears a call as a LINT006 taint source —
+#: an explicitly waived wall-clock/RNG read is a reviewed decision,
+#: not hidden nondeterminism.
+_TAINT_PRAGMA_RULES = frozenset({"LINT001", "LINT002", "LINT006"})
+
+_SINK_SUFFIXES = ("Result", "Report")
+
+#: Attribute-name fragments that mark serve mutable shared state.
+_SERVE_STATE_TOKENS = ("admission", "tenant", "pending", "coalescer",
+                       "epoch", "quota")
+
+
+@dataclass
+class _FunctionInfo:
+    """Call-graph node for the interprocedural pass."""
+
+    key: str
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    #: (source description, lineno) of direct nondeterminism reads.
+    sources: List[Tuple[str, int]]
+    #: Keys of same-module callees.
+    callees: List[str]
+    is_sink: bool
+
+
+class _InterproceduralPass:
+    """Second pass over one module: the per-module call graph for
+    LINT006 and the await/state scan for LINT007.  Reuses the first
+    pass's alias table and ``_emit`` (so pragmas and the diagnostic
+    format stay identical)."""
+
+    def __init__(self, tree: ast.Module, linter: _Linter) -> None:
+        self.tree = tree
+        self.linter = linter
+        self.functions: Dict[str, _FunctionInfo] = {}
+        self._collect()
+
+    # -- LINT006: call-graph taint --------------------------------------
+    def _collect(self) -> None:
+        for item in self.tree.body:
+            if isinstance(item, (ast.FunctionDef,
+                                 ast.AsyncFunctionDef)):
+                self._add_function(item.name, item, cls=None)
+            elif isinstance(item, ast.ClassDef):
+                for member in item.body:
+                    if isinstance(member, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)):
+                        self._add_function(
+                            f"{item.name}.{member.name}", member,
+                            cls=item.name)
+
+    def _add_function(self, key: str,
+                      node: "ast.FunctionDef | ast.AsyncFunctionDef",
+                      cls: Optional[str]) -> None:
+        sources: List[Tuple[str, int]] = []
+        callees: List[str] = []
+        for child in ast.walk(node):
+            if not isinstance(child, ast.Call):
+                continue
+            qualified = self.linter._qualified(child.func) or ""
+            desc = self._nondeterminism_source(child, qualified)
+            if desc is not None and not self._waived(child):
+                sources.append((desc, child.lineno))
+            if isinstance(child.func, ast.Name):
+                callees.append(child.func.id)
+            elif (isinstance(child.func, ast.Attribute)
+                    and isinstance(child.func.value, ast.Name)
+                    and child.func.value.id == "self"
+                    and cls is not None):
+                callees.append(f"{cls}.{child.func.attr}")
+        self.functions[key] = _FunctionInfo(
+            key=key, node=node, sources=sources, callees=callees,
+            is_sink=self._is_sink(node))
+
+    def _waived(self, call: ast.Call) -> bool:
+        lineno = call.lineno
+        line = (self.linter.lines[lineno - 1]
+                if 0 < lineno <= len(self.linter.lines) else "")
+        return bool(_allowed_rules(line) & _TAINT_PRAGMA_RULES)
+
+    @staticmethod
+    def _nondeterminism_source(call: ast.Call,
+                               qualified: str) -> Optional[str]:
+        """The LINT001/LINT002 source this call reads, if any."""
+        if qualified in _WALL_CLOCK_CALLS:
+            return f"wall-clock {qualified}()"
+        if qualified.startswith("random."):
+            return f"process-global {qualified}()"
+        if qualified.startswith("numpy.random."):
+            tail = qualified[len("numpy.random."):]
+            if tail.split(".")[0] in _NP_RANDOM_SAFE:
+                return None
+            if tail == "default_rng":
+                if not call.args and not call.keywords:
+                    return "unseeded default_rng()"
+                return None
+            return f"global numpy.random API ({qualified})"
+        return None
+
+    @staticmethod
+    def _is_sink(node: "ast.FunctionDef | ast.AsyncFunctionDef",
+                 ) -> bool:
+        """Does the function produce a result/report value — a return
+        annotation or a returned constructor named ``*Result`` or
+        ``*Report``?"""
+        if node.returns is not None:
+            rendered = ast.unparse(node.returns)
+            if any(suffix in rendered for suffix in _SINK_SUFFIXES):
+                return True
+        for child in ast.walk(node):
+            if not isinstance(child, ast.Return) \
+                    or not isinstance(child.value, ast.Call):
+                continue
+            func = child.value.func
+            name = (func.attr if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name)
+                    else "")
+            if name.endswith(_SINK_SUFFIXES):
+                return True
+        return False
+
+    def check_taint(self) -> None:
+        """Propagate direct sources through the call graph; flag sinks
+        that only acquire nondeterminism *transitively* (direct reads
+        are LINT001/LINT002's own findings)."""
+        # taint[key] = (origin key, source description) — first found.
+        taint: Dict[str, Tuple[str, str]] = {
+            key: (key, info.sources[0][0])
+            for key, info in self.functions.items() if info.sources}
+        changed = True
+        while changed:
+            changed = False
+            for key, info in self.functions.items():
+                if key in taint:
+                    continue
+                for callee in info.callees:
+                    if callee in taint:
+                        origin, desc = taint[callee]
+                        taint[key] = (origin, desc)
+                        changed = True
+                        break
+        for key, info in self.functions.items():
+            if not info.is_sink or info.sources or key not in taint:
+                continue
+            origin, desc = taint[key]
+            via = next(c for c in info.callees if c in taint)
+            route = (f"via {via}()" if via == origin
+                     else f"via {via}() reaching {origin}()")
+            self.linter._emit(
+                "LINT006", info.node,
+                f"{key}() produces a result/report value but calls "
+                f"into {desc} {route}: the output is no longer a pure "
+                f"function of its inputs",
+                hint="thread a seeded Generator / the virtual clock "
+                     "through the callee instead")
+
+    # -- LINT007: awaits holding serve state ----------------------------
+    def check_serve_awaits(self) -> None:
+        for info in self.functions.values():
+            if isinstance(info.node, ast.AsyncFunctionDef):
+                self._check_async(info)
+
+    def _check_async(self, info: _FunctionInfo) -> None:
+        """Linear scan of one async handler: a local bound from a bare
+        ``self.<...state...>`` chain must not be used after a later
+        ``await`` unless the epoch was re-read in between."""
+        awaits = 0
+        #: var -> awaits count at binding time.
+        bound: Dict[str, int] = {}
+        #: awaits count at the most recent epoch(-ish) re-read.
+        revalidated = -1
+        flagged: Set[str] = set()
+
+        def chain_parts(expr: ast.AST) -> Optional[List[str]]:
+            parts: List[str] = []
+            while isinstance(expr, ast.Attribute):
+                parts.append(expr.attr)
+                expr = expr.value
+            if not isinstance(expr, ast.Name):
+                return None
+            parts.append(expr.id)
+            return list(reversed(parts))
+
+        def scan(node: ast.AST) -> None:
+            nonlocal awaits, revalidated
+            if isinstance(node, (ast.FunctionDef,
+                                 ast.AsyncFunctionDef, ast.Lambda)):
+                return  # nested defs run later, not inline
+            if isinstance(node, (ast.Await, ast.AsyncFor,
+                                 ast.AsyncWith)):
+                awaits += 1
+            if isinstance(node, ast.Attribute):
+                parts = chain_parts(node)
+                if parts and any("epoch" in part.lower()
+                                 for part in parts):
+                    revalidated = awaits
+            if isinstance(node, ast.Assign) \
+                    and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                target = node.targets[0].id
+                bound.pop(target, None)
+                parts = (chain_parts(node.value)
+                         if isinstance(node.value, ast.Attribute)
+                         else None)
+                if parts and parts[0] in ("self", "service") \
+                        and any(token in part.lower()
+                                for part in parts[1:]
+                                for token in _SERVE_STATE_TOKENS):
+                    bound[target] = awaits
+            if isinstance(node, ast.Name) \
+                    and isinstance(node.ctx, ast.Load) \
+                    and node.id in bound \
+                    and node.id not in flagged:
+                held_since = bound[node.id]
+                if awaits > held_since and revalidated <= held_since:
+                    flagged.add(node.id)
+                    self.linter._emit(
+                        "LINT007", node,
+                        f"{info.key}() caches mutable serve state in "
+                        f"{node.id!r} and awaits before using it; a "
+                        f"drain may have advanced the epoch in "
+                        f"between",
+                        hint="re-read the state (or re-check .epoch) "
+                             "after every await")
+            for child in ast.iter_child_nodes(node):
+                scan(child)
+
+        for stmt in info.node.body:
+            scan(stmt)
+
+
+def _is_serve_module(path: str) -> bool:
+    return "serve" in Path(path).parts
+
+
 def lint_source(source: str, path: str = "<string>",
                 ) -> List[Diagnostic]:
     """Lint one Python source string; returns its diagnostics."""
@@ -345,6 +596,10 @@ def lint_source(source: str, path: str = "<string>",
             citation="python grammar")]
     linter = _Linter(path, source.splitlines())
     linter.visit(tree)
+    second = _InterproceduralPass(tree, linter)
+    second.check_taint()
+    if _is_serve_module(path):
+        second.check_serve_awaits()
     return linter.diagnostics
 
 

@@ -245,11 +245,26 @@ class BlasProgram:
                 dram += cost
         return streamed, dram
 
+    def check(self, platform: str = "xd1") -> None:
+        """Statically verify the graph (PRG001-007); raise
+        :class:`repro.analyze.drc.DesignRuleError` on any error.
+        Imported lazily: ``repro.analyze`` depends on this module."""
+        from repro.analyze.drc import DesignRuleError
+        from repro.analyze.program import check_program
+
+        report = check_program(self, platform)
+        if not report.ok:
+            raise DesignRuleError(report)
+
     # -- planning --------------------------------------------------------
-    def plan(self) -> ProgramPlan:
+    def plan(self, check: bool = False) -> ProgramPlan:
         """Predict one pass: per-node plans plus edge charges.  Inputs
         must be fed first (edge words come from actual value sizes, so
-        the prediction cannot drift from execution)."""
+        the prediction cannot drift from execution).  ``check=True``
+        verifies the graph first (PRG001-007) and raises
+        :class:`repro.analyze.drc.DesignRuleError` on violations."""
+        if check:
+            self.check()
         values: Dict[str, Any] = {}
         node_plans: Dict[str, api.ExecutionPlan] = {}
         kernel_cycles = flops = 0
@@ -300,8 +315,12 @@ class BlasProgram:
         return np.zeros((a[0], b[1]))
 
     # -- execution -------------------------------------------------------
-    def execute(self, sim_mode: Optional[str] = None) -> ProgramRun:
-        """Run every node in order, charging kernels and edges."""
+    def execute(self, sim_mode: Optional[str] = None,
+                check: bool = False) -> ProgramRun:
+        """Run every node in order, charging kernels and edges.
+        ``check=True`` verifies the graph first, as in :meth:`plan`."""
+        if check:
+            self.check()
         values: Dict[str, Any] = {}
         node_reports: Dict[str, api.PerfReport] = {}
         streamed_total = dram_total = 0

@@ -405,8 +405,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    """Design-rule check + lint pass; exit 0 clean, 1 on violations,
-    2 when the analyzer itself crashed."""
+    """Design-rule check + program verifier + lint pass; exit 0 clean,
+    1 on violations, 2 when the analyzer itself crashed."""
     from repro.analyze import EXIT_CRASH
 
     try:
@@ -415,6 +415,21 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(f"analyzer crashed: {type(exc).__name__}: {exc}",
               file=sys.stderr)
         return EXIT_CRASH
+
+
+def _list_rules() -> int:
+    """Print every registered rule across the three layers."""
+    from repro.analyze import DRC_RULES, EXIT_OK, PRG_RULES
+    from repro.analyze.lint import LINT_RULES
+
+    for rule in DRC_RULES.values():
+        print(f"{rule.rule_id}  {rule.title}  [{rule.citation}]")
+    for rule in PRG_RULES.values():
+        print(f"{rule.rule_id}  {rule.title}  [{rule.citation}]")
+    for rule in LINT_RULES.values():
+        print(f"{rule.rule_id}  {rule.title} ({rule.name})  "
+              f"[{rule.citation}]")
+    return EXIT_OK
 
 
 def _run_analyze(args: argparse.Namespace) -> int:
@@ -426,12 +441,17 @@ def _run_analyze(args: argparse.Namespace) -> int:
         AnalysisReport,
         Baseline,
         check_design,
+        check_program,
+        check_program_specs,
         check_specs,
         get_platform,
         lint_paths,
         shipped_designs,
+        shipped_programs,
     )
 
+    if args.list_rules:
+        return _list_rules()
     platform = get_platform(args.platform)
     report = AnalysisReport()
     if not args.no_drc:
@@ -441,9 +461,18 @@ def _run_analyze(args: argparse.Namespace) -> int:
             if isinstance(specs, dict):
                 specs = specs.get("designs", [specs])
             report.extend(check_specs(specs, platform))
-        else:
+        elif not args.program_spec:
             for design in shipped_designs():
                 report.extend(check_design(design, platform))
+    if args.program_spec:
+        with open(args.program_spec) as handle:
+            programs = json.load(handle)
+        if isinstance(programs, dict):
+            programs = programs.get("programs", [programs])
+        report.extend(check_program_specs(programs, platform))
+    elif not args.no_drc and not args.spec:
+        for program in shipped_programs():
+            report.extend(check_program(program, platform))
     if not args.no_lint:
         report.extend(lint_paths(args.paths))
     if args.rules:
@@ -454,8 +483,31 @@ def _run_analyze(args: argparse.Namespace) -> int:
         print(f"baseline of {len(baseline.fingerprints)} finding(s) "
               f"written to {args.write_baseline}")
         return EXIT_OK
+    if args.prune_baseline and not args.baseline:
+        raise ValueError("--prune-baseline needs --baseline FILE")
     if args.baseline:
-        report = report.apply_baseline(Baseline.load(args.baseline))
+        baseline = Baseline.load(args.baseline)
+        current = {d.fingerprint for d in report}
+        stale = sorted(baseline.fingerprints - current)
+        if stale:
+            if args.prune_baseline:
+                pruned = Baseline(baseline.fingerprints - set(stale))
+                pruned.save(args.baseline, report)
+                print(f"pruned {len(stale)} stale entr"
+                      f"{'y' if len(stale) == 1 else 'ies'} from "
+                      f"{args.baseline} "
+                      f"({len(pruned.fingerprints)} kept)",
+                      file=sys.stderr)
+                baseline = pruned
+            else:
+                one = len(stale) == 1
+                print(f"warning: {len(stale)} stale baseline entr"
+                      f"{'y' if one else 'ies'} in {args.baseline} "
+                      f"{'matches' if one else 'match'} no current "
+                      "finding (re-run with --prune-baseline to drop "
+                      f"{'it' if one else 'them'}): " + ", ".join(stale),
+                      file=sys.stderr)
+        report = report.apply_baseline(baseline)
     if args.json:
         print(report.to_json())
     else:
@@ -951,7 +1003,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_an = sub.add_parser(
         "analyze", help="static analysis: design-rule checker + "
-                        "determinism lint (no execution)")
+                        "program verifier + determinism lint "
+                        "(no execution)")
     p_an.add_argument("paths", nargs="*", default=["src"],
                       help="files/directories to lint (default: src)")
     p_an.add_argument("--platform", choices=("xd1", "src"),
@@ -960,21 +1013,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--spec", metavar="PATH", default=None,
                       help="JSON design spec(s) to check instead of "
                            "the shipped design catalog")
+    p_an.add_argument("--program-spec", metavar="PATH", default=None,
+                      help="JSON program spec(s) to verify "
+                           "(PRG001-007) instead of the shipped "
+                           "solver programs")
     p_an.add_argument("--rules", metavar="IDS", default=None,
                       help="comma-separated rule ids to keep "
-                           "(e.g. DRC001,LINT003)")
+                           "(e.g. DRC001,PRG002,LINT003)")
+    p_an.add_argument("--list-rules", action="store_true",
+                      help="print every registered DRC/PRG/LINT rule "
+                           "and exit 0")
     p_an.add_argument("--json", action="store_true",
                       help="emit the diagnostics report as JSON")
     p_an.add_argument("--strict", action="store_true",
                       help="treat warnings as violations (exit 1)")
     p_an.add_argument("--baseline", metavar="PATH", default=None,
                       help="suppress findings recorded in this "
-                           "baseline file")
+                           "baseline file (stale entries warn)")
     p_an.add_argument("--write-baseline", metavar="PATH", default=None,
                       help="record current findings as the baseline "
                            "and exit 0")
+    p_an.add_argument("--prune-baseline", action="store_true",
+                      help="rewrite --baseline without entries "
+                           "matching no current finding")
     p_an.add_argument("--no-drc", action="store_true",
-                      help="skip the design-rule checks")
+                      help="skip the design-rule and program checks")
     p_an.add_argument("--no-lint", action="store_true",
                       help="skip the source lint pass")
 

@@ -390,7 +390,13 @@ class BlasRuntime:
     def _program_plan(self, program) -> api.ExecutionPlan:
         """Schedulable summary of a whole program pass: the exact
         per-node predictions plus edge charges, with the largest
-        kernel's area (every node's bitstream must fit the blade)."""
+        kernel's area (every node's bitstream must fit the blade).
+
+        The graph is statically verified first (PRG001-007), so an
+        invalid program fails at admission — ``submit()`` turns the
+        ``DesignRuleError`` into a pre-queue job failure — instead of
+        inside an epoch."""
+        program.check(platform="xd1" if self.on_xd1 else "src")
         pplan = program.plan()
         node_plans = list(pplan.node_plans.values())
         area = max((p.area for p in node_plans),

@@ -35,8 +35,9 @@ Responses
 with a ``results`` array for drains; ``metrics``; ``error`` for
 malformed input.  Reject reasons: the admission layer's
 :data:`REJECT_INVALID`, :data:`REJECT_QUOTA`, :data:`REJECT_PENDING`,
-plus the runtime's own ``queue_full`` / ``capacity_lost`` surfacing in
-drain results.
+the program verifier's :data:`REJECT_PROGRAM` (the reject carries the
+first ``Diagnostic`` as ``{"rule", "message"}``), plus the runtime's
+own ``queue_full`` / ``capacity_lost`` surfacing in drain results.
 """
 
 from __future__ import annotations
@@ -64,6 +65,10 @@ CALL_FIELDS = frozenset(_ANALYZE_FIELDS) | {"seed", "priority"}
 REJECT_INVALID = "invalid_request"
 REJECT_QUOTA = "quota_exhausted"
 REJECT_PENDING = "tenant_queue_full"
+#: A well-formed submission describing a program that fails static
+#: verification (PRG001-007) — rejected before admission, carrying the
+#: first diagnostic's rule id and message.
+REJECT_PROGRAM = "invalid_program"
 
 
 class ProtocolError(ValueError):
@@ -161,10 +166,15 @@ def accepted(client_id: Optional[Any], seq: int) -> Dict[str, Any]:
             "seq": seq}
 
 
-def rejected(client_id: Optional[Any], reason: str,
-             detail: str) -> Dict[str, Any]:
-    return {"ok": False, "type": "rejected", "id": client_id,
-            "reason": reason, "detail": detail}
+def rejected(client_id: Optional[Any], reason: str, detail: str,
+             diagnostic: Optional[Mapping[str, str]] = None,
+             ) -> Dict[str, Any]:
+    out: Dict[str, Any] = {"ok": False, "type": "rejected",
+                           "id": client_id, "reason": reason,
+                           "detail": detail}
+    if diagnostic is not None:
+        out["diagnostic"] = dict(diagnostic)
+    return out
 
 
 def drained(epoch: int, makespan_seconds: float,

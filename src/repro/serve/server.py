@@ -289,6 +289,28 @@ class BlasService:
         if self.slo is not None:
             self.slo.observe_submit(ts, tenant, rejected=True)
 
+    @staticmethod
+    def _verify_program(spec: Mapping[str, Any],
+                        ) -> Optional[Dict[str, str]]:
+        """Statically verify a program submission (PRG001-007) before
+        admission; returns the first error as ``{"rule", "message"}``,
+        or ``None`` for a clean program / non-program call.  Runs on
+        the spec alone — no matrix is built."""
+        if spec.get("operation") != "cg":
+            return None
+        from repro.analyze.program import check_program_spec
+        from repro.solvers.cg import cg_iteration_spec
+
+        n = spec["n"]
+        program_spec = cg_iteration_spec(
+            n * n, k_spmxv=spec.get("k", DEFAULT_K["spmxv"]),
+            k_dot=DEFAULT_K["dot"])
+        report = check_program_spec(program_spec)
+        if report.ok:
+            return None
+        first = report.errors[0]
+        return {"rule": first.rule, "message": first.message}
+
     def submit(self, message: Mapping[str, Any]) -> Dict[str, Any]:
         client_id = message.get("id")
         tenant = message.get("tenant")
@@ -318,6 +340,17 @@ class BlasService:
             self._reject(at, tenant, protocol.REJECT_INVALID)
             return protocol.rejected(client_id,
                                      protocol.REJECT_INVALID, str(exc))
+        diagnostic = self._verify_program(spec)
+        if diagnostic is not None:
+            state = self.admission.register(tenant)
+            state.submitted += 1
+            state.invalid_rejects += 1
+            self._reject(at, tenant, protocol.REJECT_PROGRAM)
+            return protocol.rejected(
+                client_id, protocol.REJECT_PROGRAM,
+                f"program failed static verification: "
+                f"{diagnostic['rule']}: {diagnostic['message']}",
+                diagnostic=diagnostic)
         _state, reason = self.admission.admit(tenant, at)
         if reason is not None:
             detail = ("admission token bucket empty"

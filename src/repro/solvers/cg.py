@@ -51,6 +51,32 @@ def cg_iteration_program(matrix: CsrMatrix, k_spmxv: int = 4,
     return program
 
 
+def cg_iteration_spec(order: int, k_spmxv: int = 4, k_dot: int = 2,
+                      name: str = "cg-iteration") -> dict:
+    """The JSON program spec describing a
+    :func:`cg_iteration_program` of the given order — the static shape
+    ``repro analyze --program-spec`` verifies without building a
+    matrix."""
+    return {
+        "name": name,
+        "nodes": [
+            {"name": "p", "kind": "input", "shape": [order]},
+            {"name": "Ap", "kind": "kernel", "operation": "spmxv",
+             "k": k_spmxv,
+             "operands": [
+                 {"shape": [order, order], "sparse": True},
+                 {"ref": "p", "streamed": False},
+             ]},
+            {"name": "pAp", "kind": "kernel", "operation": "dot",
+             "k": k_dot,
+             "operands": [
+                 {"ref": "p", "streamed": False},
+                 {"ref": "Ap", "streamed": True},
+             ]},
+        ],
+    }
+
+
 @dataclass
 class CgResult:
     """Outcome of a conjugate-gradient solve."""

@@ -40,8 +40,32 @@ def jacobi_iteration_program(
     program.add_input("x")
     program.add_kernel("Rx", "spmxv",
                        (remainder, Ref("x", streamed=False)), k=k)
-    program.add_host("x_next", update, (Ref("Rx"),))
+    # The update runs on the host, so Rx crosses through DRAM —
+    # declared as such, matching what the runtime charges (PRG004).
+    program.add_host("x_next", update, (Ref("Rx", streamed=False),))
     return program
+
+
+def jacobi_iteration_spec(order: int, k: int = 4,
+                          name: str = "jacobi-iteration") -> dict:
+    """The JSON program spec describing a
+    :func:`jacobi_iteration_program` of the given order — the static
+    shape ``repro analyze --program-spec`` verifies without building a
+    matrix."""
+    return {
+        "name": name,
+        "nodes": [
+            {"name": "x", "kind": "input", "shape": [order]},
+            {"name": "Rx", "kind": "kernel", "operation": "spmxv",
+             "k": k,
+             "operands": [
+                 {"shape": [order, order], "sparse": True},
+                 {"ref": "x", "streamed": False},
+             ]},
+            {"name": "x_next", "kind": "host", "shape": [order],
+             "operands": [{"ref": "Rx", "streamed": False}]},
+        ],
+    }
 
 
 @dataclass

@@ -3,14 +3,25 @@
 round-trip and strict mode."""
 
 import json
+from pathlib import Path
 
 from repro.analyze import EXIT_CRASH, EXIT_OK, EXIT_VIOLATIONS
 from repro.cli import build_parser, main
 
 
+SHIPPED_PROGRAMS = str(Path(__file__).resolve().parent.parent
+                       / "specs" / "solver-programs.json")
+
+
 def write_spec(tmp_path, specs, name="spec.json"):
     path = tmp_path / name
     path.write_text(json.dumps({"designs": specs}))
+    return str(path)
+
+
+def write_programs(tmp_path, programs, name="programs.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps({"programs": programs}))
     return str(path)
 
 
@@ -114,6 +125,67 @@ class TestJsonAndFilters:
                      "--rules", "DRC999"]) == EXIT_OK
 
 
+BAD_PROGRAM = {
+    "name": "mismatch",
+    "nodes": [
+        {"name": "A", "kind": "input", "shape": [16, 64]},
+        {"name": "y", "kind": "kernel", "operation": "gemv", "k": 4,
+         "operands": [{"ref": "A", "streamed": False},
+                      {"shape": [32]}]},
+    ],
+}
+
+
+class TestProgramSpec:
+    def test_shipped_programs_exit_zero_even_strict(self, capsys):
+        code = main(["analyze", "--program-spec", SHIPPED_PROGRAMS,
+                     "--no-lint", "--no-drc", "--strict"])
+        assert code == EXIT_OK
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_program_violation_exits_one(self, tmp_path, capsys):
+        path = write_programs(tmp_path, [BAD_PROGRAM])
+        code = main(["analyze", "--program-spec", path,
+                     "--no-lint", "--no-drc"])
+        assert code == EXIT_VIOLATIONS
+        assert "PRG001" in capsys.readouterr().out
+
+    def test_missing_program_spec_is_a_crash(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(["analyze", "--program-spec", missing,
+                     "--no-lint", "--no-drc"]) == EXIT_CRASH
+        assert "analyzer crashed" in capsys.readouterr().err
+
+    def test_schema_junk_is_a_crash_not_a_violation(self, tmp_path):
+        junk = dict(BAD_PROGRAM, nodes=[
+            {"name": "A", "kind": "input", "shape": [4], "blokes": 2},
+        ])
+        path = write_programs(tmp_path, [junk])
+        assert main(["analyze", "--program-spec", path,
+                     "--no-lint", "--no-drc"]) == EXIT_CRASH
+
+    def test_bare_mapping_is_a_single_program(self, tmp_path, capsys):
+        path = tmp_path / "one.json"
+        path.write_text(json.dumps(BAD_PROGRAM))
+        code = main(["analyze", "--program-spec", str(path),
+                     "--no-lint", "--no-drc", "--json"])
+        assert code == EXIT_VIOLATIONS
+        payload = json.loads(capsys.readouterr().out)
+        assert any(d["rule"] == "PRG001"
+                   for d in payload["diagnostics"])
+        assert all(d["subject"].startswith("mismatch.")
+                   for d in payload["diagnostics"])
+
+
+class TestListRules:
+    def test_lists_all_three_layers(self, capsys):
+        assert main(["analyze", "--list-rules"]) == EXIT_OK
+        out = capsys.readouterr().out
+        for rule_id in ("DRC001", "DRC010", "PRG001", "PRG007",
+                        "LINT001", "LINT007"):
+            assert rule_id in out
+
+
 class TestBaseline:
     def test_write_then_apply(self, tmp_path, capsys):
         spec = write_spec(tmp_path, [BAD_DOT])
@@ -142,3 +214,57 @@ class TestBaseline:
             "new.json")
         assert main(["analyze", "--spec", spec_new, "--no-lint",
                      "--baseline", baseline]) == EXIT_VIOLATIONS
+
+    def test_stale_entries_warn(self, tmp_path, capsys):
+        # Baseline BAD_DOT, then fix the design: the orphaned
+        # fingerprint should be called out on stderr.
+        baseline = str(tmp_path / "baseline.json")
+        spec_old = write_spec(tmp_path, [BAD_DOT], "old.json")
+        main(["analyze", "--spec", spec_old, "--no-lint",
+              "--write-baseline", baseline])
+        spec_new = write_spec(tmp_path, [CLEAN_GEMM], "new.json")
+        capsys.readouterr()
+        assert main(["analyze", "--spec", spec_new, "--no-lint",
+                     "--baseline", baseline]) == EXIT_OK
+        err = capsys.readouterr().err
+        assert "1 stale baseline entry" in err
+        assert "--prune-baseline" in err
+
+    def test_prune_rewrites_the_baseline(self, tmp_path, capsys):
+        baseline = str(tmp_path / "baseline.json")
+        spec_old = write_spec(tmp_path, [BAD_DOT], "old.json")
+        main(["analyze", "--spec", spec_old, "--no-lint",
+              "--write-baseline", baseline])
+        spec_new = write_spec(tmp_path, [CLEAN_GEMM], "new.json")
+        capsys.readouterr()
+        assert main(["analyze", "--spec", spec_new, "--no-lint",
+                     "--baseline", baseline,
+                     "--prune-baseline"]) == EXIT_OK
+        assert "pruned 1 stale entry" in capsys.readouterr().err
+        payload = json.loads((tmp_path / "baseline.json").read_text())
+        assert payload["fingerprints"] == []
+        # A second run is silent: nothing stale remains.
+        capsys.readouterr()
+        main(["analyze", "--spec", spec_new, "--no-lint",
+              "--baseline", baseline])
+        assert "stale" not in capsys.readouterr().err
+
+    def test_live_entries_survive_a_prune(self, tmp_path, capsys):
+        baseline = str(tmp_path / "baseline.json")
+        spec_old = write_spec(tmp_path, [BAD_DOT, WARN_GEMM],
+                              "old.json")
+        main(["analyze", "--spec", spec_old, "--no-lint", "--strict",
+              "--write-baseline", baseline])
+        spec_new = write_spec(tmp_path, [WARN_GEMM], "new.json")
+        capsys.readouterr()
+        assert main(["analyze", "--spec", spec_new, "--no-lint",
+                     "--strict", "--baseline", baseline,
+                     "--prune-baseline"]) == EXIT_OK
+        payload = json.loads((tmp_path / "baseline.json").read_text())
+        assert len(payload["fingerprints"]) == 1
+
+    def test_prune_without_baseline_is_a_crash(self, tmp_path, capsys):
+        spec = write_spec(tmp_path, [CLEAN_GEMM])
+        assert main(["analyze", "--spec", spec, "--no-lint",
+                     "--prune-baseline"]) == EXIT_CRASH
+        assert "--baseline" in capsys.readouterr().err

@@ -174,9 +174,134 @@ class TestPragmaAndPlumbing:
 
     def test_every_rule_documented(self):
         assert sorted(LINT_RULES) == [f"LINT00{i}"
-                                      for i in range(1, 6)]
+                                      for i in range(1, 8)]
         for rule in LINT_RULES.values():
             assert rule.citation and rule.title
+
+
+class TestInterproceduralTaint:
+    """LINT006: LINT001/LINT002 sources reaching a ``*Result``/
+    ``*Report`` producer through a callee — what the per-function
+    rules cannot see."""
+
+    def test_wall_clock_through_helper_fires(self):
+        src = ("import time\n"
+               "def _stamp():\n"
+               "    return time.time()\n"
+               "def run(x) -> 'BlasResult':\n"
+               "    return BlasResult(x, _stamp())\n")
+        assert "LINT006" in fired(src)
+
+    def test_unseeded_rng_through_two_hops_fires(self):
+        src = ("import numpy as np\n"
+               "def _rng():\n"
+               "    return np.random.default_rng()\n"
+               "def _draw():\n"
+               "    return _rng().standard_normal(4)\n"
+               "def report(x) -> 'PerfReport':\n"
+               "    return PerfReport(x, _draw())\n")
+        assert "LINT006" in fired(src)
+
+    def test_method_taint_through_self_fires(self):
+        src = ("import time\n"
+               "class Solver:\n"
+               "    def _stamp(self):\n"
+               "        return time.time()\n"
+               "    def solve(self, x) -> 'CgResult':\n"
+               "        return CgResult(x, self._stamp())\n")
+        assert "LINT006" in fired(src)
+
+    def test_seeded_callee_is_clean(self):
+        src = ("def _draw(rng):\n"
+               "    return rng.standard_normal(4)\n"
+               "def run(rng) -> 'BlasResult':\n"
+               "    return BlasResult(_draw(rng), 0)\n")
+        assert fired(src) == set()
+
+    def test_direct_source_is_lint001_not_lint006(self):
+        # A direct read in the sink itself is the per-function rule's
+        # finding; LINT006 only reports the transitive case.
+        src = ("import time\n"
+               "def run(x) -> 'BlasResult':\n"
+               "    return BlasResult(x, time.time())\n")
+        assert fired(src) == {"LINT001"}
+
+    def test_pragma_on_source_clears_the_taint(self):
+        src = ("import time\n"
+               "def _stamp():\n"
+               "    return time.time()  # repro: allow(LINT001)\n"
+               "def run(x) -> 'BlasResult':\n"
+               "    return BlasResult(x, _stamp())\n")
+        assert fired(src) == set()
+
+    def test_non_sink_caller_is_clean(self):
+        src = ("import time\n"
+               "def _stamp():\n"
+               "    return time.time()\n"
+               "def log(x):\n"
+               "    return (x, _stamp())\n")
+        assert fired(src) == {"LINT001"}
+
+
+class TestServeStaleEpoch:
+    """LINT007: async serve handlers must not cache shared state
+    across an await without re-validating the epoch."""
+
+    SERVE = "src/repro/serve/handler.py"
+
+    def test_cached_state_used_after_await_fires(self):
+        src = ("class Handler:\n"
+               "    async def submit(self, msg):\n"
+               "        state = self.admission.tenants\n"
+               "        await self.queue.put(msg)\n"
+               "        return state\n")
+        assert "LINT007" in {d.rule for d in
+                             lint_source(src, self.SERVE)}
+
+    def test_epoch_revalidation_after_await_is_clean(self):
+        src = ("class Handler:\n"
+               "    async def submit(self, msg):\n"
+               "        state = self.admission.tenants\n"
+               "        await self.queue.put(msg)\n"
+               "        if self.clock.epoch != msg['epoch']:\n"
+               "            return None\n"
+               "        return state\n")
+        assert lint_source(src, self.SERVE) == []
+
+    def test_rebinding_after_await_is_clean(self):
+        src = ("class Handler:\n"
+               "    async def submit(self, msg):\n"
+               "        state = self.admission.tenants\n"
+               "        await self.queue.put(msg)\n"
+               "        state = self.admission.tenants\n"
+               "        return state\n")
+        assert lint_source(src, self.SERVE) == []
+
+    def test_use_before_await_is_clean(self):
+        src = ("class Handler:\n"
+               "    async def submit(self, msg):\n"
+               "        state = self.admission.tenants\n"
+               "        count = len(state)\n"
+               "        await self.queue.put(count)\n")
+        assert lint_source(src, self.SERVE) == []
+
+    def test_call_results_are_not_tracked(self):
+        # Only bare attribute-chain caches count; a call's return
+        # value is a snapshot by construction.
+        src = ("class Handler:\n"
+               "    async def submit(self, msg):\n"
+               "        state = self.admission.register(msg)\n"
+               "        await self.queue.put(msg)\n"
+               "        return state\n")
+        assert lint_source(src, self.SERVE) == []
+
+    def test_rule_only_applies_to_serve_modules(self):
+        src = ("class Handler:\n"
+               "    async def submit(self, msg):\n"
+               "        state = self.admission.tenants\n"
+               "        await self.queue.put(msg)\n"
+               "        return state\n")
+        assert lint_source(src, "src/repro/runtime/handler.py") == []
 
 
 class TestShippedTreeGate:

@@ -85,8 +85,9 @@ class TestValidateCall:
 class TestResponses:
     def test_reject_reasons_are_distinct(self):
         reasons = {protocol.REJECT_INVALID, protocol.REJECT_QUOTA,
-                   protocol.REJECT_PENDING}
-        assert len(reasons) == 3
+                   protocol.REJECT_PENDING, protocol.REJECT_PROGRAM}
+        assert len(reasons) == 4
+        assert protocol.REJECT_PROGRAM == "invalid_program"
 
     def test_builders_carry_type_and_ok(self):
         assert protocol.accepted(1, 2) == {
@@ -95,3 +96,16 @@ class TestResponses:
         assert rejected["ok"] is False
         assert rejected["reason"] == protocol.REJECT_QUOTA
         assert protocol.error("boom")["ok"] is False
+
+    def test_reject_without_diagnostic_omits_the_key(self):
+        rejected = protocol.rejected(1, protocol.REJECT_QUOTA, "why")
+        assert "diagnostic" not in rejected
+
+    def test_reject_can_carry_a_diagnostic(self):
+        diagnostic = {"rule": "PRG006", "message": "DRC006 (...)"}
+        rejected = protocol.rejected(
+            7, protocol.REJECT_PROGRAM,
+            "program failed static verification",
+            diagnostic=diagnostic)
+        assert rejected["reason"] == "invalid_program"
+        assert rejected["diagnostic"] == diagnostic

@@ -133,6 +133,32 @@ class TestServiceCore:
         metrics = service.handle({"op": "metrics"})["metrics"]
         assert metrics["tenants"]["astro"]["jobs"]["rejected"] == 1
 
+    def test_invalid_program_typed_reject_pre_admission(self):
+        # cg with k=8 passes protocol validation but fails static
+        # program verification (PRG006: the spmxv node's SRAM demand
+        # exceeds the XD1 budget) — rejected before any job exists.
+        service = BlasService()
+        response = submit(service, "solver",
+                          {"operation": "cg", "n": 12, "k": 8,
+                           "seed": 0})
+        assert response["type"] == "rejected"
+        assert response["reason"] == protocol.REJECT_PROGRAM
+        assert response["diagnostic"]["rule"] == "PRG006"
+        assert response["diagnostic"]["message"]
+        assert "PRG006" in response["detail"]
+        metrics = service.handle({"op": "metrics"})["metrics"]
+        assert metrics["tenants"]["solver"]["jobs"]["rejected"] == 1
+        assert metrics["jobs"]["completed"] == 0
+        drained = service.handle({"op": "drain"})
+        assert drained["results"] == []
+
+    def test_valid_program_passes_the_verifier(self):
+        service = BlasService()
+        response = submit(service, "solver",
+                          {"operation": "cg", "n": 12, "k": 4,
+                           "seed": 0})
+        assert response["type"] == "accepted"
+
     def test_missing_tenant_rejected(self):
         service = BlasService()
         response = service.handle({
@@ -326,6 +352,28 @@ class TestTcpServer:
         assert metrics["metrics"]["jobs"]["completed"] == 1
         assert bogus["type"] == "error"
         assert bye["type"] == "shutdown"
+
+    def test_invalid_program_rejected_over_socket(self):
+        # The wire-level round trip of the static-verifier reject:
+        # the typed reason and first diagnostic survive the protocol.
+        service = BlasService()
+        thread, port = _start_server(service)
+        responses = asyncio.run(_roundtrip(port, [
+            {"op": "hello", "tenant": "solver"},
+            {"op": "submit", "id": 0, "at": 0.0,
+             "call": {"operation": "cg", "n": 12, "k": 8, "seed": 0}},
+            {"op": "submit", "id": 1, "at": 0.0,
+             "call": {"operation": "cg", "n": 12, "k": 4, "seed": 0}},
+            {"op": "shutdown"},
+        ]))
+        thread.join(10)
+        assert not thread.is_alive()
+        hello, rejected, accepted, bye = responses
+        assert rejected["ok"] is False
+        assert rejected["reason"] == "invalid_program"
+        assert rejected["diagnostic"]["rule"] == "PRG006"
+        assert "static verification" in rejected["detail"]
+        assert accepted["type"] == "accepted"
 
     def test_malformed_line_gets_error_response(self):
         service = BlasService()
